@@ -1,0 +1,102 @@
+"""E2 — Naive vs memoized TotalCost on part explosions.
+
+The paper: when "the parts explosion diagram is not a tree but a
+directed acyclic graph", the naive recursion recomputes shared
+subparts; memoizing through transient fields visits each part once.
+
+Sweep: sharing factor 0 (tree) → 0.9 (heavy DAG) at fixed depth/fan;
+plus the ladder DAG where the gap is exponential.
+
+Expected shape: on trees the two strategies tie; the memoized win grows
+with sharing; on the ladder it is astronomically large (the naive run
+at depth 18 does 2^19 visits vs 19).
+
+Run:  pytest benchmarks/bench_bom.py --benchmark-only
+      python benchmarks/bench_bom.py        (prints the E2 table)
+"""
+
+import pytest
+
+from repro.apps.bom import (
+    TOTAL_COST,
+    clear_memos,
+    explosion_size,
+    roll_up_memoized,
+    roll_up_naive,
+)
+from repro.workloads.parts import ladder_dag, random_dag, uniform_tree
+
+DEPTH = 9
+FAN = 2
+
+
+@pytest.mark.parametrize("sharing", [0.0, 0.5, 0.9])
+def test_naive_costing(benchmark, sharing):
+    part = random_dag(DEPTH, FAN, sharing, seed=11)
+    result = benchmark(lambda: roll_up_naive(part, TOTAL_COST))
+    assert result.visits == 2 ** (DEPTH + 1) - 1
+
+
+@pytest.mark.parametrize("sharing", [0.0, 0.5, 0.9])
+def test_memoized_costing(benchmark, sharing):
+    part = random_dag(DEPTH, FAN, sharing, seed=11)
+
+    def run():
+        clear_memos(part, TOTAL_COST)
+        return roll_up_memoized(part, TOTAL_COST)
+
+    result = benchmark(run)
+    assert result.visits == explosion_size(part)
+
+
+def test_ladder_memoized_feasible(benchmark):
+    """depth-18 ladder: 2^19-1 naive visits vs 19 memoized."""
+    part = ladder_dag(depth=18, fan=2)
+
+    def run():
+        clear_memos(part, TOTAL_COST)
+        return roll_up_memoized(part, TOTAL_COST)
+
+    result = benchmark(run)
+    assert result.visits == 19
+
+
+def test_values_agree():
+    for sharing in (0.0, 0.5, 0.9):
+        part = random_dag(DEPTH, FAN, sharing, seed=11)
+        naive = roll_up_naive(part, TOTAL_COST)
+        clear_memos(part, TOTAL_COST)
+        memo = roll_up_memoized(part, TOTAL_COST)
+        assert naive.value == pytest.approx(memo.value)
+
+
+def main():
+    print("E2 — TotalCost: naive vs memoized (depth=%d, fan=%d)" % (DEPTH, FAN))
+    print("%-10s %8s %12s %12s %14s" % ("sharing", "parts", "naive", "memoized",
+                                        "visit ratio"))
+    for sharing in (0.0, 0.25, 0.5, 0.75, 0.9):
+        part = random_dag(DEPTH, FAN, sharing, seed=11)
+        naive = roll_up_naive(part, TOTAL_COST)
+        clear_memos(part, TOTAL_COST)
+        memo = roll_up_memoized(part, TOTAL_COST)
+        assert naive.value == memo.value
+        print("%-10.2f %8d %12d %12d %14.1fx"
+              % (sharing, explosion_size(part), naive.visits, memo.visits,
+                 naive.visits / memo.visits))
+
+    tree = uniform_tree(depth=8, fan=2)
+    naive = roll_up_naive(tree, TOTAL_COST)
+    clear_memos(tree, TOTAL_COST)
+    memo = roll_up_memoized(tree, TOTAL_COST)
+    print("\ntree explosion: naive=%d memo=%d (memoization buys nothing"
+          % (naive.visits, memo.visits))
+    print("on a tree, exactly as the paper notes)")
+
+    ladder = ladder_dag(depth=18, fan=2)
+    memo = roll_up_memoized(ladder, TOTAL_COST)
+    print("ladder depth=18: memoized visits=%d; naive would need %d"
+          % (memo.visits, 2 ** 19 - 1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""F1 — Figure 1: the join of generalized relations.
+
+Regenerates the paper's only figure exactly (correctness pinned by
+``tests/core/test_figure1.py``), times the join, and sweeps the join
+over growing generalized relations so the operator's scaling is on
+record.
+
+Run the timing sweep:  pytest benchmarks/bench_figure1.py --benchmark-only
+Print the figure:      python benchmarks/bench_figure1.py
+"""
+
+import pytest
+
+from repro.core.orders import record
+from repro.core.relation import GeneralizedRelation
+from repro.workloads.relations import random_generalized_relation
+
+R1 = GeneralizedRelation(
+    [
+        record(Name="J Doe", Dept="Sales", Addr={"City": "Moose"}),
+        record(Name="M Dee", Dept="Manuf"),
+        record(Name="N Bug", Addr={"State": "MT"}),
+    ]
+)
+
+R2 = GeneralizedRelation(
+    [
+        record(Dept="Sales", Addr={"State": "WY"}),
+        record(Dept="Admin", Addr={"City": "Billings"}),
+        record(Dept="Manuf", Addr={"State": "MT"}),
+    ]
+)
+
+EXPECTED = GeneralizedRelation(
+    [
+        record(Name="J Doe", Dept="Sales", Addr={"City": "Moose", "State": "WY"}),
+        record(Name="M Dee", Dept="Manuf", Addr={"State": "MT"}),
+        record(Name="N Bug", Dept="Manuf", Addr={"State": "MT"}),
+        record(Name="N Bug", Dept="Admin", Addr={"City": "Billings", "State": "MT"}),
+    ]
+)
+
+
+def test_figure1_join(benchmark):
+    """The exact Figure 1 join, timed."""
+    result = benchmark(lambda: R1.join(R2))
+    assert result == EXPECTED
+
+
+@pytest.mark.parametrize("size", [10, 30, 100])
+def test_generalized_join_scaling(benchmark, size):
+    """Join cost over growing relations (quadratic pair enumeration)."""
+    left = random_generalized_relation(size, null_fraction=0.4, seed=1)
+    right = random_generalized_relation(size, null_fraction=0.4, seed=2)
+    result = benchmark(lambda: left.join(right))
+    result.check_cochain()
+
+
+def main():
+    from examples.figure1_join import main as show
+
+    show()
+
+
+if __name__ == "__main__":
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    main()

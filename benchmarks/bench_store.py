@@ -1,0 +1,133 @@
+"""E10 (substrate) — log-store throughput, batching, and compaction.
+
+Not a paper figure: the paper delegates durability to "a suitably
+persistent data type, such as a file".  This harness characterizes our
+file substrate so the persistence-model numbers (E3) can be read
+against it:
+
+* put throughput, singleton vs batched (one fsync per batch);
+* read-back (replay) cost as the log grows;
+* compaction: shrink factor and post-compaction replay speedup on an
+  update-heavy history.
+
+Run:  pytest benchmarks/bench_store.py --benchmark-only
+      python benchmarks/bench_store.py      (prints the E10 table)
+"""
+
+import pytest
+
+from repro.persistence.store import LogStore
+
+N = 500
+
+
+def test_singleton_puts(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        with LogStore(str(tmp_path / ("s%d.log" % counter[0]))) as store:
+            for i in range(N):
+                store.put("k%d" % i, {"i": i})
+            store.sync()
+
+    benchmark(run)
+
+
+def test_batched_puts(benchmark, tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        with LogStore(str(tmp_path / ("b%d.log" % counter[0]))) as store:
+            with store.batch():
+                for i in range(N):
+                    store.put("k%d" % i, {"i": i})
+
+    benchmark(run)
+
+
+def test_replay_cost(benchmark, tmp_path):
+    path = str(tmp_path / "replay.log")
+    with LogStore(path) as store:
+        for i in range(N):
+            store.put("k%d" % i, {"i": i, "pad": "x" * 40})
+
+    def reopen():
+        with LogStore(path) as store:
+            return len(store)
+
+    assert benchmark(reopen) == N
+
+
+def test_replay_after_compaction(benchmark, tmp_path):
+    path = str(tmp_path / "compact.log")
+    store = LogStore(path)
+    for round_number in range(10):
+        for i in range(N // 10):
+            store.put("k%d" % i, {"round": round_number, "pad": "x" * 40})
+    store.compact()
+    store.close()
+
+    def reopen():
+        with LogStore(path) as reopened:
+            return len(reopened)
+
+    assert benchmark(reopen) == N // 10
+
+
+@pytest.mark.parametrize("updates_per_key", [1, 10])
+def test_garbage_ratio(tmp_path, updates_per_key):
+    with LogStore(str(tmp_path / "g.log")) as store:
+        for __ in range(updates_per_key):
+            for i in range(50):
+                store.put("k%d" % i, {"i": i})
+        expected = 1.0 - 1.0 / updates_per_key
+        assert store.garbage_ratio() == pytest.approx(expected, abs=0.01)
+
+
+def main():
+    import os
+    import tempfile
+    import time
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print("E10 — log-store substrate (%d records)" % N)
+
+        path = os.path.join(tmp, "singleton.log")
+        start = time.perf_counter()
+        with LogStore(path) as store:
+            for i in range(N):
+                store.put("k%d" % i, {"i": i})
+            store.sync()
+        singleton_t = time.perf_counter() - start
+
+        path_b = os.path.join(tmp, "batch.log")
+        start = time.perf_counter()
+        with LogStore(path_b) as store:
+            with store.batch():
+                for i in range(N):
+                    store.put("k%d" % i, {"i": i})
+        batch_t = time.perf_counter() - start
+
+        print("%-32s %10.4f s" % ("singleton puts + sync", singleton_t))
+        print("%-32s %10.4f s" % ("one atomic batch", batch_t))
+
+        path_c = os.path.join(tmp, "compact.log")
+        store = LogStore(path_c)
+        for round_number in range(10):
+            for i in range(N // 10):
+                store.put("k%d" % i, {"round": round_number, "pad": "x" * 40})
+        before = store.size_bytes()
+        start = time.perf_counter()
+        store.compact()
+        compact_t = time.perf_counter() - start
+        after = store.size_bytes()
+        store.close()
+        print("%-32s %10.4f s (%d -> %d bytes, %.0f%% reclaimed)"
+              % ("compaction", compact_t, before, after,
+                 100 * (1 - after / before)))
+
+
+if __name__ == "__main__":
+    main()

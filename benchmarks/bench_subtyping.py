@@ -1,0 +1,80 @@
+"""E6 — Subtype-check cost vs record width and hierarchy depth.
+
+The generic Get type-checks *statically*, but its implementation does a
+dynamic subtype check per database value ("the overhead of having to
+check the structure of each value we encounter").  This harness
+measures that structural check as the types grow:
+
+* record width (fields per record) — the check is linear in the
+  supertype's width with a log-factor lookup;
+* hierarchy depth (levels of extension) — deeper means wider here, so
+  cost tracks total field count;
+* the checker's fast path: syntactic equality short-circuits.
+
+Run:  pytest benchmarks/bench_subtyping.py --benchmark-only
+      python benchmarks/bench_subtyping.py      (prints the E6 table)
+"""
+
+import pytest
+
+from repro.types.subtyping import is_subtype
+from repro.workloads.employees import synthetic_hierarchy
+
+
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_subtype_check_vs_width(benchmark, width):
+    levels = synthetic_hierarchy(depth=1, width=width)
+    top, bottom = levels[0], levels[-1]
+    assert benchmark(lambda: is_subtype(bottom, top)) is True
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32])
+def test_subtype_check_vs_depth(benchmark, depth):
+    levels = synthetic_hierarchy(depth=depth, width=2)
+    top, bottom = levels[0], levels[-1]
+    assert benchmark(lambda: is_subtype(bottom, top)) is True
+
+
+def test_equality_fast_path(benchmark):
+    levels = synthetic_hierarchy(depth=16, width=2)
+    t = levels[-1]
+    assert benchmark(lambda: is_subtype(t, t)) is True
+
+
+def test_negative_check(benchmark):
+    levels = synthetic_hierarchy(depth=8, width=2)
+    top, bottom = levels[0], levels[-1]
+    assert benchmark(lambda: is_subtype(top, bottom)) is False
+
+
+def main():
+    import time
+
+    def best_of(thunk, repeat=7, loops=200):
+        best = float("inf")
+        for __ in range(repeat):
+            start = time.perf_counter()
+            for __ in range(loops):
+                thunk()
+            best = min(best, (time.perf_counter() - start) / loops)
+        return best
+
+    print("E6 — structural subtype check cost")
+    print("%-30s %14s" % ("configuration", "check (µs)"))
+    for width in (2, 8, 32, 64):
+        levels = synthetic_hierarchy(depth=1, width=width)
+        t = best_of(lambda lv=levels: is_subtype(lv[-1], lv[0]))
+        print("%-30s %14.2f" % ("width %d, depth 1" % width, t * 1e6))
+    for depth in (2, 8, 32):
+        levels = synthetic_hierarchy(depth=depth, width=2)
+        t = best_of(lambda lv=levels: is_subtype(lv[-1], lv[0]))
+        print("%-30s %14.2f" % ("width 2, depth %d" % depth, t * 1e6))
+    levels = synthetic_hierarchy(depth=16, width=2)
+    t = best_of(lambda: is_subtype(levels[-1], levels[-1]))
+    print("%-30s %14.2f" % ("identical types (fast path)", t * 1e6))
+    print("\nCost grows with the total field count of the supertype; the")
+    print("syntactic-equality fast path is near-constant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's
+experiment index (F1, E1–E7).  Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module is also directly runnable (``python benchmarks/bench_x.py``)
+to print the experiment's table without pytest timing overhead.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,9 @@
+"""Ensure the in-repo sources are importable when the package is not
+installed (offline environments without editable-install support)."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

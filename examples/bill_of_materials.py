@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The bill-of-materials example: memoization via transient fields.
+
+Builds a parts explosion that is a DAG (shared subassemblies), computes
+TotalCost naively and memoized, persists the catalog with intrinsic
+persistence, and shows the memo fields do not persist.
+
+Run:  python examples/bill_of_materials.py
+"""
+
+import os
+import tempfile
+
+from repro.apps.bom import (
+    TOTAL_COST,
+    TOTAL_MASS,
+    clear_memos,
+    explosion_size,
+    is_tree_explosion,
+    make_assembly,
+    make_base_part,
+    roll_up_memoized,
+    roll_up_naive,
+)
+from repro.persistence.intrinsic import PersistentHeap
+
+
+def build_bike_fleet():
+    """A fleet of bikes sharing wheel and drivetrain subassemblies."""
+    spoke = make_base_part("spoke", 0.5, mass=0.01)
+    rim = make_base_part("rim", 12.0, mass=0.6)
+    tyre = make_base_part("tyre", 18.0, mass=0.9)
+    wheel = make_assembly(
+        "wheel", 5.0, [(spoke, 32), (rim, 1), (tyre, 1)], assembly_mass=0.1
+    )
+    chain = make_base_part("chain", 15.0, mass=0.3)
+    cog = make_base_part("cog", 4.0, mass=0.05)
+    drivetrain = make_assembly("drivetrain", 8.0, [(chain, 1), (cog, 9)])
+    frame = make_base_part("frame", 150.0, mass=2.5)
+    bike = make_assembly(
+        "bike", 40.0, [(frame, 1), (wheel, 2), (drivetrain, 1)]
+    )
+    # Ten bikes in a shipment share the same design objects — a DAG.
+    shipment = make_assembly("shipment", 25.0, [(bike, 10)])
+    return shipment
+
+
+def main():
+    shipment = build_bike_fleet()
+    print("explosion size (distinct parts):", explosion_size(shipment))
+    print("is a tree?", is_tree_explosion(shipment))
+
+    naive = roll_up_naive(shipment, TOTAL_COST)
+    print("\nTotalCost (naive)    = %.2f  in %d visits" % (naive.value, naive.visits))
+    clear_memos(shipment, TOTAL_COST)
+    memo = roll_up_memoized(shipment, TOTAL_COST)
+    print("TotalCost (memoized) = %.2f  in %d visits" % (memo.value, memo.visits))
+    assert naive.value == memo.value
+
+    mass = roll_up_memoized(shipment, TOTAL_MASS)
+    print("TotalMass (memoized) = %.2f  in %d visits" % (mass.value, mass.visits))
+
+    print("\nPersisting the catalog with intrinsic persistence...")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "parts.log")
+        heap = PersistentHeap(path)
+        heap.root("catalog", shipment)
+        stats = heap.commit()
+        print("first commit wrote %d objects" % stats.objects_written)
+
+        # Re-run the costing: memo fields change, but they are transient.
+        clear_memos(shipment, TOTAL_COST)
+        roll_up_memoized(shipment, TOTAL_COST)
+        stats = heap.commit()
+        print(
+            "commit after re-costing wrote %d objects (memos are transient)"
+            % stats.objects_written
+        )
+        heap.close()
+
+        reopened = PersistentHeap(path)
+        catalog = reopened.get_root("catalog")
+        print(
+            "reopened catalog has memo fields?",
+            "_TotalCost" in catalog,
+        )
+        again = roll_up_memoized(catalog, TOTAL_COST)
+        print("recomputed TotalCost on reopened catalog = %.2f" % again.value)
+        assert again.value == memo.value
+        reopened.close()
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""An employee database written in DBPL, the reproduction's language.
+
+The program below is (a runnable rendering of) the paper's running
+example: a Person/Employee hierarchy, a heterogeneous database, the
+generic ``get`` deriving extents from types, Amber-style dynamics, and
+``extern``/``intern`` replicating persistence across two "programs"
+(two interpreter sessions over one store).
+
+Run:  python examples/employee_database.py
+"""
+
+import os
+import tempfile
+
+from repro.lang.eval import Interpreter
+
+FIRST_PROGRAM = """
+-- The paper's declarations, in Amber style:
+--   type Person is {aName: String; Address ...}
+--   type Employee is Person with {Empno: Int; Dept: String}
+type Person = {Name: String, Address: {City: String}}
+type Employee = Person with {Empno: Int, Dept: String}
+type Student = Person with {School: String}
+
+let db = newdb();
+insert(db, dynamic {Name = "P One", Address = {City = "Austin"}});
+insert(db, dynamic {Name = "E One", Address = {City = "Moose"},
+                    Empno = 1, Dept = "Sales"});
+insert(db, dynamic {Name = "E Two", Address = {City = "Billings"},
+                    Empno = 2, Dept = "Manuf"});
+insert(db, dynamic {Name = "S One", Address = {City = "Philly"},
+                    School = "Penn"});
+insert(db, dynamic {Name = "WS One", Address = {City = "Glasgow"},
+                    Empno = 3, Dept = "Manuf", School = "Glasgow"});
+
+-- The generic Get: ∀t. Database -> List[∃t' <= t. t']
+print("persons:");
+map(fn(p: Person) => print(p.Name), get[Person](db));
+print("employees:");
+map(fn(e: Employee) => print(e.Name), get[Employee](db));
+print("students:");
+map(fn(s: Student) => print(s.Name), get[Student](db));
+
+-- Object-level inheritance: promote a Person to an Employee with ⊔.
+let p = {Name = "New Hire", Address = {City = "Austin"}};
+let e = p with {Empno = 4, Dept = "Sales"};
+print("promoted:");
+print(e);
+
+-- Replicating persistence: the database is a value; seal it with its
+-- type and extern it.
+type Payroll = {Employees: List[Employee]}
+let payroll = {Employees = map(fn(x: Employee) => x, get[Employee](db))};
+extern("PayrollFile", dynamic payroll);
+print("externed payroll");
+"""
+
+SECOND_PROGRAM = """
+-- A later program interns the handle and coerces at the expected type;
+-- the value travelled with its type description.
+type Person = {Name: String, Address: {City: String}}
+type Employee = Person with {Empno: Int, Dept: String}
+type Payroll = {Employees: List[Employee]}
+
+let payroll = coerce intern("PayrollFile") to Payroll;
+print("payroll size:");
+print(length(payroll.Employees));
+print("total of employee numbers:");
+print(sum(map(fn(e: Employee) => intToFloat(e.Empno), payroll.Employees)));
+"""
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = os.path.join(tmp, "employees.log")
+
+        print("--- first program ---")
+        first = Interpreter(store_path)
+        result = first.run(FIRST_PROGRAM)
+        for line in result.output:
+            print(line)
+
+        print("\n--- second program (fresh session, same store) ---")
+        second = Interpreter(store_path)
+        result = second.run(SECOND_PROGRAM)
+        for line in result.output:
+            print(line)
+
+
+if __name__ == "__main__":
+    main()

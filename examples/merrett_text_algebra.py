@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Non-database computation with relational algebra (after Merrett).
+
+The paper cites Merrett's examples of "the use of relational algebra to
+solve a variety of problems drawn from areas as diverse as computational
+geometry and text processing" — the point being that *transient* extents
+are useful computation structures, not just persistent databases.
+
+This script does text processing with the flat algebra and the query
+planner: a word-position relation over two short documents supports
+concordance queries, bigram extraction via a self-join, and
+shared-vocabulary analysis via projection and intersection.  Nothing
+here persists; every relation is a transient extent.
+
+Run:  python examples/merrett_text_algebra.py
+"""
+
+from repro.core.flat import FlatRelation
+from repro.core.query import attr_eq, eq, explain, optimize, scan
+
+DOCUMENTS = {
+    "types": (
+        "a type system powerful enough to write down the type of a "
+        "generic function"
+    ),
+    "extents": (
+        "a generic function that extracts the objects of a given type "
+        "from the database"
+    ),
+}
+
+
+def word_positions():
+    """The base relation: (Doc, Pos, Word)."""
+    rows = []
+    for doc, text in DOCUMENTS.items():
+        for position, word in enumerate(text.split()):
+            rows.append((doc, position, word))
+    return FlatRelation(("Doc", "Pos", "Word"), rows)
+
+
+def main():
+    words = word_positions()
+    catalog = {"words": words}
+    print("base relation: %d (Doc, Pos, Word) rows" % len(words))
+
+    # -- concordance: where does 'type' occur? ------------------------------
+    concordance = (
+        scan("words").where(eq("Word", "type")).project(["Doc", "Pos"])
+    )
+    print("\noccurrences of 'type':")
+    for row in concordance.execute(catalog):
+        print("  %s @ %d" % (row["Doc"], row["Pos"]))
+
+    # -- bigrams via a self-join --------------------------------------------
+    # (Doc, Pos, Word) ⋈ (Doc, Pos2=Pos+1, Word2): rename then join on
+    # Doc and the successor position (computed column via select).
+    successors = FlatRelation(
+        ("Doc", "Pos", "NextPos"),
+        [
+            (row["Doc"], row["Pos"], row["Pos"] + 1)
+            for row in words
+        ],
+    )
+    catalog["succ"] = successors
+    catalog["words2"] = words.rename({"Pos": "NextPos", "Word": "NextWord"})
+    bigram_plan = (
+        scan("words")
+        .join(scan("succ"))
+        .join(scan("words2"))
+        .project(["Word", "NextWord"])
+    )
+    bigrams = bigram_plan.execute(catalog)
+    print("\n%d distinct bigrams; those starting with 'generic':" % len(bigrams))
+    for row in bigrams.select(lambda r: r["Word"] == "generic"):
+        print("  %s %s" % (row["Word"], row["NextWord"]))
+
+    # -- shared vocabulary ----------------------------------------------------
+    vocab_a = words.select(lambda r: r["Doc"] == "types").project(["Word"])
+    vocab_b = words.select(lambda r: r["Doc"] == "extents").project(["Word"])
+    shared = vocab_a.intersect(vocab_b)
+    print("\nshared vocabulary (%d words):" % len(shared),
+          sorted(row["Word"] for row in shared))
+
+    # -- words that co-occur in both docs at the same position ----------------
+    aligned_plan = (
+        scan("words")
+        .where(eq("Doc", "types"))
+        .project(["Pos", "Word"])
+        .join(
+            scan("words").where(eq("Doc", "extents")).project(["Pos", "Word"])
+        )
+    )
+    aligned = aligned_plan.execute(catalog)
+    print("\nwords at the same position in both documents:",
+          sorted((row["Pos"], row["Word"]) for row in aligned))
+
+    # -- the optimizer at work -------------------------------------------------
+    print("\noptimized bigram plan:")
+    print(explain(optimize(bigram_plan, catalog)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The instance-hierarchy scenarios: parking lot and product catalog.
+
+Scenario 1 (the university parking lot): cars are *instances of*
+make-and-models; charges and space derive from the model, and two
+indistinguishable cars coexist because objects have identity.
+
+Scenario 2 (the manufacturing plant): a product's level in the instance
+hierarchy depends on its price — individuals above the threshold,
+class-level stock below it.
+
+Run:  python examples/parking_lot.py
+"""
+
+from repro.apps.instances import (
+    Catalog,
+    MakeAndModel,
+    ParkingLot,
+    register_product,
+)
+from repro.errors import ReproError
+
+
+def parking_lot_scenario():
+    print("== The university parking lot ==")
+    nova = MakeAndModel("Chevvy", "Nova", length=4.5, weight=3000.0)
+    mini = MakeAndModel("Austin", "Mini", length=3.1, weight=1400.0)
+    print("'My car is a Chevvy Nova.  The Chevvy Nova weighs %.0f pounds.'"
+          % nova.weight)
+
+    lot = ParkingLot(capacity_metres=12.0, rate_per_metre=2.0)
+    car1 = lot.admit(nova, tag="ABC-123")
+    car2 = lot.admit(mini)  # no tag: identity is the object itself
+    car3 = lot.admit(mini)  # a second, indistinguishable Mini
+    print("cars parked:", len(lot))
+    print("two identical Minis?",
+          car2 is not car3 and car2["MakeModel"] is car3["MakeModel"])
+
+    print("charge for the Nova : %.2f" % lot.charge_for(car1))
+    print("charge for each Mini: %.2f" % lot.charge_for(car2))
+    print("space remaining     : %.1f m" % lot.available_metres())
+
+    try:
+        lot.admit(nova)
+    except ReproError as exc:
+        print("admitting another Nova fails:", exc)
+
+    # Level switch: the class-level attribute reprices every instance.
+    mini.obj["Length"] = 3.4
+    print("after a model-level correction, each Mini now costs %.2f"
+          % lot.charge_for(car2))
+    print()
+
+
+def catalog_scenario():
+    print("== Price-dependent instance level ==")
+    catalog = Catalog(threshold=1000.0)
+
+    register_product(catalog, "turbine", price=50_000.0, weight=900.0,
+                     completed="1986-05-01")
+    register_product(catalog, "turbine", price=50_000.0, weight=905.0,
+                     completed="1986-06-12")
+    register_product(catalog, "bracket", price=4.5, weight=0.2, quantity=500)
+    register_product(catalog, "bracket", price=4.5, weight=0.2, quantity=250)
+
+    print("individually tracked products:",
+          [(p["Name"], p["Completed"]) for p in catalog.individuals()])
+    print("class-level product lines:",
+          [(line["Name"], line["InStock"]) for line in catalog.lines()])
+    print("stock of 'turbine':", catalog.stock_of("turbine"))
+    print("stock of 'bracket':", catalog.stock_of("bracket"))
+    print("total weight in plant: %.1f" % catalog.total_weight())
+
+    try:
+        register_product(catalog, "press", price=9999.0, weight=1200.0)
+    except ReproError as exc:
+        print("registering an individual without a completion date fails:")
+        print("  ", exc)
+
+
+def main():
+    parking_lot_scenario()
+    catalog_scenario()
+
+
+if __name__ == "__main__":
+    main()

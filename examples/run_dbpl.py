@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Run a DBPL source file (default: examples/programs/payroll.dbpl).
+
+Usage:  python examples/run_dbpl.py [program.dbpl [store-path]]
+
+The optional store path backs ``extern``/``intern``, so a program's
+handles survive to the next run — the paper's "subsequent program".
+"""
+
+import os
+import sys
+
+from repro.lang.eval import Interpreter, format_value
+
+DEFAULT = os.path.join(os.path.dirname(__file__), "programs", "payroll.dbpl")
+
+
+def main(argv):
+    path = argv[0] if argv else DEFAULT
+    store = argv[1] if len(argv) > 1 else None
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+
+    interp = Interpreter(store)
+    result = interp.run(source)
+    for line in result.output:
+        print(line)
+    if result.value is not None:
+        print("=> %s : %s" % (format_value(result.value), result.type))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

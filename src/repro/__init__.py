@@ -1,0 +1,78 @@
+"""repro — a reproduction of Buneman & Atkinson (SIGMOD 1986),
+"Inheritance and Persistence in Database Programming Languages".
+
+The library separates the three notions the paper argues should be
+separated — **type**, **extent**, and **persistence** — and provides:
+
+* :mod:`repro.core` — the information ordering on partial values, joins,
+  generalized relations (Figure 1), flat relational algebra, and
+  functional-dependency theory;
+* :mod:`repro.types` — a Cardelli–Wegner style type system with
+  structural subtyping, bounded quantification, and Dynamic values;
+* :mod:`repro.extents` — databases and extents divorced from types, with
+  the generic ``get`` function typed ``∀t. Database → List[∃t' ≤ t]``;
+* :mod:`repro.persistence` — the three persistence models
+  (all-or-nothing, replicating, intrinsic) over a self-describing store;
+* :mod:`repro.classes` — the Taxis/Adaplex/Galileo/Pascal-R class
+  constructs *derived* from the primitives above;
+* :mod:`repro.lang` — DBPL, a small statically-typed database
+  programming language in which the paper's programs run;
+* :mod:`repro.apps` — the paper's worked applications (bill of
+  materials, instance-hierarchy modeling);
+* :mod:`repro.workloads` — synthetic workload generators for the
+  benchmark harness.
+
+Quickstart::
+
+    from repro import record, GeneralizedRelation
+
+    r1 = GeneralizedRelation([
+        record(Name='J Doe', Dept='Sales'),
+        record(Name='N Bug', Addr={'State': 'MT'}),
+    ])
+    r2 = GeneralizedRelation([record(Dept='Sales', Addr={'State': 'WY'})])
+    print(r1.join(r2))
+"""
+
+from repro.core import (
+    Atom,
+    FlatRelation,
+    FunctionalDependency,
+    GeneralizedRelation,
+    Key,
+    PartialRecord,
+    Value,
+    atom,
+    consistent,
+    from_python,
+    join,
+    leq,
+    meet,
+    record,
+    to_python,
+    try_join,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "FlatRelation",
+    "FunctionalDependency",
+    "GeneralizedRelation",
+    "Key",
+    "PartialRecord",
+    "Value",
+    "atom",
+    "consistent",
+    "from_python",
+    "join",
+    "leq",
+    "meet",
+    "record",
+    "to_python",
+    "try_join",
+    "ReproError",
+    "__version__",
+]

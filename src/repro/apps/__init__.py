@@ -1,0 +1,59 @@
+"""The paper's worked applications.
+
+* :mod:`repro.apps.bom` — the bill-of-materials computation from the
+  paper's final section: recursive ``TotalCost`` over a parts-explosion
+  graph, naive versus memoized through *transient fields on persistent
+  objects*;
+* :mod:`repro.apps.instances` — the two instance-hierarchy design
+  scenarios: the university parking lot (a car is an instance of a
+  make-and-model) and the manufacturing plant whose products live at a
+  price-dependent level of the hierarchy.
+"""
+
+from repro.apps.bom import (
+    RollUp,
+    RollUpResult,
+    TOTAL_COST,
+    TOTAL_MASS,
+    clear_memos,
+    components_of,
+    explosion_size,
+    is_tree_explosion,
+    make_assembly,
+    make_base_part,
+    roll_up_memoized,
+    roll_up_naive,
+    total_cost,
+    total_cost_memoized,
+    total_mass,
+)
+from repro.apps.instances import (
+    Catalog,
+    MakeAndModel,
+    ParkingLot,
+    PRICE_THRESHOLD,
+    register_product,
+)
+
+__all__ = [
+    "RollUp",
+    "RollUpResult",
+    "roll_up_memoized",
+    "roll_up_naive",
+    "TOTAL_COST",
+    "TOTAL_MASS",
+    "clear_memos",
+    "components_of",
+    "explosion_size",
+    "is_tree_explosion",
+    "make_assembly",
+    "make_base_part",
+    "total_cost",
+    "total_cost_memoized",
+    "total_mass",
+    "Catalog",
+    "MakeAndModel",
+    "ParkingLot",
+    "PRICE_THRESHOLD",
+    "register_product",
+]

@@ -1,0 +1,227 @@
+"""The instance-hierarchy design scenarios.
+
+The paper's two "actual design problems":
+
+1. **The university parking lot.**  "The only information maintained on
+   cars in the University parking lot is the registration number (tag),
+   and make-and-model.  Information such as the length, which is used to
+   derive charges and the availability of space, is derived from the
+   make-and-model."  A car is an *instance of* a make-and-model — the
+   level switch of "My car is a Chevvy Nova.  The Chevvy Nova weighs
+   3,000 pounds."  :class:`ParkingLot` models this with cars referencing
+   :class:`MakeAndModel` objects and per-car charges derived through
+   them.  Because cars are objects with identity (not keyed tuples), two
+   indistinguishable cars can coexist — the paper's tagless scenario.
+
+2. **Price-dependent level.**  "Products in a certain manufacturing
+   plant that are above a certain price are treated as individuals and
+   have attributes such as weight and completion date of construction.
+   Below that price they are treated as classes and have weight and
+   number in stock as properties of the class."  :func:`register_product`
+   places a product at the individual or class level depending on its
+   price; :class:`Catalog` answers stock queries uniformly across both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.persistence.heap import PObject
+
+
+class MakeAndModel:
+    """A make-and-model: the class-level node of the car hierarchy."""
+
+    __slots__ = ("obj",)
+
+    def __init__(self, make: str, model: str, length: float, weight: float):
+        self.obj = PObject(
+            "MakeModel",
+            {"Make": make, "Model": model, "Length": length, "Weight": weight},
+        )
+
+    @property
+    def length(self) -> float:
+        """The model's length — a *class-level* attribute."""
+        return self.obj["Length"]
+
+    @property
+    def weight(self) -> float:
+        """The model's weight (the 'Chevvy Nova weighs 3,000 pounds')."""
+        return self.obj["Weight"]
+
+    def __repr__(self) -> str:
+        return "<MakeAndModel %s %s>" % (self.obj["Make"], self.obj["Model"])
+
+
+class ParkingLot:
+    """Cars as instances of make-and-models, with derived charges.
+
+    ``rate_per_metre`` converts a model's length into a daily charge.
+    ``capacity_metres`` bounds the summed length of parked cars — "used
+    to derive charges and the availability of space".
+    """
+
+    def __init__(self, capacity_metres: float, rate_per_metre: float = 1.0):
+        self._capacity = capacity_metres
+        self._rate = rate_per_metre
+        self._cars: List[PObject] = []
+
+    def admit(
+        self, make_model: MakeAndModel, tag: Optional[str] = None
+    ) -> PObject:
+        """Park a car of the given make-and-model.
+
+        The instance hierarchy is explicit: the car object references the
+        make-and-model object rather than copying its attributes.  Tags
+        are optional — without them "one could then have two identical
+        cars in the database", which object identity supports.
+        """
+        length = make_model.length
+        if self.occupied_metres() + length > self._capacity:
+            raise ReproError(
+                "lot full: %.1fm used of %.1fm, car needs %.1fm"
+                % (self.occupied_metres(), self._capacity, length)
+            )
+        car = PObject("Car", {"MakeModel": make_model.obj})
+        if tag is not None:
+            car["Tag"] = tag
+        self._cars.append(car)
+        return car
+
+    def release(self, car: PObject) -> None:
+        """Remove a specific car (by identity, not by attributes)."""
+        try:
+            self._cars.remove(car)
+        except ValueError:
+            raise ReproError("that car is not in the lot") from None
+
+    def charge_for(self, car: PObject) -> float:
+        """The daily charge, derived *through* the make-and-model."""
+        return car["MakeModel"]["Length"] * self._rate
+
+    def occupied_metres(self) -> float:
+        """Summed length of parked cars."""
+        return sum(car["MakeModel"]["Length"] for car in self._cars)
+
+    def available_metres(self) -> float:
+        """Remaining capacity."""
+        return self._capacity - self.occupied_metres()
+
+    def cars_of(self, make_model: MakeAndModel) -> List[PObject]:
+        """All parked instances of one make-and-model."""
+        return [c for c in self._cars if c["MakeModel"] is make_model.obj]
+
+    def __len__(self) -> int:
+        return len(self._cars)
+
+    def __iter__(self) -> Iterator[PObject]:
+        return iter(self._cars)
+
+
+#: Products priced above this are individuals; at or below, class-level.
+PRICE_THRESHOLD = 1000.0
+
+
+class Catalog:
+    """The manufacturing plant's product registry, spanning both levels.
+
+    Expensive products are individual objects (weight and completion
+    date per item); cheap ones are class-level entries (weight and
+    number-in-stock per product line).
+    """
+
+    def __init__(self, threshold: float = PRICE_THRESHOLD):
+        self._threshold = threshold
+        self._individuals: List[PObject] = []
+        self._lines: Dict[str, PObject] = {}
+
+    @property
+    def threshold(self) -> float:
+        """The price above which products become individuals."""
+        return self._threshold
+
+    # -- registration -----------------------------------------------------------
+
+    def add_individual(
+        self, name: str, price: float, weight: float, completed: str
+    ) -> PObject:
+        """Register one individual product (above-threshold level)."""
+        product = PObject(
+            "Product",
+            {
+                "Name": name,
+                "Price": price,
+                "Weight": weight,
+                "Completed": completed,
+            },
+        )
+        self._individuals.append(product)
+        return product
+
+    def add_to_line(
+        self, name: str, price: float, weight: float, quantity: int = 1
+    ) -> PObject:
+        """Register stock of a class-level product line."""
+        line = self._lines.get(name)
+        if line is None:
+            line = PObject(
+                "ProductLine",
+                {"Name": name, "Price": price, "Weight": weight, "InStock": 0},
+            )
+            self._lines[name] = line
+        line["InStock"] = line["InStock"] + quantity
+        return line
+
+    # -- uniform queries across the level split -------------------------------------
+
+    def stock_of(self, name: str) -> int:
+        """How many items named ``name`` exist, at either level."""
+        individual_count = sum(
+            1 for p in self._individuals if p["Name"] == name
+        )
+        line = self._lines.get(name)
+        return individual_count + (line["InStock"] if line is not None else 0)
+
+    def total_weight(self) -> float:
+        """Summed weight: per-item for individuals, weight × stock for lines."""
+        weight = sum(p["Weight"] for p in self._individuals)
+        weight += sum(
+            line["Weight"] * line["InStock"] for line in self._lines.values()
+        )
+        return weight
+
+    def individuals(self) -> List[PObject]:
+        """The individually-tracked products."""
+        return list(self._individuals)
+
+    def lines(self) -> List[PObject]:
+        """The class-level product lines."""
+        return list(self._lines.values())
+
+
+def register_product(
+    catalog: Catalog,
+    name: str,
+    price: float,
+    weight: float,
+    completed: Optional[str] = None,
+    quantity: int = 1,
+) -> PObject:
+    """Register a product at the level its price dictates.
+
+    "The level in the instance hierarchy depends upon an attribute":
+    above the catalog's threshold each item is an individual (and needs
+    its completion date); at or below, the product is a class with stock.
+    """
+    if price > catalog.threshold:
+        if completed is None:
+            raise ReproError(
+                "individual products need a completion date (price %.2f "
+                "exceeds the %.2f threshold)" % (price, catalog.threshold)
+            )
+        if quantity != 1:
+            raise ReproError("individuals are registered one at a time")
+        return catalog.add_individual(name, price, weight, completed)
+    return catalog.add_to_line(name, price, weight, quantity)

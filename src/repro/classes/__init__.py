@@ -1,0 +1,36 @@
+"""Class constructs *derived* from type + extent + persistence.
+
+The paper asks "whether the notion of class is fundamental or whether it
+can be derived from more primitive constructs".  This package answers by
+construction: each of the surveyed languages' class constructs is built
+from the library's primitives —
+
+* :mod:`repro.classes.taxis` — Taxis' ``VARIABLE_CLASS`` (type + extent,
+  with the subclass hierarchy inducing extent inclusion) and
+  ``AGGREGATE_CLASS`` (type only), plus the metaclass/instance
+  hierarchy;
+* :mod:`repro.classes.adaplex` — Adaplex entity types with explicit
+  ``include`` directives and nominal typing;
+* :mod:`repro.classes.galileo` — Galileo's class-over-arbitrary-type,
+  including its documented restriction to one extent per type;
+* :mod:`repro.classes.pascal_r` — Pascal/R's ``relation of`` and
+  ``database`` types, where only relations may be made persistent.
+"""
+
+from repro.classes.taxis import AggregateClass, TaxisInstance, VariableClass
+from repro.classes.adaplex import AdaplexSchema, Entity, EntityType
+from repro.classes.galileo import GalileoEnvironment, GalileoClass
+from repro.classes.pascal_r import PascalRDatabase, RelationVariable
+
+__all__ = [
+    "AggregateClass",
+    "TaxisInstance",
+    "VariableClass",
+    "AdaplexSchema",
+    "Entity",
+    "EntityType",
+    "GalileoEnvironment",
+    "GalileoClass",
+    "PascalRDatabase",
+    "RelationVariable",
+]

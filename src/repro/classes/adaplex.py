@@ -1,0 +1,215 @@
+"""Adaplex entity types, derived from type + extent + include directives.
+
+The paper's Adaplex fragment::
+
+    type Person is entity
+      Name: String(1..32);
+      Address: ...
+    end entity;
+    type Employee is entity
+      Empno: Integer;
+      Department: String(1..8);
+    end entity;
+    include Employee in Person
+
+Two Adaplex peculiarities the paper points out, both modeled here:
+
+* "In Adaplex, types with the same structure are not necessarily
+  identical, and the subtype hierarchy has to be explicitly defined by
+  means of include directives" — entity types are *nominal*: two
+  structurally equal declarations are different types until related by
+  ``include``;
+* "the inclusion relationships among the extents associated with entity
+  types follow directly from the explicit hierarchy ... creating an
+  instance of Employee will also create a new instance of Person" —
+  instantiation enters the entity into the extent of every (transitive)
+  supertype.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import ClassConstructError
+from repro.types.infer import infer_type
+from repro.types.kinds import RecordType, Type
+from repro.types.subtyping import is_subtype
+
+
+class EntityType:
+    """A nominally-identified entity type with declared attributes."""
+
+    __slots__ = ("name", "_attributes")
+
+    def __init__(self, name: str, attributes: Mapping[str, Type]):
+        self.name = name
+        self._attributes: Dict[str, Type] = dict(attributes)
+
+    @property
+    def attributes(self) -> Dict[str, Type]:
+        """The declared attribute types (a copy; own only)."""
+        return dict(self._attributes)
+
+    def __repr__(self) -> str:
+        return "<entity type %s>" % self.name
+
+
+class Entity:
+    """An entity instance, identified by itself (not by its attributes)."""
+
+    __slots__ = ("entity_type", "_attributes")
+
+    def __init__(self, entity_type: EntityType, attributes: Dict[str, object]):
+        self.entity_type = entity_type
+        self._attributes = attributes
+
+    def __getitem__(self, attribute: str) -> object:
+        try:
+            return self._attributes[attribute]
+        except KeyError:
+            raise ClassConstructError(
+                "%s entity has no attribute %r"
+                % (self.entity_type.name, attribute)
+            ) from None
+
+    def __setitem__(self, attribute: str, value: object) -> None:
+        self._attributes[attribute] = value
+
+    def attributes(self) -> Dict[str, object]:
+        """A copy of the attribute mapping."""
+        return dict(self._attributes)
+
+    def __repr__(self) -> str:
+        return "<%s entity>" % self.entity_type.name
+
+
+class AdaplexSchema:
+    """A set of entity types, include directives, and their extents."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, EntityType] = {}
+        self._includes: Dict[str, Set[str]] = {}
+        self._extents: Dict[str, List[Entity]] = {}
+
+    # -- declarations -------------------------------------------------------------
+
+    def entity_type(self, name: str, **attributes: Type) -> EntityType:
+        """Declare ``type <name> is entity ... end entity``."""
+        if name in self._types:
+            raise ClassConstructError("entity type %r already declared" % (name,))
+        declared = EntityType(name, attributes)
+        self._types[name] = declared
+        self._includes[name] = set()
+        self._extents[name] = []
+        return declared
+
+    def include(self, sub: str, sup: str) -> None:
+        """Declare ``include <sub> in <sup>``.
+
+        The hierarchy is explicit and must stay acyclic; structural
+        similarity alone never relates two entity types.
+        """
+        self._require(sub)
+        self._require(sup)
+        if sub == sup or sub in self._ancestor_names(sup):
+            raise ClassConstructError(
+                "include %s in %s would create a cycle" % (sub, sup)
+            )
+        self._includes[sub].add(sup)
+
+    def _require(self, name: str) -> EntityType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ClassConstructError(
+                "no entity type named %r" % (name,)
+            ) from None
+
+    def _ancestor_names(self, name: str) -> List[str]:
+        seen: List[str] = []
+        frontier = sorted(self._includes.get(name, ()))
+        while frontier:
+            candidate = frontier.pop(0)
+            if candidate not in seen:
+                seen.append(candidate)
+                frontier.extend(sorted(self._includes.get(candidate, ())))
+        return seen
+
+    def is_included(self, sub: str, sup: str) -> bool:
+        """The explicit subtype relation (reflexive)."""
+        self._require(sub)
+        self._require(sup)
+        return sub == sup or sup in self._ancestor_names(sub)
+
+    def all_attributes(self, name: str) -> Dict[str, Type]:
+        """Own plus inherited attributes of an entity type."""
+        merged: Dict[str, Type] = {}
+        for ancestor in reversed(self._ancestor_names(name)):
+            merged.update(self._types[ancestor].attributes)
+        merged.update(self._require(name).attributes)
+        return merged
+
+    def record_type(self, name: str) -> RecordType:
+        """The structural record type an entity type denotes."""
+        return RecordType(self.all_attributes(name))
+
+    # -- instances ------------------------------------------------------------------
+
+    def create(self, name: str, **attributes: object) -> Entity:
+        """Create an instance; it enters every supertype's extent too.
+
+        "Creating an instance of Employee will also create a new
+        instance of Person."
+        """
+        declared = self.all_attributes(name)
+        missing = sorted(set(declared) - set(attributes))
+        if missing:
+            raise ClassConstructError(
+                "%s entity is missing attributes %r" % (name, missing)
+            )
+        extra = sorted(set(attributes) - set(declared))
+        if extra:
+            raise ClassConstructError(
+                "%s has no attributes %r" % (name, extra)
+            )
+        for attribute, value in attributes.items():
+            actual = infer_type(value)
+            if not is_subtype(actual, declared[attribute]):
+                raise ClassConstructError(
+                    "%s.%s is %s; %r has type %s"
+                    % (name, attribute, declared[attribute], value, actual)
+                )
+        entity = Entity(self._types[name], dict(attributes))
+        self._extents[name].append(entity)
+        for ancestor in self._ancestor_names(name):
+            self._extents[ancestor].append(entity)
+        return entity
+
+    def destroy(self, entity: Entity) -> None:
+        """Remove an entity from every extent containing it."""
+        removed = False
+        for extent in self._extents.values():
+            if entity in extent:
+                extent.remove(entity)
+                removed = True
+        if not removed:
+            raise ClassConstructError("%r is not in any extent" % (entity,))
+
+    def extent(self, name: str) -> Tuple[Entity, ...]:
+        """The current extent of an entity type (a snapshot tuple)."""
+        self._require(name)
+        return tuple(self._extents[name])
+
+    def structurally_equal_but_distinct(
+        self, first: str, second: str
+    ) -> Optional[bool]:
+        """Are two entity types structurally equal yet unrelated?
+
+        Returns ``True`` for the Adaplex-signature situation the paper
+        highlights; ``None`` when the record types differ anyway.
+        """
+        if self.record_type(first) != self.record_type(second):
+            return None
+        return not (
+            self.is_included(first, second) or self.is_included(second, first)
+        )

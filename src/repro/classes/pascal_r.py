@@ -1,0 +1,213 @@
+"""Pascal/R: relation variables and databases, over the flat algebra.
+
+The paper: "The first database programming languages made a clear
+separation between type, extent, and persistence.  In Pascal/R one would
+construct an employee database by first declaring an Employee record
+type.  A declaration of the form ::
+
+    type EmpRel = relation <key> of Employee;
+
+then defines a relation type whose values provide extents.  The
+persistence of a relation is obtained by placing it in a database ::
+
+    var EmpDB = database
+      Employees: EmpRel;
+    end;
+
+where the type database behaves like a record type, but has persistence
+controlled in the same way that it is for files.  In Pascal/R there is a
+restriction that only relation data types can be placed in a database."
+
+:class:`RelationVariable` is a mutable relation-typed variable (a flat
+1NF relation with a key); :class:`PascalRDatabase` is the database
+record — and it enforces the restriction, rejecting non-relation fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.flat import FlatRelation
+from repro.errors import ClassConstructError, KeyViolationError
+from repro.persistence.store import SnapshotFile
+from repro.types.infer import infer_type
+from repro.types.kinds import RecordType
+from repro.types.subtyping import is_subtype
+
+
+class RelationVariable:
+    """A variable of type ``relation <key> of <record type>``.
+
+    Rows are total over the record type's labels, checked fieldwise;
+    the key attributes identify rows (Pascal/R relations are keyed).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        row_type: RecordType,
+        key: Iterable[str],
+    ):
+        self.name = name
+        self.row_type = row_type
+        self.key: Tuple[str, ...] = tuple(key)
+        labels = set(row_type.labels)
+        if not self.key:
+            raise ClassConstructError("relation %r needs a key" % (name,))
+        missing = [k for k in self.key if k not in labels]
+        if missing:
+            raise ClassConstructError(
+                "key attributes %r are not in the row type %s"
+                % (missing, row_type)
+            )
+        self._rows: Dict[Tuple[object, ...], Dict[str, object]] = {}
+
+    # -- row operations ---------------------------------------------------------
+
+    def _key_of(self, row: Mapping[str, object]) -> Tuple[object, ...]:
+        return tuple(row[k] for k in self.key)
+
+    def _check_row(self, row: Mapping[str, object]) -> Dict[str, object]:
+        declared = dict(self.row_type.fields)
+        missing = sorted(set(declared) - set(row))
+        if missing:
+            raise ClassConstructError(
+                "row for %r is missing attributes %r" % (self.name, missing)
+            )
+        extra = sorted(set(row) - set(declared))
+        if extra:
+            raise ClassConstructError(
+                "row for %r has undeclared attributes %r" % (self.name, extra)
+            )
+        for attribute, value in row.items():
+            actual = infer_type(value)
+            if not is_subtype(actual, declared[attribute]):
+                raise ClassConstructError(
+                    "%s.%s is %s; %r has type %s"
+                    % (self.name, attribute, declared[attribute], value, actual)
+                )
+        return dict(row)
+
+    def insert(self, **row: object) -> None:
+        """Insert a row; duplicate keys are rejected."""
+        checked = self._check_row(row)
+        key = self._key_of(checked)
+        if key in self._rows:
+            raise KeyViolationError(
+                "relation %r already has a row with key %r" % (self.name, key)
+            )
+        self._rows[key] = checked
+
+    def update(self, **row: object) -> None:
+        """Replace the row with the same key."""
+        checked = self._check_row(row)
+        key = self._key_of(checked)
+        if key not in self._rows:
+            raise KeyViolationError(
+                "relation %r has no row with key %r" % (self.name, key)
+            )
+        self._rows[key] = checked
+
+    def delete(self, **key_fields: object) -> None:
+        """Delete the row identified by the key attributes."""
+        try:
+            key = tuple(key_fields[k] for k in self.key)
+        except KeyError as exc:
+            raise ClassConstructError(
+                "delete on %r requires the full key %r" % (self.name, self.key)
+            ) from exc
+        if key not in self._rows:
+            raise KeyViolationError(
+                "relation %r has no row with key %r" % (self.name, key)
+            )
+        del self._rows[key]
+
+    def lookup(self, **key_fields: object) -> Optional[Dict[str, object]]:
+        """The row with the given key, or ``None``."""
+        key = tuple(key_fields[k] for k in self.key)
+        row = self._rows.get(key)
+        return dict(row) if row is not None else None
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return (dict(row) for row in self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- the relational view ------------------------------------------------------
+
+    def to_flat(self) -> FlatRelation:
+        """Freeze into an immutable :class:`FlatRelation` for algebra."""
+        return FlatRelation(self.row_type.labels, list(self._rows.values()))
+
+    def load_flat(self, relation: FlatRelation) -> None:
+        """Replace contents from a flat relation (schema must match)."""
+        if set(relation.schema) != set(self.row_type.labels):
+            raise ClassConstructError(
+                "schema %r does not match relation type %s"
+                % (relation.schema, self.row_type)
+            )
+        self._rows.clear()
+        for row in relation:
+            self.insert(**row)
+
+    def __repr__(self) -> str:
+        return "<relation %s: %d rows>" % (self.name, len(self._rows))
+
+
+class PascalRDatabase:
+    """``var <name> = database ... end`` — a record of relations, persistent.
+
+    Only relation variables can be fields ("only relation data types can
+    be placed in a database"); persistence works file-style: ``save``
+    writes everything, ``open`` reads everything.
+    """
+
+    def __init__(self, path: str, **relations: RelationVariable):
+        self._snapshot = SnapshotFile(path)
+        self._relations: Dict[str, RelationVariable] = {}
+        for field, relation in relations.items():
+            if not isinstance(relation, RelationVariable):
+                raise ClassConstructError(
+                    "Pascal/R restriction: database field %r must be a "
+                    "relation, got %r" % (field, relation)
+                )
+            self._relations[field] = relation
+        if self._snapshot.exists():
+            self._load()
+
+    def __getitem__(self, field: str) -> RelationVariable:
+        try:
+            return self._relations[field]
+        except KeyError:
+            raise ClassConstructError(
+                "database has no relation %r" % (field,)
+            ) from None
+
+    def relations(self) -> Dict[str, RelationVariable]:
+        """The database's relation fields (a copy of the mapping)."""
+        return dict(self._relations)
+
+    def save(self) -> None:
+        """Persist all relations (file-style, whole-database)."""
+        document = {
+            field: {
+                "schema": list(rel.row_type.labels),
+                "key": list(rel.key),
+                "rows": [
+                    [row[a] for a in rel.row_type.labels] for row in rel
+                ],
+            }
+            for field, rel in self._relations.items()
+        }
+        self._snapshot.save(document)
+
+    def _load(self) -> None:
+        document = self._snapshot.load()
+        for field, entry in document.items():
+            relation = self._relations.get(field)
+            if relation is None:
+                continue  # schema drift: unknown relations are ignored
+            schema = entry["schema"]
+            for values in entry["rows"]:
+                relation.insert(**dict(zip(schema, values)))

@@ -1,0 +1,269 @@
+"""The Taxis class constructs, derived from type + extent.
+
+The paper's example::
+
+    VARIABLE_CLASS EMPLOYEE isa PERSON with
+      characteristics
+        Empno: Integer;
+      attribute_properties
+        Department: Char(8);
+    end;
+
+"makes EMPLOYEE an instance of the meta-class VARIABLE_CLASS, whose
+instances have the property that they have an associated extent defined
+by explicit insertion and deletion.  It also makes EMPLOYEE a subclass of
+PERSON, thereby ensuring that every instance of EMPLOYEE also has the
+attributes of an instance of PERSON ... every instance of EMPLOYEE will
+be in the extent of PERSON."
+
+``AGGREGATE_CLASS`` "is similar to VARIABLE_CLASS, but does not have an
+associated extent — one can think of [it] as being similar to a record
+type in other programming languages."
+
+Taxis is also the one surveyed language with an *instance* hierarchy
+deeper than two levels ("a limited three-level framework"): a value is
+an instance of a class, which is an instance of a metaclass.  The
+:func:`instance_chain` helper walks it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ClassConstructError
+from repro.extents.extent import Extent
+from repro.types.infer import infer_type
+from repro.types.kinds import RecordType, Type
+from repro.types.subtyping import is_subtype
+
+
+class MetaClass:
+    """A Taxis metaclass (level 3 of the instance hierarchy)."""
+
+    __slots__ = ("name", "has_extent")
+
+    def __init__(self, name: str, has_extent: bool):
+        self.name = name
+        self.has_extent = has_extent
+
+    def __repr__(self) -> str:
+        return "<metaclass %s>" % self.name
+
+
+#: Instances have an associated extent (explicit insertion/deletion).
+VARIABLE_CLASS = MetaClass("VARIABLE_CLASS", has_extent=True)
+
+#: Instances have no extent: plain record-like types.
+AGGREGATE_CLASS = MetaClass("AGGREGATE_CLASS", has_extent=False)
+
+
+class TaxisInstance:
+    """A value-level instance of a Taxis class (level 1)."""
+
+    __slots__ = ("_taxis_class", "_attributes")
+
+    def __init__(self, taxis_class: "_TaxisClassBase", attributes: Dict[str, object]):
+        self._taxis_class = taxis_class
+        self._attributes = attributes
+
+    @property
+    def taxis_class(self) -> "_TaxisClassBase":
+        """The class this value is a direct instance of."""
+        return self._taxis_class
+
+    def __getitem__(self, attribute: str) -> object:
+        try:
+            return self._attributes[attribute]
+        except KeyError:
+            raise ClassConstructError(
+                "instance of %s has no attribute %r"
+                % (self._taxis_class.name, attribute)
+            ) from None
+
+    def __setitem__(self, attribute: str, value: object) -> None:
+        self._taxis_class.check_attribute(attribute, value)
+        self._attributes[attribute] = value
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attributes
+
+    def attributes(self) -> Dict[str, object]:
+        """A copy of the attribute mapping."""
+        return dict(self._attributes)
+
+    def __repr__(self) -> str:
+        return "<%s instance %r>" % (
+            self._taxis_class.name,
+            sorted(self._attributes),
+        )
+
+
+class _TaxisClassBase:
+    """Shared machinery of VARIABLE_CLASS and AGGREGATE_CLASS instances."""
+
+    metaclass: MetaClass = AGGREGATE_CLASS
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Mapping[str, Type]] = None,
+        isa: Tuple["_TaxisClassBase", ...] = (),
+    ):
+        self.name = name
+        self._own_attributes: Dict[str, Type] = dict(attributes or {})
+        self._supers: Tuple[_TaxisClassBase, ...] = tuple(isa)
+        for superclass in self._supers:
+            if not isinstance(superclass, _TaxisClassBase):
+                raise ClassConstructError(
+                    "isa expects Taxis classes, got %r" % (superclass,)
+                )
+            if self in superclass.ancestors() or superclass is self:
+                raise ClassConstructError(
+                    "isa cycle: %s cannot inherit from %s"
+                    % (name, superclass.name)
+                )
+
+    # -- the subclass hierarchy ----------------------------------------------
+
+    @property
+    def supers(self) -> Tuple["_TaxisClassBase", ...]:
+        """The direct superclasses."""
+        return self._supers
+
+    def ancestors(self) -> List["_TaxisClassBase"]:
+        """All strict superclasses, nearest first, deduplicated."""
+        seen: List[_TaxisClassBase] = []
+        frontier = list(self._supers)
+        while frontier:
+            candidate = frontier.pop(0)
+            if candidate not in seen:
+                seen.append(candidate)
+                frontier.extend(candidate.supers)
+        return seen
+
+    def isa(self, other: "_TaxisClassBase") -> bool:
+        """The subclass relation (reflexive)."""
+        return other is self or other in self.ancestors()
+
+    # -- attributes (inherited) --------------------------------------------------
+
+    def all_attributes(self) -> Dict[str, Type]:
+        """Own and inherited attribute types (own override inherited)."""
+        merged: Dict[str, Type] = {}
+        for ancestor in reversed(self.ancestors()):
+            merged.update(ancestor._own_attributes)
+        merged.update(self._own_attributes)
+        return merged
+
+    def record_type(self) -> RecordType:
+        """The record type this class denotes — the derivable part."""
+        return RecordType(self.all_attributes())
+
+    def check_attribute(self, attribute: str, value: object) -> None:
+        """Validate one attribute assignment against the declared type."""
+        declared = self.all_attributes().get(attribute)
+        if declared is None:
+            raise ClassConstructError(
+                "%s has no attribute %r" % (self.name, attribute)
+            )
+        actual = infer_type(value)
+        if not is_subtype(actual, declared):
+            raise ClassConstructError(
+                "%s.%s is %s; %r has type %s"
+                % (self.name, attribute, declared, value, actual)
+            )
+
+    def __repr__(self) -> str:
+        isa = (
+            " isa " + ", ".join(s.name for s in self._supers)
+            if self._supers
+            else ""
+        )
+        return "<%s %s%s>" % (self.metaclass.name, self.name, isa)
+
+
+class AggregateClass(_TaxisClassBase):
+    """A Taxis AGGREGATE_CLASS: a named record type, no extent."""
+
+    metaclass = AGGREGATE_CLASS
+
+    def new(self, **attributes: object) -> TaxisInstance:
+        """Build a value of this class (validated, but tracked nowhere)."""
+        return _validated_instance(self, attributes)
+
+
+class VariableClass(_TaxisClassBase):
+    """A Taxis VARIABLE_CLASS: a named record type *plus* an extent.
+
+    Insertion into a subclass inserts into every superclass extent that
+    exists — the coupling of hierarchy to extent inclusion that the paper
+    contrasts with the separated design.
+    """
+
+    metaclass = VARIABLE_CLASS
+
+    def __init__(self, name, attributes=None, isa=()):
+        super().__init__(name, attributes, isa)
+        self._extent = Extent(name)
+
+    @property
+    def extent(self) -> Extent:
+        """The class's own extent (includes subclass instances)."""
+        return self._extent
+
+    def insert(self, **attributes: object) -> TaxisInstance:
+        """Create an instance and enter it into this and all super extents."""
+        instance = _validated_instance(self, attributes)
+        self._extent.insert(instance)
+        for ancestor in self.ancestors():
+            if isinstance(ancestor, VariableClass):
+                ancestor.extent.insert(instance)
+        return instance
+
+    def delete(self, instance: TaxisInstance) -> None:
+        """Remove an instance from this and all related extents."""
+        self._extent.delete(instance)
+        for ancestor in self.ancestors():
+            if isinstance(ancestor, VariableClass) and instance in ancestor.extent:
+                ancestor.extent.delete(instance)
+
+    def instances(self) -> Iterator[TaxisInstance]:
+        """Iterate the extent."""
+        return iter(self._extent)
+
+    def __len__(self) -> int:
+        return len(self._extent)
+
+
+def _validated_instance(
+    taxis_class: _TaxisClassBase, attributes: Dict[str, object]
+) -> TaxisInstance:
+    declared = taxis_class.all_attributes()
+    missing = sorted(set(declared) - set(attributes))
+    if missing:
+        raise ClassConstructError(
+            "%s instance is missing attributes %r" % (taxis_class.name, missing)
+        )
+    extra = sorted(set(attributes) - set(declared))
+    if extra:
+        raise ClassConstructError(
+            "%s has no attributes %r" % (taxis_class.name, extra)
+        )
+    for attribute, value in attributes.items():
+        taxis_class.check_attribute(attribute, value)
+    return TaxisInstance(taxis_class, dict(attributes))
+
+
+def instance_chain(value: object) -> List[object]:
+    """Walk the instance ("is-a-kind-of") hierarchy from a value upward.
+
+    ``instance → class → metaclass`` — Taxis' three levels.  For plain
+    values the chain is just ``[value]``.
+    """
+    chain: List[object] = [value]
+    if isinstance(value, TaxisInstance):
+        chain.append(value.taxis_class)
+        chain.append(value.taxis_class.metaclass)
+    elif isinstance(value, _TaxisClassBase):
+        chain.append(value.metaclass)
+    return chain

@@ -1,0 +1,62 @@
+"""Core formal machinery of the reproduction.
+
+This package implements the paper's "Inheritance on Values" section:
+
+* :mod:`repro.core.orders` — the information ordering ``⊑`` on partial
+  values (atoms and partial records), with join ``⊔`` and meet ``⊓``;
+* :mod:`repro.core.cpo` — generic partial-order utilities (antichains,
+  bounds, order-theoretic law checks) used by tests and by the relation
+  layer;
+* :mod:`repro.core.relation` — generalized relations (cochains of
+  mutually incomparable objects) and the generalized natural join of the
+  paper's Figure 1;
+* :mod:`repro.core.flat` — the classic flat 1NF relational algebra used
+  as a baseline;
+* :mod:`repro.core.fd` — functional dependencies and keys over
+  generalized relations.
+"""
+
+from repro.core.orders import (
+    Atom,
+    PartialRecord,
+    Value,
+    atom,
+    consistent,
+    from_python,
+    join,
+    leq,
+    lt,
+    meet,
+    record,
+    to_python,
+    try_join,
+)
+from repro.core.relation import GeneralizedRelation
+from repro.core.flat import FlatRelation
+from repro.core.fd import FunctionalDependency, Key
+from repro.core.index import Catalog, SortedIndex
+from repro.core.query import optimize, scan
+
+__all__ = [
+    "Atom",
+    "PartialRecord",
+    "Value",
+    "atom",
+    "consistent",
+    "from_python",
+    "join",
+    "leq",
+    "lt",
+    "meet",
+    "record",
+    "to_python",
+    "try_join",
+    "GeneralizedRelation",
+    "FlatRelation",
+    "FunctionalDependency",
+    "Key",
+    "optimize",
+    "scan",
+    "Catalog",
+    "SortedIndex",
+]

@@ -1,0 +1,175 @@
+"""Generic partial-order utilities.
+
+The paper appeals to standard order theory: objects form a partial order
+under ``⊑``; relations are *cochains* (sets of mutually incomparable
+elements, "antichains" in modern usage); consistent sets have least upper
+bounds.  This module provides those notions generically over any elements
+exposing a ``leq`` predicate, so they can be reused by the relation layer,
+the type layer (types are ordered by subtyping), and the test suite's
+law-checking helpers.
+
+All functions take an explicit ``leq`` argument rather than relying on
+rich comparisons, so they work for both the value order and the subtype
+order without the two having to share a base class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+Leq = Callable[[T, T], bool]
+
+
+def is_antichain(elements: Sequence[T], leq: Leq) -> bool:
+    """Return ``True`` iff no two distinct elements are comparable.
+
+    The paper calls such sets *cochains*; a generalized relation must be
+    one.  Quadratic, intended for checks and tests.
+    """
+    for i, a in enumerate(elements):
+        for b in elements[i + 1:]:
+            if leq(a, b) or leq(b, a):
+                return False
+    return True
+
+
+def is_chain(elements: Sequence[T], leq: Leq) -> bool:
+    """Return ``True`` iff every two elements are comparable."""
+    for i, a in enumerate(elements):
+        for b in elements[i + 1:]:
+            if not (leq(a, b) or leq(b, a)):
+                return False
+    return True
+
+
+def maximal_elements(elements: Iterable[T], leq: Leq) -> List[T]:
+    """The maximal elements: those strictly below no other element.
+
+    Duplicates (elements ``x, y`` with ``x ⊑ y`` and ``y ⊑ x``) are kept
+    once.  The result is an antichain and the largest one dominated by the
+    input — exactly the reduction the relation layer applies after a
+    generalized join.
+    """
+    kept: List[T] = []
+    for candidate in elements:
+        dominated = False
+        survivors: List[T] = []
+        for existing in kept:
+            if leq(candidate, existing):
+                dominated = True
+                survivors = kept
+                break
+            if not leq(existing, candidate):
+                survivors.append(existing)
+        if not dominated:
+            survivors.append(candidate)
+            kept = survivors
+    return kept
+
+
+def minimal_elements(elements: Iterable[T], leq: Leq) -> List[T]:
+    """The minimal elements: those strictly above no other element."""
+    return maximal_elements(elements, lambda a, b: leq(b, a))
+
+
+def upper_bounds(elements: Sequence[T], candidates: Iterable[T], leq: Leq) -> List[T]:
+    """Those ``candidates`` that dominate every element of ``elements``."""
+    return [c for c in candidates if all(leq(e, c) for e in elements)]
+
+
+def lower_bounds(elements: Sequence[T], candidates: Iterable[T], leq: Leq) -> List[T]:
+    """Those ``candidates`` dominated by every element of ``elements``."""
+    return [c for c in candidates if all(leq(c, e) for e in elements)]
+
+
+def least(elements: Sequence[T], leq: Leq) -> Optional[T]:
+    """The least element of ``elements``, or ``None`` if there is none."""
+    for candidate in elements:
+        if all(leq(candidate, other) for other in elements):
+            return candidate
+    return None
+
+
+def greatest(elements: Sequence[T], leq: Leq) -> Optional[T]:
+    """The greatest element of ``elements``, or ``None`` if there is none."""
+    return least(elements, lambda a, b: leq(b, a))
+
+
+def is_least_upper_bound(
+    bound: T, elements: Sequence[T], candidates: Iterable[T], leq: Leq
+) -> bool:
+    """Check that ``bound`` is the lub of ``elements`` among ``candidates``.
+
+    Used by the property-based tests to verify that ``join`` really
+    produces least upper bounds: ``bound`` must dominate every element and
+    be dominated by every other upper bound drawn from ``candidates``.
+    """
+    if not all(leq(e, bound) for e in elements):
+        return False
+    for other in upper_bounds(elements, candidates, leq):
+        if not leq(bound, other):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Law checks (used by tests; kept here so laws are stated once)
+# ---------------------------------------------------------------------------
+
+
+def check_partial_order(elements: Sequence[T], leq: Leq) -> List[str]:
+    """Return the list of partial-order law violations among ``elements``.
+
+    Checks reflexivity, antisymmetry (up to ``==``), and transitivity on
+    the given sample.  An empty list means no violation was observed.
+    Cubic in the sample size; for tests only.
+    """
+    violations: List[str] = []
+    for a in elements:
+        if not leq(a, a):
+            violations.append("not reflexive at %r" % (a,))
+    for a in elements:
+        for b in elements:
+            if leq(a, b) and leq(b, a) and a != b:
+                violations.append("antisymmetry fails on %r, %r" % (a, b))
+    for a in elements:
+        for b in elements:
+            if not leq(a, b):
+                continue
+            for c in elements:
+                if leq(b, c) and not leq(a, c):
+                    violations.append(
+                        "transitivity fails on %r ⊑ %r ⊑ %r" % (a, b, c)
+                    )
+    return violations
+
+
+def check_join_laws(
+    pairs: Sequence[Tuple[T, T]],
+    try_join: Callable[[T, T], Optional[T]],
+    leq: Leq,
+) -> List[str]:
+    """Return violations of the join laws on the given sample pairs.
+
+    For every pair with a join: the join dominates both arguments and is
+    commutative; joining an element with itself is the identity.
+    """
+    violations: List[str] = []
+    for a, b in pairs:
+        ab = try_join(a, b)
+        ba = try_join(b, a)
+        if (ab is None) != (ba is None):
+            violations.append("consistency not symmetric on %r, %r" % (a, b))
+            continue
+        if ab is None:
+            continue
+        if ab != ba:
+            violations.append("join not commutative on %r, %r" % (a, b))
+        if not (leq(a, ab) and leq(b, ab)):
+            violations.append("join not an upper bound on %r, %r" % (a, b))
+    for a, __ in pairs:
+        aa = try_join(a, a)
+        if aa != a:
+            violations.append("join not idempotent on %r" % (a,))
+    return violations

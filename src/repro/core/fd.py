@@ -1,0 +1,353 @@
+"""Functional dependencies and keys over generalized relations.
+
+The paper notes that the domain-theoretic treatment of relations "allows
+us [to] derive the basic results of the theory of functional dependencies
+[Bune86]", and that in relational systems "the imposition of keys will
+also prevent comparable values (under ⊑) from coexisting in the same
+set": if Name is a key for Person, two comparable Person objects would
+necessarily share the key, so one of them must go.
+
+This module provides:
+
+* :class:`FunctionalDependency` — ``X → Y`` with a satisfaction test
+  against both flat and generalized relations (two objects *defined and
+  equal* on all of ``X`` must be *consistent* on every attribute of
+  ``Y``; on total flat rows this is the textbook definition);
+* Armstrong-axiom machinery — attribute-set closure, implication,
+  minimal-cover computation, and candidate-key search;
+* :class:`Key` — an insert-time constraint for generalized relations,
+  used by :class:`KeyedRelation`, which demonstrates the paper's point
+  that keys forbid comparable coexisting objects.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import (
+    AbstractSet,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.core.orders import PartialRecord, Value, from_python
+from repro.core.relation import GeneralizedRelation
+from repro.errors import KeyViolationError, RelationError
+
+
+class FunctionalDependency:
+    """A functional dependency ``X → Y`` over attribute names.
+
+    Immutable and hashable.  ``lhs`` and ``rhs`` are frozen attribute
+    sets; a dependency with an empty left-hand side constrains every pair
+    of objects.
+    """
+
+    __slots__ = ("_lhs", "_rhs")
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]):
+        self._lhs: FrozenSet[str] = frozenset(lhs)
+        self._rhs: FrozenSet[str] = frozenset(rhs)
+
+    @property
+    def lhs(self) -> FrozenSet[str]:
+        """The determining attribute set ``X``."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> FrozenSet[str]:
+        """The determined attribute set ``Y``."""
+        return self._rhs
+
+    def is_trivial(self) -> bool:
+        """``True`` when ``Y ⊆ X`` (implied by reflexivity alone)."""
+        return self._rhs <= self._lhs
+
+    def holds_in(self, relation: GeneralizedRelation) -> bool:
+        """Satisfaction against a generalized relation.
+
+        Two members defined and equal on every attribute of ``X`` must be
+        *consistent* (joinable) on each attribute of ``Y``.  Consistency,
+        not equality: a member undefined on some ``Y``-attribute does not
+        contradict a member that defines it — it merely carries less
+        information.  On total flat rows consistency collapses to
+        equality, recovering the classical definition.
+        """
+        members = [m for m in relation if isinstance(m, PartialRecord)]
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                if not _agree_on(first, second, self._lhs):
+                    continue
+                for attribute in self._rhs:
+                    a = first.get(attribute)
+                    b = second.get(attribute)
+                    if a is not None and b is not None and a.try_join(b) is None:
+                        return False
+        return True
+
+    def violating_pairs(
+        self, relation: GeneralizedRelation
+    ) -> List[Tuple[Value, Value]]:
+        """The member pairs witnessing a violation (empty when satisfied)."""
+        members = [m for m in relation if isinstance(m, PartialRecord)]
+        pairs = []
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                if not _agree_on(first, second, self._lhs):
+                    continue
+                for attribute in self._rhs:
+                    a = first.get(attribute)
+                    b = second.get(attribute)
+                    if a is not None and b is not None and a.try_join(b) is None:
+                        pairs.append((first, second))
+                        break
+        return pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return self._lhs == other._lhs and self._rhs == other._rhs
+
+    def __hash__(self) -> int:
+        return hash((FunctionalDependency, self._lhs, self._rhs))
+
+    def __repr__(self) -> str:
+        return "%s -> %s" % (sorted(self._lhs), sorted(self._rhs))
+
+
+def _agree_on(a: PartialRecord, b: PartialRecord, attributes: AbstractSet[str]) -> bool:
+    """Both records defined on all ``attributes`` with equal values."""
+    for attribute in attributes:
+        left = a.get(attribute)
+        right = b.get(attribute)
+        if left is None or right is None or left != right:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Armstrong-axiom machinery
+# ---------------------------------------------------------------------------
+
+
+def closure(
+    attributes: Iterable[str], dependencies: Iterable[FunctionalDependency]
+) -> FrozenSet[str]:
+    """The closure ``X+`` of an attribute set under a dependency set.
+
+    Standard fixpoint: repeatedly add the right-hand side of any
+    dependency whose left-hand side is already included.
+    """
+    result = set(attributes)
+    fds = list(dependencies)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= result and not fd.rhs <= result:
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def implies(
+    dependencies: Iterable[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Does the dependency set logically imply ``candidate``?
+
+    By the closure characterization: ``F ⊨ X → Y`` iff ``Y ⊆ X+``.
+    """
+    return candidate.rhs <= closure(candidate.lhs, dependencies)
+
+
+def equivalent(
+    first: Iterable[FunctionalDependency], second: Iterable[FunctionalDependency]
+) -> bool:
+    """Do two dependency sets imply each other?"""
+    first = list(first)
+    second = list(second)
+    return all(implies(first, fd) for fd in second) and all(
+        implies(second, fd) for fd in first
+    )
+
+
+def minimal_cover(
+    dependencies: Iterable[FunctionalDependency],
+) -> List[FunctionalDependency]:
+    """A minimal (canonical) cover of the dependency set.
+
+    Right-hand sides are split to singletons, extraneous left-hand-side
+    attributes removed, then redundant dependencies dropped.  The result
+    is equivalent to the input.
+    """
+    # Step 1: singleton right-hand sides.
+    singles: List[FunctionalDependency] = []
+    for fd in dependencies:
+        for attribute in sorted(fd.rhs):
+            singles.append(FunctionalDependency(fd.lhs, [attribute]))
+    # Step 2: remove extraneous LHS attributes.
+    trimmed: List[FunctionalDependency] = []
+    for fd in singles:
+        lhs = set(fd.lhs)
+        for attribute in sorted(fd.lhs):
+            reduced = lhs - {attribute}
+            if fd.rhs <= closure(reduced, singles):
+                lhs = reduced
+        trimmed.append(FunctionalDependency(lhs, fd.rhs))
+    # Step 3: drop redundant dependencies.
+    result = list(dict.fromkeys(trimmed))  # dedupe, keep order
+    changed = True
+    while changed:
+        changed = False
+        for fd in list(result):
+            rest = [other for other in result if other is not fd]
+            if implies(rest, fd):
+                result = rest
+                changed = True
+                break
+    return result
+
+
+def candidate_keys(
+    attributes: Iterable[str], dependencies: Iterable[FunctionalDependency]
+) -> List[FrozenSet[str]]:
+    """All minimal attribute sets whose closure is the full attribute set.
+
+    Exponential in the attribute count; intended for the modest schemas
+    of tests and examples.
+    """
+    universe = tuple(sorted(set(attributes)))
+    fds = list(dependencies)
+    keys: List[FrozenSet[str]] = []
+    for size in range(len(universe) + 1):
+        for subset in combinations(universe, size):
+            candidate = frozenset(subset)
+            if any(key <= candidate for key in keys):
+                continue
+            if closure(candidate, fds) >= frozenset(universe):
+                keys.append(candidate)
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# Keys as insert-time constraints
+# ---------------------------------------------------------------------------
+
+
+class Key:
+    """A key constraint: members must be total and pairwise distinct on it.
+
+    The paper: "If we want to maintain the natural identity of tuples we
+    usually impose natural or artificial key attributes...  the imposition
+    of keys will also prevent comparable values (under ⊑) from coexisting
+    in the same set."
+    """
+
+    __slots__ = ("_attributes",)
+
+    def __init__(self, attributes: Iterable[str]):
+        self._attributes: FrozenSet[str] = frozenset(attributes)
+        if not self._attributes:
+            raise RelationError("a key needs at least one attribute")
+
+    @property
+    def attributes(self) -> FrozenSet[str]:
+        """The key attribute set."""
+        return self._attributes
+
+    def key_of(self, obj: Value) -> Tuple[Tuple[str, Value], ...]:
+        """The key projection of ``obj``; raises if ``obj`` is partial on it."""
+        if not isinstance(obj, PartialRecord):
+            raise KeyViolationError(
+                "key %r requires record objects, got %r" % (sorted(self._attributes), obj)
+            )
+        pairs = []
+        for attribute in sorted(self._attributes):
+            value = obj.get(attribute)
+            if value is None:
+                raise KeyViolationError(
+                    "object %r is undefined on key attribute %r" % (obj, attribute),
+                    key=self,
+                    offered=obj,
+                )
+            pairs.append((attribute, value))
+        return tuple(pairs)
+
+    def check_insert(self, relation: GeneralizedRelation, obj: object) -> Value:
+        """Validate that inserting ``obj`` preserves the key; return the value.
+
+        Raises :class:`KeyViolationError` when ``obj`` is partial on the
+        key or an *incomparable* member already holds the same key value.
+        A comparable member is fine — insertion will subsume it, which is
+        exactly how a keyed relation updates in place.
+        """
+        value = from_python(obj)
+        offered_key = self.key_of(value)
+        for member in relation:
+            if self.key_of(member) != offered_key:
+                continue
+            if member.leq(value) or value.leq(member):
+                continue  # comparable: subsumption handles it
+            raise KeyViolationError(
+                "key %r already bound by %r; cannot insert incomparable %r"
+                % (sorted(self._attributes), member, value),
+                key=self,
+                existing=member,
+                offered=value,
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return "Key(%s)" % ", ".join(sorted(self._attributes))
+
+
+class KeyedRelation:
+    """A generalized relation guarded by a :class:`Key`.
+
+    Inserting an object that shares its key with a comparable member
+    subsumes that member (an update); sharing a key with an incomparable
+    member raises.  Members must always be total on the key, so no two
+    comparable objects can coexist — the incompatibility with
+    object-oriented identity the paper describes.
+    """
+
+    __slots__ = ("_key", "_relation")
+
+    def __init__(self, key: Key, relation: Optional[GeneralizedRelation] = None):
+        self._key = key
+        base = relation if relation is not None else GeneralizedRelation()
+        for member in base:
+            key.key_of(member)  # validate totality on the key
+        self._relation = base
+
+    @property
+    def key(self) -> Key:
+        """The guarding key."""
+        return self._key
+
+    @property
+    def relation(self) -> GeneralizedRelation:
+        """The underlying generalized relation."""
+        return self._relation
+
+    def insert(self, obj: object) -> "KeyedRelation":
+        """Key-checked insert, returning the new keyed relation."""
+        value = self._key.check_insert(self._relation, obj)
+        return KeyedRelation(self._key, self._relation.insert(value))
+
+    def lookup(self, **key_fields) -> Optional[Value]:
+        """Find the member with the given key value, if any."""
+        probe = from_python(dict(key_fields))
+        wanted = self._key.key_of(probe)
+        for member in self._relation:
+            if self._key.key_of(member) == wanted:
+                return member
+        return None
+
+    def __iter__(self):
+        return iter(self._relation)
+
+    def __len__(self) -> int:
+        return len(self._relation)

@@ -1,0 +1,158 @@
+"""Ordered secondary indexes over flat relations, and an indexed catalog.
+
+The E1 experiment showed what an index buys a *heterogeneous* store;
+this module is the flat-relation counterpart: a sorted attribute index
+supporting equality and range lookups in logarithmic time, and a
+:class:`Catalog` the query optimizer consults to turn sargable
+selections over base tables into :class:`~repro.core.query.IndexScan`
+nodes.
+
+Indexes are built once over an immutable :class:`FlatRelation`; the
+relational world here is value-oriented, so "updating" a relation means
+binding a new one (and re-indexing), exactly like every other value.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.flat import FlatRelation
+from repro.errors import RelationError
+
+
+class SortedIndex:
+    """A sorted index on one attribute of a flat relation.
+
+    Supports ``lookup_eq`` and ``lookup_range`` (both ends optional,
+    inclusive/exclusive), returning rows as attribute→value dicts.
+    Mixed-type attribute values are ordered by (type name, value) so the
+    sort is total even when ints and strings share a column.
+    """
+
+    __slots__ = ("_attribute", "_schema", "_keys", "_rows")
+
+    def __init__(self, relation: FlatRelation, attribute: str):
+        if attribute not in relation.schema:
+            raise RelationError(
+                "cannot index %r: not in schema %r"
+                % (attribute, relation.schema)
+            )
+        self._attribute = attribute
+        self._schema = relation.schema
+        pairs = sorted(
+            ((self._key(row[attribute]), row) for row in relation),
+            key=lambda pair: pair[0],
+        )
+        self._keys = [key for key, __ in pairs]
+        self._rows = [row for __, row in pairs]
+
+    @staticmethod
+    def _key(value) -> Tuple[str, object]:
+        # bool sorts as its own type, not as int
+        return (type(value).__name__, value)
+
+    @property
+    def attribute(self) -> str:
+        """The indexed attribute."""
+        return self._attribute
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def lookup_eq(self, value) -> List[Dict[str, object]]:
+        """All rows whose indexed attribute equals ``value``."""
+        key = self._key(value)
+        low = bisect_left(self._keys, key)
+        high = bisect_right(self._keys, key)
+        return [dict(row) for row in self._rows[low:high]]
+
+    def lookup_range(
+        self,
+        low=None,
+        high=None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> List[Dict[str, object]]:
+        """All rows with the indexed attribute in the given range."""
+        start = 0
+        end = len(self._rows)
+        if low is not None:
+            key = self._key(low)
+            start = (
+                bisect_left(self._keys, key)
+                if low_inclusive
+                else bisect_right(self._keys, key)
+            )
+        if high is not None:
+            key = self._key(high)
+            end = (
+                bisect_right(self._keys, key)
+                if high_inclusive
+                else bisect_left(self._keys, key)
+            )
+        return [dict(row) for row in self._rows[start:end]]
+
+    def select(self, op: str, operand) -> FlatRelation:
+        """Rows satisfying ``attribute <op> operand`` as a relation."""
+        if op == "==":
+            rows: Iterable = self.lookup_eq(operand)
+        elif op == "<":
+            rows = self.lookup_range(high=operand, high_inclusive=False)
+        elif op == "<=":
+            rows = self.lookup_range(high=operand)
+        elif op == ">":
+            rows = self.lookup_range(low=operand, low_inclusive=False)
+        elif op == ">=":
+            rows = self.lookup_range(low=operand)
+        else:
+            raise RelationError("index cannot answer operator %r" % op)
+        return FlatRelation(self._schema, rows)
+
+
+class Catalog:
+    """Named relations plus their secondary indexes.
+
+    Quacks like the plain ``Mapping[str, FlatRelation]`` the query
+    executor expects, and additionally answers :meth:`index_on`, which
+    the optimizer uses to plant :class:`~repro.core.query.IndexScan`
+    nodes.
+    """
+
+    def __init__(self, relations: Optional[Mapping[str, FlatRelation]] = None):
+        self._relations: Dict[str, FlatRelation] = dict(relations or {})
+        self._indexes: Dict[Tuple[str, str], SortedIndex] = {}
+
+    def __getitem__(self, name: str) -> FlatRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations)
+
+    def bind(self, name: str, relation: FlatRelation) -> None:
+        """(Re)bind a relation; its old indexes are dropped."""
+        self._relations[name] = relation
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def create_index(self, name: str, attribute: str) -> SortedIndex:
+        """Build (or rebuild) a sorted index on ``name.attribute``."""
+        if name not in self._relations:
+            raise RelationError("catalog has no relation %r" % name)
+        index = SortedIndex(self._relations[name], attribute)
+        self._indexes[(name, attribute)] = index
+        return index
+
+    def index_on(self, name: str, attribute: str) -> Optional[SortedIndex]:
+        """The index for ``name.attribute``, if one was created."""
+        return self._indexes.get((name, attribute))
+
+    def indexes(self) -> List[Tuple[str, str]]:
+        """The (relation, attribute) pairs currently indexed."""
+        return sorted(self._indexes)

@@ -1,0 +1,241 @@
+"""Relational design theory over functional dependencies.
+
+The paper points to [Bune86]: the domain-theoretic treatment of
+relations "allows us [to] derive the basic results of the theory of
+functional dependencies".  This module supplies those basic results in
+executable form — the machinery a database programming language's
+schema designer needs on top of :mod:`repro.core.fd`:
+
+* projection of a dependency set onto a sub-schema;
+* BCNF: violation detection and lossless decomposition;
+* 3NF: detection and the synthesis algorithm (via minimal cover);
+* the chase test for lossless joins;
+* dependency preservation of a decomposition.
+
+All algorithms are the textbook ones, written for the modest schema
+sizes of examples and tests (several are exponential in attribute
+count by nature).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence
+
+from repro.core.fd import (
+    FunctionalDependency,
+    candidate_keys,
+    closure,
+    implies,
+    minimal_cover,
+)
+
+Attributes = FrozenSet[str]
+
+
+def project_fds(
+    dependencies: Iterable[FunctionalDependency], attributes: Iterable[str]
+) -> List[FunctionalDependency]:
+    """The projection of a dependency set onto ``attributes``.
+
+    Standard construction: for every subset X of the target attributes,
+    emit ``X → (X+ ∩ attributes)``; non-trivial results only, then
+    reduce to a minimal cover.  Exponential in ``len(attributes)``.
+    """
+    target = frozenset(attributes)
+    fds = list(dependencies)
+    projected: List[FunctionalDependency] = []
+    members = sorted(target)
+    for size in range(1, len(members) + 1):
+        for subset in combinations(members, size):
+            lhs = frozenset(subset)
+            rhs = closure(lhs, fds) & target - lhs
+            if rhs:
+                projected.append(FunctionalDependency(lhs, rhs))
+    return minimal_cover(projected)
+
+
+def is_superkey(
+    candidate: Iterable[str],
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+) -> bool:
+    """Does ``candidate`` functionally determine every attribute?"""
+    return closure(candidate, dependencies) >= frozenset(attributes)
+
+
+def bcnf_violations(
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+) -> List[FunctionalDependency]:
+    """The non-trivial dependencies whose left side is not a superkey."""
+    universe = frozenset(attributes)
+    fds = list(dependencies)
+    violations = []
+    for fd in fds:
+        if fd.is_trivial():
+            continue
+        if not is_superkey(fd.lhs, universe, fds):
+            violations.append(fd)
+    return violations
+
+
+def is_bcnf(
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+) -> bool:
+    """Boyce–Codd normal form: every determinant is a superkey."""
+    return not bcnf_violations(attributes, dependencies)
+
+
+def bcnf_decompose(
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+) -> List[Attributes]:
+    """A lossless BCNF decomposition (the classic recursive algorithm).
+
+    Splits on a violating ``X → Y`` into ``X+`` and ``X ∪ (R − X+)``,
+    projecting the dependencies into each half.  The result is always
+    lossless; dependency preservation is not guaranteed (check it with
+    :func:`preserves_dependencies`).
+    """
+    universe = frozenset(attributes)
+    fds = list(dependencies)
+    violations = bcnf_violations(universe, fds)
+    if not violations:
+        return [universe]
+    offender = violations[0]
+    left = closure(offender.lhs, fds)
+    right = frozenset(offender.lhs) | (universe - left)
+    pieces: List[Attributes] = []
+    for piece in (left & universe, right):
+        pieces.extend(bcnf_decompose(piece, project_fds(fds, piece)))
+    # Drop pieces subsumed by others (can arise from overlapping splits).
+    reduced: List[Attributes] = []
+    for piece in sorted(pieces, key=len, reverse=True):
+        if not any(piece <= kept for kept in reduced):
+            reduced.append(piece)
+    return reduced
+
+
+def is_3nf(
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+) -> bool:
+    """Third normal form: every violating RHS attribute is prime.
+
+    For each non-trivial ``X → A`` with X not a superkey, A must belong
+    to some candidate key.
+    """
+    universe = frozenset(attributes)
+    fds = list(dependencies)
+    prime = frozenset().union(*candidate_keys(universe, fds)) if universe else frozenset()
+    for fd in fds:
+        if fd.is_trivial() or is_superkey(fd.lhs, universe, fds):
+            continue
+        for attribute in fd.rhs - fd.lhs:
+            if attribute not in prime:
+                return False
+    return True
+
+
+def synthesize_3nf(
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+) -> List[Attributes]:
+    """Bernstein's 3NF synthesis: schemas from a minimal cover.
+
+    Groups cover dependencies by left-hand side into schemas, adds a
+    candidate-key schema when none contains one, and drops schemas
+    contained in others.  The result is lossless and
+    dependency-preserving by construction.
+    """
+    universe = frozenset(attributes)
+    fds = list(dependencies)
+    cover = minimal_cover(fds)
+    grouped = {}
+    for fd in cover:
+        grouped.setdefault(fd.lhs, set()).update(fd.rhs)
+    schemas: List[Attributes] = [
+        frozenset(lhs | rhs) for lhs, rhs in grouped.items()
+    ]
+    # Attributes mentioned in no dependency still need a home.
+    mentioned = frozenset().union(*schemas) if schemas else frozenset()
+    orphans = universe - mentioned
+    if orphans:
+        schemas.append(orphans)
+    # Ensure some schema contains a candidate key of the whole relation.
+    keys = candidate_keys(universe, fds)
+    if not any(any(key <= schema for key in keys) for schema in schemas):
+        schemas.append(keys[0])
+    # Remove schemas contained in others.
+    reduced: List[Attributes] = []
+    for schema in sorted(schemas, key=len, reverse=True):
+        if not any(schema <= kept for kept in reduced):
+            reduced.append(schema)
+    return reduced
+
+
+def is_lossless(
+    attributes: Iterable[str],
+    dependencies: Iterable[FunctionalDependency],
+    decomposition: Sequence[Iterable[str]],
+) -> bool:
+    """The chase test for a lossless join.
+
+    Builds the tableau with one row per decomposition piece
+    (distinguished symbols on the piece's attributes), chases the
+    dependencies to fixpoint, and succeeds iff some row becomes all
+    distinguished.
+    """
+    universe = tuple(sorted(frozenset(attributes)))
+    pieces = [frozenset(piece) for piece in decomposition]
+    fds = list(dependencies)
+
+    # Symbols: 0 = distinguished; (i, a) = subscripted variable.
+    tableau: List[dict] = []
+    for i, piece in enumerate(pieces):
+        row = {}
+        for attribute in universe:
+            row[attribute] = 0 if attribute in piece else (i, attribute)
+        tableau.append(row)
+
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            for i, first in enumerate(tableau):
+                for second in tableau[i + 1:]:
+                    if any(first[a] != second[a] for a in fd.lhs):
+                        continue
+                    for attribute in fd.rhs:
+                        a_val, b_val = first[attribute], second[attribute]
+                        if a_val == b_val:
+                            continue
+                        # Equate: prefer the distinguished symbol, else
+                        # the lexicographically smaller variable.
+                        keep = (
+                            0
+                            if 0 in (a_val, b_val)
+                            else min(a_val, b_val, key=repr)
+                        )
+                        drop = b_val if keep == a_val else a_val
+                        for row in tableau:
+                            if row[attribute] == drop:
+                                row[attribute] = keep
+                        changed = True
+    return any(
+        all(row[attribute] == 0 for attribute in universe) for row in tableau
+    )
+
+
+def preserves_dependencies(
+    dependencies: Iterable[FunctionalDependency],
+    decomposition: Sequence[Iterable[str]],
+) -> bool:
+    """Is every original dependency implied by the projections' union?"""
+    fds = list(dependencies)
+    union: List[FunctionalDependency] = []
+    for piece in decomposition:
+        union.extend(project_fds(fds, piece))
+    return all(implies(union, fd) for fd in fds)

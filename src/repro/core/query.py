@@ -1,0 +1,476 @@
+"""Relational query plans and an algebraic optimizer.
+
+The paper observes that relational database programming routinely
+"creates an intermediate, transient relation in order to simplify or
+optimize some larger computation".  This module makes those
+computations first-class: queries over the flat algebra are *plans* —
+trees of scans, selections, projections, and joins — that can be
+inspected, rewritten, and executed against a catalog of relations.
+
+The optimizer applies the textbook algebraic rewrites:
+
+* cascade and merge selections;
+* push selections below joins (to the side holding the attributes);
+* push projections down, keeping the attributes later operators need;
+* order join inputs by estimated cardinality (smaller build side).
+
+Plans are immutable; ``optimize`` returns a new plan that computes the
+same relation (a property the test suite checks on random plans and
+catalogs), and the E9 benchmark measures the speedup.
+
+Predicates are restricted to conjunctions of *atomic comparisons* so
+the optimizer can reason about them — exactly the restriction real
+optimizers impose on sargable conditions::
+
+    plan = (scan("emp")
+            .join(scan("dept"))
+            .where(eq("Dept", "Sales"), lt("Salary", 50)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.core.flat import FlatRelation
+from repro.core.orders import AtomPayload
+from repro.errors import RelationError
+
+
+# ---------------------------------------------------------------------------
+# Predicates (sargable conditions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An atomic comparison ``attribute <op> constant`` or attr=attr."""
+
+    op: str  # '==', '!=', '<', '<=', '>', '>=', 'attr=='
+    attribute: str
+    operand: object  # a constant, or the other attribute for 'attr=='
+
+    def attributes(self) -> FrozenSet[str]:
+        """The attributes this predicate mentions."""
+        if self.op == "attr==":
+            return frozenset({self.attribute, str(self.operand)})
+        return frozenset({self.attribute})
+
+    def evaluate(self, row: Mapping[str, AtomPayload]) -> bool:
+        """Apply to one row (attribute→value mapping)."""
+        left = row[self.attribute]
+        right = row[str(self.operand)] if self.op == "attr==" else self.operand
+        if self.op in ("==", "attr=="):
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        raise RelationError("unknown predicate operator %r" % self.op)
+
+    def __str__(self) -> str:
+        if self.op == "attr==":
+            return "%s = %s" % (self.attribute, self.operand)
+        return "%s %s %r" % (self.attribute, self.op, self.operand)
+
+
+def eq(attribute: str, constant: object) -> Predicate:
+    """``attribute == constant``"""
+    return Predicate("==", attribute, constant)
+
+
+def ne(attribute: str, constant: object) -> Predicate:
+    """``attribute != constant``"""
+    return Predicate("!=", attribute, constant)
+
+
+def lt(attribute: str, constant: object) -> Predicate:
+    """``attribute < constant``"""
+    return Predicate("<", attribute, constant)
+
+
+def le(attribute: str, constant: object) -> Predicate:
+    """``attribute <= constant``"""
+    return Predicate("<=", attribute, constant)
+
+
+def gt(attribute: str, constant: object) -> Predicate:
+    """``attribute > constant``"""
+    return Predicate(">", attribute, constant)
+
+
+def ge(attribute: str, constant: object) -> Predicate:
+    """``attribute >= constant``"""
+    return Predicate(">=", attribute, constant)
+
+
+def attr_eq(left: str, right: str) -> Predicate:
+    """``left = right`` between two attributes of one row."""
+    return Predicate("attr==", left, right)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+class Plan:
+    """Abstract base of query plans (immutable trees)."""
+
+    def where(self, *predicates: Predicate) -> "Plan":
+        """Filter by the conjunction of ``predicates``."""
+        plan: Plan = self
+        for predicate in predicates:
+            plan = Select(predicate, plan)
+        return plan
+
+    def project(self, attributes: Iterable[str]) -> "Plan":
+        """Keep only ``attributes``."""
+        return Project(tuple(attributes), self)
+
+    def join(self, other: "Plan") -> "Plan":
+        """Natural join with another plan."""
+        return Join(self, other)
+
+    # Subclasses provide: schema(catalog), execute(catalog), estimate(catalog)
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Read a named relation from the catalog."""
+
+    name: str
+
+    def schema(self, catalog) -> Tuple[str, ...]:
+        return _relation(catalog, self.name).schema
+
+    def execute(self, catalog) -> FlatRelation:
+        return _relation(catalog, self.name)
+
+    def estimate(self, catalog) -> float:
+        return float(len(_relation(catalog, self.name)))
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    """Filter the child by one atomic predicate."""
+
+    predicate: Predicate
+    child: Plan
+
+    def schema(self, catalog) -> Tuple[str, ...]:
+        schema = self.child.schema(catalog)
+        missing = self.predicate.attributes() - set(schema)
+        if missing:
+            raise RelationError(
+                "selection on %s: attributes %r not in schema %r"
+                % (self.predicate, sorted(missing), schema)
+            )
+        return schema
+
+    def execute(self, catalog) -> FlatRelation:
+        self.schema(catalog)  # validate
+        return self.child.execute(catalog).select(self.predicate.evaluate)
+
+    def estimate(self, catalog) -> float:
+        selectivity = 0.1 if self.predicate.op in ("==", "attr==") else 0.5
+        return self.child.estimate(catalog) * selectivity
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Keep only the named attributes of the child."""
+
+    attributes: Tuple[str, ...]
+    child: Plan
+
+    def schema(self, catalog) -> Tuple[str, ...]:
+        child_schema = self.child.schema(catalog)
+        missing = set(self.attributes) - set(child_schema)
+        if missing:
+            raise RelationError(
+                "projection onto %r: not in schema %r"
+                % (sorted(missing), child_schema)
+            )
+        return self.attributes
+
+    def execute(self, catalog) -> FlatRelation:
+        return self.child.execute(catalog).project(self.attributes)
+
+    def estimate(self, catalog) -> float:
+        return self.child.estimate(catalog)
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Natural join of two children."""
+
+    left: Plan
+    right: Plan
+
+    def schema(self, catalog) -> Tuple[str, ...]:
+        left_schema = self.left.schema(catalog)
+        right_schema = self.right.schema(catalog)
+        return left_schema + tuple(
+            a for a in right_schema if a not in left_schema
+        )
+
+    def execute(self, catalog) -> FlatRelation:
+        return self.left.execute(catalog).natural_join(
+            self.right.execute(catalog)
+        )
+
+    def estimate(self, catalog) -> float:
+        left = self.left.estimate(catalog)
+        right = self.right.estimate(catalog)
+        shared = set(self.left.schema(catalog)) & set(self.right.schema(catalog))
+        # Crude: a shared key divides the cross product by ~max side.
+        if shared:
+            return max(left, right, 1.0)
+        return left * right
+
+
+@dataclass(frozen=True)
+class IndexScan(Plan):
+    """Answer a sargable selection from a sorted index.
+
+    Produced by the optimizer when the catalog (a
+    :class:`~repro.core.index.Catalog`) has an index on the selection's
+    attribute; plain-dict catalogs never yield these.
+    """
+
+    name: str
+    predicate: Predicate
+
+    def schema(self, catalog) -> Tuple[str, ...]:
+        schema = _relation(catalog, self.name).schema
+        if self.predicate.attribute not in schema:
+            raise RelationError(
+                "index scan on %s: %r not in schema %r"
+                % (self.name, self.predicate.attribute, schema)
+            )
+        return schema
+
+    def execute(self, catalog) -> FlatRelation:
+        index = getattr(catalog, "index_on", lambda *a: None)(
+            self.name, self.predicate.attribute
+        )
+        if index is None:
+            # Defensive: the catalog lost its index; fall back to a scan.
+            return Scan(self.name).execute(catalog).select(
+                self.predicate.evaluate
+            )
+        return index.select(self.predicate.op, self.predicate.operand)
+
+    def estimate(self, catalog) -> float:
+        selectivity = 0.1 if self.predicate.op == "==" else 0.5
+        return float(len(_relation(catalog, self.name))) * selectivity
+
+
+def scan(name: str) -> Scan:
+    """A catalog scan (entry point of the fluent plan builders)."""
+    return Scan(name)
+
+
+def _relation(catalog, name: str) -> FlatRelation:
+    try:
+        return catalog[name]
+    except KeyError:
+        raise RelationError("catalog has no relation %r" % (name,)) from None
+
+
+# ---------------------------------------------------------------------------
+# The optimizer
+# ---------------------------------------------------------------------------
+
+
+def optimize(plan: Plan, catalog) -> Plan:
+    """Rewrite ``plan`` into an equivalent, usually cheaper plan."""
+    plan = _push_selections(plan, catalog)
+    plan = _use_indexes(plan, catalog)
+    plan = _order_joins(plan, catalog)
+    plan = _push_projections(plan, catalog, needed=None)
+    return plan
+
+
+_SARGABLE_OPS = ("==", "<", "<=", ">", ">=")
+
+
+def _use_indexes(plan: Plan, catalog) -> Plan:
+    """Rewrite ``Select(sargable, Scan)`` into an ``IndexScan``.
+
+    Runs after selection pushdown so selections sit directly on their
+    base tables.  Only catalogs exposing ``index_on`` participate.
+    """
+    index_on = getattr(catalog, "index_on", None)
+    if isinstance(plan, Select):
+        child = _use_indexes(plan.child, catalog)
+        if (
+            index_on is not None
+            and isinstance(child, Scan)
+            and plan.predicate.op in _SARGABLE_OPS
+            and index_on(child.name, plan.predicate.attribute) is not None
+        ):
+            return IndexScan(child.name, plan.predicate)
+        return Select(plan.predicate, child)
+    if isinstance(plan, Project):
+        return Project(plan.attributes, _use_indexes(plan.child, catalog))
+    if isinstance(plan, Join):
+        return Join(
+            _use_indexes(plan.left, catalog), _use_indexes(plan.right, catalog)
+        )
+    return plan
+
+
+def _push_selections(plan: Plan, catalog) -> Plan:
+    if isinstance(plan, Select):
+        child = _push_selections(plan.child, catalog)
+        return _sink_select(plan.predicate, child, catalog)
+    if isinstance(plan, Project):
+        return Project(plan.attributes, _push_selections(plan.child, catalog))
+    if isinstance(plan, Join):
+        return Join(
+            _push_selections(plan.left, catalog),
+            _push_selections(plan.right, catalog),
+        )
+    return plan
+
+
+def _sink_select(predicate: Predicate, plan: Plan, catalog) -> Plan:
+    """Push one selection as deep as its attributes allow."""
+    needed = predicate.attributes()
+    if isinstance(plan, Join):
+        left_schema = set(plan.left.schema(catalog))
+        right_schema = set(plan.right.schema(catalog))
+        if needed <= left_schema:
+            return Join(_sink_select(predicate, plan.left, catalog), plan.right)
+        if needed <= right_schema:
+            return Join(plan.left, _sink_select(predicate, plan.right, catalog))
+        return Select(predicate, plan)
+    if isinstance(plan, Select):
+        # Commute below an existing selection when possible (keeps the
+        # cheaper equality tests innermost is out of scope; just sink).
+        return Select(
+            plan.predicate, _sink_select(predicate, plan.child, catalog)
+        )
+    if isinstance(plan, Project):
+        if needed <= set(plan.attributes):
+            return Project(
+                plan.attributes, _sink_select(predicate, plan.child, catalog)
+            )
+        return Select(predicate, plan)
+    return Select(predicate, plan)
+
+
+def _order_joins(plan: Plan, catalog) -> Plan:
+    if isinstance(plan, Join):
+        left = _order_joins(plan.left, catalog)
+        right = _order_joins(plan.right, catalog)
+        if left.estimate(catalog) > right.estimate(catalog):
+            left, right = right, left  # smaller side first (build side)
+        return Join(left, right)
+    if isinstance(plan, Select):
+        return Select(plan.predicate, _order_joins(plan.child, catalog))
+    if isinstance(plan, Project):
+        return Project(plan.attributes, _order_joins(plan.child, catalog))
+    return plan
+
+
+def _push_projections(
+    plan: Plan, catalog, needed: Optional[FrozenSet[str]]
+) -> Plan:
+    """Insert projections so operators see only the attributes required.
+
+    ``needed`` is what the parent requires (``None`` = everything).
+    """
+    if isinstance(plan, Project):
+        return Project(
+            plan.attributes,
+            _push_projections(
+                plan.child, catalog, frozenset(plan.attributes)
+            ),
+        )
+    if isinstance(plan, Select):
+        child_needed = (
+            None
+            if needed is None
+            else needed | plan.predicate.attributes()
+        )
+        return Select(
+            plan.predicate,
+            _push_projections(plan.child, catalog, child_needed),
+        )
+    if isinstance(plan, Join):
+        left_schema = frozenset(plan.left.schema(catalog))
+        right_schema = frozenset(plan.right.schema(catalog))
+        join_attrs = left_schema & right_schema
+        if needed is None:
+            left_needed = None
+            right_needed = None
+        else:
+            left_needed = (needed | join_attrs) & left_schema
+            right_needed = (needed | join_attrs) & right_schema
+        return Join(
+            _maybe_project(
+                _push_projections(plan.left, catalog, left_needed),
+                left_needed,
+                left_schema,
+            ),
+            _maybe_project(
+                _push_projections(plan.right, catalog, right_needed),
+                right_needed,
+                right_schema,
+            ),
+        )
+    if isinstance(plan, Scan) and needed is not None:
+        schema = frozenset(plan.schema(catalog))
+        if needed < schema:
+            return Project(tuple(sorted(needed)), plan)
+    return plan
+
+
+def _maybe_project(plan: Plan, needed, schema) -> Plan:
+    if needed is None or needed >= schema:
+        return plan
+    if isinstance(plan, Project) and set(plan.attributes) <= needed:
+        return plan
+    return Project(tuple(sorted(needed)), plan)
+
+
+# ---------------------------------------------------------------------------
+# Introspection
+# ---------------------------------------------------------------------------
+
+
+def explain(plan: Plan, indent: int = 0) -> str:
+    """An indented rendering of the plan tree."""
+    pad = "  " * indent
+    if isinstance(plan, Scan):
+        return "%sScan(%s)" % (pad, plan.name)
+    if isinstance(plan, Select):
+        return "%sSelect[%s]\n%s" % (
+            pad,
+            plan.predicate,
+            explain(plan.child, indent + 1),
+        )
+    if isinstance(plan, Project):
+        return "%sProject[%s]\n%s" % (
+            pad,
+            ", ".join(plan.attributes),
+            explain(plan.child, indent + 1),
+        )
+    if isinstance(plan, Join):
+        return "%sJoin\n%s\n%s" % (
+            pad,
+            explain(plan.left, indent + 1),
+            explain(plan.right, indent + 1),
+        )
+    if isinstance(plan, IndexScan):
+        return "%sIndexScan(%s)[%s]" % (pad, plan.name, plan.predicate)
+    return "%s%r" % (pad, plan)

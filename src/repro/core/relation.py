@@ -1,0 +1,318 @@
+"""Generalized relations: cochains of partial objects, and their join.
+
+The paper: "We shall call a set of objects R a (generalized) relation if
+whenever o1, o2 ∈ R then neither o1 ⊑ o2 nor o2 ⊑ o1 hold (sets with this
+property are called cochains in the jargon of lattice theory)."
+
+Insertion therefore *subsumes*: an object already dominated by a member is
+not admitted, and an object dominating members replaces them.  Relations
+are ordered by
+
+    R ⊑ R'  iff  for every object o' in R' there is an o in R with o ⊑ o'
+
+("every object in R' is more informative than some object in R"), and the
+join under this ordering generalizes the natural join of flat relations —
+the paper's Figure 1.  Projection restricts every member to a label set
+and re-reduces to a cochain.
+
+:class:`GeneralizedRelation` is immutable; every operation returns a new
+relation.  A thin mutable façade (:class:`RelationBuilder`) is provided
+for bulk loading in benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core import cpo
+from repro.core.orders import PartialRecord, Value, from_python, leq, try_join
+from repro.errors import RelationError
+
+
+class GeneralizedRelation:
+    """An immutable cochain of mutually incomparable partial objects.
+
+    Construct from any iterable of :class:`Value` (or plain Python dicts,
+    which are converted); comparable inputs are reduced so that only the
+    maximal (most informative) ones survive::
+
+        >>> r = GeneralizedRelation([{'Name': 'J Doe'},
+        ...                          {'Name': 'J Doe', 'Dept': 'Sales'}])
+        >>> len(r)
+        1
+    """
+
+    __slots__ = ("_objects",)
+
+    def __init__(self, objects: Iterable[object] = ()):
+        values = [from_python(o) for o in objects]
+        reduced = cpo.maximal_elements(values, leq)
+        # Deterministic iteration order: sort by repr.  Objects are
+        # heterogeneous partial records, so no natural key exists.
+        self._objects: Tuple[Value, ...] = tuple(sorted(reduced, key=repr))
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, obj: object) -> bool:
+        value = from_python(obj)
+        return value in self._objects
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedRelation):
+            return NotImplemented
+        return set(self._objects) == set(other._objects)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._objects))
+
+    def __repr__(self) -> str:
+        inner = ",\n ".join(repr(o) for o in self._objects)
+        return "GeneralizedRelation(\n %s\n)" % inner if self._objects else (
+            "GeneralizedRelation()"
+        )
+
+    @property
+    def objects(self) -> Tuple[Value, ...]:
+        """The member objects, in deterministic order."""
+        return self._objects
+
+    # -- membership-with-subsumption -------------------------------------------
+
+    def admits(self, obj: object) -> bool:
+        """Would inserting ``obj`` change the relation?
+
+        ``False`` when some member already carries at least as much
+        information as ``obj``.
+        """
+        value = from_python(obj)
+        return not any(leq(value, member) for member in self._objects)
+
+    def subsumed_by(self, obj: object) -> Tuple[Value, ...]:
+        """The members that inserting ``obj`` would subsume (replace)."""
+        value = from_python(obj)
+        return tuple(m for m in self._objects if leq(m, value) and m != value)
+
+    def insert(self, obj: object) -> "GeneralizedRelation":
+        """Insert with subsumption, returning the new relation.
+
+        "We will not admit an object o into a relation R if there is
+        already an object in R which contains as much information as o,
+        and if it is more informative than objects already in R, we will
+        subsume those objects in R."
+        """
+        value = from_python(obj)
+        if not self.admits(value):
+            return self
+        survivors = [m for m in self._objects if not leq(m, value)]
+        survivors.append(value)
+        return _from_cochain(survivors)
+
+    def remove(self, obj: object) -> "GeneralizedRelation":
+        """Remove an exact member; raise :class:`RelationError` if absent."""
+        value = from_python(obj)
+        if value not in self._objects:
+            raise RelationError("%r is not a member of the relation" % (value,))
+        return _from_cochain([m for m in self._objects if m != value])
+
+    # -- the ordering on relations ---------------------------------------------
+
+    def leq(self, other: "GeneralizedRelation") -> bool:
+        """``R ⊑ R'``: every object of ``other`` dominates one of ours."""
+        return all(
+            any(leq(mine, theirs) for mine in self._objects)
+            for theirs in other._objects
+        )
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedRelation):
+            return NotImplemented
+        return self.leq(other)
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedRelation):
+            return NotImplemented
+        return other.leq(self)
+
+    # -- algebra -----------------------------------------------------------------
+
+    def join(self, other: "GeneralizedRelation") -> "GeneralizedRelation":
+        """The generalized natural join (the paper's Figure 1).
+
+        Every pairwise-consistent combination contributes its object-level
+        join; the result is reduced to its maximal elements so it is again
+        a cochain.  On flat 1NF inputs this coincides with the classical
+        natural join (see :mod:`repro.core.flat` and the E4 benchmark).
+
+        Order-theoretically the result is an upper bound of both operands
+        under ``⊑`` (each member dominates a member of each operand); the
+        paper's sources ([AitK84], [Bans86]) work in lattices where it is
+        the least one, but over arbitrary cochains least upper bounds need
+        not exist, so we claim (and test) only the bound property.
+        """
+        joined: List[Value] = []
+        for mine in self._objects:
+            for theirs in other._objects:
+                combined = try_join(mine, theirs)
+                if combined is not None:
+                    joined.append(combined)
+        return GeneralizedRelation(joined)
+
+    def meet(self, other: "GeneralizedRelation") -> "GeneralizedRelation":
+        """The greatest lower bound under ``⊑``.
+
+        ``R ⊓ R'`` must lie below both: every object of either operand
+        must dominate one of its members.  The greatest such cochain is
+        the *minimal*-element reduction of ``R ∪ R'`` (note: minimal, not
+        maximal — keeping a dominating member instead of the dominated one
+        would leave the dominated object with nothing below it).
+        """
+        reduced = cpo.minimal_elements(self._objects + other._objects, leq)
+        return _from_cochain(reduced)
+
+    def project(self, labels: Iterable[str]) -> "GeneralizedRelation":
+        """Restrict every object to ``labels`` and re-reduce to a cochain.
+
+        Objects undefined on all of ``labels`` project to the empty
+        record, which is then subsumed by any non-empty projection.
+        """
+        wanted = tuple(labels)
+        projected = []
+        for member in self._objects:
+            if isinstance(member, PartialRecord):
+                projected.append(member.restrict(wanted))
+            else:
+                raise RelationError(
+                    "cannot project non-record object %r" % (member,)
+                )
+        return GeneralizedRelation(projected)
+
+    def select(self, predicate) -> "GeneralizedRelation":
+        """Keep the members satisfying ``predicate(value) -> bool``."""
+        return _from_cochain([m for m in self._objects if predicate(m)])
+
+    def matching(self, pattern: object) -> "GeneralizedRelation":
+        """Keep the members at least as informative as ``pattern``.
+
+        This is the paper's "join of this relation with a relation R to
+        extract all the objects" idiom specialized to a single pattern:
+        ``r.matching({'Dept': 'Sales'})`` keeps exactly the objects that
+        refine the pattern.
+        """
+        wanted = from_python(pattern)
+        return _from_cochain([m for m in self._objects if leq(wanted, m)])
+
+    # -- invariant check -----------------------------------------------------------
+
+    def check_cochain(self) -> None:
+        """Raise :class:`RelationError` unless members are incomparable.
+
+        The constructor maintains this invariant; the check exists for
+        tests and for defensive verification after bulk operations.
+        """
+        if not cpo.is_antichain(self._objects, leq):
+            raise RelationError("relation invariant violated: not a cochain")
+
+
+def _from_cochain(values: Sequence[Value]) -> GeneralizedRelation:
+    """Internal fast path: build from values already forming a cochain."""
+    relation = GeneralizedRelation.__new__(GeneralizedRelation)
+    relation._objects = tuple(sorted(values, key=repr))
+    return relation
+
+
+class RelationBuilder:
+    """Mutable accumulator for bulk-loading a :class:`GeneralizedRelation`.
+
+    Collects objects and performs a single cochain reduction on
+    :meth:`build`, avoiding the quadratic per-insert cost of repeated
+    immutable inserts.  Used by the workload generators and benchmarks.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[Value] = []
+
+    def add(self, obj: object) -> "RelationBuilder":
+        """Queue an object for insertion; returns self for chaining."""
+        self._pending.append(from_python(obj))
+        return self
+
+    def add_all(self, objects: Iterable[object]) -> "RelationBuilder":
+        """Queue many objects for insertion; returns self for chaining."""
+        for obj in objects:
+            self._pending.append(from_python(obj))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def build(self) -> GeneralizedRelation:
+        """Reduce the queued objects to a cochain and freeze them."""
+        return GeneralizedRelation(self._pending)
+
+
+def flat_schema_of(relation: GeneralizedRelation) -> Optional[Tuple[str, ...]]:
+    """The schema of a relation that happens to be flat, else ``None``.
+
+    A relation is *flat* when every member is a record defined on the
+    same labels with atom values only — i.e. it is a classical 1NF
+    relation wearing generalized clothes.
+    """
+    from repro.core.orders import Atom
+
+    schema: Optional[Tuple[str, ...]] = None
+    for member in relation:
+        if not isinstance(member, PartialRecord):
+            return None
+        labels = member.labels
+        if schema is None:
+            schema = labels
+        elif labels != schema:
+            return None
+        for __, field in member.items():
+            if not isinstance(field, Atom):
+                return None
+    return schema
+
+
+def join_with_fastpath(
+    left: GeneralizedRelation, right: GeneralizedRelation
+) -> GeneralizedRelation:
+    """The generalized join, routed through the hash join when possible.
+
+    When both operands are flat (see :func:`flat_schema_of`) the result
+    equals the classical natural join, so this computes it with
+    :meth:`~repro.core.flat.FlatRelation.natural_join` — a hash join —
+    and converts back.  Otherwise it falls back to the generic pairwise
+    join.  The E4 ablation quantifies the gap; results are always
+    identical (tested).
+    """
+    from repro.core.flat import FlatRelation
+
+    left_schema = flat_schema_of(left)
+    right_schema = flat_schema_of(right)
+    if left_schema is not None and right_schema is not None and left and right:
+        flat_left = FlatRelation.from_generalized(left, left_schema)
+        flat_right = FlatRelation.from_generalized(right, right_schema)
+        return flat_left.natural_join(flat_right).to_generalized()
+    return left.join(right)
+
+
+def incremental_insert_all(
+    relation: Optional[GeneralizedRelation], objects: Iterable[object]
+) -> GeneralizedRelation:
+    """Insert objects one at a time (the slow, per-insert-subsumption path).
+
+    Exists so the E5 benchmark can contrast per-insert subsumption with
+    :class:`RelationBuilder`'s bulk reduction; both yield the same
+    relation.
+    """
+    current = relation if relation is not None else GeneralizedRelation()
+    for obj in objects:
+        current = current.insert(obj)
+    return current

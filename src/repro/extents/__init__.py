@@ -1,0 +1,48 @@
+"""Databases and extents, divorced from types.
+
+The paper's central engineering claim: a language should not tie a type
+to a unique extent.  This package provides
+
+* :class:`~repro.extents.database.Database` — "a list of dynamic values"
+  (heterogeneously typed, completely unconstrained), plus
+  :class:`~repro.extents.database.TypeIndexedDatabase`, the efficient
+  alternative the paper alludes to ("keep a set of (statically) typed
+  lists with appropriate structure sharing", [Chan82]);
+* :func:`~repro.extents.get.get` — the generic extraction function of
+  type ``∀t. Database → List[∃t' ≤ t. t']``, with the class hierarchy
+  derived from the type hierarchy;
+* :class:`~repro.extents.extent.Extent` — explicitly maintained extents:
+  multiple extents per type, transient extents, hypothetical snapshots.
+"""
+
+from repro.extents.database import Database, TypeIndexedDatabase
+from repro.extents.extent import Extent, ExtentRegistry
+from repro.extents.get import (
+    GET_TYPE,
+    get,
+    get_dynamics,
+    get_type_for,
+    subtype_census,
+)
+from repro.extents.hierarchy import (
+    class_census,
+    derived_hierarchy,
+    render_hierarchy,
+    type_hierarchy,
+)
+
+__all__ = [
+    "Database",
+    "TypeIndexedDatabase",
+    "Extent",
+    "ExtentRegistry",
+    "GET_TYPE",
+    "get",
+    "get_dynamics",
+    "get_type_for",
+    "subtype_census",
+    "class_census",
+    "derived_hierarchy",
+    "render_hierarchy",
+    "type_hierarchy",
+]

@@ -1,0 +1,153 @@
+"""Heterogeneous databases of dynamic values.
+
+The paper's construction: "We can therefore construct a database by
+creating a list of dynamic values, but we still need to be able to
+enquire about the types of these dynamic values in order, say, to extract
+all the Employee values in the database."
+
+:class:`Database` is exactly that list — "completely unconstrained: we
+can put any dynamic value in it" — with extraction by full scan and
+per-element subtype check.  The paper immediately notes this "is not a
+very efficient solution since we have to traverse the whole database in
+order to obtain a small subset; we also have the overhead of having to
+check the structure of each value we encounter", and sketches the
+alternative of "a set of (statically) typed lists with appropriate
+structure sharing" [Chan82].  :class:`TypeIndexedDatabase` implements
+that alternative; benchmark E1 measures the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import NotInDatabaseError
+from repro.types.dynamic import Dynamic, dynamic
+from repro.types.kinds import Type
+from repro.types.subtyping import is_subtype
+
+
+class Database:
+    """An ordered, heterogeneous collection of :class:`Dynamic` values.
+
+    Values inserted as plain Python/domain values are wrapped with
+    :func:`~repro.types.dynamic.dynamic` (inferring their type); values
+    already dynamic are stored as given.  Duplicates are allowed — this
+    is a *list*, and object identity is positional, exactly the
+    unconstrained structure the paper starts from.
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: Optional[List[object]] = None):
+        self._members: List[Dynamic] = []
+        for member in members or []:
+            self.insert(member)
+
+    def insert(self, value: object, typ: Optional[Type] = None) -> Dynamic:
+        """Append a value (sealed at ``typ`` if given) and return its Dynamic."""
+        member = value if isinstance(value, Dynamic) and typ is None else dynamic(
+            value.value if isinstance(value, Dynamic) else value,
+            typ,
+        )
+        self._members.append(member)
+        return member
+
+    def remove(self, member: Dynamic) -> None:
+        """Remove the first occurrence of ``member``.
+
+        Raises :class:`NotInDatabaseError` when absent.
+        """
+        try:
+            self._members.remove(member)
+        except ValueError:
+            raise NotInDatabaseError("%r is not in the database" % (member,)) from None
+
+    def scan(self, typ: Type) -> List[Dynamic]:
+        """Full-traversal extraction: dynamics whose carried type ``≤ typ``.
+
+        This is the paper's naive strategy, kept deliberately simple —
+        O(database size) subtype checks per call.
+        """
+        return [m for m in self._members if is_subtype(m.carried, typ)]
+
+    def __iter__(self) -> Iterator[Dynamic]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: object) -> bool:
+        return member in self._members
+
+    def __repr__(self) -> str:
+        return "Database(%d values)" % len(self._members)
+
+
+class TypeIndexedDatabase(Database):
+    """A database maintaining statically-typed member lists per carried type.
+
+    The members themselves are shared with the base list (structure
+    sharing — nothing is copied); the index maps each distinct carried
+    type to the list of members sealed at it.  Extraction for a query
+    type resolves which carried types are subtypes of the query — cached
+    per query type — and concatenates their lists, turning an O(N)
+    scan-with-subtype-checks into an O(result) concatenation after the
+    first query.
+
+    The price the paper predicts: "more elaborate functions and control
+    mechanisms for creating new values and inserting them in the
+    database" — insertion and removal must maintain the index, and a
+    fresh carried type invalidates the query cache.
+    """
+
+    __slots__ = ("_index", "_query_cache")
+
+    def __init__(self, members: Optional[List[object]] = None):
+        self._index: Dict[Type, List[Dynamic]] = {}
+        self._query_cache: Dict[Type, Tuple[Type, ...]] = {}
+        super().__init__(members)
+
+    def insert(self, value: object, typ: Optional[Type] = None) -> Dynamic:
+        """Insert and index by carried type (see base class)."""
+        member = super().insert(value, typ)
+        bucket = self._index.get(member.carried)
+        if bucket is None:
+            # A brand-new carried type can satisfy existing queries: the
+            # cached per-query subtype resolutions are now stale.
+            self._index[member.carried] = [member]
+            self._query_cache.clear()
+        else:
+            bucket.append(member)
+        return member
+
+    def remove(self, member: Dynamic) -> None:
+        """Remove and unindex (see base class)."""
+        super().remove(member)
+        bucket = self._index.get(member.carried, [])
+        if member in bucket:
+            bucket.remove(member)
+
+    def scan(self, typ: Type) -> List[Dynamic]:
+        """Index-assisted extraction; same result as a full scan."""
+        matching = self._query_cache.get(typ)
+        if matching is None:
+            matching = tuple(
+                carried
+                for carried in self._index
+                if is_subtype(carried, typ)
+            )
+            self._query_cache[typ] = matching
+        result: List[Dynamic] = []
+        for carried in matching:
+            result.extend(self._index[carried])
+        return result
+
+    def distinct_carried_types(self) -> Tuple[Type, ...]:
+        """The distinct carried types currently indexed."""
+        return tuple(self._index)
+
+    def __repr__(self) -> str:
+        return "TypeIndexedDatabase(%d values, %d types)" % (
+            len(self),
+            len(self._index),
+        )

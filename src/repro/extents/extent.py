@@ -1,0 +1,184 @@
+"""Explicitly maintained extents, separated from types.
+
+The paper's argument for the separation:
+
+* "there are many types, such as Integer, for which a unique extent is
+  almost useless" — so an :class:`Extent` is just a named, explicitly
+  maintained collection, optionally constrained to a type;
+* "there are often cases for having multiple extents — one may want to
+  experiment with *hypothetical states* of the database" — so extents
+  snapshot cheaply (members are shared, the membership list is copied
+  lazily);
+* "one may want to create a new, *temporary* extent ... to improve the
+  efficiency of a program by memoizing" — so extents carry a
+  ``transient`` flag which the persistence layer consults: transient
+  extents are not saved even when reachable from a persistent root.
+
+A :class:`ExtentRegistry` manages many extents, any number of which may
+constrain to the same type — precisely what Galileo's one-class-per-type
+coupling (or Taxis' VARIABLE_CLASS) cannot express.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ExtentError, NotInDatabaseError
+from repro.types.infer import infer_type
+from repro.types.kinds import Type
+from repro.types.subtyping import is_subtype
+
+
+class Extent:
+    """A named, explicitly maintained collection of values.
+
+    When ``member_type`` is given, every inserted value must have an
+    inferred type that is a subtype of it — the membership constraint a
+    class would impose, but opted into per extent rather than welded to
+    the type.
+    """
+
+    __slots__ = ("_name", "_member_type", "_transient", "_members")
+
+    def __init__(
+        self,
+        name: str,
+        member_type: Optional[Type] = None,
+        transient: bool = False,
+        _members: Optional[Tuple[object, ...]] = None,
+    ):
+        self._name = name
+        self._member_type = member_type
+        self._transient = transient
+        self._members: List[object] = list(_members or ())
+
+    @property
+    def name(self) -> str:
+        """The extent's name (unique within a registry)."""
+        return self._name
+
+    @property
+    def member_type(self) -> Optional[Type]:
+        """The membership type constraint, if any."""
+        return self._member_type
+
+    @property
+    def transient(self) -> bool:
+        """Transient extents are never persisted (memoization scratch)."""
+        return self._transient
+
+    def insert(self, value: object) -> object:
+        """Add a value (checked against the membership type) and return it."""
+        if self._member_type is not None:
+            actual = infer_type(value)
+            if not is_subtype(actual, self._member_type):
+                raise ExtentError(
+                    "extent %r holds %s; %r has type %s"
+                    % (self._name, self._member_type, value, actual)
+                )
+        self._members.append(value)
+        return value
+
+    def delete(self, value: object) -> None:
+        """Remove the first occurrence of ``value``; raise when absent."""
+        try:
+            self._members.remove(value)
+        except ValueError:
+            raise NotInDatabaseError(
+                "%r is not in extent %r" % (value, self._name)
+            ) from None
+
+    def snapshot(self, name: Optional[str] = None) -> "Extent":
+        """A hypothetical state: an independent extent with the same members.
+
+        Members are shared (no deep copy); insertions and deletions on
+        either extent do not affect the other.
+        """
+        return Extent(
+            name or self._name + "'",
+            self._member_type,
+            self._transient,
+            tuple(self._members),
+        )
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._members
+
+    def __repr__(self) -> str:
+        constraint = "" if self._member_type is None else " of %s" % self._member_type
+        flavor = " (transient)" if self._transient else ""
+        return "Extent(%r%s, %d members%s)" % (
+            self._name,
+            constraint,
+            len(self._members),
+            flavor,
+        )
+
+
+class ExtentRegistry:
+    """A namespace of extents; several may share one member type.
+
+    This models the paper's Pascal sketch — "we create some further data
+    structure ... to maintain an extent for the type Employee" — done
+    once, generically, instead of per type.
+    """
+
+    __slots__ = ("_extents",)
+
+    def __init__(self) -> None:
+        self._extents: Dict[str, Extent] = {}
+
+    def create(
+        self,
+        name: str,
+        member_type: Optional[Type] = None,
+        transient: bool = False,
+    ) -> Extent:
+        """Create and register a fresh extent; names must be unique."""
+        if name in self._extents:
+            raise ExtentError("an extent named %r already exists" % (name,))
+        extent = Extent(name, member_type, transient)
+        self._extents[name] = extent
+        return extent
+
+    def adopt(self, extent: Extent) -> Extent:
+        """Register an existing extent (e.g. a snapshot) under its name."""
+        if extent.name in self._extents:
+            raise ExtentError("an extent named %r already exists" % (extent.name,))
+        self._extents[extent.name] = extent
+        return extent
+
+    def drop(self, name: str) -> None:
+        """Remove an extent from the registry (its members are untouched)."""
+        if name not in self._extents:
+            raise ExtentError("no extent named %r" % (name,))
+        del self._extents[name]
+
+    def __getitem__(self, name: str) -> Extent:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise ExtentError("no extent named %r" % (name,)) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._extents
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents.values())
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def extents_of(self, typ: Type) -> List[Extent]:
+        """All registered extents whose member type is exactly ``typ``."""
+        return [e for e in self._extents.values() if e.member_type == typ]
+
+    def persistent_extents(self) -> List[Extent]:
+        """The extents that survive a save (non-transient ones)."""
+        return [e for e in self._extents.values() if not e.transient]

@@ -1,0 +1,30 @@
+"""DBPL — a small statically-typed database programming language.
+
+The paper's programs are written in a blend of Pascal/R, Adaplex, Taxis,
+Amber, and "Persistent Pascal" pseudo-code.  DBPL is a single concrete
+language, in the ML/Amber tradition the paper favours, in which those
+programs actually run:
+
+* structural record types with width/depth subtyping
+  (``type Employee = Person with {Empno: Int}``);
+* record values with the object-level join
+  (``person with {Empno = 1234}``);
+* first-class functions, bounded-polymorphic declarations
+  (``fun id[t](x: t): t = x``), and explicit instantiation (``id[Int]``);
+* ``dynamic e``, ``coerce e to T``, ``typeof e`` — Amber's Dynamic;
+* heterogeneous databases with the generic ``get[T](db)`` whose class
+  hierarchy derives from the type hierarchy;
+* ``extern``/``intern`` replicating persistence.
+
+The pipeline is classical: :mod:`~repro.lang.lexer` →
+:mod:`~repro.lang.parser` → :mod:`~repro.lang.checker` (static, with
+subsumption) → :mod:`~repro.lang.eval`.  Programs that fail the checker
+never run — "type-checking is one of the best techniques for ensuring
+program correctness".
+"""
+
+from repro.lang.eval import Interpreter, run_program
+from repro.lang.checker import check_program
+from repro.lang.parser import parse_program
+
+__all__ = ["Interpreter", "run_program", "check_program", "parse_program"]

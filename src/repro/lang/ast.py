@@ -1,0 +1,345 @@
+"""Abstract syntax for DBPL programs.
+
+Three node families:
+
+* type expressions (``TypeExpr``) — the *source-level* types, resolved
+  to semantic :class:`repro.types.kinds.Type` values by the checker
+  (named types look up the type environment);
+* expressions (``Expr``);
+* declarations (``Decl``) — ``type``, ``let``, ``fun``, and bare
+  expression statements.
+
+All nodes carry the (line, column) of their introducing token for error
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+Position = Tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# Type expressions (source level)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """Base class of source-level type expressions."""
+
+
+@dataclass(frozen=True)
+class TypeName(TypeExpr):
+    """A named type: a base type or one declared with ``type``."""
+
+    name: str
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeRecord(TypeExpr):
+    """``{l1: T1, l2: T2, ...}``"""
+
+    fields: Tuple[Tuple[str, TypeExpr], ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeList(TypeExpr):
+    """``List[T]``"""
+
+    element: TypeExpr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeFun(TypeExpr):
+    """``(T1, T2) -> R``"""
+
+    params: Tuple[TypeExpr, ...]
+    result: TypeExpr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeVariant(TypeExpr):
+    """``[none: Unit | some: Int]``"""
+
+    cases: Tuple[Tuple[str, TypeExpr], ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeWith(TypeExpr):
+    """``Base with {extra fields}`` — the subtype-by-extension form."""
+
+    base: TypeExpr
+    extension: TypeRecord
+    pos: Position = (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of expressions."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class FloatLit(Expr):
+    value: float
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class StringLit(Expr):
+    value: str
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class UnitLit(Expr):
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class RecordLit(Expr):
+    """``{Name = "J Doe", Addr = {...}}``"""
+
+    fields: Tuple[Tuple[str, Expr], ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class ListLit(Expr):
+    """``[e1, e2, ...]``"""
+
+    elements: Tuple[Expr, ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    """``e.label``"""
+
+    subject: Expr
+    label: str
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class WithExpr(Expr):
+    """``e with {l = v, ...}`` — the object-level join ``⊔``."""
+
+    subject: Expr
+    extension: RecordLit
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class LetIn(Expr):
+    """``let x = e1 in e2`` (optionally type-ascribed)."""
+
+    name: str
+    annotation: Optional[TypeExpr]
+    bound: Expr
+    body: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class Lambda(Expr):
+    """``fn(x: T, y: U) => body``"""
+
+    params: Tuple[Tuple[str, TypeExpr], ...]
+    body: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """``f(a, b)``"""
+
+    function: Expr
+    arguments: Tuple[Expr, ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeApply(Expr):
+    """``f[T]`` — instantiation of a polymorphic value (``get[Employee]``)."""
+
+    function: Expr
+    type_args: Tuple[TypeExpr, ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``not e`` or ``-e``."""
+
+    op: str
+    operand: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TagExpr(Expr):
+    """``tag some(e)`` — injection into the singleton variant ``[some: T]``.
+
+    Width subtyping widens it to any variant containing the case, so no
+    type annotation is needed.
+    """
+
+    label: str
+    operand: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class CaseArm:
+    """One arm ``label binder => body`` of a case expression."""
+
+    label: str
+    binder: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """``case e of some x => e1 | none y => e2`` — exhaustive dispatch."""
+
+    subject: Expr
+    arms: Tuple[CaseArm, ...]
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class DynamicExpr(Expr):
+    """``dynamic e``"""
+
+    operand: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class CoerceExpr(Expr):
+    """``coerce e to T``"""
+
+    operand: Expr
+    target: TypeExpr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeOfExpr(Expr):
+    """``typeof e`` (e : Dynamic) — a value of type Type."""
+
+    operand: Expr
+    pos: Position = (0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Declarations / statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    """Base class of top-level declarations."""
+
+
+@dataclass(frozen=True)
+class TypeDecl(Decl):
+    """``type Name = T``"""
+
+    name: str
+    definition: TypeExpr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class LetDecl(Decl):
+    """``let x = e`` / ``let x: T = e``"""
+
+    name: str
+    annotation: Optional[TypeExpr]
+    value: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class TypeParam:
+    """One bounded type parameter ``t <= Bound`` (bound defaults to Top)."""
+
+    name: str
+    bound: Optional[TypeExpr] = None
+
+
+@dataclass(frozen=True)
+class FunDecl(Decl):
+    """``fun f[t <= B](x: T): R = body`` — recursive, possibly polymorphic."""
+
+    name: str
+    type_params: Tuple[TypeParam, ...]
+    params: Tuple[Tuple[str, TypeExpr], ...]
+    result: TypeExpr
+    body: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class ExprStmt(Decl):
+    """A bare expression statement; the last one is the program's value."""
+
+    expr: Expr
+    pos: Position = (0, 0)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed DBPL program."""
+
+    declarations: Tuple[Decl, ...] = field(default_factory=tuple)

@@ -1,0 +1,138 @@
+"""A hand-written lexer for DBPL.
+
+Handles identifiers/keywords, integer and float literals, double-quoted
+strings with escapes, operators, and ``--`` line comments.  Positions
+are tracked for error messages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.lang.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    KEYWORDS,
+    OP,
+    OPERATORS,
+    STRING_LIT,
+    Token,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        # Whitespace
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+
+        # Line comments: -- to end of line
+        if source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_line, start_column = line, column
+
+        # Identifiers and keywords
+        if char.isalpha() or char == "_":
+            begin = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[begin:index]
+            column += index - begin
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, start_line, start_column))
+            continue
+
+        # Numbers: integer or float (digits '.' digits)
+        if char.isdigit():
+            begin = index
+            while index < length and source[index].isdigit():
+                index += 1
+            is_float = False
+            if (
+                index + 1 < length
+                and source[index] == "."
+                and source[index + 1].isdigit()
+            ):
+                is_float = True
+                index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            text = source[begin:index]
+            column += index - begin
+            kind = FLOAT_LIT if is_float else INT_LIT
+            tokens.append(Token(kind, text, start_line, start_column))
+            continue
+
+        # Strings
+        if char == '"':
+            index += 1
+            column += 1
+            chars: List[str] = []
+            while True:
+                if index >= length:
+                    raise error("unterminated string literal")
+                current = source[index]
+                if current == '"':
+                    index += 1
+                    column += 1
+                    break
+                if current == "\n":
+                    raise error("newline in string literal")
+                if current == "\\":
+                    if index + 1 >= length:
+                        raise error("dangling escape in string literal")
+                    escape = source[index + 1]
+                    if escape not in _ESCAPES:
+                        raise error("unknown escape \\%s" % escape)
+                    chars.append(_ESCAPES[escape])
+                    index += 2
+                    column += 2
+                    continue
+                chars.append(current)
+                index += 1
+                column += 1
+            tokens.append(
+                Token(STRING_LIT, "".join(chars), start_line, start_column)
+            )
+            continue
+
+        # Operators (longest match first)
+        for op in OPERATORS:
+            if source.startswith(op, index):
+                index += len(op)
+                column += len(op)
+                tokens.append(Token(OP, op, start_line, start_column))
+                break
+        else:
+            raise error("unexpected character %r" % char)
+
+    tokens.append(Token(EOF, "", line, column))
+    return tokens

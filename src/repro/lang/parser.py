@@ -1,0 +1,512 @@
+"""A recursive-descent parser for DBPL.
+
+Precedence (loosest to tightest)::
+
+    or  <  and  <  not  <  comparisons  <  + -  <  * /  <  unary -
+        <  postfix (.label, (args), [TypeArgs], with {…})
+
+``dynamic``, ``typeof`` bind like unary operators; ``coerce e to T``
+is a primary form whose operand extends to the mandatory ``to``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    OP,
+    STRING_LIT,
+    Token,
+)
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _at_op(self, op: str) -> bool:
+        return self._peek().is_op(op)
+
+    def _at_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _eat_op(self, op: str) -> Token:
+        if not self._at_op(op):
+            raise ParseError("expected %r" % op, self._peek())
+        return self._advance()
+
+    def _eat_keyword(self, word: str) -> Token:
+        if not self._at_keyword(word):
+            raise ParseError("expected keyword %r" % word, self._peek())
+        return self._advance()
+
+    def _eat_ident(self) -> Token:
+        token = self._peek()
+        if token.kind != IDENT:
+            raise ParseError("expected an identifier", token)
+        return self._advance()
+
+    def _maybe_semicolon(self) -> None:
+        if self._at_op(";"):
+            self._advance()
+
+    @staticmethod
+    def _pos(token: Token) -> ast.Position:
+        return (token.line, token.column)
+
+    # -- program & declarations ---------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse the whole token stream as a program."""
+        declarations: List[ast.Decl] = []
+        while self._peek().kind != EOF:
+            declarations.append(self._declaration())
+        return ast.Program(tuple(declarations))
+
+    def _declaration(self) -> ast.Decl:
+        if self._at_keyword("type"):
+            return self._type_decl()
+        if self._at_keyword("fun"):
+            return self._fun_decl()
+        if self._at_keyword("let"):
+            return self._let_decl_or_expr()
+        token = self._peek()
+        expr = self.parse_expr()
+        self._maybe_semicolon()
+        return ast.ExprStmt(expr, self._pos(token))
+
+    def _type_decl(self) -> ast.Decl:
+        start = self._eat_keyword("type")
+        name = self._eat_ident().text
+        self._eat_op("=")
+        definition = self.parse_type()
+        self._maybe_semicolon()
+        return ast.TypeDecl(name, definition, self._pos(start))
+
+    def _let_decl_or_expr(self) -> ast.Decl:
+        start = self._eat_keyword("let")
+        name = self._eat_ident().text
+        annotation = None
+        if self._at_op(":"):
+            self._advance()
+            annotation = self.parse_type()
+        self._eat_op("=")
+        value = self.parse_expr()
+        if self._at_keyword("in"):
+            # Courtesy: a top-level `let x = e in body` is an expression.
+            self._advance()
+            body = self.parse_expr()
+            self._maybe_semicolon()
+            return ast.ExprStmt(
+                ast.LetIn(name, annotation, value, body, self._pos(start)),
+                self._pos(start),
+            )
+        self._maybe_semicolon()
+        return ast.LetDecl(name, annotation, value, self._pos(start))
+
+    def _fun_decl(self) -> ast.Decl:
+        start = self._eat_keyword("fun")
+        name = self._eat_ident().text
+        type_params: List[ast.TypeParam] = []
+        if self._at_op("["):
+            self._advance()
+            while True:
+                param_name = self._eat_ident().text
+                bound = None
+                if self._at_op("<="):
+                    self._advance()
+                    bound = self.parse_type()
+                type_params.append(ast.TypeParam(param_name, bound))
+                if self._at_op(","):
+                    self._advance()
+                    continue
+                break
+            self._eat_op("]")
+        params = self._param_list()
+        self._eat_op(":")
+        result = self.parse_type()
+        self._eat_op("=")
+        body = self.parse_expr()
+        self._maybe_semicolon()
+        return ast.FunDecl(
+            name, tuple(type_params), params, result, body, self._pos(start)
+        )
+
+    def _param_list(self) -> Tuple[Tuple[str, ast.TypeExpr], ...]:
+        self._eat_op("(")
+        params: List[Tuple[str, ast.TypeExpr]] = []
+        if not self._at_op(")"):
+            while True:
+                name = self._eat_ident().text
+                self._eat_op(":")
+                annotation = self.parse_type()
+                params.append((name, annotation))
+                if self._at_op(","):
+                    self._advance()
+                    continue
+                break
+        self._eat_op(")")
+        return tuple(params)
+
+    # -- type expressions -----------------------------------------------------------
+
+    def parse_type(self) -> ast.TypeExpr:
+        """Parse a type expression (arrow types right-associative)."""
+        left = self._type_postfix()
+        if self._at_op("->"):
+            self._advance()
+            result = self.parse_type()  # right-associative
+            return ast.TypeFun((left,), result)
+        return left
+
+    def _type_postfix(self) -> ast.TypeExpr:
+        base = self._type_primary()
+        while self._at_keyword("with"):
+            token = self._advance()
+            extension = self._type_record()
+            base = ast.TypeWith(base, extension, self._pos(token))
+        return base
+
+    def _type_primary(self) -> ast.TypeExpr:
+        token = self._peek()
+        if token.kind == IDENT:
+            self._advance()
+            if token.text == "List" and self._at_op("["):
+                self._advance()
+                element = self.parse_type()
+                self._eat_op("]")
+                return ast.TypeList(element, self._pos(token))
+            return ast.TypeName(token.text, self._pos(token))
+        if token.is_op("{"):
+            return self._type_record()
+        if token.is_op("["):
+            return self._type_variant()
+        if token.is_op("("):
+            self._advance()
+            items = [self.parse_type()]
+            while self._at_op(","):
+                self._advance()
+                items.append(self.parse_type())
+            self._eat_op(")")
+            if self._at_op("->"):
+                self._advance()
+                result = self.parse_type()
+                return ast.TypeFun(tuple(items), result, self._pos(token))
+            if len(items) == 1:
+                return items[0]
+            raise ParseError(
+                "a parenthesized type list must be followed by '->'", self._peek()
+            )
+        raise ParseError("expected a type", token)
+
+    def _type_variant(self) -> ast.TypeVariant:
+        start = self._eat_op("[")
+        cases: List[Tuple[str, ast.TypeExpr]] = []
+        while True:
+            name = self._eat_ident().text
+            self._eat_op(":")
+            cases.append((name, self.parse_type()))
+            if self._at_op("|"):
+                self._advance()
+                continue
+            break
+        self._eat_op("]")
+        return ast.TypeVariant(tuple(cases), self._pos(start))
+
+    def _type_record(self) -> ast.TypeRecord:
+        start = self._eat_op("{")
+        fields: List[Tuple[str, ast.TypeExpr]] = []
+        if not self._at_op("}"):
+            while True:
+                name = self._eat_ident().text
+                self._eat_op(":")
+                fields.append((name, self.parse_type()))
+                if self._at_op(","):
+                    self._advance()
+                    continue
+                break
+        self._eat_op("}")
+        return ast.TypeRecord(tuple(fields), self._pos(start))
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        """Parse one expression at the loosest precedence level."""
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._at_keyword("or"):
+            token = self._advance()
+            right = self._and_expr()
+            left = ast.BinOp("or", left, right, self._pos(token))
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._at_keyword("and"):
+            token = self._advance()
+            right = self._not_expr()
+            left = ast.BinOp("and", left, right, self._pos(token))
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._at_keyword("not"):
+            token = self._advance()
+            return ast.UnaryOp("not", self._not_expr(), self._pos(token))
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == OP and token.text in _COMPARISONS:
+            self._advance()
+            right = self._additive()
+            return ast.BinOp(token.text, left, right, self._pos(token))
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while self._peek().kind == OP and self._peek().text in ("+", "-"):
+            token = self._advance()
+            right = self._multiplicative()
+            left = ast.BinOp(token.text, left, right, self._pos(token))
+        return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while self._peek().kind == OP and self._peek().text in ("*", "/"):
+            token = self._advance()
+            right = self._unary()
+            left = ast.BinOp(token.text, left, right, self._pos(token))
+        return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.is_op("-"):
+            self._advance()
+            return ast.UnaryOp("-", self._unary(), self._pos(token))
+        if token.is_keyword("dynamic"):
+            self._advance()
+            return ast.DynamicExpr(self._unary(), self._pos(token))
+        if token.is_keyword("typeof"):
+            self._advance()
+            return ast.TypeOfExpr(self._unary(), self._pos(token))
+        return self._postfix()
+
+    def _same_line_as_previous(self) -> bool:
+        """Is the current token on the same line as the one before it?
+
+        Call and type-application brackets are only postfix when they
+        start on the expression's own line; a statement beginning with
+        ``[`` or ``(`` on a fresh line is a new expression, not an
+        application of the previous one.
+        """
+        if self._index == 0:
+            return True
+        return self._peek().line == self._tokens[self._index - 1].line
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            token = self._peek()
+            if (
+                token.kind == OP
+                and token.text in ("(", "[")
+                and not self._same_line_as_previous()
+            ):
+                return expr
+            if token.is_op("."):
+                self._advance()
+                label = self._eat_ident().text
+                expr = ast.FieldAccess(expr, label, self._pos(token))
+            elif token.is_op("("):
+                self._advance()
+                arguments: List[ast.Expr] = []
+                if not self._at_op(")"):
+                    while True:
+                        arguments.append(self.parse_expr())
+                        if self._at_op(","):
+                            self._advance()
+                            continue
+                        break
+                self._eat_op(")")
+                expr = ast.Apply(expr, tuple(arguments), self._pos(token))
+            elif token.is_op("["):
+                self._advance()
+                type_args = [self.parse_type()]
+                while self._at_op(","):
+                    self._advance()
+                    type_args.append(self.parse_type())
+                self._eat_op("]")
+                expr = ast.TypeApply(expr, tuple(type_args), self._pos(token))
+            elif token.is_keyword("with"):
+                self._advance()
+                extension = self._record_literal()
+                expr = ast.WithExpr(expr, extension, self._pos(token))
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        pos = self._pos(token)
+        if token.kind == INT_LIT:
+            self._advance()
+            return ast.IntLit(int(token.text), pos)
+        if token.kind == FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(float(token.text), pos)
+        if token.kind == STRING_LIT:
+            self._advance()
+            return ast.StringLit(token.text, pos)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BoolLit(True, pos)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLit(False, pos)
+        if token.is_keyword("unit"):
+            self._advance()
+            return ast.UnitLit(pos)
+        if token.kind == IDENT:
+            self._advance()
+            return ast.Var(token.text, pos)
+        if token.is_op("{"):
+            return self._record_literal()
+        if token.is_op("["):
+            self._advance()
+            elements: List[ast.Expr] = []
+            if not self._at_op("]"):
+                while True:
+                    elements.append(self.parse_expr())
+                    if self._at_op(","):
+                        self._advance()
+                        continue
+                    break
+            self._eat_op("]")
+            return ast.ListLit(tuple(elements), pos)
+        if token.is_op("("):
+            self._advance()
+            inner = self.parse_expr()
+            self._eat_op(")")
+            return inner
+        if token.is_keyword("if"):
+            self._advance()
+            condition = self.parse_expr()
+            self._eat_keyword("then")
+            then_branch = self.parse_expr()
+            self._eat_keyword("else")
+            else_branch = self.parse_expr()
+            return ast.If(condition, then_branch, else_branch, pos)
+        if token.is_keyword("let"):
+            self._advance()
+            name = self._eat_ident().text
+            annotation = None
+            if self._at_op(":"):
+                self._advance()
+                annotation = self.parse_type()
+            self._eat_op("=")
+            bound = self.parse_expr()
+            self._eat_keyword("in")
+            body = self.parse_expr()
+            return ast.LetIn(name, annotation, bound, body, pos)
+        if token.is_keyword("fn"):
+            self._advance()
+            params = self._param_list()
+            self._eat_op("=>")
+            body = self.parse_expr()
+            return ast.Lambda(params, body, pos)
+        if token.is_keyword("coerce"):
+            self._advance()
+            operand = self.parse_expr()
+            self._eat_keyword("to")
+            target = self.parse_type()
+            return ast.CoerceExpr(operand, target, pos)
+        if token.is_keyword("tag"):
+            self._advance()
+            label = self._eat_ident().text
+            self._eat_op("(")
+            if self._at_op(")"):
+                operand: ast.Expr = ast.UnitLit(pos)
+            else:
+                operand = self.parse_expr()
+            self._eat_op(")")
+            return ast.TagExpr(label, operand, pos)
+        if token.is_keyword("case"):
+            self._advance()
+            subject = self.parse_expr()
+            self._eat_keyword("of")
+            arms: List[ast.CaseArm] = []
+            while True:
+                label = self._eat_ident().text
+                binder = self._eat_ident().text
+                self._eat_op("=>")
+                body = self.parse_expr()
+                arms.append(ast.CaseArm(label, binder, body))
+                if self._at_op("|"):
+                    self._advance()
+                    continue
+                break
+            return ast.CaseExpr(subject, tuple(arms), pos)
+        raise ParseError("expected an expression", token)
+
+    def _record_literal(self) -> ast.RecordLit:
+        start = self._eat_op("{")
+        fields: List[Tuple[str, ast.Expr]] = []
+        if not self._at_op("}"):
+            while True:
+                name = self._eat_ident().text
+                self._eat_op("=")
+                fields.append((name, self.parse_expr()))
+                if self._at_op(","):
+                    self._advance()
+                    continue
+                break
+        self._eat_op("}")
+        return ast.RecordLit(tuple(fields), self._pos(start))
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse DBPL source text into a :class:`~repro.lang.ast.Program`."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (for tests and the checker's API)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    if not parser._peek().kind == EOF:
+        raise ParseError("trailing input after expression", parser._peek())
+    return expr
+
+
+def parse_type_expression(source: str) -> ast.TypeExpr:
+    """Parse a single type expression."""
+    parser = _Parser(tokenize(source))
+    type_expr = parser.parse_type()
+    if not parser._peek().kind == EOF:
+        raise ParseError("trailing input after type", parser._peek())
+    return type_expr

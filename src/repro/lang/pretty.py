@@ -1,0 +1,254 @@
+"""A pretty-printer for DBPL syntax trees.
+
+Produces source text that re-parses to the same tree (checked by the
+property tests via a print→parse→print fixpoint).  Used by the REPL to
+echo declarations and by error tooling.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LanguageError
+from repro.lang import ast
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def pretty_type(expr: ast.TypeExpr) -> str:
+    """Render a source-level type expression."""
+    if isinstance(expr, ast.TypeName):
+        return expr.name
+    if isinstance(expr, ast.TypeRecord):
+        inner = ", ".join(
+            "%s: %s" % (label, pretty_type(t)) for label, t in expr.fields
+        )
+        return "{%s}" % inner
+    if isinstance(expr, ast.TypeList):
+        return "List[%s]" % pretty_type(expr.element)
+    if isinstance(expr, ast.TypeFun):
+        if len(expr.params) == 1:
+            param = pretty_type(expr.params[0])
+            # A single function-type parameter needs parentheses to keep
+            # the arrow right-associated on reparse.
+            if isinstance(expr.params[0], ast.TypeFun):
+                param = "(%s)" % param
+        else:
+            param = "(%s)" % ", ".join(pretty_type(p) for p in expr.params)
+        return "%s -> %s" % (param, pretty_type(expr.result))
+    if isinstance(expr, ast.TypeVariant):
+        inner = " | ".join(
+            "%s: %s" % (label, pretty_type(t)) for label, t in expr.cases
+        )
+        return "[%s]" % inner
+    if isinstance(expr, ast.TypeWith):
+        return "%s with %s" % (
+            pretty_type(expr.base),
+            pretty_type(expr.extension),
+        )
+    raise LanguageError("cannot pretty-print type %r" % (expr,))
+
+
+# Binding strengths for expression printing; higher binds tighter.
+_LEVEL_OR = 1
+_LEVEL_AND = 2
+_LEVEL_NOT = 3
+_LEVEL_CMP = 4
+_LEVEL_ADD = 5
+_LEVEL_MUL = 6
+_LEVEL_UNARY = 7
+_LEVEL_POSTFIX = 8
+_LEVEL_ATOM = 9
+
+_BINOP_LEVEL = {
+    "or": _LEVEL_OR,
+    "and": _LEVEL_AND,
+    "==": _LEVEL_CMP,
+    "!=": _LEVEL_CMP,
+    "<": _LEVEL_CMP,
+    "<=": _LEVEL_CMP,
+    ">": _LEVEL_CMP,
+    ">=": _LEVEL_CMP,
+    "+": _LEVEL_ADD,
+    "-": _LEVEL_ADD,
+    "*": _LEVEL_MUL,
+    "/": _LEVEL_MUL,
+}
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render an expression (fully reparseable)."""
+    text, __ = _render(expr)
+    return text
+
+
+def _paren(text: str, level: int, minimum: int) -> str:
+    return "(%s)" % text if level < minimum else text
+
+
+def _render(expr: ast.Expr):
+    """Render to (text, binding-level)."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value), _LEVEL_ATOM
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        if "." not in text and "e" not in text and "inf" not in text:
+            text += ".0"
+        return text, _LEVEL_ATOM
+    if isinstance(expr, ast.StringLit):
+        escaped = (
+            expr.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\t", "\\t")
+        )
+        return '"%s"' % escaped, _LEVEL_ATOM
+    if isinstance(expr, ast.BoolLit):
+        return ("true" if expr.value else "false"), _LEVEL_ATOM
+    if isinstance(expr, ast.UnitLit):
+        return "unit", _LEVEL_ATOM
+    if isinstance(expr, ast.Var):
+        return expr.name, _LEVEL_ATOM
+    if isinstance(expr, ast.RecordLit):
+        inner = ", ".join(
+            "%s = %s" % (label, pretty_expr(e)) for label, e in expr.fields
+        )
+        return "{%s}" % inner, _LEVEL_ATOM
+    if isinstance(expr, ast.ListLit):
+        inner = ", ".join(pretty_expr(e) for e in expr.elements)
+        return "[%s]" % inner, _LEVEL_ATOM
+    if isinstance(expr, ast.FieldAccess):
+        subject, level = _render(expr.subject)
+        subject = _paren(subject, level, _LEVEL_POSTFIX)
+        return "%s.%s" % (subject, expr.label), _LEVEL_POSTFIX
+    if isinstance(expr, ast.WithExpr):
+        subject, level = _render(expr.subject)
+        subject = _paren(subject, level, _LEVEL_POSTFIX)
+        extension = pretty_expr(expr.extension)
+        return "%s with %s" % (subject, extension), _LEVEL_POSTFIX
+    if isinstance(expr, ast.Apply):
+        function, level = _render(expr.function)
+        function = _paren(function, level, _LEVEL_POSTFIX)
+        arguments = ", ".join(pretty_expr(a) for a in expr.arguments)
+        return "%s(%s)" % (function, arguments), _LEVEL_POSTFIX
+    if isinstance(expr, ast.TypeApply):
+        function, level = _render(expr.function)
+        function = _paren(function, level, _LEVEL_POSTFIX)
+        type_args = ", ".join(pretty_type(t) for t in expr.type_args)
+        return "%s[%s]" % (function, type_args), _LEVEL_POSTFIX
+    if isinstance(expr, ast.BinOp):
+        level = _BINOP_LEVEL[expr.op]
+        left, left_level = _render(expr.left)
+        right, right_level = _render(expr.right)
+        # left-associative chains: the left child may be at the same
+        # level, the right child must bind strictly tighter.  The
+        # comparison level is non-associative on both sides.
+        left_min = level + 1 if level == _LEVEL_CMP else level
+        left = _paren(left, left_level, left_min)
+        right = _paren(right, right_level, level + 1)
+        return "%s %s %s" % (left, expr.op, right), level
+    if isinstance(expr, ast.UnaryOp):
+        operand, level = _render(expr.operand)
+        if expr.op == "not":
+            operand = _paren(operand, level, _LEVEL_NOT)
+            return "not %s" % operand, _LEVEL_NOT
+        operand = _paren(operand, level, _LEVEL_UNARY)
+        if operand.startswith("-"):
+            # '--x' would lex as a line comment; force parentheses.
+            operand = "(%s)" % operand
+        return "-%s" % operand, _LEVEL_UNARY
+    if isinstance(expr, ast.DynamicExpr):
+        operand, level = _render(expr.operand)
+        operand = _paren(operand, level, _LEVEL_UNARY)
+        return "dynamic %s" % operand, _LEVEL_UNARY
+    if isinstance(expr, ast.TypeOfExpr):
+        operand, level = _render(expr.operand)
+        operand = _paren(operand, level, _LEVEL_UNARY)
+        return "typeof %s" % operand, _LEVEL_UNARY
+    if isinstance(expr, ast.CoerceExpr):
+        return (
+            "(coerce %s to %s)"
+            % (pretty_expr(expr.operand), pretty_type(expr.target)),
+            _LEVEL_ATOM,
+        )
+    if isinstance(expr, ast.If):
+        return (
+            "(if %s then %s else %s)"
+            % (
+                pretty_expr(expr.condition),
+                pretty_expr(expr.then_branch),
+                pretty_expr(expr.else_branch),
+            ),
+            _LEVEL_ATOM,
+        )
+    if isinstance(expr, ast.LetIn):
+        annotation = (
+            ": %s" % pretty_type(expr.annotation)
+            if expr.annotation is not None
+            else ""
+        )
+        return (
+            "(let %s%s = %s in %s)"
+            % (expr.name, annotation, pretty_expr(expr.bound), pretty_expr(expr.body)),
+            _LEVEL_ATOM,
+        )
+    if isinstance(expr, ast.Lambda):
+        params = ", ".join(
+            "%s: %s" % (name, pretty_type(t)) for name, t in expr.params
+        )
+        return "(fn(%s) => %s)" % (params, pretty_expr(expr.body)), _LEVEL_ATOM
+    if isinstance(expr, ast.TagExpr):
+        if isinstance(expr.operand, ast.UnitLit):
+            return "tag %s()" % expr.label, _LEVEL_ATOM
+        return "tag %s(%s)" % (expr.label, pretty_expr(expr.operand)), _LEVEL_ATOM
+    if isinstance(expr, ast.CaseExpr):
+        arms = " | ".join(
+            "%s %s => %s" % (arm.label, arm.binder, pretty_expr(arm.body))
+            for arm in expr.arms
+        )
+        return (
+            "(case %s of %s)" % (pretty_expr(expr.subject), arms),
+            _LEVEL_ATOM,
+        )
+    raise LanguageError("cannot pretty-print expression %r" % (expr,))
+
+
+def pretty_decl(decl: ast.Decl) -> str:
+    """Render one declaration, terminated by a semicolon."""
+    if isinstance(decl, ast.TypeDecl):
+        return "type %s = %s;" % (decl.name, pretty_type(decl.definition))
+    if isinstance(decl, ast.LetDecl):
+        annotation = (
+            ": %s" % pretty_type(decl.annotation)
+            if decl.annotation is not None
+            else ""
+        )
+        return "let %s%s = %s;" % (decl.name, annotation, pretty_expr(decl.value))
+    if isinstance(decl, ast.FunDecl):
+        type_params = ""
+        if decl.type_params:
+            rendered = []
+            for param in decl.type_params:
+                if param.bound is not None:
+                    rendered.append(
+                        "%s <= %s" % (param.name, pretty_type(param.bound))
+                    )
+                else:
+                    rendered.append(param.name)
+            type_params = "[%s]" % ", ".join(rendered)
+        params = ", ".join(
+            "%s: %s" % (name, pretty_type(t)) for name, t in decl.params
+        )
+        return "fun %s%s(%s): %s = %s;" % (
+            decl.name,
+            type_params,
+            params,
+            pretty_type(decl.result),
+            pretty_expr(decl.body),
+        )
+    if isinstance(decl, ast.ExprStmt):
+        return "%s;" % pretty_expr(decl.expr)
+    raise LanguageError("cannot pretty-print declaration %r" % (decl,))
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program, one declaration per line."""
+    return "\n".join(pretty_decl(decl) for decl in program.declarations)

@@ -1,0 +1,146 @@
+"""An interactive read-eval-print loop for DBPL.
+
+Run with ``python -m repro.lang.repl`` (optionally passing a store path
+for ``extern``/``intern``).  Commands:
+
+* ``:type <expr>``   — show the static type without evaluating;
+* ``:ast <expr>``    — show the parsed syntax tree (pretty-printed);
+* ``:load <path>``   — run a DBPL source file in the session;
+* ``:quit``          — leave.
+
+Everything else is checked and evaluated in the running session, so
+``let``/``fun``/``type`` declarations accumulate, as in PS-algol's
+interactive tradition.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Optional
+
+from repro.errors import LanguageError, ReproError, TypeSystemError
+from repro.lang.checker import CheckEnv, check_program
+from repro.lang.eval import Interpreter, format_value
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+PROMPT = "dbpl> "
+BANNER = (
+    "DBPL — the database programming language of the Buneman–Atkinson\n"
+    "reproduction.  :type E, :ast E, :load FILE, :quit\n"
+)
+
+
+class Repl:
+    """A REPL session wrapping an :class:`Interpreter`.
+
+    ``writer`` receives output lines (defaults to ``print``); injecting
+    it keeps the class testable without capturing stdout.
+    """
+
+    def __init__(
+        self,
+        store: Optional[str] = None,
+        writer: Optional[Callable[[str], None]] = None,
+    ):
+        self._interp = Interpreter(store)
+        self._write = writer if writer is not None else print
+        self.done = False
+
+    def handle(self, line: str) -> None:
+        """Process one input line (a command or DBPL source)."""
+        stripped = line.strip()
+        if not stripped:
+            return
+        if stripped.startswith(":"):
+            self._command(stripped)
+            return
+        self._evaluate(stripped)
+
+    def _command(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1] if len(parts) > 1 else ""
+        if command in (":quit", ":q"):
+            self.done = True
+        elif command == ":type":
+            self._show_type(argument)
+        elif command == ":ast":
+            self._show_ast(argument)
+        elif command == ":load":
+            self._load(argument)
+        else:
+            self._write("unknown command %s" % command)
+
+    def _show_type(self, source: str) -> None:
+        if not source:
+            self._write("usage: :type <expression>")
+            return
+        try:
+            program = parse_program(source)
+            # Check against a *copy* of the session env: :type must not
+            # commit declarations.
+            env = CheckEnv(
+                self._interp._check_env.values,
+                self._interp._check_env.type_names,
+                self._interp._check_env.bounds,
+            )
+            inferred, __ = check_program(program, env)
+            self._write(str(inferred) if inferred is not None else "<declaration>")
+        except (LanguageError, TypeSystemError, ReproError) as exc:
+            self._write("error: %s" % exc)
+
+    def _show_ast(self, source: str) -> None:
+        if not source:
+            self._write("usage: :ast <source>")
+            return
+        try:
+            self._write(pretty_program(parse_program(source)))
+        except (LanguageError, ReproError) as exc:
+            self._write("error: %s" % exc)
+
+    def _load(self, path: str) -> None:
+        if not path:
+            self._write("usage: :load <path>")
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            self._write("error: %s" % exc)
+            return
+        self._evaluate(source)
+
+    def _evaluate(self, source: str) -> None:
+        try:
+            before = len(self._interp.output)
+            result = self._interp.run(source)
+            for line in self._interp.output[before:]:
+                self._write(line)
+            if result.value is not None:
+                self._write(format_value(result.value))
+        except (LanguageError, TypeSystemError, ReproError) as exc:
+            self._write("error: %s" % exc)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: ``python -m repro.lang.repl [store-path]``."""
+    argv = argv if argv is not None else sys.argv[1:]
+    store = argv[0] if argv else None
+    repl = Repl(store)
+    print(BANNER)
+    while not repl.done:
+        try:
+            line = input(PROMPT)
+        except EOFError:
+            print()
+            break
+        except KeyboardInterrupt:
+            print()
+            continue
+        repl.handle(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

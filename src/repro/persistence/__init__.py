@@ -1,0 +1,52 @@
+"""The three persistence models over a self-describing store.
+
+The paper's final section classifies persistence mechanisms:
+
+* **all-or-nothing** (:mod:`repro.persistence.allornothing`) — "an
+  interactive session may be halted and resumed later": a whole-image
+  snapshot, simple but structureless;
+* **replicating** (:mod:`repro.persistence.replicating`) — Amber's
+  ``extern``/``intern``: values are *copied* to secondary storage
+  together with their types; shared substructure is duplicated per
+  handle and updates through one handle are invisible through another
+  (the update anomaly, reproduced and tested here);
+* **intrinsic** (:mod:`repro.persistence.intrinsic`) — PS-algol/
+  GemStone: "every value in a program is persistent"; reachability from
+  named roots decides what survives, ``commit`` makes it so, sharing and
+  identity are preserved, and transient fields can be attached to
+  persistent values (the bill-of-materials memoization).
+
+Substrate modules:
+
+* :mod:`repro.persistence.heap` — mutable persistent objects
+  (:class:`~repro.persistence.heap.PObject`) with identity, and
+  reachability traversal;
+* :mod:`repro.persistence.serialize` — self-describing serialization:
+  a value persists *with its type* (the paper's principle (2)),
+  preserving sharing and cycles;
+* :mod:`repro.persistence.store` — an append-only, crash-safe log store
+  plus an atomic snapshot file, our file-system substrate;
+* :mod:`repro.persistence.schema` — schema evolution: rebinding a
+  handle at a supertype (a view) or a consistent type (an enrichment).
+"""
+
+from repro.persistence.heap import PObject, reachable
+from repro.persistence.serialize import deserialize, serialize
+from repro.persistence.store import LogStore, SnapshotFile
+from repro.persistence.allornothing import ImagePersistence
+from repro.persistence.replicating import ReplicatingStore
+from repro.persistence.intrinsic import PersistentHeap
+from repro.persistence.schema import SchemaRegistry
+
+__all__ = [
+    "PObject",
+    "reachable",
+    "serialize",
+    "deserialize",
+    "LogStore",
+    "SnapshotFile",
+    "ImagePersistence",
+    "ReplicatingStore",
+    "PersistentHeap",
+    "SchemaRegistry",
+]

@@ -1,0 +1,64 @@
+"""All-or-nothing persistence: whole-image save and resume.
+
+The paper: "The first, and simplest, is all-or-nothing persistence that
+is commonly used with interactive programming languages.  Some versions
+of Lisp and Prolog, for example, allow one to save the state of an
+interactive session and resume it later ...  While simple to implement,
+this approach does not provide adequate structure for database work: it
+does not allow sharing of values among programs; moreover the user cannot
+separate the relatively constant structures he has created (the database)
+from the extremely volatile structures such as experimental programs."
+
+:class:`ImagePersistence` implements exactly this: the program's entire
+environment (a name→value mapping) is serialized as one document and
+restored wholesale.  The documented weaknesses are real in this
+implementation — there is no per-value granularity, no sharing between
+two live images, and a resume replaces everything — and benchmark E3
+measures the cost of re-saving a whole image after a one-value change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import PersistenceError
+from repro.persistence.serialize import deserialize, serialize
+from repro.persistence.store import SnapshotFile
+
+
+class ImagePersistence:
+    """Save/resume a whole environment image atomically.
+
+    The environment is any mapping from names to serializable values;
+    mutable object graphs keep their internal sharing within one image
+    (the dict is serialized as a single document).
+    """
+
+    def __init__(self, path: str):
+        self._snapshot = SnapshotFile(path)
+
+    @property
+    def path(self) -> str:
+        """The image file path."""
+        return self._snapshot.path
+
+    def save_image(self, environment: Mapping[str, object]) -> None:
+        """Serialize the entire environment and atomically replace the image."""
+        if not isinstance(environment, Mapping):
+            raise PersistenceError(
+                "an image is a name->value mapping, got %r" % (environment,)
+            )
+        document = serialize(dict(environment))
+        self._snapshot.save(document)
+
+    def resume(self) -> Dict[str, object]:
+        """Rebuild the saved environment (everything, or nothing)."""
+        document = self._snapshot.load()
+        environment = deserialize(document)
+        if not isinstance(environment, dict):
+            raise PersistenceError("image does not contain an environment")
+        return environment
+
+    def has_image(self) -> bool:
+        """Was an image ever saved?"""
+        return self._snapshot.exists()

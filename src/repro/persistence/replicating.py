@@ -1,0 +1,186 @@
+"""Replicating persistence: Amber's ``extern``/``intern``.
+
+The paper: "The second form of persistence is controlled by having
+program instructions that move structures in and out of secondary
+(persistent) storage.  We shall call this replicating persistence since
+structures are replicated in secondary storage ...  Amber provides the
+most complete example of replicating persistence through the use of
+dynamic types"::
+
+    extern('DBFile', dynamic d)          -- write a copy, with its type
+    var x = intern 'DBFile'              -- read a fresh copy back
+    var d = coerce x to database         -- fails if the type changed
+
+Handles "maintain a name for a value across program boundaries", but
+"the handle refers to a *copy* of the data": modifications made after an
+extern do not survive a later intern, and "if values a and b both refer
+to a third value c then any change made to c through a handle for a will
+not be visible from a handle for b, since these two handles will refer
+to distinct copies of c.  This may be the cause of both update anomalies
+and wasted storage."  Both defects are deliberately reproduced here and
+pinned down by tests and benchmark E3.
+
+When a dynamic value is externed "it carries with it everything that is
+reachable from that value" — the serializer walks the full object graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.errors import PersistenceError, UnknownHandleError
+from repro.persistence.serialize import deserialize, serialize, stored_type
+from repro.persistence.store import LogStore
+from repro.types.dynamic import Dynamic
+from repro.types.kinds import Type
+
+_HANDLE_PREFIX = "extern:"
+
+
+class StaleHandleError(PersistenceError):
+    """Raised by a conditional extern when the handle moved underneath.
+
+    The paper: "if any concurrency is to be implemented through the use
+    of replicating persistence, it must be done by ensuring that the
+    various extern and intern operations for a given handle are properly
+    synchronized."  Version checks are that synchronization: a program
+    that interned version N may only extern on top of version N.
+    """
+
+    def __init__(self, handle: str, expected: int, actual: int):
+        self.handle = handle
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            "handle %r is at version %d, but the extern expected version %d"
+            " (another program got there first)" % (handle, actual, expected)
+        )
+
+
+@dataclass
+class Versioned:
+    """An interned value together with the version it came from."""
+
+    value: Dynamic
+    version: int
+
+
+class ReplicatingStore:
+    """``extern``/``intern`` over a log store.
+
+    Accepts an existing :class:`LogStore` or a path.  Every extern
+    serializes (copies) the dynamic's whole reachable closure; every
+    intern deserializes a fresh copy.
+    """
+
+    def __init__(self, store: Union[LogStore, str]):
+        self._store = store if isinstance(store, LogStore) else LogStore(store)
+
+    @property
+    def store(self) -> LogStore:
+        """The backing log store."""
+        return self._store
+
+    def extern(self, handle: str, dyn: Dynamic) -> int:
+        """Replicate ``dyn`` (and everything reachable) under ``handle``.
+
+        Only dynamics may be externed — the value must travel with its
+        type description (principle (2)); seal plain values with
+        :func:`~repro.types.dynamic.dynamic` first.  Returns the new
+        version number (1 for a fresh handle).
+        """
+        if not isinstance(dyn, Dynamic):
+            raise PersistenceError(
+                "extern takes a Dynamic (the value must carry its type); "
+                "got %r" % (dyn,)
+            )
+        document = serialize(dyn.value, typ=dyn.carried)
+        previous = self._store.get(_HANDLE_PREFIX + handle)
+        version = 1 if previous is None else int(previous.get("version", 0)) + 1
+        document["version"] = version
+        self._store.put(_HANDLE_PREFIX + handle, document)
+        self._store.sync()
+        return version
+
+    def version_of(self, handle: str) -> Optional[int]:
+        """The current version of a handle (``None`` when unbound)."""
+        document = self._store.get(_HANDLE_PREFIX + handle)
+        return None if document is None else int(document.get("version", 1))
+
+    def intern_versioned(self, handle: str) -> Versioned:
+        """Intern a copy together with its version, for a later
+        :meth:`extern_if_version` — the optimistic-concurrency read."""
+        version = self.version_of(handle)
+        if version is None:
+            raise UnknownHandleError("no value externed under %r" % (handle,))
+        return Versioned(self.intern(handle), version)
+
+    def extern_if_version(
+        self, handle: str, dyn: Dynamic, expected_version: int
+    ) -> int:
+        """Extern only if the handle is still at ``expected_version``.
+
+        Raises :class:`StaleHandleError` otherwise — preventing the
+        lost update that unsynchronized replicating persistence allows.
+        """
+        actual = self.version_of(handle)
+        actual = actual if actual is not None else 0
+        if actual != expected_version:
+            raise StaleHandleError(handle, expected_version, actual)
+        return self.extern(handle, dyn)
+
+    def intern(self, handle: str) -> Dynamic:
+        """Read a fresh copy of the value stored under ``handle``.
+
+        Returns a :class:`Dynamic` carrying the persisted type; coerce it
+        to reveal the value, as in the paper's Amber fragment.  Each call
+        builds an independent copy — interning twice yields two.
+        """
+        document = self._store.get(_HANDLE_PREFIX + handle)
+        if document is None:
+            raise UnknownHandleError("no value externed under %r" % (handle,))
+        carried = stored_type(document)
+        if carried is None:
+            raise PersistenceError(
+                "handle %r was stored without a type description" % (handle,)
+            )
+        value = deserialize(document)
+        return Dynamic(value, carried)
+
+    def stored_type_of(self, handle: str) -> Optional[Type]:
+        """The persisted type under ``handle`` without copying the value."""
+        document = self._store.get(_HANDLE_PREFIX + handle)
+        return None if document is None else stored_type(document)
+
+    def drop(self, handle: str) -> None:
+        """Forget a handle (tombstone in the log)."""
+        key = _HANDLE_PREFIX + handle
+        if key not in self._store:
+            raise UnknownHandleError("no value externed under %r" % (handle,))
+        self._store.delete(key)
+
+    def handles(self) -> List[str]:
+        """The currently bound handles."""
+        return [
+            key[len(_HANDLE_PREFIX):]
+            for key in self._store.keys()
+            if key.startswith(_HANDLE_PREFIX)
+        ]
+
+    def __contains__(self, handle: object) -> bool:
+        return isinstance(handle, str) and (_HANDLE_PREFIX + handle) in self._store
+
+    def storage_bytes(self) -> int:
+        """On-disk bytes — grows with every extern (copies accumulate)."""
+        return self._store.size_bytes()
+
+    def close(self) -> None:
+        """Close the backing store."""
+        self._store.close()
+
+    def __enter__(self) -> "ReplicatingStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

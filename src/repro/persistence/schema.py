@@ -1,0 +1,157 @@
+"""Schema evolution: recompiling a program against an evolved handle type.
+
+The paper's type-checking story for persistent handles:
+
+    "Assuming static type-checking, the first time the program Test is
+    compiled, the type DBType is associated with the handle DBHandle.
+    Now suppose that at a later time, we recompile a modified version of
+    Test with a new definition DBType' for the type of DB.  There is no
+    reason why the compilation will fail if DBType is a subtype of
+    DBType' ... the program should work since all the operations defined
+    for DBType' must be applicable to the value associated with the
+    handle ...  This second compilation with DBType' is simply providing
+    us with a *view* of the data.
+
+    A more interesting possibility arises when DBType is not a subtype
+    of DBType', but is *consistent* with it, i.e. there is a common
+    subtype of both ...  the handle now refers to a value with a richer
+    structure.  Provided we never contradict any of our previous
+    definitions, we can continue to enrich the type, or schema, of the
+    database."
+
+:class:`SchemaRegistry` implements the handle/type association and the
+three recompilation outcomes (view / enrichment / error).  It also
+reproduces the paper's warning about replicating persistence: "the
+obvious interpretation of an extern operation for an object of type
+DBType' is to replicate an object of that type rather than a supertype,
+thereby losing structure from the database" — :func:`project_to_type`
+performs that lossy projection, and the tests show intrinsic persistence
+avoids it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.core.orders import PartialRecord
+from repro.errors import SchemaEvolutionError, UnknownHandleError
+from repro.persistence.store import LogStore
+from repro.persistence.serialize import decode_type, encode_type
+from repro.types.kinds import ListType, RecordType, SetType, Type
+from repro.types.subtyping import is_subtype, meet_types
+
+_SCHEMA_PREFIX = "schema:"
+
+
+@dataclass
+class Compilation:
+    """The outcome of re-compiling a handle at a requested type."""
+
+    handle: str
+    requested: Type
+    stored_before: Type
+    stored_after: Type
+    outcome: str  # 'first', 'view', 'enrichment'
+
+    def is_view(self) -> bool:
+        """Did the program merely obtain a view of richer data?"""
+        return self.outcome == "view"
+
+    def is_enrichment(self) -> bool:
+        """Did the compilation enrich the database schema?"""
+        return self.outcome == "enrichment"
+
+
+class SchemaRegistry:
+    """Tracks the type associated with each persistent handle.
+
+    The registry persists its associations in a log store, so the
+    "second compilation" can happen in a later process.
+    """
+
+    def __init__(self, store: Union[LogStore, str]):
+        self._store = store if isinstance(store, LogStore) else LogStore(store)
+
+    def declared_type(self, handle: str) -> Optional[Type]:
+        """The type currently associated with ``handle``, if any."""
+        node = self._store.get(_SCHEMA_PREFIX + handle)
+        return None if node is None else decode_type(node)
+
+    def handles(self) -> List[str]:
+        """All handles with a declared type."""
+        return [
+            key[len(_SCHEMA_PREFIX):]
+            for key in self._store.keys()
+            if key.startswith(_SCHEMA_PREFIX)
+        ]
+
+    def compile_at(self, handle: str, requested: Type) -> Compilation:
+        """Associate ``handle`` with ``requested``, by the paper's rules.
+
+        * first compilation: the association is simply recorded;
+        * stored ≤ requested: a *view* — the stored (richer) type is
+          kept, the program sees the supertype;
+        * stored consistent with requested: an *enrichment* — the stored
+          type becomes the common subtype (their meet);
+        * otherwise: :class:`SchemaEvolutionError`.
+        """
+        stored = self.declared_type(handle)
+        if stored is None:
+            self._record(handle, requested)
+            return Compilation(handle, requested, requested, requested, "first")
+        if is_subtype(stored, requested):
+            return Compilation(handle, requested, stored, stored, "view")
+        met = meet_types(stored, requested)
+        if met is not None:
+            self._record(handle, met)
+            return Compilation(handle, requested, stored, met, "enrichment")
+        raise SchemaEvolutionError(
+            "handle %r has type %s, which is neither a subtype of nor "
+            "consistent with the requested %s" % (handle, stored, requested)
+        )
+
+    def _record(self, handle: str, typ: Type) -> None:
+        self._store.put(_SCHEMA_PREFIX + handle, encode_type(typ))
+        self._store.sync()
+
+    def forget(self, handle: str) -> None:
+        """Drop the association for ``handle``."""
+        key = _SCHEMA_PREFIX + handle
+        if key not in self._store:
+            raise UnknownHandleError("no schema recorded for %r" % (handle,))
+        self._store.delete(key)
+
+    def close(self) -> None:
+        """Close the backing store."""
+        self._store.close()
+
+    def __enter__(self) -> "SchemaRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def project_to_type(value: object, typ: Type) -> object:
+    """Project a value down to what a (super)type can see.
+
+    This is what replicating persistence *does* when a program holding a
+    supertype view externs the database: fields outside the view type are
+    dropped — "thereby losing structure from the database".  Intrinsic
+    persistence never calls this; it persists the objects themselves.
+    """
+    if isinstance(typ, RecordType) and isinstance(value, PartialRecord):
+        fields = {}
+        for label, field_type in typ.fields:
+            field_value = value.get(label)
+            if field_value is not None:
+                fields[label] = project_to_type(field_value, field_type)
+        return PartialRecord(fields)
+    if isinstance(typ, ListType) and isinstance(value, (list, tuple)):
+        return [project_to_type(v, typ.element) for v in value]
+    if isinstance(typ, SetType) and isinstance(value, (set, frozenset)):
+        return {project_to_type(v, typ.element) for v in value}
+    # Scalars and atoms carry no droppable structure; only record fields
+    # outside the view are lost.
+    return value

@@ -1,0 +1,343 @@
+"""File-backed storage substrate: an append-only log and atomic snapshots.
+
+The paper's languages delegate durability to "a suitably persistent data
+type, such as a file".  This module is that substrate, built to the
+standards a database library needs:
+
+* :class:`LogStore` — an append-only log of keyed records (JSON lines,
+  each protected by a length header and checksum).  Readers replay the
+  log into an in-memory index; a torn final record (simulated crash) is
+  detected and ignored rather than corrupting the store.  ``compact``
+  rewrites only live records.
+* :class:`SnapshotFile` — whole-document storage with atomic replace
+  (write to a temporary file, fsync, rename), so a snapshot is either
+  the old version or the new one, never a torn mixture.
+
+Keys are strings; payloads are JSON-compatible documents (what
+:mod:`repro.persistence.serialize` produces).  A ``None`` payload in the
+log is a tombstone (deletion).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import StoreCorruptError
+
+Document = object  # JSON-compatible
+
+
+def _checksum(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class LogStore:
+    """An append-only, crash-tolerant key→document log store.
+
+    Record wire format, one per line::
+
+        <payload-length>:<crc32>:<payload-json>\\n
+
+    Writes are buffered; :meth:`sync` (or closing) flushes and fsyncs.
+    The latest record per key wins on replay; ``None`` payloads delete.
+
+    **Atomic batches.**  Records written inside a :meth:`batch` block
+    carry a batch flag and only take effect on replay once the batch's
+    commit marker follows them — so a crash mid-batch loses the whole
+    batch, never half of it.  This is what gives the intrinsic heap its
+    all-or-nothing ``commit``.
+    """
+
+    def __init__(self, path: str):
+        self._path = path
+        self._index: Dict[str, Document] = {}
+        self._live = 0
+        self._total = 0
+        self._in_batch = False
+        if os.path.exists(path):
+            self._replay()
+        self._file = open(path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> str:
+        """The backing file path."""
+        return self._path
+
+    def _replay(self) -> None:
+        """Replay the log; truncate any torn tail so appends stay clean.
+
+        A crash can leave a partial final record (no trailing newline,
+        bad length, or bad checksum).  Appending after such a tail would
+        glue the next record onto garbage, so the file is truncated back
+        to the end of the last valid record before reopening for append.
+        """
+        with open(self._path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        valid_end = 0
+        line_number = 0
+        pending: list = []  # batch records awaiting their commit marker
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break  # no terminator: a torn final record
+            line_number += 1
+            line = data[offset:newline].decode("utf-8", errors="replace")
+            offset = newline + 1
+            if not line:
+                if not pending:
+                    valid_end = offset
+                continue
+            record = self._parse(line, line_number)
+            if record is None:
+                break  # torn/corrupt record: everything after is untrusted
+            key, payload, flag = record
+            if flag == "marker":
+                for pending_key, pending_payload in pending:
+                    self._apply(pending_key, pending_payload)
+                    self._total += 1
+                pending = []
+                self._total += 1
+                valid_end = offset
+            elif flag == "batch":
+                pending.append((key, payload))
+            else:
+                self._apply(key, payload)
+                self._total += 1
+                if not pending:
+                    valid_end = offset
+        # An uncommitted batch tail (or torn record) is discarded: the
+        # file is truncated to the last committed point so future
+        # appends never interleave with dead records.
+        if valid_end < len(data):
+            with open(self._path, "r+b") as handle:
+                handle.truncate(valid_end)
+
+    def _parse(
+        self, line: str, line_number: int
+    ) -> Optional[Tuple[str, Document, str]]:
+        """Parse one record into (key, payload, flag).
+
+        ``flag`` is ``'plain'``, ``'batch'``, or ``'marker'`` (a batch
+        commit point).  Returns ``None`` for a torn/corrupt record.
+        """
+        try:
+            length_text, crc_text, payload_text = line.split(":", 2)
+            length = int(length_text)
+            crc = int(crc_text)
+        except ValueError:
+            return None
+        data = payload_text.encode("utf-8")
+        if len(data) != length or _checksum(data) != crc:
+            return None
+        try:
+            entry = json.loads(payload_text)
+            if "m" in entry:
+                return "", None, "marker"
+            flag = "batch" if entry.get("b") else "plain"
+            return entry["k"], entry.get("v"), flag
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise StoreCorruptError(
+                "record %d passes checksum but is not a record: %s"
+                % (line_number, exc)
+            ) from exc
+
+    def _apply(self, key: str, payload: Document) -> None:
+        if payload is None:
+            if key in self._index:
+                del self._index[key]
+                self._live -= 1
+        else:
+            if key not in self._index:
+                self._live += 1
+            self._index[key] = payload
+
+    def _append(self, entry: Dict[str, Document]) -> None:
+        text = json.dumps(entry, separators=(",", ":"))
+        data = text.encode("utf-8")
+        self._file.write("%d:%d:%s\n" % (len(data), _checksum(data), text))
+        self._total += 1
+
+    # -- public API -----------------------------------------------------------
+
+    def put(self, key: str, document: Document) -> None:
+        """Write (or overwrite) the document stored under ``key``.
+
+        Inside a :meth:`batch` block the write is buffered and becomes
+        visible (and durable) only when the batch commits.
+        """
+        if document is None:
+            raise StoreCorruptError("use delete() rather than storing None")
+        if self._in_batch:
+            self._batch_ops.append((key, document))
+            return
+        self._append({"k": key, "v": document})
+        self._apply(key, document)
+
+    def get(self, key: str) -> Optional[Document]:
+        """The latest document under ``key``, or ``None`` when absent."""
+        return self._index.get(key)
+
+    def delete(self, key: str) -> None:
+        """Write a tombstone for ``key`` (idempotent)."""
+        if self._in_batch:
+            self._batch_ops.append((key, None))
+            return
+        self._append({"k": key, "v": None})
+        self._apply(key, None)
+
+    @contextmanager
+    def batch(self):
+        """Group writes into one atomic, all-or-nothing unit.
+
+        Operations inside the block are buffered; on normal exit they
+        are appended with a batch flag, sealed with a commit marker, and
+        fsynced — replay applies either all of them or none.  If the
+        block raises, nothing is written at all.  Batches do not nest.
+        """
+        if self._in_batch:
+            raise StoreCorruptError("batches do not nest")
+        self._in_batch = True
+        self._batch_ops: list = []
+        try:
+            yield self
+        except BaseException:
+            self._batch_ops = []
+            raise
+        finally:
+            self._in_batch = False
+        operations = self._batch_ops
+        self._batch_ops = []
+        if not operations:
+            return
+        for key, payload in operations:
+            self._append({"k": key, "v": payload, "b": 1})
+        self._append({"m": 1})
+        self.sync()
+        for key, payload in operations:
+            self._apply(key, payload)
+
+    def keys(self) -> Iterator[str]:
+        """The live keys."""
+        return iter(sorted(self._index))
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def sync(self) -> None:
+        """Flush buffered writes and fsync — the durability point."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Sync and close the backing file."""
+        if not self._file.closed:
+            self.sync()
+            self._file.close()
+
+    def __enter__(self) -> "LogStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- maintenance -----------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        """Total records written (live + superseded + tombstones)."""
+        return self._total
+
+    def garbage_ratio(self) -> float:
+        """Fraction of log records that are dead (superseded/tombstones)."""
+        if self._total == 0:
+            return 0.0
+        return 1.0 - (len(self._index) / self._total)
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only the latest record per live key.
+
+        Atomic: the new log is written beside the old one and renamed
+        into place, so a crash during compaction loses nothing.
+        """
+        self.close()
+        directory = os.path.dirname(os.path.abspath(self._path)) or "."
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".compact")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as out:
+                for key in sorted(self._index):
+                    text = json.dumps(
+                        {"k": key, "v": self._index[key]}, separators=(",", ":")
+                    )
+                    data = text.encode("utf-8")
+                    out.write("%d:%d:%s\n" % (len(data), _checksum(data), text))
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(temp_path, self._path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._total = len(self._index)
+        self._file = open(self._path, "a", encoding="utf-8")
+
+    def size_bytes(self) -> int:
+        """The on-disk size of the log (after a sync)."""
+        self.sync()
+        return os.path.getsize(self._path)
+
+
+class SnapshotFile:
+    """Whole-document storage with atomic replace.
+
+    Used by all-or-nothing persistence: the image is one document; a
+    save replaces the previous image only once fully written.
+    """
+
+    def __init__(self, path: str):
+        self._path = path
+
+    @property
+    def path(self) -> str:
+        """The snapshot file path."""
+        return self._path
+
+    def exists(self) -> bool:
+        """Does a snapshot exist on disk?"""
+        return os.path.exists(self._path)
+
+    def save(self, document: Document) -> None:
+        """Atomically replace the snapshot with ``document``."""
+        directory = os.path.dirname(os.path.abspath(self._path)) or "."
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".snapshot")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as out:
+                json.dump(document, out, separators=(",", ":"))
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(temp_path, self._path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def load(self) -> Document:
+        """Read the snapshot; raises :class:`StoreCorruptError` if absent
+        or unreadable."""
+        if not self.exists():
+            raise StoreCorruptError("no snapshot at %r" % (self._path,))
+        with open(self._path, "r", encoding="utf-8") as handle:
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StoreCorruptError(
+                    "snapshot %r is unreadable: %s" % (self._path, exc)
+                ) from exc

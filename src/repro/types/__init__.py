@@ -1,0 +1,102 @@
+"""A Cardelli–Wegner style type system with inheritance.
+
+The paper argues that, given a type system combining *subtyping* with
+*bounded universal and existential quantification* [Card85a], the class
+hierarchy of a database programming language can be derived from the type
+hierarchy: the generic extraction function can be given the static type
+
+    Get : ∀t. Database → List[∃t' ≤ t]
+
+This package provides that type system:
+
+* :mod:`repro.types.kinds` — the type expressions (base types, records,
+  variants, lists, sets, functions, type variables, bounded ``∀``/``∃``,
+  ``Dynamic``, ``Type``);
+* :mod:`repro.types.equivalence` — α-equivalence and substitution;
+* :mod:`repro.types.subtyping` — the subtype relation ``≤`` (kernel
+  F-sub, so that subtyping stays decidable — a property the paper calls
+  "obviously desirable"), plus type joins/meets and *consistency* (a
+  common subtype exists), which drives schema evolution;
+* :mod:`repro.types.dynamic` — Amber-style ``Dynamic`` values carrying
+  "both a value and a type", with ``dynamic``/``coerce``/``type_of``;
+* :mod:`repro.types.infer` — most-specific-type inference for runtime
+  values, so ``dynamic`` needs no annotation.
+"""
+
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TOP,
+    TYPE,
+    UNIT,
+    BaseType,
+    BottomType,
+    DynamicType,
+    Exists,
+    ForAll,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+    TopType,
+    Type,
+    TypeType,
+    TypeVar,
+    VariantType,
+    record_type,
+)
+from repro.types.subtyping import (
+    consistent_types,
+    is_subtype,
+    join_types,
+    meet_types,
+)
+from repro.types.equivalence import equivalent_types, free_type_vars, substitute
+from repro.types.dynamic import Dynamic, coerce, dynamic, type_of
+from repro.types.infer import infer_type
+from repro.types.packages import Package, pack
+
+__all__ = [
+    "BOOL",
+    "BOTTOM",
+    "DYNAMIC",
+    "FLOAT",
+    "INT",
+    "STRING",
+    "TOP",
+    "TYPE",
+    "UNIT",
+    "BaseType",
+    "BottomType",
+    "DynamicType",
+    "Exists",
+    "ForAll",
+    "FunctionType",
+    "ListType",
+    "RecordType",
+    "SetType",
+    "TopType",
+    "Type",
+    "TypeType",
+    "TypeVar",
+    "VariantType",
+    "record_type",
+    "consistent_types",
+    "is_subtype",
+    "join_types",
+    "meet_types",
+    "equivalent_types",
+    "free_type_vars",
+    "substitute",
+    "Dynamic",
+    "coerce",
+    "dynamic",
+    "type_of",
+    "infer_type",
+    "Package",
+    "pack",
+]

@@ -1,0 +1,127 @@
+"""Amber-style Dynamic values: a value paired with its type.
+
+The paper, on Amber: "there is a special type Dynamic whose values carry
+around both a value and a type.  Ordinary values, such as integers can be
+made dynamic by a dynamic operator, and coerced back to ordinary values
+with coerce"::
+
+    let d = dynamic 3
+    let i = coerce d to Int     -- succeeds, i = 3
+    let s = coerce d to String  -- run-time exception
+
+and "Amber provides a special type Type whose values describe types, and
+a special function typeOf that takes any dynamic value and returns a
+description (another value) of its type."
+
+This module is the run-time half of that story; the static half (using a
+Dynamic where an Int is expected is a *static* type error) is enforced by
+the DBPL checker in :mod:`repro.lang.checker`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CoercionError, TypeSystemError
+from repro.types.infer import infer_type
+from repro.types.kinds import Type
+from repro.types.subtyping import is_subtype
+
+
+class Dynamic:
+    """An immutable pair of a value and a description of its type.
+
+    Construct via :func:`dynamic`; unpack via :func:`coerce`.  Equality
+    compares both components, so two dynamics of the "same" value at
+    different types differ — the type travels with the value, which is
+    what makes replicating persistence self-describing (the paper's
+    principle (2): "While a value persists, so should its description").
+    """
+
+    __slots__ = ("_value", "_carried")
+
+    def __init__(self, value: object, carried: Type):
+        if not isinstance(carried, Type):
+            raise TypeSystemError(
+                "a Dynamic carries a Type, not %r" % (carried,)
+            )
+        self._value = value
+        self._carried = carried
+
+    @property
+    def value(self) -> object:
+        """The wrapped value.  Prefer :func:`coerce`, which checks the type."""
+        return self._value
+
+    @property
+    def carried(self) -> Type:
+        """The type description travelling with the value."""
+        return self._carried
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dynamic):
+            return NotImplemented
+        return self._value == other._value and self._carried == other._carried
+
+    def __hash__(self) -> int:
+        try:
+            return hash((Dynamic, self._value, self._carried))
+        except TypeError:
+            return hash((Dynamic, self._carried))
+
+    def __repr__(self) -> str:
+        return "dynamic(%r : %s)" % (self._value, self._carried)
+
+
+def dynamic(value: object, typ: Optional[Type] = None) -> Dynamic:
+    """Make ``value`` dynamic, inferring its type unless ``typ`` is given.
+
+    An explicit ``typ`` must be a supertype of the inferred type — one may
+    seal an Employee at type Person (losing static access to the extra
+    fields) but not claim an Int is a String.
+    """
+    inferred = infer_type(value)
+    if typ is None:
+        return Dynamic(value, inferred)
+    if not is_subtype(inferred, typ):
+        raise TypeSystemError(
+            "cannot seal %r at type %s: its type is %s, not a subtype"
+            % (value, typ, inferred)
+        )
+    return Dynamic(value, typ)
+
+
+def coerce(dyn: Dynamic, typ: Type) -> object:
+    """Reveal the value of ``dyn`` at type ``typ``.
+
+    Succeeds when the carried type is a subtype of ``typ`` (the carried
+    type may be *more* specific — an object extracted at type Employee
+    "may also have a type that is a subtype of Employee").  Otherwise
+    raises :class:`CoercionError`, the paper's run-time exception.
+    """
+    if not isinstance(dyn, Dynamic):
+        raise TypeSystemError("coerce expects a Dynamic, got %r" % (dyn,))
+    if not isinstance(typ, Type):
+        raise TypeSystemError("coerce target must be a Type, got %r" % (typ,))
+    if not is_subtype(dyn.carried, typ):
+        raise CoercionError(dyn.carried, typ)
+    return dyn.value
+
+
+def try_coerce(dyn: Dynamic, typ: Type) -> Optional[object]:
+    """Like :func:`coerce` but returning ``None`` on type mismatch."""
+    try:
+        return coerce(dyn, typ)
+    except CoercionError:
+        return None
+
+
+def type_of(dyn: Dynamic) -> Type:
+    """Amber's ``typeOf``: the carried type, as a first-class value.
+
+    The result is itself a value (of type ``Type``), which is what lets a
+    program interrogate the database's heterogeneous contents.
+    """
+    if not isinstance(dyn, Dynamic):
+        raise TypeSystemError("type_of expects a Dynamic, got %r" % (dyn,))
+    return dyn.carried

@@ -1,0 +1,178 @@
+"""α-equivalence, substitution, and free variables for type expressions.
+
+The paper: "The compiler must be able to manipulate type expressions and
+decide if they are equivalent."  Equivalence here is structural equality
+up to renaming of quantifier-bound variables; substitution is
+capture-avoiding.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import FrozenSet, Mapping
+
+from repro.types.kinds import (
+    FunctionType,
+    ListType,
+    Mu,
+    RecordType,
+    RecVar,
+    SetType,
+    Type,
+    TypeVar,
+    VariantType,
+    _Quantified,
+)
+
+
+def free_type_vars(t: Type) -> FrozenSet[str]:
+    """The names of type variables occurring free in ``t``."""
+    if isinstance(t, TypeVar):
+        return frozenset({t.name})
+    if isinstance(t, RecordType):
+        result: FrozenSet[str] = frozenset()
+        for __, field_type in t.fields:
+            result |= free_type_vars(field_type)
+        return result
+    if isinstance(t, VariantType):
+        result = frozenset()
+        for __, case_type in t.cases:
+            result |= free_type_vars(case_type)
+        return result
+    if isinstance(t, (ListType, SetType)):
+        return free_type_vars(t.element)
+    if isinstance(t, FunctionType):
+        result = free_type_vars(t.result)
+        for param in t.params:
+            result |= free_type_vars(param)
+        return result
+    if isinstance(t, _Quantified):
+        return free_type_vars(t.bound) | (free_type_vars(t.body) - {t.var})
+    if isinstance(t, Mu):
+        return free_type_vars(t.body)  # Mu binds RecVars, not TypeVars
+    return frozenset()
+
+
+_fresh_counter = count()
+
+
+def fresh_var(stem: str = "t") -> str:
+    """A globally fresh type-variable name based on ``stem``."""
+    return "%s#%d" % (stem, next(_fresh_counter))
+
+
+def substitute(t: Type, bindings: Mapping[str, Type]) -> Type:
+    """Capture-avoiding substitution of type variables in ``t``.
+
+    ``bindings`` maps variable names to replacement types.  Bound
+    variables shadow; when a binder would capture a free variable of a
+    replacement, the binder is renamed to a fresh name first.
+    """
+    if not bindings:
+        return t
+    if isinstance(t, TypeVar):
+        return bindings.get(t.name, t)
+    if isinstance(t, RecordType):
+        return RecordType(
+            {label: substitute(ft, bindings) for label, ft in t.fields}
+        )
+    if isinstance(t, VariantType):
+        return VariantType(
+            {label: substitute(ct, bindings) for label, ct in t.cases}
+        )
+    if isinstance(t, ListType):
+        return ListType(substitute(t.element, bindings))
+    if isinstance(t, SetType):
+        return SetType(substitute(t.element, bindings))
+    if isinstance(t, FunctionType):
+        return FunctionType(
+            [substitute(p, bindings) for p in t.params],
+            substitute(t.result, bindings),
+        )
+    if isinstance(t, Mu):
+        return Mu(t.var, substitute(t.body, bindings))
+    if isinstance(t, _Quantified):
+        bound = substitute(t.bound, bindings)
+        inner = {name: rep for name, rep in bindings.items() if name != t.var}
+        if not inner:
+            return type(t)(t.var, t.body, bound)
+        # Rename the binder if any replacement mentions it free (capture).
+        var = t.var
+        body = t.body
+        if any(var in free_type_vars(rep) for rep in inner.values()):
+            renamed = fresh_var(var)
+            body = substitute(body, {var: TypeVar(renamed)})
+            var = renamed
+        return type(t)(var, substitute(body, inner), bound)
+    return t
+
+
+def equivalent_types(a: Type, b: Type) -> bool:
+    """Structural equality up to α-renaming of quantified variables.
+
+    Recursion binders (``Mu``) are α-compared too; note this is
+    *syntactic* equivalence of the finite representations — coinductive
+    equality of unfoldings is what :func:`~repro.types.subtyping.is_subtype`
+    in both directions gives.
+    """
+    return _alpha_eq(a, b, {}, {})
+
+
+def _alpha_eq(a: Type, b: Type, env_a: Mapping[str, str], env_b: Mapping[str, str]) -> bool:
+    if isinstance(a, RecVar) and isinstance(b, RecVar):
+        canon_a = env_a.get("μ" + a.name)
+        canon_b = env_b.get("μ" + b.name)
+        if canon_a is not None or canon_b is not None:
+            return canon_a == canon_b
+        return a.name == b.name
+    if isinstance(a, Mu) and isinstance(b, Mu):
+        canonical = "μ%d" % len(env_a)
+        return _alpha_eq(
+            a.body,
+            b.body,
+            {**env_a, "μ" + a.var: canonical},
+            {**env_b, "μ" + b.var: canonical},
+        )
+    if isinstance(a, TypeVar) and isinstance(b, TypeVar):
+        # Either both bound to the same canonical name, or both free and equal.
+        canon_a = env_a.get(a.name)
+        canon_b = env_b.get(b.name)
+        if canon_a is not None or canon_b is not None:
+            return canon_a == canon_b
+        return a.name == b.name
+    if isinstance(a, _Quantified) and type(a) is type(b):
+        assert isinstance(b, _Quantified)
+        if not _alpha_eq(a.bound, b.bound, env_a, env_b):
+            return False
+        canonical = "α%d" % len(env_a)
+        return _alpha_eq(
+            a.body,
+            b.body,
+            {**env_a, a.var: canonical},
+            {**env_b, b.var: canonical},
+        )
+    if isinstance(a, RecordType) and isinstance(b, RecordType):
+        if a.labels != b.labels:
+            return False
+        return all(
+            _alpha_eq(fa, fb, env_a, env_b)
+            for (__, fa), (__, fb) in zip(a.fields, b.fields)
+        )
+    if isinstance(a, VariantType) and isinstance(b, VariantType):
+        if tuple(l for l, __ in a.cases) != tuple(l for l, __ in b.cases):
+            return False
+        return all(
+            _alpha_eq(ca, cb, env_a, env_b)
+            for (__, ca), (__, cb) in zip(a.cases, b.cases)
+        )
+    if isinstance(a, ListType) and isinstance(b, ListType):
+        return _alpha_eq(a.element, b.element, env_a, env_b)
+    if isinstance(a, SetType) and isinstance(b, SetType):
+        return _alpha_eq(a.element, b.element, env_a, env_b)
+    if isinstance(a, FunctionType) and isinstance(b, FunctionType):
+        if len(a.params) != len(b.params):
+            return False
+        return all(
+            _alpha_eq(pa, pb, env_a, env_b) for pa, pb in zip(a.params, b.params)
+        ) and _alpha_eq(a.result, b.result, env_a, env_b)
+    return a == b

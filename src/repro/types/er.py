@@ -1,0 +1,351 @@
+"""The Entity-Relationship model expressed in the type system.
+
+One of the paper's open questions: "we might ask if there is a
+sufficiently general notion of 'type' in which we could directly express
+an arbitrary data model.  For example, we might ask for a type system in
+which we could write down the Entity-Relationship model [Chen76] ...
+Database schemata described by these models are represented as some
+form of labelled graph.  If we are to represent these as types, we
+require a type system that is powerful enough both to allow the
+representation of labelled graphs (as types, not values) and to allow
+the checking of integrity constraints such as acyclic conditions."
+
+This module is an executable answer for the ER case:
+
+* an :class:`ERSchema` is a labelled graph of entity and relationship
+  declarations, with ISA edges between entities;
+* :meth:`ERSchema.validate` checks the graph's integrity constraints —
+  declared references, key well-formedness, role correctness, and the
+  paper's "acyclic conditions" on the ISA hierarchy;
+* :meth:`ERSchema.entity_type` / :meth:`ERSchema.relationship_type` /
+  :meth:`ERSchema.schema_type` *compile the graph to types* of the
+  Cardelli–Wegner system: entities become record types (ISA becomes
+  subtyping, so the class hierarchy again falls out of the type
+  hierarchy), relationships become records of role keys, and the whole
+  schema becomes one record-of-sets type;
+* :meth:`ERSchema.check_instance` validates a populated instance
+  against the schema: membership typing, key uniqueness, referential
+  integrity of roles, and role cardinalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.orders import PartialRecord, Value, from_python
+from repro.errors import TypeSystemError
+from repro.types.infer import infer_type
+from repro.types.kinds import RecordType, SetType, Type
+from repro.types.subtyping import is_subtype
+
+ONE = "one"
+MANY = "many"
+
+
+class ERSchemaError(TypeSystemError):
+    """Raised when an ER schema violates its integrity constraints."""
+
+
+@dataclass
+class EntityDecl:
+    """An entity set: attributes, a key, and optional ISA parents."""
+
+    name: str
+    attributes: Dict[str, Type]
+    key: Tuple[str, ...]
+    isa: Tuple[str, ...] = ()
+
+
+@dataclass
+class Role:
+    """One leg of a relationship: a named link to an entity set."""
+
+    name: str
+    entity: str
+    cardinality: str = MANY  # 'one': each entity appears at most once
+
+
+@dataclass
+class RelationshipDecl:
+    """A relationship set: roles plus its own attributes."""
+
+    name: str
+    roles: Tuple[Role, ...]
+    attributes: Dict[str, Type] = field(default_factory=dict)
+
+
+class ERSchema:
+    """A labelled-graph ER schema, compiled to types on demand."""
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, EntityDecl] = {}
+        self._relationships: Dict[str, RelationshipDecl] = {}
+
+    # -- declarations ------------------------------------------------------------
+
+    def entity(
+        self,
+        name: str,
+        attributes: Mapping[str, Type],
+        key: Iterable[str],
+        isa: Iterable[str] = (),
+    ) -> EntityDecl:
+        """Declare an entity set."""
+        if name in self._entities or name in self._relationships:
+            raise ERSchemaError("duplicate declaration %r" % name)
+        decl = EntityDecl(name, dict(attributes), tuple(key), tuple(isa))
+        self._entities[name] = decl
+        return decl
+
+    def relationship(
+        self,
+        name: str,
+        roles: Mapping[str, str],
+        attributes: Optional[Mapping[str, Type]] = None,
+        one_roles: Iterable[str] = (),
+    ) -> RelationshipDecl:
+        """Declare a relationship set.
+
+        ``roles`` maps role names to entity names; roles listed in
+        ``one_roles`` are functional (each entity appears at most once).
+        """
+        if name in self._entities or name in self._relationships:
+            raise ERSchemaError("duplicate declaration %r" % name)
+        ones = set(one_roles)
+        unknown_ones = ones - set(roles)
+        if unknown_ones:
+            raise ERSchemaError(
+                "one_roles %r are not roles of %r" % (sorted(unknown_ones), name)
+            )
+        decl = RelationshipDecl(
+            name,
+            tuple(
+                Role(role, entity, ONE if role in ones else MANY)
+                for role, entity in roles.items()
+            ),
+            dict(attributes or {}),
+        )
+        self._relationships[name] = decl
+        return decl
+
+    # -- graph integrity ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the schema graph's integrity constraints.
+
+        * every ISA parent and role target names a declared entity;
+        * the ISA graph is acyclic (the paper's "acyclic conditions");
+        * every key attribute exists (possibly inherited);
+        * relationships have at least two roles (Chen-style) or one
+          (unary allowed), and role names are unique by construction.
+        """
+        for decl in self._entities.values():
+            for parent in decl.isa:
+                if parent not in self._entities:
+                    raise ERSchemaError(
+                        "entity %r isa unknown entity %r" % (decl.name, parent)
+                    )
+        self._check_isa_acyclic()
+        for decl in self._entities.values():
+            all_attributes = self.all_attributes(decl.name)
+            effective_key = self.key_of(decl.name)  # own or inherited
+            for attribute in effective_key:
+                if attribute not in all_attributes:
+                    raise ERSchemaError(
+                        "key attribute %r of %r is not declared"
+                        % (attribute, decl.name)
+                    )
+            if not effective_key:
+                raise ERSchemaError("entity %r has no key" % decl.name)
+        for decl in self._relationships.values():
+            if not decl.roles:
+                raise ERSchemaError(
+                    "relationship %r has no roles" % decl.name
+                )
+            for role in decl.roles:
+                if role.entity not in self._entities:
+                    raise ERSchemaError(
+                        "role %r of %r targets unknown entity %r"
+                        % (role.name, decl.name, role.entity)
+                    )
+
+    def _check_isa_acyclic(self) -> None:
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str, path: Tuple[str, ...]) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise ERSchemaError(
+                    "ISA cycle: %s" % " -> ".join(path + (name,))
+                )
+            state[name] = 0
+            for parent in self._entities[name].isa:
+                visit(parent, path + (name,))
+            state[name] = 1
+
+        for name in self._entities:
+            visit(name, ())
+
+    # -- derived structure ----------------------------------------------------------
+
+    def all_attributes(self, entity: str) -> Dict[str, Type]:
+        """Own plus ISA-inherited attributes of an entity."""
+        decl = self._require_entity(entity)
+        merged: Dict[str, Type] = {}
+        for parent in decl.isa:
+            merged.update(self.all_attributes(parent))
+        merged.update(decl.attributes)
+        return merged
+
+    def key_of(self, entity: str) -> Tuple[str, ...]:
+        """The entity's key (own, or the nearest ISA ancestor's)."""
+        decl = self._require_entity(entity)
+        if decl.key:
+            return decl.key
+        for parent in decl.isa:
+            key = self.key_of(parent)
+            if key:
+                return key
+        return ()
+
+    def _require_entity(self, name: str) -> EntityDecl:
+        try:
+            return self._entities[name]
+        except KeyError:
+            raise ERSchemaError("unknown entity %r" % name) from None
+
+    # -- compilation to types ----------------------------------------------------------
+
+    def entity_type(self, name: str) -> RecordType:
+        """The record type of an entity (ISA parents become supertypes)."""
+        return RecordType(self.all_attributes(name))
+
+    def relationship_type(self, name: str) -> RecordType:
+        """The record type of a relationship: role-key fields + attributes.
+
+        Each role contributes a field named after the role, typed as the
+        target entity's *key* record — a surrogate for the reference.
+        """
+        try:
+            decl = self._relationships[name]
+        except KeyError:
+            raise ERSchemaError("unknown relationship %r" % name) from None
+        fields: Dict[str, Type] = dict(decl.attributes)
+        for role in decl.roles:
+            key_fields = {
+                attribute: self.all_attributes(role.entity)[attribute]
+                for attribute in self.key_of(role.entity)
+            }
+            fields[role.name] = RecordType(key_fields)
+        return RecordType(fields)
+
+    def schema_type(self) -> RecordType:
+        """The whole schema as one type: a record of entity/rel sets.
+
+        This is the paper's "write down the Entity-Relationship model
+        as generic types" — the labelled graph *is* a type expression.
+        """
+        fields: Dict[str, Type] = {}
+        for name in self._entities:
+            fields[name] = SetType(self.entity_type(name))
+        for name in self._relationships:
+            fields[name] = SetType(self.relationship_type(name))
+        return RecordType(fields)
+
+    def isa_respects_subtyping(self) -> bool:
+        """Every ISA edge yields a structural subtype relation."""
+        for decl in self._entities.values():
+            child = self.entity_type(decl.name)
+            for parent in decl.isa:
+                if not is_subtype(child, self.entity_type(parent)):
+                    return False
+        return True
+
+    # -- instance checking ------------------------------------------------------------
+
+    def check_instance(self, instance: Mapping[str, Iterable[object]]) -> List[str]:
+        """Validate a populated instance; returns violation messages.
+
+        ``instance`` maps entity/relationship names to collections of
+        records (domain values or plain dicts).  Checks: membership
+        typing, key totality and uniqueness, role referential integrity
+        (role keys must match some member of the target entity set),
+        and ``one`` cardinalities.
+        """
+        problems: List[str] = []
+        members: Dict[str, List[Value]] = {}
+        for name in list(self._entities) + list(self._relationships):
+            members[name] = [from_python(m) for m in instance.get(name, [])]
+
+        for name in self._entities:
+            declared = self.entity_type(name)
+            key = self.key_of(name)
+            seen_keys = {}
+            for member in members[name]:
+                if not is_subtype(infer_type(member), declared):
+                    problems.append(
+                        "%s member %r does not have type %s"
+                        % (name, member, declared)
+                    )
+                    continue
+                key_value = _project_key(member, key)
+                if key_value is None:
+                    problems.append(
+                        "%s member %r is partial on key %r" % (name, member, key)
+                    )
+                elif key_value in seen_keys:
+                    problems.append(
+                        "%s key %r duplicated" % (name, key_value)
+                    )
+                else:
+                    seen_keys[key_value] = member
+
+        for name, decl in self._relationships.items():
+            declared = self.relationship_type(name)
+            role_seen: Dict[str, set] = {role.name: set() for role in decl.roles}
+            for member in members[name]:
+                if not is_subtype(infer_type(member), declared):
+                    problems.append(
+                        "%s member %r does not have type %s"
+                        % (name, member, declared)
+                    )
+                    continue
+                assert isinstance(member, PartialRecord)
+                for role in decl.roles:
+                    reference = member[role.name]
+                    target_key = self.key_of(role.entity)
+                    wanted = _project_key(reference, target_key)
+                    matches = [
+                        e
+                        for e in members[role.entity]
+                        if _project_key(e, target_key) == wanted
+                    ]
+                    if not matches:
+                        problems.append(
+                            "%s.%s references missing %s %r"
+                            % (name, role.name, role.entity, reference)
+                        )
+                    if role.cardinality == ONE:
+                        if wanted in role_seen[role.name]:
+                            problems.append(
+                                "%s.%s violates 'one' cardinality at %r"
+                                % (name, role.name, reference)
+                            )
+                        role_seen[role.name].add(wanted)
+        return problems
+
+
+def _project_key(value: Value, key: Tuple[str, ...]):
+    """The tuple of key-attribute values, or ``None`` if partial."""
+    if not isinstance(value, PartialRecord):
+        return None
+    projected = []
+    for attribute in key:
+        part = value.get(attribute)
+        if part is None:
+            return None
+        projected.append(part)
+    return tuple(projected)

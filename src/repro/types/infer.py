@@ -1,0 +1,83 @@
+"""Most-specific-type inference for runtime values.
+
+Amber's ``dynamic`` operator pairs a value with a *description of its
+type*; our :func:`infer_type` computes that description automatically, so
+``dynamic(3)`` needs no annotation.  Inference returns the most specific
+type the system can express:
+
+* scalars map to their base types (``bool`` before ``int`` — Python
+  subclasses them the other way);
+* domain values (:class:`~repro.core.orders.Atom`,
+  :class:`~repro.core.orders.PartialRecord`) map to base and record
+  types — a record's inferred type has exactly its defined fields, so a
+  more informative record gets a *smaller* (sub-) type, the
+  value-order/type-order reversal the paper points out;
+* lists and sets map to ``List``/``Set`` of the join of the element
+  types (``Bottom`` for empty, making the empty list a member of every
+  list type);
+* :class:`~repro.types.dynamic.Dynamic` values have type ``Dynamic``;
+  :class:`~repro.types.kinds.Type` values have type ``Type``.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.core.orders import Atom, PartialRecord
+from repro.errors import TypeSystemError
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TYPE,
+    UNIT,
+    ListType,
+    RecordType,
+    SetType,
+    Type,
+)
+from repro.types.subtyping import join_types
+
+
+def infer_type(value: object) -> Type:
+    """Return the most specific :class:`Type` describing ``value``.
+
+    Raises :class:`TypeSystemError` for values outside the describable
+    universe (arbitrary Python objects).
+    """
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STRING
+    if value is None:
+        return UNIT
+    if isinstance(value, Type):
+        return TYPE
+    if isinstance(value, Atom):
+        return infer_type(value.payload)
+    if isinstance(value, PartialRecord):
+        return RecordType(
+            {label: infer_type(field) for label, field in value.items()}
+        )
+    # Imported late to avoid an import cycle (dynamic imports infer).
+    from repro.types.dynamic import Dynamic
+
+    if isinstance(value, Dynamic):
+        return DYNAMIC
+    if isinstance(value, (list, tuple)):
+        return ListType(_join_all(value))
+    if isinstance(value, (set, frozenset)):
+        return SetType(_join_all(value))
+    raise TypeSystemError("cannot infer a type for %r" % (value,))
+
+
+def _join_all(elements) -> Type:
+    """The join of the element types; ``Bottom`` when empty."""
+    return reduce(join_types, (infer_type(e) for e in elements), BOTTOM)

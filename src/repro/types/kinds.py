@@ -1,0 +1,561 @@
+"""Type expressions for the Cardelli–Wegner style type system.
+
+Types are immutable, hashable trees.  The constructors mirror the system
+of [Card85a] ("On Understanding Types, Data Abstraction, and
+Polymorphism") that the paper builds on:
+
+* base types ``Int``, ``Float``, ``String``, ``Bool``, ``Unit``;
+* ``Top`` (every type is a subtype) and ``Bottom`` (subtype of every
+  type — the type of the empty list's elements);
+* record types, subtyped in width and depth — the representation of
+  inheritance: ``Employee = {Name: String, Emp_no: Int} ≤
+  Person = {Name: String}``;
+* variant types (width subtyping in the opposite direction);
+* homogeneous list and set types (covariant — values are immutable);
+* function types (contravariant domain, covariant codomain);
+* type variables and *bounded* universal (``∀t ≤ B. T``) and existential
+  (``∃t ≤ B. T``) quantifiers — enough to write the type of the paper's
+  generic extraction function ``∀t. Database → List[∃t' ≤ t. t']``;
+* ``Dynamic``, the type of values that "carry around both a value and a
+  type" (Amber), and ``Type``, "a special type Type whose values
+  describe types".
+
+Display uses the paper's concrete syntax where one exists (``{Name:
+String; Age: Int}``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+from repro.errors import TypeSystemError
+
+
+class Type:
+    """Abstract base class of all type expressions."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # subclasses override __str__ only
+        return str(self)
+
+
+class BaseType(Type):
+    """A primitive type, identified by name.  Use the module singletons."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The primitive's name, e.g. ``'Int'``."""
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BaseType) and self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash((BaseType, self._name))
+
+    def __str__(self) -> str:
+        return self._name
+
+
+class TopType(Type):
+    """The greatest type: every type is a subtype of ``Top``."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TopType)
+
+    def __hash__(self) -> int:
+        return hash(TopType)
+
+    def __str__(self) -> str:
+        return "Top"
+
+
+class BottomType(Type):
+    """The least type: a subtype of every type; has no values."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BottomType)
+
+    def __hash__(self) -> int:
+        return hash(BottomType)
+
+    def __str__(self) -> str:
+        return "Bottom"
+
+
+class DynamicType(Type):
+    """The type of dynamic values (value-and-type pairs), as in Amber."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DynamicType)
+
+    def __hash__(self) -> int:
+        return hash(DynamicType)
+
+    def __str__(self) -> str:
+        return "Dynamic"
+
+
+class TypeType(Type):
+    """The type whose values describe types (Amber's ``Type``)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypeType)
+
+    def __hash__(self) -> int:
+        return hash(TypeType)
+
+    def __str__(self) -> str:
+        return "Type"
+
+
+class RecordType(Type):
+    """A record type: a mapping from labels to field types.
+
+    Subtyping is width and depth: a record type with *more* fields (or
+    more precise ones) is a *subtype* — the Employee/Person relationship.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: Mapping[str, Type] = ()):
+        items = dict(fields)
+        for label, field_type in items.items():
+            if not isinstance(label, str):
+                raise TypeSystemError("field label must be str, not %r" % (label,))
+            if not isinstance(field_type, Type):
+                raise TypeSystemError(
+                    "field %r must map to a Type, not %r" % (label, field_type)
+                )
+        self._fields: Tuple[Tuple[str, Type], ...] = tuple(
+            sorted(items.items(), key=lambda kv: kv[0])
+        )
+
+    @property
+    def fields(self) -> Tuple[Tuple[str, Type], ...]:
+        """(label, type) pairs in sorted label order."""
+        return self._fields
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """The field labels in sorted order."""
+        return tuple(label for label, __ in self._fields)
+
+    def field(self, label: str) -> Optional[Type]:
+        """The type at ``label``, or ``None`` when absent."""
+        for name, field_type in self._fields:
+            if name == label:
+                return field_type
+        return None
+
+    def extend(self, **fields: Type) -> "RecordType":
+        """A new record type with extra (or overridden) fields.
+
+        This is the paper's ``type Employee is Person with Emp_no: Int``:
+        extension yields a subtype.
+        """
+        merged = dict(self._fields)
+        merged.update(fields)
+        return RecordType(merged)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RecordType) and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash((RecordType, self._fields))
+
+    def __str__(self) -> str:
+        inner = "; ".join("%s: %s" % (label, t) for label, t in self._fields)
+        return "{%s}" % inner
+
+
+class VariantType(Type):
+    """A variant (tagged-union) type: a mapping from case labels to types.
+
+    Subtyping is width in the *opposite* direction to records: fewer
+    cases is a subtype (it promises less).
+    """
+
+    __slots__ = ("_cases",)
+
+    def __init__(self, cases: Mapping[str, Type]):
+        items = dict(cases)
+        if not items:
+            raise TypeSystemError("a variant type needs at least one case")
+        for label, case_type in items.items():
+            if not isinstance(case_type, Type):
+                raise TypeSystemError(
+                    "case %r must map to a Type, not %r" % (label, case_type)
+                )
+        self._cases: Tuple[Tuple[str, Type], ...] = tuple(
+            sorted(items.items(), key=lambda kv: kv[0])
+        )
+
+    @property
+    def cases(self) -> Tuple[Tuple[str, Type], ...]:
+        """(label, type) pairs in sorted label order."""
+        return self._cases
+
+    def case(self, label: str) -> Optional[Type]:
+        """The type at case ``label``, or ``None`` when absent."""
+        for name, case_type in self._cases:
+            if name == label:
+                return case_type
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VariantType) and self._cases == other._cases
+
+    def __hash__(self) -> int:
+        return hash((VariantType, self._cases))
+
+    def __str__(self) -> str:
+        inner = " | ".join("%s: %s" % (label, t) for label, t in self._cases)
+        return "[%s]" % inner
+
+
+class ListType(Type):
+    """A homogeneous list type, covariant in its element type."""
+
+    __slots__ = ("_element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeSystemError("list element must be a Type, not %r" % (element,))
+        self._element = element
+
+    @property
+    def element(self) -> Type:
+        """The element type."""
+        return self._element
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ListType) and self._element == other._element
+
+    def __hash__(self) -> int:
+        return hash((ListType, self._element))
+
+    def __str__(self) -> str:
+        return "List[%s]" % self._element
+
+
+class SetType(Type):
+    """A homogeneous set type, covariant in its element type."""
+
+    __slots__ = ("_element",)
+
+    def __init__(self, element: Type):
+        if not isinstance(element, Type):
+            raise TypeSystemError("set element must be a Type, not %r" % (element,))
+        self._element = element
+
+    @property
+    def element(self) -> Type:
+        """The element type."""
+        return self._element
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and self._element == other._element
+
+    def __hash__(self) -> int:
+        return hash((SetType, self._element))
+
+    def __str__(self) -> str:
+        return "Set[%s]" % self._element
+
+
+class FunctionType(Type):
+    """A function type with a tuple of parameter types and a result type.
+
+    Contravariant in parameters, covariant in result.
+    """
+
+    __slots__ = ("_params", "_result")
+
+    def __init__(self, params: Iterable[Type], result: Type):
+        self._params: Tuple[Type, ...] = tuple(params)
+        for param in self._params:
+            if not isinstance(param, Type):
+                raise TypeSystemError("parameter must be a Type, not %r" % (param,))
+        if not isinstance(result, Type):
+            raise TypeSystemError("result must be a Type, not %r" % (result,))
+        self._result = result
+
+    @property
+    def params(self) -> Tuple[Type, ...]:
+        """The parameter types, in order."""
+        return self._params
+
+    @property
+    def result(self) -> Type:
+        """The result type."""
+        return self._result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and self._params == other._params
+            and self._result == other._result
+        )
+
+    def __hash__(self) -> int:
+        return hash((FunctionType, self._params, self._result))
+
+    def __str__(self) -> str:
+        params = " x ".join(str(p) for p in self._params) or "()"
+        if len(self._params) > 1:
+            params = "(%s)" % params
+        return "%s -> %s" % (params, self._result)
+
+
+class TypeVar(Type):
+    """A type variable, referenced by name inside a quantifier body."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise TypeSystemError("type variable needs a non-empty name")
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The variable's name."""
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypeVar) and self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash((TypeVar, self._name))
+
+    def __str__(self) -> str:
+        return self._name
+
+
+class _Quantified(Type):
+    """Shared structure of the bounded quantifiers."""
+
+    __slots__ = ("_var", "_bound", "_body")
+    _symbol = "?"
+
+    def __init__(self, var: str, body: Type, bound: Optional[Type] = None):
+        if not var or not isinstance(var, str):
+            raise TypeSystemError("quantified variable needs a non-empty name")
+        if not isinstance(body, Type):
+            raise TypeSystemError("quantifier body must be a Type, not %r" % (body,))
+        self._var = var
+        self._bound = bound if bound is not None else TOP
+        if not isinstance(self._bound, Type):
+            raise TypeSystemError("bound must be a Type, not %r" % (bound,))
+        self._body = body
+
+    @property
+    def var(self) -> str:
+        """The bound variable's name."""
+        return self._var
+
+    @property
+    def bound(self) -> Type:
+        """The subtype bound (``Top`` when unconstrained)."""
+        return self._bound
+
+    @property
+    def body(self) -> Type:
+        """The quantifier body."""
+        return self._body
+
+    def __eq__(self, other: object) -> bool:
+        # Structural equality; α-equivalence lives in
+        # repro.types.equivalence.equivalent_types.
+        return (
+            type(self) is type(other)
+            and self._var == other._var
+            and self._bound == other._bound
+            and self._body == other._body
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._var, self._bound, self._body))
+
+    def __str__(self) -> str:
+        if self._bound == TOP:
+            return "%s%s. %s" % (self._symbol, self._var, self._body)
+        return "%s%s <= %s. %s" % (self._symbol, self._var, self._bound, self._body)
+
+
+class RecVar(Type):
+    """A recursion variable bound by an enclosing :class:`Mu`.
+
+    Distinct from :class:`TypeVar` (which quantifiers bind) so the two
+    binding disciplines cannot be confused.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise TypeSystemError("recursion variable needs a non-empty name")
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The variable's name."""
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RecVar) and self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash((RecVar, self._name))
+
+    def __str__(self) -> str:
+        return self._name
+
+
+class Mu(Type):
+    """An iso-recursive type ``μx. body`` (``body`` mentions ``RecVar(x)``).
+
+    Recursive record declarations like the bill-of-materials Part type
+    resolve to these::
+
+        μPart. {IsBase: Bool, ..., Components: List[{SubPart: Part, Qty: Int}]}
+
+    Use :func:`unfold` to expose one layer; the subtype checker unfolds
+    coinductively (Amadio–Cardelli style) so recursive types compare
+    without divergence.
+    """
+
+    __slots__ = ("_var", "_body")
+
+    def __init__(self, var: str, body: "Type"):
+        if not var or not isinstance(var, str):
+            raise TypeSystemError("recursion binder needs a non-empty name")
+        if not isinstance(body, Type):
+            raise TypeSystemError("recursive body must be a Type, not %r" % (body,))
+        self._var = var
+        self._body = body
+
+    @property
+    def var(self) -> str:
+        """The bound recursion variable's name."""
+        return self._var
+
+    @property
+    def body(self) -> Type:
+        """The one-level body (mentions ``RecVar(var)``)."""
+        return self._body
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mu)
+            and self._var == other._var
+            and self._body == other._body
+        )
+
+    def __hash__(self) -> int:
+        return hash((Mu, self._var, self._body))
+
+    def __str__(self) -> str:
+        return "μ%s. %s" % (self._var, self._body)
+
+
+def unfold(t: Mu) -> "Type":
+    """One unfolding: ``body[var := μvar. body]``."""
+    if not isinstance(t, Mu):
+        raise TypeSystemError("unfold expects a recursive type, got %r" % (t,))
+    return _substitute_rec(t.body, t.var, t)
+
+
+def _substitute_rec(t: "Type", var: str, replacement: "Type") -> "Type":
+    """Replace ``RecVar(var)`` by ``replacement`` throughout ``t``."""
+    if isinstance(t, RecVar):
+        return replacement if t.name == var else t
+    if isinstance(t, RecordType):
+        return RecordType(
+            {label: _substitute_rec(ft, var, replacement) for label, ft in t.fields}
+        )
+    if isinstance(t, VariantType):
+        return VariantType(
+            {label: _substitute_rec(ct, var, replacement) for label, ct in t.cases}
+        )
+    if isinstance(t, ListType):
+        return ListType(_substitute_rec(t.element, var, replacement))
+    if isinstance(t, SetType):
+        return SetType(_substitute_rec(t.element, var, replacement))
+    if isinstance(t, FunctionType):
+        return FunctionType(
+            [_substitute_rec(p, var, replacement) for p in t.params],
+            _substitute_rec(t.result, var, replacement),
+        )
+    if isinstance(t, Mu):
+        if t.var == var:
+            return t  # inner binder shadows
+        return Mu(t.var, _substitute_rec(t.body, var, replacement))
+    if isinstance(t, _Quantified):
+        return type(t)(
+            t.var,
+            _substitute_rec(t.body, var, replacement),
+            _substitute_rec(t.bound, var, replacement),
+        )
+    return t
+
+
+class ForAll(_Quantified):
+    """Bounded universal quantification: ``∀t ≤ bound. body``.
+
+    Expresses polymorphism: ``Cons : ∀a. (a × List[a]) → List[a]``.
+    """
+
+    __slots__ = ()
+    _symbol = "∀"
+
+
+class Exists(_Quantified):
+    """Bounded existential quantification: ``∃t ≤ bound. body``.
+
+    Expresses partial type knowledge / abstract types: an object drawn
+    from the database at type Employee "has type ∃t ≤ Employee. t".
+    """
+
+    __slots__ = ()
+    _symbol = "∃"
+
+
+# ---------------------------------------------------------------------------
+# Singletons and helpers
+# ---------------------------------------------------------------------------
+
+INT = BaseType("Int")
+FLOAT = BaseType("Float")
+STRING = BaseType("String")
+BOOL = BaseType("Bool")
+UNIT = BaseType("Unit")
+TOP = TopType()
+BOTTOM = BottomType()
+DYNAMIC = DynamicType()
+TYPE = TypeType()
+
+
+def record_type(**fields: Type) -> RecordType:
+    """Build a :class:`RecordType` from keyword arguments::
+
+        >>> person = record_type(Name=STRING, Address=record_type(City=STRING))
+        >>> str(person)
+        '{Address: {City: String}; Name: String}'
+    """
+    return RecordType(fields)

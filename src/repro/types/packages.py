@@ -1,0 +1,241 @@
+"""Existential packages: modules as values, with type abstraction.
+
+The paper: "one of the main contributions of [the Cardelli–Wegner] work
+is to demonstrate that the combination of inheritance and existential
+types allows us to treat modules as values.  However there are certain
+penalties ...  the type associated with a module is necessarily
+abstract; one cannot get at its implementation."
+
+A :class:`Package` is a value of an existential type ``∃t ≤ B. I`` —
+a hidden *witness* type together with operations whose interface ``I``
+mentions the abstract ``t``.  :func:`pack` checks the implementation
+against the interface at the witness; :meth:`Package.call` lets clients
+use the operations *only* through the interface, and the witness type
+is deliberately unrecoverable (:meth:`Package.witness` raises) — the
+penalty the paper describes, enforced.
+
+Packages serialize (the module's state and interface persist; the
+operations are rebuilt from a registered implementation), which is the
+"persistence of modules" interaction the paper flags as open; the
+registration step makes explicit exactly what cannot travel — code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import TypeSystemError
+from repro.types.equivalence import substitute
+from repro.types.infer import infer_type
+from repro.types.kinds import Exists, FunctionType, RecordType, Type, TypeVar
+from repro.types.subtyping import is_subtype
+
+
+class SealedTypeError(TypeSystemError):
+    """Raised on attempts to look through a package's abstraction."""
+
+
+class Package:
+    """A module value: hidden state + operations at an abstract type.
+
+    Build with :func:`pack`.  ``interface`` is the existential type the
+    package inhabits; ``call(name, *args)`` applies an operation with
+    dynamic checks against the *interface* signature (never the
+    implementation's).
+    """
+
+    __slots__ = ("_interface", "_witness", "_state", "_operations")
+
+    def __init__(
+        self,
+        interface: Exists,
+        witness: Type,
+        state: object,
+        operations: Mapping[str, Callable],
+    ):
+        self._interface = interface
+        self._witness = witness
+        self._state = state
+        self._operations = dict(operations)
+
+    @property
+    def interface(self) -> Exists:
+        """The existential type this package inhabits (public)."""
+        return self._interface
+
+    def witness(self) -> Type:
+        """The hidden representation type — deliberately inaccessible."""
+        raise SealedTypeError(
+            "the type associated with a module is necessarily abstract; "
+            "one cannot get at its implementation"
+        )
+
+    def signature(self, name: str) -> Type:
+        """The *interface* type of one operation (witness still hidden)."""
+        body = self._interface.body
+        assert isinstance(body, RecordType)
+        found = body.field(name)
+        if found is None:
+            raise SealedTypeError(
+                "interface %s has no operation %r" % (self._interface, name)
+            )
+        return found
+
+    def call(self, name: str, *args: object) -> object:
+        """Apply operation ``name`` through the interface.
+
+        Argument and result positions typed at the abstract ``t`` are
+        checked only for *package consistency*: a value produced by this
+        package's ``t``-returning operations is accepted where ``t`` is
+        expected; foreign values are rejected.
+        """
+        signature = self.signature(name)
+        if not isinstance(signature, FunctionType):
+            raise SealedTypeError(
+                "operation %r is a value, not a function; read it with "
+                "constant()" % (name,)
+            )
+        if len(args) != len(signature.params):
+            raise SealedTypeError(
+                "operation %r takes %d argument(s), got %d"
+                % (name, len(signature.params), len(args))
+            )
+        abstract = TypeVar(self._interface.var)
+        for position, (param, arg) in enumerate(
+            zip(signature.params, args), start=1
+        ):
+            if param == abstract:
+                if not isinstance(arg, _Abstract) or arg.owner is not self:
+                    raise SealedTypeError(
+                        "argument %d of %r must be an abstract value "
+                        "produced by this package" % (position, name)
+                    )
+                continue
+            actual = infer_type(arg)
+            if not is_subtype(actual, param):
+                raise SealedTypeError(
+                    "argument %d of %r has type %s, interface wants %s"
+                    % (position, name, actual, param)
+                )
+        unwrapped = [
+            arg.value if isinstance(arg, _Abstract) else arg for arg in args
+        ]
+        result = self._operations[name](self._state, *unwrapped)
+        if signature.result == abstract:
+            return _Abstract(self, result)
+        return result
+
+    def constant(self, name: str) -> object:
+        """Read a non-function interface member (abstract if ``t``-typed)."""
+        signature = self.signature(name)
+        if isinstance(signature, FunctionType):
+            raise SealedTypeError("operation %r is a function; use call()" % name)
+        value = self._operations[name](self._state)
+        if signature == TypeVar(self._interface.var):
+            return _Abstract(self, value)
+        return value
+
+    def __repr__(self) -> str:
+        return "<package : %s>" % self._interface
+
+
+class _Abstract:
+    """A value of the abstract type ``t`` — opaque outside its package."""
+
+    __slots__ = ("owner", "value")
+
+    def __init__(self, owner: Package, value: object):
+        self.owner = owner
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "<abstract value of %s>" % self.owner.interface.var
+
+
+def pack(
+    interface: Exists,
+    witness: Type,
+    operations: Mapping[str, Callable],
+    operation_types: Mapping[str, Type],
+    state: object = None,
+) -> Package:
+    """Seal an implementation as a package of ``interface``.
+
+    ``operation_types`` gives each implementation member's *concrete*
+    type (with ``witness`` in place of the abstract variable); packing
+    checks it is a subtype of the interface member at the witness — the
+    existential introduction rule.
+    """
+    if not isinstance(interface, Exists):
+        raise TypeSystemError("a package interface is an existential type")
+    body = interface.body
+    if not isinstance(body, RecordType):
+        raise TypeSystemError(
+            "a package interface body must be a record of operations"
+        )
+    if not is_subtype(witness, interface.bound):
+        raise TypeSystemError(
+            "witness %s exceeds the interface bound %s"
+            % (witness, interface.bound)
+        )
+    concretized = substitute(body, {interface.var: witness})
+    assert isinstance(concretized, RecordType)
+    for name, wanted in concretized.fields:
+        if name not in operations:
+            raise TypeSystemError("implementation is missing %r" % name)
+        provided = operation_types.get(name)
+        if provided is None:
+            raise TypeSystemError("no declared type for %r" % name)
+        if not is_subtype(provided, wanted):
+            raise TypeSystemError(
+                "implementation of %r has type %s, interface needs %s"
+                % (name, provided, wanted)
+            )
+    extra = set(operations) - {name for name, __ in concretized.fields}
+    if extra:
+        raise TypeSystemError(
+            "implementation members %r are not in the interface — a "
+            "package exposes exactly its interface" % sorted(extra)
+        )
+    return Package(interface, witness, state, operations)
+
+
+def counter_interface() -> Exists:
+    """A ready-made example interface: an abstract counter.
+
+    ``∃t. {new: () -> t, incr: (t) -> t, read: (t) -> Int}`` — the
+    canonical existential-ADT example, used by tests and docs.
+    """
+    from repro.types.kinds import INT
+
+    t = TypeVar("t")
+    return Exists(
+        "t",
+        RecordType(
+            {
+                "new": FunctionType([], t),
+                "incr": FunctionType([t], t),
+                "read": FunctionType([t], INT),
+            }
+        ),
+    )
+
+
+def int_counter_package() -> Package:
+    """The counter packaged over witness Int — hidden representation."""
+    from repro.types.kinds import INT
+
+    return pack(
+        counter_interface(),
+        witness=INT,
+        operations={
+            "new": lambda state: 0,
+            "incr": lambda state, n: n + 1,
+            "read": lambda state, n: n,
+        },
+        operation_types={
+            "new": FunctionType([], INT),
+            "incr": FunctionType([INT], INT),
+            "read": FunctionType([INT], INT),
+        },
+    )

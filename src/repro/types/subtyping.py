@@ -1,0 +1,326 @@
+"""The subtype relation, and joins/meets/consistency of types.
+
+Subtyping is the type-level reading of inheritance (the paper's meaning
+(a): "any operation we can perform on a value of type Person can also be
+performed on a value of type Employee").  The rules are those of the
+Cardelli–Wegner system, in its *kernel* form — quantifier bounds must
+match — so that "equality of type expressions is decidable, and there
+are no non-terminating computations at the level of types", the property
+the paper singles out as obviously desirable.  (Full F-sub, which allows
+the bound to vary contravariantly, is undecidable — discovered after the
+paper was written, vindicating its caution.)
+
+Rules:
+
+* ``Bottom ≤ T`` and ``T ≤ Top`` for every ``T``;
+* ``Int ≤ Float`` among base types;
+* records subtype in **width and depth**: ``{more fields} ≤ {fewer}``,
+  fieldwise covariant — so ``Employee ≤ Person``;
+* variants subtype in the opposite width direction, casewise covariant;
+* ``List``/``Set`` are covariant (values are immutable);
+* functions are contravariant in parameters, covariant in result;
+* a type variable is a subtype of its bound (and of itself);
+* ``∀t ≤ B. S ≤ ∀t ≤ B. S'`` iff ``S ≤ S'`` under ``t ≤ B`` (bounds
+  must be equivalent), and likewise for ``∃``;
+* packing: ``T ≤ ∃t ≤ B. t`` iff ``T ≤ B`` — the rule that gives the
+  paper's ``Get`` its result type ``List[∃t' ≤ Employee. t']``.
+
+``meet_types`` computes the greatest common subtype (``None`` when only
+the degenerate ``Bottom`` would qualify); *consistency* — "there is a
+common subtype of both DBType and DBType'" — is the predicate schema
+evolution uses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.types.equivalence import equivalent_types, fresh_var, substitute
+from repro.types.kinds import (
+    BOTTOM,
+    FLOAT,
+    INT,
+    TOP,
+    BaseType,
+    BottomType,
+    Exists,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+    Mu,
+    RecVar,
+    TopType,
+    Type,
+    TypeVar,
+    VariantType,
+    _Quantified,
+    unfold,
+)
+
+Env = Mapping[str, Type]
+
+_EMPTY_ENV: Env = {}
+
+
+def is_subtype(a: Type, b: Type, env: Optional[Env] = None) -> bool:
+    """Return ``True`` iff ``a ≤ b`` under the bounds environment ``env``.
+
+    ``env`` maps in-scope type-variable names to their declared bounds;
+    callers outside the checker normally omit it.  Recursive (``Mu``)
+    types are compared coinductively (Amadio–Cardelli): a goal pair
+    already under consideration is assumed to hold, which is what makes
+    the comparison of infinite unfoldings terminate.
+    """
+    env = env if env is not None else _EMPTY_ENV
+    return _is_subtype(a, b, env, frozenset())
+
+
+def _is_subtype(a: Type, b: Type, env: Env, seen) -> bool:
+    if a == b or equivalent_types(a, b):
+        return True
+    if isinstance(a, BottomType):
+        return True
+    if isinstance(b, TopType):
+        return True
+
+    # Recursive types: unfold one level under the coinductive hypothesis
+    # that the current goal holds.  The pair set stays finite because
+    # regular types have finitely many distinct subterm pairs.
+    if isinstance(a, Mu) or isinstance(b, Mu):
+        if (a, b) in seen:
+            return True
+        seen = seen | {(a, b)}
+        unfolded_a = unfold(a) if isinstance(a, Mu) else a
+        unfolded_b = unfold(b) if isinstance(b, Mu) else b
+        return _is_subtype(unfolded_a, unfolded_b, env, seen)
+    if isinstance(a, RecVar) or isinstance(b, RecVar):
+        return False  # free recursion variables only relate to themselves
+
+    # Packing and unpacking for the "partially known type" shape
+    # ∃t ≤ B. t (the element type of Get's result):
+    #   T ≤ ∃t ≤ B. t   iff  T ≤ B   (pack: T itself is the witness)
+    #   ∃t ≤ B. t ≤ T   iff  B ≤ T   (unpack: every witness is ≤ B)
+    # These must precede the variable cases and the Top/Bottom negative
+    # cut-offs: ∃u ≤ t. u ≤ t holds by unpacking, Top ≤ ∃t ≤ Top. t by
+    # packing, and ∃t ≤ Bottom. t ≤ Bottom by unpacking.
+    if isinstance(a, Exists) and a.body == TypeVar(a.var):
+        return _is_subtype(a.bound, b, env, seen)
+    if isinstance(b, Exists) and b.body == TypeVar(b.var):
+        return _is_subtype(a, b.bound, env, seen)
+
+    if isinstance(a, TopType) or isinstance(b, BottomType):
+        return False
+
+    # A type variable is below anything its bound is below.
+    if isinstance(a, TypeVar):
+        bound = env.get(a.name)
+        return bound is not None and _is_subtype(bound, b, env, seen)
+    if isinstance(b, TypeVar):
+        # Only reflexivity (handled above) and Bottom get under a variable.
+        return False
+
+    if isinstance(a, BaseType) and isinstance(b, BaseType):
+        return a == INT and b == FLOAT
+
+    if isinstance(a, RecordType) and isinstance(b, RecordType):
+        for label, wanted in b.fields:
+            have = a.field(label)
+            if have is None or not _is_subtype(have, wanted, env, seen):
+                return False
+        return True
+
+    if isinstance(a, VariantType) and isinstance(b, VariantType):
+        for label, case_type in a.cases:
+            wanted = b.case(label)
+            if wanted is None or not _is_subtype(case_type, wanted, env, seen):
+                return False
+        return True
+
+    if isinstance(a, ListType) and isinstance(b, ListType):
+        return _is_subtype(a.element, b.element, env, seen)
+    if isinstance(a, SetType) and isinstance(b, SetType):
+        return _is_subtype(a.element, b.element, env, seen)
+
+    if isinstance(a, FunctionType) and isinstance(b, FunctionType):
+        if len(a.params) != len(b.params):
+            return False
+        contra = all(
+            _is_subtype(bp, ap, env, seen) for ap, bp in zip(a.params, b.params)
+        )
+        return contra and _is_subtype(a.result, b.result, env, seen)
+
+    if isinstance(a, _Quantified) and type(a) is type(b):
+        assert isinstance(b, _Quantified)
+        if not equivalent_types(a.bound, b.bound):
+            return False  # kernel rule: bounds must match
+        name = fresh_var(a.var)
+        var = TypeVar(name)
+        body_a = substitute(a.body, {a.var: var})
+        body_b = substitute(b.body, {b.var: var})
+        return _is_subtype(body_a, body_b, {**env, name: a.bound}, seen)
+
+    return False
+
+
+def is_supertype(a: Type, b: Type, env: Optional[Env] = None) -> bool:
+    """Return ``True`` iff ``b ≤ a``."""
+    return is_subtype(b, a, env)
+
+
+# ---------------------------------------------------------------------------
+# Join (least common supertype) — total
+# ---------------------------------------------------------------------------
+
+
+def join_types(a: Type, b: Type) -> Type:
+    """The least common supertype of ``a`` and ``b`` (``Top`` worst case).
+
+    On record types this drops non-shared fields and joins shared ones —
+    joining ``Employee`` with ``Student`` yields their common ``Person``
+    structure, which is how the class hierarchy falls out of the type
+    hierarchy.
+    """
+    if a == b:
+        return a
+    if isinstance(a, BottomType):
+        return b
+    if isinstance(b, BottomType):
+        return a
+    if isinstance(a, TopType) or isinstance(b, TopType):
+        return TOP
+
+    if isinstance(a, BaseType) and isinstance(b, BaseType):
+        if {a, b} == {INT, FLOAT}:
+            return FLOAT
+        return a if a == b else TOP
+
+    if isinstance(a, RecordType) and isinstance(b, RecordType):
+        fields = {}
+        for label, a_type in a.fields:
+            b_type = b.field(label)
+            if b_type is not None:
+                fields[label] = join_types(a_type, b_type)
+        return RecordType(fields)
+
+    if isinstance(a, VariantType) and isinstance(b, VariantType):
+        cases = dict(a.cases)
+        for label, b_type in b.cases:
+            if label in cases:
+                cases[label] = join_types(cases[label], b_type)
+            else:
+                cases[label] = b_type
+        return VariantType(cases)
+
+    if isinstance(a, ListType) and isinstance(b, ListType):
+        return ListType(join_types(a.element, b.element))
+    if isinstance(a, SetType) and isinstance(b, SetType):
+        return SetType(join_types(a.element, b.element))
+
+    if isinstance(a, FunctionType) and isinstance(b, FunctionType):
+        if len(a.params) != len(b.params):
+            return TOP
+        params = []
+        for a_param, b_param in zip(a.params, b.params):
+            met = meet_types(a_param, b_param)
+            if met is None:
+                return TOP
+            params.append(met)
+        return FunctionType(params, join_types(a.result, b.result))
+
+    if isinstance(a, _Quantified) and type(a) is type(b):
+        if equivalent_types(a, b):
+            return a
+        return TOP
+
+    return TOP
+
+
+# ---------------------------------------------------------------------------
+# Meet (greatest common subtype) — partial
+# ---------------------------------------------------------------------------
+
+
+def meet_types(a: Type, b: Type) -> Optional[Type]:
+    """The greatest common subtype, or ``None`` when none exists.
+
+    ``None`` means only the uninhabited ``Bottom`` lies below both —
+    the paper's *inconsistent* case.  On record types the meet unions
+    the fields (meeting shared ones), mirroring the value-level join
+    ``⊔``: the meet of ``Person`` and ``{Emp_no: Int}`` is ``Employee``.
+    """
+    if a == b:
+        return a
+    if isinstance(a, TopType):
+        return b
+    if isinstance(b, TopType):
+        return a
+    if isinstance(a, BottomType) or isinstance(b, BottomType):
+        return BOTTOM
+
+    if isinstance(a, BaseType) and isinstance(b, BaseType):
+        if {a, b} == {INT, FLOAT}:
+            return INT
+        return a if a == b else None
+
+    if isinstance(a, RecordType) and isinstance(b, RecordType):
+        fields = dict(a.fields)
+        for label, b_type in b.fields:
+            if label in fields:
+                met = meet_types(fields[label], b_type)
+                if met is None:
+                    return None
+                fields[label] = met
+            else:
+                fields[label] = b_type
+        return RecordType(fields)
+
+    if isinstance(a, VariantType) and isinstance(b, VariantType):
+        cases = {}
+        for label, a_type in a.cases:
+            b_type = b.case(label)
+            if b_type is None:
+                continue
+            met = meet_types(a_type, b_type)
+            if met is not None:
+                cases[label] = met
+        if not cases:
+            return None
+        return VariantType(cases)
+
+    if isinstance(a, ListType) and isinstance(b, ListType):
+        met = meet_types(a.element, b.element)
+        # List[Bottom] (the empty list) inhabits both, so the meet exists
+        # even when the element types are inconsistent.
+        return ListType(met if met is not None else BOTTOM)
+    if isinstance(a, SetType) and isinstance(b, SetType):
+        met = meet_types(a.element, b.element)
+        return SetType(met if met is not None else BOTTOM)
+
+    if isinstance(a, FunctionType) and isinstance(b, FunctionType):
+        if len(a.params) != len(b.params):
+            return None
+        params = [join_types(ap, bp) for ap, bp in zip(a.params, b.params)]
+        result = meet_types(a.result, b.result)
+        # Inconsistent results meet at Bottom: a function typed
+        # ``… -> Bottom`` (one that never returns normally) is below
+        # both, so the meet exists — mirroring the List/Set cases.
+        return FunctionType(params, result if result is not None else BOTTOM)
+
+    if isinstance(a, _Quantified) and type(a) is type(b):
+        if equivalent_types(a, b):
+            return a
+        return None
+
+    return None
+
+
+def consistent_types(a: Type, b: Type) -> bool:
+    """Is there a (non-degenerate) common subtype of ``a`` and ``b``?
+
+    The paper's schema-evolution predicate: a handle compiled at
+    ``DBType`` may be recompiled at ``DBType'`` "when DBType is not a
+    subtype of DBType', but is consistent with it, i.e. there is a common
+    subtype of both".
+    """
+    return meet_types(a, b) is not None

@@ -1,0 +1,51 @@
+"""Deterministic synthetic workload generators for the benchmark harness.
+
+The paper has no datasets (it is a design paper), so every experiment
+runs on synthetic workloads whose parameters match the prose:
+
+* :mod:`repro.workloads.employees` — heterogeneous person/employee/
+  student databases and parameterized type hierarchies (experiments E1,
+  E6);
+* :mod:`repro.workloads.parts` — parts-explosion trees and DAGs with a
+  controllable sharing factor (experiment E2);
+* :mod:`repro.workloads.relations` — generalized and flat relations
+  with controllable overlap and null fractions (experiments F1-adjacent
+  scaling, E4, E5).
+
+All generators take an explicit ``seed`` and use a private
+``random.Random``, so runs are reproducible.
+"""
+
+from repro.workloads.employees import (
+    PERSON_T,
+    EMPLOYEE_T,
+    STUDENT_T,
+    WORKING_STUDENT_T,
+    employee_database,
+    populate,
+    synthetic_hierarchy,
+)
+from repro.workloads.parts import ladder_dag, random_dag, uniform_tree
+from repro.workloads.relations import (
+    flat_join_pair,
+    random_flat_relation,
+    random_generalized_relation,
+    random_partial_records,
+)
+
+__all__ = [
+    "PERSON_T",
+    "EMPLOYEE_T",
+    "STUDENT_T",
+    "WORKING_STUDENT_T",
+    "employee_database",
+    "populate",
+    "synthetic_hierarchy",
+    "ladder_dag",
+    "random_dag",
+    "uniform_tree",
+    "flat_join_pair",
+    "random_flat_relation",
+    "random_generalized_relation",
+    "random_partial_records",
+]

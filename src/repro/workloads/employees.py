@@ -1,0 +1,105 @@
+"""Employee-database workloads: heterogeneous stores over a type hierarchy.
+
+Provides the paper's person/employee/student diamond as ready-made types
+plus a parameterized generator of deeper/wider synthetic hierarchies, and
+populates :class:`~repro.extents.database.Database` instances with a
+controlled mix — the workload experiments E1 (extent extraction) and E6
+(subtype-check cost) sweep over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Type as PyType
+
+from repro.core.orders import record
+from repro.extents.database import Database
+from repro.types.kinds import INT, STRING, RecordType, record_type
+
+PERSON_T = record_type(Name=STRING, City=STRING)
+EMPLOYEE_T = PERSON_T.extend(Emp_no=INT, Dept=STRING)
+STUDENT_T = PERSON_T.extend(School=STRING)
+WORKING_STUDENT_T = EMPLOYEE_T.extend(School=STRING)
+
+_DIAMOND: Tuple[Tuple[RecordType, float], ...] = (
+    (PERSON_T, 0.4),
+    (EMPLOYEE_T, 0.3),
+    (STUDENT_T, 0.2),
+    (WORKING_STUDENT_T, 0.1),
+)
+
+_CITIES = ("Austin", "Moose", "Billings", "Helena", "Glasgow", "Philadelphia")
+_DEPTS = ("Sales", "Manuf", "Admin", "Research")
+_SCHOOLS = ("Penn", "Glasgow", "Edinburgh", "Texas")
+
+
+def _value_for(label: str, field_type, rng: random.Random):
+    if field_type == INT:
+        return rng.randrange(10_000)
+    if label == "City":
+        return rng.choice(_CITIES)
+    if label == "Dept":
+        return rng.choice(_DEPTS)
+    if label == "School":
+        return rng.choice(_SCHOOLS)
+    return "%s-%d" % (label.lower(), rng.randrange(10_000))
+
+
+def _record_of(typ: RecordType, rng: random.Random):
+    return record(
+        **{label: _value_for(label, ft, rng) for label, ft in typ.fields}
+    )
+
+
+def employee_database(
+    size: int,
+    database_class: PyType[Database] = Database,
+    mix: Sequence[Tuple[RecordType, float]] = _DIAMOND,
+    seed: int = 1986,
+) -> Database:
+    """A database of ``size`` person-ish records drawn from ``mix``.
+
+    ``mix`` pairs record types with sampling weights; each inserted value
+    is sealed at its own type, so extraction by supertype exercises real
+    subtype checks.
+    """
+    rng = random.Random(seed)
+    types = [typ for typ, __ in mix]
+    weights = [weight for __, weight in mix]
+    db = database_class()
+    for __ in range(size):
+        typ = rng.choices(types, weights)[0]
+        db.insert(_record_of(typ, rng), typ)
+    return db
+
+
+def synthetic_hierarchy(depth: int, width: int = 1) -> List[RecordType]:
+    """A record-type hierarchy of the given depth and field width.
+
+    Level 0 has ``width`` fields; each level adds ``width`` more, so
+    level ``k+1`` is a subtype of level ``k``.  Returns the levels from
+    supertype (index 0) down to the most specific.  Used to measure how
+    subtype-check cost scales with record size (experiment E6).
+    """
+    levels: List[RecordType] = []
+    fields: Dict[str, object] = {}
+    for level in range(depth + 1):
+        for i in range(width):
+            fields["f_%d_%d" % (level, i)] = INT if i % 2 == 0 else STRING
+        levels.append(RecordType(dict(fields)))
+    return levels
+
+
+def populate(
+    database_class: PyType[Database],
+    types: Sequence[RecordType],
+    per_type: int,
+    seed: int = 1986,
+) -> Database:
+    """A database with ``per_type`` records of each of the given types."""
+    rng = random.Random(seed)
+    db = database_class()
+    for typ in types:
+        for __ in range(per_type):
+            db.insert(_record_of(typ, rng), typ)
+    return db

@@ -1,0 +1,151 @@
+"""Unit tests for the instance-hierarchy scenarios."""
+
+import pytest
+
+from repro.apps.instances import (
+    Catalog,
+    MakeAndModel,
+    ParkingLot,
+    register_product,
+)
+from repro.errors import ReproError
+
+NOVA = "Chevvy", "Nova"
+
+
+def nova():
+    return MakeAndModel("Chevvy", "Nova", length=4.5, weight=3000.0)
+
+
+class TestParkingLot:
+    def test_car_is_instance_of_make_and_model(self):
+        model = nova()
+        lot = ParkingLot(capacity_metres=100)
+        car = lot.admit(model, tag="ABC-123")
+        # The car references the model object; no attribute copying.
+        assert car["MakeModel"] is model.obj
+
+    def test_charge_derived_from_model(self):
+        model = nova()
+        lot = ParkingLot(capacity_metres=100, rate_per_metre=2.0)
+        car = lot.admit(model)
+        assert lot.charge_for(car) == pytest.approx(9.0)
+
+    def test_model_change_propagates_to_instances(self):
+        """Level switching: updating the class-level Length reprices
+        every instance."""
+        model = nova()
+        lot = ParkingLot(capacity_metres=100, rate_per_metre=1.0)
+        car = lot.admit(model)
+        model.obj["Length"] = 5.0
+        assert lot.charge_for(car) == pytest.approx(5.0)
+
+    def test_two_identical_cars_coexist(self):
+        """Without tags 'one could then have two identical cars in the
+        database' — object identity keeps them apart."""
+        model = nova()
+        lot = ParkingLot(capacity_metres=100)
+        first = lot.admit(model)
+        second = lot.admit(model)
+        assert first is not second
+        assert len(lot) == 2
+        assert len(lot.cars_of(model)) == 2
+
+    def test_release_by_identity(self):
+        model = nova()
+        lot = ParkingLot(capacity_metres=100)
+        first = lot.admit(model)
+        lot.admit(model)
+        lot.release(first)
+        assert len(lot) == 1
+
+    def test_release_unknown_raises(self):
+        lot = ParkingLot(capacity_metres=100)
+        with pytest.raises(ReproError):
+            lot.release(nova().obj)
+
+    def test_capacity_enforced_via_model_length(self):
+        """'availability of space is derived from the make-and-model.'"""
+        model = nova()  # 4.5 m
+        lot = ParkingLot(capacity_metres=9.0)
+        lot.admit(model)
+        lot.admit(model)
+        with pytest.raises(ReproError):
+            lot.admit(model)
+        assert lot.available_metres() == pytest.approx(0.0)
+
+    def test_occupied_metres(self):
+        lot = ParkingLot(capacity_metres=100)
+        lot.admit(nova())
+        assert lot.occupied_metres() == pytest.approx(4.5)
+
+
+class TestPriceDependentLevel:
+    def test_expensive_product_is_individual(self):
+        catalog = Catalog(threshold=1000.0)
+        product = register_product(
+            catalog, "turbine", price=50000.0, weight=900.0,
+            completed="1986-05-01",
+        )
+        assert product.kind == "Product"
+        assert product["Completed"] == "1986-05-01"
+        assert catalog.individuals() == [product]
+
+    def test_cheap_product_is_class_level(self):
+        catalog = Catalog(threshold=1000.0)
+        line = register_product(
+            catalog, "bracket", price=10.0, weight=0.5, quantity=200
+        )
+        assert line.kind == "ProductLine"
+        assert line["InStock"] == 200
+        assert catalog.lines() == [line]
+
+    def test_restocking_accumulates(self):
+        catalog = Catalog()
+        register_product(catalog, "bracket", 10.0, 0.5, quantity=100)
+        register_product(catalog, "bracket", 10.0, 0.5, quantity=50)
+        assert catalog.stock_of("bracket") == 150
+        assert len(catalog.lines()) == 1
+
+    def test_individual_needs_completion_date(self):
+        catalog = Catalog()
+        with pytest.raises(ReproError):
+            register_product(catalog, "turbine", 50000.0, 900.0)
+
+    def test_individuals_registered_singly(self):
+        catalog = Catalog()
+        with pytest.raises(ReproError):
+            register_product(
+                catalog, "turbine", 50000.0, 900.0,
+                completed="1986-05-01", quantity=2,
+            )
+
+    def test_stock_query_spans_levels(self):
+        catalog = Catalog(threshold=1000.0)
+        register_product(
+            catalog, "engine", 2000.0, 300.0, completed="1986-01-01"
+        )
+        register_product(
+            catalog, "engine", 2000.0, 300.0, completed="1986-02-01"
+        )
+        register_product(catalog, "bracket", 10.0, 0.5, quantity=7)
+        assert catalog.stock_of("engine") == 2
+        assert catalog.stock_of("bracket") == 7
+        assert catalog.stock_of("unknown") == 0
+
+    def test_total_weight_spans_levels(self):
+        catalog = Catalog(threshold=1000.0)
+        register_product(
+            catalog, "engine", 2000.0, 300.0, completed="1986-01-01"
+        )
+        register_product(catalog, "bracket", 10.0, 0.5, quantity=10)
+        assert catalog.total_weight() == pytest.approx(300.0 + 5.0)
+
+    def test_threshold_boundary(self):
+        catalog = Catalog(threshold=1000.0)
+        at = register_product(catalog, "edge", 1000.0, 1.0, quantity=1)
+        assert at.kind == "ProductLine"  # at the threshold: class level
+        above = register_product(
+            catalog, "edge2", 1000.01, 1.0, completed="1986-06-01"
+        )
+        assert above.kind == "Product"

@@ -1,0 +1,141 @@
+"""Unit tests for the Adaplex entity-type layer."""
+
+import pytest
+
+from repro.classes.adaplex import AdaplexSchema
+from repro.errors import ClassConstructError
+from repro.types.kinds import INT, STRING, record_type
+
+
+@pytest.fixture
+def schema():
+    s = AdaplexSchema()
+    s.entity_type("Person", Name=STRING, Address=STRING)
+    s.entity_type("Employee", Empno=INT, Department=STRING)
+    s.include("Employee", "Person")
+    return s
+
+
+class TestDeclarations:
+    def test_duplicate_type_rejected(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.entity_type("Person", Name=STRING)
+
+    def test_include_unknown_type(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.include("Employee", "Robot")
+
+    def test_include_cycle_rejected(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.include("Person", "Employee")
+
+    def test_include_self_rejected(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.include("Person", "Person")
+
+    def test_inherited_attributes(self, schema):
+        attrs = schema.all_attributes("Employee")
+        assert set(attrs) == {"Name", "Address", "Empno", "Department"}
+
+    def test_record_type(self, schema):
+        assert schema.record_type("Person") == record_type(
+            Name=STRING, Address=STRING
+        )
+
+
+class TestNominalTyping:
+    def test_same_structure_not_identical(self):
+        """'In Adaplex, types with the same structure are not necessarily
+        identical.'"""
+        s = AdaplexSchema()
+        s.entity_type("Cat", Name=STRING)
+        s.entity_type("Dog", Name=STRING)
+        assert s.structurally_equal_but_distinct("Cat", "Dog") is True
+        # creating a Cat does not create a Dog
+        s.create("Cat", Name="Felix")
+        assert len(s.extent("Cat")) == 1
+        assert len(s.extent("Dog")) == 0
+
+    def test_explicit_include_relates(self):
+        s = AdaplexSchema()
+        s.entity_type("Cat", Name=STRING)
+        s.entity_type("Animal", Name=STRING)
+        s.include("Cat", "Animal")
+        assert s.structurally_equal_but_distinct("Cat", "Animal") is False
+
+    def test_structural_difference_returns_none(self, schema):
+        assert schema.structurally_equal_but_distinct("Person", "Employee") is None
+
+    def test_is_included(self, schema):
+        assert schema.is_included("Employee", "Person")
+        assert schema.is_included("Person", "Person")
+        assert not schema.is_included("Person", "Employee")
+
+
+class TestExtentInclusion:
+    def test_create_employee_creates_person(self, schema):
+        """'creating an instance of Employee will also create a new
+        instance of Person.'"""
+        e = schema.create(
+            "Employee", Name="J Doe", Address="Austin", Empno=1, Department="S"
+        )
+        assert e in schema.extent("Employee")
+        assert e in schema.extent("Person")
+
+    def test_person_not_in_employee(self, schema):
+        schema.create("Person", Name="P", Address="A")
+        assert len(schema.extent("Person")) == 1
+        assert len(schema.extent("Employee")) == 0
+
+    def test_transitive_inclusion(self, schema):
+        schema.entity_type("Manager", Level=INT)
+        schema.include("Manager", "Employee")
+        m = schema.create(
+            "Manager", Name="M", Address="A", Empno=2, Department="D", Level=3
+        )
+        assert m in schema.extent("Person")
+
+    def test_destroy_removes_everywhere(self, schema):
+        e = schema.create(
+            "Employee", Name="J", Address="A", Empno=1, Department="D"
+        )
+        schema.destroy(e)
+        assert len(schema.extent("Employee")) == 0
+        assert len(schema.extent("Person")) == 0
+
+    def test_destroy_unknown_raises(self, schema):
+        from repro.classes.adaplex import Entity, EntityType
+
+        stray = Entity(EntityType("Ghost", {}), {})
+        with pytest.raises(ClassConstructError):
+            schema.destroy(stray)
+
+    def test_missing_attributes_rejected(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.create("Employee", Name="J", Empno=1, Department="D")
+
+    def test_extra_attributes_rejected(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.create("Person", Name="J", Address="A", Hobby="chess")
+
+    def test_type_mismatch_rejected(self, schema):
+        with pytest.raises(ClassConstructError):
+            schema.create(
+                "Employee", Name="J", Address="A", Empno="one", Department="D"
+            )
+
+    def test_entity_identity_not_attributes(self, schema):
+        """Entities are identified by themselves: two with equal
+        attributes coexist."""
+        first = schema.create("Person", Name="Twin", Address="Same")
+        second = schema.create("Person", Name="Twin", Address="Same")
+        assert first is not second
+        assert len(schema.extent("Person")) == 2
+
+    def test_attribute_access_and_update(self, schema):
+        p = schema.create("Person", Name="J", Address="A")
+        assert p["Name"] == "J"
+        p["Name"] = "K"
+        assert p["Name"] == "K"
+        with pytest.raises(ClassConstructError):
+            p["Nope"]

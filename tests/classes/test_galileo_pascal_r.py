@@ -1,0 +1,175 @@
+"""Unit tests for the Galileo and Pascal/R layers."""
+
+import pytest
+
+from repro.classes.galileo import GalileoEnvironment
+from repro.classes.pascal_r import PascalRDatabase, RelationVariable
+from repro.core.orders import record
+from repro.errors import ClassConstructError, KeyViolationError
+from repro.types.kinds import INT, STRING, record_type
+
+PERSON_T = record_type(Name=STRING)
+EMPLOYEE_T = record_type(Name=STRING, Empno=INT)
+
+
+class TestGalileo:
+    def test_type_then_class(self):
+        env = GalileoEnvironment()
+        persons = env.define_class("persons", PERSON_T)
+        persons.insert(record(Name="J Doe"))
+        assert len(persons) == 1
+
+    def test_class_of_integers(self):
+        """'one may, for example, construct a class of integers.'"""
+        env = GalileoEnvironment()
+        favourites = env.define_class("favourites", INT)
+        favourites.insert(3)
+        favourites.insert(7)
+        assert len(favourites) == 2
+
+    def test_one_class_per_type_restriction(self):
+        """'it does not appear to be possible to construct two extents on
+        the same type.'"""
+        env = GalileoEnvironment()
+        env.define_class("current", EMPLOYEE_T)
+        with pytest.raises(ClassConstructError):
+            env.define_class("former", EMPLOYEE_T)
+
+    def test_duplicate_class_name_rejected(self):
+        env = GalileoEnvironment()
+        env.define_class("c", INT)
+        with pytest.raises(ClassConstructError):
+            env.define_class("c", STRING)
+
+    def test_member_type_checked(self):
+        env = GalileoEnvironment()
+        ints = env.define_class("ints", INT)
+        from repro.errors import ExtentError
+
+        with pytest.raises(ExtentError):
+            ints.insert("not an int")
+
+    def test_subtype_members_accepted(self):
+        env = GalileoEnvironment()
+        persons = env.define_class("persons", PERSON_T)
+        persons.insert(record(Name="E", Empno=1))  # an employee
+        assert len(persons) == 1
+
+    def test_lookup_and_contains(self):
+        env = GalileoEnvironment()
+        c = env.define_class("c", INT)
+        assert env["c"] is c
+        assert "c" in env
+        with pytest.raises(ClassConstructError):
+            env["nope"]
+
+    def test_uniform_persistence(self, tmp_path):
+        path = str(tmp_path / "galileo.db")
+        env = GalileoEnvironment(path)
+        ints = env.define_class("ints", INT)
+        ints.insert(3)
+        persons = env.define_class("persons", PERSON_T)
+        persons.insert(record(Name="J"))
+        env.save()
+
+        fresh = GalileoEnvironment(path)
+        fresh.load()
+        assert list(fresh["ints"]) == [3]
+        assert list(fresh["persons"]) == [record(Name="J")]
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ClassConstructError):
+            GalileoEnvironment().save()
+
+
+class TestPascalR:
+    def _emp_rel(self):
+        return RelationVariable(
+            "Employees", record_type(Name=STRING, Empno=INT), key=("Empno",)
+        )
+
+    def test_insert_and_iterate(self):
+        rel = self._emp_rel()
+        rel.insert(Name="J Doe", Empno=1)
+        rel.insert(Name="M Dee", Empno=2)
+        assert len(rel) == 2
+        assert {row["Name"] for row in rel} == {"J Doe", "M Dee"}
+
+    def test_key_required(self):
+        with pytest.raises(ClassConstructError):
+            RelationVariable("R", record_type(A=INT), key=())
+
+    def test_key_must_be_in_schema(self):
+        with pytest.raises(ClassConstructError):
+            RelationVariable("R", record_type(A=INT), key=("B",))
+
+    def test_duplicate_key_rejected(self):
+        rel = self._emp_rel()
+        rel.insert(Name="J", Empno=1)
+        with pytest.raises(KeyViolationError):
+            rel.insert(Name="K", Empno=1)
+
+    def test_update_and_lookup(self):
+        rel = self._emp_rel()
+        rel.insert(Name="J", Empno=1)
+        rel.update(Name="J Doe", Empno=1)
+        assert rel.lookup(Empno=1)["Name"] == "J Doe"
+        assert rel.lookup(Empno=9) is None
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyViolationError):
+            self._emp_rel().update(Name="J", Empno=1)
+
+    def test_delete(self):
+        rel = self._emp_rel()
+        rel.insert(Name="J", Empno=1)
+        rel.delete(Empno=1)
+        assert len(rel) == 0
+        with pytest.raises(KeyViolationError):
+            rel.delete(Empno=1)
+
+    def test_rows_are_total_and_typed(self):
+        rel = self._emp_rel()
+        with pytest.raises(ClassConstructError):
+            rel.insert(Name="J")  # missing Empno
+        with pytest.raises(ClassConstructError):
+            rel.insert(Name="J", Empno="one")
+        with pytest.raises(ClassConstructError):
+            rel.insert(Name="J", Empno=1, Extra=2)
+
+    def test_to_flat_feeds_the_algebra(self):
+        rel = self._emp_rel()
+        rel.insert(Name="J", Empno=1)
+        rel.insert(Name="K", Empno=2)
+        flat = rel.to_flat()
+        assert len(flat.select(lambda r: r["Empno"] > 1)) == 1
+
+    def test_database_restriction(self, tmp_path):
+        """'only relation data types can be placed in a database.'"""
+        with pytest.raises(ClassConstructError):
+            PascalRDatabase(
+                str(tmp_path / "db"), Employees=self._emp_rel(), Count=42
+            )
+
+    def test_database_persistence_round_trip(self, tmp_path):
+        path = str(tmp_path / "empdb")
+        db = PascalRDatabase(path, Employees=self._emp_rel())
+        db["Employees"].insert(Name="J Doe", Empno=1)
+        db.save()
+
+        fresh = PascalRDatabase(path, Employees=self._emp_rel())
+        assert fresh["Employees"].lookup(Empno=1)["Name"] == "J Doe"
+
+    def test_database_unknown_field(self, tmp_path):
+        db = PascalRDatabase(str(tmp_path / "db"), Employees=self._emp_rel())
+        with pytest.raises(ClassConstructError):
+            db["Departments"]
+
+    def test_load_flat(self):
+        from repro.core.flat import FlatRelation
+
+        rel = self._emp_rel()
+        rel.load_flat(
+            FlatRelation(("Name", "Empno"), [("J", 1), ("K", 2)])
+        )
+        assert len(rel) == 2

@@ -1,0 +1,143 @@
+"""Unit tests for the Taxis class constructs."""
+
+import pytest
+
+from repro.classes.taxis import (
+    AGGREGATE_CLASS,
+    VARIABLE_CLASS,
+    AggregateClass,
+    VariableClass,
+    instance_chain,
+)
+from repro.errors import ClassConstructError
+from repro.types.kinds import INT, STRING, record_type
+
+
+@pytest.fixture
+def person():
+    return VariableClass("PERSON", {"Name": STRING})
+
+
+@pytest.fixture
+def employee(person):
+    # VARIABLE_CLASS EMPLOYEE isa PERSON with Empno: Integer; Department: ...
+    return VariableClass(
+        "EMPLOYEE", {"Empno": INT, "Department": STRING}, isa=(person,)
+    )
+
+
+class TestHierarchy:
+    def test_isa_reflexive_and_transitive(self, person, employee):
+        manager = VariableClass("MANAGER", {}, isa=(employee,))
+        assert manager.isa(manager)
+        assert manager.isa(employee)
+        assert manager.isa(person)
+        assert not person.isa(manager)
+
+    def test_attributes_inherited(self, employee):
+        assert set(employee.all_attributes()) == {"Name", "Empno", "Department"}
+
+    def test_record_type_derived(self, employee):
+        assert employee.record_type() == record_type(
+            Name=STRING, Empno=INT, Department=STRING
+        )
+
+    def test_cycle_rejected(self):
+        # Fresh construction cannot form a cycle; redeclaring a class to
+        # inherit from its own descendant is the only route, and the
+        # constructor's ancestor check refuses it.
+        a = VariableClass("A", {})
+        b = VariableClass("B", {}, isa=(a,))
+        with pytest.raises(ClassConstructError):
+            a.__init__("A", {}, isa=(b,))
+
+    def test_multiple_inheritance(self, person):
+        student = VariableClass("STUDENT", {"School": STRING}, isa=(person,))
+        employee = VariableClass("EMPLOYEE", {"Empno": INT}, isa=(person,))
+        working = VariableClass("WORKING_STUDENT", {}, isa=(student, employee))
+        assert set(working.all_attributes()) == {"Name", "School", "Empno"}
+        assert working.isa(person)
+
+    def test_isa_requires_class(self):
+        with pytest.raises(ClassConstructError):
+            VariableClass("X", {}, isa=("nope",))  # type: ignore[arg-type]
+
+
+class TestExtents:
+    def test_insert_enters_super_extents(self, person, employee):
+        """'every instance of EMPLOYEE will be in the extent of PERSON.'"""
+        employee.insert(Name="J Doe", Empno=1, Department="Sales")
+        assert len(employee) == 1
+        assert len(person.extent) == 1
+
+    def test_person_insert_not_in_employee(self, person, employee):
+        person.insert(Name="P Only")
+        assert len(person.extent) == 1
+        assert len(employee) == 0
+
+    def test_delete_removes_everywhere(self, person, employee):
+        instance = employee.insert(Name="J", Empno=1, Department="D")
+        employee.delete(instance)
+        assert len(employee) == 0
+        assert len(person.extent) == 0
+
+    def test_explicit_insertion_and_deletion(self, person):
+        """Extents are 'defined by explicit insertion and deletion' —
+        merely constructing a valid value does not enter it."""
+        agg = AggregateClass("ADDRESS", {"City": STRING})
+        agg.new(City="Austin")  # no extent to enter
+        assert not hasattr(agg, "extent")
+        p = person.insert(Name="X")
+        person.delete(p)
+        assert len(person) == 0
+
+    def test_missing_attribute_rejected(self, employee):
+        with pytest.raises(ClassConstructError):
+            employee.insert(Name="J Doe", Empno=1)  # Department missing
+
+    def test_extra_attribute_rejected(self, person):
+        with pytest.raises(ClassConstructError):
+            person.insert(Name="J", Nickname="JJ")
+
+    def test_wrong_type_rejected(self, employee):
+        with pytest.raises(ClassConstructError):
+            employee.insert(Name="J", Empno="one", Department="D")
+
+    def test_instance_attribute_update_checked(self, person):
+        instance = person.insert(Name="J")
+        instance["Name"] = "K"
+        assert instance["Name"] == "K"
+        with pytest.raises(ClassConstructError):
+            instance["Name"] = 3
+        with pytest.raises(ClassConstructError):
+            instance["Nope"] = 1
+
+    def test_instance_missing_attribute_read(self, person):
+        instance = person.insert(Name="J")
+        with pytest.raises(ClassConstructError):
+            instance["Nope"]
+
+
+class TestMetaClasses:
+    def test_classes_are_instances_of_metaclasses(self, person):
+        assert person.metaclass is VARIABLE_CLASS
+        assert AggregateClass("A", {}).metaclass is AGGREGATE_CLASS
+
+    def test_variable_class_has_extent_aggregate_does_not(self, person):
+        assert VARIABLE_CLASS.has_extent
+        assert not AGGREGATE_CLASS.has_extent
+        assert hasattr(person, "extent")
+        assert not hasattr(AggregateClass("A", {}), "extent")
+
+    def test_instance_chain_three_levels(self, person):
+        """Taxis' 'limited three-level framework':
+        value → class → metaclass."""
+        instance = person.insert(Name="J")
+        chain = instance_chain(instance)
+        assert chain == [instance, person, VARIABLE_CLASS]
+
+    def test_instance_chain_from_class(self, person):
+        assert instance_chain(person) == [person, VARIABLE_CLASS]
+
+    def test_instance_chain_plain_value(self):
+        assert instance_chain(42) == [42]

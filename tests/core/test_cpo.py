@@ -1,0 +1,112 @@
+"""Unit tests for the generic partial-order utilities."""
+
+from repro.core import cpo
+from repro.core.orders import leq, record, try_join
+
+A = record(a=1)
+B = record(b=2)
+AB = record(a=1, b=2)
+ABC = record(a=1, b=2, c=3)
+
+
+def _leq_int(x, y):
+    return x <= y
+
+
+def _divides(x, y):
+    return y % x == 0
+
+
+class TestAntichainsAndChains:
+    def test_antichain_true(self):
+        assert cpo.is_antichain([A, B], leq)
+
+    def test_antichain_false(self):
+        assert not cpo.is_antichain([A, AB], leq)
+
+    def test_antichain_empty_and_singleton(self):
+        assert cpo.is_antichain([], leq)
+        assert cpo.is_antichain([A], leq)
+
+    def test_chain_true(self):
+        assert cpo.is_chain([A, AB, ABC], leq)
+
+    def test_chain_false(self):
+        assert not cpo.is_chain([A, B], leq)
+
+
+class TestMaximalMinimal:
+    def test_maximal(self):
+        assert set(cpo.maximal_elements([A, B, AB], leq)) == {AB}
+
+    def test_maximal_of_chain(self):
+        assert cpo.maximal_elements([A, AB, ABC], leq) == [ABC]
+
+    def test_maximal_keeps_duplicates_once(self):
+        assert cpo.maximal_elements([A, A], leq) == [A]
+
+    def test_minimal(self):
+        assert set(cpo.minimal_elements([A, B, AB], leq)) == {A, B}
+
+    def test_maximal_on_integers_with_divides(self):
+        assert set(cpo.maximal_elements([2, 3, 4, 6], _divides)) == {4, 6}
+
+    def test_empty(self):
+        assert cpo.maximal_elements([], leq) == []
+        assert cpo.minimal_elements([], leq) == []
+
+
+class TestBounds:
+    def test_upper_bounds(self):
+        assert cpo.upper_bounds([A, B], [A, B, AB, ABC], leq) == [AB, ABC]
+
+    def test_lower_bounds(self):
+        assert cpo.lower_bounds([AB, ABC], [A, B, AB, ABC], leq) == [A, B, AB]
+
+    def test_least(self):
+        assert cpo.least([A, AB, ABC], leq) == A
+        assert cpo.least([A, B], leq) is None
+        assert cpo.least([], leq) is None
+
+    def test_greatest(self):
+        assert cpo.greatest([A, AB, ABC], leq) == ABC
+        assert cpo.greatest([A, B], leq) is None
+
+    def test_is_least_upper_bound(self):
+        pool = [A, B, AB, ABC]
+        assert cpo.is_least_upper_bound(AB, [A, B], pool, leq)
+        assert not cpo.is_least_upper_bound(ABC, [A, B], pool, leq)
+        assert not cpo.is_least_upper_bound(A, [A, B], pool, leq)
+
+
+class TestLawCheckers:
+    def test_partial_order_ok(self):
+        assert cpo.check_partial_order([1, 2, 3, 4], _leq_int) == []
+
+    def test_reflexivity_violation_reported(self):
+        violations = cpo.check_partial_order([1], lambda a, b: a < b)
+        assert any("reflexive" in v for v in violations)
+
+    def test_antisymmetry_violation_reported(self):
+        # "leq" that relates everything both ways
+        violations = cpo.check_partial_order([1, 2], lambda a, b: True)
+        assert any("antisymmetry" in v for v in violations)
+
+    def test_transitivity_violation_reported(self):
+        # successor relation + reflexivity is not transitive
+        def succ(a, b):
+            return b == a or b == a + 1
+
+        violations = cpo.check_partial_order([1, 2, 3], succ)
+        assert any("transitivity" in v for v in violations)
+
+    def test_join_laws_ok(self):
+        pairs = [(A, B), (A, AB), (B, ABC)]
+        assert cpo.check_join_laws(pairs, try_join, leq) == []
+
+    def test_join_laws_catch_non_upper_bound(self):
+        def bad_join(a, b):
+            return A  # always returns A, usually not an upper bound
+
+        violations = cpo.check_join_laws([(B, ABC)], bad_join, leq)
+        assert any("upper bound" in v for v in violations)

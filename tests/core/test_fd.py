@@ -1,0 +1,228 @@
+"""Unit tests for functional dependencies and keys."""
+
+import pytest
+
+from repro.core.fd import (
+    FunctionalDependency,
+    Key,
+    KeyedRelation,
+    candidate_keys,
+    closure,
+    equivalent,
+    implies,
+    minimal_cover,
+)
+from repro.core.orders import record
+from repro.core.relation import GeneralizedRelation
+from repro.errors import KeyViolationError, RelationError
+
+FD = FunctionalDependency
+
+
+class TestSatisfaction:
+    def test_satisfied_on_flat_data(self):
+        r = GeneralizedRelation(
+            [
+                {"Name": "J Doe", "Dept": "Sales"},
+                {"Name": "M Dee", "Dept": "Manuf"},
+            ]
+        )
+        assert FD(["Name"], ["Dept"]).holds_in(r)
+
+    def test_violated_on_flat_data(self):
+        r = GeneralizedRelation(
+            [
+                {"Name": "J Doe", "Dept": "Sales", "Age": 1},
+                {"Name": "J Doe", "Dept": "Manuf", "Age": 2},
+            ]
+        )
+        fd = FD(["Name"], ["Dept"])
+        assert not fd.holds_in(r)
+        assert len(fd.violating_pairs(r)) == 1
+
+    def test_partial_on_rhs_does_not_violate(self):
+        # One object undefined on Dept: consistency, not equality.
+        r = GeneralizedRelation(
+            [
+                {"Name": "J Doe", "Dept": "Sales"},
+                {"Name": "J Doe", "Age": 40},
+            ]
+        )
+        assert FD(["Name"], ["Dept"]).holds_in(r)
+
+    def test_partial_on_lhs_not_compared(self):
+        r = GeneralizedRelation(
+            [
+                {"Name": "J Doe", "Dept": "Sales"},
+                {"Dept": "Manuf", "Age": 2},
+            ]
+        )
+        assert FD(["Name"], ["Dept"]).holds_in(r)
+
+    def test_empty_lhs_constrains_all_pairs(self):
+        r = GeneralizedRelation([{"Dept": "Sales", "a": 1}, {"Dept": "Manuf", "b": 2}])
+        assert not FD([], ["Dept"]).holds_in(r)
+
+    def test_trivial(self):
+        assert FD(["a", "b"], ["a"]).is_trivial()
+        assert not FD(["a"], ["b"]).is_trivial()
+
+    def test_nested_rhs_consistency(self):
+        r = GeneralizedRelation(
+            [
+                {"Name": "X", "Addr": {"State": "MT"}},
+                {"Name": "X", "Addr": {"City": "Helena"}},
+            ]
+        )
+        # Addr values are consistent (joinable), so the FD holds.
+        assert FD(["Name"], ["Addr"]).holds_in(r)
+
+    def test_nested_rhs_inconsistency(self):
+        r = GeneralizedRelation(
+            [
+                {"Name": "X", "Addr": {"State": "MT"}},
+                {"Name": "X", "Addr": {"State": "WY"}},
+            ]
+        )
+        assert not FD(["Name"], ["Addr"]).holds_in(r)
+
+
+class TestArmstrong:
+    FDS = [FD(["A"], ["B"]), FD(["B"], ["C"])]
+
+    def test_closure_transitive(self):
+        assert closure(["A"], self.FDS) == frozenset({"A", "B", "C"})
+
+    def test_closure_no_gain(self):
+        assert closure(["C"], self.FDS) == frozenset({"C"})
+
+    def test_implies_transitivity(self):
+        assert implies(self.FDS, FD(["A"], ["C"]))
+
+    def test_implies_reflexivity(self):
+        assert implies([], FD(["A", "B"], ["A"]))
+
+    def test_implies_augmentation(self):
+        assert implies([FD(["A"], ["B"])], FD(["A", "C"], ["B", "C"]))
+
+    def test_not_implied(self):
+        assert not implies(self.FDS, FD(["C"], ["A"]))
+
+    def test_equivalent_sets(self):
+        split = [FD(["A"], ["B"]), FD(["A"], ["C"]), FD(["B"], ["C"])]
+        merged = [FD(["A"], ["B", "C"]), FD(["B"], ["C"])]
+        assert equivalent(split, merged)
+
+    def test_not_equivalent(self):
+        assert not equivalent([FD(["A"], ["B"])], [FD(["B"], ["A"])])
+
+    def test_minimal_cover_equivalent(self):
+        fds = [
+            FD(["A"], ["B", "C"]),
+            FD(["A", "B"], ["C"]),  # extraneous B
+            FD(["B"], ["C"]),
+        ]
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+        # every RHS is a singleton
+        assert all(len(fd.rhs) == 1 for fd in cover)
+
+    def test_minimal_cover_removes_redundant(self):
+        fds = [FD(["A"], ["B"]), FD(["B"], ["C"]), FD(["A"], ["C"])]
+        cover = minimal_cover(fds)
+        assert len(cover) == 2
+
+    def test_candidate_keys_simple(self):
+        keys = candidate_keys(["A", "B", "C"], self.FDS)
+        assert keys == [frozenset({"A"})]
+
+    def test_candidate_keys_multiple(self):
+        fds = [FD(["A"], ["B"]), FD(["B"], ["A"])]
+        keys = candidate_keys(["A", "B"], fds)
+        assert frozenset({"A"}) in keys
+        assert frozenset({"B"}) in keys
+
+    def test_candidate_keys_composite(self):
+        fds = [FD(["A", "B"], ["C"])]
+        keys = candidate_keys(["A", "B", "C"], fds)
+        assert keys == [frozenset({"A", "B"})]
+
+    def test_fd_equality_and_hash(self):
+        assert FD(["a"], ["b"]) == FD(["a"], ["b"])
+        assert len({FD(["a"], ["b"]), FD(["a"], ["b"])}) == 1
+
+
+class TestKeys:
+    def test_key_needs_attribute(self):
+        with pytest.raises(RelationError):
+            Key([])
+
+    def test_key_of_total_object(self):
+        key = Key(["Name"])
+        pairs = key.key_of(record(Name="J Doe", Dept="Sales"))
+        assert pairs == (("Name", record(Name="J Doe")["Name"]),)
+
+    def test_key_of_partial_object_raises(self):
+        with pytest.raises(KeyViolationError):
+            Key(["Name"]).key_of(record(Dept="Sales"))
+
+    def test_key_of_atom_raises(self):
+        from repro.core.orders import atom
+
+        with pytest.raises(KeyViolationError):
+            Key(["Name"]).key_of(atom(3))
+
+    def test_incomparable_same_key_rejected(self):
+        relation = GeneralizedRelation([{"Name": "J Doe", "Dept": "Sales"}])
+        key = Key(["Name"])
+        with pytest.raises(KeyViolationError):
+            key.check_insert(relation, {"Name": "J Doe", "Dept": "Manuf"})
+
+    def test_comparable_same_key_allowed_as_update(self):
+        relation = GeneralizedRelation([{"Name": "J Doe"}])
+        key = Key(["Name"])
+        value = key.check_insert(relation, {"Name": "J Doe", "Dept": "Sales"})
+        assert value == record(Name="J Doe", Dept="Sales")
+
+
+class TestKeyedRelation:
+    def test_insert_and_lookup(self):
+        kr = KeyedRelation(Key(["Name"]))
+        kr = kr.insert({"Name": "J Doe", "Dept": "Sales"})
+        found = kr.lookup(Name="J Doe")
+        assert found == record(Name="J Doe", Dept="Sales")
+
+    def test_lookup_missing(self):
+        kr = KeyedRelation(Key(["Name"]))
+        assert kr.lookup(Name="Nobody") is None
+
+    def test_update_in_place_via_subsumption(self):
+        kr = KeyedRelation(Key(["Name"])).insert({"Name": "J Doe"})
+        kr = kr.insert({"Name": "J Doe", "Dept": "Sales"})
+        assert len(kr) == 1
+        assert kr.lookup(Name="J Doe") == record(Name="J Doe", Dept="Sales")
+
+    def test_comparable_objects_cannot_coexist(self):
+        """The paper: with Name a key for Person, 'we cannot now place two
+        comparable objects ... for if they were comparable, they would
+        necessarily have the same key' — the keyed relation collapses them."""
+        kr = KeyedRelation(Key(["Name"]))
+        kr = kr.insert({"Name": "J Doe"})
+        kr = kr.insert({"Name": "J Doe", "Emp_no": 1234})
+        assert len(kr) == 1
+
+    def test_incomparable_same_key_raises(self):
+        kr = KeyedRelation(Key(["Name"])).insert({"Name": "J Doe", "Dept": "Sales"})
+        with pytest.raises(KeyViolationError):
+            kr.insert({"Name": "J Doe", "Dept": "Manuf"})
+
+    def test_existing_relation_validated(self):
+        partial = GeneralizedRelation([{"Dept": "Sales"}])
+        with pytest.raises(KeyViolationError):
+            KeyedRelation(Key(["Name"]), partial)
+
+    def test_iteration_and_len(self):
+        kr = KeyedRelation(Key(["Name"]))
+        kr = kr.insert({"Name": "A"}).insert({"Name": "B"})
+        assert len(kr) == 2
+        assert len(list(kr)) == 2

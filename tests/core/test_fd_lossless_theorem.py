@@ -1,0 +1,89 @@
+"""The instance-level lossless-join theorem, property-tested.
+
+The classical result the paper's [Bune86] program derives: if a flat
+relation satisfies ``X → Y``, then decomposing it into ``π[X∪Y]`` and
+``π[X∪(R−Y)]`` is lossless — the natural join of the projections
+rebuilds the relation exactly.  The converse direction provides the
+negative control: violating instances can genuinely lose/gain rows.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FunctionalDependency
+from repro.core.flat import FlatRelation
+
+ATTRS = ("X", "Y", "Z")
+
+
+def project_pair(relation, x, y):
+    """The (XY, X(rest)) decomposition's two projections."""
+    rest = [a for a in relation.schema if a not in y]
+    xy = sorted(set(x) | set(y))
+    return relation.project(xy), relation.project(rest)
+
+
+@st.composite
+def satisfying_relation(draw):
+    """A random flat relation over (X, Y, Z) satisfying X → Y."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    size = draw(st.integers(min_value=0, max_value=12))
+    y_of = {}
+    rows = []
+    for __ in range(size):
+        x = rng.randrange(4)
+        if x not in y_of:
+            y_of[x] = rng.randrange(4)
+        rows.append((x, y_of[x], rng.randrange(4)))
+    return FlatRelation(ATTRS, rows)
+
+
+@st.composite
+def arbitrary_relation(draw):
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    size = draw(st.integers(min_value=0, max_value=12))
+    rows = [
+        (rng.randrange(3), rng.randrange(3), rng.randrange(3))
+        for __ in range(size)
+    ]
+    return FlatRelation(ATTRS, rows)
+
+
+class TestLosslessJoinTheorem:
+    @given(satisfying_relation())
+    @settings(max_examples=200, deadline=None)
+    def test_fd_implies_lossless_decomposition(self, relation):
+        fd = FunctionalDependency(["X"], ["Y"])
+        assert fd.holds_in(relation.to_generalized())
+        left, right = project_pair(relation, ["X"], ["Y"])
+        assert left.natural_join(right) == relation
+
+    @given(arbitrary_relation())
+    @settings(max_examples=200, deadline=None)
+    def test_join_of_projections_never_loses_rows(self, relation):
+        """Even without the FD, rejoining only ever *adds* rows."""
+        left, right = project_pair(relation, ["X"], ["Y"])
+        rejoined = left.natural_join(right)
+        for row in relation:
+            assert row in rejoined
+
+    @given(arbitrary_relation())
+    @settings(max_examples=200, deadline=None)
+    def test_violation_iff_spurious_rows_possible(self, relation):
+        """When the join of projections adds rows, the FD must be
+        violated (contrapositive of the theorem)."""
+        fd = FunctionalDependency(["X"], ["Y"])
+        left, right = project_pair(relation, ["X"], ["Y"])
+        rejoined = left.natural_join(right)
+        if rejoined != relation:
+            assert not fd.holds_in(relation.to_generalized())
+
+    def test_concrete_violation_gains_rows(self):
+        relation = FlatRelation(
+            ATTRS, [(1, 10, 100), (1, 20, 200)]  # X→Y violated
+        )
+        left, right = project_pair(relation, ["X"], ["Y"])
+        rejoined = left.natural_join(right)
+        assert len(rejoined) == 4  # two spurious tuples

@@ -1,0 +1,152 @@
+"""Unit tests for the flat 1NF relational algebra baseline."""
+
+import pytest
+
+from repro.core.flat import FlatRelation
+from repro.core.relation import GeneralizedRelation
+from repro.errors import SchemaMismatchError
+
+EMP = FlatRelation(
+    ("Name", "Dept"),
+    [
+        {"Name": "J Doe", "Dept": "Sales"},
+        {"Name": "M Dee", "Dept": "Manuf"},
+        {"Name": "N Bug", "Dept": "Manuf"},
+    ],
+)
+
+DEPT = FlatRelation(
+    ("Dept", "City"),
+    [
+        {"Dept": "Sales", "City": "Moose"},
+        {"Dept": "Manuf", "City": "Billings"},
+    ],
+)
+
+
+class TestConstruction:
+    def test_rows_as_tuples(self):
+        r = FlatRelation(("a", "b"), [(1, 2), (3, 4)])
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_rows_as_mappings(self):
+        assert {"Name": "J Doe", "Dept": "Sales"} in EMP
+
+    def test_duplicate_rows_collapse(self):
+        r = FlatRelation(("a",), [(1,), (1,)])
+        assert len(r) == 1
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation(("a", "a"))
+
+    def test_partial_row_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation(("a", "b"), [{"a": 1}])
+
+    def test_extra_attribute_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation(("a",), [{"a": 1, "b": 2}])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation(("a", "b"), [(1,)])
+
+    def test_first_normal_form_enforced(self):
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation(("a",), [({"nested": 1},)])
+
+
+class TestAlgebra:
+    def test_select(self):
+        manuf = EMP.select(lambda row: row["Dept"] == "Manuf")
+        assert len(manuf) == 2
+
+    def test_project(self):
+        depts = EMP.project(["Dept"])
+        assert depts.schema == ("Dept",)
+        assert len(depts) == 2  # duplicates collapse
+
+    def test_project_unknown_attribute(self):
+        with pytest.raises(SchemaMismatchError):
+            EMP.project(["Nope"])
+
+    def test_rename(self):
+        renamed = EMP.rename({"Name": "EmpName"})
+        assert renamed.schema == ("EmpName", "Dept")
+        assert len(renamed) == len(EMP)
+
+    def test_union(self):
+        extra = FlatRelation(("Name", "Dept"), [{"Name": "Z Zed", "Dept": "Admin"}])
+        assert len(EMP.union(extra)) == 4
+
+    def test_union_attribute_order_irrelevant(self):
+        reordered = FlatRelation(("Dept", "Name"), [{"Name": "J Doe", "Dept": "Sales"}])
+        assert len(EMP.union(reordered)) == 3
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaMismatchError):
+            EMP.union(DEPT)
+
+    def test_difference(self):
+        rest = EMP.difference(
+            FlatRelation(("Name", "Dept"), [{"Name": "J Doe", "Dept": "Sales"}])
+        )
+        assert len(rest) == 2
+
+    def test_intersect(self):
+        both = EMP.intersect(
+            FlatRelation(("Name", "Dept"), [{"Name": "J Doe", "Dept": "Sales"}])
+        )
+        assert len(both) == 1
+
+    def test_natural_join(self):
+        joined = EMP.natural_join(DEPT)
+        assert set(joined.schema) == {"Name", "Dept", "City"}
+        assert len(joined) == 3
+        assert {"Name": "N Bug", "Dept": "Manuf", "City": "Billings"} in joined
+
+    def test_natural_join_no_common_attributes_is_product(self):
+        left = FlatRelation(("a",), [(1,), (2,)])
+        right = FlatRelation(("b",), [(3,), (4,)])
+        assert len(left.natural_join(right)) == 4
+
+    def test_natural_join_empty_when_no_match(self):
+        other = FlatRelation(("Dept", "City"), [{"Dept": "Admin", "City": "X"}])
+        assert len(EMP.natural_join(other)) == 0
+
+
+class TestGeneralizedBridge:
+    def test_round_trip(self):
+        back = FlatRelation.from_generalized(EMP.to_generalized(), EMP.schema)
+        assert back == EMP
+
+    def test_generalized_join_coincides_with_natural_join(self):
+        """The paper: the generalized join 'is a generalization of the
+        "natural join" for 1NF relations'.  On flat inputs they agree."""
+        generalized = EMP.to_generalized().join(DEPT.to_generalized())
+        flat = EMP.natural_join(DEPT)
+        assert generalized == flat.to_generalized()
+
+    def test_from_generalized_rejects_partial(self):
+        partial = GeneralizedRelation([{"Name": "J Doe"}])
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation.from_generalized(partial, ("Name", "Dept"))
+
+    def test_from_generalized_rejects_nested(self):
+        nested = GeneralizedRelation([{"Name": "X", "Addr": {"State": "MT"}}])
+        with pytest.raises(SchemaMismatchError):
+            FlatRelation.from_generalized(nested, ("Name", "Addr"))
+
+
+class TestEquality:
+    def test_attribute_order_irrelevant(self):
+        r1 = FlatRelation(("a", "b"), [(1, 2)])
+        r2 = FlatRelation(("b", "a"), [(2, 1)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_iteration_yields_dicts(self):
+        rows = list(FlatRelation(("a", "b"), [(1, 2)]))
+        assert rows == [{"a": 1, "b": 2}]

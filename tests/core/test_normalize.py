@@ -1,0 +1,182 @@
+"""Unit tests for relational design theory (projection, BCNF, 3NF, chase)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd import FunctionalDependency as FD
+from repro.core.fd import candidate_keys, equivalent, implies
+from repro.core.normalize import (
+    bcnf_decompose,
+    bcnf_violations,
+    is_3nf,
+    is_bcnf,
+    is_lossless,
+    is_superkey,
+    preserves_dependencies,
+    project_fds,
+    synthesize_3nf,
+)
+
+# The classic textbook schema: Emp(Name, Dept, City) with
+# Name -> Dept, Dept -> City.
+EMP_ATTRS = ("Name", "Dept", "City")
+EMP_FDS = [FD(["Name"], ["Dept"]), FD(["Dept"], ["City"])]
+
+
+class TestProjection:
+    def test_transitive_dependency_appears(self):
+        projected = project_fds(EMP_FDS, ["Name", "City"])
+        assert implies(projected, FD(["Name"], ["City"]))
+
+    def test_no_spurious_dependency(self):
+        projected = project_fds(EMP_FDS, ["Dept", "Name"])
+        assert not implies(projected, FD(["Dept"], ["Name"]))
+
+    def test_projection_onto_all_is_equivalent(self):
+        assert equivalent(project_fds(EMP_FDS, EMP_ATTRS), EMP_FDS)
+
+    def test_projection_onto_disjoint_is_empty(self):
+        assert project_fds(EMP_FDS, ["Unrelated"]) == []
+
+
+class TestSuperkeysAndBcnf:
+    def test_superkey(self):
+        assert is_superkey(["Name"], EMP_ATTRS, EMP_FDS)
+        assert not is_superkey(["Dept"], EMP_ATTRS, EMP_FDS)
+
+    def test_bcnf_violations(self):
+        violations = bcnf_violations(EMP_ATTRS, EMP_FDS)
+        assert FD(["Dept"], ["City"]) in violations
+        assert FD(["Name"], ["Dept"]) not in violations
+
+    def test_is_bcnf_negative(self):
+        assert not is_bcnf(EMP_ATTRS, EMP_FDS)
+
+    def test_is_bcnf_positive(self):
+        assert is_bcnf(("A", "B"), [FD(["A"], ["B"])])
+
+    def test_trivial_fds_never_violate(self):
+        assert is_bcnf(("A", "B"), [FD(["A", "B"], ["A"])])
+
+    def test_bcnf_decompose_reaches_bcnf(self):
+        pieces = bcnf_decompose(EMP_ATTRS, EMP_FDS)
+        for piece in pieces:
+            assert is_bcnf(piece, project_fds(EMP_FDS, piece))
+
+    def test_bcnf_decompose_is_lossless(self):
+        pieces = bcnf_decompose(EMP_ATTRS, EMP_FDS)
+        assert is_lossless(EMP_ATTRS, EMP_FDS, pieces)
+
+    def test_bcnf_decompose_covers_attributes(self):
+        pieces = bcnf_decompose(EMP_ATTRS, EMP_FDS)
+        assert frozenset().union(*pieces) == frozenset(EMP_ATTRS)
+
+    def test_bcnf_on_already_normal_schema(self):
+        pieces = bcnf_decompose(("A", "B"), [FD(["A"], ["B"])])
+        assert pieces == [frozenset({"A", "B"})]
+
+    def test_classic_dependency_loss(self):
+        """Address(Street City Zip): {Street,City}->Zip, Zip->City.
+        BCNF decomposition famously cannot preserve the first FD."""
+        attrs = ("Street", "City", "Zip")
+        fds = [FD(["Street", "City"], ["Zip"]), FD(["Zip"], ["City"])]
+        pieces = bcnf_decompose(attrs, fds)
+        assert is_lossless(attrs, fds, pieces)
+        assert not preserves_dependencies(fds, pieces)
+
+
+class Test3NF:
+    def test_emp_not_3nf(self):
+        assert not is_3nf(EMP_ATTRS, EMP_FDS)
+
+    def test_prime_attribute_tolerated(self):
+        # Street/City/Zip is 3NF (City is prime) though not BCNF.
+        attrs = ("Street", "City", "Zip")
+        fds = [FD(["Street", "City"], ["Zip"]), FD(["Zip"], ["City"])]
+        assert is_3nf(attrs, fds)
+        assert not is_bcnf(attrs, fds)
+
+    def test_synthesis_reaches_3nf(self):
+        pieces = synthesize_3nf(EMP_ATTRS, EMP_FDS)
+        for piece in pieces:
+            assert is_3nf(piece, project_fds(EMP_FDS, piece))
+
+    def test_synthesis_lossless_and_preserving(self):
+        pieces = synthesize_3nf(EMP_ATTRS, EMP_FDS)
+        assert is_lossless(EMP_ATTRS, EMP_FDS, pieces)
+        assert preserves_dependencies(EMP_FDS, pieces)
+
+    def test_synthesis_covers_orphan_attributes(self):
+        pieces = synthesize_3nf(("A", "B", "Z"), [FD(["A"], ["B"])])
+        assert frozenset().union(*pieces) == frozenset({"A", "B", "Z"})
+
+    def test_synthesis_includes_a_key(self):
+        pieces = synthesize_3nf(EMP_ATTRS, EMP_FDS)
+        keys = candidate_keys(EMP_ATTRS, EMP_FDS)
+        assert any(any(key <= piece for key in keys) for piece in pieces)
+
+
+class TestChase:
+    def test_lossless_split_on_key(self):
+        assert is_lossless(
+            ("A", "B", "C"),
+            [FD(["A"], ["B"])],
+            [frozenset({"A", "B"}), frozenset({"A", "C"})],
+        )
+
+    def test_lossy_split(self):
+        assert not is_lossless(
+            ("A", "B", "C"),
+            [],
+            [frozenset({"A", "B"}), frozenset({"B", "C"})],
+        )
+
+    def test_trivial_decomposition_lossless(self):
+        assert is_lossless(EMP_ATTRS, EMP_FDS, [frozenset(EMP_ATTRS)])
+
+    def test_three_way_chain(self):
+        attrs = ("A", "B", "C", "D")
+        fds = [FD(["A"], ["B"]), FD(["B"], ["C"]), FD(["C"], ["D"])]
+        pieces = [frozenset("AB"), frozenset("BC"), frozenset("CD")]
+        assert is_lossless(attrs, fds, pieces)
+
+
+SMALL_ATTRS = ("A", "B", "C", "D")
+
+small_fds = st.lists(
+    st.tuples(
+        st.sets(st.sampled_from(SMALL_ATTRS), min_size=1, max_size=2),
+        st.sets(st.sampled_from(SMALL_ATTRS), min_size=1, max_size=2),
+    ).map(lambda pair: FD(pair[0], pair[1])),
+    max_size=4,
+)
+
+
+class TestNormalizationProperties:
+    @given(small_fds)
+    @settings(max_examples=60, deadline=None)
+    def test_bcnf_decomposition_always_lossless_and_normal(self, fds):
+        pieces = bcnf_decompose(SMALL_ATTRS, fds)
+        assert frozenset().union(*pieces) == frozenset(SMALL_ATTRS)
+        assert is_lossless(SMALL_ATTRS, fds, pieces)
+        for piece in pieces:
+            assert is_bcnf(piece, project_fds(fds, piece))
+
+    @given(small_fds)
+    @settings(max_examples=60, deadline=None)
+    def test_3nf_synthesis_always_lossless_preserving_normal(self, fds):
+        pieces = synthesize_3nf(SMALL_ATTRS, fds)
+        assert frozenset().union(*pieces) == frozenset(SMALL_ATTRS)
+        assert is_lossless(SMALL_ATTRS, fds, pieces)
+        assert preserves_dependencies(fds, pieces)
+        for piece in pieces:
+            assert is_3nf(piece, project_fds(fds, piece))
+
+    @given(small_fds)
+    @settings(max_examples=40, deadline=None)
+    def test_projection_sound(self, fds):
+        projected = project_fds(fds, ("A", "B"))
+        for fd in projected:
+            assert implies(fds, fd)
+            assert fd.lhs <= {"A", "B"}
+            assert fd.rhs <= {"A", "B"}

@@ -1,0 +1,233 @@
+"""Unit tests for the information ordering on partial values."""
+
+import pytest
+
+from repro.core.orders import (
+    EMPTY_RECORD,
+    Atom,
+    PartialRecord,
+    atom,
+    consistent,
+    from_python,
+    join,
+    leq,
+    lt,
+    meet,
+    record,
+    to_python,
+    try_join,
+)
+from repro.errors import InconsistentJoinError, NoMeetError, NotAValueError
+
+
+# -- the paper's own running example ----------------------------------------
+
+O1 = record(Name="J Doe", Address={"City": "Austin"})
+O2 = record(Name="J Doe", Address={"City": "Austin"}, Emp_no=1234)
+O3 = record(Name="J Doe", Address={"City": "Austin", "Zip": 78759})
+
+
+class TestPaperExamples:
+    def test_o1_below_o2_adding_a_field(self):
+        assert leq(O1, O2)
+        assert not leq(O2, O1)
+
+    def test_o1_below_o3_better_defining_a_field(self):
+        assert leq(O1, O3)
+        assert not leq(O3, O1)
+
+    def test_o2_o3_incomparable(self):
+        assert not leq(O2, O3)
+        assert not leq(O3, O2)
+
+    def test_join_of_o2_o3_matches_paper(self):
+        expected = record(
+            Name="J Doe",
+            Address={"City": "Austin", "Zip": 78759},
+            Emp_no=1234,
+        )
+        assert join(O2, O3) == expected
+
+    def test_simple_field_merge(self):
+        # {Name='J Doe'} ⊔ {Emp_no=1234} = {Name='J Doe', Emp_no=1234}
+        left = record(Name="J Doe")
+        right = record(Emp_no=1234)
+        assert join(left, right) == record(Name="J Doe", Emp_no=1234)
+
+    def test_disagreeing_names_cannot_join(self):
+        # "we cannot join o1 with {Name = 'K Smith'}"
+        with pytest.raises(InconsistentJoinError):
+            join(O1, record(Name="K Smith"))
+
+    def test_inconsistent_join_reports_path(self):
+        err = None
+        try:
+            join(
+                record(Addr={"City": "Moose"}),
+                record(Addr={"City": "Billings"}),
+            )
+        except InconsistentJoinError as exc:
+            err = exc
+        assert err is not None
+        assert err.path == ("Addr", "City")
+
+
+class TestAtoms:
+    def test_atom_reflexive(self):
+        assert leq(atom(3), atom(3))
+
+    def test_distinct_atoms_incomparable(self):
+        assert not leq(atom(3), atom(4))
+        assert not leq(atom(4), atom(3))
+
+    def test_distinct_atoms_inconsistent(self):
+        assert try_join(atom("a"), atom("b")) is None
+        assert not consistent(atom("a"), atom("b"))
+
+    def test_bool_and_int_distinct(self):
+        assert atom(True) != atom(1)
+        assert not leq(atom(True), atom(1))
+        assert try_join(atom(True), atom(1)) is None
+
+    def test_int_and_float_equal_when_numerically_equal(self):
+        assert atom(1) == atom(1.0)
+        assert leq(atom(1), atom(1.0))
+
+    def test_atom_rejects_non_scalar(self):
+        with pytest.raises(NotAValueError):
+            Atom([1, 2])  # type: ignore[arg-type]
+
+    def test_atom_hash_consistent_with_eq(self):
+        assert hash(atom("x")) == hash(atom("x"))
+
+    def test_atom_record_incomparable(self):
+        assert not leq(atom(1), record(a=1))
+        assert not leq(record(a=1), atom(1))
+        assert try_join(atom(1), record(a=1)) is None
+
+
+class TestRecords:
+    def test_empty_record_is_least(self):
+        assert leq(EMPTY_RECORD, O1)
+        assert leq(EMPTY_RECORD, record(x=1))
+        assert leq(EMPTY_RECORD, EMPTY_RECORD)
+
+    def test_strictly_less(self):
+        assert lt(O1, O2)
+        assert not lt(O1, O1)
+
+    def test_record_access(self):
+        assert O1["Name"] == atom("J Doe")
+        assert O1.get("Missing") is None
+        assert "Name" in O1
+        assert "Missing" not in O1
+        assert len(O1) == 2
+        assert O1.labels == ("Address", "Name")
+
+    def test_getitem_raises_on_missing(self):
+        with pytest.raises(KeyError):
+            O1["Missing"]
+
+    def test_with_field_and_without_field(self):
+        extended = O1.with_field("Emp_no", atom(1234))
+        assert extended == O2
+        assert extended.without_field("Emp_no") == O1
+
+    def test_restrict_drops_undefined_labels(self):
+        assert O2.restrict(["Name", "Nothing"]) == record(Name="J Doe")
+
+    def test_restrict_to_nothing_is_empty(self):
+        assert O1.restrict([]) == EMPTY_RECORD
+
+    def test_nested_ordering(self):
+        shallow = record(Addr={"State": "MT"})
+        deep = record(Addr={"State": "MT", "City": "Helena"})
+        assert leq(shallow, deep)
+        assert not leq(deep, shallow)
+
+    def test_record_label_must_be_string(self):
+        with pytest.raises(NotAValueError):
+            PartialRecord({1: atom(1)})  # type: ignore[dict-item]
+
+    def test_record_value_must_be_value(self):
+        with pytest.raises(NotAValueError):
+            PartialRecord({"a": 1})  # type: ignore[dict-item]
+
+    def test_records_hashable(self):
+        assert len({O1, O2, O3, O1}) == 3
+
+
+class TestJoinAndMeet:
+    def test_join_is_idempotent(self):
+        assert join(O2, O2) == O2
+
+    def test_join_is_commutative(self):
+        assert join(O2, O3) == join(O3, O2)
+
+    def test_join_with_empty_is_identity(self):
+        assert join(O2, EMPTY_RECORD) == O2
+
+    def test_join_dominates_both(self):
+        combined = join(O2, O3)
+        assert leq(O2, combined)
+        assert leq(O3, combined)
+
+    def test_meet_of_comparable_is_lower(self):
+        assert meet(O1, O2) == O1
+
+    def test_meet_drops_disagreeing_fields(self):
+        left = record(Name="J Doe", Dept="Sales")
+        right = record(Name="J Doe", Dept="Admin")
+        assert meet(left, right) == record(Name="J Doe")
+
+    def test_meet_recurses_into_records(self):
+        left = record(Addr={"City": "Austin", "Zip": 78759})
+        right = record(Addr={"City": "Austin", "Zip": 10001})
+        assert meet(left, right) == record(Addr={"City": "Austin"})
+
+    def test_meet_of_distinct_atoms_raises(self):
+        with pytest.raises(NoMeetError):
+            meet(atom(1), atom(2))
+
+    def test_meet_of_atom_and_record_raises(self):
+        with pytest.raises(NoMeetError):
+            meet(atom(1), record(a=1))
+
+    def test_meet_of_records_is_lower_bound(self):
+        lower = meet(O2, O3)
+        assert leq(lower, O2)
+        assert leq(lower, O3)
+
+
+class TestConversion:
+    def test_round_trip(self):
+        data = {"Name": "J Doe", "Address": {"City": "Austin", "Zip": 78759}}
+        assert to_python(from_python(data)) == data
+
+    def test_scalars_round_trip(self):
+        for scalar in (0, -5, 3.25, "hi", True, False):
+            assert to_python(from_python(scalar)) == scalar
+
+    def test_value_passthrough(self):
+        assert from_python(O1) is O1
+
+    def test_rejects_unconvertible(self):
+        with pytest.raises(NotAValueError):
+            from_python([1, 2, 3])
+
+    def test_record_kwargs_accept_values(self):
+        assert record(x=atom(1)) == record(x=1)
+
+
+class TestRichComparisons:
+    def test_operators(self):
+        assert O1 <= O2
+        assert O2 >= O1
+        assert O1 < O2
+        assert O2 > O1
+        assert not (O2 <= O3)
+        assert not (O3 <= O2)
+
+    def test_comparison_with_non_value(self):
+        with pytest.raises(TypeError):
+            O1 <= 3  # noqa: B015

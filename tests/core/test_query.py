@@ -1,0 +1,212 @@
+"""Unit and property tests for query plans and the optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flat import FlatRelation
+from repro.core.query import (
+    Join,
+    Project,
+    Scan,
+    Select,
+    attr_eq,
+    eq,
+    explain,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    optimize,
+    scan,
+)
+from repro.errors import RelationError
+
+EMP = FlatRelation(
+    ("Name", "Dept", "Salary"),
+    [
+        ("J Doe", "Sales", 30),
+        ("M Dee", "Manuf", 40),
+        ("N Bug", "Manuf", 20),
+        ("A One", "Admin", 50),
+    ],
+)
+
+DEPT = FlatRelation(
+    ("Dept", "City"),
+    [
+        ("Sales", "Moose"),
+        ("Manuf", "Billings"),
+        ("Admin", "Helena"),
+    ],
+)
+
+CATALOG = {"emp": EMP, "dept": DEPT}
+
+
+class TestExecution:
+    def test_scan(self):
+        assert scan("emp").execute(CATALOG) == EMP
+
+    def test_missing_relation(self):
+        with pytest.raises(RelationError):
+            scan("ghost").execute(CATALOG)
+
+    def test_select(self):
+        result = scan("emp").where(eq("Dept", "Manuf")).execute(CATALOG)
+        assert len(result) == 2
+
+    def test_select_operators(self):
+        assert len(scan("emp").where(lt("Salary", 30)).execute(CATALOG)) == 1
+        assert len(scan("emp").where(le("Salary", 30)).execute(CATALOG)) == 2
+        assert len(scan("emp").where(gt("Salary", 40)).execute(CATALOG)) == 1
+        assert len(scan("emp").where(ge("Salary", 40)).execute(CATALOG)) == 2
+        assert len(scan("emp").where(ne("Dept", "Manuf")).execute(CATALOG)) == 2
+
+    def test_attr_eq(self):
+        twin = FlatRelation(("A", "B"), [(1, 1), (1, 2)])
+        result = scan("t").where(attr_eq("A", "B")).execute({"t": twin})
+        assert len(result) == 1
+
+    def test_conjunction_via_where(self):
+        result = (
+            scan("emp")
+            .where(eq("Dept", "Manuf"), gt("Salary", 25))
+            .execute(CATALOG)
+        )
+        assert len(result) == 1
+
+    def test_project(self):
+        result = scan("emp").project(["Dept"]).execute(CATALOG)
+        assert result.schema == ("Dept",)
+        assert len(result) == 3
+
+    def test_join(self):
+        result = scan("emp").join(scan("dept")).execute(CATALOG)
+        assert len(result) == 4
+        assert set(result.schema) == {"Name", "Dept", "Salary", "City"}
+
+    def test_selection_on_missing_attribute(self):
+        with pytest.raises(RelationError):
+            scan("dept").where(eq("Salary", 1)).execute(CATALOG)
+
+    def test_projection_on_missing_attribute(self):
+        with pytest.raises(RelationError):
+            scan("dept").project(["Salary"]).execute(CATALOG)
+
+
+class TestOptimizerRewrites:
+    def test_selection_pushed_below_join(self):
+        plan = scan("emp").join(scan("dept")).where(eq("Salary", 30))
+        optimized = optimize(plan, CATALOG)
+        # The selection must now sit below the join, on the emp side.
+        assert isinstance(optimized, Join)
+        text = explain(optimized)
+        assert text.index("Select") > text.index("Join")
+
+    def test_cross_side_selection_stays_on_top(self):
+        plan = (
+            scan("emp")
+            .join(scan("dept"))
+            .where(attr_eq("Name", "City"))  # needs both sides
+        )
+        optimized = optimize(plan, CATALOG)
+        assert isinstance(optimized, Select)
+
+    def test_projection_pushed_into_join(self):
+        plan = scan("emp").join(scan("dept")).project(["Name", "City"])
+        optimized = optimize(plan, CATALOG)
+        text = explain(optimized)
+        # Some projection now sits under the join (pruning Salary early).
+        join_pos = text.index("Join")
+        assert "Project" in text[join_pos:]
+
+    def test_join_ordered_smaller_first(self):
+        plan = scan("emp").join(scan("dept"))
+        optimized = optimize(plan, CATALOG)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Scan)
+        assert optimized.left.name == "dept"  # 3 rows < 4 rows
+
+    def test_explain_renders_tree(self):
+        plan = scan("emp").where(eq("Dept", "Sales")).project(["Name"])
+        text = explain(plan)
+        assert "Project" in text and "Select" in text and "Scan(emp)" in text
+
+
+class TestEquivalenceFixed:
+    PLANS = [
+        scan("emp"),
+        scan("emp").where(eq("Dept", "Manuf")),
+        scan("emp").join(scan("dept")),
+        scan("emp").join(scan("dept")).where(eq("City", "Moose")),
+        scan("emp").join(scan("dept")).where(gt("Salary", 25)).project(
+            ["Name", "City"]
+        ),
+        scan("emp")
+        .where(gt("Salary", 20))
+        .join(scan("dept").where(ne("City", "Helena")))
+        .project(["Name"]),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(PLANS)))
+    def test_optimized_equals_naive(self, index):
+        plan = self.PLANS[index]
+        naive = plan.execute(CATALOG)
+        optimized = optimize(plan, CATALOG).execute(CATALOG)
+        assert optimized == naive
+
+
+# -- property: optimize preserves semantics on random plans -------------------
+
+
+@st.composite
+def random_plan(draw):
+    base = draw(st.sampled_from(["emp", "dept"]))
+    plan = scan(base)
+    for __ in range(draw(st.integers(min_value=0, max_value=3))):
+        action = draw(st.sampled_from(["select", "join", "project"]))
+        if action == "select":
+            # choose an attribute valid for the current schema
+            schema = plan.schema(CATALOG)
+            attribute = draw(st.sampled_from(sorted(schema)))
+            if attribute == "Salary":
+                plan = plan.where(
+                    draw(
+                        st.sampled_from(
+                            [lt("Salary", 35), ge("Salary", 30), eq("Salary", 40)]
+                        )
+                    )
+                )
+            elif attribute == "Dept":
+                plan = plan.where(eq("Dept", draw(st.sampled_from(
+                    ["Sales", "Manuf", "Admin", "Ghost"]))))
+            elif attribute == "City":
+                plan = plan.where(ne("City", "Moose"))
+            else:
+                plan = plan.where(ne(attribute, "nobody"))
+        elif action == "join":
+            other = draw(st.sampled_from(["emp", "dept"]))
+            plan = plan.join(scan(other))
+        else:
+            schema = sorted(plan.schema(CATALOG))
+            keep = draw(
+                st.lists(
+                    st.sampled_from(schema),
+                    min_size=1,
+                    max_size=len(schema),
+                    unique=True,
+                )
+            )
+            plan = plan.project(keep)
+    return plan
+
+
+class TestEquivalenceProperty:
+    @given(random_plan())
+    @settings(max_examples=150, deadline=None)
+    def test_optimize_preserves_results(self, plan):
+        naive = plan.execute(CATALOG)
+        optimized = optimize(plan, CATALOG)
+        assert optimized.execute(CATALOG) == naive

@@ -1,0 +1,234 @@
+"""Unit tests for generalized relations (cochains + join + projection)."""
+
+import pytest
+
+from repro.core import cpo
+from repro.core.orders import leq, record
+from repro.core.relation import (
+    GeneralizedRelation,
+    RelationBuilder,
+    incremental_insert_all,
+)
+from repro.errors import RelationError
+
+
+class TestConstruction:
+    def test_empty(self):
+        r = GeneralizedRelation()
+        assert len(r) == 0
+        assert list(r) == []
+
+    def test_reduces_comparable_inputs(self):
+        r = GeneralizedRelation(
+            [
+                {"Name": "J Doe"},
+                {"Name": "J Doe", "Dept": "Sales"},
+            ]
+        )
+        assert len(r) == 1
+        assert record(Name="J Doe", Dept="Sales") in r
+
+    def test_accepts_plain_dicts(self):
+        r = GeneralizedRelation([{"a": 1}])
+        assert record(a=1) in r
+
+    def test_duplicates_collapse(self):
+        r = GeneralizedRelation([{"a": 1}, {"a": 1}])
+        assert len(r) == 1
+
+    def test_construction_is_cochain(self):
+        r = GeneralizedRelation([{"a": 1}, {"b": 2}, {"a": 1, "c": 3}])
+        r.check_cochain()
+        assert len(r) == 2
+
+
+class TestInsertSubsumption:
+    def test_insert_new_incomparable(self):
+        r = GeneralizedRelation([{"a": 1}])
+        r2 = r.insert({"b": 2})
+        assert len(r2) == 2
+        assert len(r) == 1  # immutability
+
+    def test_insert_dominated_is_noop(self):
+        r = GeneralizedRelation([{"a": 1, "b": 2}])
+        r2 = r.insert({"a": 1})
+        assert r2 == r
+
+    def test_insert_dominating_subsumes(self):
+        r = GeneralizedRelation([{"a": 1}])
+        r2 = r.insert({"a": 1, "b": 2})
+        assert len(r2) == 1
+        assert record(a=1, b=2) in r2
+
+    def test_insert_subsumes_several(self):
+        r = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        r2 = r.insert({"a": 1, "b": 2})
+        assert len(r2) == 1
+
+    def test_admits(self):
+        r = GeneralizedRelation([{"a": 1, "b": 2}])
+        assert not r.admits({"a": 1})
+        assert r.admits({"c": 3})
+        assert not r.admits({"a": 1, "b": 2})
+
+    def test_subsumed_by(self):
+        r = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        subsumed = r.subsumed_by({"a": 1, "c": 3})
+        assert subsumed == (record(a=1),)
+
+    def test_remove(self):
+        r = GeneralizedRelation([{"a": 1}])
+        assert len(r.remove({"a": 1})) == 0
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(RelationError):
+            GeneralizedRelation().remove({"a": 1})
+
+
+class TestOrdering:
+    def test_leq_reflexive(self):
+        r = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        assert r.leq(r)
+
+    def test_more_informative_relation_is_above(self):
+        less = GeneralizedRelation([{"Name": "J Doe"}])
+        more = GeneralizedRelation([{"Name": "J Doe", "Dept": "Sales"}])
+        assert less.leq(more)
+        assert not more.leq(less)
+
+    def test_empty_relation_is_top(self):
+        # Vacuously, every object of the empty relation dominates — so the
+        # empty relation is the greatest element in this ordering.
+        anything = GeneralizedRelation([{"a": 1}])
+        assert anything.leq(GeneralizedRelation())
+        assert not GeneralizedRelation().leq(anything)
+
+    def test_operators(self):
+        less = GeneralizedRelation([{"Name": "J Doe"}])
+        more = GeneralizedRelation([{"Name": "J Doe", "Dept": "Sales"}])
+        assert less <= more
+        assert more >= less
+
+    def test_join_is_least_upper_bound_sample(self):
+        r1 = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        r2 = GeneralizedRelation([{"a": 1, "c": 3}])
+        joined = r1.join(r2)
+        assert r1.leq(joined)
+        assert r2.leq(joined)
+
+    def test_meet_is_lower_bound(self):
+        r1 = GeneralizedRelation([{"a": 1, "b": 2}])
+        r2 = GeneralizedRelation([{"a": 1, "c": 3}])
+        low = r1.meet(r2)
+        assert low.leq(r1)
+        assert low.leq(r2)
+
+
+class TestJoin:
+    def test_join_with_empty_relation_is_empty(self):
+        # The empty relation is top; joining with it yields no pairs.
+        r = GeneralizedRelation([{"a": 1}])
+        assert len(r.join(GeneralizedRelation())) == 0
+
+    def test_join_on_disjoint_labels_is_product(self):
+        r1 = GeneralizedRelation([{"a": 1}, {"a": 2}])
+        r2 = GeneralizedRelation([{"b": 1}, {"b": 2}])
+        assert len(r1.join(r2)) == 4
+
+    def test_join_filters_inconsistent_pairs(self):
+        r1 = GeneralizedRelation([{"k": 1, "x": 10}, {"k": 2, "x": 20}])
+        r2 = GeneralizedRelation([{"k": 1, "y": 99}])
+        joined = r1.join(r2)
+        assert len(joined) == 1
+        assert record(k=1, x=10, y=99) in joined
+
+    def test_join_result_reduced_to_cochain(self):
+        r1 = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        r2 = GeneralizedRelation([{"a": 1, "b": 2}])
+        joined = r1.join(r2)
+        joined.check_cochain()
+        # both pairs join to the same dominating object
+        assert len(joined) == 1
+
+    def test_join_associative_on_sample(self):
+        r1 = GeneralizedRelation([{"a": 1}])
+        r2 = GeneralizedRelation([{"b": 2}])
+        r3 = GeneralizedRelation([{"c": 3}])
+        assert r1.join(r2).join(r3) == r1.join(r2.join(r3))
+
+
+class TestProjectSelectMatch:
+    RELATION = GeneralizedRelation(
+        [
+            {"Name": "J Doe", "Dept": "Sales", "Addr": {"State": "WY"}},
+            {"Name": "M Dee", "Dept": "Manuf"},
+            {"Name": "N Bug", "Addr": {"State": "MT"}},
+        ]
+    )
+
+    def test_project_restricts_labels(self):
+        projected = self.RELATION.project(["Name"])
+        assert len(projected) == 3
+        assert record(Name="J Doe") in projected
+
+    def test_project_reduces(self):
+        projected = self.RELATION.project(["Dept"])
+        # N Bug has no Dept: its projection {} is subsumed.
+        assert len(projected) == 2
+
+    def test_project_to_empty_labels(self):
+        projected = self.RELATION.project([])
+        assert len(projected) == 1  # just the empty record
+        assert record() in projected
+
+    def test_select(self):
+        sales = self.RELATION.select(
+            lambda o: o.get("Dept") is not None and o["Dept"].payload == "Sales"
+        )
+        assert len(sales) == 1
+
+    def test_matching_pattern(self):
+        matched = self.RELATION.matching({"Addr": {"State": "MT"}})
+        assert len(matched) == 1
+        assert record(Name="N Bug", Addr={"State": "MT"}) in matched
+
+    def test_matching_empty_pattern_matches_all(self):
+        assert len(self.RELATION.matching({})) == 3
+
+
+class TestBuilderAndBulk:
+    def test_builder_equals_incremental(self):
+        objs = [
+            {"k": i % 5, "v": i}  # plenty of incomparable objects
+            for i in range(40)
+        ] + [{"k": 1}, {"k": 2}]  # some subsumed ones
+        built = RelationBuilder().add_all(objs).build()
+        incremental = incremental_insert_all(None, objs)
+        assert built == incremental
+
+    def test_builder_chaining(self):
+        r = RelationBuilder().add({"a": 1}).add({"b": 2}).build()
+        assert len(r) == 2
+
+    def test_builder_len(self):
+        builder = RelationBuilder().add({"a": 1}).add({"a": 1})
+        assert len(builder) == 2  # pending, not yet reduced
+        assert len(builder.build()) == 1
+
+    def test_maximal_elements_agrees_with_relation(self):
+        objs = [record(a=1), record(a=1, b=2), record(c=3)]
+        reduced = cpo.maximal_elements(objs, leq)
+        assert set(reduced) == set(GeneralizedRelation(objs).objects)
+
+
+class TestEqualityHash:
+    def test_equality_order_independent(self):
+        r1 = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        r2 = GeneralizedRelation([{"b": 2}, {"a": 1}])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_repr_deterministic(self):
+        r1 = GeneralizedRelation([{"a": 1}, {"b": 2}])
+        r2 = GeneralizedRelation([{"b": 2}, {"a": 1}])
+        assert repr(r1) == repr(r2)

@@ -1,0 +1,121 @@
+"""Unit tests for heterogeneous databases and the type index."""
+
+import pytest
+
+from repro.core.orders import record
+from repro.errors import NotInDatabaseError
+from repro.extents.database import Database, TypeIndexedDatabase
+from repro.types.dynamic import dynamic, type_of
+from repro.types.kinds import INT, STRING, TOP, record_type
+
+PERSON_T = record_type(Name=STRING)
+EMPLOYEE_T = record_type(Name=STRING, Emp_no=INT)
+
+
+def _populate(db):
+    db.insert(record(Name="P One"))
+    db.insert(record(Name="E One", Emp_no=1))
+    db.insert(record(Name="E Two", Emp_no=2))
+    db.insert(42)
+    return db
+
+
+class TestDatabase:
+    def test_insert_wraps_in_dynamic(self):
+        db = Database()
+        member = db.insert(3)
+        assert type_of(member) == INT
+
+    def test_insert_dynamic_passthrough(self):
+        db = Database()
+        d = dynamic(3)
+        assert db.insert(d) is d
+
+    def test_insert_with_explicit_type_seals(self):
+        db = Database()
+        member = db.insert(record(Name="X", Emp_no=1), PERSON_T)
+        assert member.carried == PERSON_T
+
+    def test_unconstrained_heterogeneity(self):
+        """'This database is completely unconstrained: we can put any
+        dynamic value in it.'"""
+        db = _populate(Database())
+        assert len(db) == 4
+
+    def test_duplicates_allowed(self):
+        db = Database()
+        db.insert(3)
+        db.insert(3)
+        assert len(db) == 2
+
+    def test_scan_by_subtype(self):
+        db = _populate(Database())
+        assert len(db.scan(PERSON_T)) == 3  # employees are persons
+        assert len(db.scan(EMPLOYEE_T)) == 2
+        assert len(db.scan(INT)) == 1
+
+    def test_scan_top_returns_all(self):
+        db = _populate(Database())
+        assert len(db.scan(TOP)) == 4
+
+    def test_remove(self):
+        db = Database()
+        member = db.insert(3)
+        db.remove(member)
+        assert len(db) == 0
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(NotInDatabaseError):
+            Database().remove(dynamic(3))
+
+    def test_constructor_seeds(self):
+        db = Database([1, "a", record(Name="X")])
+        assert len(db) == 3
+
+    def test_iteration_order(self):
+        db = Database([1, 2])
+        assert [m.value for m in db] == [1, 2]
+
+
+class TestTypeIndexedDatabase:
+    def test_scan_agrees_with_plain_database(self):
+        plain = _populate(Database())
+        indexed = _populate(TypeIndexedDatabase())
+        for query in (PERSON_T, EMPLOYEE_T, INT, STRING, TOP):
+            assert set(indexed.scan(query)) == set(plain.scan(query))
+
+    def test_query_cache_invalidated_by_new_type(self):
+        db = TypeIndexedDatabase()
+        db.insert(record(Name="P"))
+        assert len(db.scan(PERSON_T)) == 1
+        # A brand-new carried type that also satisfies the query:
+        db.insert(record(Name="E", Emp_no=1))
+        assert len(db.scan(PERSON_T)) == 2
+
+    def test_existing_type_fast_path(self):
+        db = TypeIndexedDatabase()
+        db.insert(record(Name="A", Emp_no=1))
+        db.scan(PERSON_T)
+        db.insert(record(Name="B", Emp_no=2))  # same carried type
+        assert len(db.scan(PERSON_T)) == 2
+
+    def test_remove_maintains_index(self):
+        db = TypeIndexedDatabase()
+        member = db.insert(record(Name="A", Emp_no=1))
+        db.remove(member)
+        assert db.scan(PERSON_T) == []
+
+    def test_distinct_carried_types(self):
+        db = _populate(TypeIndexedDatabase())
+        assert len(db.distinct_carried_types()) == 3  # person, employee, int
+
+    def test_structure_sharing(self):
+        """The index shares the member objects — no copies."""
+        db = TypeIndexedDatabase()
+        member = db.insert(record(Name="A", Emp_no=1))
+        assert db.scan(EMPLOYEE_T)[0] is member
+        assert next(iter(db)) is member
+
+    def test_repr(self):
+        db = _populate(TypeIndexedDatabase())
+        assert "4 values" in repr(db)

@@ -1,0 +1,153 @@
+"""Unit tests for explicit extents and the extent registry."""
+
+import pytest
+
+from repro.core.orders import record
+from repro.errors import ExtentError, NotInDatabaseError
+from repro.extents.extent import Extent, ExtentRegistry
+from repro.types.kinds import INT, STRING, record_type
+
+PERSON_T = record_type(Name=STRING)
+EMPLOYEE_T = record_type(Name=STRING, Emp_no=INT)
+
+
+class TestExtent:
+    def test_unconstrained_extent_takes_anything(self):
+        e = Extent("misc")
+        e.insert(3)
+        e.insert("x")
+        e.insert(record(Name="P"))
+        assert len(e) == 3
+
+    def test_integer_extents_are_just_sets_of_integers(self):
+        """'We might well want to create a set of integers, but this set
+        would certainly not contain all the integers created during
+        execution' — an Int extent holds exactly what was inserted."""
+        e = Extent("favourites", INT)
+        e.insert(3)
+        e.insert(7)
+        unrelated = 42  # exists, but was never inserted
+        assert len(e) == 2
+        assert unrelated not in e
+
+    def test_type_constraint_enforced(self):
+        e = Extent("employees", EMPLOYEE_T)
+        e.insert(record(Name="E", Emp_no=1))
+        with pytest.raises(ExtentError):
+            e.insert(record(Name="P"))  # a mere Person
+
+    def test_subtype_members_accepted(self):
+        e = Extent("persons", PERSON_T)
+        e.insert(record(Name="E", Emp_no=1))  # an Employee is a Person
+        assert len(e) == 1
+
+    def test_delete(self):
+        e = Extent("xs", INT)
+        e.insert(1)
+        e.delete(1)
+        assert len(e) == 0
+
+    def test_delete_absent_raises(self):
+        with pytest.raises(NotInDatabaseError):
+            Extent("xs").delete(1)
+
+    def test_multiple_extents_same_type(self):
+        """The separation the paper asks for: two independent extents of
+        the same type."""
+        current = Extent("current", EMPLOYEE_T)
+        former = Extent("former", EMPLOYEE_T)
+        current.insert(record(Name="A", Emp_no=1))
+        former.insert(record(Name="B", Emp_no=2))
+        assert len(current) == 1
+        assert len(former) == 1
+
+    def test_snapshot_is_hypothetical_state(self):
+        e = Extent("world", PERSON_T)
+        e.insert(record(Name="A"))
+        hypothetical = e.snapshot()
+        hypothetical.insert(record(Name="B"))
+        hypothetical.delete(record(Name="A"))
+        assert len(e) == 1  # the real world is untouched
+        assert len(hypothetical) == 1
+        assert record(Name="A") in e
+        assert record(Name="B") in hypothetical
+
+    def test_snapshot_name(self):
+        e = Extent("world")
+        assert e.snapshot().name == "world'"
+        assert e.snapshot("branch").name == "branch"
+
+    def test_transient_flag(self):
+        scratch = Extent("memo", transient=True)
+        assert scratch.transient
+        assert "transient" in repr(scratch)
+
+    def test_membership_and_iteration(self):
+        e = Extent("xs")
+        e.insert(1)
+        e.insert(2)
+        assert 1 in e
+        assert list(e) == [1, 2]
+
+
+class TestExtentRegistry:
+    def test_create_and_lookup(self):
+        reg = ExtentRegistry()
+        created = reg.create("employees", EMPLOYEE_T)
+        assert reg["employees"] is created
+        assert "employees" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_name_rejected(self):
+        reg = ExtentRegistry()
+        reg.create("e")
+        with pytest.raises(ExtentError):
+            reg.create("e")
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(ExtentError):
+            ExtentRegistry()["nope"]
+
+    def test_drop(self):
+        reg = ExtentRegistry()
+        reg.create("e")
+        reg.drop("e")
+        assert "e" not in reg
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(ExtentError):
+            ExtentRegistry().drop("nope")
+
+    def test_adopt_snapshot(self):
+        reg = ExtentRegistry()
+        world = reg.create("world", PERSON_T)
+        world.insert(record(Name="A"))
+        reg.adopt(world.snapshot("hypothesis"))
+        assert len(reg["hypothesis"]) == 1
+
+    def test_adopt_duplicate_rejected(self):
+        reg = ExtentRegistry()
+        reg.create("world")
+        with pytest.raises(ExtentError):
+            reg.adopt(Extent("world"))
+
+    def test_extents_of_type(self):
+        reg = ExtentRegistry()
+        reg.create("current", EMPLOYEE_T)
+        reg.create("former", EMPLOYEE_T)
+        reg.create("people", PERSON_T)
+        assert len(reg.extents_of(EMPLOYEE_T)) == 2
+        assert len(reg.extents_of(PERSON_T)) == 1
+
+    def test_persistent_extents_exclude_transient(self):
+        reg = ExtentRegistry()
+        reg.create("db", PERSON_T)
+        reg.create("memo", transient=True)
+        names = {e.name for e in reg.persistent_extents()}
+        assert names == {"db"}
+
+    def test_iteration(self):
+        reg = ExtentRegistry()
+        reg.create("a")
+        reg.create("b")
+        assert {e.name for e in reg} == {"a", "b"}

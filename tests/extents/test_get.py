@@ -1,0 +1,124 @@
+"""Unit tests for the generic Get function and its type."""
+
+from repro.core.orders import record
+from repro.extents.database import Database, TypeIndexedDatabase
+from repro.extents.get import (
+    GET_TYPE,
+    get,
+    get_dynamics,
+    get_type_for,
+    subtype_census,
+)
+from repro.types.dynamic import coerce
+from repro.types.kinds import (
+    DYNAMIC,
+    INT,
+    STRING,
+    Exists,
+    ForAll,
+    FunctionType,
+    ListType,
+    TypeVar,
+    record_type,
+)
+from repro.types.subtyping import is_subtype
+
+PERSON_T = record_type(Name=STRING)
+EMPLOYEE_T = record_type(Name=STRING, Emp_no=INT)
+STUDENT_T = record_type(Name=STRING, School=STRING)
+WORKING_STUDENT_T = record_type(Name=STRING, Emp_no=INT, School=STRING)
+
+
+def _sample_db(cls=Database):
+    db = cls()
+    db.insert(record(Name="P One"))
+    db.insert(record(Name="E One", Emp_no=1))
+    db.insert(record(Name="S One", School="Penn"))
+    db.insert(record(Name="WS One", Emp_no=2, School="Glasgow"))
+    db.insert("a stray string")
+    return db
+
+
+class TestGetSemantics:
+    def test_class_hierarchy_derived_from_type_hierarchy(self):
+        """getPersons always returns a larger list than getEmployees."""
+        db = _sample_db()
+        persons = get(db, PERSON_T)
+        employees = get(db, EMPLOYEE_T)
+        assert len(persons) == 4
+        assert len(employees) == 2
+        # every employee appears among the persons
+        for employee in employees:
+            assert employee in persons
+
+    def test_existential_result_elements(self):
+        """Extracted objects 'may also have a type that is a subtype of
+        Employee' — the working student comes back from Get[Employee]."""
+        db = _sample_db()
+        dynamics = get_dynamics(db, EMPLOYEE_T)
+        carried = {d.carried for d in dynamics}
+        assert WORKING_STUDENT_T in carried
+
+    def test_every_result_coerces_at_query_type(self):
+        db = _sample_db()
+        for d in get_dynamics(db, PERSON_T):
+            assert coerce(d, PERSON_T) is not None
+
+    def test_get_on_base_type(self):
+        db = Database([1, 2, "x"])
+        assert get(db, INT) == [1, 2]
+
+    def test_get_empty_result(self):
+        db = Database([1, 2])
+        assert get(db, PERSON_T) == []
+
+    def test_works_on_indexed_database(self):
+        plain = _sample_db(Database)
+        indexed = _sample_db(TypeIndexedDatabase)
+        assert sorted(map(repr, get(plain, PERSON_T))) == sorted(
+            map(repr, get(indexed, PERSON_T))
+        )
+
+    def test_census_monotone_along_hierarchy(self):
+        db = _sample_db()
+        census = subtype_census(db, [PERSON_T, EMPLOYEE_T, WORKING_STUDENT_T])
+        assert (
+            census[str(PERSON_T)]
+            >= census[str(EMPLOYEE_T)]
+            >= census[str(WORKING_STUDENT_T)]
+        )
+
+
+class TestGetType:
+    def test_get_type_shape(self):
+        assert isinstance(GET_TYPE, ForAll)
+        body = GET_TYPE.body
+        assert isinstance(body, FunctionType)
+        assert body.params == (ListType(DYNAMIC),)
+        result = body.result
+        assert isinstance(result, ListType)
+        assert isinstance(result.element, Exists)
+
+    def test_instantiation_at_employee(self):
+        instantiated = get_type_for(EMPLOYEE_T)
+        expected = FunctionType(
+            [ListType(DYNAMIC)],
+            ListType(Exists("t'", TypeVar("t'"), bound=EMPLOYEE_T)),
+        )
+        assert instantiated == expected
+
+    def test_result_element_type_accepts_subtypes(self):
+        """Working-Student ≤ ∃t' ≤ Employee. t' — the packing rule in
+        action, which is what makes the untyped filtering statically
+        sound for the caller."""
+        element = Exists("t'", TypeVar("t'"), bound=EMPLOYEE_T)
+        assert is_subtype(WORKING_STUDENT_T, element)
+        assert is_subtype(EMPLOYEE_T, element)
+        assert not is_subtype(STUDENT_T, element)
+
+    def test_instantiations_ordered_contravariantly(self):
+        """List[∃t'≤Employee] ≤ List[∃t'≤Person]: an employee extraction
+        can be used wherever a person extraction is expected."""
+        emp_result = ListType(Exists("t'", TypeVar("t'"), bound=EMPLOYEE_T))
+        person_result = ListType(Exists("t'", TypeVar("t'"), bound=PERSON_T))
+        assert is_subtype(emp_result, person_result)

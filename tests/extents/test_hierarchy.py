@@ -1,0 +1,93 @@
+"""Unit tests for the derived class hierarchy."""
+
+from repro.core.orders import record
+from repro.extents.database import Database
+from repro.extents.hierarchy import (
+    class_census,
+    derived_hierarchy,
+    render_hierarchy,
+    roots_of,
+    type_hierarchy,
+)
+from repro.types.kinds import INT, STRING, record_type
+
+PERSON = record_type(Name=STRING)
+EMPLOYEE = PERSON.extend(Emp_no=INT)
+STUDENT = PERSON.extend(School=STRING)
+WORKING = EMPLOYEE.extend(School=STRING)
+MANAGER = EMPLOYEE.extend(Level=INT)
+
+
+class TestTypeHierarchy:
+    def test_simple_chain(self):
+        edges = type_hierarchy([PERSON, EMPLOYEE, MANAGER])
+        assert (EMPLOYEE, PERSON) in edges
+        assert (MANAGER, EMPLOYEE) in edges
+        # cover relation: no transitive edge
+        assert (MANAGER, PERSON) not in edges
+
+    def test_diamond(self):
+        edges = type_hierarchy([PERSON, EMPLOYEE, STUDENT, WORKING])
+        assert (WORKING, EMPLOYEE) in edges
+        assert (WORKING, STUDENT) in edges
+        assert (EMPLOYEE, PERSON) in edges
+        assert (STUDENT, PERSON) in edges
+        assert (WORKING, PERSON) not in edges
+        assert len(edges) == 4
+
+    def test_incomparable_types_no_edges(self):
+        assert type_hierarchy([INT, STRING]) == []
+
+    def test_duplicates_collapse(self):
+        edges = type_hierarchy([PERSON, PERSON, EMPLOYEE])
+        assert edges == [(EMPLOYEE, PERSON)]
+
+    def test_roots(self):
+        roots = roots_of([PERSON, EMPLOYEE, STUDENT, WORKING])
+        assert roots == [PERSON]
+
+    def test_multiple_roots(self):
+        roots = roots_of([PERSON, INT])
+        assert set(map(str, roots)) == {str(PERSON), "Int"}
+
+
+class TestDerivedFromDatabase:
+    def _db(self):
+        db = Database()
+        db.insert(record(Name="p"), PERSON)
+        db.insert(record(Name="e", Emp_no=1), EMPLOYEE)
+        db.insert(record(Name="w", Emp_no=2, School="x"), WORKING)
+        db.insert(record(Name="w2", Emp_no=3, School="y"), WORKING)
+        return db
+
+    def test_hierarchy_from_carried_types(self):
+        edges = derived_hierarchy(self._db())
+        assert (EMPLOYEE, PERSON) in edges
+        assert (WORKING, EMPLOYEE) in edges
+
+    def test_census_monotone(self):
+        census = class_census(self._db())
+        assert census[str(PERSON)] == 4
+        assert census[str(EMPLOYEE)] == 3
+        assert census[str(WORKING)] == 2
+
+    def test_census_explicit_types(self):
+        census = class_census(self._db(), [PERSON, STUDENT])
+        assert census[str(PERSON)] == 4
+        assert census[str(STUDENT)] == 2  # the working students
+
+    def test_render(self):
+        db = self._db()
+        text = render_hierarchy(
+            [m.carried for m in db], class_census(db)
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("{Name: String}")
+        assert "[4]" in lines[0]
+        # deeper types are indented further
+        assert any(line.startswith("    ") for line in lines)
+
+    def test_render_without_counts(self):
+        text = render_hierarchy([PERSON, EMPLOYEE])
+        assert "{Name: String}" in text
+        assert "]" not in text  # no counts column without counts

@@ -1,0 +1,221 @@
+"""Integration tests: whole-paper scenarios crossing module boundaries."""
+
+import pytest
+
+from repro.classes.adaplex import AdaplexSchema
+from repro.classes.galileo import GalileoEnvironment
+from repro.classes.taxis import VariableClass
+from repro.core.fd import FunctionalDependency, Key, KeyedRelation
+from repro.core.flat import FlatRelation
+from repro.core.orders import record
+from repro.core.relation import GeneralizedRelation
+from repro.extents.database import TypeIndexedDatabase
+from repro.extents.extent import ExtentRegistry
+from repro.extents.get import get
+from repro.lang.eval import Interpreter
+from repro.persistence.heap import PObject
+from repro.persistence.intrinsic import PersistentHeap
+from repro.persistence.replicating import ReplicatingStore
+from repro.types.dynamic import coerce, dynamic
+from repro.types.kinds import INT, STRING, record_type
+from repro.workloads.employees import EMPLOYEE_T, PERSON_T, employee_database
+
+
+class TestFullEmployeeApplication:
+    """The running example, end to end: typed store → generic get →
+    generalized relation → keyed update → persistence → reopen."""
+
+    def test_pipeline(self, tmp_path):
+        # 1. Populate a type-indexed heterogeneous database.
+        db = employee_database(120, TypeIndexedDatabase, seed=99)
+        employees = get(db, EMPLOYEE_T)
+        persons = get(db, PERSON_T)
+        assert len(persons) == 120
+        assert 0 < len(employees) < len(persons)
+
+        # 2. Pour the employees into a keyed generalized relation.
+        keyed = KeyedRelation(Key(["Name"]))
+        inserted = 0
+        for employee in employees:
+            try:
+                keyed = keyed.insert(employee)
+                inserted += 1
+            except Exception:
+                pass  # random names may collide; keys reject those
+        assert len(keyed) <= inserted
+
+        # 3. The relation satisfies Name → everything it stored.
+        fd = FunctionalDependency(["Name"], ["Dept", "Emp_no"])
+        assert fd.holds_in(keyed.relation)
+
+        # 4. Persist the whole relation replicating-style, with its type.
+        store = ReplicatingStore(str(tmp_path / "emp.log"))
+        as_list = list(keyed.relation)
+        store.extern("employees", dynamic(as_list))
+        stored = store.stored_type_of("employees")
+        store.close()
+
+        # 5. A second program interns and re-derives the extent census.
+        store2 = ReplicatingStore(str(tmp_path / "emp.log"))
+        back = coerce(store2.intern("employees"), stored)
+        assert GeneralizedRelation(back) == keyed.relation
+        store2.close()
+
+
+class TestClassLayersOverOneWorld:
+    """Taxis, Adaplex, and Galileo all derived over the same primitives,
+    modeling the same schema, with consistent answers."""
+
+    def test_three_class_systems_agree(self):
+        # Taxis
+        t_person = VariableClass("PERSON", {"Name": STRING})
+        t_employee = VariableClass("EMPLOYEE", {"Empno": INT}, isa=(t_person,))
+        t_employee.insert(Name="J", Empno=1)
+        t_person.insert(Name="P")
+
+        # Adaplex
+        a = AdaplexSchema()
+        a.entity_type("Person", Name=STRING)
+        a.entity_type("Employee", Empno=INT)
+        a.include("Employee", "Person")
+        a.create("Employee", Name="J", Empno=1)
+        a.create("Person", Name="P")
+
+        # Galileo
+        g = GalileoEnvironment()
+        g_person = g.define_class("persons", record_type(Name=STRING))
+        g_employee = g.define_class(
+            "employees", record_type(Name=STRING, Empno=INT)
+        )
+        g_employee.insert(record(Name="J", Empno=1))
+        g_person.insert(record(Name="P"))
+        g_person.insert(record(Name="J", Empno=1))  # Galileo: by hand
+
+        # All three see 2 persons and 1 employee.
+        assert len(t_person.extent) == len(a.extent("Person")) == len(g_person) == 2
+        assert len(t_employee) == len(a.extent("Employee")) == len(g_employee) == 1
+
+        # Their record types agree structurally.
+        assert t_employee.record_type() == a.record_type("Employee") == (
+            g_employee.base_type
+        )
+
+
+class TestGeneralizedRelationsPersist:
+    def test_relation_through_intrinsic_heap(self, tmp_path):
+        path = str(tmp_path / "rel.log")
+        relation = GeneralizedRelation(
+            [
+                {"Name": "J Doe", "Dept": "Sales"},
+                {"Name": "N Bug", "Addr": {"State": "MT"}},
+            ]
+        )
+        heap = PersistentHeap(path)
+        # Domain values are immutable; store them in a PObject wrapper.
+        heap.root("db", PObject("RelationBox", {"objects": list(relation)}))
+        heap.commit()
+        heap.close()
+
+        box = PersistentHeap(path).get_root("db")
+        rebuilt = GeneralizedRelation(box["objects"])
+        assert rebuilt == relation
+
+    def test_flat_relation_round_trip_via_generalized(self):
+        flat = FlatRelation(("A", "B"), [(1, 2), (3, 4)])
+        assert FlatRelation.from_generalized(flat.to_generalized(), flat.schema) == flat
+
+
+class TestDbplDrivesTheLibrary:
+    """DBPL sits on the same extents/persistence substrate — values cross
+    the language boundary cleanly."""
+
+    def test_dbpl_database_visible_shapes(self):
+        interp = Interpreter()
+        interp.run(
+            """
+            type Person = {Name: String}
+            let db = newdb();
+            insert(db, dynamic {Name = "A"});
+            insert(db, dynamic {Name = "B", Extra = 1});
+            """
+        )
+        db = interp._globals.lookup("db")
+        # The runtime database is the library's Database class; its
+        # scan agrees with DBPL's get.
+        assert len(db.scan(record_type(Name=STRING))) == 2
+        result = interp.run("length(get[Person](db))")
+        assert result.value == 2
+
+    def test_dbpl_and_python_share_a_store(self, tmp_path):
+        """A DBPL program externs; a Python program interns (and back)."""
+        from repro.persistence.store import LogStore
+
+        path = str(tmp_path / "shared.log")
+        interp = Interpreter(path)
+        interp.run('extern("nums", dynamic [1, 2, 3]);')
+
+        store = LogStore(path)
+        document = store.get("extern:nums")
+        assert document is not None
+        from repro.persistence.serialize import deserialize, stored_type
+        from repro.types.kinds import ListType
+
+        assert stored_type(document) == ListType(INT)
+        assert deserialize(document) == [1, 2, 3]
+        store.put(
+            "extern:more",
+            __import__("repro.persistence.serialize", fromlist=["serialize"])
+            .serialize([10, 20], typ=ListType(INT)),
+        )
+        store.close()
+
+        interp2 = Interpreter(path)
+        result = interp2.run('sum(coerce intern("more") to List[Int])')
+        assert result.value == 30
+
+
+class TestExtentRegistryScenario:
+    """Hypothetical states: branch the world, mutate the branch, verify
+    the real extents are untouched — then adopt the branch."""
+
+    def test_hypothetical_experiment(self):
+        registry = ExtentRegistry()
+        world = registry.create("employees", EMPLOYEE_T)
+        world.insert(record(Name="A", City="X", Emp_no=1, Dept="Sales"))
+        world.insert(record(Name="B", City="Y", Emp_no=2, Dept="Manuf"))
+
+        hypothesis = world.snapshot("reorg")
+        registry.adopt(hypothesis)
+        hypothesis.delete(record(Name="B", City="Y", Emp_no=2, Dept="Manuf"))
+        hypothesis.insert(record(Name="B", City="Y", Emp_no=2, Dept="Sales"))
+
+        assert len(world) == 2
+        assert len(registry["reorg"]) == 2
+        depts_world = {o["Dept"].payload for o in world}
+        depts_hypo = {o["Dept"].payload for o in registry["reorg"]}
+        assert depts_world == {"Sales", "Manuf"}
+        assert depts_hypo == {"Sales"}
+
+
+class TestCrashRecoveryEndToEnd:
+    def test_heap_survives_torn_tail(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        heap.root("a", PObject("X", {"n": 1}))
+        heap.commit()
+        heap.close()
+
+        # Simulate a crash mid-append: garbage at the end of the log.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("12:9999:{\"torn")
+        size_before = os.path.getsize(path)
+        assert size_before > 0
+
+        recovered = PersistentHeap(path)
+        assert recovered.get_root("a")["n"] == 1
+        recovered.get_root("a")["n"] = 2
+        recovered.commit()
+        recovered.close()
+        assert PersistentHeap(path).get_root("a")["n"] == 2

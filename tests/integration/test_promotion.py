@@ -1,0 +1,77 @@
+"""Object promotion: join-based extension vs Amber's delete-and-replace.
+
+The paper: "In Amber two record values are never comparable, and there
+is no method of extending a record to become a more informative record.
+The only way to transform a Person record into an Employee record would
+be to delete the less informative record and add a new one, and this may
+not be an equivalent operation *when there are references to or from
+that record*."
+
+These tests demonstrate both sides: the reference-breaking hazard of
+delete-and-replace over immutable records, and the reference-preserving
+promotion that mutable identity (PObject) or the information-order join
+give.
+"""
+
+from repro.core.orders import join, leq, record
+from repro.core.relation import GeneralizedRelation
+from repro.extents.database import Database
+from repro.persistence.heap import PObject
+from repro.types.kinds import INT, STRING, record_type
+
+PERSON_T = record_type(Name=STRING)
+EMPLOYEE_T = record_type(Name=STRING, Emp_no=INT)
+
+
+class TestDeleteAndReplaceHazard:
+    def test_references_break_under_replacement(self):
+        """A department roster referencing the Person *value* is stale
+        after the delete-and-add dance — the Amber problem."""
+        person = record(Name="J Doe")
+        roster = [person]  # a reference to the old record
+
+        db = Database()
+        member = db.insert(person, PERSON_T)
+        # Promotion, Amber style: delete and add a new record.
+        db.remove(member)
+        employee = join(person, record(Emp_no=1234))
+        db.insert(employee, EMPLOYEE_T)
+
+        # The roster still holds the old value: not an Employee.
+        assert roster[0] == person
+        assert "Emp_no" not in roster[0]
+        # And it no longer matches anything in the database.
+        assert all(m.value != roster[0] for m in db)
+
+    def test_references_survive_with_object_identity(self):
+        """With mutable identity the same object *becomes* an employee;
+        every referrer sees the promotion."""
+        person = PObject("Person", {"Name": "J Doe"})
+        roster = [person]
+        person["Emp_no"] = 1234  # promotion in place
+        assert roster[0]["Emp_no"] == 1234
+        assert roster[0] is person
+
+
+class TestJoinBasedPromotion:
+    def test_promotion_is_monotone(self):
+        person = record(Name="J Doe")
+        employee = join(person, record(Emp_no=1234))
+        assert leq(person, employee)
+
+    def test_relation_subsumes_promoted_object(self):
+        """In a generalized relation the promoted object *replaces* the
+        old one by subsumption — no dangling less-informative twin."""
+        relation = GeneralizedRelation([record(Name="J Doe")])
+        promoted = relation.insert(record(Name="J Doe", Emp_no=1234))
+        assert len(promoted) == 1
+        assert record(Name="J Doe", Emp_no=1234) in promoted
+        assert record(Name="J Doe") not in promoted
+
+    def test_coexistence_allowed_without_keys(self):
+        """Object-oriented reading: comparable objects may coexist in a
+        *database* (a list), if not in a relation."""
+        db = Database()
+        db.insert(record(Name="J Doe"), PERSON_T)
+        db.insert(record(Name="J Doe", Emp_no=1234), EMPLOYEE_T)
+        assert len(db.scan(PERSON_T)) == 2  # both are persons

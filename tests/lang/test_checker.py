@@ -1,0 +1,301 @@
+"""Unit tests for the DBPL static checker."""
+
+import pytest
+
+from repro.errors import TypeCheckError, UnknownTypeError
+from repro.lang.checker import CheckEnv, check_program
+from repro.lang.parser import parse_program
+from repro.types.kinds import (
+    BOOL,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TYPE,
+    UNIT,
+    Exists,
+    ListType,
+    record_type,
+)
+
+
+def type_of(source):
+    t, __ = check_program(parse_program(source), CheckEnv.initial())
+    return t
+
+
+def rejects(source, needle=None):
+    with pytest.raises((TypeCheckError, UnknownTypeError)) as excinfo:
+        type_of(source)
+    if needle is not None:
+        assert needle in str(excinfo.value)
+    return excinfo.value
+
+
+class TestLiteralsAndOperators:
+    def test_literals(self):
+        assert type_of("1") == INT
+        assert type_of("1.5") == FLOAT
+        assert type_of('"s"') == STRING
+        assert type_of("true") == BOOL
+        assert type_of("unit") == UNIT
+
+    def test_arithmetic(self):
+        assert type_of("1 + 2") == INT
+        assert type_of("1 + 2.0") == FLOAT
+        assert type_of("1 * 2 - 3") == INT
+
+    def test_string_concat(self):
+        assert type_of('"a" + "b"') == STRING
+
+    def test_arithmetic_on_strings_rejected(self):
+        rejects('"a" - "b"')
+
+    def test_comparisons(self):
+        assert type_of("1 < 2") == BOOL
+        assert type_of('"a" < "b"') == BOOL
+        assert type_of("1 == 2") == BOOL
+
+    def test_comparing_unrelated_types_rejected(self):
+        rejects('1 == "a"', "unrelated")
+
+    def test_comparing_consistent_records_allowed(self):
+        assert (
+            type_of('{Name = "a"} == {Name = "a", Age = 3}') == BOOL
+        )
+
+    def test_boolean_operators(self):
+        assert type_of("true and false or not true") == BOOL
+
+    def test_and_needs_bool(self):
+        rejects("1 and true")
+
+    def test_negation(self):
+        assert type_of("-3") == INT
+        assert type_of("-3.5") == FLOAT
+        rejects('-"x"')
+
+    def test_division_is_int_on_ints(self):
+        assert type_of("7 / 2") == INT
+        assert type_of("7.0 / 2") == FLOAT
+
+
+class TestRecordsAndSubtyping:
+    def test_record_literal(self):
+        assert type_of('{Name = "J", Age = 3}') == record_type(
+            Name=STRING, Age=INT
+        )
+
+    def test_duplicate_field_rejected(self):
+        rejects("{x = 1, x = 2}", "duplicate")
+
+    def test_field_access(self):
+        assert type_of('{Name = "J"}.Name') == STRING
+
+    def test_missing_field_rejected(self):
+        rejects('{Name = "J"}.Age', "no field")
+
+    def test_field_on_non_record_rejected(self):
+        rejects("(3).Name")
+
+    def test_with_meets_types(self):
+        assert type_of('{Name = "J"} with {Age = 3}') == record_type(
+            Name=STRING, Age=INT
+        )
+
+    def test_with_inconsistent_rejected(self):
+        rejects('{Name = "J"} with {Name = 3}', "inconsistent")
+
+    def test_with_agreeing_overlap_allowed(self):
+        assert type_of('{Name = "J"} with {Name = "K"}') == record_type(
+            Name=STRING
+        )  # statically fine; runtime join may still fail
+
+    def test_subsumption_at_application(self):
+        source = """
+        fun name(p: {Name: String}): String = p.Name
+        name({Name = "J", Age = 3})
+        """
+        assert type_of(source) == STRING
+
+    def test_supertype_argument_rejected(self):
+        rejects(
+            """
+            fun emp(e: {Name: String, Empno: Int}): Int = e.Empno
+            emp({Name = "J"})
+            """
+        )
+
+
+class TestListsAndIf:
+    def test_list_join(self):
+        assert type_of("[1, 2]") == ListType(INT)
+        assert type_of("[1, 2.0]") == ListType(FLOAT)
+
+    def test_list_of_records_joins(self):
+        t = type_of('[{Name = "a", Age = 1}, {Name = "b"}]')
+        assert t == ListType(record_type(Name=STRING))
+
+    def test_if_joins_branches(self):
+        assert type_of("if true then 1 else 2") == INT
+        assert type_of("if true then 1 else 2.0") == FLOAT
+        t = type_of('if true then {Name = "a", Age = 1} else {Name = "b"}')
+        assert t == record_type(Name=STRING)
+
+    def test_if_condition_must_be_bool(self):
+        rejects("if 1 then 2 else 3", "Bool")
+
+
+class TestDeclarations:
+    def test_type_alias(self):
+        assert type_of(
+            """
+            type Person = {Name: String}
+            fun f(p: Person): String = p.Name
+            f({Name = "J"})
+            """
+        ) == STRING
+
+    def test_type_with_extension(self):
+        assert type_of(
+            """
+            type Person = {Name: String}
+            type Employee = Person with {Empno: Int}
+            fun f(e: Employee): Int = e.Empno
+            f({Name = "J", Empno = 1})
+            """
+        ) == INT
+
+    def test_unknown_type_rejected(self):
+        rejects("let x: Mystery = 1", "unknown type")
+
+    def test_builtin_type_not_redefinable(self):
+        rejects("type Int = {x: Int}", "builtin")
+
+    def test_let_annotation_checked(self):
+        rejects("let x: String = 1")
+
+    def test_let_annotation_seals_supertype(self):
+        assert type_of(
+            """
+            type Person = {Name: String}
+            let p: Person = {Name = "J", Age = 3};
+            p
+            """
+        ) == record_type(Name=STRING)
+
+    def test_unbound_variable(self):
+        rejects("nope", "unbound")
+
+    def test_fun_body_checked_against_result(self):
+        rejects('fun f(x: Int): String = x')
+
+    def test_recursion(self):
+        assert type_of(
+            """
+            fun fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1)
+            fact(5)
+            """
+        ) == INT
+
+    def test_let_in_scoping(self):
+        rejects("(let x = 1 in x) + x", "unbound")
+
+
+class TestPolymorphism:
+    def test_identity(self):
+        assert type_of("fun id[t](x: t): t = x\nid[Int](3)") == INT
+
+    def test_explicit_instantiation_checked_against_bound(self):
+        rejects(
+            """
+            fun name[t <= {Name: String}](x: t): String = x.Name
+            name[Int]
+            """,
+            "bound",
+        )
+
+    def test_bounded_param_usable_at_bound(self):
+        assert type_of(
+            """
+            fun name[t <= {Name: String}](x: t): String = x.Name
+            name[{Name: String, Age: Int}]({Name = "J", Age = 3})
+            """
+        ) == STRING
+
+    def test_instantiating_monomorphic_rejected(self):
+        rejects("fun f(x: Int): Int = x\nf[Int]", "not polymorphic")
+
+    def test_inference_for_map(self):
+        assert type_of(
+            "map(fn(x: Int) => x * 2, [1, 2, 3])"
+        ) == ListType(INT)
+
+    def test_inference_for_fold(self):
+        assert type_of(
+            "fold(fn(acc: Int, x: Int) => acc + x, 0, [1, 2])"
+        ) == INT
+
+    def test_inference_failure_reports(self):
+        rejects("head(3)")  # not a list at all — no instantiation works
+
+
+class TestDynamicChecking:
+    def test_dynamic_has_type_dynamic(self):
+        assert type_of("dynamic 3") == DYNAMIC
+
+    def test_integer_operation_on_dynamic_is_static_error(self):
+        """The paper: 'any attempt to use an integer operation such as
+        addition on d is a (static) type error.'"""
+        rejects("let d = dynamic 3; d + 1")
+
+    def test_coerce_type(self):
+        assert type_of("coerce (dynamic 3) to Int") == INT
+
+    def test_coerce_needs_dynamic(self):
+        rejects("coerce 3 to Int")
+
+    def test_typeof(self):
+        assert type_of("typeof (dynamic 3)") == TYPE
+
+    def test_typeof_needs_dynamic(self):
+        rejects("typeof 3")
+
+
+class TestDatabaseTyping:
+    def test_get_instantiated(self):
+        t = type_of(
+            """
+            type Employee = {Name: String, Empno: Int}
+            let db = newdb();
+            get[Employee](db)
+            """
+        )
+        assert isinstance(t, ListType)
+        assert isinstance(t.element, Exists)
+
+    def test_get_result_usable_at_query_type(self):
+        assert type_of(
+            """
+            type Employee = {Name: String, Empno: Int}
+            let db = newdb();
+            map(fn(e: Employee) => e.Name, get[Employee](db))
+            """
+        ) == ListType(STRING)
+
+    def test_insert_requires_dynamic(self):
+        rejects(
+            """
+            let db = newdb();
+            insert(db, {Name = "J"})
+            """
+        )
+
+    def test_extern_requires_dynamic(self):
+        rejects('extern("h", 3)')
+
+    def test_intern_returns_dynamic(self):
+        assert type_of('intern("h")') == DYNAMIC
+
+    def test_sum_accepts_int_list_via_subtyping(self):
+        assert type_of("sum([1, 2, 3])") == FLOAT

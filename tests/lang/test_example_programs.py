@@ -1,0 +1,58 @@
+"""The shipped .dbpl example programs run and produce pinned results."""
+
+import os
+
+import pytest
+
+from repro.lang.eval import Interpreter
+
+PROGRAMS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+    "programs",
+)
+
+
+def run_file(name):
+    with open(os.path.join(PROGRAMS, name), "r", encoding="utf-8") as handle:
+        source = handle.read()
+    interp = Interpreter()
+    return interp.run(source)
+
+
+class TestPayroll:
+    def test_runs(self):
+        result = run_file("payroll.dbpl")
+        assert '"headcount:"' in result.output
+        assert "3" in result.output
+
+    def test_payroll_total(self):
+        output = run_file("payroll.dbpl").output
+        index = output.index('"total payroll:"')
+        assert output[index + 1] == "113.75"
+
+    def test_departments_projected(self):
+        output = run_file("payroll.dbpl").output
+        assert '{Dept = "Manuf"}' in output
+        assert '{Dept = "Sales"}' in output
+
+
+class TestBillOfMaterials:
+    def test_costs(self):
+        output = run_file("bill_of_materials.dbpl").output
+        values = [output[output.index(label) + 1] for label in (
+            '"bolt cost:"', '"wheel cost:"', '"bike cost:"',
+            '"fleet of ten:"',
+        )]
+        assert values == ["0.5", "9.0", "208.0", "2080.0"]
+
+    def test_costs_are_consistent(self):
+        # bike = 40 + frame(150) + 2 × wheel(5 + 8 × 0.5)
+        assert 40 + 150 + 2 * (5 + 8 * 0.5) == pytest.approx(208.0)
+
+
+def test_all_shipped_programs_run():
+    for name in sorted(os.listdir(PROGRAMS)):
+        if name.endswith(".dbpl"):
+            result = run_file(name)
+            assert result.output  # every program prints something

@@ -1,0 +1,103 @@
+"""Unit tests for the DBPL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import (
+    EOF,
+    FLOAT_LIT,
+    IDENT,
+    INT_LIT,
+    KEYWORD,
+    OP,
+    STRING_LIT,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kinds("") == [EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \n\t  ") == [EOF]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("let person Person typeX")
+        assert tokens[0].kind == KEYWORD
+        assert tokens[1].kind == IDENT
+        assert tokens[2].kind == IDENT
+        assert tokens[3].kind == IDENT  # 'typeX' is not the keyword 'type'
+
+    def test_all_keywords(self):
+        for word in ("type", "fun", "if", "then", "else", "fn", "with",
+                     "dynamic", "coerce", "to", "typeof", "in", "and",
+                     "or", "not", "true", "false", "unit"):
+            assert tokenize(word)[0].kind == KEYWORD
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.25")
+        assert tokens[0].kind == INT_LIT
+        assert tokens[0].text == "42"
+        assert tokens[1].kind == FLOAT_LIT
+        assert tokens[1].text == "3.25"
+
+    def test_int_followed_by_dot_field(self):
+        # '3.x' lexes as INT '.' IDENT, not a float
+        assert kinds("3.x")[:3] == [INT_LIT, OP, IDENT]
+
+    def test_strings(self):
+        token = tokenize('"J Doe"')[0]
+        assert token.kind == STRING_LIT
+        assert token.text == "J Doe"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\t\"\\"')[0].text == 'a\nb\t"\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_operators_greedy(self):
+        assert texts("<= < == = => - ->") == ["<=", "<", "==", "=", "=>", "-", "->"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("let x = @")
+        assert excinfo.value.line == 1
+
+    def test_comments_skipped(self):
+        assert texts("1 -- a comment\n2") == ["1", "2"]
+
+    def test_comment_at_eof(self):
+        assert kinds("-- nothing else") == [EOF]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("let x =\n  42")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (1, 5)
+        assert (tokens[3].line, tokens[3].column) == (2, 3)
+
+    def test_error_position_after_newlines(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\nok\n  @")
+        assert excinfo.value.line == 3
+        assert excinfo.value.column == 3

@@ -1,0 +1,387 @@
+"""The paper's programs, transcribed into DBPL and executed.
+
+Each test corresponds to a program fragment printed in the paper; the
+comments quote the original.  These are the integration tests that tie
+the language, type system, extents, and persistence together.
+"""
+
+import pytest
+
+from repro.errors import EvalError, TypeCheckError
+from repro.lang.eval import Interpreter, run_program
+
+
+class TestAmberDynamicFragment:
+    """let d = dynamic 3;
+       let i = coerce d to Int;
+       let s = coerce d to String;"""
+
+    def test_the_fragment(self):
+        interp = Interpreter()
+        interp.run("let d = dynamic 3;")
+        assert interp.run("let i = coerce d to Int; i").value == 3
+        # "the subsequent line will raise a run-time exception because
+        # the type associated with d is not string"
+        with pytest.raises(EvalError):
+            interp.run("let s = coerce d to String; s")
+
+    def test_d_is_not_an_integer(self):
+        """'d is not an integer, and any attempt to use an integer
+        operation such as addition on d is a (static) type error.'"""
+        interp = Interpreter()
+        interp.run("let d = dynamic 3;")
+        with pytest.raises(TypeCheckError):
+            interp.run("d + 1")
+
+
+class TestGetPersonsGetEmployees:
+    """function getPersons(d: Database): PersonList
+       function getEmployees(d: Database): EmployeeList
+       ... getPersons will always return a larger list than getEmployees"""
+
+    PROGRAM = """
+    type Person = {Name: String, Address: {City: String}}
+    type Employee = Person with {Empno: Int, Dept: String}
+    type Student = Person with {School: String}
+
+    let db = newdb();
+    insert(db, dynamic {Name = "P One", Address = {City = "Austin"}});
+    insert(db, dynamic {Name = "E One", Address = {City = "Moose"},
+                        Empno = 1, Dept = "Sales"});
+    insert(db, dynamic {Name = "S One", Address = {City = "Philly"},
+                        School = "Penn"});
+    insert(db, dynamic {Name = "WS One", Address = {City = "Glasgow"},
+                        Empno = 2, Dept = "Manuf", School = "Glasgow"});
+
+    fun getPersons(d: Database): List[Person] =
+      map(fn(p: Person) => p, get[Person](d))
+    fun getEmployees(d: Database): List[Employee] =
+      map(fn(e: Employee) => e, get[Employee](d))
+    """
+
+    def test_persons_larger_than_employees(self):
+        result = run_program(
+            self.PROGRAM
+            + "[length(getPersons(db)), length(getEmployees(db))]"
+        )
+        persons, employees = result.value
+        assert persons == 4
+        assert employees == 2
+        assert persons > employees
+
+    def test_projecting_employees_appear_in_persons(self):
+        """'those records obtained by projecting the Employee records
+        will always appear in the result of getPersons.'"""
+        result = run_program(
+            self.PROGRAM
+            + """
+            let employee_names = map(fn(e: Employee) => e.Name,
+                                     getEmployees(db));
+            let person_names = map(fn(p: Person) => p.Name,
+                                   getPersons(db));
+            fold(fn(acc: Bool, n: String) =>
+                   acc and fold(fn(a: Bool, m: String) => a or m == n,
+                                false, person_names),
+                 true, employee_names)
+            """
+        )
+        assert result.value is True
+
+    def test_subtype_member_extracted_at_employee(self):
+        """The working student 'may also be of type Student' yet comes
+        back from Get[Employee]."""
+        result = run_program(
+            self.PROGRAM
+            + 'length(filter(fn(e: Employee) => e.Name == "WS One",'
+            "               getEmployees(db)))"
+        )
+        assert result.value == 1
+
+
+class TestAmberExternIntern:
+    """type database = ...
+       var d: database = ...
+       extern('DBFile', dynamic d)
+       -- and in a subsequent program
+       var x = intern 'DBFile'
+       var d = coerce x to database"""
+
+    def test_the_fragment(self, tmp_path):
+        path = str(tmp_path / "amber.log")
+        first = Interpreter(path)
+        first.run(
+            """
+            type database = {Employees: List[{Name: String, Empno: Int}]}
+            let d = {Employees = [{Name = "J Doe", Empno = 1}]};
+            extern("DBFile", dynamic d);
+            """
+        )
+        second = Interpreter(path)
+        result = second.run(
+            """
+            type database = {Employees: List[{Name: String, Empno: Int}]}
+            let x = intern("DBFile");
+            let d = coerce x to database;
+            length(d.Employees)
+            """
+        )
+        assert result.value == 1
+
+    def test_coerce_fails_if_type_changed(self, tmp_path):
+        path = str(tmp_path / "amber.log")
+        Interpreter(path).run('extern("DBFile", dynamic 3);')
+        second = Interpreter(path)
+        with pytest.raises(EvalError):
+            second.run(
+                "type database = {Employees: List[Int]}\n"
+                'coerce intern("DBFile") to database'
+            )
+
+    def test_modifications_do_not_survive_reintern(self):
+        """'the modifications to x will not survive the second intern
+        operation.'  DBPL records are immutable, so the anomaly shows as
+        a stale re-read: deriving a new value from x and NOT re-externing
+        leaves the store unchanged."""
+        interp = Interpreter()
+        interp.run('extern("DBFile", dynamic {N = 1});')
+        result = interp.run(
+            """
+            let x = coerce intern("DBFile") to {N: Int};
+            let modified = x with {M = 2};     -- "code that modifies x"
+            let x2 = coerce intern("DBFile") to {N: Int};
+            x2
+            """
+        )
+        assert not result.value.has("M")
+
+
+class TestTotalCostRecursive:
+    """The paper's TotalCost over the *recursive* Part type::
+
+         type Part = {IsBase: Bool, ..., Components: List[{SubPart: Part, ...}]}
+
+    resolved to a μ-type; the checker compares it coinductively and the
+    finite part values (which bottom out at List[Bottom]) inhabit it."""
+
+    PROGRAM = """
+    type Part = {IsBase: Bool, PurchasePrice: Float,
+                 ManufacturingCost: Float,
+                 Components: List[{SubPart: Part, Qty: Int}]}
+
+    fun totalCost(p: Part): Float =
+      if p.IsBase then p.PurchasePrice
+      else p.ManufacturingCost +
+           sum(map(fn(q: {SubPart: Part, Qty: Int}) =>
+                     totalCost(q.SubPart) * intToFloat(q.Qty),
+                   p.Components))
+
+    let bolt = {IsBase = true, PurchasePrice = 0.5,
+                ManufacturingCost = 0.0, Components = []};
+    let plate = {IsBase = false, PurchasePrice = 0.0,
+                 ManufacturingCost = 2.0,
+                 Components = [{SubPart = bolt, Qty = 4}]};
+    let frame = {IsBase = false, PurchasePrice = 0.0,
+                 ManufacturingCost = 10.0,
+                 Components = [{SubPart = plate, Qty = 2},
+                               {SubPart = bolt, Qty = 8}]};
+    """
+
+    def test_recursive_total_cost(self):
+        result = run_program(self.PROGRAM + "totalCost(frame)")
+        # 10 + 2*(2 + 4*0.5) + 8*0.5
+        assert result.value == pytest.approx(22.0)
+
+    def test_shared_subpart_recomputed_naively(self):
+        """bolt participates through plate AND directly — the naive
+        recursion visits it repeatedly, as the paper complains."""
+        result = run_program(
+            self.PROGRAM
+            + """
+            let dag = {IsBase = false, PurchasePrice = 0.0,
+                       ManufacturingCost = 0.0,
+                       Components = [{SubPart = plate, Qty = 1},
+                                     {SubPart = plate, Qty = 1}]};
+            totalCost(dag)
+            """
+        )
+        assert result.value == pytest.approx(8.0)
+
+    def test_depth_beyond_any_fixed_inlining(self):
+        source = self.PROGRAM + "let p0 = bolt;\n"
+        for level in range(1, 12):
+            source += (
+                "let p%d = {IsBase = false, PurchasePrice = 0.0, "
+                "ManufacturingCost = 1.0, "
+                "Components = [{SubPart = p%d, Qty = 1}]};\n" % (level, level - 1)
+            )
+        result = run_program(source + "totalCost(p11)")
+        assert result.value == pytest.approx(11 + 0.5)
+
+    def test_ill_typed_component_rejected(self):
+        with pytest.raises(TypeCheckError):
+            run_program(
+                self.PROGRAM
+                + """
+                totalCost({IsBase = false, PurchasePrice = 0.0,
+                           ManufacturingCost = 1.0,
+                           Components = [{SubPart = 42, Qty = 1}]})
+                """
+            )
+
+
+class TestTotalCost:
+    """The pre-recursive encoding kept as a regression test: assemblies
+    inlined two levels deep, per the original bounded transcription."""
+
+    PROGRAM = """
+    type BasePart = {IsBase: Bool, PurchasePrice: Float}
+
+    fun baseCost(p: BasePart): Float =
+      if p.IsBase then p.PurchasePrice else 0.0
+
+    type Assembly = {IsBase: Bool, ManufacturingCost: Float,
+                     Components: List[{SubPart: BasePart, Qty: Int}]}
+
+    fun totalCost(p: Assembly): Float =
+      if p.IsBase then 0.0
+      else p.ManufacturingCost +
+           sum(map(fn(q: {SubPart: BasePart, Qty: Int}) =>
+                     baseCost(q.SubPart) * intToFloat(q.Qty),
+                   p.Components))
+
+    let frame = {IsBase = true, PurchasePrice = 100.0};
+    let wheel = {IsBase = true, PurchasePrice = 25.0};
+    let bike = {IsBase = false, ManufacturingCost = 10.0,
+                Components = [{SubPart = frame, Qty = 1},
+                              {SubPart = wheel, Qty = 2}]};
+    """
+
+    def test_total_cost(self):
+        result = run_program(self.PROGRAM + "totalCost(bike)")
+        assert result.value == pytest.approx(10.0 + 100.0 + 2 * 25.0)
+
+    def test_shared_subpart_recomputed(self):
+        """The paper's complaint: with a shared subpart the cost 'will be
+        needlessly recomputed' — visible here as the same baseCost value
+        contributing through both components."""
+        result = run_program(
+            self.PROGRAM
+            + """
+            let two_wheelers = {IsBase = false, ManufacturingCost = 0.0,
+                                Components = [{SubPart = wheel, Qty = 1},
+                                              {SubPart = wheel, Qty = 1}]};
+            totalCost(two_wheelers)
+            """
+        )
+        assert result.value == pytest.approx(50.0)
+
+
+class TestPersonToEmployeePromotion:
+    """'Suppose we create an object o of type Person ... and at some
+    later time wish to extend this object so that it becomes an Employee
+    object o'.'  In Amber 'the only way would be to delete the less
+    informative record and add a new one'; with the object-level join,
+    `with` does it directly."""
+
+    def test_promotion_via_with(self):
+        result = run_program(
+            """
+            type Person = {Name: String}
+            type Employee = Person with {Empno: Int}
+            let o = {Name = "J Doe"};
+            let o2 = o with {Empno = 1234};
+            fun useEmployee(e: Employee): Int = e.Empno
+            useEmployee(o2)
+            """
+        )
+        assert result.value == 1234
+
+    def test_join_conflict_is_the_k_smith_case(self):
+        with pytest.raises(EvalError):
+            run_program(
+                'let o = {Name = "J Doe"};\n'
+                'o with {Name = "K Smith"}'
+            )
+
+
+class TestGenericExtentsInTheLanguage:
+    """'it is also a straightforward matter to construct a generic set
+    type in PS-algol to define extents' — the same construction in DBPL:
+    extents as a polymorphic list library, written in the language."""
+
+    LIBRARY = """
+    fun emptyExtent[t](x: t): List[t] = tail([x])  -- [] at type List[t]
+    fun insertInto[t](ext: List[t], x: t): List[t] = cons(x, ext)
+    fun extentSize[t](ext: List[t]): Int = length(ext)
+    fun deleteFrom[t](ext: List[t], victim: t): List[t] =
+      filter(fn(x: t) => not (x == victim), ext)
+    """
+
+    def test_generic_extents(self):
+        result = run_program(
+            self.LIBRARY
+            + """
+            type Person = {Name: String}
+            let e0 = emptyExtent[Person]({Name = "seed"});
+            let e1 = insertInto[Person](e0, {Name = "A"});
+            let e2 = insertInto[Person](e1, {Name = "B"});
+            let e3 = deleteFrom[Person](e2, {Name = "A"});
+            [extentSize[Person](e2), extentSize[Person](e3)]
+            """
+        )
+        assert result.value == [2, 1]
+
+    def test_multiple_extents_same_type(self):
+        """The separation: two independent extents of one type, no class
+        construct anywhere."""
+        result = run_program(
+            self.LIBRARY
+            + """
+            type Person = {Name: String}
+            let current = insertInto[Person](
+                emptyExtent[Person]({Name = "s"}), {Name = "A"});
+            let former = insertInto[Person](
+                emptyExtent[Person]({Name = "s"}), {Name = "B"});
+            [extentSize[Person](current), extentSize[Person](former)]
+            """
+        )
+        assert result.value == [1, 1]
+
+    def test_integer_extents(self):
+        """'we might well want to create a set of integers, but this set
+        would certainly not contain all the integers created during
+        execution.'"""
+        result = run_program(
+            self.LIBRARY
+            + """
+            let favourites = insertInto[Int](
+                insertInto[Int](emptyExtent[Int](0), 3), 7);
+            let unrelated = 42;
+            extentSize[Int](favourites)
+            """
+        )
+        assert result.value == 2
+
+
+class TestDerivingClassHierarchy:
+    """'the class hierarchy can be derived from the type hierarchy':
+    a full end-to-end census over a three-level hierarchy."""
+
+    def test_census(self):
+        result = run_program(
+            """
+            type Person = {Name: String}
+            type Employee = Person with {Empno: Int}
+            type Manager = Employee with {Level: Int}
+
+            let db = newdb();
+            insert(db, dynamic {Name = "p"});
+            insert(db, dynamic {Name = "e", Empno = 1});
+            insert(db, dynamic {Name = "m", Empno = 2, Level = 3});
+
+            [length(get[Person](db)),
+             length(get[Employee](db)),
+             length(get[Manager](db))]
+            """
+        )
+        assert result.value == [3, 2, 1]

@@ -1,0 +1,229 @@
+"""Unit tests for the DBPL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import (
+    parse_expression,
+    parse_program,
+    parse_type_expression,
+)
+
+
+class TestTypeExpressions:
+    def test_name(self):
+        t = parse_type_expression("Int")
+        assert isinstance(t, ast.TypeName)
+        assert t.name == "Int"
+
+    def test_record(self):
+        t = parse_type_expression("{Name: String, Age: Int}")
+        assert isinstance(t, ast.TypeRecord)
+        assert [label for label, __ in t.fields] == ["Name", "Age"]
+
+    def test_empty_record(self):
+        t = parse_type_expression("{}")
+        assert isinstance(t, ast.TypeRecord)
+        assert t.fields == ()
+
+    def test_nested_record(self):
+        t = parse_type_expression("{Addr: {City: String}}")
+        assert isinstance(t.fields[0][1], ast.TypeRecord)
+
+    def test_list(self):
+        t = parse_type_expression("List[Int]")
+        assert isinstance(t, ast.TypeList)
+
+    def test_nested_list(self):
+        t = parse_type_expression("List[List[Int]]")
+        assert isinstance(t.element, ast.TypeList)
+
+    def test_with(self):
+        t = parse_type_expression("Person with {Empno: Int}")
+        assert isinstance(t, ast.TypeWith)
+
+    def test_chained_with(self):
+        t = parse_type_expression("A with {x: Int} with {y: Int}")
+        assert isinstance(t, ast.TypeWith)
+        assert isinstance(t.base, ast.TypeWith)
+
+    def test_arrow(self):
+        t = parse_type_expression("Int -> Bool")
+        assert isinstance(t, ast.TypeFun)
+        assert len(t.params) == 1
+
+    def test_arrow_right_assoc(self):
+        t = parse_type_expression("Int -> Int -> Int")
+        assert isinstance(t.result, ast.TypeFun)
+
+    def test_multi_param_function(self):
+        t = parse_type_expression("(Int, String) -> Bool")
+        assert isinstance(t, ast.TypeFun)
+        assert len(t.params) == 2
+
+    def test_parenthesized_type(self):
+        t = parse_type_expression("(Int)")
+        assert isinstance(t, ast.TypeName)
+
+    def test_paren_list_needs_arrow(self):
+        with pytest.raises(ParseError):
+            parse_type_expression("(Int, String)")
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert isinstance(parse_expression("42"), ast.IntLit)
+        assert isinstance(parse_expression("3.5"), ast.FloatLit)
+        assert isinstance(parse_expression('"hi"'), ast.StringLit)
+        assert parse_expression("true").value is True
+        assert isinstance(parse_expression("unit"), ast.UnitLit)
+
+    def test_record_literal(self):
+        e = parse_expression('{Name = "J", Age = 30}')
+        assert isinstance(e, ast.RecordLit)
+        assert len(e.fields) == 2
+
+    def test_list_literal(self):
+        e = parse_expression("[1, 2, 3]")
+        assert isinstance(e, ast.ListLit)
+        assert len(e.elements) == 3
+
+    def test_empty_list(self):
+        assert parse_expression("[]").elements == ()
+
+    def test_field_access_chain(self):
+        e = parse_expression("p.Addr.City")
+        assert isinstance(e, ast.FieldAccess)
+        assert e.label == "City"
+        assert isinstance(e.subject, ast.FieldAccess)
+
+    def test_application(self):
+        e = parse_expression("f(1, 2)")
+        assert isinstance(e, ast.Apply)
+        assert len(e.arguments) == 2
+
+    def test_type_application(self):
+        e = parse_expression("get[Employee](db)")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.function, ast.TypeApply)
+
+    def test_with_expression(self):
+        e = parse_expression("p with {Empno = 1}")
+        assert isinstance(e, ast.WithExpr)
+
+    def test_if(self):
+        e = parse_expression("if x then 1 else 2")
+        assert isinstance(e, ast.If)
+
+    def test_let_in(self):
+        e = parse_expression("let x = 1 in x + 1")
+        assert isinstance(e, ast.LetIn)
+        assert e.annotation is None
+
+    def test_let_in_annotated(self):
+        e = parse_expression("let x: Int = 1 in x")
+        assert e.annotation is not None
+
+    def test_lambda(self):
+        e = parse_expression("fn(x: Int) => x * 2")
+        assert isinstance(e, ast.Lambda)
+        assert e.params[0][0] == "x"
+
+    def test_lambda_no_params(self):
+        assert parse_expression("fn() => 1").params == ()
+
+    def test_dynamic_coerce_typeof(self):
+        assert isinstance(parse_expression("dynamic 3"), ast.DynamicExpr)
+        e = parse_expression("coerce d to Int")
+        assert isinstance(e, ast.CoerceExpr)
+        assert isinstance(parse_expression("typeof d"), ast.TypeOfExpr)
+
+    def test_precedence_arithmetic(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp)
+        assert e.op == "+"
+        assert isinstance(e.right, ast.BinOp)
+
+    def test_precedence_comparison_vs_bool(self):
+        e = parse_expression("a < b and c < d")
+        assert e.op == "and"
+
+    def test_unary_minus(self):
+        e = parse_expression("-x + 1")
+        assert e.op == "+"
+        assert isinstance(e.left, ast.UnaryOp)
+
+    def test_not(self):
+        e = parse_expression("not a or b")
+        assert e.op == "or"
+
+    def test_parens_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_dynamic_binds_tight(self):
+        # dynamic e.f === dynamic (e.f); dynamic f(x) === dynamic (f(x))
+        e = parse_expression("dynamic p.Name")
+        assert isinstance(e.operand, ast.FieldAccess)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 1")
+
+    def test_missing_expression(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+
+class TestDeclarations:
+    def test_type_decl(self):
+        program = parse_program("type Person = {Name: String}")
+        assert isinstance(program.declarations[0], ast.TypeDecl)
+
+    def test_let_decl(self):
+        program = parse_program("let x = 1;")
+        decl = program.declarations[0]
+        assert isinstance(decl, ast.LetDecl)
+        assert decl.annotation is None
+
+    def test_let_decl_annotated(self):
+        program = parse_program("let x: Int = 1")
+        assert program.declarations[0].annotation is not None
+
+    def test_top_level_let_in_is_expression(self):
+        program = parse_program("let x = 1 in x + 1")
+        decl = program.declarations[0]
+        assert isinstance(decl, ast.ExprStmt)
+        assert isinstance(decl.expr, ast.LetIn)
+
+    def test_fun_decl(self):
+        program = parse_program("fun f(x: Int): Int = x")
+        decl = program.declarations[0]
+        assert isinstance(decl, ast.FunDecl)
+        assert decl.type_params == ()
+
+    def test_polymorphic_fun(self):
+        program = parse_program("fun id[t](x: t): t = x")
+        decl = program.declarations[0]
+        assert decl.type_params[0].name == "t"
+        assert decl.type_params[0].bound is None
+
+    def test_bounded_polymorphic_fun(self):
+        program = parse_program(
+            "fun name[t <= {Name: String}](x: t): String = x.Name"
+        )
+        assert program.declarations[0].type_params[0].bound is not None
+
+    def test_multiple_declarations(self):
+        program = parse_program("let x = 1; let y = 2; x + y")
+        assert len(program.declarations) == 3
+        assert isinstance(program.declarations[2], ast.ExprStmt)
+
+    def test_semicolons_optional(self):
+        program = parse_program("let x = 1\nlet y = 2")
+        assert len(program.declarations) == 2
+
+    def test_parse_errors_carry_position(self):
+        with pytest.raises(ParseError):
+            parse_program("fun f(x Int): Int = x")  # missing ':'

@@ -1,0 +1,225 @@
+"""Pretty-printer tests: fixed cases plus print→parse round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import (
+    parse_expression,
+    parse_program,
+    parse_type_expression,
+)
+from repro.lang.pretty import (
+    pretty_decl,
+    pretty_expr,
+    pretty_program,
+    pretty_type,
+)
+
+
+def round_trips_expr(source: str) -> bool:
+    """print(parse(src)) reaches a fixpoint after one step."""
+    printed = pretty_expr(parse_expression(source))
+    return pretty_expr(parse_expression(printed)) == printed
+
+
+class TestFixedCases:
+    def test_literals(self):
+        assert pretty_expr(parse_expression("42")) == "42"
+        assert pretty_expr(parse_expression("3.5")) == "3.5"
+        assert pretty_expr(parse_expression('"a\\"b"')) == '"a\\"b"'
+        assert pretty_expr(parse_expression("true")) == "true"
+        assert pretty_expr(parse_expression("unit")) == "unit"
+
+    def test_float_always_has_point(self):
+        assert pretty_expr(ast.FloatLit(3.0)) == "3.0"
+
+    def test_precedence_preserved(self):
+        assert pretty_expr(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+        assert pretty_expr(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+
+    def test_left_associativity_no_extra_parens(self):
+        assert pretty_expr(parse_expression("1 - 2 - 3")) == "1 - 2 - 3"
+
+    def test_unary_in_binary(self):
+        assert pretty_expr(parse_expression("-x + 1")) == "-x + 1"
+        assert pretty_expr(parse_expression("-(x + 1)")) == "-(x + 1)"
+
+    def test_postfix_chain(self):
+        assert pretty_expr(parse_expression("f(1)(2).a")) == "f(1)(2).a"
+        assert pretty_expr(parse_expression("get[Int](db)")) == "get[Int](db)"
+
+    def test_with_chain(self):
+        source = "p with {a = 1} with {b = 2}"
+        assert pretty_expr(parse_expression(source)) == source
+
+    def test_dynamic_of_application(self):
+        assert pretty_expr(parse_expression("dynamic f(x)")) == "dynamic f(x)"
+
+    def test_comparison_not_associative(self):
+        # comparisons are non-associative: nested ones need parens
+        printed = pretty_expr(
+            ast.BinOp("==", ast.BinOp("<", ast.Var("a"), ast.Var("b")),
+                      ast.Var("c"))
+        )
+        assert printed == "(a < b) == c"
+        parse_expression(printed)
+
+    def test_types(self):
+        cases = [
+            "Int",
+            "{Age: Int, Name: String}",
+            "List[List[Int]]",
+            "Int -> Bool",
+            "(Int, String) -> Bool",
+            "(Int -> Int) -> Int",
+            "Person with {Empno: Int}",
+        ]
+        for source in cases:
+            printed = pretty_type(parse_type_expression(source))
+            again = pretty_type(parse_type_expression(printed))
+            assert printed == again
+
+    def test_declarations(self):
+        cases = [
+            "type Person = {Name: String};",
+            "let x = 1;",
+            "let x: Int = 1;",
+            "fun f(x: Int): Int = x * 2;",
+            "fun id[t](x: t): t = x;",
+            "fun get2[t <= {Name: String}](x: t): String = x.Name;",
+            "1 + 1;",
+        ]
+        for source in cases:
+            program = parse_program(source)
+            printed = pretty_program(program)
+            again = pretty_program(parse_program(printed))
+            assert printed == again
+
+    def test_let_in_and_if_and_fn(self):
+        for source in (
+            "let x = 1 in x + 1",
+            "if a then 1 else 2",
+            "fn(x: Int) => x",
+            "coerce d to Int",
+        ):
+            assert round_trips_expr(source)
+
+    def test_decl_forms_reparse(self):
+        program = parse_program(
+            "type E = {N: String} with {I: Int}\n"
+            "fun f[a, b <= Int](x: a, y: b): Int = y\n"
+            "let r = {A = [1, 2], B = {C = true}};\n"
+        )
+        printed = pretty_program(program)
+        assert pretty_program(parse_program(printed)) == printed
+
+
+# -- property-based round trips ------------------------------------------------
+
+names = st.sampled_from(["x", "y", "foo", "rec"])
+labels = st.sampled_from(["A", "B", "C"])
+
+simple_types = st.recursive(
+    st.sampled_from(
+        [ast.TypeName("Int"), ast.TypeName("String"), ast.TypeName("Bool")]
+    ),
+    lambda children: st.one_of(
+        children.map(ast.TypeList),
+        st.dictionaries(labels, children, max_size=2).map(
+            lambda fields: ast.TypeRecord(tuple(sorted(fields.items())))
+        ),
+        st.tuples(children, children).map(
+            lambda pair: ast.TypeFun((pair[0],), pair[1])
+        ),
+    ),
+    max_leaves=4,
+)
+
+atoms = st.one_of(
+    st.integers(min_value=0, max_value=99).map(ast.IntLit),
+    st.sampled_from(["a", "b c", 'quo"te']).map(ast.StringLit),
+    st.booleans().map(ast.BoolLit),
+    names.map(ast.Var),
+)
+
+
+def _binop(children):
+    return st.tuples(
+        st.sampled_from(["+", "-", "*", "/", "and", "or"]),
+        children,
+        children,
+    ).map(lambda t: ast.BinOp(t[0], t[1], t[2]))
+
+
+def _case(children):
+    return st.tuples(
+        children,
+        st.lists(
+            st.tuples(st.sampled_from(["some", "none", "ok"]), names, children),
+            min_size=1,
+            max_size=2,
+            unique_by=lambda arm: arm[0],
+        ),
+    ).map(
+        lambda t: ast.CaseExpr(
+            t[0],
+            tuple(ast.CaseArm(label, binder, body) for label, binder, body in t[1]),
+        )
+    )
+
+
+expressions = st.recursive(
+    atoms,
+    lambda children: st.one_of(
+        _binop(children),
+        st.tuples(st.sampled_from(["some", "ok"]), children).map(
+            lambda t: ast.TagExpr(t[0], t[1])
+        ),
+        _case(children),
+        children.map(lambda e: ast.UnaryOp("-", e)),
+        children.map(lambda e: ast.UnaryOp("not", e)),
+        children.map(lambda e: ast.DynamicExpr(e)),
+        st.tuples(children, labels).map(
+            lambda t: ast.FieldAccess(t[0], t[1])
+        ),
+        st.tuples(children, st.lists(children, max_size=2)).map(
+            lambda t: ast.Apply(t[0], tuple(t[1]))
+        ),
+        st.tuples(children, children, children).map(
+            lambda t: ast.If(t[0], t[1], t[2])
+        ),
+        st.dictionaries(labels, children, max_size=2).map(
+            lambda fields: ast.RecordLit(tuple(sorted(fields.items())))
+        ),
+        st.lists(children, max_size=2).map(
+            lambda items: ast.ListLit(tuple(items))
+        ),
+        st.tuples(names, children, children).map(
+            lambda t: ast.LetIn(t[0], None, t[1], t[2])
+        ),
+        st.tuples(
+            st.lists(st.tuples(names, simple_types), max_size=2), children
+        ).map(lambda t: ast.Lambda(tuple(t[0]), t[1])),
+        st.tuples(children, simple_types).map(
+            lambda t: ast.CoerceExpr(t[0], t[1])
+        ),
+    ),
+    max_leaves=10,
+)
+
+
+class TestRoundTripProperties:
+    @given(expressions)
+    @settings(max_examples=300, deadline=None)
+    def test_print_parse_print_fixpoint(self, expr):
+        printed = pretty_expr(expr)
+        reparsed = parse_expression(printed)
+        assert pretty_expr(reparsed) == printed
+
+    @given(simple_types)
+    @settings(max_examples=200, deadline=None)
+    def test_type_print_parse_print_fixpoint(self, type_expr):
+        printed = pretty_type(type_expr)
+        reparsed = parse_type_expression(printed)
+        assert pretty_type(reparsed) == printed

@@ -1,0 +1,142 @@
+"""Unit tests for generalized relations as first-class DBPL values."""
+
+import pytest
+
+from repro.errors import EvalError, TypeCheckError
+from repro.lang.eval import run_program
+
+
+def value_of(source):
+    return run_program(source).value
+
+
+FIGURE1 = """
+let r1 = relation([
+  {Name = "J Doe", Dept = "Sales", Addr = {City = "Moose"}},
+  {Name = "M Dee", Dept = "Manuf"},
+  {Name = "N Bug", Addr = {State = "MT"}}
+]);
+let r2 = relation([
+  {Dept = "Sales", Addr = {State = "WY"}},
+  {Dept = "Admin", Addr = {City = "Billings"}},
+  {Dept = "Manuf", Addr = {State = "MT"}}
+]);
+let joined = rjoin(r1, r2);
+"""
+
+
+class TestFigure1InDbpl:
+    def test_join_has_four_members(self):
+        assert value_of(FIGURE1 + "rcount(joined)") == 4
+
+    def test_n_bug_in_two_departments(self):
+        assert (
+            value_of(
+                FIGURE1
+                + 'rcount(rmatch(joined, {Name = "N Bug"}))'
+            )
+            == 2
+        )
+
+    def test_no_n_bug_in_sales(self):
+        assert (
+            value_of(
+                FIGURE1
+                + 'rcount(rmatch(joined, {Name = "N Bug", Dept = "Sales"}))'
+            )
+            == 0
+        )
+
+    def test_members_readable_as_records(self):
+        names = value_of(
+            FIGURE1
+            + "map(fn(o: {}) => show(o), rmembers(joined))"
+        )
+        assert len(names) == 4
+        assert any("Billings" in n for n in names)
+
+    def test_projection(self):
+        assert value_of(FIGURE1 + 'rcount(rproject(joined, ["Dept"]))') == 3
+
+    def test_relation_order(self):
+        assert value_of(FIGURE1 + "rleq(r1, joined)") is True
+        assert value_of(FIGURE1 + "rleq(joined, r1)") is False
+
+
+class TestRelationSemantics:
+    def test_subsumption_on_construction(self):
+        assert (
+            value_of(
+                'rcount(relation([{N = "a"}, {N = "a", D = "x"}]))'
+            )
+            == 1
+        )
+
+    def test_rinsert_subsumes(self):
+        assert (
+            value_of(
+                'let r = relation([{N = "a"}]);\n'
+                'rcount(rinsert(r, {N = "a", D = "x"}))'
+            )
+            == 1
+        )
+
+    def test_rinsert_is_functional(self):
+        assert (
+            value_of(
+                'let r = relation([{N = "a"}]);\n'
+                'let r2 = rinsert(r, {M = "b"});\n'
+                "[rcount(r), rcount(r2)]"
+            )
+            == [1, 2]
+        )
+
+    def test_empty_relation(self):
+        assert value_of("rcount(relation([]))") == 0
+
+    def test_rmatch_empty_pattern_matches_all(self):
+        assert (
+            value_of('rcount(rmatch(relation([{A = 1}, {B = 2}]), {}))') == 2
+        )
+
+    def test_nested_records_allowed(self):
+        assert (
+            value_of(
+                'rcount(relation([{Addr = {City = "X", Zip = 1}}]))'
+            )
+            == 1
+        )
+
+    def test_round_trip_members(self):
+        member = value_of(
+            'head(rmembers(relation([{A = 1, B = {C = true}}])))'
+        )
+        assert member.get("A") == 1
+        assert member.get("B").get("C") is True
+
+    def test_relation_is_dynamic_sealable(self):
+        assert (
+            str(value_of("typeof (dynamic relation([]))")) == "Relation"
+        )
+
+
+class TestRelationErrors:
+    def test_members_must_be_records(self):
+        with pytest.raises(TypeCheckError):
+            value_of("relation([1, 2])")
+
+    def test_list_valued_fields_rejected_at_runtime(self):
+        with pytest.raises(EvalError):
+            value_of("relation([{A = [1, 2]}])")
+
+    def test_relations_not_externable(self):
+        with pytest.raises(EvalError):
+            value_of('extern("r", dynamic relation([]))')
+
+    def test_static_typing_still_guards(self):
+        with pytest.raises(TypeCheckError):
+            value_of("rjoin(relation([]), 3)")
+        with pytest.raises(TypeCheckError):
+            value_of("rcount(3)")
+        with pytest.raises(TypeCheckError):
+            value_of('rproject(relation([]), [1])')

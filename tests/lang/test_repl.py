@@ -1,0 +1,142 @@
+"""Unit tests for the DBPL REPL (driven through an injected writer)."""
+
+import pytest
+
+from repro.lang.repl import Repl
+
+
+@pytest.fixture
+def repl_session():
+    lines = []
+    repl = Repl(writer=lines.append)
+    return repl, lines
+
+
+class TestEvaluation:
+    def test_expression_prints_value(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("1 + 2")
+        assert lines == ["3"]
+
+    def test_declarations_accumulate(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("let x = 40;")
+        repl.handle("x + 2")
+        assert lines[-1] == "42"
+
+    def test_fun_then_call(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("fun f(n: Int): Int = n * n")
+        repl.handle("f(9)")
+        assert lines[-1] == "81"
+
+    def test_print_output_forwarded(self, repl_session):
+        repl, lines = repl_session
+        repl.handle('print("hi")')
+        assert '"hi"' in lines
+
+    def test_unit_result_not_echoed(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("let x = 1;")
+        assert lines == []
+
+    def test_type_error_reported_not_raised(self, repl_session):
+        repl, lines = repl_session
+        repl.handle('1 + "a"')
+        assert any(line.startswith("error:") for line in lines)
+
+    def test_parse_error_reported(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("let = 3")
+        assert any("error" in line for line in lines)
+
+    def test_runtime_error_reported(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("1 / 0")
+        assert any("division" in line for line in lines)
+
+    def test_blank_line_ignored(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("   ")
+        assert lines == []
+
+    def test_session_survives_errors(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("nonsense +")
+        repl.handle("2 + 2")
+        assert lines[-1] == "4"
+
+
+class TestCommands:
+    def test_quit(self, repl_session):
+        repl, __ = repl_session
+        assert not repl.done
+        repl.handle(":quit")
+        assert repl.done
+
+    def test_type_command(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":type 1 + 1")
+        assert lines == ["Int"]
+
+    def test_type_does_not_evaluate_or_commit(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":type let x = 1; x")
+        repl.handle("x")  # x must NOT be bound by :type
+        assert any("error" in line for line in lines)
+
+    def test_type_of_declaration(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":type type P = {N: Int}")
+        assert lines == ["<declaration>"]
+
+    def test_type_usage_message(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":type")
+        assert "usage" in lines[0]
+
+    def test_ast_command(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":ast 1+2*3")
+        assert lines == ["1 + 2 * 3;"]
+
+    def test_ast_error(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":ast let")
+        assert "error" in lines[0]
+
+    def test_unknown_command(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":frobnicate")
+        assert "unknown command" in lines[0]
+
+    def test_load(self, tmp_path):
+        lines = []
+        repl = Repl(writer=lines.append)
+        source = tmp_path / "prog.dbpl"
+        source.write_text("let x = 6;\nprint(x * 7);\n")
+        repl.handle(":load %s" % source)
+        assert "42" in lines
+
+    def test_load_missing_file(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":load /no/such/file.dbpl")
+        assert "error" in lines[0]
+
+    def test_load_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":load")
+        assert "usage" in lines[0]
+
+
+class TestStoreBackedRepl:
+    def test_persistence_across_repls(self, tmp_path):
+        path = str(tmp_path / "repl.log")
+        first_lines = []
+        first = Repl(path, writer=first_lines.append)
+        first.handle('extern("x", dynamic 41);')
+
+        second_lines = []
+        second = Repl(path, writer=second_lines.append)
+        second.handle('coerce intern("x") to Int + 1')
+        assert second_lines[-1] == "42"

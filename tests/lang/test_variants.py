@@ -1,0 +1,195 @@
+"""Unit tests for variant types and case analysis in DBPL."""
+
+import pytest
+
+from repro.errors import EvalError, TypeCheckError
+from repro.lang.eval import Interpreter, VariantValue, run_program
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program
+
+
+def value_of(source):
+    return run_program(source).value
+
+
+MAYBE = "type MaybeInt = [none: Unit | some: Int]\n"
+
+INTLIST = (
+    "type IntList = [nil: Unit | cons: {Head: Int, Tail: IntList}]\n"
+    "fun listSum(xs: IntList): Int =\n"
+    "  case xs of nil u => 0 | cons c => c.Head + listSum(c.Tail)\n"
+)
+
+
+class TestInjectionsAndCase:
+    def test_injection_value(self):
+        result = value_of("tag some(3)")
+        assert isinstance(result, VariantValue)
+        assert result.label == "some"
+        assert result.payload == 3
+
+    def test_nullary_injection_payload_is_unit(self):
+        result = value_of("tag none()")
+        assert result.payload is None
+
+    def test_case_dispatch(self):
+        assert value_of(
+            MAYBE + "case tag some(42) of some n => n | none u => 0"
+        ) == 42
+        assert value_of(
+            MAYBE + "case tag none() of some n => n | none u => 7"
+        ) == 7
+
+    def test_case_on_widened_singleton(self):
+        """tag some(3) : [some: Int] flows into MaybeInt by width
+        subtyping — no annotation anywhere."""
+        assert value_of(
+            MAYBE
+            + "fun get(m: MaybeInt): Int = case m of some n => n | none u => 0\n"
+            + "get(tag some(3))"
+        ) == 3
+
+    def test_result_type_joins_arms(self):
+        from repro.types.kinds import FLOAT
+
+        result = run_program(
+            MAYBE + "case tag some(1) of some n => 1 | none u => 2.0"
+        )
+        assert result.type == FLOAT
+
+    def test_binder_scoped_to_arm(self):
+        with pytest.raises(TypeCheckError):
+            value_of(
+                MAYBE
+                + "(case tag some(1) of some n => n | none u => 0) + n"
+            )
+
+    def test_variant_equality(self):
+        assert value_of("tag some(3) == tag some(3)") is True
+        assert value_of("tag some(3) == tag some(4)") is False
+
+    def test_show_format(self):
+        assert value_of("show(tag some(3))") == "some(3)"
+        assert value_of("show(tag none())") == "none()"
+
+
+class TestRecursiveVariants:
+    def test_list_sum(self):
+        assert value_of(
+            INTLIST
+            + "listSum(tag cons({Head = 1, Tail = tag cons({Head = 2,"
+            "  Tail = tag nil()})}))"
+        ) == 3
+
+    def test_empty_list(self):
+        assert value_of(INTLIST + "listSum(tag nil())") == 0
+
+    def test_deep_list(self):
+        source = INTLIST + "let l0 = tag nil();\n"
+        for i in range(1, 20):
+            source += (
+                "let l%d = tag cons({Head = %d, Tail = l%d});\n"
+                % (i, i, i - 1)
+            )
+        assert value_of(source + "listSum(l19)") == sum(range(20))
+
+
+class TestStaticChecks:
+    def test_non_exhaustive_rejected(self):
+        with pytest.raises(TypeCheckError) as excinfo:
+            value_of(MAYBE + "fun f(m: MaybeInt): Int =\n"
+                     "  case m of some n => n\nf(tag some(1))")
+        assert "exhaustive" in str(excinfo.value)
+
+    def test_extra_arms_are_dead_but_legal(self):
+        # The subject is the singleton [some: Int]; the 'other' arm can
+        # never fire but remains well-typed (binder at Bottom).
+        assert value_of(
+            "case tag some(1) of some n => n | other x => 0"
+        ) == 1
+
+    def test_duplicate_arm_rejected(self):
+        with pytest.raises(TypeCheckError):
+            value_of("case tag some(1) of some n => n | some m => m")
+
+    def test_case_on_non_variant_rejected(self):
+        with pytest.raises(TypeCheckError):
+            value_of("case 3 of some n => n")
+
+    def test_duplicate_case_in_type_rejected(self):
+        with pytest.raises(TypeCheckError):
+            value_of("type Bad = [a: Int | a: String]\n1")
+
+    def test_variant_subtyping_direction(self):
+        """A function taking the wide variant accepts narrow values,
+        not vice versa."""
+        with pytest.raises(TypeCheckError):
+            value_of(
+                MAYBE
+                + "fun onlySome(m: [some: Int]): Int = case m of some n => n\n"
+                + "let wide: MaybeInt = tag some(1);\n"
+                + "onlySome(wide)"
+            )
+
+
+class TestVariantsAtBoundaries:
+    def test_dynamic_carries_singleton_variant_type(self):
+        from repro.types.kinds import INT, VariantType
+
+        result = run_program("typeof (dynamic tag some(3))")
+        assert result.value == VariantType({"some": INT})
+
+    def test_coerce_dynamic_variant(self):
+        assert value_of(
+            MAYBE
+            + "let d = dynamic tag some(3);\n"
+            "case (coerce d to MaybeInt) of some n => n | none u => 0"
+        ) == 3
+
+    def test_extern_intern_variant(self):
+        interp = Interpreter()
+        interp.run(MAYBE + 'extern("m", dynamic tag some(41));')
+        result = interp.run(
+            MAYBE
+            + 'case (coerce intern("m") to MaybeInt) of\n'
+            "  some n => n + 1 | none u => 0"
+        )
+        assert result.value == 42
+
+    def test_reserved_field_guard(self):
+        """The wire encoding reserves one field name; DBPL identifiers
+        cannot collide with it (it contains '$'), and the Python-level
+        guard rejects hand-built records that do."""
+        from repro.lang.eval import RuntimeRecord, _to_portable
+
+        with pytest.raises(EvalError):
+            _to_portable(RuntimeRecord({"variant$label": "x"}))
+
+    def test_variants_in_database(self):
+        assert value_of(
+            MAYBE
+            + """
+            let db = newdb();
+            insert(db, dynamic tag some(1));
+            insert(db, dynamic tag none());
+            insert(db, dynamic tag some(2));
+            length(get[MaybeInt](db))
+            """
+        ) == 3
+
+
+class TestPrettyVariants:
+    def test_type_round_trip(self):
+        program = parse_program(MAYBE + "1")
+        printed = pretty_program(program)
+        assert "[none: Unit | some: Int]" in printed
+        assert pretty_program(parse_program(printed)) == printed
+
+    def test_expr_round_trip(self):
+        for source in (
+            "tag some(3)",
+            "tag none()",
+            "case m of some n => n | none u => 0",
+        ):
+            printed = pretty_expr(parse_expression(source))
+            assert pretty_expr(parse_expression(printed)) == printed

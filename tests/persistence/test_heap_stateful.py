@@ -1,0 +1,235 @@
+"""Model-based stateful testing of the persistent heap.
+
+A hypothesis state machine drives a :class:`PersistentHeap` through
+random sequences of binds, mutations, commits, aborts, and full
+close/reopen cycles, checking it against a plain in-memory model.
+Invariants: after a commit (or reopen) the heap agrees with the model's
+last committed state; aborts roll the live state back; object sharing
+is preserved across reopens.
+"""
+
+import copy
+import os
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.persistence.heap import PObject
+from repro.persistence.intrinsic import PersistentHeap
+
+NAMES = ("alpha", "beta", "gamma")
+FIELDS = ("f", "g")
+
+
+def heap_value_of(value):
+    """Flatten a heap value into comparable plain data (cycle-safe)."""
+    seen = {}
+
+    def walk(v):
+        if isinstance(v, PObject):
+            if id(v) in seen:
+                return ("ref", seen[id(v)])
+            seen[id(v)] = len(seen)
+            return (
+                "obj",
+                seen[id(v)],
+                tuple(
+                    (k, walk(w))
+                    for k, w in sorted(v.persistent_fields().items())
+                ),
+            )
+        if isinstance(v, list):
+            return ("list", tuple(walk(w) for w in v))
+        return ("scalar", v)
+
+    return walk(value)
+
+
+class ModelObject:
+    """The model's counterpart of a PObject."""
+
+    def __init__(self):
+        self.fields = {}
+
+
+def model_value_of(value, seen=None):
+    seen = {} if seen is None else seen
+
+    def walk(v):
+        if isinstance(v, ModelObject):
+            if id(v) in seen:
+                return ("ref", seen[id(v)])
+            seen[id(v)] = len(seen)
+            return (
+                "obj",
+                seen[id(v)],
+                tuple((k, walk(w)) for k, w in sorted(v.fields.items())),
+            )
+        if isinstance(v, list):
+            return ("list", tuple(walk(w) for w in v))
+        return ("scalar", v)
+
+    return walk(value)
+
+
+def deep_copy_model(roots):
+    memo = {}
+
+    def walk(v):
+        if isinstance(v, ModelObject):
+            if id(v) in memo:
+                return memo[id(v)]
+            clone = ModelObject()
+            memo[id(v)] = clone
+            clone.fields = {k: walk(w) for k, w in v.fields.items()}
+            return clone
+        if isinstance(v, list):
+            return [walk(w) for w in v]
+        return v
+
+    return {name: walk(v) for name, v in roots.items()}
+
+
+class HeapMachine(RuleBasedStateMachine):
+    objects = Bundle("objects")
+
+    @initialize()
+    def setup(self):
+        import tempfile
+
+        self._dir = tempfile.mkdtemp()
+        self._path = os.path.join(self._dir, "heap.log")
+        self.heap = PersistentHeap(self._path)
+        # twin maps: heap PObject <-> model object, by index
+        self.heap_objects = []
+        self.model_objects = []
+        self.live_roots = {}
+        self.committed_roots = {}
+        self.heap.commit()
+
+    # -- operations -------------------------------------------------------------
+
+    @rule(target=objects, seed=st.integers(min_value=0, max_value=99))
+    def new_object(self, seed):
+        self.heap_objects.append(PObject("N", {"seed": seed}))
+        model = ModelObject()
+        model.fields = {"seed": seed}
+        self.model_objects.append(model)
+        return len(self.heap_objects) - 1
+
+    @rule(index=objects, name=st.sampled_from(NAMES))
+    def bind_root(self, index, name):
+        self.heap.root(name, self.heap_objects[index])
+        self.live_roots[name] = self.model_objects[index]
+
+    @rule(name=st.sampled_from(NAMES), value=st.integers())
+    def bind_scalar_root(self, name, value):
+        self.heap.root(name, value)
+        self.live_roots[name] = value
+
+    @rule(
+        index=objects,
+        field=st.sampled_from(FIELDS),
+        value=st.integers(min_value=0, max_value=9),
+    )
+    def set_scalar_field(self, index, field, value):
+        self.heap_objects[index][field] = value
+        self.model_objects[index].fields[field] = value
+
+    @rule(index=objects, other=objects, field=st.sampled_from(FIELDS))
+    def set_reference_field(self, index, other, field):
+        self.heap_objects[index][field] = self.heap_objects[other]
+        self.model_objects[index].fields[field] = self.model_objects[other]
+
+    @rule(index=objects, field=st.sampled_from(FIELDS), value=st.integers())
+    def set_transient_field(self, index, field, value):
+        transient = "_" + field
+        self.heap_objects[index][transient] = value
+        self.heap_objects[index].mark_transient(transient)
+        # the model never records transient fields
+
+    @rule()
+    def commit(self):
+        self.heap.commit()
+        self.committed_roots = deep_copy_model(self.live_roots)
+
+    @rule()
+    def abort(self):
+        self.heap.abort()
+        # live state snaps back to the committed state; rebuild the twin
+        # mapping because materialized objects are fresh after an abort.
+        self.live_roots = deep_copy_model(self.committed_roots)
+        self._rebind_from_heap()
+
+    @rule()
+    def reopen(self):
+        self.heap.commit()
+        self.committed_roots = deep_copy_model(self.live_roots)
+        self.heap.close()
+        self.heap = PersistentHeap(self._path)
+        self.live_roots = deep_copy_model(self.committed_roots)
+        self._rebind_from_heap()
+
+    def _rebind_from_heap(self):
+        """After abort/reopen, old PObject handles are stale: rebuild the
+        bundle's twin lists from the heap's current roots where
+        possible, and mark everything else as detached fresh objects."""
+        self.heap_objects = [PObject("N", o.fields if isinstance(o, ModelObject) else {})
+                             for o in self.model_objects]
+        # Detached twins no longer mirror persisted objects; treat them
+        # as brand-new (they can be re-bound by later rules).
+        rebuilt = []
+        for obj in self.heap_objects:
+            clone = PObject("N")
+            for k, v in obj.fields().items():
+                if not isinstance(v, (ModelObject, PObject)):
+                    clone[k] = v
+            rebuilt.append(clone)
+        self.heap_objects = rebuilt
+        self.model_objects = [ModelObject() for __ in self.model_objects]
+        for obj, model in zip(self.heap_objects, self.model_objects):
+            model.fields = dict(obj.fields())
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def committed_state_matches_after_reload(self):
+        # Compare the heap's *store contents* with the committed model by
+        # loading a scratch copy.
+        if not os.path.exists(self._path):
+            return
+        self.heap.store.sync()
+        scratch = PersistentHeap(self._path)
+        try:
+            ns = scratch.namespace()
+            heap_names = set(ns.names())
+            model_names = set(self.committed_roots)
+            assert heap_names == model_names, (
+                "roots %r vs model %r" % (heap_names, model_names)
+            )
+            heap_shape = {
+                name: heap_value_of(ns[name]) for name in heap_names
+            }
+            model_shape = {
+                name: model_value_of(self.committed_roots[name])
+                for name in model_names
+            }
+            assert heap_shape == model_shape
+        finally:
+            scratch.close()
+
+    def teardown(self):
+        self.heap.close()
+
+
+HeapMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=15, deadline=None
+)
+TestHeapStateful = HeapMachine.TestCase

@@ -1,0 +1,395 @@
+"""Unit tests for the three persistence models and their contrasts.
+
+Each model's paper-described behaviour — including its *defects* — is
+pinned down: all-or-nothing's indivisibility, replicating's update
+anomaly and storage duplication, intrinsic's preserved sharing, commit/
+abort, garbage collection, and transient fields.
+"""
+
+import pytest
+
+from repro.core.orders import record
+from repro.errors import (
+    PersistenceError,
+    StoreCorruptError,
+    UnknownHandleError,
+)
+from repro.persistence.allornothing import ImagePersistence
+from repro.persistence.heap import PObject, reachable
+from repro.persistence.intrinsic import PersistentHeap
+from repro.persistence.replicating import ReplicatingStore
+from repro.types.dynamic import coerce, dynamic
+from repro.types.kinds import INT, STRING, record_type
+
+
+class TestHeapObjects:
+    def test_field_access(self):
+        obj = PObject("Car", {"Tag": "X"})
+        assert obj["Tag"] == "X"
+        obj["Length"] = 4.2
+        assert obj["Length"] == 4.2
+        assert "Length" in obj
+        assert obj.get("Nope") is None
+
+    def test_missing_field_raises(self):
+        with pytest.raises(PersistenceError):
+            PObject("Car")["Tag"]
+
+    def test_delete_field(self):
+        obj = PObject("Car", {"Tag": "X"})
+        del obj["Tag"]
+        assert "Tag" not in obj
+        with pytest.raises(PersistenceError):
+            del obj["Tag"]
+
+    def test_transient_marking(self):
+        obj = PObject("Part", {"Cost": 1, "Memo": 2})
+        obj.mark_transient("Memo")
+        assert obj.persistent_fields() == {"Cost": 1}
+        obj.clear_transient("Memo")
+        assert obj.persistent_fields() == {"Cost": 1, "Memo": 2}
+
+    def test_reachable_through_containers(self):
+        inner = PObject("Inner")
+        outer = PObject("Outer", {"xs": [1, {"k": inner}]})
+        assert set(map(id, reachable(outer))) == {id(outer), id(inner)}
+
+    def test_reachable_skips_transient(self):
+        hidden = PObject("Hidden")
+        outer = PObject("Outer", {"memo": hidden})
+        outer.mark_transient("memo")
+        assert [id(o) for o in reachable(outer)] == [id(outer)]
+        found = reachable(outer, include_transient=True)
+        assert set(map(id, found)) == {id(outer), id(hidden)}
+
+    def test_reachable_handles_cycles(self):
+        a = PObject("A")
+        b = PObject("B", {"a": a})
+        a["b"] = b
+        assert len(reachable(a)) == 2
+
+    def test_reachable_through_dynamic(self):
+        from repro.types.kinds import TOP
+        from repro.types.dynamic import Dynamic
+
+        obj = PObject("X")
+        assert reachable([Dynamic(obj, TOP)]) == [obj]
+
+
+class TestAllOrNothing:
+    def test_save_resume(self, tmp_path):
+        image = ImagePersistence(str(tmp_path / "session"))
+        env = {"count": 3, "names": ["a", "b"], "rec": record(Name="X")}
+        image.save_image(env)
+        assert image.resume() == env
+
+    def test_resume_is_all_or_nothing(self, tmp_path):
+        """One cannot resume a *part* of the image: the volatile
+        experimental structures come back with the database."""
+        image = ImagePersistence(str(tmp_path / "session"))
+        image.save_image({"database": [1, 2], "experiment": "volatile junk"})
+        resumed = image.resume()
+        assert "experiment" in resumed  # no way to separate them
+
+    def test_no_image_raises(self, tmp_path):
+        image = ImagePersistence(str(tmp_path / "none"))
+        assert not image.has_image()
+        with pytest.raises(StoreCorruptError):
+            image.resume()
+
+    def test_non_mapping_rejected(self, tmp_path):
+        image = ImagePersistence(str(tmp_path / "session"))
+        with pytest.raises(PersistenceError):
+            image.save_image([1, 2])  # type: ignore[arg-type]
+
+    def test_sharing_within_one_image(self, tmp_path):
+        image = ImagePersistence(str(tmp_path / "session"))
+        shared = PObject("S", {"x": 1})
+        image.save_image({"a": shared, "b": shared})
+        resumed = image.resume()
+        assert resumed["a"] is resumed["b"]
+
+
+class TestReplicating:
+    EMPLOYEE_T = record_type(Name=STRING, Emp_no=INT)
+
+    def _store(self, tmp_path):
+        return ReplicatingStore(str(tmp_path / "amber.log"))
+
+    def test_paper_extern_intern_coerce(self, tmp_path):
+        """extern('DBFile', dynamic d); x = intern 'DBFile';
+        d = coerce x to database."""
+        store = self._store(tmp_path)
+        d = record(Name="J Doe", Emp_no=1)
+        store.extern("DBFile", dynamic(d))
+        x = store.intern("DBFile")
+        back = coerce(x, self.EMPLOYEE_T)
+        assert back == d
+
+    def test_coerce_fails_at_wrong_type(self, tmp_path):
+        from repro.errors import CoercionError
+
+        store = self._store(tmp_path)
+        store.extern("DBFile", dynamic(3))
+        x = store.intern("DBFile")
+        with pytest.raises(CoercionError):
+            coerce(x, STRING)
+
+    def test_extern_requires_dynamic(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            self._store(tmp_path).extern("h", 3)  # type: ignore[arg-type]
+
+    def test_unknown_handle(self, tmp_path):
+        with pytest.raises(UnknownHandleError):
+            self._store(tmp_path).intern("nothing")
+
+    def test_each_intern_is_a_fresh_copy(self, tmp_path):
+        store = self._store(tmp_path)
+        store.extern("h", dynamic_object(PObject("X", {"n": 1})))
+        first = store.intern("h").value
+        second = store.intern("h").value
+        assert first is not second
+        first["n"] = 99
+        assert second["n"] == 1
+
+    def test_modifications_do_not_survive_reintern(self, tmp_path):
+        """The paper: 'the modifications to x will not survive the second
+        intern operation.'"""
+        store = self._store(tmp_path)
+        store.extern("DBFile", dynamic_object(PObject("DB", {"n": 1})))
+        x = store.intern("DBFile").value
+        x["n"] = 2  # code that modifies x
+        x2 = store.intern("DBFile").value
+        assert x2["n"] == 1
+
+    def test_update_anomaly_on_shared_substructure(self, tmp_path):
+        """'If values a and b both refer to a third value c then any
+        change made to c through a handle for a will not be visible from
+        a handle for b.'"""
+        store = self._store(tmp_path)
+        c = PObject("C", {"x": 1})
+        store.extern("a", dynamic_object(PObject("A", {"c": c})))
+        store.extern("b", dynamic_object(PObject("B", {"c": c})))
+        a = store.intern("a").value
+        a["c"]["x"] = 99
+        store.extern("a", dynamic_object(a))
+        b = store.intern("b").value
+        assert b["c"]["x"] == 1  # the anomaly, faithfully reproduced
+
+    def test_wasted_storage_from_duplicated_copies(self, tmp_path):
+        store = self._store(tmp_path)
+        shared = PObject("Big", {"payload": "x" * 1000})
+        store.extern("only", dynamic_object(PObject("A", {"c": shared})))
+        baseline = store.storage_bytes()
+        store.extern("dup", dynamic_object(PObject("B", {"c": shared})))
+        assert store.storage_bytes() >= baseline + 1000  # duplicated payload
+
+    def test_reachable_closure_travels(self, tmp_path):
+        """'it carries with it everything that is reachable from that
+        value.'"""
+        store = self._store(tmp_path)
+        leaf = PObject("Leaf", {"v": 42})
+        mid = PObject("Mid", {"leaf": leaf})
+        store.extern("h", dynamic_object(PObject("Root", {"mid": mid})))
+        back = store.intern("h").value
+        assert back["mid"]["leaf"]["v"] == 42
+
+    def test_handles_listing_and_drop(self, tmp_path):
+        store = self._store(tmp_path)
+        store.extern("h1", dynamic(1))
+        store.extern("h2", dynamic(2))
+        assert sorted(store.handles()) == ["h1", "h2"]
+        store.drop("h1")
+        assert store.handles() == ["h2"]
+        with pytest.raises(UnknownHandleError):
+            store.drop("h1")
+
+    def test_stored_type_of(self, tmp_path):
+        store = self._store(tmp_path)
+        store.extern("h", dynamic(3))
+        assert store.stored_type_of("h") == INT
+        assert store.stored_type_of("none") is None
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "amber.log")
+        with ReplicatingStore(path) as store:
+            store.extern("h", dynamic([1, 2, 3]))
+        with ReplicatingStore(path) as store:
+            assert coerce(store.intern("h"), store.stored_type_of("h")) == [1, 2, 3]
+
+
+class TestIntrinsic:
+    def _heap(self, tmp_path, name="heap.log"):
+        return PersistentHeap(str(tmp_path / name))
+
+    def test_binding_a_root_is_all_that_is_required(self, tmp_path):
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        heap.root("DB", PObject("DB", {"n": 7}))
+        heap.commit()
+        heap.close()
+        again = PersistentHeap(path)
+        assert again.get_root("DB")["n"] == 7
+
+    def test_sharing_preserved_across_programs(self, tmp_path):
+        """The anti-anomaly: updates through a are visible through b."""
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        c = PObject("C", {"x": 1})
+        heap.root("a", PObject("A", {"c": c}))
+        heap.root("b", PObject("B", {"c": c}))
+        heap.commit()
+        heap.close()
+
+        second = PersistentHeap(path)
+        a = second.get_root("a")
+        b = second.get_root("b")
+        assert a["c"] is b["c"]
+        a["c"]["x"] = 99
+        second.commit()
+        second.close()
+
+        third = PersistentHeap(path)
+        assert third.get_root("b")["c"]["x"] == 99
+
+    def test_divergence_before_commit(self, tmp_path):
+        """'Before this instruction is called, the persistent value and
+        the value being used by the program can diverge.'"""
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        obj = PObject("DB", {"n": 1})
+        heap.root("DB", obj)
+        heap.commit()
+        obj["n"] = 2          # diverge ...
+        heap.abort()          # ... and roll back
+        assert heap.get_root("DB")["n"] == 1
+
+    def test_commit_persists_divergence(self, tmp_path):
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        obj = PObject("DB", {"n": 1})
+        heap.root("DB", obj)
+        heap.commit()
+        obj["n"] = 2
+        heap.commit()
+        heap.close()
+        assert PersistentHeap(path).get_root("DB")["n"] == 2
+
+    def test_delta_commit_skips_unchanged(self, tmp_path):
+        heap = self._heap(tmp_path)
+        objects = [PObject("N", {"i": i}) for i in range(10)]
+        heap.root("all", objects)
+        first = heap.commit()
+        assert first.objects_written == 10
+        objects[0]["i"] = 999
+        second = heap.commit()
+        assert second.objects_written == 1
+        assert second.objects_unchanged == 9
+
+    def test_garbage_collection_at_commit(self, tmp_path):
+        """'no need physically to retain storage for values for which
+        all reference is lost.'"""
+        heap = self._heap(tmp_path)
+        keep = PObject("Keep")
+        lose = PObject("Lose")
+        heap.root("all", [keep, lose])
+        heap.commit()
+        assert heap.stored_object_count() == 2
+        heap.root("all", [keep])
+        stats = heap.commit()
+        assert stats.objects_collected == 1
+        assert heap.stored_object_count() == 1
+
+    def test_dropping_a_root_collects_its_graph(self, tmp_path):
+        heap = self._heap(tmp_path)
+        ns = heap.namespace()
+        ns.bind("tree", PObject("Root", {"child": PObject("Child")}))
+        heap.commit()
+        del ns["tree"]
+        stats = heap.commit()
+        assert stats.objects_collected == 2
+        assert heap.stored_object_count() == 0
+
+    def test_multiple_namespaces(self, tmp_path):
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        shared = PObject("Dept", {"name": "Sales"})
+        heap.namespace("alice").bind("dept", shared)
+        heap.namespace("bob").bind("mydept", shared)
+        heap.commit()
+        heap.close()
+
+        again = PersistentHeap(path)
+        assert again.namespaces() == ["alice", "bob"]
+        a = again.namespace("alice")["dept"]
+        b = again.namespace("bob")["mydept"]
+        assert a is b  # controlled sharing among namespaces
+
+    def test_namespace_isolation(self, tmp_path):
+        heap = self._heap(tmp_path)
+        heap.namespace("alice").bind("x", 1)
+        with pytest.raises(UnknownHandleError):
+            heap.namespace("bob")["x"]
+
+    def test_transient_fields_not_persisted(self, tmp_path):
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        part = PObject("Part", {"Cost": 10})
+        part["TotalCostMemo"] = 1234
+        part.mark_transient("TotalCostMemo")
+        heap.root("part", part)
+        heap.commit()
+        heap.close()
+        back = PersistentHeap(path).get_root("part")
+        assert back["Cost"] == 10
+        assert "TotalCostMemo" not in back
+        assert back.transient_fields == set()  # marks drop with values
+
+    def test_namespace_wrapper_sees_abort(self, tmp_path):
+        heap = self._heap(tmp_path)
+        ns = heap.namespace()
+        ns.bind("x", 1)
+        heap.commit()
+        ns.bind("x", 2)
+        ns.bind("new", 3)
+        heap.abort()
+        assert ns["x"] == 1
+        assert "new" not in ns
+
+    def test_cyclic_graph_persists(self, tmp_path):
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        a = PObject("A")
+        b = PObject("B", {"a": a})
+        a["b"] = b
+        heap.root("cycle", a)
+        heap.commit()
+        heap.close()
+        back = PersistentHeap(path).get_root("cycle")
+        assert back["b"]["a"] is back
+
+    def test_invalid_names_rejected(self, tmp_path):
+        heap = self._heap(tmp_path)
+        with pytest.raises(PersistenceError):
+            heap.namespace("no:colons")
+        with pytest.raises(PersistenceError):
+            heap.namespace().bind("no:colons", 1)
+
+    def test_plain_values_as_roots(self, tmp_path):
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        heap.root("rel", record(Name="X"))
+        heap.root("n", 42)
+        heap.commit()
+        heap.close()
+        again = PersistentHeap(path)
+        assert again.get_root("rel") == record(Name="X")
+        assert again.get_root("n") == 42
+
+
+def dynamic_object(obj):
+    """Seal a PObject at Top (object graphs carry no domain type)."""
+    from repro.types.dynamic import Dynamic
+    from repro.types.kinds import TOP
+
+    return Dynamic(obj, TOP)

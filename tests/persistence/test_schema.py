@@ -1,0 +1,142 @@
+"""Unit tests for schema evolution (the 'Persistent Pascal' scenario)."""
+
+import pytest
+
+from repro.core.orders import record
+from repro.errors import SchemaEvolutionError, UnknownHandleError
+from repro.persistence.schema import SchemaRegistry, project_to_type
+from repro.types.kinds import INT, STRING, ListType, record_type
+
+PERSON_T = record_type(Name=STRING)
+EMPLOYEE_T = record_type(Name=STRING, Emp_no=INT)
+DB_T = record_type(Employees=ListType(EMPLOYEE_T))
+DB_VIEW_T = record_type(Employees=ListType(PERSON_T))
+DB_ENRICHED_T = record_type(
+    Employees=ListType(EMPLOYEE_T),
+    Depts=ListType(record_type(Dept=STRING)),
+)
+DB_HOSTILE_T = record_type(Employees=INT)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    with SchemaRegistry(str(tmp_path / "schema.log")) as reg:
+        yield reg
+
+
+class TestCompilationOutcomes:
+    def test_first_compilation_records_type(self, registry):
+        result = registry.compile_at("DBHandle", DB_T)
+        assert result.outcome == "first"
+        assert registry.declared_type("DBHandle") == DB_T
+
+    def test_view_when_stored_is_subtype(self, registry):
+        registry.compile_at("DBHandle", DB_T)
+        result = registry.compile_at("DBHandle", DB_VIEW_T)
+        assert result.is_view()
+        # The stored (richer) type is untouched: the program just sees less.
+        assert registry.declared_type("DBHandle") == DB_T
+
+    def test_enrichment_when_consistent(self, registry):
+        registry.compile_at("DBHandle", DB_T)
+        result = registry.compile_at("DBHandle", DB_ENRICHED_T)
+        assert result.is_enrichment()
+        assert registry.declared_type("DBHandle") == DB_ENRICHED_T
+
+    def test_repeated_enrichment(self, registry):
+        """'we can continue to enrich the type, or schema, of the
+        database' — each consistent recompilation adds structure."""
+        registry.compile_at("DB", record_type(A=INT))
+        registry.compile_at("DB", record_type(B=STRING))
+        registry.compile_at("DB", record_type(C=INT))
+        assert registry.declared_type("DB") == record_type(A=INT, B=STRING, C=INT)
+
+    def test_contradiction_rejected(self, registry):
+        registry.compile_at("DBHandle", DB_T)
+        with pytest.raises(SchemaEvolutionError):
+            registry.compile_at("DBHandle", DB_HOSTILE_T)
+
+    def test_identical_recompile_is_view(self, registry):
+        registry.compile_at("DBHandle", DB_T)
+        assert registry.compile_at("DBHandle", DB_T).is_view()
+
+    def test_compilation_reports_before_after(self, registry):
+        registry.compile_at("DB", record_type(A=INT))
+        result = registry.compile_at("DB", record_type(B=STRING))
+        assert result.stored_before == record_type(A=INT)
+        assert result.stored_after == record_type(A=INT, B=STRING)
+
+    def test_handles_listing(self, registry):
+        registry.compile_at("a", INT)
+        registry.compile_at("b", STRING)
+        assert sorted(registry.handles()) == ["a", "b"]
+
+    def test_forget(self, registry):
+        registry.compile_at("a", INT)
+        registry.forget("a")
+        assert registry.declared_type("a") is None
+        with pytest.raises(UnknownHandleError):
+            registry.forget("a")
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "schema.log")
+        with SchemaRegistry(path) as reg:
+            reg.compile_at("DB", DB_T)
+        with SchemaRegistry(path) as reg:
+            assert reg.declared_type("DB") == DB_T
+
+
+class TestStructureLossUnderReplication:
+    """The paper: externing at a supertype replicates only the view,
+    'thereby losing structure from the database'."""
+
+    def test_projection_drops_unseen_fields(self):
+        employee = record(Name="J Doe", Emp_no=1234)
+        projected = project_to_type(employee, PERSON_T)
+        assert projected == record(Name="J Doe")
+
+    def test_projection_recurses_into_lists(self):
+        db = record(Name="X")  # noqa: F841 — illustrative
+        employees = [record(Name="A", Emp_no=1), record(Name="B", Emp_no=2)]
+        projected = project_to_type(employees, ListType(PERSON_T))
+        assert projected == [record(Name="A"), record(Name="B")]
+
+    def test_projection_identity_at_exact_type(self):
+        employee = record(Name="J Doe", Emp_no=1234)
+        assert project_to_type(employee, EMPLOYEE_T) == employee
+
+    def test_round_trip_through_view_loses_structure(self, tmp_path):
+        """Replicating persistence through a supertype view is lossy;
+        re-interning at the original type is no longer possible."""
+        from repro.errors import CoercionError
+        from repro.persistence.replicating import ReplicatingStore
+        from repro.types.dynamic import coerce, dynamic
+
+        store = ReplicatingStore(str(tmp_path / "amber.log"))
+        employee = record(Name="J Doe", Emp_no=1234)
+        # A program compiled at the Person view externs what it sees:
+        view_value = project_to_type(employee, PERSON_T)
+        store.extern("DB", dynamic(view_value, PERSON_T))
+        back = store.intern("DB")
+        with pytest.raises(CoercionError):
+            coerce(back, EMPLOYEE_T)  # Emp_no is gone
+
+    def test_intrinsic_view_is_not_lossy(self, tmp_path):
+        """Intrinsic persistence keeps the objects themselves: a program
+        seeing a supertype view cannot lose the hidden fields."""
+        from repro.persistence.heap import PObject
+        from repro.persistence.intrinsic import PersistentHeap
+
+        path = str(tmp_path / "heap.log")
+        heap = PersistentHeap(path)
+        emp = PObject("Employee", {"Name": "J Doe", "Emp_no": 1234})
+        heap.root("DB", emp)
+        heap.commit()
+        # "The view program" updates the field it can see, then commits.
+        view = heap.get_root("DB")
+        view["Name"] = "J Doe Jr"
+        heap.commit()
+        heap.close()
+        back = PersistentHeap(path).get_root("DB")
+        assert back["Emp_no"] == 1234  # structure retained
+        assert back["Name"] == "J Doe Jr"

@@ -1,0 +1,208 @@
+"""Unit tests for self-describing serialization."""
+
+import json
+
+import pytest
+
+from repro.core.orders import atom, record
+from repro.errors import SerializationError
+from repro.persistence.heap import PObject
+from repro.persistence.serialize import (
+    decode_type,
+    deserialize,
+    encode_type,
+    serialize,
+    stored_type,
+)
+from repro.types.dynamic import dynamic
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TOP,
+    TYPE,
+    UNIT,
+    Exists,
+    ForAll,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+    TypeVar,
+    VariantType,
+    record_type,
+)
+
+
+def round_trip(value, **kwargs):
+    document = serialize(value, **kwargs)
+    # The document must be JSON-compatible end to end.
+    return deserialize(json.loads(json.dumps(document)))
+
+
+class TestScalars:
+    def test_scalars(self):
+        for value in (0, -7, 3.25, "hello", True, False, None):
+            assert round_trip(value) == value
+
+    def test_bool_stays_bool(self):
+        assert round_trip(True) is True
+        assert round_trip(1) == 1
+        assert not isinstance(round_trip(1), bool)
+
+    def test_unicode(self):
+        assert round_trip("héllo ⊑ wörld") == "héllo ⊑ wörld"
+
+
+class TestDomainValues:
+    def test_atom(self):
+        assert round_trip(atom(3)) == atom(3)
+
+    def test_nested_record(self):
+        value = record(Name="J Doe", Addr={"City": "Austin", "Zip": 78759})
+        assert round_trip(value) == value
+
+    def test_empty_record(self):
+        assert round_trip(record()) == record()
+
+
+class TestContainers:
+    def test_list(self):
+        assert round_trip([1, "a", None]) == [1, "a", None]
+
+    def test_tuple(self):
+        assert round_trip((1, 2)) == (1, 2)
+
+    def test_set(self):
+        assert round_trip({1, 2, 3}) == {1, 2, 3}
+
+    def test_frozenset(self):
+        assert round_trip(frozenset({1, 2})) == frozenset({1, 2})
+
+    def test_dict(self):
+        assert round_trip({"a": [1], "b": {"c": 2}}) == {"a": [1], "b": {"c": 2}}
+
+    def test_dict_non_string_key_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize({1: "x"})
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(object())
+
+
+class TestDynamicsAndTypes:
+    def test_dynamic_round_trip_carries_type(self):
+        """Principle (2): 'While a value persists, so should its type.'"""
+        d = dynamic(record(Name="X", Emp_no=1), record_type(Name=STRING))
+        back = round_trip(d)
+        assert back == d
+        assert back.carried == record_type(Name=STRING)
+
+    def test_type_value_round_trip(self):
+        t = record_type(Name=STRING, Salary=FLOAT)
+        assert round_trip(t) == t
+
+    def test_document_records_type(self):
+        document = serialize([1, 2])
+        assert stored_type(document) == ListType(INT)
+
+    def test_all_type_constructors_encode(self):
+        samples = [
+            INT, FLOAT, STRING, BOOL, UNIT, TOP, BOTTOM, DYNAMIC, TYPE,
+            record_type(a=INT, b=ListType(STRING)),
+            VariantType({"ok": INT, "err": STRING}),
+            SetType(record_type(x=INT)),
+            FunctionType([INT, STRING], BOOL),
+            TypeVar("t"),
+            ForAll("t", FunctionType([TypeVar("t")], TypeVar("t"))),
+            Exists("u", TypeVar("u"), bound=record_type(Name=STRING)),
+        ]
+        for t in samples:
+            assert decode_type(json.loads(json.dumps(encode_type(t)))) == t
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            decode_type(["NoSuchTag"])
+        with pytest.raises(SerializationError):
+            decode_type("not a node")
+
+    def test_deserialize_type_check(self):
+        document = serialize([1, 2])
+        assert deserialize(document, ListType(INT)) == [1, 2]
+        with pytest.raises(SerializationError):
+            deserialize(document, ListType(STRING))
+
+    def test_deserialize_rejects_non_document(self):
+        with pytest.raises(SerializationError):
+            deserialize({"not": "a document"})
+
+
+class TestObjectGraphs:
+    def test_simple_object(self):
+        obj = PObject("Car", {"Tag": "ABC-123", "Length": 4.5})
+        back = round_trip(obj)
+        assert isinstance(back, PObject)
+        assert back.kind == "Car"
+        assert back["Tag"] == "ABC-123"
+
+    def test_sharing_preserved(self):
+        shared = PObject("Shared", {"x": 1})
+        pair = [PObject("A", {"c": shared}), PObject("B", {"c": shared})]
+        back = round_trip(pair)
+        assert back[0]["c"] is back[1]["c"]
+
+    def test_cycles(self):
+        a = PObject("Node", {"name": "a"})
+        b = PObject("Node", {"name": "b", "next": a})
+        a["next"] = b
+        back = round_trip(a)
+        assert back["next"]["next"] is back
+
+    def test_self_cycle(self):
+        a = PObject("Node")
+        a["self"] = a
+        back = round_trip(a)
+        assert back["self"] is back
+
+    def test_transient_fields_omitted(self):
+        obj = PObject("Part", {"Cost": 10, "Memo": 123})
+        obj.mark_transient("Memo")
+        back = round_trip(obj)
+        assert "Memo" not in back
+        assert back.transient_fields == set()  # mark drops with the value
+
+    def test_transient_fields_included_on_request(self):
+        obj = PObject("Part", {"Cost": 10, "Memo": 123})
+        obj.mark_transient("Memo")
+        document = serialize(obj, include_transient=True)
+        back = deserialize(document)
+        assert back["Memo"] == 123
+        assert back.transient_fields == {"Memo"}  # mark travels with value
+
+    def test_object_inside_dynamic(self):
+        obj = PObject("Thing", {"x": 1})
+        back = round_trip([dynamic_holding(obj)])
+        assert back[0].value["x"] == 1
+
+    def test_dangling_reference_rejected(self):
+        document = serialize(PObject("X"))
+        document["objects"] = {}
+        with pytest.raises(SerializationError):
+            deserialize(document)
+
+    def test_deep_list_of_objects(self):
+        objs = [PObject("N", {"i": i}) for i in range(50)]
+        back = round_trip(objs)
+        assert [o["i"] for o in back] == list(range(50))
+
+
+def dynamic_holding(obj):
+    """A Dynamic wrapping a PObject (sealed at Top: objects are untyped)."""
+    from repro.types.dynamic import Dynamic
+    from repro.types.kinds import TOP
+
+    return Dynamic(obj, TOP)

@@ -1,0 +1,162 @@
+"""Property-based tests for serialization: arbitrary values round-trip.
+
+Principle (1) says *any* value should be able to persist; these tests
+generate arbitrary values of the serializable universe (scalars, domain
+values, containers, dynamics, types, object graphs) and require a
+byte-exact JSON round trip to rebuild an equal value — with the type
+description intact (principle (2)).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persistence.heap import PObject, reachable
+from repro.persistence.serialize import (
+    decode_type,
+    deserialize,
+    encode_type,
+    serialize,
+    stored_type,
+)
+from repro.types.dynamic import Dynamic
+from repro.types.infer import infer_type
+from repro.types.kinds import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+)
+
+from tests.strategies import values as domain_values
+
+scalars = st.one_of(
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+
+serializable = st.recursive(
+    st.one_of(scalars, domain_values),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=5), children, max_size=3),
+        st.tuples(children, children).map(list),
+    ),
+    max_leaves=8,
+)
+
+base_types = st.sampled_from([INT, FLOAT, STRING, BOOL])
+
+type_exprs = st.recursive(
+    base_types,
+    lambda children: st.one_of(
+        children.map(ListType),
+        children.map(SetType),
+        st.dictionaries(
+            st.sampled_from("abc"), children, max_size=3
+        ).map(RecordType),
+        st.tuples(children, children).map(
+            lambda pair: FunctionType([pair[0]], pair[1])
+        ),
+    ),
+    max_leaves=6,
+)
+
+
+def json_round_trip(document):
+    return json.loads(json.dumps(document))
+
+
+class TestValueRoundTrips:
+    @given(serializable)
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip_equal(self, value):
+        document = json_round_trip(serialize(value))
+        assert deserialize(document) == value
+
+    @given(serializable)
+    @settings(max_examples=150, deadline=None)
+    def test_type_description_travels(self, value):
+        document = serialize(value)
+        described = stored_type(document)
+        try:
+            expected = infer_type(value)
+        except Exception:
+            expected = None
+        assert described == expected
+
+    @given(domain_values)
+    @settings(max_examples=150, deadline=None)
+    def test_domain_values_preserve_ordering_structure(self, value):
+        back = deserialize(json_round_trip(serialize(value)))
+        assert back == value
+        assert back.leq(value) and value.leq(back)
+
+    @given(type_exprs)
+    @settings(max_examples=200, deadline=None)
+    def test_type_encoding_round_trip(self, type_expr):
+        node = json_round_trip(encode_type(type_expr))
+        assert decode_type(node) == type_expr
+
+    @given(serializable, type_exprs)
+    @settings(max_examples=100, deadline=None)
+    def test_dynamic_round_trip(self, value, carried):
+        dyn = Dynamic(value, carried)
+        back = deserialize(json_round_trip(serialize(dyn)))
+        assert isinstance(back, Dynamic)
+        assert back.carried == carried
+        assert back.value == value
+
+
+class TestObjectGraphProperties:
+    @given(
+        st.lists(
+            st.dictionaries(st.sampled_from("fg"), scalars, max_size=2),
+            min_size=1,
+            max_size=5,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_object_graphs_round_trip(self, field_sets, data):
+        # Build objects, then wire random references among them.
+        objects = [PObject("N", fields) for fields in field_sets]
+        for i, obj in enumerate(objects):
+            target = data.draw(
+                st.integers(min_value=0, max_value=len(objects) - 1)
+            )
+            obj["ref"] = objects[target]
+
+        back = deserialize(json_round_trip(serialize(objects)))
+        assert len(back) == len(objects)
+        # Reference structure is isomorphic: the index of each object's
+        # target matches.
+        index_of = {id(obj): i for i, obj in enumerate(back)}
+        for original, copy in zip(objects, back):
+            original_target = next(
+                i for i, o in enumerate(objects) if o is original["ref"]
+            )
+            assert index_of[id(copy["ref"])] == original_target
+
+        # Reachability is preserved.
+        assert len(reachable(back)) == len(reachable(objects))
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_of_any_length(self, length):
+        ring = [PObject("R", {"i": i}) for i in range(length)]
+        for i, obj in enumerate(ring):
+            obj["next"] = ring[(i + 1) % length]
+        back = deserialize(json_round_trip(serialize(ring[0])))
+        node = back
+        for __ in range(length):
+            node = node["next"]
+        assert node is back  # came all the way around

@@ -1,0 +1,233 @@
+"""Unit tests for the log store and snapshot file, including crash cases."""
+
+import os
+
+import pytest
+
+from repro.errors import StoreCorruptError
+from repro.persistence.store import LogStore, SnapshotFile
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "store.log")
+
+
+class TestLogStoreBasics:
+    def test_put_get(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", {"x": 1})
+            assert store.get("a") == {"x": 1}
+
+    def test_get_missing(self, log_path):
+        with LogStore(log_path) as store:
+            assert store.get("missing") is None
+
+    def test_overwrite(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", 1)
+            store.put("a", 2)
+            assert store.get("a") == 2
+            assert len(store) == 1
+
+    def test_delete(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", 1)
+            store.delete("a")
+            assert store.get("a") is None
+            assert "a" not in store
+
+    def test_put_none_rejected(self, log_path):
+        with LogStore(log_path) as store:
+            with pytest.raises(StoreCorruptError):
+                store.put("a", None)
+
+    def test_keys_sorted(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("b", 1)
+            store.put("a", 2)
+            assert list(store.keys()) == ["a", "b"]
+
+    def test_reopen_replays(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", {"deep": [1, 2, {"n": None}]})
+            store.put("b", "text")
+            store.delete("b")
+        with LogStore(log_path) as store:
+            assert store.get("a") == {"deep": [1, 2, {"n": None}]}
+            assert "b" not in store
+
+    def test_record_count_and_garbage_ratio(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", 1)
+            store.put("a", 2)
+            store.put("b", 1)
+            assert store.record_count == 3
+            assert store.garbage_ratio() == pytest.approx(1 / 3)
+
+    def test_empty_garbage_ratio(self, log_path):
+        with LogStore(log_path) as store:
+            assert store.garbage_ratio() == 0.0
+
+
+class TestCrashTolerance:
+    def test_torn_final_record_ignored(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", 1)
+            store.put("b", 2)
+        # Simulate a crash mid-write: truncate the last record.
+        size = os.path.getsize(log_path)
+        with open(log_path, "r+b") as handle:
+            handle.truncate(size - 5)
+        with LogStore(log_path) as store:
+            assert store.get("a") == 1
+            assert store.get("b") is None  # torn record not trusted
+
+    def test_corrupted_checksum_record_ignored(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", 1)
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('7:12345:{"k":"x"}\n')  # wrong checksum
+        with LogStore(log_path) as store:
+            assert store.get("a") == 1
+            assert "x" not in store
+
+    def test_garbage_line_stops_replay(self, log_path):
+        with LogStore(log_path) as store:
+            store.put("a", 1)
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write("complete nonsense\n")
+        with LogStore(log_path) as store:
+            assert store.get("a") == 1
+
+
+class TestBatches:
+    def test_batch_applies_on_exit(self, log_path):
+        with LogStore(log_path) as store:
+            with store.batch():
+                store.put("a", 1)
+                store.put("b", 2)
+            assert store.get("a") == 1
+            assert store.get("b") == 2
+
+    def test_batch_buffered_until_commit(self, log_path):
+        with LogStore(log_path) as store:
+            with store.batch():
+                store.put("a", 1)
+                # inside the batch the write is not yet visible
+                assert store.get("a") is None
+            assert store.get("a") == 1
+
+    def test_batch_survives_reopen(self, log_path):
+        with LogStore(log_path) as store:
+            with store.batch():
+                store.put("a", 1)
+                store.delete("a")
+                store.put("b", 2)
+        with LogStore(log_path) as store:
+            assert "a" not in store
+            assert store.get("b") == 2
+
+    def test_aborted_batch_writes_nothing(self, log_path):
+        store = LogStore(log_path)
+        with pytest.raises(RuntimeError):
+            with store.batch():
+                store.put("a", 1)
+                raise RuntimeError("boom")
+        assert store.get("a") is None
+        store.close()
+        with LogStore(log_path) as reopened:
+            assert reopened.get("a") is None
+
+    def test_unmarked_batch_discarded_on_replay(self, log_path):
+        """Strip the commit marker (the crash case): the batch vanishes."""
+        with LogStore(log_path) as store:
+            store.put("before", 0)
+            with store.batch():
+                store.put("a", 1)
+        with open(log_path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        with open(log_path, "wb") as handle:
+            handle.writelines(lines[:-1])  # drop the marker
+        with LogStore(log_path) as store:
+            assert store.get("before") == 0
+            assert store.get("a") is None
+
+    def test_nested_batch_rejected(self, log_path):
+        with LogStore(log_path) as store:
+            with store.batch():
+                with pytest.raises(StoreCorruptError):
+                    with store.batch():
+                        pass
+
+    def test_empty_batch_is_noop(self, log_path):
+        with LogStore(log_path) as store:
+            count = store.record_count
+            with store.batch():
+                pass
+            assert store.record_count == count
+
+
+class TestCompaction:
+    def test_compact_preserves_state(self, log_path):
+        store = LogStore(log_path)
+        for i in range(20):
+            store.put("key", i)
+        store.put("other", "v")
+        store.delete("other")
+        store.compact()
+        assert store.get("key") == 19
+        assert "other" not in store
+        assert store.record_count == 1
+        store.close()
+
+    def test_compact_shrinks_file(self, log_path):
+        store = LogStore(log_path)
+        for i in range(100):
+            store.put("key", {"payload": "x" * 50, "i": i})
+        before = store.size_bytes()
+        store.compact()
+        after = store.size_bytes()
+        assert after < before / 10
+        store.close()
+
+    def test_compacted_store_reopens(self, log_path):
+        store = LogStore(log_path)
+        store.put("a", 1)
+        store.compact()
+        store.put("b", 2)
+        store.close()
+        with LogStore(log_path) as reopened:
+            assert reopened.get("a") == 1
+            assert reopened.get("b") == 2
+
+
+class TestSnapshotFile:
+    def test_save_load(self, tmp_path):
+        snap = SnapshotFile(str(tmp_path / "image"))
+        snap.save({"x": [1, 2]})
+        assert snap.load() == {"x": [1, 2]}
+
+    def test_exists(self, tmp_path):
+        snap = SnapshotFile(str(tmp_path / "image"))
+        assert not snap.exists()
+        snap.save(1)
+        assert snap.exists()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(StoreCorruptError):
+            SnapshotFile(str(tmp_path / "nope")).load()
+
+    def test_save_replaces_atomically(self, tmp_path):
+        snap = SnapshotFile(str(tmp_path / "image"))
+        snap.save({"version": 1})
+        snap.save({"version": 2})
+        assert snap.load() == {"version": 2}
+        # no stray temp files left behind
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["image"]
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        path = tmp_path / "image"
+        path.write_text("{not json")
+        with pytest.raises(StoreCorruptError):
+            SnapshotFile(str(path)).load()

@@ -1,0 +1,102 @@
+"""Tests for synchronized extern/intern (optimistic handle versions).
+
+The paper: concurrency over replicating persistence requires "ensuring
+that the various extern and intern operations for a given handle are
+properly synchronized."  These tests first reproduce the *lost update*
+that unsynchronized handles allow, then show the versioned operations
+refusing it.
+"""
+
+import pytest
+
+from repro.errors import UnknownHandleError
+from repro.persistence.heap import PObject
+from repro.persistence.replicating import ReplicatingStore, StaleHandleError
+from repro.types.dynamic import Dynamic, dynamic
+from repro.types.kinds import TOP
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ReplicatingStore(str(tmp_path / "amber.log")) as s:
+        yield s
+
+
+def counter(n):
+    return Dynamic(PObject("Counter", {"n": n}), TOP)
+
+
+class TestVersions:
+    def test_fresh_handle_is_version_one(self, store):
+        assert store.extern("h", dynamic(1)) == 1
+        assert store.version_of("h") == 1
+
+    def test_versions_increment(self, store):
+        store.extern("h", dynamic(1))
+        assert store.extern("h", dynamic(2)) == 2
+        assert store.version_of("h") == 2
+
+    def test_unbound_handle_has_no_version(self, store):
+        assert store.version_of("nothing") is None
+
+    def test_intern_versioned(self, store):
+        store.extern("h", dynamic(41))
+        versioned = store.intern_versioned("h")
+        assert versioned.version == 1
+        assert versioned.value.value == 41
+
+    def test_intern_versioned_unknown(self, store):
+        with pytest.raises(UnknownHandleError):
+            store.intern_versioned("nothing")
+
+    def test_versions_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "v.log")
+        with ReplicatingStore(path) as s:
+            s.extern("h", dynamic(1))
+            s.extern("h", dynamic(2))
+        with ReplicatingStore(path) as s:
+            assert s.version_of("h") == 2
+
+
+class TestLostUpdate:
+    def test_unsynchronized_handles_lose_updates(self, store):
+        """The hazard, reproduced: two programs read, both increment,
+        the second extern silently overwrites the first."""
+        store.extern("counter", counter(0))
+        alice = store.intern("counter").value
+        bob = store.intern("counter").value
+        alice["n"] = alice["n"] + 1
+        store.extern("counter", Dynamic(alice, TOP))
+        bob["n"] = bob["n"] + 1
+        store.extern("counter", Dynamic(bob, TOP))  # clobbers Alice
+        final = store.intern("counter").value
+        assert final["n"] == 1  # one increment lost
+
+    def test_versioned_externs_prevent_the_loss(self, store):
+        store.extern("counter", counter(0))
+        alice = store.intern_versioned("counter")
+        bob = store.intern_versioned("counter")
+
+        alice.value.value["n"] += 1
+        store.extern_if_version("counter", alice.value, alice.version)
+
+        bob.value.value["n"] += 1
+        with pytest.raises(StaleHandleError) as excinfo:
+            store.extern_if_version("counter", bob.value, bob.version)
+        assert excinfo.value.handle == "counter"
+        assert excinfo.value.expected == 1
+        assert excinfo.value.actual == 2
+
+        # Bob retries the transaction: re-intern, re-apply, re-extern.
+        retry = store.intern_versioned("counter")
+        retry.value.value["n"] += 1
+        store.extern_if_version("counter", retry.value, retry.version)
+
+        assert store.intern("counter").value["n"] == 2  # both increments
+
+    def test_conditional_extern_on_fresh_handle(self, store):
+        """Creating a handle conditionally: expected version 0."""
+        store.extern_if_version("new", dynamic(1), 0)
+        assert store.version_of("new") == 1
+        with pytest.raises(StaleHandleError):
+            store.extern_if_version("new", dynamic(2), 0)

@@ -1,0 +1,35 @@
+"""Shared hypothesis strategies for the repro test suite."""
+
+from hypothesis import strategies as st
+
+from repro.core.orders import Atom, PartialRecord
+
+LABELS = tuple("abcdef")
+
+atoms = st.one_of(
+    st.integers(min_value=-3, max_value=3).map(Atom),
+    st.sampled_from(["x", "y", "z"]).map(Atom),
+    st.booleans().map(Atom),
+)
+
+
+def _records(children):
+    return st.dictionaries(
+        st.sampled_from(LABELS), children, max_size=4
+    ).map(PartialRecord)
+
+
+values = st.recursive(atoms, lambda children: _records(st.one_of(atoms, children)), max_leaves=8)
+"""Arbitrary domain values: atoms and nested partial records.
+
+Label and atom alphabets are deliberately tiny so that comparable and
+consistent pairs occur often enough to exercise join/meet paths.
+"""
+
+records = _records(st.one_of(atoms, _records(atoms)))
+"""Arbitrary (possibly nested) partial records."""
+
+flat_records = st.dictionaries(st.sampled_from(LABELS), atoms, max_size=4).map(
+    PartialRecord
+)
+"""Arbitrary flat partial records (atoms only)."""

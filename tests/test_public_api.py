@@ -1,0 +1,87 @@
+"""Guard the public import surface of every package.
+
+Downstream users import from the package roots; these tests pin the
+promised names so refactors cannot silently drop them.
+"""
+
+import importlib
+
+import pytest
+
+SURFACE = {
+    "repro": [
+        "Atom", "PartialRecord", "Value", "GeneralizedRelation",
+        "FlatRelation", "FunctionalDependency", "Key",
+        "atom", "record", "join", "meet", "leq", "consistent",
+        "from_python", "to_python", "try_join", "ReproError",
+        "__version__",
+    ],
+    "repro.core": [
+        "GeneralizedRelation", "FlatRelation", "FunctionalDependency",
+        "Key", "optimize", "scan", "Catalog", "SortedIndex",
+    ],
+    "repro.types": [
+        "INT", "FLOAT", "STRING", "BOOL", "UNIT", "TOP", "BOTTOM",
+        "DYNAMIC", "TYPE", "RecordType", "VariantType", "ListType",
+        "SetType", "FunctionType", "TypeVar", "ForAll", "Exists",
+        "record_type", "is_subtype", "join_types", "meet_types",
+        "consistent_types", "equivalent_types", "substitute",
+        "free_type_vars", "Dynamic", "dynamic", "coerce", "type_of",
+        "infer_type", "Package", "pack",
+    ],
+    "repro.extents": [
+        "Database", "TypeIndexedDatabase", "Extent", "ExtentRegistry",
+        "GET_TYPE", "get", "get_dynamics", "get_type_for",
+        "subtype_census", "class_census", "derived_hierarchy",
+        "render_hierarchy", "type_hierarchy",
+    ],
+    "repro.persistence": [
+        "PObject", "reachable", "serialize", "deserialize", "LogStore",
+        "SnapshotFile", "ImagePersistence", "ReplicatingStore",
+        "PersistentHeap", "SchemaRegistry",
+    ],
+    "repro.classes": [
+        "VariableClass", "AggregateClass", "TaxisInstance",
+        "AdaplexSchema", "Entity", "EntityType", "GalileoEnvironment",
+        "GalileoClass", "PascalRDatabase", "RelationVariable",
+    ],
+    "repro.lang": [
+        "Interpreter", "run_program", "check_program", "parse_program",
+    ],
+    "repro.apps": [
+        "make_base_part", "make_assembly", "total_cost",
+        "total_cost_memoized", "total_mass", "roll_up_naive",
+        "roll_up_memoized", "clear_memos", "ParkingLot", "MakeAndModel",
+        "Catalog", "register_product",
+    ],
+    "repro.workloads": [
+        "employee_database", "synthetic_hierarchy", "populate",
+        "ladder_dag", "random_dag", "uniform_tree",
+        "random_flat_relation", "random_generalized_relation",
+        "flat_join_pair", "random_partial_records",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SURFACE))
+def test_module_exports(module_name):
+    module = importlib.import_module(module_name)
+    for name in SURFACE[module_name]:
+        assert hasattr(module, name), "%s is missing %s" % (module_name, name)
+
+
+@pytest.mark.parametrize("module_name", sorted(SURFACE))
+def test_all_lists_resolvable(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), (
+            "%s.__all__ lists %s, which does not exist" % (module_name, name)
+        )
+
+
+def test_version_is_semver():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)

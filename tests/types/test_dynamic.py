@@ -1,0 +1,175 @@
+"""Unit tests for Dynamic values and type inference (the Amber examples)."""
+
+import pytest
+
+from repro.core.orders import record
+from repro.errors import CoercionError, TypeSystemError
+from repro.types.dynamic import Dynamic, coerce, dynamic, try_coerce, type_of
+from repro.types.infer import infer_type
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TYPE,
+    UNIT,
+    ListType,
+    RecordType,
+    SetType,
+    record_type,
+)
+
+
+class TestPaperAmberExample:
+    """let d = dynamic 3; let i = coerce d to Int; let s = coerce d to String."""
+
+    def test_dynamic_3(self):
+        d = dynamic(3)
+        assert type_of(d) == INT
+
+    def test_coerce_to_int_succeeds(self):
+        d = dynamic(3)
+        assert coerce(d, INT) == 3
+
+    def test_coerce_to_string_raises(self):
+        d = dynamic(3)
+        with pytest.raises(CoercionError):
+            coerce(d, STRING)
+
+    def test_coercion_error_carries_types(self):
+        try:
+            coerce(dynamic(3), STRING)
+        except CoercionError as err:
+            assert err.carried == INT
+            assert err.requested == STRING
+
+
+class TestDynamic:
+    def test_explicit_supertype_seal(self):
+        employee = record(Name="J Doe", Emp_no=1)
+        person_type = record_type(Name=STRING)
+        d = dynamic(employee, person_type)
+        assert type_of(d) == person_type
+
+    def test_seal_at_non_supertype_rejected(self):
+        with pytest.raises(TypeSystemError):
+            dynamic(3, STRING)
+
+    def test_coerce_allows_supertype_view(self):
+        d = dynamic(record(Name="J Doe", Emp_no=1))
+        person = coerce(d, record_type(Name=STRING))
+        assert person == record(Name="J Doe", Emp_no=1)
+
+    def test_coerce_to_subtype_rejected(self):
+        d = dynamic(record(Name="J Doe"))
+        with pytest.raises(CoercionError):
+            coerce(d, record_type(Name=STRING, Emp_no=INT))
+
+    def test_coerce_int_to_float(self):
+        assert coerce(dynamic(3), FLOAT) == 3
+
+    def test_try_coerce(self):
+        d = dynamic(3)
+        assert try_coerce(d, INT) == 3
+        assert try_coerce(d, STRING) is None
+
+    def test_coerce_requires_dynamic(self):
+        with pytest.raises(TypeSystemError):
+            coerce(3, INT)  # type: ignore[arg-type]
+
+    def test_coerce_requires_type(self):
+        with pytest.raises(TypeSystemError):
+            coerce(dynamic(3), int)  # type: ignore[arg-type]
+
+    def test_type_of_requires_dynamic(self):
+        with pytest.raises(TypeSystemError):
+            type_of(3)  # type: ignore[arg-type]
+
+    def test_dynamic_equality(self):
+        assert dynamic(3) == dynamic(3)
+        assert dynamic(3) != dynamic(3.5)
+        assert dynamic(3) != dynamic(3, FLOAT)
+
+    def test_dynamic_of_dynamic(self):
+        dd = dynamic(dynamic(3))
+        assert type_of(dd) == DYNAMIC
+
+    def test_type_as_value(self):
+        """Amber's Type: a dynamic can carry a type *description*."""
+        d = dynamic(INT)
+        assert type_of(d) == TYPE
+        assert coerce(d, TYPE) == INT
+
+    def test_dynamic_constructor_validates(self):
+        with pytest.raises(TypeSystemError):
+            Dynamic(3, "Int")  # type: ignore[arg-type]
+
+    def test_repr_mentions_type(self):
+        assert "Int" in repr(dynamic(3))
+
+
+class TestInference:
+    def test_scalars(self):
+        assert infer_type(3) == INT
+        assert infer_type(3.5) == FLOAT
+        assert infer_type("hi") == STRING
+        assert infer_type(True) == BOOL
+        assert infer_type(None) == UNIT
+
+    def test_bool_not_int(self):
+        assert infer_type(True) == BOOL  # despite bool ⊂ int in Python
+
+    def test_atom(self):
+        from repro.core.orders import atom
+
+        assert infer_type(atom(3)) == INT
+
+    def test_record(self):
+        value = record(Name="J Doe", Emp_no=1)
+        assert infer_type(value) == record_type(Name=STRING, Emp_no=INT)
+
+    def test_nested_record(self):
+        value = record(Addr={"City": "Austin"})
+        assert infer_type(value) == record_type(Addr=record_type(City=STRING))
+
+    def test_more_informative_value_has_smaller_type(self):
+        """The paper: 'a more informative object appears to have a type
+        that is lower in the type hierarchy.'"""
+        from repro.types.subtyping import is_subtype
+
+        o1 = record(Name="J Doe")
+        o2 = record(Name="J Doe", Emp_no=1234)
+        assert o1.leq(o2)
+        assert is_subtype(infer_type(o2), infer_type(o1))
+
+    def test_homogeneous_list(self):
+        assert infer_type([1, 2, 3]) == ListType(INT)
+
+    def test_heterogeneous_list_joins(self):
+        assert infer_type([1, 2.5]) == ListType(FLOAT)
+
+    def test_empty_list_is_list_bottom(self):
+        assert infer_type([]) == ListType(BOTTOM)
+
+    def test_list_of_records_joins_to_common_shape(self):
+        values = [record(Name="a", Emp_no=1), record(Name="b", School="x")]
+        assert infer_type(values) == ListType(record_type(Name=STRING))
+
+    def test_set(self):
+        assert infer_type({1, 2}) == SetType(INT)
+
+    def test_dynamic_value(self):
+        assert infer_type(dynamic(3)) == DYNAMIC
+
+    def test_type_value(self):
+        assert infer_type(INT) == TYPE
+        assert infer_type(record_type(a=INT)) == TYPE
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(TypeSystemError):
+            infer_type(object())
+
+    def test_inferred_record_type_is_record_type(self):
+        assert isinstance(infer_type(record(a=1)), RecordType)

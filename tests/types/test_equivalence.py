@@ -1,0 +1,143 @@
+"""Unit tests for α-equivalence, substitution, and free variables."""
+
+from repro.types.equivalence import (
+    equivalent_types,
+    free_type_vars,
+    fresh_var,
+    substitute,
+)
+from repro.types.kinds import (
+    INT,
+    STRING,
+    Exists,
+    ForAll,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+    TypeVar,
+    VariantType,
+    record_type,
+)
+
+T = TypeVar("t")
+U = TypeVar("u")
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert free_type_vars(T) == {"t"}
+
+    def test_base_has_none(self):
+        assert free_type_vars(INT) == frozenset()
+
+    def test_quantifier_binds(self):
+        assert free_type_vars(ForAll("t", T)) == frozenset()
+
+    def test_bound_of_quantifier_is_free(self):
+        assert free_type_vars(ForAll("t", T, bound=U)) == {"u"}
+
+    def test_shadowing(self):
+        inner = ForAll("t", FunctionType([T], U))
+        assert free_type_vars(inner) == {"u"}
+
+    def test_through_constructors(self):
+        t = record_type(a=ListType(T), b=SetType(U))
+        assert free_type_vars(t) == {"t", "u"}
+
+    def test_through_variant_and_function(self):
+        t = VariantType({"case": FunctionType([T], U)})
+        assert free_type_vars(t) == {"t", "u"}
+
+
+class TestSubstitute:
+    def test_simple(self):
+        assert substitute(T, {"t": INT}) == INT
+
+    def test_no_bindings_identity(self):
+        t = ForAll("t", T)
+        assert substitute(t, {}) is t
+
+    def test_into_record(self):
+        t = record_type(a=T)
+        assert substitute(t, {"t": INT}) == record_type(a=INT)
+
+    def test_bound_variable_shadows(self):
+        t = ForAll("t", T)
+        assert substitute(t, {"t": INT}) == t
+
+    def test_substitutes_into_bound(self):
+        t = ForAll("x", TypeVar("x"), bound=T)
+        result = substitute(t, {"t": INT})
+        assert isinstance(result, ForAll)
+        assert result.bound == INT
+
+    def test_capture_avoidance(self):
+        # (∀u. t)[t := u] must NOT capture: result ≠ ∀u. u
+        t = ForAll("u", T)
+        result = substitute(t, {"t": U})
+        assert isinstance(result, ForAll)
+        assert result.var != "u"
+        assert result.body == U
+        assert equivalent_types(result, ForAll("w", U))
+
+    def test_into_function(self):
+        t = FunctionType([T], T)
+        assert substitute(t, {"t": INT}) == FunctionType([INT], INT)
+
+    def test_fresh_var_distinct(self):
+        assert fresh_var("t") != fresh_var("t")
+
+
+class TestAlphaEquivalence:
+    def test_identical(self):
+        assert equivalent_types(record_type(a=INT), record_type(a=INT))
+
+    def test_renamed_binder(self):
+        a = ForAll("t", FunctionType([T], T))
+        b = ForAll("u", FunctionType([U], U))
+        assert equivalent_types(a, b)
+
+    def test_renamed_exists(self):
+        assert equivalent_types(Exists("t", T), Exists("u", U))
+
+    def test_forall_not_exists(self):
+        assert not equivalent_types(ForAll("t", T), Exists("t", T))
+
+    def test_free_vars_must_match(self):
+        assert not equivalent_types(T, U)
+
+    def test_free_var_equal(self):
+        assert equivalent_types(T, TypeVar("t"))
+
+    def test_nested_binders(self):
+        a = ForAll("t", ForAll("u", FunctionType([T], U)))
+        b = ForAll("x", ForAll("y", FunctionType([TypeVar("x")], TypeVar("y"))))
+        assert equivalent_types(a, b)
+
+    def test_swapped_nested_binders_differ(self):
+        a = ForAll("t", ForAll("u", FunctionType([T], U)))
+        b = ForAll("t", ForAll("u", FunctionType([U], T)))
+        assert not equivalent_types(a, b)
+
+    def test_bounds_compared(self):
+        a = ForAll("t", T, bound=INT)
+        b = ForAll("u", U, bound=STRING)
+        assert not equivalent_types(a, b)
+
+    def test_record_field_names_matter(self):
+        assert not equivalent_types(record_type(a=INT), record_type(b=INT))
+
+    def test_bound_against_free_variable(self):
+        # ∀t. t vs ∀u. t — the second body's t is free, not the binder.
+        a = ForAll("t", T)
+        b = ForAll("u", T)
+        assert not equivalent_types(a, b)
+
+    def test_mismatched_arity(self):
+        assert not equivalent_types(
+            FunctionType([INT], INT), FunctionType([INT, INT], INT)
+        )
+
+    def test_rejects_different_constructors(self):
+        assert not equivalent_types(ListType(INT), SetType(INT))

@@ -1,0 +1,200 @@
+"""Unit tests for the ER-model-as-types module (the paper's open problem)."""
+
+import pytest
+
+from repro.types.er import ERSchema, ERSchemaError
+from repro.types.kinds import FLOAT, INT, STRING, RecordType, SetType, record_type
+from repro.types.subtyping import is_subtype
+
+
+def company_schema():
+    schema = ERSchema()
+    schema.entity("Person", {"Name": STRING, "City": STRING}, key=["Name"])
+    schema.entity(
+        "Employee", {"Empno": INT, "Salary": FLOAT}, key=[], isa=["Person"]
+    )
+    schema.entity("Dept", {"DeptName": STRING, "Budget": FLOAT}, key=["DeptName"])
+    schema.relationship(
+        "WorksIn",
+        roles={"worker": "Employee", "dept": "Dept"},
+        attributes={"Since": INT},
+        one_roles=["worker"],  # an employee works in at most one dept
+    )
+    return schema
+
+
+class TestGraphIntegrity:
+    def test_valid_schema_passes(self):
+        company_schema().validate()
+
+    def test_duplicate_declaration(self):
+        schema = ERSchema()
+        schema.entity("X", {"A": INT}, key=["A"])
+        with pytest.raises(ERSchemaError):
+            schema.entity("X", {"A": INT}, key=["A"])
+        with pytest.raises(ERSchemaError):
+            schema.relationship("X", roles={"r": "X"})
+
+    def test_unknown_isa_parent(self):
+        schema = ERSchema()
+        schema.entity("Child", {"A": INT}, key=["A"], isa=["Ghost"])
+        with pytest.raises(ERSchemaError):
+            schema.validate()
+
+    def test_isa_cycle_detected(self):
+        """The paper's 'checking of integrity constraints such as
+        acyclic conditions'."""
+        schema = ERSchema()
+        schema.entity("A", {"x": INT}, key=["x"], isa=["B"])
+        schema.entity("B", {"y": INT}, key=["y"], isa=["A"])
+        with pytest.raises(ERSchemaError) as excinfo:
+            schema.validate()
+        assert "cycle" in str(excinfo.value)
+
+    def test_missing_key_attribute(self):
+        schema = ERSchema()
+        schema.entity("X", {"A": INT}, key=["Nope"])
+        with pytest.raises(ERSchemaError):
+            schema.validate()
+
+    def test_entity_needs_key(self):
+        schema = ERSchema()
+        schema.entity("X", {"A": INT}, key=[])
+        with pytest.raises(ERSchemaError):
+            schema.validate()
+
+    def test_inherited_key_satisfies(self):
+        schema = company_schema()
+        schema.validate()  # Employee's key is inherited from Person
+        assert schema.key_of("Employee") == ("Name",)
+
+    def test_role_targets_unknown_entity(self):
+        schema = ERSchema()
+        schema.entity("X", {"A": INT}, key=["A"])
+        schema.relationship("R", roles={"to": "Ghost"})
+        with pytest.raises(ERSchemaError):
+            schema.validate()
+
+    def test_one_roles_must_be_roles(self):
+        schema = ERSchema()
+        schema.entity("X", {"A": INT}, key=["A"])
+        with pytest.raises(ERSchemaError):
+            schema.relationship("R", roles={"to": "X"}, one_roles=["nope"])
+
+    def test_relationship_needs_roles(self):
+        schema = ERSchema()
+        schema.relationship("R", roles={})
+        with pytest.raises(ERSchemaError):
+            schema.validate()
+
+
+class TestCompilationToTypes:
+    def test_entity_type_inherits(self):
+        schema = company_schema()
+        employee = schema.entity_type("Employee")
+        assert employee == record_type(
+            Name=STRING, City=STRING, Empno=INT, Salary=FLOAT
+        )
+
+    def test_isa_becomes_subtyping(self):
+        schema = company_schema()
+        assert is_subtype(
+            schema.entity_type("Employee"), schema.entity_type("Person")
+        )
+        assert schema.isa_respects_subtyping()
+
+    def test_relationship_type_uses_role_keys(self):
+        schema = company_schema()
+        works_in = schema.relationship_type("WorksIn")
+        assert works_in.field("worker") == record_type(Name=STRING)
+        assert works_in.field("dept") == record_type(DeptName=STRING)
+        assert works_in.field("Since") == INT
+
+    def test_schema_type_is_a_record_of_sets(self):
+        schema = company_schema()
+        whole = schema.schema_type()
+        assert isinstance(whole, RecordType)
+        assert isinstance(whole.field("Person"), SetType)
+        assert isinstance(whole.field("WorksIn"), SetType)
+        assert whole.field("Employee") == SetType(schema.entity_type("Employee"))
+
+    def test_unknown_names_raise(self):
+        schema = company_schema()
+        with pytest.raises(ERSchemaError):
+            schema.entity_type("Ghost")
+        with pytest.raises(ERSchemaError):
+            schema.relationship_type("Ghost")
+
+
+class TestInstanceChecking:
+    def _good_instance(self):
+        return {
+            "Person": [{"Name": "P", "City": "Austin"}],
+            "Employee": [
+                {"Name": "E", "City": "Moose", "Empno": 1, "Salary": 10.0}
+            ],
+            "Dept": [{"DeptName": "Sales", "Budget": 100.0}],
+            "WorksIn": [
+                {
+                    "worker": {"Name": "E"},
+                    "dept": {"DeptName": "Sales"},
+                    "Since": 1986,
+                }
+            ],
+        }
+
+    def test_good_instance(self):
+        assert company_schema().check_instance(self._good_instance()) == []
+
+    def test_type_violation(self):
+        instance = self._good_instance()
+        instance["Person"] = [{"Name": "P"}]  # missing City
+        problems = company_schema().check_instance(instance)
+        assert any("does not have type" in p for p in problems)
+
+    def test_duplicate_key(self):
+        instance = self._good_instance()
+        instance["Dept"] = [
+            {"DeptName": "Sales", "Budget": 1.0},
+            {"DeptName": "Sales", "Budget": 2.0},
+        ]
+        problems = company_schema().check_instance(instance)
+        assert any("duplicated" in p for p in problems)
+
+    def test_dangling_reference(self):
+        instance = self._good_instance()
+        instance["WorksIn"][0]["dept"] = {"DeptName": "Ghost"}
+        problems = company_schema().check_instance(instance)
+        assert any("missing Dept" in p for p in problems)
+
+    def test_one_cardinality_enforced(self):
+        instance = self._good_instance()
+        instance["Dept"].append({"DeptName": "Manuf", "Budget": 5.0})
+        instance["WorksIn"].append(
+            {
+                "worker": {"Name": "E"},
+                "dept": {"DeptName": "Manuf"},
+                "Since": 1987,
+            }
+        )
+        problems = company_schema().check_instance(instance)
+        assert any("'one' cardinality" in p for p in problems)
+
+    def test_many_side_unrestricted(self):
+        instance = self._good_instance()
+        instance["Employee"].append(
+            {"Name": "F", "City": "Moose", "Empno": 2, "Salary": 11.0}
+        )
+        instance["WorksIn"].append(
+            {
+                "worker": {"Name": "F"},
+                "dept": {"DeptName": "Sales"},
+                "Since": 1987,
+            }
+        )
+        assert company_schema().check_instance(instance) == []
+
+    def test_missing_sections_are_empty(self):
+        schema = company_schema()
+        problems = schema.check_instance({})
+        assert problems == []  # an empty instance satisfies everything

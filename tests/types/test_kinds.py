@@ -1,0 +1,143 @@
+"""Unit tests for type expressions (construction, equality, display)."""
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TOP,
+    TYPE,
+    UNIT,
+    Exists,
+    ForAll,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+    TypeVar,
+    VariantType,
+    record_type,
+)
+
+PERSON = record_type(Name=STRING, Address=record_type(City=STRING))
+EMPLOYEE = PERSON.extend(Emp_no=INT, Dept=STRING)
+
+
+class TestConstruction:
+    def test_base_singletons_distinct(self):
+        assert len({INT, FLOAT, STRING, BOOL, UNIT}) == 5
+
+    def test_special_singletons_distinct(self):
+        assert len({TOP, BOTTOM, DYNAMIC, TYPE}) == 4
+
+    def test_record_fields_sorted(self):
+        r = RecordType({"b": INT, "a": STRING})
+        assert r.labels == ("a", "b")
+
+    def test_record_field_access(self):
+        assert PERSON.field("Name") == STRING
+        assert PERSON.field("Nope") is None
+
+    def test_record_extend_is_paper_with_clause(self):
+        # "type Employee is Person with Emp_no: Int, Dept: String"
+        assert EMPLOYEE.field("Name") == STRING
+        assert EMPLOYEE.field("Emp_no") == INT
+
+    def test_record_rejects_bad_field(self):
+        with pytest.raises(TypeSystemError):
+            RecordType({"a": 3})  # type: ignore[dict-item]
+
+    def test_record_rejects_bad_label(self):
+        with pytest.raises(TypeSystemError):
+            RecordType({3: INT})  # type: ignore[dict-item]
+
+    def test_variant_needs_cases(self):
+        with pytest.raises(TypeSystemError):
+            VariantType({})
+
+    def test_variant_case_access(self):
+        v = VariantType({"some": INT, "none": UNIT})
+        assert v.case("some") == INT
+        assert v.case("other") is None
+
+    def test_list_set_element(self):
+        assert ListType(INT).element == INT
+        assert SetType(STRING).element == STRING
+
+    def test_list_rejects_non_type(self):
+        with pytest.raises(TypeSystemError):
+            ListType("Int")  # type: ignore[arg-type]
+
+    def test_function_params_result(self):
+        f = FunctionType([INT, STRING], BOOL)
+        assert f.params == (INT, STRING)
+        assert f.result == BOOL
+
+    def test_typevar_needs_name(self):
+        with pytest.raises(TypeSystemError):
+            TypeVar("")
+
+    def test_quantifier_default_bound_is_top(self):
+        assert ForAll("t", TypeVar("t")).bound == TOP
+        assert Exists("t", TypeVar("t")).bound == TOP
+
+    def test_quantifier_rejects_bad_body(self):
+        with pytest.raises(TypeSystemError):
+            ForAll("t", "t")  # type: ignore[arg-type]
+
+
+class TestEqualityHash:
+    def test_record_structural_equality(self):
+        assert record_type(a=INT, b=STRING) == RecordType({"b": STRING, "a": INT})
+
+    def test_record_hash(self):
+        assert len({record_type(a=INT), record_type(a=INT)}) == 1
+
+    def test_function_equality(self):
+        assert FunctionType([INT], BOOL) == FunctionType([INT], BOOL)
+        assert FunctionType([INT], BOOL) != FunctionType([INT], INT)
+
+    def test_quantifier_structural_equality(self):
+        assert ForAll("t", TypeVar("t")) == ForAll("t", TypeVar("t"))
+        # structural, not α: different variable names differ here
+        assert ForAll("t", TypeVar("t")) != ForAll("u", TypeVar("u"))
+
+    def test_forall_exists_distinct(self):
+        assert ForAll("t", TypeVar("t")) != Exists("t", TypeVar("t"))
+
+
+class TestDisplay:
+    def test_base(self):
+        assert str(INT) == "Int"
+
+    def test_record(self):
+        assert str(record_type(Name=STRING, Age=INT)) == "{Age: Int; Name: String}"
+
+    def test_function(self):
+        assert str(FunctionType([INT], BOOL)) == "Int -> Bool"
+        assert str(FunctionType([INT, STRING], BOOL)) == "(Int x String) -> Bool"
+        assert str(FunctionType([], BOOL)) == "() -> Bool"
+
+    def test_quantifiers(self):
+        assert str(ForAll("t", TypeVar("t"))) == "∀t. t"
+        assert (
+            str(Exists("t", TypeVar("t"), record_type(Name=STRING)))
+            == "∃t <= {Name: String}. t"
+        )
+
+    def test_get_function_type_is_writable(self):
+        """The paper's headline: Get : ∀t. Database → List[∃t' ≤ t. t']."""
+        database = ListType(DYNAMIC)
+        get_type = ForAll(
+            "t",
+            FunctionType([database], ListType(Exists("u", TypeVar("u"), TypeVar("t")))),
+        )
+        assert str(get_type) == "∀t. List[Dynamic] -> List[∃u <= t. u]"
+
+    def test_variant(self):
+        assert str(VariantType({"some": INT, "none": UNIT})) == "[none: Unit | some: Int]"

@@ -1,0 +1,216 @@
+"""Unit tests for existential packages (modules as values)."""
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.types.kinds import (
+    FLOAT,
+    INT,
+    STRING,
+    Exists,
+    FunctionType,
+    RecordType,
+    TypeVar,
+)
+from repro.types.packages import (
+    Package,
+    SealedTypeError,
+    counter_interface,
+    int_counter_package,
+    pack,
+)
+
+
+class TestPackAndUse:
+    def test_counter_lifecycle(self):
+        counter = int_counter_package()
+        zero = counter.call("new")
+        one = counter.call("incr", zero)
+        two = counter.call("incr", one)
+        assert counter.call("read", two) == 2
+
+    def test_abstract_values_are_opaque(self):
+        counter = int_counter_package()
+        zero = counter.call("new")
+        # The value prints abstractly and exposes no integer.
+        assert "abstract" in repr(zero)
+        assert not isinstance(zero, int)
+
+    def test_witness_is_hidden(self):
+        """'one cannot get at its implementation.'"""
+        counter = int_counter_package()
+        with pytest.raises(SealedTypeError):
+            counter.witness()
+
+    def test_foreign_abstract_values_rejected(self):
+        """Two packages of the same interface do not mix their t's."""
+        first = int_counter_package()
+        second = int_counter_package()
+        value = first.call("new")
+        with pytest.raises(SealedTypeError):
+            second.call("incr", value)
+
+    def test_raw_values_rejected_at_abstract_positions(self):
+        counter = int_counter_package()
+        with pytest.raises(SealedTypeError):
+            counter.call("incr", 0)  # a bare Int is NOT a t
+
+    def test_concrete_arguments_checked(self):
+        t = TypeVar("t")
+        interface = Exists(
+            "t",
+            RecordType(
+                {"make": FunctionType([INT], t), "get": FunctionType([t], INT)}
+            ),
+        )
+        box = pack(
+            interface,
+            witness=INT,
+            operations={
+                "make": lambda state, n: n,
+                "get": lambda state, n: n,
+            },
+            operation_types={
+                "make": FunctionType([INT], INT),
+                "get": FunctionType([INT], INT),
+            },
+        )
+        assert box.call("get", box.call("make", 7)) == 7
+        with pytest.raises(SealedTypeError):
+            box.call("make", "not an int")
+
+    def test_arity_checked(self):
+        counter = int_counter_package()
+        with pytest.raises(SealedTypeError):
+            counter.call("new", 1)
+
+    def test_unknown_operation(self):
+        counter = int_counter_package()
+        with pytest.raises(SealedTypeError):
+            counter.call("reset")
+
+    def test_signature_exposes_interface_not_witness(self):
+        counter = int_counter_package()
+        signature = counter.signature("incr")
+        assert signature == FunctionType([TypeVar("t")], TypeVar("t"))
+        # no Int anywhere in what the client can see
+        assert "Int" not in str(counter.interface.body.field("incr").params[0])
+
+
+class TestPackChecks:
+    def test_missing_operation(self):
+        with pytest.raises(TypeSystemError):
+            pack(
+                counter_interface(),
+                witness=INT,
+                operations={"new": lambda s: 0},
+                operation_types={"new": FunctionType([], INT)},
+            )
+
+    def test_wrong_operation_type(self):
+        with pytest.raises(TypeSystemError):
+            pack(
+                counter_interface(),
+                witness=INT,
+                operations={
+                    "new": lambda s: 0,
+                    "incr": lambda s, n: n,
+                    "read": lambda s, n: "oops",
+                },
+                operation_types={
+                    "new": FunctionType([], INT),
+                    "incr": FunctionType([INT], INT),
+                    "read": FunctionType([INT], STRING),  # Int expected
+                },
+            )
+
+    def test_extra_members_rejected(self):
+        with pytest.raises(TypeSystemError):
+            pack(
+                counter_interface(),
+                witness=INT,
+                operations={
+                    "new": lambda s: 0,
+                    "incr": lambda s, n: n + 1,
+                    "read": lambda s, n: n,
+                    "peek_impl": lambda s: "leak",
+                },
+                operation_types={
+                    "new": FunctionType([], INT),
+                    "incr": FunctionType([INT], INT),
+                    "read": FunctionType([INT], INT),
+                    "peek_impl": FunctionType([], STRING),
+                },
+            )
+
+    def test_witness_must_satisfy_bound(self):
+        t = TypeVar("t")
+        bounded = Exists(
+            "t", RecordType({"id": FunctionType([t], t)}), bound=INT
+        )
+        with pytest.raises(TypeSystemError):
+            pack(
+                bounded,
+                witness=STRING,  # String ≰ Int
+                operations={"id": lambda s, x: x},
+                operation_types={"id": FunctionType([STRING], STRING)},
+            )
+
+    def test_interface_must_be_existential_record(self):
+        with pytest.raises(TypeSystemError):
+            pack(INT, INT, {}, {})  # type: ignore[arg-type]
+        with pytest.raises(TypeSystemError):
+            pack(Exists("t", INT), INT, {}, {})
+
+    def test_two_witnesses_same_interface(self):
+        """Different representations behind one interface coexist —
+        data abstraction at work."""
+        t = TypeVar("t")
+        interface = Exists(
+            "t",
+            RecordType(
+                {"make": FunctionType([INT], t), "get": FunctionType([t], INT)}
+            ),
+        )
+        as_int = pack(
+            interface, INT,
+            {"make": lambda s, n: n, "get": lambda s, n: n},
+            {"make": FunctionType([INT], INT), "get": FunctionType([INT], INT)},
+        )
+        as_float = pack(
+            interface, FLOAT,
+            {"make": lambda s, n: float(n), "get": lambda s, x: int(x)},
+            {"make": FunctionType([INT], FLOAT),
+             "get": FunctionType([FLOAT], INT)},
+        )
+        for package in (as_int, as_float):
+            assert package.call("get", package.call("make", 9)) == 9
+        assert as_int.interface == as_float.interface
+
+
+class TestConstants:
+    def test_constant_member(self):
+        t = TypeVar("t")
+        interface = Exists(
+            "t",
+            RecordType({"zero": t, "read": FunctionType([t], INT)}),
+        )
+        package = pack(
+            interface, INT,
+            {"zero": lambda s: 0, "read": lambda s, n: n},
+            {"zero": INT, "read": FunctionType([INT], INT)},
+        )
+        zero = package.constant("zero")
+        assert package.call("read", zero) == 0
+
+    def test_constant_vs_call_confusion(self):
+        counter = int_counter_package()
+        with pytest.raises(SealedTypeError):
+            counter.constant("incr")
+
+    def test_call_on_constant(self):
+        t = TypeVar("t")
+        interface = Exists("t", RecordType({"zero": t}))
+        package = pack(interface, INT, {"zero": lambda s: 0}, {"zero": INT})
+        with pytest.raises(SealedTypeError):
+            package.call("zero")

@@ -1,0 +1,149 @@
+"""Unit tests for recursive (μ) types."""
+
+import json
+
+import pytest
+
+from repro.errors import TypeSystemError
+from repro.persistence.serialize import decode_type, encode_type
+from repro.types.equivalence import equivalent_types, substitute
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    FLOAT,
+    INT,
+    STRING,
+    TOP,
+    ListType,
+    Mu,
+    RecordType,
+    RecVar,
+    TypeVar,
+    record_type,
+    unfold,
+)
+from repro.types.subtyping import is_subtype
+
+
+def part_type(extra=None):
+    fields = {
+        "IsBase": BOOL,
+        "Components": ListType(
+            record_type(SubPart=RecVar("Part"), Qty=INT)
+        ),
+    }
+    fields.update(extra or {})
+    return Mu("Part", RecordType(fields))
+
+
+INT_LIST = Mu("L", record_type(Head=INT, Tail=RecVar("L")))
+
+
+class TestConstruction:
+    def test_unfold_one_layer(self):
+        unfolded = unfold(INT_LIST)
+        assert isinstance(unfolded, RecordType)
+        assert unfolded.field("Tail") == INT_LIST
+
+    def test_unfold_requires_mu(self):
+        with pytest.raises(TypeSystemError):
+            unfold(INT)
+
+    def test_shadowing_inner_binder(self):
+        nested = Mu("x", Mu("x", RecVar("x")))
+        inner = unfold(nested)
+        # the inner binder shadowed: the outer substitution didn't touch it
+        assert inner == Mu("x", RecVar("x"))
+
+    def test_display(self):
+        assert str(INT_LIST) == "μL. {Head: Int; Tail: L}"
+
+    def test_validation(self):
+        with pytest.raises(TypeSystemError):
+            Mu("", INT)
+        with pytest.raises(TypeSystemError):
+            Mu("x", "not a type")
+        with pytest.raises(TypeSystemError):
+            RecVar("")
+
+
+class TestRecursiveSubtyping:
+    def test_reflexive(self):
+        assert is_subtype(part_type(), part_type())
+
+    def test_unfolding_equivalent(self):
+        """μ and its unfolding are mutual subtypes (iso ≈ equi here)."""
+        assert is_subtype(INT_LIST, unfold(INT_LIST))
+        assert is_subtype(unfold(INT_LIST), INT_LIST)
+
+    def test_richer_recursive_record_is_subtype(self):
+        richer = part_type({"Name": STRING})
+        assert is_subtype(richer, part_type())
+        assert not is_subtype(part_type(), richer)
+
+    def test_alpha_renamed_mu_subtypes(self):
+        renamed = Mu("Q", record_type(Head=INT, Tail=RecVar("Q")))
+        assert is_subtype(INT_LIST, renamed)
+        assert is_subtype(renamed, INT_LIST)
+
+    def test_unrelated_recursive_types(self):
+        other = Mu("L", record_type(Head=STRING, Tail=RecVar("L")))
+        assert not is_subtype(INT_LIST, other)
+        assert not is_subtype(other, INT_LIST)
+
+    def test_depth_covariance_through_mu(self):
+        precise = Mu("L", record_type(Head=INT, Tail=RecVar("L")))
+        loose = Mu("L", record_type(Head=FLOAT, Tail=RecVar("L")))
+        assert is_subtype(precise, loose)
+        assert not is_subtype(loose, precise)
+
+    def test_finite_value_types_below_mu(self):
+        """A finite explosion (bottoming out at List[Bottom]) inhabits
+        the recursive Part type."""
+        leaf = record_type(IsBase=BOOL, Components=ListType(BOTTOM))
+        one_level = record_type(
+            IsBase=BOOL,
+            Components=ListType(record_type(SubPart=leaf, Qty=INT)),
+        )
+        assert is_subtype(leaf, part_type())
+        assert is_subtype(one_level, part_type())
+
+    def test_mu_against_top_bottom(self):
+        assert is_subtype(part_type(), TOP)
+        assert is_subtype(BOTTOM, part_type())
+        assert not is_subtype(part_type(), BOTTOM)
+
+    def test_free_recvars_unrelated(self):
+        assert not is_subtype(RecVar("x"), INT)
+        assert not is_subtype(INT, RecVar("x"))
+        assert is_subtype(RecVar("x"), RecVar("x"))  # reflexivity
+
+    def test_coinduction_terminates_on_mutual_nesting(self):
+        a = Mu("A", record_type(Next=RecVar("A"), Tag=INT))
+        b = Mu("B", record_type(Next=RecVar("B")))
+        assert is_subtype(a, b)  # width subtyping through the recursion
+        assert not is_subtype(b, a)
+
+
+class TestEquivalenceAndSubstitution:
+    def test_alpha_equivalence(self):
+        renamed = Mu("Q", record_type(Head=INT, Tail=RecVar("Q")))
+        assert equivalent_types(INT_LIST, renamed)
+
+    def test_not_equivalent_to_unfolding(self):
+        # syntactic α-equivalence only; the unfolding differs textually
+        assert not equivalent_types(INT_LIST, unfold(INT_LIST))
+
+    def test_distinct_bodies_not_equivalent(self):
+        other = Mu("L", record_type(Head=STRING, Tail=RecVar("L")))
+        assert not equivalent_types(INT_LIST, other)
+
+    def test_typevar_substitution_passes_through_mu(self):
+        generic = Mu("L", record_type(Head=TypeVar("a"), Tail=RecVar("L")))
+        concrete = substitute(generic, {"a": INT})
+        assert equivalent_types(concrete, INT_LIST)
+
+    def test_serialization_round_trip(self):
+        for t in (INT_LIST, part_type(), part_type({"Name": STRING})):
+            node = json.loads(json.dumps(encode_type(t)))
+            assert decode_type(node) == t

@@ -1,0 +1,300 @@
+"""Unit tests for the subtype relation, joins, meets, and consistency."""
+
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    DYNAMIC,
+    FLOAT,
+    INT,
+    STRING,
+    TOP,
+    TYPE,
+    UNIT,
+    Exists,
+    ForAll,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+    TypeVar,
+    VariantType,
+    record_type,
+)
+from repro.types.subtyping import (
+    consistent_types,
+    is_subtype,
+    is_supertype,
+    join_types,
+    meet_types,
+)
+
+PERSON = record_type(Name=STRING)
+EMPLOYEE = record_type(Name=STRING, Emp_no=INT)
+STUDENT = record_type(Name=STRING, School=STRING)
+WORKING_STUDENT = record_type(Name=STRING, Emp_no=INT, School=STRING)
+
+
+class TestBaseRules:
+    def test_reflexive(self):
+        for t in (INT, STRING, PERSON, ListType(INT), DYNAMIC, TYPE):
+            assert is_subtype(t, t)
+
+    def test_bottom_below_everything(self):
+        for t in (INT, PERSON, ListType(INT), TOP, DYNAMIC):
+            assert is_subtype(BOTTOM, t)
+
+    def test_everything_below_top(self):
+        for t in (INT, PERSON, ListType(INT), BOTTOM, DYNAMIC, TYPE):
+            assert is_subtype(t, TOP)
+
+    def test_top_only_below_top(self):
+        assert not is_subtype(TOP, INT)
+
+    def test_int_below_float(self):
+        assert is_subtype(INT, FLOAT)
+        assert not is_subtype(FLOAT, INT)
+
+    def test_distinct_bases_unrelated(self):
+        assert not is_subtype(INT, STRING)
+        assert not is_subtype(BOOL, INT)
+        assert not is_subtype(UNIT, BOOL)
+
+    def test_dynamic_unrelated_to_bases(self):
+        assert not is_subtype(DYNAMIC, INT)
+        assert not is_subtype(INT, DYNAMIC)
+
+    def test_is_supertype(self):
+        assert is_supertype(FLOAT, INT)
+
+
+class TestRecordRules:
+    def test_width_employee_below_person(self):
+        assert is_subtype(EMPLOYEE, PERSON)
+        assert not is_subtype(PERSON, EMPLOYEE)
+
+    def test_depth(self):
+        precise = record_type(Addr=record_type(City=STRING, Zip=INT))
+        loose = record_type(Addr=record_type(City=STRING))
+        assert is_subtype(precise, loose)
+        assert not is_subtype(loose, precise)
+
+    def test_width_and_depth_combined(self):
+        precise = record_type(Name=STRING, Salary=INT)
+        loose = record_type(Salary=FLOAT)
+        assert is_subtype(precise, loose)
+
+    def test_empty_record_is_record_top(self):
+        assert is_subtype(PERSON, record_type())
+        assert not is_subtype(record_type(), PERSON)
+
+    def test_diamond(self):
+        assert is_subtype(WORKING_STUDENT, EMPLOYEE)
+        assert is_subtype(WORKING_STUDENT, STUDENT)
+        assert is_subtype(WORKING_STUDENT, PERSON)
+        assert not is_subtype(EMPLOYEE, STUDENT)
+
+    def test_record_not_below_base(self):
+        assert not is_subtype(PERSON, INT)
+        assert not is_subtype(INT, PERSON)
+
+
+class TestVariantRules:
+    def test_fewer_cases_is_subtype(self):
+        small = VariantType({"ok": INT})
+        big = VariantType({"ok": INT, "err": STRING})
+        assert is_subtype(small, big)
+        assert not is_subtype(big, small)
+
+    def test_casewise_covariant(self):
+        small = VariantType({"ok": INT})
+        big = VariantType({"ok": FLOAT})
+        assert is_subtype(small, big)
+        assert not is_subtype(big, small)
+
+
+class TestConstructorRules:
+    def test_list_covariant(self):
+        assert is_subtype(ListType(EMPLOYEE), ListType(PERSON))
+        assert not is_subtype(ListType(PERSON), ListType(EMPLOYEE))
+
+    def test_set_covariant(self):
+        assert is_subtype(SetType(INT), SetType(FLOAT))
+
+    def test_list_not_set(self):
+        assert not is_subtype(ListType(INT), SetType(INT))
+
+    def test_empty_list_type_below_all_lists(self):
+        assert is_subtype(ListType(BOTTOM), ListType(PERSON))
+
+    def test_function_contravariant_domain(self):
+        f = FunctionType([PERSON], INT)
+        g = FunctionType([EMPLOYEE], INT)
+        # A Person-consumer can stand in where an Employee-consumer is wanted.
+        assert is_subtype(f, g)
+        assert not is_subtype(g, f)
+
+    def test_function_covariant_result(self):
+        f = FunctionType([INT], EMPLOYEE)
+        g = FunctionType([INT], PERSON)
+        assert is_subtype(f, g)
+        assert not is_subtype(g, f)
+
+    def test_function_arity_must_match(self):
+        assert not is_subtype(FunctionType([INT], INT), FunctionType([INT, INT], INT))
+
+
+class TestQuantifierRules:
+    def test_alpha_equivalent_foralls(self):
+        a = ForAll("t", FunctionType([TypeVar("t")], TypeVar("t")))
+        b = ForAll("u", FunctionType([TypeVar("u")], TypeVar("u")))
+        assert is_subtype(a, b)
+        assert is_subtype(b, a)
+
+    def test_forall_body_covariant(self):
+        a = ForAll("t", FunctionType([TypeVar("t")], EMPLOYEE))
+        b = ForAll("t", FunctionType([TypeVar("t")], PERSON))
+        assert is_subtype(a, b)
+        assert not is_subtype(b, a)
+
+    def test_kernel_rule_bounds_must_match(self):
+        a = ForAll("t", TypeVar("t"), bound=EMPLOYEE)
+        b = ForAll("t", TypeVar("t"), bound=PERSON)
+        # Full F-sub would accept a ≤ b; the kernel rule refuses.
+        assert not is_subtype(a, b)
+        assert not is_subtype(b, a)
+
+    def test_bound_variable_below_its_bound(self):
+        a = ForAll("t", TypeVar("t"), bound=EMPLOYEE)
+        b = ForAll("t", PERSON, bound=EMPLOYEE)
+        # Inside the quantifier, t ≤ Employee ≤ Person.
+        assert is_subtype(a, b)
+
+    def test_packing_into_existential(self):
+        """Employee ≤ ∃t ≤ Person. t — the Get result-element rule."""
+        some_person = Exists("t", TypeVar("t"), bound=PERSON)
+        assert is_subtype(EMPLOYEE, some_person)
+        assert is_subtype(PERSON, some_person)
+        assert not is_subtype(INT, some_person)
+
+    def test_exists_body_covariant(self):
+        a = Exists("t", record_type(Name=STRING, Extra=TypeVar("t")))
+        b = Exists("t", record_type(Name=STRING))
+        assert is_subtype(a, b)
+
+    def test_get_type_subtyping(self):
+        """List[∃t ≤ Employee. t] ≤ List[∃t ≤ Employee. t] (reflexivity via α)."""
+        database = ListType(DYNAMIC)
+        get_emp = ForAll(
+            "t",
+            FunctionType(
+                [database], ListType(Exists("u", TypeVar("u"), bound=TypeVar("t")))
+            ),
+        )
+        assert is_subtype(get_emp, get_emp)
+
+
+class TestJoin:
+    def test_join_of_employee_student_is_person_shape(self):
+        assert join_types(EMPLOYEE, STUDENT) == PERSON
+
+    def test_join_reflexive(self):
+        assert join_types(PERSON, PERSON) == PERSON
+
+    def test_join_with_bottom(self):
+        assert join_types(BOTTOM, PERSON) == PERSON
+        assert join_types(PERSON, BOTTOM) == PERSON
+
+    def test_join_int_float(self):
+        assert join_types(INT, FLOAT) == FLOAT
+
+    def test_join_unrelated_bases_is_top(self):
+        assert join_types(INT, STRING) == TOP
+
+    def test_join_mixed_kinds_is_top(self):
+        assert join_types(PERSON, INT) == TOP
+
+    def test_join_is_upper_bound(self):
+        joined = join_types(EMPLOYEE, STUDENT)
+        assert is_subtype(EMPLOYEE, joined)
+        assert is_subtype(STUDENT, joined)
+
+    def test_join_depth(self):
+        a = record_type(Addr=record_type(City=STRING, Zip=INT))
+        b = record_type(Addr=record_type(City=STRING, State=STRING))
+        assert join_types(a, b) == record_type(Addr=record_type(City=STRING))
+
+    def test_join_lists(self):
+        assert join_types(ListType(EMPLOYEE), ListType(STUDENT)) == ListType(PERSON)
+
+    def test_join_variants_unions_cases(self):
+        a = VariantType({"ok": INT})
+        b = VariantType({"err": STRING})
+        assert join_types(a, b) == VariantType({"ok": INT, "err": STRING})
+
+    def test_join_functions(self):
+        f = FunctionType([PERSON], EMPLOYEE)
+        g = FunctionType([EMPLOYEE], STUDENT)
+        joined = join_types(f, g)
+        assert is_subtype(f, joined)
+        assert is_subtype(g, joined)
+
+
+class TestMeetAndConsistency:
+    def test_meet_of_employee_student(self):
+        assert meet_types(EMPLOYEE, STUDENT) == WORKING_STUDENT
+
+    def test_meet_is_lower_bound(self):
+        met = meet_types(EMPLOYEE, STUDENT)
+        assert met is not None
+        assert is_subtype(met, EMPLOYEE)
+        assert is_subtype(met, STUDENT)
+
+    def test_meet_int_float(self):
+        assert meet_types(INT, FLOAT) == INT
+
+    def test_meet_unrelated_bases_is_none(self):
+        assert meet_types(INT, STRING) is None
+
+    def test_meet_with_top(self):
+        assert meet_types(TOP, PERSON) == PERSON
+
+    def test_meet_with_bottom(self):
+        assert meet_types(BOTTOM, PERSON) == BOTTOM
+
+    def test_meet_conflicting_fields_is_none(self):
+        a = record_type(x=INT)
+        b = record_type(x=STRING)
+        assert meet_types(a, b) is None
+
+    def test_meet_lists_of_inconsistent_elements(self):
+        met = meet_types(ListType(INT), ListType(STRING))
+        assert met == ListType(BOTTOM)  # the empty list inhabits both
+
+    def test_meet_variants_intersects(self):
+        a = VariantType({"ok": INT, "err": STRING})
+        b = VariantType({"ok": INT, "warn": STRING})
+        assert meet_types(a, b) == VariantType({"ok": INT})
+
+    def test_meet_disjoint_variants_is_none(self):
+        assert meet_types(VariantType({"a": INT}), VariantType({"b": INT})) is None
+
+    def test_consistency_symmetric_examples(self):
+        assert consistent_types(EMPLOYEE, STUDENT)
+        assert consistent_types(STUDENT, EMPLOYEE)
+        assert not consistent_types(record_type(x=INT), record_type(x=STRING))
+
+    def test_subtypes_always_consistent(self):
+        assert consistent_types(EMPLOYEE, PERSON)
+
+    def test_schema_evolution_triple(self):
+        """The paper's three recompilation outcomes as one scenario."""
+        db_type = record_type(Employees=ListType(EMPLOYEE))
+        view = record_type(Employees=ListType(PERSON))        # supertype: OK
+        enriched = record_type(
+            Employees=ListType(EMPLOYEE), Depts=ListType(record_type(Dept=STRING))
+        )                                                      # consistent: OK
+        hostile = record_type(Employees=INT)                   # inconsistent
+        assert is_subtype(db_type, view)
+        assert not is_subtype(db_type, enriched)
+        assert consistent_types(db_type, enriched)
+        assert not consistent_types(db_type, hostile)

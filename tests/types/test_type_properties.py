@@ -1,0 +1,219 @@
+"""Property-based tests for the type system.
+
+Checks that subtyping is a preorder with antisymmetry up to α-equivalence,
+that joins/meets really bound their arguments, and the paper's
+order-reversal between value information and type specificity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types.equivalence import equivalent_types
+from repro.types.infer import infer_type
+from repro.types.kinds import (
+    BOOL,
+    BOTTOM,
+    FLOAT,
+    INT,
+    STRING,
+    TOP,
+    FunctionType,
+    ListType,
+    RecordType,
+    SetType,
+)
+from repro.types.subtyping import (
+    consistent_types,
+    is_subtype,
+    join_types,
+    meet_types,
+)
+
+from tests.strategies import records
+
+base_types = st.sampled_from([INT, FLOAT, STRING, BOOL, TOP, BOTTOM])
+
+LABELS = tuple("abcd")
+
+
+def _record_types(children):
+    return st.dictionaries(st.sampled_from(LABELS), children, max_size=3).map(
+        RecordType
+    )
+
+
+types = st.recursive(
+    base_types,
+    lambda children: st.one_of(
+        _record_types(children),
+        children.map(ListType),
+        children.map(SetType),
+        st.tuples(children, children).map(
+            lambda pair: FunctionType([pair[0]], pair[1])
+        ),
+    ),
+    max_leaves=6,
+)
+
+
+class TestSubtypePreorder:
+    @given(types)
+    def test_reflexive(self, t):
+        assert is_subtype(t, t)
+
+    @given(types, types, types)
+    @settings(max_examples=300)
+    def test_transitive(self, a, b, c):
+        if is_subtype(a, b) and is_subtype(b, c):
+            assert is_subtype(a, c)
+
+    @given(types, types)
+    def test_antisymmetric_up_to_alpha(self, a, b):
+        if is_subtype(a, b) and is_subtype(b, a):
+            assert equivalent_types(a, b)
+
+    @given(types)
+    def test_bottom_and_top(self, t):
+        assert is_subtype(BOTTOM, t)
+        assert is_subtype(t, TOP)
+
+
+class TestJoinMeetProperties:
+    @given(types, types)
+    def test_join_is_upper_bound(self, a, b):
+        joined = join_types(a, b)
+        assert is_subtype(a, joined)
+        assert is_subtype(b, joined)
+
+    @given(types, types)
+    def test_join_commutative_up_to_alpha(self, a, b):
+        assert equivalent_types(join_types(a, b), join_types(b, a))
+
+    @given(types)
+    def test_join_idempotent(self, t):
+        assert equivalent_types(join_types(t, t), t)
+
+    @given(types, types)
+    def test_meet_is_lower_bound(self, a, b):
+        met = meet_types(a, b)
+        if met is not None:
+            assert is_subtype(met, a)
+            assert is_subtype(met, b)
+
+    @given(types, types)
+    def test_meet_commutative(self, a, b):
+        left = meet_types(a, b)
+        right = meet_types(b, a)
+        if left is None or right is None:
+            assert left is None and right is None
+        else:
+            assert equivalent_types(left, right)
+
+    @given(types, types, types)
+    @settings(max_examples=300)
+    def test_meet_is_greatest(self, a, b, witness):
+        met = meet_types(a, b)
+        if is_subtype(witness, a) and is_subtype(witness, b):
+            if witness != BOTTOM and not _degenerate(witness):
+                assert met is not None
+                assert is_subtype(witness, met)
+
+    @given(types, types)
+    def test_consistency_matches_meet(self, a, b):
+        assert consistent_types(a, b) == (meet_types(a, b) is not None)
+
+    @given(types, types)
+    def test_subtype_implies_join_is_supertype(self, a, b):
+        if is_subtype(a, b):
+            assert equivalent_types(join_types(a, b), b)
+
+    @given(types, types)
+    def test_subtype_implies_meet_is_subtype(self, a, b):
+        if is_subtype(a, b):
+            met = meet_types(a, b)
+            assert met is not None
+            assert equivalent_types(met, a)
+
+
+def _degenerate(t) -> bool:
+    """Types with no values other than via Bottom (e.g. List[Bottom] is
+    fine — the empty list — but Bottom itself has none)."""
+    return t == BOTTOM
+
+
+class TestQuantifierProperties:
+    """The pack/unpack rules for ∃t ≤ B. t interact with everything
+    else; these properties guard the special cases."""
+
+    @given(types)
+    def test_pack_reflexivity(self, bound):
+        from repro.types.kinds import Exists, TypeVar
+
+        wrapped = Exists("t", TypeVar("t"), bound=bound)
+        assert is_subtype(bound, wrapped)      # pack
+        assert is_subtype(wrapped, bound)      # unpack
+        assert is_subtype(wrapped, wrapped)    # reflexivity
+
+    @given(types, types)
+    @settings(max_examples=200)
+    def test_pack_monotone_in_bound(self, small, large):
+        from repro.types.kinds import Exists, TypeVar
+
+        if is_subtype(small, large):
+            wrapped_small = Exists("t", TypeVar("t"), bound=small)
+            wrapped_large = Exists("u", TypeVar("u"), bound=large)
+            assert is_subtype(wrapped_small, wrapped_large)
+
+    @given(types, types, types)
+    @settings(max_examples=200)
+    def test_unpack_transitivity(self, a, bound, c):
+        from repro.types.kinds import Exists, TypeVar
+
+        wrapped = Exists("t", TypeVar("t"), bound=bound)
+        if is_subtype(a, wrapped) and is_subtype(wrapped, c):
+            assert is_subtype(a, c)
+
+    @given(types)
+    def test_forall_identity_at_any_bound(self, bound):
+        from repro.types.kinds import ForAll, FunctionType, TypeVar
+
+        identity = ForAll(
+            "t", FunctionType([TypeVar("t")], TypeVar("t")), bound=bound
+        )
+        assert is_subtype(identity, identity)
+
+    @given(types, types)
+    @settings(max_examples=200)
+    def test_kernel_bound_rigidity(self, first, second):
+        from repro.types.equivalence import equivalent_types
+        from repro.types.kinds import ForAll, TypeVar
+
+        left = ForAll("t", TypeVar("t"), bound=first)
+        right = ForAll("t", TypeVar("t"), bound=second)
+        # kernel rule: related only when the bounds are equivalent
+        if is_subtype(left, right):
+            assert equivalent_types(first, second)
+
+
+class TestValueTypeOrderReversal:
+    @given(records, records)
+    @settings(max_examples=200)
+    def test_value_leq_reverses_type_subtyping(self, a, b):
+        """o ⊑ o' at the value level implies type(o') ≤ type(o)."""
+        if a.leq(b):
+            assert is_subtype(infer_type(b), infer_type(a))
+
+    @given(records, records)
+    @settings(max_examples=200)
+    def test_joinable_values_have_consistent_types(self, a, b):
+        if a.try_join(b) is not None:
+            assert consistent_types(infer_type(a), infer_type(b))
+
+    @given(records, records)
+    @settings(max_examples=200)
+    def test_value_join_types_below_meet_shape(self, a, b):
+        combined = a.try_join(b)
+        if combined is not None:
+            met = meet_types(infer_type(a), infer_type(b))
+            assert met is not None
+            assert is_subtype(infer_type(combined), met)
