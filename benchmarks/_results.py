@@ -1,0 +1,77 @@
+"""Machine-readable benchmark results: ``BENCH_<area>.json`` emitter.
+
+Every directly-runnable benchmark (``python benchmarks/bench_x.py``)
+records its measurements through a :class:`ResultsWriter` so the run
+leaves a JSON artifact beside its printed table::
+
+    {
+      "area": "join",
+      "quick": false,
+      "results": [{"op": "flat_join", "n": 150, "seconds": 0.0012}, ...],
+      "metrics": { "counters": {...}, "histograms": {...} }
+    }
+
+The embedded ``metrics`` snapshot comes from the process-global
+:data:`repro.obs.metrics.REGISTRY`, so counts like fast-path hits and
+store appends travel with the timings — making the repo's perf
+trajectory diffable across PRs (CI uploads the files as artifacts).
+
+``--quick`` on any benchmark's command line shrinks its sizes so a CI
+smoke job finishes in seconds; :func:`quick_requested` reads the flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import REGISTRY
+
+
+def quick_requested(argv: Optional[List[str]] = None) -> bool:
+    """Was ``--quick`` passed on the command line?"""
+    return "--quick" in (argv if argv is not None else sys.argv[1:])
+
+
+class ResultsWriter:
+    """Collects (op, n, seconds) rows and writes ``BENCH_<area>.json``."""
+
+    def __init__(self, area: str, quick: bool = False):
+        self.area = area
+        self.quick = quick
+        self.rows: List[Dict[str, object]] = []
+
+    def record(self, op: str, n: int, seconds: float, **extra: object) -> None:
+        """Add one measurement row."""
+        row: Dict[str, object] = {"op": op, "n": n, "seconds": seconds}
+        row.update(extra)
+        self.rows.append(row)
+
+    def timeit(self, op: str, n: int, fn, **extra: object):
+        """Time ``fn()`` once, record it, and return (result, seconds)."""
+        started = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - started
+        self.record(op, n, seconds, **extra)
+        return result, seconds
+
+    def write(self, directory: Optional[str] = None) -> str:
+        """Write ``BENCH_<area>.json`` (with a metrics snapshot); returns
+        the path."""
+        payload = {
+            "area": self.area,
+            "quick": self.quick,
+            "results": self.rows,
+            "metrics": REGISTRY.snapshot(),
+        }
+        path = os.path.join(
+            directory if directory is not None else os.getcwd(),
+            "BENCH_%s.json" % self.area,
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

@@ -85,28 +85,41 @@ def test_generalized_join_on_partial_data(benchmark, null_fraction):
 
 
 def main():
-    import time
+    try:
+        from benchmarks._results import ResultsWriter, quick_requested
+    except ImportError:
+        from _results import ResultsWriter, quick_requested
+
+    from repro.core.relation import join_with_fastpath
+
+    quick = quick_requested()
+    writer = ResultsWriter("join", quick=quick)
+    sizes = (20, 60) if quick else (20, 60, 150, 300)
 
     print("E4 — natural join vs generalized join on flat data")
-    print("%-8s %14s %14s %10s" % ("size", "flat(s)", "generalized(s)",
-                                   "factor"))
-    for size in (20, 60, 150, 300):
+    print("%-8s %14s %14s %14s %10s"
+          % ("size", "flat(s)", "generalized(s)", "fastpath(s)", "factor"))
+    for size in sizes:
         left, right = flat_join_pair(size, key_cardinality=size // 4, seed=3)
         g_left, g_right = left.to_generalized(), right.to_generalized()
 
-        start = time.perf_counter()
-        flat = left.natural_join(right)
-        flat_t = time.perf_counter() - start
-
-        start = time.perf_counter()
-        generalized = g_left.join(g_right)
-        gen_t = time.perf_counter() - start
+        flat, flat_t = writer.timeit(
+            "flat_natural_join", size, lambda: left.natural_join(right)
+        )
+        generalized, gen_t = writer.timeit(
+            "generalized_join", size, lambda: g_left.join(g_right)
+        )
+        __, fast_t = writer.timeit(
+            "fastpath_join", size, lambda: join_with_fastpath(g_left, g_right)
+        )
 
         assert generalized == flat.to_generalized()
-        print("%-8d %14.6f %14.6f %9.1fx"
-              % (size, flat_t, gen_t, gen_t / flat_t if flat_t else 0.0))
+        print("%-8d %14.6f %14.6f %14.6f %9.1fx"
+              % (size, flat_t, gen_t, fast_t,
+                 gen_t / flat_t if flat_t else 0.0))
     print("\nSame results; the generalized operator pays for generality,")
     print("but it is the only one defined once records go partial.")
+    print("results -> %s" % writer.write())
 
 
 if __name__ == "__main__":

@@ -102,14 +102,22 @@ def test_index_plan_agrees(size):
 
 
 def main():
-    import time
+    try:
+        from benchmarks._results import ResultsWriter, quick_requested
+    except ImportError:
+        from _results import ResultsWriter, quick_requested
 
     from repro.core.index import Catalog
+    from repro.core.query import explain_analyze
+
+    quick = quick_requested()
+    writer = ResultsWriter("query", quick=quick)
+    sizes = (500,) if quick else (500, 2000, 8000)
 
     print("E9 — naive vs optimized vs index-scan star query")
     print("%-8s %12s %12s %12s" % ("emps", "naive(s)", "optimized(s)",
                                    "indexed(s)"))
-    for size in (500, 2000, 8000):
+    for size in sizes:
         plain = make_catalog(size)
         plan = star_query()
         optimized = optimize(plan, plain)
@@ -117,26 +125,25 @@ def main():
         indexed_catalog.create_index("emp", "Salary")
         indexed = optimize(plan, indexed_catalog)
 
-        start = time.perf_counter()
-        naive_result = plan.execute(plain)
-        naive_t = time.perf_counter() - start
-
-        start = time.perf_counter()
-        optimized_result = optimized.execute(plain)
-        opt_t = time.perf_counter() - start
-
-        start = time.perf_counter()
-        indexed_result = indexed.execute(indexed_catalog)
-        idx_t = time.perf_counter() - start
+        naive_result, naive_t = writer.timeit(
+            "naive_plan", size, lambda: plan.execute(plain)
+        )
+        optimized_result, opt_t = writer.timeit(
+            "optimized_plan", size, lambda: optimized.execute(plain)
+        )
+        indexed_result, idx_t = writer.timeit(
+            "indexed_plan", size, lambda: indexed.execute(indexed_catalog)
+        )
 
         assert optimized_result == naive_result == indexed_result
         print("%-8d %12.6f %12.6f %12.6f"
               % (size, naive_t, opt_t, idx_t))
 
-    print("\nThe index-scan plan:")
+    print("\nEXPLAIN ANALYZE of the optimized index-scan plan:")
     catalog = Catalog(make_catalog(500))
     catalog.create_index("emp", "Salary")
-    print(explain(optimize(star_query(), catalog)))
+    print(explain_analyze(optimize(star_query(), catalog), catalog))
+    print("results -> %s" % writer.write())
 
 
 if __name__ == "__main__":

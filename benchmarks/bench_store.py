@@ -91,24 +91,37 @@ def main():
     import tempfile
     import time
 
+    try:
+        from benchmarks._results import ResultsWriter, quick_requested
+    except ImportError:
+        from _results import ResultsWriter, quick_requested
+
+    quick = quick_requested()
+    writer = ResultsWriter("store", quick=quick)
+    n = 50 if quick else N
+
     with tempfile.TemporaryDirectory() as tmp:
-        print("E10 — log-store substrate (%d records)" % N)
+        print("E10 — log-store substrate (%d records)" % n)
 
         path = os.path.join(tmp, "singleton.log")
-        start = time.perf_counter()
-        with LogStore(path) as store:
-            for i in range(N):
-                store.put("k%d" % i, {"i": i})
-            store.sync()
-        singleton_t = time.perf_counter() - start
+
+        def singleton_puts():
+            with LogStore(path) as store:
+                for i in range(n):
+                    store.put("k%d" % i, {"i": i})
+                store.sync()
+
+        __, singleton_t = writer.timeit("singleton_puts", n, singleton_puts)
 
         path_b = os.path.join(tmp, "batch.log")
-        start = time.perf_counter()
-        with LogStore(path_b) as store:
-            with store.batch():
-                for i in range(N):
-                    store.put("k%d" % i, {"i": i})
-        batch_t = time.perf_counter() - start
+
+        def batched_puts():
+            with LogStore(path_b) as store:
+                with store.batch():
+                    for i in range(n):
+                        store.put("k%d" % i, {"i": i})
+
+        __, batch_t = writer.timeit("batched_puts", n, batched_puts)
 
         print("%-32s %10.4f s" % ("singleton puts + sync", singleton_t))
         print("%-32s %10.4f s" % ("one atomic batch", batch_t))
@@ -116,7 +129,7 @@ def main():
         path_c = os.path.join(tmp, "compact.log")
         store = LogStore(path_c)
         for round_number in range(10):
-            for i in range(N // 10):
+            for i in range(n // 10):
                 store.put("k%d" % i, {"round": round_number, "pad": "x" * 40})
         before = store.size_bytes()
         start = time.perf_counter()
@@ -124,9 +137,12 @@ def main():
         compact_t = time.perf_counter() - start
         after = store.size_bytes()
         store.close()
+        writer.record("compact", n, compact_t,
+                      bytes_before=before, bytes_after=after)
         print("%-32s %10.4f s (%d -> %d bytes, %.0f%% reclaimed)"
               % ("compaction", compact_t, before, after,
                  100 * (1 - after / before)))
+        print("results -> %s" % writer.write())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Observe the system at work: tracing, metrics, and EXPLAIN ANALYZE.
+
+Walks the observability layer (``repro.obs``) end to end on the paper's
+own material:
+
+1. span-traces Figure 1's generalized join — both directly and as a
+   DBPL program, whose parse/check/eval phases nest in the span tree;
+2. dumps the metrics registry: join fast-path hits/misses, pair counts,
+   store appends — the always-on counters behind every benchmark's
+   ``BENCH_<area>.json``;
+3. runs ``EXPLAIN ANALYZE`` on an optimized employee query, showing the
+   optimizer's cardinality estimates beside the measured rows and time.
+
+Run:  python examples/observability.py
+"""
+
+from repro.core.flat import FlatRelation
+from repro.core.query import eq, explain_analyze, optimize, scan
+from repro.core.relation import join_with_fastpath
+from repro.lang import run_program
+from repro.obs import metrics, trace
+
+from figure1_join import DBPL_VERSION, R1, R2
+
+
+def main():
+    tracer = trace.enable()
+
+    # -- 1. trace Figure 1 ------------------------------------------------
+    with trace.span("figure1.join", left=len(R1), right=len(R2)) as sp:
+        joined = R1.join(R2)
+        sp.annotate(rows_out=len(joined))
+    # The generalized fast path declines partial records (a miss) ...
+    join_with_fastpath(R1, R2)
+    # ... and fires on flat cochains (a hit).
+    flat = FlatRelation(("K", "A"), [(1, 10), (2, 20)])
+    join_with_fastpath(
+        flat.to_generalized(),
+        FlatRelation(("K", "B"), [(1, 30)]).to_generalized(),
+    )
+
+    # The same figure as a DBPL program: its parse/check/eval phases
+    # nest as children of one lang.run span.
+    run_program(DBPL_VERSION)
+
+    print("span trees (wall time per region, tags annotated):\n")
+    for root in tracer.roots:
+        print(root.format())
+    print()
+
+    # -- 2. the metrics registry ------------------------------------------
+    print("metrics after the joins above:\n")
+    print(metrics.REGISTRY.format())
+    print()
+
+    trace.disable()  # instrumented code now pays one attribute check
+
+    # -- 3. EXPLAIN ANALYZE -----------------------------------------------
+    emp = FlatRelation(
+        ("Emp", "Dept", "Salary"),
+        [
+            ("Smith", "Sales", 40),
+            ("Jones", "Sales", 50),
+            ("Brown", "Manuf", 40),
+            ("Green", "Manuf", 60),
+        ],
+    )
+    dept = FlatRelation(
+        ("Dept", "City"),
+        [("Sales", "Glasgow"), ("Manuf", "Lochgilphead")],
+    )
+    catalog = {"emp": emp, "dept": dept}
+    plan = optimize(
+        scan("emp")
+        .join(scan("dept"))
+        .where(eq("Dept", "Manuf"))
+        .project(["Emp", "City"]),
+        catalog,
+    )
+    print("EXPLAIN ANALYZE — estimates vs actuals, per node:\n")
+    print(explain_analyze(plan, catalog))
+    print()
+    print("The equality selection's fixed 0.1 selectivity guess under-")
+    print("estimates the Manuf filter (2 of 4 rows match): visible drift")
+    print("that a cost model with column statistics would close.")
+
+
+if __name__ == "__main__":
+    main()

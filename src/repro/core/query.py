@@ -29,12 +29,15 @@ optimizers impose on sargable conditions::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.flat import FlatRelation
 from repro.core.orders import AtomPayload
 from repro.errors import RelationError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 
 # ---------------------------------------------------------------------------
@@ -121,7 +124,16 @@ def attr_eq(left: str, right: str) -> Predicate:
 
 
 class Plan:
-    """Abstract base of query plans (immutable trees)."""
+    """Abstract base of query plans (immutable trees).
+
+    Every node decomposes into :meth:`children` (input plans) and
+    :meth:`_apply` (this operator over its inputs' results); the shared
+    :meth:`execute` recursion is therefore instrumentable in one place —
+    when the process-global tracer is on, each node records a span with
+    rows-in/rows-out/elapsed, and :func:`analyze` reuses the same
+    decomposition to time each operator separately for
+    :func:`explain_analyze`.
+    """
 
     def where(self, *predicates: Predicate) -> "Plan":
         """Filter by the conjunction of ``predicates``."""
@@ -138,7 +150,38 @@ class Plan:
         """Natural join with another plan."""
         return Join(self, other)
 
-    # Subclasses provide: schema(catalog), execute(catalog), estimate(catalog)
+    # Subclasses provide: schema(catalog), estimate(catalog),
+    # children(), _apply(catalog, *inputs), label().
+
+    def children(self) -> Tuple["Plan", ...]:
+        """The input plans of this node (empty for leaves)."""
+        return ()
+
+    def label(self) -> str:
+        """The one-line rendering used by explain/explain_analyze."""
+        return repr(self)
+
+    def execute(self, catalog) -> FlatRelation:
+        """Evaluate the plan bottom-up against ``catalog``.
+
+        With tracing off this is the children's results fed through
+        :meth:`_apply` — the only observability cost is one attribute
+        check per node.  With tracing on, every node records a nested
+        span carrying rows-in, rows-out, and elapsed wall time.
+        """
+        tracer = _trace.CURRENT
+        if not tracer.enabled:
+            inputs = tuple(child.execute(catalog) for child in self.children())
+            return self._apply(catalog, *inputs)
+        with tracer.span("plan." + type(self).__name__.lower()) as span_obj:
+            inputs = tuple(child.execute(catalog) for child in self.children())
+            result = self._apply(catalog, *inputs)
+            span_obj.annotate(
+                node=self.label(),
+                rows_in=sum(len(i) for i in inputs),
+                rows_out=len(result),
+            )
+        return result
 
 
 @dataclass(frozen=True)
@@ -150,11 +193,14 @@ class Scan(Plan):
     def schema(self, catalog) -> Tuple[str, ...]:
         return _relation(catalog, self.name).schema
 
-    def execute(self, catalog) -> FlatRelation:
+    def _apply(self, catalog) -> FlatRelation:
         return _relation(catalog, self.name)
 
     def estimate(self, catalog) -> float:
         return float(len(_relation(catalog, self.name)))
+
+    def label(self) -> str:
+        return "Scan(%s)" % self.name
 
 
 @dataclass(frozen=True)
@@ -174,13 +220,19 @@ class Select(Plan):
             )
         return schema
 
-    def execute(self, catalog) -> FlatRelation:
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def _apply(self, catalog, child_result: FlatRelation) -> FlatRelation:
         self.schema(catalog)  # validate
-        return self.child.execute(catalog).select(self.predicate.evaluate)
+        return child_result.select(self.predicate.evaluate)
 
     def estimate(self, catalog) -> float:
         selectivity = 0.1 if self.predicate.op in ("==", "attr==") else 0.5
         return self.child.estimate(catalog) * selectivity
+
+    def label(self) -> str:
+        return "Select[%s]" % self.predicate
 
 
 @dataclass(frozen=True)
@@ -200,11 +252,17 @@ class Project(Plan):
             )
         return self.attributes
 
-    def execute(self, catalog) -> FlatRelation:
-        return self.child.execute(catalog).project(self.attributes)
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def _apply(self, catalog, child_result: FlatRelation) -> FlatRelation:
+        return child_result.project(self.attributes)
 
     def estimate(self, catalog) -> float:
         return self.child.estimate(catalog)
+
+    def label(self) -> str:
+        return "Project[%s]" % ", ".join(self.attributes)
 
 
 @dataclass(frozen=True)
@@ -221,10 +279,13 @@ class Join(Plan):
             a for a in right_schema if a not in left_schema
         )
 
-    def execute(self, catalog) -> FlatRelation:
-        return self.left.execute(catalog).natural_join(
-            self.right.execute(catalog)
-        )
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def _apply(
+        self, catalog, left_result: FlatRelation, right_result: FlatRelation
+    ) -> FlatRelation:
+        return left_result.natural_join(right_result)
 
     def estimate(self, catalog) -> float:
         left = self.left.estimate(catalog)
@@ -234,6 +295,9 @@ class Join(Plan):
         if shared:
             return max(left, right, 1.0)
         return left * right
+
+    def label(self) -> str:
+        return "Join"
 
 
 @dataclass(frozen=True)
@@ -257,7 +321,7 @@ class IndexScan(Plan):
             )
         return schema
 
-    def execute(self, catalog) -> FlatRelation:
+    def _apply(self, catalog) -> FlatRelation:
         index = getattr(catalog, "index_on", lambda *a: None)(
             self.name, self.predicate.attribute
         )
@@ -271,6 +335,9 @@ class IndexScan(Plan):
     def estimate(self, catalog) -> float:
         selectivity = 0.1 if self.predicate.op == "==" else 0.5
         return float(len(_relation(catalog, self.name))) * selectivity
+
+    def label(self) -> str:
+        return "IndexScan(%s)[%s]" % (self.name, self.predicate)
 
 
 def scan(name: str) -> Scan:
@@ -451,26 +518,112 @@ def _maybe_project(plan: Plan, needed, schema) -> Plan:
 def explain(plan: Plan, indent: int = 0) -> str:
     """An indented rendering of the plan tree."""
     pad = "  " * indent
-    if isinstance(plan, Scan):
-        return "%sScan(%s)" % (pad, plan.name)
-    if isinstance(plan, Select):
-        return "%sSelect[%s]\n%s" % (
+    lines = [pad + plan.label()]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+@dataclass
+class NodeStats:
+    """Measured execution of one plan node (what EXPLAIN ANALYZE shows).
+
+    ``self_seconds`` is the operator's own cost (children excluded);
+    ``total_seconds`` includes the whole subtree.  ``estimate`` is the
+    optimizer's cardinality guess, kept beside ``rows_out`` so the
+    estimate-vs-actual drift is visible per node.
+    """
+
+    label: str
+    estimate: float
+    rows_in: Tuple[int, ...]
+    rows_out: int
+    self_seconds: float
+    total_seconds: float
+    children: List["NodeStats"] = field(default_factory=list)
+
+    @property
+    def drift(self) -> float:
+        """Actual rows over estimated rows (1.0 = perfect estimate)."""
+        return self.rows_out / self.estimate if self.estimate else float("inf")
+
+    def walk(self):
+        """This node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            for descendant in child.walk():
+                yield descendant
+
+
+def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
+    """Execute ``plan`` measuring each node; returns (result, stats tree).
+
+    Children are evaluated before their parent is timed, so
+    ``self_seconds`` isolates each operator's own cost — unlike a span
+    around ``execute``, which would fold the subtree in.  Per-node
+    cardinalities and timings also land in the global metrics registry
+    (``query.nodes``, ``query.rows_out``, ``query.node.seconds``).
+    """
+    child_results: List[FlatRelation] = []
+    child_stats: List[NodeStats] = []
+    for child in plan.children():
+        child_result, stats = analyze(child, catalog)
+        child_results.append(child_result)
+        child_stats.append(stats)
+    started = time.perf_counter()
+    result = plan._apply(catalog, *child_results)
+    self_seconds = time.perf_counter() - started
+    registry = _metrics.REGISTRY
+    registry.counter("query.nodes").inc()
+    registry.counter("query.rows_out").inc(len(result))
+    registry.histogram("query.node.seconds").observe(self_seconds)
+    return result, NodeStats(
+        label=plan.label(),
+        estimate=plan.estimate(catalog),
+        rows_in=tuple(len(r) for r in child_results),
+        rows_out=len(result),
+        self_seconds=self_seconds,
+        total_seconds=self_seconds + sum(s.total_seconds for s in child_stats),
+        children=child_stats,
+    )
+
+
+def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
+    pad = "  " * indent
+    rows_in_text = (
+        "rows_in=%s " % "+".join(str(n) for n in stats.rows_in)
+        if stats.rows_in
+        else ""
+    )
+    lines = [
+        "%s%s  (estimate=%.1f)  (actual %srows=%d self=%.3fms total=%.3fms)"
+        % (
             pad,
-            plan.predicate,
-            explain(plan.child, indent + 1),
+            stats.label,
+            stats.estimate,
+            rows_in_text,
+            stats.rows_out,
+            stats.self_seconds * 1000.0,
+            stats.total_seconds * 1000.0,
         )
-    if isinstance(plan, Project):
-        return "%sProject[%s]\n%s" % (
-            pad,
-            ", ".join(plan.attributes),
-            explain(plan.child, indent + 1),
-        )
-    if isinstance(plan, Join):
-        return "%sJoin\n%s\n%s" % (
-            pad,
-            explain(plan.left, indent + 1),
-            explain(plan.right, indent + 1),
-        )
-    if isinstance(plan, IndexScan):
-        return "%sIndexScan(%s)[%s]" % (pad, plan.name, plan.predicate)
-    return "%s%r" % (pad, plan)
+    ]
+    for child in stats.children:
+        lines.extend(_render_analyzed(child, indent + 1))
+    return lines
+
+
+def explain_analyze(plan: Plan, catalog) -> str:
+    """The :func:`explain` tree annotated with *measured* execution.
+
+    Runs the plan (like ``EXPLAIN ANALYZE``), printing next to every
+    node the optimizer's cardinality estimate and the actual rows in and
+    out plus wall time (operator-only and subtree-total), so
+    estimate-vs-actual drift is visible at a glance::
+
+        Join  (estimate=4.0)  (actual rows_in=2+3 rows=2 self=0.031ms total=0.089ms)
+          Select[Dept == 'Sales']  (estimate=0.4)  (actual rows_in=4 rows=2 ...)
+            Scan(emp)  (estimate=4.0)  (actual rows=4 ...)
+          Scan(dept)  (estimate=3.0)  (actual rows=3 ...)
+    """
+    __, stats = analyze(plan, catalog)
+    return "\n".join(_render_analyzed(stats, 0))

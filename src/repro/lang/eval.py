@@ -28,6 +28,8 @@ from repro.extents.database import Database
 from repro.lang import ast
 from repro.lang.checker import CheckEnv, check_program, resolve_type
 from repro.lang.parser import parse_program
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.persistence.serialize import deserialize, serialize, stored_type
 from repro.persistence.store import LogStore
 from repro.types.dynamic import Dynamic
@@ -406,13 +408,30 @@ class Interpreter:
 
         Declarations persist in the session.  Raises
         :class:`~repro.errors.TypeCheckError` (and never runs) on an
-        ill-typed program.
+        ill-typed program.  With tracing on, each run records a
+        ``lang.run`` span with nested ``lang.parse``/``lang.check``/
+        ``lang.eval`` phases (persistence and relation spans hang off
+        the eval phase).
         """
-        program = parse_program(source)
-        last_type, __ = check_program(program, self._check_env)
-        value: object = None
-        for decl in program.declarations:
-            value = self._exec_decl(decl)
+        _metrics.REGISTRY.counter("lang.runs").inc()
+        tracer = _trace.CURRENT
+        if not tracer.enabled:
+            program = parse_program(source)
+            last_type, __ = check_program(program, self._check_env)
+            value: object = None
+            for decl in program.declarations:
+                value = self._exec_decl(decl)
+            return RunResult(value, last_type, list(self.output))
+        with tracer.span("lang.run") as run_span:
+            with tracer.span("lang.parse"):
+                program = parse_program(source)
+            with tracer.span("lang.check"):
+                last_type, __ = check_program(program, self._check_env)
+            with tracer.span("lang.eval"):
+                value = None
+                for decl in program.declarations:
+                    value = self._exec_decl(decl)
+            run_span.annotate(declarations=len(program.declarations))
         return RunResult(value, last_type, list(self.output))
 
     def eval_expr(self, source: str) -> object:
@@ -616,25 +635,29 @@ class Interpreter:
 
     def extern_value(self, handle: str, dyn: Dynamic) -> None:
         """Replicate a dynamic value under ``handle`` (copy semantics)."""
-        document = serialize(_to_portable(dyn.value), typ=dyn.carried)
-        if self._store is not None:
-            self._store.put("extern:" + handle, document)
-            self._store.sync()
-        else:
-            self._memory_store[handle] = document
+        _metrics.REGISTRY.counter("lang.externs").inc()
+        with _trace.CURRENT.span("lang.extern", handle=handle):
+            document = serialize(_to_portable(dyn.value), typ=dyn.carried)
+            if self._store is not None:
+                self._store.put("extern:" + handle, document)
+                self._store.sync()
+            else:
+                self._memory_store[handle] = document
 
     def intern_value(self, handle: str) -> Dynamic:
         """Read back a fresh copy of the value under ``handle``."""
-        if self._store is not None:
-            document = self._store.get("extern:" + handle)
-        else:
-            document = self._memory_store.get(handle)
-        if document is None:
-            raise EvalError("no value externed under %r" % handle)
-        carried = stored_type(document)
-        if carried is None:
-            raise EvalError("handle %r carries no type" % handle)
-        return Dynamic(_from_portable(deserialize(document)), carried)
+        _metrics.REGISTRY.counter("lang.interns").inc()
+        with _trace.CURRENT.span("lang.intern", handle=handle):
+            if self._store is not None:
+                document = self._store.get("extern:" + handle)
+            else:
+                document = self._memory_store.get(handle)
+            if document is None:
+                raise EvalError("no value externed under %r" % handle)
+            carried = stored_type(document)
+            if carried is None:
+                raise EvalError("handle %r carries no type" % handle)
+            return Dynamic(_from_portable(deserialize(document)), carried)
 
 
 # ---------------------------------------------------------------------------
@@ -659,7 +682,11 @@ def _make_builtins(interp: Interpreter) -> Dict[str, Builtin]:
 
     def get(type_args, db):
         query = type_args[0] if type_args else TOP
-        return [member.value for member in db.scan(query)]
+        _metrics.REGISTRY.counter("lang.gets").inc()
+        with _trace.CURRENT.span("lang.get", query=str(query)) as span_obj:
+            members = [member.value for member in db.scan(query)]
+            span_obj.annotate(scanned=len(db), matched=len(members))
+        return members
 
     def extern(type_args, handle, dyn):
         interp.extern_value(handle, dyn)

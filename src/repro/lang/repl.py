@@ -6,6 +6,11 @@ for ``extern``/``intern``).  Commands:
 * ``:type <expr>``   — show the static type without evaluating;
 * ``:ast <expr>``    — show the parsed syntax tree (pretty-printed);
 * ``:load <path>``   — run a DBPL source file in the session;
+* ``:trace on|off``  — toggle span tracing; while on, each evaluation
+  prints its span tree (parse/check/eval, nested store and relation
+  operations with rows and wall time);
+* ``:stats``         — dump the process-global metrics registry
+  (``:stats reset`` zeroes it);
 * ``:quit``          — leave.
 
 Everything else is checked and evaluated in the running session, so
@@ -23,11 +28,14 @@ from repro.lang.checker import CheckEnv, check_program
 from repro.lang.eval import Interpreter, format_value
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 PROMPT = "dbpl> "
 BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
-    "reproduction.  :type E, :ast E, :load FILE, :quit\n"
+    "reproduction.  :type E, :ast E, :load FILE, :trace on|off, :stats,"
+    " :quit\n"
 )
 
 
@@ -69,8 +77,38 @@ class Repl:
             self._show_ast(argument)
         elif command == ":load":
             self._load(argument)
+        elif command == ":trace":
+            self._trace_command(argument)
+        elif command == ":stats":
+            self._stats_command(argument)
         else:
             self._write("unknown command %s" % command)
+
+    def _trace_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument == "on":
+            _trace.enable()
+            self._write("tracing on")
+        elif argument == "off":
+            _trace.disable()
+            self._write("tracing off")
+        elif not argument:
+            self._write(
+                "tracing is %s"
+                % ("on" if _trace.CURRENT.enabled else "off")
+            )
+        else:
+            self._write("usage: :trace on|off")
+
+    def _stats_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument == "reset":
+            _metrics.reset_metrics()
+            self._write("metrics reset")
+        elif not argument:
+            self._write(_metrics.REGISTRY.format())
+        else:
+            self._write("usage: :stats [reset]")
 
     def _show_type(self, source: str) -> None:
         if not source:
@@ -112,6 +150,8 @@ class Repl:
         self._evaluate(source)
 
     def _evaluate(self, source: str) -> None:
+        tracer = _trace.CURRENT
+        spans_before = len(tracer.roots) if tracer.enabled else 0
         try:
             before = len(self._interp.output)
             result = self._interp.run(source)
@@ -121,6 +161,12 @@ class Repl:
                 self._write(format_value(result.value))
         except (LanguageError, TypeSystemError, ReproError) as exc:
             self._write("error: %s" % exc)
+        finally:
+            if tracer.enabled:
+                for root in tracer.roots[spans_before:]:
+                    self._write(root.format())
+                # Keep the tracer bounded: a REPL session is long-lived.
+                tracer.clear()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

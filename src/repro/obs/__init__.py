@@ -1,0 +1,55 @@
+"""repro.obs — dependency-free tracing and metrics for the kernel.
+
+Two complementary instruments:
+
+* :mod:`repro.obs.trace` — nestable wall-clock spans behind a
+  process-global tracer that defaults to a no-op singleton (one
+  attribute check when disabled);
+* :mod:`repro.obs.metrics` — always-on named counters and latency
+  histograms with a JSON-able ``snapshot()``.
+
+The query layer (:func:`repro.core.query.explain_analyze`), the
+persistence substrate (:class:`repro.persistence.store.LogStore`, the
+intrinsic heap's commit, the replicating extern/intern path), the
+generalized-relation hot spots, and the DBPL evaluator/REPL all record
+here, so the ROADMAP's "fast as the hardware allows" goal is measurable
+instead of asserted.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_metrics,
+    reset_metrics,
+)
+from repro.obs.trace import (
+    NOOP,
+    NoOpTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_metrics",
+    "reset_metrics",
+    "NOOP",
+    "NoOpTracer",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]

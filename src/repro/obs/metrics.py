@@ -1,0 +1,218 @@
+"""Named counters and latency histograms with a JSON-able snapshot.
+
+The registry is the always-on half of the observability layer: spans
+(:mod:`repro.obs.trace`) answer *where time went in one run*; counters
+answer *how often things happened over a process lifetime* — appends and
+replays in the log store, fast-path hits in the generalized join,
+commits of the intrinsic heap.  A counter increment is one dict lookup
+and an integer add, cheap enough to leave on unconditionally at the
+per-operation (not per-row) granularity used throughout ``src/``.
+
+Usage::
+
+    from repro.obs.metrics import REGISTRY
+
+    REGISTRY.counter("store.appends").inc()
+    REGISTRY.histogram("store.commit.seconds").observe(elapsed)
+    print(REGISTRY.to_json())
+
+``snapshot()`` returns plain dicts (JSON-compatible), which is what the
+benchmark harness embeds in its ``BENCH_<area>.json`` result files so
+the repo's perf trajectory is diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_metrics",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonically-increasing named integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        """Add ``delta`` (default 1)."""
+        self.value += delta
+
+    def reset(self) -> None:
+        """Back to zero (the registry-wide reset calls this)."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return "Counter(%r, %d)" % (self.name, self.value)
+
+
+class Histogram:
+    """A latency histogram: count/sum/min/max plus bounded raw samples.
+
+    Keeps the most recent ``sample_cap`` observations in a ring so
+    :meth:`percentile` stays exact on short runs and approximate (recent
+    window) on long ones, without unbounded memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_cap")
+
+    def __init__(self, name: str, sample_cap: int = 512):
+        self.name = name
+        self._cap = sample_cap
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation (e.g. seconds of one commit)."""
+        value = float(value)
+        if len(self._samples) < self._cap:
+            self._samples.append(value)
+        else:
+            self._samples[self.count % self._cap] = value
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """The mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) of the retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(q / 100.0 * len(ordered))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-compatible summary of this histogram."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram(%r, count=%d, mean=%g)" % (
+            self.name,
+            self.count,
+            self.mean,
+        )
+
+
+class MetricsRegistry:
+    """A namespace of counters and histograms, created on first use.
+
+    One process-global instance (:data:`REGISTRY`) backs all the
+    instrumentation in ``src/``; independent registries can be created
+    for tests.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at zero on first use)."""
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created empty on first use)."""
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def counters(self) -> Dict[str, int]:
+        """Counter values by name (a copy)."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything, as plain JSON-compatible dicts."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every metric *in place*.
+
+        Existing :class:`Counter`/:class:`Histogram` handles stay valid
+        (instrumented modules may cache them), they just restart at zero.
+        """
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def format(self) -> str:
+        """A human-readable table (the REPL's ``:stats`` output)."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("counters:")
+            for name, counter in sorted(self._counters.items()):
+                lines.append("  %-40s %d" % (name, counter.value))
+        if self._histograms:
+            lines.append("histograms:")
+            for name, histogram in sorted(self._histograms.items()):
+                lines.append(
+                    "  %-40s n=%d mean=%.6f max=%.6f"
+                    % (
+                        name,
+                        histogram.count,
+                        histogram.mean,
+                        histogram.max if histogram.max is not None else 0.0,
+                    )
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# The process-global registry every instrumented module records into.
+REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry."""
+    return REGISTRY
+
+
+def reset_metrics() -> None:
+    """Zero the process-global registry (handles stay valid)."""
+    REGISTRY.reset()

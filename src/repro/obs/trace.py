@@ -1,0 +1,252 @@
+"""Nestable wall-clock spans with a process-global default tracer.
+
+The paper's efficiency claims — fast-path joins on flat cochains,
+index-backed ``Get`` over extents, intrinsic persistence with commit —
+need to be *attributable* at run time, not just asserted by benchmarks.
+A :class:`Tracer` records a tree of named spans::
+
+    from repro.obs import trace
+
+    tracer = trace.enable()
+    with trace.span("relation.join", left=3, right=3) as sp:
+        r1.join(r2)
+    print(tracer.roots[0].format())
+
+Spans nest: a span opened while another is active becomes its child, so
+an instrumented call stack (a plan execution, a heap commit replaying
+into the store) renders as an indented tree.
+
+**Disabled cost.**  The default tracer is :data:`NOOP`, a singleton
+whose ``enabled`` attribute is ``False``; hot paths guard their
+instrumentation with that single attribute check and pay nothing else::
+
+    if trace.CURRENT.enabled:
+        with trace.CURRENT.span("store.replay"):
+            ...
+
+Tracing is process-global (``CURRENT``), deliberately: the point is to
+observe a whole program, and the REPL's ``:trace on`` flips one switch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP",
+    "CURRENT",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "span",
+]
+
+
+class Span:
+    """One timed, tagged region of execution (a node in the trace tree).
+
+    ``elapsed`` is wall-clock seconds, filled in when the span closes
+    (``None`` while still open).  ``tags`` are free-form annotations;
+    :meth:`annotate` adds more after the span has been opened — how plan
+    nodes attach ``rows_out`` once the result cardinality is known.
+    """
+
+    __slots__ = ("name", "tags", "elapsed", "children", "_started")
+
+    def __init__(self, name: str, tags: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.tags: Dict[str, object] = dict(tags) if tags else {}
+        self.elapsed: Optional[float] = None
+        self.children: List["Span"] = []
+        self._started: float = 0.0
+
+    def annotate(self, **tags: object) -> "Span":
+        """Attach more tags to an open (or closed) span."""
+        self.tags.update(tags)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            for descendant in child.walk():
+                yield descendant
+
+    def format(self, indent: int = 0) -> str:
+        """An indented one-line-per-span rendering of the subtree."""
+        pad = "  " * indent
+        tag_text = " ".join(
+            "%s=%s" % (key, self.tags[key]) for key in sorted(self.tags)
+        )
+        elapsed_text = (
+            "%.3fms" % (self.elapsed * 1000.0)
+            if self.elapsed is not None
+            else "open"
+        )
+        line = "%s%s [%s]%s" % (
+            pad,
+            self.name,
+            elapsed_text,
+            " " + tag_text if tag_text else "",
+        )
+        return "\n".join(
+            [line] + [child.format(indent + 1) for child in self.children]
+        )
+
+    def __repr__(self) -> str:
+        return "Span(%r, elapsed=%s, children=%d)" % (
+            self.name,
+            self.elapsed,
+            len(self.children),
+        )
+
+
+class _OpenSpan:
+    """Context manager wiring one span into a tracer's active stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_obj: Span):
+        self._tracer = tracer
+        self._span = span_obj
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span_obj = self._span
+        if tracer._stack:
+            tracer._stack[-1].children.append(span_obj)
+        else:
+            tracer.roots.append(span_obj)
+        tracer._stack.append(span_obj)
+        span_obj._started = tracer._clock()
+        return span_obj
+
+    def __exit__(self, *exc_info) -> bool:
+        span_obj = self._span
+        span_obj.elapsed = self._tracer._clock() - span_obj._started
+        # Pop back to this span even if an inner span leaked (an
+        # exception skipped its __exit__ — defensive, should not happen).
+        stack = self._tracer._stack
+        while stack and stack.pop() is not span_obj:
+            pass
+        return False
+
+
+class Tracer:
+    """A recording tracer: spans opened through it build a forest.
+
+    ``roots`` holds completed-and-open top-level spans in order; nested
+    spans hang off their parents.  ``clock`` is injectable for tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **tags: object) -> _OpenSpan:
+        """Open a span; use as ``with tracer.span("name", k=v) as sp:``."""
+        return _OpenSpan(self, Span(name, tags))
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans keep recording)."""
+        self.roots = []
+
+    def spans(self) -> List[Span]:
+        """Every recorded span, depth-first across all roots."""
+        return [s for root in self.roots for s in root.walk()]
+
+    def find(self, name: str) -> List[Span]:
+        """All recorded spans with the given name."""
+        return [s for s in self.spans() if s.name == name]
+
+
+class _NoOpSpan:
+    """The do-nothing span: context manager and annotation sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def annotate(self, **tags: object) -> "_NoOpSpan":
+        return self
+
+
+_NOOP_SPAN = _NoOpSpan()
+
+
+class NoOpTracer:
+    """The disabled tracer: one shared instance, zero recording.
+
+    ``enabled`` is ``False`` so instrumented code can skip its whole
+    observation block with a single attribute check; calling
+    :meth:`span` anyway still costs nothing but the call.
+    """
+
+    enabled = False
+    roots: Tuple[Span, ...] = ()
+
+    def span(self, name: str, **tags: object) -> _NoOpSpan:
+        return _NOOP_SPAN
+
+    def clear(self) -> None:
+        pass
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+
+NOOP = NoOpTracer()
+
+# The process-global tracer.  Instrumented modules read this attribute
+# freshly on each operation (``trace.CURRENT``) so enable/disable takes
+# effect everywhere at once.
+CURRENT = NOOP  # type: object
+
+
+def get_tracer():
+    """The process-global tracer (a :class:`Tracer` or :data:`NOOP`)."""
+    return CURRENT
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the process-global tracer (``None`` → NOOP)."""
+    global CURRENT
+    CURRENT = tracer if tracer is not None else NOOP
+
+
+def enable() -> Tracer:
+    """Turn tracing on; returns the active recording tracer.
+
+    Installs a fresh :class:`Tracer` when tracing was off; keeps the
+    current one (and its recorded spans) when already on.
+    """
+    global CURRENT
+    if not isinstance(CURRENT, Tracer):
+        CURRENT = Tracer()
+    return CURRENT
+
+
+def disable() -> None:
+    """Turn tracing off (the global tracer becomes the no-op singleton)."""
+    global CURRENT
+    CURRENT = NOOP
+
+
+def span(name: str, **tags: object):
+    """Open a span on the process-global tracer."""
+    return CURRENT.span(name, **tags)

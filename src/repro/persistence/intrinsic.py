@@ -32,11 +32,14 @@ through one is visible through the other.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Set, Union
 
 import json
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.errors import (
     PersistenceError,
     StoreCorruptError,
@@ -210,6 +213,7 @@ class PersistentHeap:
         entry = self._store.get(_OBJ_PREFIX + str(oid))
         if entry is None:
             raise StoreCorruptError("dangling object reference %d" % oid)
+        _metrics.REGISTRY.counter("heap.materializations").inc()
         obj = PObject(entry.get("kind", "Object"))
         # Register before decoding fields so cycles resolve.
         self._obj_by_oid[oid] = obj
@@ -244,8 +248,31 @@ class PersistentHeap:
 
         Encodes every root, writes the reachable object closure (changed
         objects only), garbage-collects store objects no longer
-        reachable, and syncs.  Returns :class:`CommitStats`.
+        reachable, and syncs.  Returns :class:`CommitStats`.  Commit
+        latency and write/skip/collect counts land in the global metrics
+        registry (``heap.commit.seconds``, ``heap.*``); with tracing on
+        the whole commit is one ``heap.commit`` span with the store's
+        ``store.commit`` span nested inside.
         """
+        started = time.perf_counter()
+        with _trace.CURRENT.span("heap.commit") as commit_span:
+            stats = self._commit_inner()
+            commit_span.annotate(
+                written=stats.objects_written,
+                unchanged=stats.objects_unchanged,
+                collected=stats.objects_collected,
+            )
+        registry = _metrics.REGISTRY
+        registry.counter("heap.commits").inc()
+        registry.counter("heap.objects_written").inc(stats.objects_written)
+        registry.counter("heap.objects_unchanged").inc(stats.objects_unchanged)
+        registry.counter("heap.objects_collected").inc(stats.objects_collected)
+        registry.histogram("heap.commit.seconds").observe(
+            time.perf_counter() - started
+        )
+        return stats
+
+    def _commit_inner(self) -> CommitStats:
         encoder = _HeapEncoder(self)
         root_nodes: Dict[str, object] = {}
         for ns_name, roots in self._namespaces.items():

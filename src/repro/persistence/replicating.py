@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.errors import PersistenceError, UnknownHandleError
 from repro.persistence.serialize import deserialize, serialize, stored_type
 from repro.persistence.store import LogStore
@@ -95,12 +97,16 @@ class ReplicatingStore:
                 "extern takes a Dynamic (the value must carry its type); "
                 "got %r" % (dyn,)
             )
-        document = serialize(dyn.value, typ=dyn.carried)
-        previous = self._store.get(_HANDLE_PREFIX + handle)
-        version = 1 if previous is None else int(previous.get("version", 0)) + 1
-        document["version"] = version
-        self._store.put(_HANDLE_PREFIX + handle, document)
-        self._store.sync()
+        with _trace.CURRENT.span("replicating.extern", handle=handle):
+            document = serialize(dyn.value, typ=dyn.carried)
+            previous = self._store.get(_HANDLE_PREFIX + handle)
+            version = (
+                1 if previous is None else int(previous.get("version", 0)) + 1
+            )
+            document["version"] = version
+            self._store.put(_HANDLE_PREFIX + handle, document)
+            self._store.sync()
+        _metrics.REGISTRY.counter("replicating.externs").inc()
         return version
 
     def version_of(self, handle: str) -> Optional[int]:
@@ -127,6 +133,7 @@ class ReplicatingStore:
         actual = self.version_of(handle)
         actual = actual if actual is not None else 0
         if actual != expected_version:
+            _metrics.REGISTRY.counter("replicating.stale_conflicts").inc()
             raise StaleHandleError(handle, expected_version, actual)
         return self.extern(handle, dyn)
 
@@ -145,7 +152,9 @@ class ReplicatingStore:
             raise PersistenceError(
                 "handle %r was stored without a type description" % (handle,)
             )
-        value = deserialize(document)
+        with _trace.CURRENT.span("replicating.intern", handle=handle):
+            value = deserialize(document)
+        _metrics.REGISTRY.counter("replicating.interns").inc()
         return Dynamic(value, carried)
 
     def stored_type_of(self, handle: str) -> Optional[Type]:

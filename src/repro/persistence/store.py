@@ -23,11 +23,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import zlib
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import StoreCorruptError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 Document = object  # JSON-compatible
 
@@ -76,6 +79,18 @@ class LogStore:
         glue the next record onto garbage, so the file is truncated back
         to the end of the last valid record before reopening for append.
         """
+        registry = _metrics.REGISTRY
+        registry.counter("store.replays").inc()
+        tracer = _trace.CURRENT
+        if tracer.enabled:
+            with tracer.span("store.replay", path=self._path) as span_obj:
+                replayed = self._replay_records()
+                span_obj.annotate(records=replayed)
+        else:
+            self._replay_records()
+
+    def _replay_records(self) -> int:
+        registry = _metrics.REGISTRY
         with open(self._path, "rb") as handle:
             data = handle.read()
         offset = 0
@@ -117,6 +132,9 @@ class LogStore:
         if valid_end < len(data):
             with open(self._path, "r+b") as handle:
                 handle.truncate(valid_end)
+            registry.counter("store.truncated_tails").inc()
+        registry.counter("store.replayed_records").inc(self._total)
+        return self._total
 
     def _parse(
         self, line: str, line_number: int
@@ -126,15 +144,19 @@ class LogStore:
         ``flag`` is ``'plain'``, ``'batch'``, or ``'marker'`` (a batch
         commit point).  Returns ``None`` for a torn/corrupt record.
         """
+        registry = _metrics.REGISTRY
         try:
             length_text, crc_text, payload_text = line.split(":", 2)
             length = int(length_text)
             crc = int(crc_text)
         except ValueError:
+            registry.counter("store.torn_records").inc()
             return None
         data = payload_text.encode("utf-8")
         if len(data) != length or _checksum(data) != crc:
+            registry.counter("store.checksum_failures").inc()
             return None
+        registry.counter("store.checksum_checks").inc()
         try:
             entry = json.loads(payload_text)
             if "m" in entry:
@@ -160,8 +182,15 @@ class LogStore:
     def _append(self, entry: Dict[str, Document]) -> None:
         text = json.dumps(entry, separators=(",", ":"))
         data = text.encode("utf-8")
-        self._file.write("%d:%d:%s\n" % (len(data), _checksum(data), text))
+        header = "%d:%d:" % (len(data), _checksum(data))
+        self._file.write(header + text + "\n")
         self._total += 1
+        registry = _metrics.REGISTRY
+        registry.counter("store.appends").inc()
+        # The header is ASCII, so character count equals byte count.
+        registry.counter("store.bytes_written").inc(
+            len(header) + len(data) + 1
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -215,10 +244,18 @@ class LogStore:
         self._batch_ops = []
         if not operations:
             return
-        for key, payload in operations:
-            self._append({"k": key, "v": payload, "b": 1})
-        self._append({"m": 1})
-        self.sync()
+        tracer = _trace.CURRENT
+        started = time.perf_counter()
+        with tracer.span("store.commit", operations=len(operations)):
+            for key, payload in operations:
+                self._append({"k": key, "v": payload, "b": 1})
+            self._append({"m": 1})
+            self.sync()
+        registry = _metrics.REGISTRY
+        registry.counter("store.batch_commits").inc()
+        registry.histogram("store.commit.seconds").observe(
+            time.perf_counter() - started
+        )
         for key, payload in operations:
             self._apply(key, payload)
 
@@ -234,8 +271,14 @@ class LogStore:
 
     def sync(self) -> None:
         """Flush buffered writes and fsync — the durability point."""
+        started = time.perf_counter()
         self._file.flush()
         os.fsync(self._file.fileno())
+        registry = _metrics.REGISTRY
+        registry.counter("store.syncs").inc()
+        registry.histogram("store.sync.seconds").observe(
+            time.perf_counter() - started
+        )
 
     def close(self) -> None:
         """Sync and close the backing file."""
@@ -269,6 +312,7 @@ class LogStore:
         into place, so a crash during compaction loses nothing.
         """
         self.close()
+        _metrics.REGISTRY.counter("store.compactions").inc()
         directory = os.path.dirname(os.path.abspath(self._path)) or "."
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".compact")
         try:

@@ -9,6 +9,7 @@ from repro.core.relation import (
     flat_schema_of,
     join_with_fastpath,
 )
+from repro.obs.metrics import REGISTRY
 from repro.workloads.relations import flat_join_pair, random_partial_records
 
 
@@ -71,3 +72,42 @@ class TestFastpathEquivalence:
             random_partial_records(10, null_fraction=0.4, seed=seed + 100)
         )
         assert join_with_fastpath(left, right) == left.join(right)
+
+
+class TestFastpathCounters:
+    """The hit/miss counters make fast-path coverage measurable."""
+
+    def test_fastpath_actually_fires_on_flat_inputs(self):
+        left, right = flat_join_pair(20, key_cardinality=4, seed=11)
+        g_left, g_right = left.to_generalized(), right.to_generalized()
+        hits = REGISTRY.counter("relation.join_fastpath.hit")
+        misses = REGISTRY.counter("relation.join_fastpath.miss")
+        hits_before, misses_before = hits.value, misses.value
+        join_with_fastpath(g_left, g_right)
+        assert hits.value == hits_before + 1
+        assert misses.value == misses_before
+
+    def test_fallback_counts_as_miss(self):
+        left = GeneralizedRelation([{"K": 1, "A": 2}, {"K": 2}])
+        right = GeneralizedRelation([{"K": 1, "B": 3}])
+        misses = REGISTRY.counter("relation.join_fastpath.miss")
+        before = misses.value
+        join_with_fastpath(left, right)
+        assert misses.value == before + 1
+
+    def test_generic_join_counts_calls_and_pairs(self):
+        left = GeneralizedRelation([{"K": 1, "A": 2}, {"K": 2, "A": 3}])
+        right = GeneralizedRelation([{"K": 1, "B": 3}])
+        joins = REGISTRY.counter("relation.join")
+        pairs = REGISTRY.counter("relation.join.pairs")
+        joins_before, pairs_before = joins.value, pairs.value
+        left.join(right)
+        assert joins.value == joins_before + 1
+        assert pairs.value == pairs_before + 2
+
+    def test_insert_counted(self):
+        relation = GeneralizedRelation([{"A": 1}])
+        inserts = REGISTRY.counter("relation.insert")
+        before = inserts.value
+        relation.insert({"A": 2})
+        assert inserts.value == before + 1

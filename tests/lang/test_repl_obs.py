@@ -1,0 +1,99 @@
+"""REPL observability commands: ``:stats`` and ``:trace on|off``."""
+
+import pytest
+
+from repro.lang.repl import Repl
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY
+
+
+@pytest.fixture
+def repl_session():
+    lines = []
+    repl = Repl(writer=lines.append)
+    return repl, lines
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    previous = trace.CURRENT
+    yield
+    trace.set_tracer(previous)
+
+
+class TestStatsCommand:
+    def test_stats_prints_registry_table(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("2 + 2")  # records lang.runs
+        repl.handle(":stats")
+        text = "\n".join(lines)
+        assert "counters:" in text
+        assert "lang.runs" in text
+
+    def test_stats_reset_zeroes_registry(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("1 + 1")
+        assert REGISTRY.counter("lang.runs").value > 0
+        repl.handle(":stats reset")
+        assert "metrics reset" in lines
+        assert REGISTRY.counter("lang.runs").value == 0
+
+    def test_stats_usage_on_junk_argument(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":stats everything")
+        assert lines[-1] == "usage: :stats [reset]"
+
+
+class TestTraceCommand:
+    def test_trace_status_when_off(self, repl_session):
+        trace.disable()
+        repl, lines = repl_session
+        repl.handle(":trace")
+        assert lines[-1] == "tracing is off"
+
+    def test_trace_on_flips_the_global_switch(self, repl_session):
+        trace.disable()
+        repl, lines = repl_session
+        repl.handle(":trace on")
+        assert lines[-1] == "tracing on"
+        assert trace.CURRENT.enabled
+        repl.handle(":trace")
+        assert lines[-1] == "tracing is on"
+
+    def test_trace_off(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":trace on")
+        repl.handle(":trace off")
+        assert lines[-1] == "tracing off"
+        assert not trace.CURRENT.enabled
+
+    def test_trace_usage_on_junk_argument(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":trace sideways")
+        assert lines[-1] == "usage: :trace on|off"
+
+    def test_evaluation_prints_span_tree_while_tracing(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":trace on")
+        repl.handle("6 * 7")
+        text = "\n".join(lines)
+        assert "42" in lines
+        assert "lang.run" in text
+        assert "lang.parse" in text
+        assert "lang.eval" in text
+        # Nested spans render indented under their root.
+        assert any(line.startswith("  lang.parse") for line in text.splitlines())
+
+    def test_tracer_cleared_between_evaluations(self, repl_session):
+        repl, __ = repl_session
+        repl.handle(":trace on")
+        repl.handle("1 + 1")
+        # The REPL drains the tracer after printing, so a long session
+        # does not accumulate span trees.
+        assert trace.CURRENT.roots == []
+
+    def test_no_span_output_when_tracing_off(self, repl_session):
+        trace.disable()
+        repl, lines = repl_session
+        repl.handle("6 * 7")
+        assert lines == ["42"]

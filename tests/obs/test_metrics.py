@@ -1,0 +1,134 @@
+"""Counter/histogram behavior and the registry's JSON-able snapshot."""
+
+import json
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_default_and_delta(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.mean == 2.5
+
+    def test_empty_histogram_is_well_defined(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.percentile(95) == 0.0
+        snap = histogram.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_percentiles_on_known_data(self):
+        histogram = Histogram("h")
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+
+    def test_sample_ring_is_bounded_but_stats_are_exact(self):
+        histogram = Histogram("h", sample_cap=8)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert len(histogram._samples) == 8
+        # Count/sum/extrema cover *all* observations, not just the ring.
+        assert histogram.count == 100
+        assert histogram.max == 99.0
+        assert histogram.min == 0.0
+
+    def test_snapshot_shape(self):
+        histogram = Histogram("h")
+        histogram.observe(2.5)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "sum", "min", "max", "mean", "p50", "p95"}
+        assert snap["count"] == 1
+        assert snap["sum"] == 2.5
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x")
+        first.inc()
+        assert registry.counter("x") is first
+        assert registry.counter("x").value == 1
+
+    def test_histogram_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_is_json_compatible(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(7)
+        registry.histogram("lat").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"ops": 7}
+        assert snap["histograms"]["lat"]["count"] == 1
+        # Round-trips through JSON without custom encoders.
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_to_json_parses_back(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        parsed = json.loads(registry.to_json(indent=2))
+        assert parsed["counters"]["a"] == 1
+
+    def test_reset_zeroes_in_place_keeping_handles_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        counter.inc(9)
+        histogram.observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.count == 0
+        # Cached handles keep recording into the registry after reset.
+        counter.inc()
+        histogram.observe(2.0)
+        assert registry.snapshot()["counters"]["c"] == 1
+        assert registry.snapshot()["histograms"]["h"]["count"] == 1
+
+    def test_format_lists_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("store.appends").inc(3)
+        registry.histogram("store.sync.seconds").observe(0.001)
+        text = registry.format()
+        assert "counters:" in text
+        assert "store.appends" in text
+        assert "histograms:" in text
+        assert "store.sync.seconds" in text
+
+    def test_format_when_empty(self):
+        assert MetricsRegistry().format() == "(no metrics recorded)"
+
+    def test_global_registry_is_shared(self):
+        assert get_metrics() is REGISTRY
+        before = REGISTRY.counter("test.metrics.shared").value
+        REGISTRY.counter("test.metrics.shared").inc()
+        assert REGISTRY.counter("test.metrics.shared").value == before + 1

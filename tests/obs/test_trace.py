@@ -1,0 +1,163 @@
+"""Span nesting, timing, formatting, and the disabled no-op tracer."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import NOOP, NoOpTracer, Span, Tracer
+
+
+class FakeClock:
+    """A deterministic clock: each reading is one second after the last."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def restore_global_tracer():
+    """Leave the process-global tracer exactly as this test found it."""
+    previous = trace.CURRENT
+    yield
+    trace.set_tracer(previous)
+
+
+class TestSpanRecording:
+    def test_single_span_times_with_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work") as span_obj:
+            pass
+        # Enter reads the clock once (t=1), exit once more (t=2).
+        assert span_obj.elapsed == 1.0
+        assert tracer.roots == [span_obj]
+
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        # The outer span's wall time covers all inner readings.
+        assert outer.elapsed > outer.children[0].elapsed
+
+    def test_sibling_roots_stay_separate(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+        assert all(not r.children for r in tracer.roots)
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].elapsed is not None
+        assert tracer._stack == []
+
+    def test_tags_and_annotate(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("join", left=3) as span_obj:
+            span_obj.annotate(rows_out=9)
+        assert tracer.roots[0].tags == {"left": 3, "rows_out": 9}
+
+    def test_walk_find_and_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["a", "b", "b"]
+        assert len(tracer.find("b")) == 2
+        assert tracer.find("missing") == []
+
+    def test_format_renders_indented_tree_with_tags(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", n=2):
+            with tracer.span("inner"):
+                pass
+        text = tracer.roots[0].format()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer [")
+        assert lines[0].endswith("n=2")
+        assert lines[1].startswith("  inner [")
+        assert "ms]" in lines[0]
+
+    def test_open_span_formats_as_open(self):
+        span_obj = Span("pending")
+        assert "[open]" in span_obj.format()
+
+    def test_clear_drops_recorded_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.spans() == []
+
+
+class TestNoOpTracer:
+    def test_disabled_flag_and_no_recording(self):
+        assert NOOP.enabled is False
+        with NOOP.span("anything", k=1) as span_obj:
+            span_obj.annotate(more=2)
+        assert NOOP.spans() == []
+        assert NOOP.find("anything") == []
+        assert list(NOOP.roots) == []
+
+    def test_span_is_the_shared_singleton(self):
+        # The disabled path allocates nothing per call.
+        assert NOOP.span("a") is NOOP.span("b")
+
+    def test_clear_is_harmless(self):
+        NOOP.clear()
+
+
+class TestGlobalSwitch:
+    def test_default_is_disabled(self):
+        trace.set_tracer(None)
+        assert trace.CURRENT is NOOP
+        assert not trace.get_tracer().enabled
+
+    def test_enable_installs_recording_tracer(self):
+        trace.disable()
+        tracer = trace.enable()
+        assert isinstance(tracer, Tracer)
+        assert trace.CURRENT is tracer
+        assert trace.get_tracer().enabled
+
+    def test_enable_twice_keeps_recorded_spans(self):
+        trace.disable()
+        tracer = trace.enable()
+        with trace.span("kept"):
+            pass
+        assert trace.enable() is tracer
+        assert len(tracer.find("kept")) == 1
+
+    def test_disable_restores_noop(self):
+        trace.enable()
+        trace.disable()
+        assert trace.CURRENT is NOOP
+        assert isinstance(trace.CURRENT, NoOpTracer)
+
+    def test_module_level_span_follows_current(self):
+        tracer = trace.enable()
+        with trace.span("global.op", n=1):
+            pass
+        assert len(tracer.find("global.op")) == 1
+        trace.disable()
+        with trace.span("global.op"):
+            pass
+        assert len(tracer.find("global.op")) == 1  # unchanged
