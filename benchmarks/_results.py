@@ -7,9 +7,15 @@ leaves a JSON artifact beside its printed table::
     {
       "area": "join",
       "quick": false,
+      "git_sha": "d8f112b...",
+      "timestamp": "2026-08-05T12:00:00+00:00",
       "results": [{"op": "flat_join", "n": 150, "seconds": 0.0012}, ...],
       "metrics": { "counters": {...}, "histograms": {...} }
     }
+
+Each file is stamped with the commit it was measured at (``git_sha``,
+``null`` outside a git checkout) and the moment of the run (UTC ISO
+8601), so archived artifacts from different CI runs stay attributable.
 
 The embedded ``metrics`` snapshot comes from the process-global
 :data:`repro.obs.metrics.REGISTRY`, so counts like fast-path hits and
@@ -24,8 +30,10 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
 from repro.obs.metrics import REGISTRY
@@ -34,6 +42,26 @@ from repro.obs.metrics import REGISTRY
 def quick_requested(argv: Optional[List[str]] = None) -> bool:
     """Was ``--quick`` passed on the command line?"""
     return "--quick" in (argv if argv is not None else sys.argv[1:])
+
+
+def current_git_sha() -> Optional[str]:
+    """The HEAD commit of the working directory, or ``None``.
+
+    Benchmarks also run from exported tarballs and wheels, where there
+    is no repository — the stamp is best-effort, never a failure.
+    """
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = revision.stdout.strip()
+    return sha if revision.returncode == 0 and sha else None
 
 
 class ResultsWriter:
@@ -64,6 +92,10 @@ class ResultsWriter:
         payload = {
             "area": self.area,
             "quick": self.quick,
+            "git_sha": current_git_sha(),
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
             "results": self.rows,
             "metrics": REGISTRY.snapshot(),
         }

@@ -1,0 +1,120 @@
+"""Statistics collection cost and cost-based planning overhead.
+
+The cost-based optimizer is only worth having if its two overheads stay
+small: ``analyze`` is a deliberate, amortized scan (one pass per column
+plus a sort for the histogram), and consulting statistics at ``optimize``
+time must stay in the microsecond range because every query pays it.
+This benchmark measures both on the skewed-orders workload
+(:mod:`repro.workloads.queries`), and reports the payoff — worst-case
+estimate drift with and without statistics on the same plan.
+
+Run:  pytest benchmarks/bench_stats.py --benchmark-only
+      python benchmarks/bench_stats.py      (prints the table)
+"""
+
+import pytest
+
+from repro.core.index import Catalog
+from repro.core.query import analyze as run_analyze
+from repro.core.query import optimize
+from repro.stats.collect import analyze as collect_stats
+from repro.workloads.queries import orders_query, skewed_orders
+
+SIZES = [400, 4000]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_analyze_cost(benchmark, size):
+    relation = skewed_orders(size)
+    stats = benchmark(lambda: collect_stats(relation, name="orders"))
+    assert stats.row_count == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_planning_with_stats(benchmark, size):
+    catalog = Catalog({"orders": skewed_orders(size)})
+    catalog.create_index("orders", "Status")
+    catalog.analyze("orders")
+    plan = orders_query()
+    optimized = benchmark(lambda: optimize(plan, catalog))
+    assert optimized.execute(catalog) == plan.execute(catalog)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_planning_without_stats(benchmark, size):
+    catalog = Catalog({"orders": skewed_orders(size)})
+    catalog.create_index("orders", "Status")
+    plan = orders_query()
+    optimized = benchmark(lambda: optimize(plan, catalog))
+    assert optimized.execute(catalog) == plan.execute(catalog)
+
+
+def _max_drift_ratio(plan, catalog):
+    __, stats = run_analyze(optimize(plan, catalog), catalog)
+    return max(node.drift_ratio for node in stats.walk())
+
+
+def main():
+    try:
+        from benchmarks._results import ResultsWriter, quick_requested
+    except ImportError:
+        from _results import ResultsWriter, quick_requested
+
+    quick = quick_requested()
+    writer = ResultsWriter("stats", quick=quick)
+    sizes = (400,) if quick else (400, 4000, 20000)
+    plan_repeats = 100 if quick else 1000
+
+    print("stats — ANALYZE cost and planning overhead (skewed orders)")
+    print(
+        "%-8s %12s %16s %16s %10s %10s"
+        % ("rows", "analyze(s)", "plan+stats(s)", "plan-stats(s)",
+           "drift+", "drift-")
+    )
+    for size in sizes:
+        relation = skewed_orders(size)
+        __, analyze_t = writer.timeit(
+            "analyze", size, lambda: collect_stats(relation, name="orders")
+        )
+
+        cold = Catalog({"orders": relation})
+        cold.create_index("orders", "Status")
+        warm = Catalog({"orders": relation})
+        warm.create_index("orders", "Status")
+        warm.analyze("orders")
+        plan = orders_query()
+
+        def plan_many(catalog):
+            return lambda: [
+                optimize(plan, catalog) for __ in range(plan_repeats)
+            ]
+
+        __, with_t = writer.timeit(
+            "optimize_with_stats", size, plan_many(warm),
+            repeats=plan_repeats,
+        )
+        __, without_t = writer.timeit(
+            "optimize_without_stats", size, plan_many(cold),
+            repeats=plan_repeats,
+        )
+
+        drift_with = _max_drift_ratio(plan, warm)
+        drift_without = _max_drift_ratio(plan, cold)
+        writer.record("max_drift_with_stats", size, 0.0, ratio=drift_with)
+        writer.record(
+            "max_drift_without_stats", size, 0.0, ratio=drift_without
+        )
+        assert drift_with <= drift_without
+
+        print(
+            "%-8d %12.6f %16.6f %16.6f %9.2fx %9.2fx"
+            % (size, analyze_t, with_t, without_t, drift_with,
+               drift_without)
+        )
+
+    print("\n(plan columns time %d optimize() calls)" % plan_repeats)
+    print("results -> %s" % writer.write())
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.flat import FlatRelation
 from repro.errors import RelationError
+from repro.obs import metrics as _metrics
+from repro.stats.collect import TableStats
+from repro.stats.collect import analyze as _collect_stats
 
 
 class SortedIndex:
@@ -111,17 +114,35 @@ class SortedIndex:
 
 
 class Catalog:
-    """Named relations plus their secondary indexes.
+    """Named relations plus their secondary indexes and statistics.
 
     Quacks like the plain ``Mapping[str, FlatRelation]`` the query
     executor expects, and additionally answers :meth:`index_on`, which
     the optimizer uses to plant :class:`~repro.core.query.IndexScan`
-    nodes.
+    nodes, and :meth:`stats_for`, which the cost model consults for
+    measured selectivities.
+
+    Every relation carries a *bind epoch* — a staleness counter bumped
+    each time the name is rebound.  :meth:`analyze` stamps the collected
+    :class:`~repro.stats.collect.TableStats` with the epoch of the
+    moment, so :meth:`stats_stale` can tell whether the statistics still
+    describe the current value.  With ``auto_analyze=True`` statistics
+    are collected at registration time (and kept fresh on rebinds)
+    without any explicit calls.
     """
 
-    def __init__(self, relations: Optional[Mapping[str, FlatRelation]] = None):
-        self._relations: Dict[str, FlatRelation] = dict(relations or {})
+    def __init__(
+        self,
+        relations: Optional[Mapping[str, FlatRelation]] = None,
+        auto_analyze: bool = False,
+    ):
+        self._relations: Dict[str, FlatRelation] = {}
         self._indexes: Dict[Tuple[str, str], SortedIndex] = {}
+        self._stats: Dict[str, TableStats] = {}
+        self._epochs: Dict[str, int] = {}
+        self._auto_analyze = auto_analyze
+        for name, relation in (relations or {}).items():
+            self.bind(name, relation)
 
     def __getitem__(self, name: str) -> FlatRelation:
         try:
@@ -136,10 +157,18 @@ class Catalog:
         return iter(self._relations)
 
     def bind(self, name: str, relation: FlatRelation) -> None:
-        """(Re)bind a relation; its old indexes are dropped."""
+        """(Re)bind a relation; its old indexes are dropped.
+
+        Bumps the name's bind epoch, which marks previously collected
+        statistics stale (they are kept — a stale estimate still beats
+        a constant — unless ``auto_analyze`` refreshes them here).
+        """
         self._relations[name] = relation
+        self._epochs[name] = self._epochs.get(name, -1) + 1
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
+        if self._auto_analyze:
+            self.analyze(name)
 
     def create_index(self, name: str, attribute: str) -> SortedIndex:
         """Build (or rebuild) a sorted index on ``name.attribute``."""
@@ -156,3 +185,43 @@ class Catalog:
     def indexes(self) -> List[Tuple[str, str]]:
         """The (relation, attribute) pairs currently indexed."""
         return sorted(self._indexes)
+
+    # -- statistics ---------------------------------------------------------
+
+    def analyze(self, name: str, **options) -> TableStats:
+        """Collect and store statistics for ``name`` (see
+        :func:`repro.stats.collect.analyze`)."""
+        if name not in self._relations:
+            raise RelationError("catalog has no relation %r" % name)
+        stats = _collect_stats(
+            self._relations[name],
+            name=name,
+            epoch=self._epochs.get(name, 0),
+            **options,
+        )
+        self._stats[name] = stats
+        _metrics.REGISTRY.gauge("stats.catalog.analyzed_tables").set(
+            len(self._stats)
+        )
+        return stats
+
+    def analyze_all(self, **options) -> Dict[str, TableStats]:
+        """Collect statistics for every relation in the catalog."""
+        return {name: self.analyze(name, **options) for name in sorted(self)}
+
+    def stats_for(self, name: str) -> Optional[TableStats]:
+        """The stored statistics for ``name`` (possibly stale), if any."""
+        return self._stats.get(name)
+
+    def stats_stale(self, name: str) -> bool:
+        """Whether ``name`` was rebound since its statistics were taken.
+
+        ``True`` also when no statistics exist — either way,
+        :meth:`analyze` is due.
+        """
+        stats = self._stats.get(name)
+        return stats is None or stats.epoch != self._epochs.get(name, 0)
+
+    def bind_epoch(self, name: str) -> int:
+        """The staleness counter for ``name`` (bumped by every bind)."""
+        return self._epochs.get(name, 0)

@@ -12,7 +12,20 @@ The optimizer applies the textbook algebraic rewrites:
 * cascade and merge selections;
 * push selections below joins (to the side holding the attributes);
 * push projections down, keeping the attributes later operators need;
-* order join inputs by estimated cardinality (smaller build side).
+* greedily enumerate join orders over cardinality estimates (smallest
+  intermediate result first, cross products last);
+* choose index scans over filtered table scans when the cost model says
+  the probe is cheaper.
+
+Cardinality estimates consult the statistics subsystem
+(:mod:`repro.stats`): when the catalog carries
+:class:`~repro.stats.collect.TableStats` (see
+:meth:`repro.core.index.Catalog.analyze`), equality selectivities come
+from most-common-value lists, ranges from equi-depth histograms, and
+join sizes from the containment assumption on distinct counts.  Without
+statistics the historical 0.1/0.5 constants apply, so plain-dict
+catalogs behave as before.  Every estimate is clamped to a floor of one
+row, keeping drift ratios and join-order comparisons finite.
 
 Plans are immutable; ``optimize`` returns a new plan that computes the
 same relation (a property the test suite checks on random plans and
@@ -38,6 +51,12 @@ from repro.core.orders import AtomPayload
 from repro.errors import RelationError
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.stats import feedback as _feedback
+from repro.stats.cost import CostModel
+
+# The cost model every estimate consults; tests may swap it out, but the
+# plan classes read it at call time so there is one source of truth.
+COST_MODEL = CostModel()
 
 
 # ---------------------------------------------------------------------------
@@ -197,7 +216,7 @@ class Scan(Plan):
         return _relation(catalog, self.name)
 
     def estimate(self, catalog) -> float:
-        return float(len(_relation(catalog, self.name)))
+        return COST_MODEL.clamp_rows(len(_relation(catalog, self.name)))
 
     def label(self) -> str:
         return "Scan(%s)" % self.name
@@ -228,8 +247,12 @@ class Select(Plan):
         return child_result.select(self.predicate.evaluate)
 
     def estimate(self, catalog) -> float:
-        selectivity = 0.1 if self.predicate.op in ("==", "attr==") else 0.5
-        return self.child.estimate(catalog) * selectivity
+        selectivity = _predicate_selectivity(
+            self.predicate, self.child, catalog
+        )
+        return COST_MODEL.clamp_rows(
+            self.child.estimate(catalog) * selectivity
+        )
 
     def label(self) -> str:
         return "Select[%s]" % self.predicate
@@ -288,13 +311,30 @@ class Join(Plan):
         return left_result.natural_join(right_result)
 
     def estimate(self, catalog) -> float:
-        left = self.left.estimate(catalog)
-        right = self.right.estimate(catalog)
-        shared = set(self.left.schema(catalog)) & set(self.right.schema(catalog))
-        # Crude: a shared key divides the cross product by ~max side.
-        if shared:
-            return max(left, right, 1.0)
-        return left * right
+        left_rows = self.left.estimate(catalog)
+        right_rows = self.right.estimate(catalog)
+        shared = set(self.left.schema(catalog)) & set(
+            self.right.schema(catalog)
+        )
+        if not shared:
+            return COST_MODEL.clamp_rows(left_rows * right_rows)
+        rows = left_rows * right_rows
+        measured = False
+        for attribute in sorted(shared):
+            selectivity = COST_MODEL.join_selectivity(
+                _base_column_stats(self.left, catalog, attribute),
+                _base_column_stats(self.right, catalog, attribute),
+                left_rows,
+                right_rows,
+            )
+            if selectivity is not None:
+                rows *= selectivity
+                measured = True
+        if not measured:
+            # No statistics on any shared attribute: the historical crude
+            # guess — a shared key divides the cross product by ~max side.
+            return COST_MODEL.clamp_rows(max(left_rows, right_rows))
+        return COST_MODEL.clamp_rows(rows)
 
     def label(self) -> str:
         return "Join"
@@ -333,8 +373,18 @@ class IndexScan(Plan):
         return index.select(self.predicate.op, self.predicate.operand)
 
     def estimate(self, catalog) -> float:
-        selectivity = 0.1 if self.predicate.op == "==" else 0.5
-        return float(len(_relation(catalog, self.name))) * selectivity
+        stats = _catalog_stats(catalog, self.name)
+        column = (
+            stats.column(self.predicate.attribute)
+            if stats is not None
+            else None
+        )
+        selectivity = COST_MODEL.selectivity(
+            self.predicate.op, self.predicate.operand, column
+        )
+        return COST_MODEL.clamp_rows(
+            len(_relation(catalog, self.name)) * selectivity
+        )
 
     def label(self) -> str:
         return "IndexScan(%s)[%s]" % (self.name, self.predicate)
@@ -350,6 +400,54 @@ def _relation(catalog, name: str) -> FlatRelation:
         return catalog[name]
     except KeyError:
         raise RelationError("catalog has no relation %r" % (name,)) from None
+
+
+def _catalog_stats(catalog, name: str):
+    """The catalog's :class:`~repro.stats.collect.TableStats` for ``name``.
+
+    Plain-dict catalogs expose no ``stats_for`` and yield ``None``, which
+    sends every estimate down the historical fixed-constant path.
+    """
+    stats_for = getattr(catalog, "stats_for", None)
+    return stats_for(name) if stats_for is not None else None
+
+
+def _base_column_stats(plan: Plan, catalog, attribute: str):
+    """Column statistics for ``attribute`` at ``plan``'s base relation.
+
+    Walks down the plan tree to the :class:`Scan`/:class:`IndexScan`
+    that contributes ``attribute``; intermediate operators do not change
+    which base column the value came from (selections may shrink its
+    distinct count, which the cost model caps by the estimated rows).
+    """
+    if isinstance(plan, (Scan, IndexScan)):
+        stats = _catalog_stats(catalog, plan.name)
+        return stats.column(attribute) if stats is not None else None
+    for child in plan.children():
+        try:
+            schema = child.schema(catalog)
+        except RelationError:
+            continue
+        if attribute in schema:
+            found = _base_column_stats(child, catalog, attribute)
+            if found is not None:
+                return found
+    return None
+
+
+def _predicate_selectivity(
+    predicate: Predicate, child: Plan, catalog
+) -> float:
+    """Statistics-backed selectivity of ``predicate`` over ``child``'s rows."""
+    column = _base_column_stats(child, catalog, predicate.attribute)
+    other = (
+        _base_column_stats(child, catalog, str(predicate.operand))
+        if predicate.op == "attr=="
+        else None
+    )
+    return COST_MODEL.selectivity(
+        predicate.op, predicate.operand, column, other
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -370,10 +468,14 @@ _SARGABLE_OPS = ("==", "<", "<=", ">", ">=")
 
 
 def _use_indexes(plan: Plan, catalog) -> Plan:
-    """Rewrite ``Select(sargable, Scan)`` into an ``IndexScan``.
+    """Rewrite ``Select(sargable, Scan)`` into an ``IndexScan`` when the
+    cost model prefers the probe.
 
     Runs after selection pushdown so selections sit directly on their
-    base tables.  Only catalogs exposing ``index_on`` participate.
+    base tables.  Only catalogs exposing ``index_on`` participate; the
+    index-vs-scan decision compares the bisection-plus-matching-run cost
+    against the full scan using the (statistics-backed) selectivity, so
+    a predicate that keeps nearly every row stays a scan.
     """
     index_on = getattr(catalog, "index_on", None)
     if isinstance(plan, Select):
@@ -384,7 +486,12 @@ def _use_indexes(plan: Plan, catalog) -> Plan:
             and plan.predicate.op in _SARGABLE_OPS
             and index_on(child.name, plan.predicate.attribute) is not None
         ):
-            return IndexScan(child.name, plan.predicate)
+            table_rows = len(_relation(catalog, child.name))
+            selectivity = _predicate_selectivity(
+                plan.predicate, child, catalog
+            )
+            if COST_MODEL.prefer_index(table_rows, selectivity):
+                return IndexScan(child.name, plan.predicate)
         return Select(plan.predicate, child)
     if isinstance(plan, Project):
         return Project(plan.attributes, _use_indexes(plan.child, catalog))
@@ -436,17 +543,62 @@ def _sink_select(predicate: Predicate, plan: Plan, catalog) -> Plan:
 
 
 def _order_joins(plan: Plan, catalog) -> Plan:
+    """Greedy join-order enumeration over the cardinality estimates.
+
+    A chain of :class:`Join` nodes is flattened into its non-join
+    inputs, each recursively ordered, then rebuilt left-deep: start from
+    the smallest estimated input and repeatedly join the input that
+    minimizes the estimated intermediate result, always preferring a
+    join with shared attributes over a cross product.  The natural join
+    is associative and commutative, so any order computes the same
+    relation (the property suite checks this on random plans).
+    """
     if isinstance(plan, Join):
-        left = _order_joins(plan.left, catalog)
-        right = _order_joins(plan.right, catalog)
-        if left.estimate(catalog) > right.estimate(catalog):
-            left, right = right, left  # smaller side first (build side)
-        return Join(left, right)
+        leaves: List[Plan] = []
+        _flatten_joins(plan, leaves)
+        ordered = [_order_joins(leaf, catalog) for leaf in leaves]
+        return _greedy_join(ordered, catalog)
     if isinstance(plan, Select):
         return Select(plan.predicate, _order_joins(plan.child, catalog))
     if isinstance(plan, Project):
         return Project(plan.attributes, _order_joins(plan.child, catalog))
     return plan
+
+
+def _flatten_joins(plan: Plan, leaves: List[Plan]) -> None:
+    """Collect the maximal non-Join subtrees of a join chain, in order."""
+    if isinstance(plan, Join):
+        _flatten_joins(plan.left, leaves)
+        _flatten_joins(plan.right, leaves)
+    else:
+        leaves.append(plan)
+
+
+def _greedy_join(inputs: List[Plan], catalog) -> Plan:
+    """Left-deep greedy ordering of ``inputs`` (ties keep input order)."""
+    remaining = list(inputs)
+    seed = min(
+        range(len(remaining)),
+        key=lambda i: (remaining[i].estimate(catalog), i),
+    )
+    current = remaining.pop(seed)
+    joined_schema = set(current.schema(catalog))
+    while remaining:
+
+        def cost(i: int):
+            candidate = remaining[i]
+            crosses = not (joined_schema & set(candidate.schema(catalog)))
+            return (
+                crosses,
+                Join(current, candidate).estimate(catalog),
+                i,
+            )
+
+        best = min(range(len(remaining)), key=cost)
+        chosen = remaining.pop(best)
+        joined_schema |= set(chosen.schema(catalog))
+        current = Join(current, chosen)
+    return current
 
 
 def _push_projections(
@@ -544,8 +696,24 @@ class NodeStats:
 
     @property
     def drift(self) -> float:
-        """Actual rows over estimated rows (1.0 = perfect estimate)."""
-        return self.rows_out / self.estimate if self.estimate else float("inf")
+        """Actual rows over estimated rows (1.0 = perfect estimate).
+
+        The estimate is floored at one row (the optimizer clamps there
+        too), so the ratio is always finite — even for hand-built
+        ``NodeStats`` with a zero estimate.
+        """
+        return self.rows_out / max(self.estimate, 1.0)
+
+    @property
+    def drift_ratio(self) -> float:
+        """Symmetric drift: ``max(actual/estimate, estimate/actual)``.
+
+        Both sides floored at one row, so over- and under-estimates are
+        penalized alike and empty results stay finite.  1.0 is perfect.
+        """
+        actual = max(float(self.rows_out), 1.0)
+        estimate = max(self.estimate, 1.0)
+        return max(actual / estimate, estimate / actual)
 
     def walk(self):
         """This node and every descendant, depth-first."""
@@ -577,7 +745,7 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
     registry.counter("query.nodes").inc()
     registry.counter("query.rows_out").inc(len(result))
     registry.histogram("query.node.seconds").observe(self_seconds)
-    return result, NodeStats(
+    stats = NodeStats(
         label=plan.label(),
         estimate=plan.estimate(catalog),
         rows_in=tuple(len(r) for r in child_results),
@@ -586,6 +754,45 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
         total_seconds=self_seconds + sum(s.total_seconds for s in child_stats),
         children=child_stats,
     )
+    # Estimate-error accounting: the drift histogram tracks how wrong
+    # the optimizer is over the process lifetime; a "miss" is a node
+    # whose estimate is off by more than 2x in either direction.
+    registry.histogram("query.estimate.drift").observe(stats.drift_ratio)
+    if stats.drift_ratio > 2.0:
+        registry.counter("query.estimate.misses").inc()
+    _record_feedback(plan, stats, catalog)
+    return result, stats
+
+
+def _base_relation_name(plan: Plan) -> Optional[str]:
+    """The base table a single-input subtree reads, when unambiguous."""
+    while True:
+        if isinstance(plan, (Scan, IndexScan)):
+            return plan.name
+        children = plan.children()
+        if len(children) != 1:
+            return None
+        plan = children[0]
+
+
+def _record_feedback(plan: Plan, stats: NodeStats, catalog) -> None:
+    """Log the observed selectivity of selection nodes (the feedback hook)."""
+    if isinstance(plan, Select):
+        _feedback.record(
+            predicate=str(plan.predicate),
+            estimate=stats.estimate,
+            rows_in=stats.rows_in[0] if stats.rows_in else 0,
+            rows_out=stats.rows_out,
+            relation=_base_relation_name(plan.child),
+        )
+    elif isinstance(plan, IndexScan):
+        _feedback.record(
+            predicate=str(plan.predicate),
+            estimate=stats.estimate,
+            rows_in=len(_relation(catalog, plan.name)),
+            rows_out=stats.rows_out,
+            relation=plan.name,
+        )
 
 
 def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
@@ -596,7 +803,8 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
         else ""
     )
     lines = [
-        "%s%s  (estimate=%.1f)  (actual %srows=%d self=%.3fms total=%.3fms)"
+        "%s%s  (estimate=%.1f)  (actual %srows=%d self=%.3fms total=%.3fms"
+        " drift=%.2fx)"
         % (
             pad,
             stats.label,
@@ -605,6 +813,7 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
             stats.rows_out,
             stats.self_seconds * 1000.0,
             stats.total_seconds * 1000.0,
+            stats.drift_ratio,
         )
     ]
     for child in stats.children:
@@ -612,18 +821,38 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
     return lines
 
 
+def drift_summary(stats: NodeStats) -> str:
+    """One line summarizing estimate error over a measured plan tree."""
+    nodes = list(stats.walk())
+    worst = max(nodes, key=lambda n: n.drift_ratio)
+    mean = sum(n.drift_ratio for n in nodes) / len(nodes)
+    return "drift: max=%.2fx (%s) mean=%.2fx over %d nodes" % (
+        worst.drift_ratio,
+        worst.label,
+        mean,
+        len(nodes),
+    )
+
+
 def explain_analyze(plan: Plan, catalog) -> str:
     """The :func:`explain` tree annotated with *measured* execution.
 
     Runs the plan (like ``EXPLAIN ANALYZE``), printing next to every
     node the optimizer's cardinality estimate and the actual rows in and
-    out plus wall time (operator-only and subtree-total), so
-    estimate-vs-actual drift is visible at a glance::
+    out plus wall time (operator-only and subtree-total) and the
+    symmetric estimate drift, then a per-plan drift summary line::
 
-        Join  (estimate=4.0)  (actual rows_in=2+3 rows=2 self=0.031ms total=0.089ms)
-          Select[Dept == 'Sales']  (estimate=0.4)  (actual rows_in=4 rows=2 ...)
-            Scan(emp)  (estimate=4.0)  (actual rows=4 ...)
-          Scan(dept)  (estimate=3.0)  (actual rows=3 ...)
+        Join  (estimate=2.0)  (actual rows_in=2+3 rows=2 self=0.031ms total=0.089ms drift=1.00x)
+          Select[Dept == 'Sales']  (estimate=1.0)  (actual rows_in=4 rows=2 ... drift=2.00x)
+            Scan(emp)  (estimate=4.0)  (actual rows=4 ... drift=1.00x)
+          Scan(dept)  (estimate=3.0)  (actual rows=3 ... drift=1.00x)
+        drift: max=2.00x (Select[Dept == 'Sales']) mean=1.25x over 4 nodes
+
+    The tree's worst drift also lands in the
+    ``query.estimate.max_drift`` gauge, so dashboards see the latest
+    plan quality without parsing text.
     """
     __, stats = analyze(plan, catalog)
-    return "\n".join(_render_analyzed(stats, 0))
+    worst = max(node.drift_ratio for node in stats.walk())
+    _metrics.REGISTRY.gauge("query.estimate.max_drift").set(worst)
+    return "\n".join(_render_analyzed(stats, 0) + [drift_summary(stats)])

@@ -36,12 +36,24 @@ class Database:
     unconstrained structure the paper starts from.
     """
 
-    __slots__ = ("_members",)
+    __slots__ = ("_members", "_mutations")
 
     def __init__(self, members: Optional[List[object]] = None):
         self._members: List[Dynamic] = []
+        self._mutations = 0
         for member in members or []:
             self.insert(member)
+
+    @property
+    def mutation_count(self) -> int:
+        """Inserts plus removals since creation — the staleness counter.
+
+        Statistics collected over an extent
+        (:func:`repro.stats.collect.analyze_extent`) are stamped with
+        this value; a mismatch later means the stats no longer describe
+        the data and an ``analyze`` is due.
+        """
+        return self._mutations
 
     def insert(self, value: object, typ: Optional[Type] = None) -> Dynamic:
         """Append a value (sealed at ``typ`` if given) and return its Dynamic."""
@@ -50,6 +62,7 @@ class Database:
             typ,
         )
         self._members.append(member)
+        self._mutations += 1
         return member
 
     def remove(self, member: Dynamic) -> None:
@@ -61,6 +74,7 @@ class Database:
             self._members.remove(member)
         except ValueError:
             raise NotInDatabaseError("%r is not in the database" % (member,)) from None
+        self._mutations += 1
 
     def scan(self, typ: Type) -> List[Dynamic]:
         """Full-traversal extraction: dynamics whose carried type ``≤ typ``.

@@ -10,7 +10,15 @@ for ``extern``/``intern``).  Commands:
   prints its span tree (parse/check/eval, nested store and relation
   operations with rows and wall time);
 * ``:stats``         — dump the process-global metrics registry
-  (``:stats reset`` zeroes it);
+  (``:stats reset`` zeroes it); ``:stats <name>`` prints the column
+  statistics collected by ``:analyze <name>``;
+* ``:analyze <name>`` — collect column statistics (row/distinct counts,
+  null fractions, most-common values, equi-depth histograms) for a
+  session relation, feeding the cost-based optimizer;
+* ``:explain <expr>`` — compile a relational expression (a relation
+  variable, ``rjoin``, ``rproject``, ``rmatch``) to a query plan,
+  optimize it with whatever statistics have been collected, run it,
+  and print the EXPLAIN ANALYZE tree with per-node estimate drift;
 * ``:quit``          — leave.
 
 Everything else is checked and evaluated in the running session, so
@@ -21,21 +29,28 @@ interactive tradition.
 from __future__ import annotations
 
 import sys
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.errors import LanguageError, ReproError, TypeSystemError
+from repro.core.flat import FlatRelation
+from repro.core.index import Catalog
+from repro.core.query import Plan, eq, explain_analyze, optimize, scan
+from repro.core.relation import GeneralizedRelation, flat_schema_of
+from repro.errors import EvalError, LanguageError, ReproError, TypeSystemError
+from repro.lang import ast as _ast
 from repro.lang.checker import CheckEnv, check_program
 from repro.lang.eval import Interpreter, format_value
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.stats.collect import TableStats
+from repro.stats.collect import analyze as _analyze_stats
 
 PROMPT = "dbpl> "
 BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
-    "reproduction.  :type E, :ast E, :load FILE, :trace on|off, :stats,"
-    " :quit\n"
+    "reproduction.  :type E, :ast E, :load FILE, :trace on|off, :stats,\n"
+    ":analyze R, :explain E, :quit\n"
 )
 
 
@@ -53,6 +68,7 @@ class Repl:
     ):
         self._interp = Interpreter(store)
         self._write = writer if writer is not None else print
+        self._table_stats: Dict[str, TableStats] = {}
         self.done = False
 
     def handle(self, line: str) -> None:
@@ -81,6 +97,10 @@ class Repl:
             self._trace_command(argument)
         elif command == ":stats":
             self._stats_command(argument)
+        elif command == ":analyze":
+            self._analyze_command(argument)
+        elif command == ":explain":
+            self._explain_command(argument)
         else:
             self._write("unknown command %s" % command)
 
@@ -101,14 +121,134 @@ class Repl:
             self._write("usage: :trace on|off")
 
     def _stats_command(self, argument: str) -> None:
-        argument = argument.strip().lower()
-        if argument == "reset":
+        argument = argument.strip()
+        if argument.lower() == "reset":
             _metrics.reset_metrics()
             self._write("metrics reset")
         elif not argument:
             self._write(_metrics.REGISTRY.format())
+        elif argument in self._table_stats:
+            self._write(self._table_stats[argument].format())
         else:
-            self._write("usage: :stats [reset]")
+            self._write(
+                "no statistics for %r — run :analyze %s first"
+                % (argument, argument)
+            )
+
+    def _analyze_command(self, argument: str) -> None:
+        name = argument.strip()
+        if not name:
+            self._write("usage: :analyze <relation>")
+            return
+        try:
+            value = self._interp._globals.lookup(name)
+        except EvalError as exc:
+            self._write("error: %s" % exc)
+            return
+        if not isinstance(value, GeneralizedRelation):
+            self._write(
+                "error: %s is not a relation (use relation([...]))" % name
+            )
+            return
+        stats = _analyze_stats(value, name=name)
+        self._table_stats[name] = stats
+        self._write(
+            "analyzed %s: %d rows, %d columns"
+            % (name, stats.row_count, len(stats.columns))
+        )
+
+    def _explain_command(self, argument: str) -> None:
+        source = argument.strip()
+        if not source:
+            self._write("usage: :explain <relational expression>")
+            return
+        try:
+            program = parse_program(source)
+            declarations = program.declarations
+            if len(declarations) != 1 or not isinstance(
+                declarations[0], _ast.ExprStmt
+            ):
+                raise EvalError(
+                    ":explain takes a single relational expression"
+                )
+            catalog = Catalog()
+            plan = self._compile_plan(declarations[0].expr, catalog)
+            plan = optimize(plan, catalog)
+            self._write(explain_analyze(plan, catalog))
+        except (LanguageError, TypeSystemError, ReproError) as exc:
+            self._write("error: %s" % exc)
+
+    def _compile_plan(self, expr: "_ast.Expr", catalog: Catalog) -> Plan:
+        """Translate a relational DBPL expression into a query plan.
+
+        Supported shapes: a variable bound to a flat relation (becomes a
+        ``Scan``, registered in ``catalog`` — with fresh statistics when
+        the name was ``:analyze``d), ``rjoin(a, b)``, ``rproject(a,
+        [labels])``, and ``rmatch(a, {field = literal, ...})`` (one
+        equality selection per field).
+        """
+        if isinstance(expr, _ast.Var):
+            value = self._interp._globals.lookup(expr.name)
+            if not isinstance(value, GeneralizedRelation):
+                raise EvalError("%s is not a relation" % expr.name)
+            schema = flat_schema_of(value)
+            if schema is None:
+                raise EvalError(
+                    "%s is not flat (partial or nested members); :explain"
+                    " plans over flat relations only" % expr.name
+                )
+            catalog.bind(expr.name, FlatRelation.from_generalized(value, schema))
+            if expr.name in self._table_stats:
+                catalog.analyze(expr.name)
+            return scan(expr.name)
+        if isinstance(expr, _ast.Apply) and isinstance(
+            expr.function, _ast.Var
+        ):
+            function = expr.function.name
+            arguments = expr.arguments
+            if function == "rjoin" and len(arguments) == 2:
+                return self._compile_plan(arguments[0], catalog).join(
+                    self._compile_plan(arguments[1], catalog)
+                )
+            if function == "rproject" and len(arguments) == 2:
+                labels_expr = arguments[1]
+                if not isinstance(labels_expr, _ast.ListLit) or not all(
+                    isinstance(e, _ast.StringLit)
+                    for e in labels_expr.elements
+                ):
+                    raise EvalError(
+                        ":explain needs a literal label list in rproject"
+                    )
+                return self._compile_plan(arguments[0], catalog).project(
+                    [e.value for e in labels_expr.elements]
+                )
+            if function == "rmatch" and len(arguments) == 2:
+                pattern = arguments[1]
+                if not isinstance(pattern, _ast.RecordLit):
+                    raise EvalError(
+                        ":explain needs a literal record pattern in rmatch"
+                    )
+                plan = self._compile_plan(arguments[0], catalog)
+                for label, field in pattern.fields:
+                    if not isinstance(
+                        field,
+                        (
+                            _ast.IntLit,
+                            _ast.FloatLit,
+                            _ast.StringLit,
+                            _ast.BoolLit,
+                        ),
+                    ):
+                        raise EvalError(
+                            ":explain needs scalar literals in the rmatch"
+                            " pattern; %s is not one" % label
+                        )
+                    plan = plan.where(eq(label, field.value))
+                return plan
+        raise EvalError(
+            ":explain supports relation variables, rjoin, rproject and"
+            " rmatch only"
+        )
 
     def _show_type(self, source: str) -> None:
         if not source:

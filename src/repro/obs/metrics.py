@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
@@ -55,6 +56,33 @@ class Counter:
 
     def __repr__(self) -> str:
         return "Counter(%r, %d)" % (self.name, self.value)
+
+
+class Gauge:
+    """A named value that can go up or down (last write wins).
+
+    Counters accumulate and histograms aggregate; a gauge records a
+    *level* — the estimate drift of the most recent EXPLAIN ANALYZE,
+    the number of analyzed tables in a catalog — that later reads
+    should see as-is.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def reset(self) -> None:
+        """Back to zero (the registry-wide reset calls this)."""
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return "Gauge(%r, %g)" % (self.name, self.value)
 
 
 class Histogram:
@@ -137,6 +165,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -144,6 +173,13 @@ class MetricsRegistry:
         found = self._counters.get(name)
         if found is None:
             found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created at zero on first use)."""
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
         return found
 
     def histogram(self, name: str) -> Histogram:
@@ -157,10 +193,15 @@ class MetricsRegistry:
         """Counter values by name (a copy)."""
         return {name: c.value for name, c in sorted(self._counters.items())}
 
+    def gauges(self) -> Dict[str, float]:
+        """Gauge values by name (a copy)."""
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
     def snapshot(self) -> Dict[str, object]:
         """Everything, as plain JSON-compatible dicts."""
         return {
             "counters": self.counters(),
+            "gauges": self.gauges(),
             "histograms": {
                 name: h.snapshot()
                 for name, h in sorted(self._histograms.items())
@@ -179,6 +220,8 @@ class MetricsRegistry:
         """
         for counter in self._counters.values():
             counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
         for histogram in self._histograms.values():
             histogram.reset()
 
@@ -189,6 +232,10 @@ class MetricsRegistry:
             lines.append("counters:")
             for name, counter in sorted(self._counters.items()):
                 lines.append("  %-40s %d" % (name, counter.value))
+        if self._gauges:
+            lines.append("gauges:")
+            for name, gauge in sorted(self._gauges.items()):
+                lines.append("  %-40s %g" % (name, gauge.value))
         if self._histograms:
             lines.append("histograms:")
             for name, histogram in sorted(self._histograms.items()):

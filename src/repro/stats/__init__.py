@@ -1,0 +1,56 @@
+"""Column statistics, histograms, and the cost model behind the optimizer.
+
+The subsystem the ROADMAP's estimate-drift item asked for, sitting
+below the query language exactly where Dearle et al. argue system
+services belong:
+
+* :mod:`repro.stats.collect` — ``analyze()`` scans a relation (flat,
+  generalized, or an extent of a heterogeneous database) into per-
+  attribute :class:`ColumnStats`: distinct counts, null/absent
+  fractions (partial records!), min/max, most-common values, and an
+  equi-depth histogram;
+* :mod:`repro.stats.histogram` — the :class:`EquiDepthHistogram` those
+  range estimates interpolate over;
+* :mod:`repro.stats.cost` — the :class:`CostModel` the optimizer
+  consults: MCV/1-distinct equality, histogram ranges, containment
+  joins, and the index-vs-scan access-path decision, all clamped to a
+  one-row floor;
+* :mod:`repro.stats.feedback` — observed selectivities recorded by
+  ``EXPLAIN ANALYZE`` runs, closing the estimate-vs-actual loop.
+
+Statistics live in the catalog (:class:`repro.core.index.Catalog`),
+which stamps them with a bind epoch so staleness is detectable; the
+REPL exposes collection and display as ``:analyze <name>`` and
+``:stats <name>``.
+"""
+
+from repro.stats.collect import (
+    ColumnStats,
+    TableStats,
+    analyze,
+    analyze_extent,
+)
+from repro.stats.cost import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    MIN_ROWS,
+    CostModel,
+)
+from repro.stats.feedback import FEEDBACK, FeedbackLog, Observation
+from repro.stats.histogram import EquiDepthHistogram, order_key
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "analyze",
+    "analyze_extent",
+    "CostModel",
+    "DEFAULT_EQ_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "MIN_ROWS",
+    "EquiDepthHistogram",
+    "order_key",
+    "FEEDBACK",
+    "FeedbackLog",
+    "Observation",
+]

@@ -1,0 +1,132 @@
+"""Execution feedback: observed selectivities flowing back from EXPLAIN ANALYZE.
+
+Every measured run of a selection node (``Select`` or ``IndexScan``)
+records an :class:`Observation` here: the predicate, the optimizer's
+estimate, and the actual rows in and out.  The log closes the loop
+between planning and execution —
+
+* regression tests assert that statistics-backed estimates beat the old
+  fixed constants on the standard workloads;
+* ``observed_selectivity`` answers "what fraction of rows did this
+  predicate actually keep, averaged over runs", which a later PR can
+  feed back into planning (PostgreSQL's ``pg_stat_statements``-style
+  loop).
+
+The log is bounded (a ring of the most recent observations) and
+process-global, like the metrics registry it complements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["Observation", "FeedbackLog", "FEEDBACK", "record", "clear"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured execution of one selection node."""
+
+    predicate: str  # the predicate's string rendering (stable key)
+    relation: Optional[str]  # base relation, when known (IndexScan/Scan)
+    estimate: float  # the optimizer's cardinality guess
+    rows_in: int  # rows entering the node
+    rows_out: int  # rows the predicate kept
+
+    @property
+    def observed_selectivity(self) -> float:
+        """The fraction of input rows the predicate actually kept."""
+        return self.rows_out / self.rows_in if self.rows_in else 0.0
+
+    @property
+    def drift_ratio(self) -> float:
+        """Estimate-vs-actual error, symmetric and floored at one row."""
+        actual = max(float(self.rows_out), 1.0)
+        estimate = max(self.estimate, 1.0)
+        return max(actual / estimate, estimate / actual)
+
+
+class FeedbackLog:
+    """A bounded ring of :class:`Observation` records."""
+
+    def __init__(self, capacity: int = 1024):
+        self._capacity = capacity
+        self._observations: List[Observation] = []
+        self._next = 0
+
+    def record(self, observation: Observation) -> None:
+        """Add one observation (evicting the oldest once full)."""
+        if len(self._observations) < self._capacity:
+            self._observations.append(observation)
+        else:
+            self._observations[self._next % self._capacity] = observation
+        self._next += 1
+        _metrics.REGISTRY.counter("stats.feedback.observations").inc()
+
+    def observations(
+        self, predicate: Optional[str] = None
+    ) -> Tuple[Observation, ...]:
+        """All retained observations, optionally for one predicate."""
+        if predicate is None:
+            return tuple(self._observations)
+        return tuple(
+            o for o in self._observations if o.predicate == predicate
+        )
+
+    def observed_selectivity(self, predicate: str) -> Optional[float]:
+        """The mean observed selectivity of ``predicate`` (``None`` if
+        never seen)."""
+        matching = self.observations(predicate)
+        if not matching:
+            return None
+        return sum(o.observed_selectivity for o in matching) / len(matching)
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate drift over the retained window (JSON-compatible)."""
+        if not self._observations:
+            return {"observations": 0}
+        ratios = [o.drift_ratio for o in self._observations]
+        return {
+            "observations": len(self._observations),
+            "mean_drift": sum(ratios) / len(ratios),
+            "max_drift": max(ratios),
+        }
+
+    def clear(self) -> None:
+        """Forget everything (tests and benchmark phases use this)."""
+        self._observations.clear()
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+
+# The process-global log the query executor records into.
+FEEDBACK = FeedbackLog()
+
+
+def record(
+    predicate: str,
+    estimate: float,
+    rows_in: int,
+    rows_out: int,
+    relation: Optional[str] = None,
+) -> Observation:
+    """Record one observation in the global log and return it."""
+    observation = Observation(
+        predicate=predicate,
+        relation=relation,
+        estimate=estimate,
+        rows_in=rows_in,
+        rows_out=rows_out,
+    )
+    FEEDBACK.record(observation)
+    return observation
+
+
+def clear() -> None:
+    """Empty the global log."""
+    FEEDBACK.clear()

@@ -10,7 +10,10 @@ runs on synthetic workloads whose parameters match the prose:
   controllable sharing factor (experiment E2);
 * :mod:`repro.workloads.relations` — generalized and flat relations
   with controllable overlap and null fractions (experiments F1-adjacent
-  scaling, E4, E5).
+  scaling, E4, E5);
+* :mod:`repro.workloads.queries` — named relations and queries with
+  hand-checkable cardinalities, plus a skew dial, for the cost-based
+  optimizer's estimate-drift experiments.
 
 All generators take an explicit ``seed`` and use a private
 ``random.Random``, so runs are reproducible.
@@ -26,6 +29,15 @@ from repro.workloads.employees import (
     synthetic_hierarchy,
 )
 from repro.workloads.parts import ladder_dag, random_dag, uniform_tree
+from repro.workloads.queries import (
+    employees_catalog,
+    employees_query,
+    orders_catalog,
+    orders_query,
+    parts_catalog,
+    parts_query,
+    skewed_orders,
+)
 from repro.workloads.relations import (
     flat_join_pair,
     random_flat_relation,
@@ -48,4 +60,11 @@ __all__ = [
     "random_flat_relation",
     "random_generalized_relation",
     "random_partial_records",
+    "employees_catalog",
+    "employees_query",
+    "orders_catalog",
+    "orders_query",
+    "parts_catalog",
+    "parts_query",
+    "skewed_orders",
 ]

@@ -1,0 +1,120 @@
+"""Relational query workloads for the cost-based optimizer.
+
+The statistics experiments need named relations plus queries whose true
+cardinalities are known, so estimate drift can be asserted exactly.  Two
+of the workloads are the paper's own running examples — employees joined
+with departments (Figure 1) and parts with suppliers — small enough to
+check by hand; :func:`skewed_orders` adds a synthetic relation with a
+deliberately skewed column, where the fixed-selectivity guess is wrong
+by design and only measured statistics (an MCV hit) recover the truth.
+
+Shared between ``tests/stats/`` and ``benchmarks/bench_stats.py`` so the
+regression tests and the perf numbers describe the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.flat import FlatRelation
+from repro.core.index import Catalog
+from repro.core.query import Plan, eq, scan
+
+# -- the paper's running examples -------------------------------------------
+
+EMPLOYEES = FlatRelation(
+    ("Emp", "Dept", "Salary"),
+    [
+        ("Smith", "Sales", 40),
+        ("Jones", "Sales", 50),
+        ("Brown", "Manuf", 40),
+        ("Green", "Manuf", 60),
+        ("White", "Admin", 55),
+    ],
+)
+DEPARTMENTS = FlatRelation(
+    ("Dept", "City"),
+    [("Sales", "Glasgow"), ("Manuf", "Lochgilphead"), ("Admin", "Glasgow")],
+)
+PARTS = FlatRelation(
+    ("Part", "Supplier", "Weight"),
+    [
+        ("bolt", "acme", 1),
+        ("nut", "acme", 1),
+        ("plate", "forge", 9),
+        ("beam", "forge", 40),
+    ],
+)
+SUPPLIERS = FlatRelation(
+    ("Supplier", "City"),
+    [("acme", "Glasgow"), ("forge", "Penn")],
+)
+
+
+def employees_catalog() -> Catalog:
+    """A fresh catalog of the Figure-1 employees and departments."""
+    return Catalog({"emp": EMPLOYEES, "dept": DEPARTMENTS})
+
+
+def parts_catalog() -> Catalog:
+    """A fresh catalog of the parts and suppliers example."""
+    return Catalog({"part": PARTS, "supplier": SUPPLIERS})
+
+
+def employees_query() -> Plan:
+    """Who works in manufacturing, and where?  (2 of 5 employees.)"""
+    return (
+        scan("emp")
+        .join(scan("dept"))
+        .where(eq("Dept", "Manuf"))
+        .project(["Emp", "City"])
+    )
+
+
+def parts_query() -> Plan:
+    """Parts supplied from Glasgow.  (2 of 4 parts.)"""
+    return (
+        scan("part")
+        .join(scan("supplier"))
+        .where(eq("City", "Glasgow"))
+        .project(["Part", "City"])
+    )
+
+
+# -- a skewed synthetic relation --------------------------------------------
+
+# Status frequencies: heavily skewed, so the 0.1 default equality
+# selectivity is wrong in both directions ('shipped' is 6x more common,
+# 'failed' 5x rarer).
+_STATUSES = (("shipped", 0.60), ("pending", 0.25), ("returned", 0.13),
+             ("failed", 0.02))
+
+
+def skewed_orders(rows: int = 400, seed: int = 1986) -> FlatRelation:
+    """``rows`` orders with a skewed Status column (see ``_STATUSES``).
+
+    Order numbers are unique so no rows collapse; the draw is seeded, so
+    the same ``(rows, seed)`` always yields the same relation.
+    """
+    rng = random.Random(seed)
+    statuses = [status for status, __ in _STATUSES]
+    weights = [weight for __, weight in _STATUSES]
+    return FlatRelation(
+        ("Order", "Status", "Qty"),
+        [
+            (number, rng.choices(statuses, weights)[0], rng.randrange(1, 100))
+            for number in range(rows)
+        ],
+    )
+
+
+def orders_catalog(rows: int = 400, seed: int = 1986) -> Catalog:
+    """A catalog of :func:`skewed_orders` with a Status index built."""
+    catalog = Catalog({"orders": skewed_orders(rows, seed)})
+    catalog.create_index("orders", "Status")
+    return catalog
+
+
+def orders_query(status: str = "failed") -> Plan:
+    """Orders in the given status — answered from the Status index."""
+    return scan("orders").where(eq("Status", status))

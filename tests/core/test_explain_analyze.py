@@ -53,11 +53,15 @@ EMPLOYEES_CATALOG = {"emp": EMP, "dept": DEPT}
 PARTS_CATALOG = {"part": PART, "supplier": SUPPLIER}
 
 # One line per node: label, the optimizer's estimate, then the measured
-# rows and wall-clock (operator-only and subtree-total).
+# rows, wall-clock (operator-only and subtree-total), and estimate drift.
 LINE = re.compile(
     r"^\s*\S.*\(estimate=\d+(\.\d+)?\)"
     r"\s+\(actual (rows_in=\d+(\+\d+)*\s+)?rows=\d+"
-    r" self=\d+\.\d{3}ms total=\d+\.\d{3}ms\)$"
+    r" self=\d+\.\d{3}ms total=\d+\.\d{3}ms drift=\d+\.\d{2}x\)$"
+)
+# The trailing summary: worst offender, mean, node count.
+SUMMARY = re.compile(
+    r"^drift: max=\d+\.\d{2}x \(.+\) mean=\d+\.\d{2}x over \d+ nodes$"
 )
 
 
@@ -86,10 +90,11 @@ def parts_query():
 def test_every_node_shows_estimate_and_actuals(plan_factory, catalog):
     plan = optimize(plan_factory(), catalog)
     text = explain_analyze(plan, catalog)
-    lines = text.splitlines()
+    *lines, summary = text.splitlines()
     assert lines  # non-empty plan
     for line in lines:
         assert LINE.match(line), "malformed explain_analyze line: %r" % line
+    assert SUMMARY.match(summary), "malformed drift summary: %r" % summary
     # One output line per plan node, in the same order as explain().
     assert len(lines) == len(explain(plan, 0).splitlines())
     for analyzed, plain in zip(lines, explain(plan, 0).splitlines()):
@@ -123,12 +128,31 @@ def test_drift_exposes_estimate_vs_actual():
     __, stats = analyze(optimize(employees_query(), catalog), catalog)
     selects = [n for n in stats.walk() if n.label.startswith("Select")]
     assert selects
-    # The fixed 0.1 equality selectivity guesses 0.5 rows for the Manuf
-    # filter; actually 2 of 5 employees match — a 4x underestimate.
+    # Without statistics the fixed 0.1 equality selectivity guesses
+    # 0.5 rows for the Manuf filter, which the cost model floors to the
+    # 1-row minimum; actually 2 of 5 employees match — a 2x underestimate.
     manuf = selects[0]
     assert manuf.rows_out == 2
-    assert manuf.estimate == pytest.approx(0.5)
-    assert manuf.drift == pytest.approx(4.0)
+    assert manuf.estimate == pytest.approx(1.0)
+    assert manuf.drift == pytest.approx(2.0)
+    assert manuf.drift_ratio == pytest.approx(2.0)
+
+
+def test_drift_ratio_is_symmetric_and_never_infinite():
+    catalog = EMPLOYEES_CATALOG
+    plan = optimize(
+        scan("emp").where(eq("Emp", "Nobody")), catalog
+    )
+    __, stats = analyze(plan, catalog)
+    select = next(n for n in stats.walk() if n.label.startswith("Select"))
+    # Zero actual rows against the floored 1-row estimate: the old code
+    # divided by a 0.5-row estimate and could report inf; both drift and
+    # the symmetric ratio must stay finite and >= 1.
+    assert select.rows_out == 0
+    assert select.estimate >= 1.0
+    assert select.drift == pytest.approx(0.0)
+    assert select.drift_ratio >= 1.0
+    assert select.drift_ratio != float("inf")
 
 
 def test_index_scan_plan_reports_actuals():

@@ -60,6 +60,52 @@ class TestSortedIndex:
             via_scan = EMP.select(predicate.evaluate)
             assert via_index == via_scan
 
+    def test_lookup_range_on_empty_relation(self):
+        empty = FlatRelation(("Name", "Salary"))
+        index = SortedIndex(empty, "Salary")
+        assert len(index) == 0
+        assert index.lookup_range() == []
+        assert index.lookup_range(0, 100) == []
+        assert index.lookup_eq(10) == []
+
+    def test_lookup_range_inverted_bounds_is_empty(self):
+        index = SortedIndex(EMP, "Salary")
+        assert index.lookup_range(30, 20) == []
+        assert index.lookup_range(30, 20, low_inclusive=False,
+                                  high_inclusive=False) == []
+
+    def test_lookup_range_degenerate_single_value(self):
+        index = SortedIndex(EMP, "Salary")
+        assert {row["Name"] for row in index.lookup_range(20, 20)} == {
+            "B", "C"
+        }
+        assert index.lookup_range(20, 20, low_inclusive=False) == []
+        assert index.lookup_range(20, 20, high_inclusive=False) == []
+
+    def test_lookup_range_bounds_between_keys(self):
+        index = SortedIndex(EMP, "Salary")
+        # Neither bound is a stored key: 15..35 still brackets 20,20,30.
+        assert len(index.lookup_range(15, 35)) == 3
+        assert index.lookup_range(41, 99) == []
+        assert index.lookup_range(-5, 5) == []
+
+    def test_lookup_range_mixed_type_keys(self):
+        mixed = FlatRelation(
+            ("Name", "Tag"),
+            [("A", 1), ("B", 9), ("C", "high"), ("D", "low"), ("E", True)],
+        )
+        index = SortedIndex(mixed, "Tag")
+        # The (type name, value) tagging groups by type: bool < int < str.
+        ints = index.lookup_range(0, 100)
+        assert {row["Name"] for row in ints} == {"A", "B"}
+        strings = index.lookup_range("a", "z")
+        assert {row["Name"] for row in strings} == {"C", "D"}
+        assert {row["Name"] for row in index.lookup_eq(True)} == {"E"}
+        # bool operands never capture the int 1, and vice versa.
+        assert index.lookup_eq(1) == [{"Name": "A", "Tag": 1}]
+        everything = index.lookup_range()
+        assert len(everything) == 5
+
     def test_unsupported_operator(self):
         with pytest.raises(RelationError):
             SortedIndex(EMP, "Salary").select("!=", 20)

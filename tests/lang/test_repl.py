@@ -140,3 +140,120 @@ class TestStoreBackedRepl:
         second = Repl(path, writer=second_lines.append)
         second.handle('coerce intern("x") to Int + 1')
         assert second_lines[-1] == "42"
+
+
+EMP_SOURCE = (
+    'let emp = relation(['
+    '{Emp = "Smith", Dept = "Sales", Salary = 40}, '
+    '{Emp = "Jones", Dept = "Sales", Salary = 50}, '
+    '{Emp = "Brown", Dept = "Manuf", Salary = 40}, '
+    '{Emp = "Green", Dept = "Manuf", Salary = 60}, '
+    '{Emp = "White", Dept = "Admin", Salary = 55}]);'
+)
+DEPT_SOURCE = (
+    'let dept = relation(['
+    '{Dept = "Sales", City = "Glasgow"}, '
+    '{Dept = "Manuf", City = "Lochgilphead"}, '
+    '{Dept = "Admin", City = "Glasgow"}]);'
+)
+
+
+class TestAnalyzeCommand:
+    def test_analyze_then_stats(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(EMP_SOURCE)
+        repl.handle(":analyze emp")
+        assert lines[-1] == "analyzed emp: 5 rows, 3 columns"
+        repl.handle(":stats emp")
+        assert lines[-1].startswith("emp: 5 rows, 3 columns")
+        assert "Dept" in lines[-1]
+        assert "'Manuf' 40%" in lines[-1]
+
+    def test_stats_without_analyze(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":stats nothere")
+        assert "run :analyze nothere first" in lines[0]
+
+    def test_stats_registry_and_reset_still_work(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("1 + 1")
+        repl.handle(":stats")
+        assert any("lang.runs" in line for line in lines)
+        repl.handle(":stats reset")
+        assert lines[-1] == "metrics reset"
+
+    def test_analyze_unbound_name(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":analyze ghost")
+        assert lines[0].startswith("error:")
+
+    def test_analyze_non_relation(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("let x = 42;")
+        repl.handle(":analyze x")
+        assert "not a relation" in lines[-1]
+
+    def test_analyze_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":analyze")
+        assert "usage" in lines[0]
+
+
+class TestExplainCommand:
+    def test_explain_select_over_relation(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(EMP_SOURCE)
+        repl.handle(':explain rmatch(emp, {Dept = "Manuf"})')
+        text = "\n".join(lines)
+        assert "Select[Dept == 'Manuf']" in text
+        assert "Scan(emp)" in text
+        assert "drift: max=" in lines[-1]
+
+    def test_explain_join_project(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(EMP_SOURCE)
+        repl.handle(DEPT_SOURCE)
+        repl.handle(
+            ':explain rproject(rmatch(rjoin(emp, dept),'
+            ' {Dept = "Manuf"}), ["Emp", "City"])'
+        )
+        text = "\n".join(lines)
+        assert "Join" in text
+        assert "rows=2" in text
+
+    def test_explain_estimates_improve_after_analyze(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(EMP_SOURCE)
+        repl.handle(':explain rmatch(emp, {Dept = "Manuf"})')
+        before = next(l for l in lines if "Select" in l)
+        assert "(estimate=1.0)" in before
+        lines.clear()
+        repl.handle(":analyze emp")
+        repl.handle(':explain rmatch(emp, {Dept = "Manuf"})')
+        after = next(l for l in lines if "Select" in l)
+        assert "(estimate=2.0)" in after
+        assert "drift=1.00x" in after
+
+    def test_explain_unbound_relation(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":explain ghost")
+        assert lines[0].startswith("error:")
+
+    def test_explain_unsupported_expression(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":explain 1 + 2")
+        assert lines[0].startswith("error:")
+        assert "rjoin" in lines[0]
+
+    def test_explain_non_literal_pattern(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(EMP_SOURCE)
+        repl.handle("let target = \"Manuf\";")
+        repl.handle(":explain rmatch(emp, {Dept = target})")
+        assert lines[-1].startswith("error:")
+        assert "literal" in lines[-1]
+
+    def test_explain_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":explain")
+        assert "usage" in lines[0]

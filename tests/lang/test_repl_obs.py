@@ -38,10 +38,16 @@ class TestStatsCommand:
         assert "metrics reset" in lines
         assert REGISTRY.counter("lang.runs").value == 0
 
-    def test_stats_usage_on_junk_argument(self, repl_session):
+    def test_stats_with_unanalyzed_name_points_at_analyze(
+        self, repl_session
+    ):
+        # A non-reset argument now names a relation; without collected
+        # statistics the REPL points at :analyze.
         repl, lines = repl_session
         repl.handle(":stats everything")
-        assert lines[-1] == "usage: :stats [reset]"
+        assert lines[-1] == (
+            "no statistics for 'everything' — run :analyze everything first"
+        )
 
 
 class TestTraceCommand:

@@ -1,0 +1,74 @@
+"""The cost model: selectivities, cardinality floor, access-path choice."""
+
+import pytest
+
+from repro.stats.collect import analyze
+from repro.stats.cost import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    MIN_ROWS,
+    CostModel,
+)
+from repro.workloads.queries import EMPLOYEES
+
+MODEL = CostModel()
+STATS = analyze(EMPLOYEES, name="emp")
+
+
+class TestSelectivity:
+    def test_defaults_without_statistics(self):
+        assert MODEL.selectivity("==", 42) == DEFAULT_EQ_SELECTIVITY
+        assert MODEL.selectivity("<", 42) == DEFAULT_RANGE_SELECTIVITY
+        assert MODEL.selectivity("attr==", "Dept") == DEFAULT_EQ_SELECTIVITY
+
+    def test_equality_uses_mcvs(self):
+        dept = STATS.column("Dept")
+        assert MODEL.selectivity("==", "Manuf", dept) == pytest.approx(0.4)
+        assert MODEL.selectivity("!=", "Manuf", dept) == pytest.approx(0.6)
+
+    def test_range_uses_histogram(self):
+        salary = STATS.column("Salary")
+        measured = MODEL.selectivity("<=", 60, salary)
+        assert measured == pytest.approx(1.0)
+        assert MODEL.selectivity("<", 40, salary) == pytest.approx(0.0)
+
+    def test_attr_eq_uses_larger_distinct_count(self):
+        dept = STATS.column("Dept")  # 3 distinct
+        emp = STATS.column("Emp")  # 5 distinct
+        assert MODEL.selectivity("attr==", None, dept, emp) == pytest.approx(
+            1.0 / 5
+        )
+
+    def test_join_selectivity_containment(self):
+        dept = STATS.column("Dept")
+        assert MODEL.join_selectivity(dept, None, 5, 3) == pytest.approx(
+            1.0 / 3
+        )
+        assert MODEL.join_selectivity(None, None, 5, 3) is None
+
+    def test_join_distinct_capped_by_estimated_rows(self):
+        emp = STATS.column("Emp")  # 5 distinct
+        # A selection below the join leaves an estimated 2 rows; they
+        # cannot carry 5 distinct values.
+        assert MODEL.join_selectivity(emp, None, 2.0, 10.0) == pytest.approx(
+            1.0 / 2
+        )
+
+
+class TestCardinalityFloor:
+    def test_clamp_rows_floors_at_one(self):
+        assert CostModel.clamp_rows(0.0) == MIN_ROWS
+        assert CostModel.clamp_rows(0.4) == MIN_ROWS
+        assert CostModel.clamp_rows(7.5) == 7.5
+
+
+class TestAccessPath:
+    def test_selective_predicate_prefers_index(self):
+        assert MODEL.prefer_index(500, 0.1)
+
+    def test_unselective_predicate_prefers_scan(self):
+        assert not MODEL.prefer_index(500, 0.999)
+
+    def test_index_cost_is_bisection_plus_run(self):
+        cost = CostModel.index_scan_cost(1024, 0.5)
+        assert cost == pytest.approx(10 + 512)

@@ -1,0 +1,86 @@
+"""The feedback log: observed selectivities from measured runs."""
+
+import pytest
+
+from repro.core.query import analyze, optimize
+from repro.stats import feedback
+from repro.stats.feedback import FeedbackLog, Observation
+from repro.workloads.queries import employees_catalog, employees_query
+
+
+class TestObservation:
+    def test_observed_selectivity(self):
+        obs = Observation("Dept == 'Manuf'", "emp", 1.0, 5, 2)
+        assert obs.observed_selectivity == pytest.approx(0.4)
+
+    def test_zero_rows_in(self):
+        obs = Observation("x", None, 1.0, 0, 0)
+        assert obs.observed_selectivity == 0.0
+
+    def test_drift_ratio_symmetric_and_finite(self):
+        over = Observation("x", None, 8.0, 10, 2)
+        under = Observation("x", None, 2.0, 10, 8)
+        assert over.drift_ratio == pytest.approx(4.0)
+        assert under.drift_ratio == pytest.approx(4.0)
+        empty = Observation("x", None, 0.0, 10, 0)
+        assert empty.drift_ratio == 1.0
+
+
+class TestFeedbackLog:
+    def test_ring_evicts_oldest(self):
+        log = FeedbackLog(capacity=2)
+        for i in range(3):
+            log.record(Observation("p%d" % i, None, 1.0, 10, i))
+        assert len(log) == 2
+        kept = {o.predicate for o in log.observations()}
+        assert kept == {"p1", "p2"}
+
+    def test_observed_selectivity_averages_per_predicate(self):
+        log = FeedbackLog()
+        log.record(Observation("p", None, 1.0, 10, 2))
+        log.record(Observation("p", None, 1.0, 10, 4))
+        log.record(Observation("q", None, 1.0, 10, 9))
+        assert log.observed_selectivity("p") == pytest.approx(0.3)
+        assert log.observed_selectivity("missing") is None
+
+    def test_summary(self):
+        log = FeedbackLog()
+        assert log.summary() == {"observations": 0}
+        log.record(Observation("p", None, 2.0, 10, 4))
+        summary = log.summary()
+        assert summary["observations"] == 1
+        assert summary["max_drift"] == pytest.approx(2.0)
+
+
+class TestExecutorIntegration:
+    def test_analyze_records_selection_observations(self):
+        feedback.clear()
+        catalog = employees_catalog()
+        analyze(optimize(employees_query(), catalog), catalog)
+        matching = [
+            o
+            for o in feedback.FEEDBACK.observations()
+            if "Manuf" in o.predicate
+        ]
+        assert matching
+        obs = matching[0]
+        assert obs.rows_in == 5
+        assert obs.rows_out == 2
+        assert obs.observed_selectivity == pytest.approx(0.4)
+        assert obs.relation == "emp"
+        feedback.clear()
+
+    def test_index_scan_records_base_relation(self):
+        feedback.clear()
+        from repro.workloads.queries import orders_catalog, orders_query
+
+        catalog = orders_catalog(rows=100)
+        plan = optimize(orders_query("failed"), catalog)
+        analyze(plan, catalog)
+        matching = [
+            o
+            for o in feedback.FEEDBACK.observations()
+            if o.relation == "orders"
+        ]
+        assert matching
+        feedback.clear()

@@ -59,6 +59,13 @@ SURFACE = {
         "ladder_dag", "random_dag", "uniform_tree",
         "random_flat_relation", "random_generalized_relation",
         "flat_join_pair", "random_partial_records",
+        "employees_catalog", "employees_query", "parts_catalog",
+        "parts_query", "orders_catalog", "orders_query", "skewed_orders",
+    ],
+    "repro.stats": [
+        "ColumnStats", "TableStats", "analyze", "analyze_extent",
+        "EquiDepthHistogram", "order_key", "CostModel",
+        "FeedbackLog", "Observation", "FEEDBACK",
     ],
 }
 
