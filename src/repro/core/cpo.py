@@ -50,6 +50,13 @@ def maximal_elements(elements: Iterable[T], leq: Leq) -> List[T]:
     once.  The result is an antichain and the largest one dominated by the
     input — exactly the reduction the relation layer applies after a
     generalized join.
+
+    This is the generic all-pairs algorithm, quadratic in the input.  It
+    doubles as the oracle the property suite checks the fast path
+    against: relation hot paths use the signature-partitioned kernel
+    (:func:`repro.core.kernel.reduce_to_maximal`), which produces the
+    same set while only comparing subset-related, bucket-compatible
+    members — and which delegates back here *within* each hash bucket.
     """
     kept: List[T] = []
     for candidate in elements:

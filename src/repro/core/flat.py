@@ -224,8 +224,24 @@ class FlatRelation:
     # -- bridges to the generalized world ------------------------------------------
 
     def to_generalized(self) -> GeneralizedRelation:
-        """View this flat relation as a generalized relation of total records."""
-        return GeneralizedRelation(dict(zip(self._schema, row)) for row in self._rows)
+        """View this flat relation as a generalized relation of total records.
+
+        Distinct total rows over one schema with atom values are pairwise
+        incomparable, so the rows already form a cochain and no reduction
+        pass is needed — this is what keeps the generalized-join flat
+        fast path's conversions linear.
+        """
+        from repro.core.orders import Atom, PartialRecord
+        from repro.core.relation import _from_cochain
+
+        return _from_cochain(
+            [
+                PartialRecord(
+                    {a: Atom(v) for a, v in zip(self._schema, row)}
+                )
+                for row in self._rows
+            ]
+        )
 
     @classmethod
     def from_generalized(

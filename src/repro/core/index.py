@@ -129,18 +129,29 @@ class Catalog:
     describe the current value.  With ``auto_analyze=True`` statistics
     are collected at registration time (and kept fresh on rebinds)
     without any explicit calls.
+
+    ``reanalyze_threshold`` configures lazy re-analysis instead: when
+    :func:`repro.core.query.optimize` plans over a relation whose
+    statistics have gone stale by at least that many rebinds, it calls
+    :meth:`analyze` for the name rather than silently costing the plan
+    from stale histograms.  The default of 1 refreshes on any staleness;
+    ``None`` disables the behavior (historical: stale stats are used
+    as-is).  Names never analyzed are left alone either way — a catalog
+    that opted out of statistics keeps the fixed-constant estimates.
     """
 
     def __init__(
         self,
         relations: Optional[Mapping[str, FlatRelation]] = None,
         auto_analyze: bool = False,
+        reanalyze_threshold: Optional[int] = 1,
     ):
         self._relations: Dict[str, FlatRelation] = {}
         self._indexes: Dict[Tuple[str, str], SortedIndex] = {}
         self._stats: Dict[str, TableStats] = {}
         self._epochs: Dict[str, int] = {}
         self._auto_analyze = auto_analyze
+        self.reanalyze_threshold = reanalyze_threshold
         for name, relation in (relations or {}).items():
             self.bind(name, relation)
 
@@ -225,3 +236,16 @@ class Catalog:
     def bind_epoch(self, name: str) -> int:
         """The staleness counter for ``name`` (bumped by every bind)."""
         return self._epochs.get(name, 0)
+
+    def stats_drift(self, name: str) -> Optional[int]:
+        """How many rebinds ``name`` has seen since its statistics.
+
+        ``None`` when the name was never analyzed (there is nothing to
+        refresh — the caller opted out of statistics for it); ``0`` when
+        the statistics are current.  The optimizer's auto re-analyze
+        compares this against :attr:`reanalyze_threshold`.
+        """
+        stats = self._stats.get(name)
+        if stats is None:
+            return None
+        return self._epochs.get(name, 0) - stats.epoch

@@ -1,0 +1,478 @@
+"""Signature-partitioned cochain kernel: fast reduction, probes, and join.
+
+The naive implementations of the relation layer compare *all pairs*:
+cochain reduction is O(n²) ``leq`` calls, the generalized join tries
+|L|·|R| ``try_join`` pairs, and every ``insert``/``admits``/``matching``
+scans the whole member list.  This module exploits two structural facts
+about the value domain of :mod:`repro.core.orders`:
+
+1. **Signatures.**  ``r ⊑ s`` between partial records requires
+   ``labels(r) ⊆ labels(s)``, so members partitioned by their defined
+   label set (the *signature*) only ever need comparing across
+   subset-related signatures.  The number of distinct signatures is
+   typically tiny next to the number of members, so whole partitions are
+   skipped wholesale.
+
+2. **Ground atoms.**  An atom is only ⊑ an equal atom.  For the labels
+   on which *every* member of a partition carries an atom (the
+   partition's *atomic labels*), any ⊑ or join partner must carry equal
+   atoms on the shared atomic labels.  Hash-bucketing a partition by its
+   atomic-label values therefore prunes, in O(1), every pair that
+   disagrees on a shared ground atom — a generalization of the flat hash
+   join to arbitrary partial records.  Pairs with conflicting atoms on
+   shared labels are never materialized.
+
+On fully flat data the join kernel degenerates to exactly the classical
+hash join; on nested or mixed data it falls back to pairwise checks
+*within* matching buckets only, so results are always identical to the
+naive oracle (property-tested in ``tests/core/test_kernel.py``).
+
+Pruning is observable: the join kernel reports how many of the |L|·|R|
+logical pairs were never tried, which the relation layer publishes as
+``relation.join.pairs_pruned``; :func:`reduce_to_maximal` counts its
+partitions under ``relation.reduce.groups``.
+
+:class:`SignatureIndex` packages the same partition/bucket structure as
+a reusable probe index for the point queries (``admits``, ``insert``
+survivor collection, ``matching``, relation-level ``leq``), which an
+immutable :class:`~repro.core.relation.GeneralizedRelation` builds
+lazily once and reuses across queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core import cpo
+from repro.core.orders import Atom, PartialRecord, Value, leq, try_join
+from repro.obs import metrics as _metrics
+
+Signature = FrozenSet[str]
+_BucketKey = Tuple[Value, ...]
+
+
+def _partition(
+    values: Iterable[Value],
+) -> Tuple[Set[Atom], Dict[Signature, Set[PartialRecord]], List[Value]]:
+    """Split values into deduped atoms, records grouped by signature, and
+    anything else (unknown :class:`Value` subclasses, handled naively)."""
+    atoms: Set[Atom] = set()
+    groups: Dict[Signature, Set[PartialRecord]] = {}
+    others: List[Value] = []
+    for value in values:
+        if isinstance(value, PartialRecord):
+            group = groups.get(value.label_set)
+            if group is None:
+                group = groups[value.label_set] = set()
+            group.add(value)
+        elif isinstance(value, Atom):
+            atoms.add(value)
+        else:
+            others.append(value)
+    return atoms, groups, others
+
+
+def _atomic_labels(
+    signature: Signature, members: Iterable[PartialRecord]
+) -> Signature:
+    """The labels on which *every* member carries an atom.
+
+    Ground members (the common case in relational workloads) contribute
+    all their labels without a per-field scan.
+    """
+    labels = signature
+    for member in members:
+        if member.is_ground:
+            continue
+        labels = frozenset(
+            label for label in labels if isinstance(member.get(label), Atom)
+        )
+        if not labels:
+            break
+    return labels
+
+
+def _bucket(
+    members: Iterable[PartialRecord], key_labels: Tuple[str, ...]
+) -> Dict[_BucketKey, List[PartialRecord]]:
+    """Hash members by their (atomic) values on ``key_labels``."""
+    buckets: Dict[_BucketKey, List[PartialRecord]] = {}
+    for member in members:
+        key = tuple(member.get(label) for label in key_labels)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = []
+        bucket.append(member)
+    return buckets
+
+
+def _intra_group_maximal(
+    signature: Signature,
+    members: Set[PartialRecord],
+    atomic: Signature,
+) -> List[PartialRecord]:
+    """Maximal elements *within* one signature group.
+
+    Same-signature records are only comparable through nested fields:
+    when the group is uniformly atomic (``atomic == signature``) distinct
+    members are pairwise incomparable and deduplication is the whole
+    reduction.  Otherwise members are bucketed by their shared atomic
+    labels — cross-bucket pairs disagree on a ground atom, hence are
+    incomparable — and only bucket-mates meet the pairwise oracle.
+    """
+    if len(members) <= 1 or atomic == signature:
+        return list(members)
+    reduced: List[PartialRecord] = []
+    for bucket in _bucket(members, tuple(sorted(atomic))).values():
+        if len(bucket) == 1:
+            reduced.extend(bucket)
+        else:
+            reduced.extend(cpo.maximal_elements(bucket, leq))
+    return reduced
+
+
+class SignatureIndex:
+    """A probe index over one cochain's members.
+
+    Partitions members by signature, remembers each partition's atomic
+    labels, and lazily builds hash buckets per (signature, probe-label)
+    pair.  All point queries — "is any member above/below this value?",
+    "which members dominate it?" — touch only subset-related partitions
+    and, within them, only the hash bucket matching the probe's ground
+    atoms.
+
+    Unknown :class:`Value` subclasses force the naive linear scan
+    (``_naive``), preserving semantics for exotic domains.
+    """
+
+    __slots__ = ("atoms", "groups", "_atomic", "_buckets", "_naive")
+
+    def __init__(self, members: Iterable[Value]):
+        members = list(members)
+        self.atoms, self.groups, others = _partition(members)
+        self._naive: Optional[Tuple[Value, ...]] = (
+            tuple(members) if others else None
+        )
+        self._atomic: Dict[Signature, Signature] = {}
+        self._buckets: Dict[
+            Tuple[Signature, Tuple[str, ...]],
+            Dict[_BucketKey, List[PartialRecord]],
+        ] = {}
+
+    # -- cached per-partition structure --------------------------------------
+
+    def atomic_labels(self, signature: Signature) -> Signature:
+        found = self._atomic.get(signature)
+        if found is None:
+            found = self._atomic[signature] = _atomic_labels(
+                signature, self.groups[signature]
+            )
+        return found
+
+    def bucket(
+        self, signature: Signature, key_labels: Tuple[str, ...]
+    ) -> Dict[_BucketKey, List[PartialRecord]]:
+        cache_key = (signature, key_labels)
+        found = self._buckets.get(cache_key)
+        if found is None:
+            found = self._buckets[cache_key] = _bucket(
+                self.groups[signature], key_labels
+            )
+        return found
+
+    # -- probe helpers --------------------------------------------------------
+
+    def _candidates_above(self, value: PartialRecord, signature: Signature):
+        """Members of ``signature`` (⊇ value's) that *could* dominate ``value``.
+
+        A dominator must carry atoms equal to ``value``'s on every label
+        where the partition is uniformly atomic; if ``value`` is nested on
+        such a label no member of the partition can dominate it at all.
+        """
+        atomic = self.atomic_labels(signature)
+        key_labels: List[str] = []
+        key: List[Value] = []
+        for label in sorted(value.label_set & atomic):
+            field = value.get(label)
+            if not isinstance(field, Atom):
+                return ()
+            key_labels.append(label)
+            key.append(field)
+        return self.bucket(signature, tuple(key_labels)).get(tuple(key), ())
+
+    def _candidates_below(self, value: PartialRecord, signature: Signature):
+        """Members of ``signature`` (⊆ value's) that *could* lie below ``value``.
+
+        A member below ``value`` has atoms on the partition's atomic
+        labels, which ``value`` must match exactly; if ``value`` is nested
+        there, no member of the partition lies below it.
+        """
+        atomic = self.atomic_labels(signature)
+        key_labels = tuple(sorted(atomic))
+        key: List[Value] = []
+        for label in key_labels:
+            field = value.get(label)
+            if not isinstance(field, Atom):
+                return ()
+            key.append(field)
+        return self.bucket(signature, key_labels).get(tuple(key), ())
+
+    # -- point queries --------------------------------------------------------
+
+    def any_above(self, value: Value) -> bool:
+        """Is some member ``m`` with ``value ⊑ m`` present?"""
+        if self._naive is not None:
+            return any(leq(value, member) for member in self._naive)
+        if isinstance(value, Atom):
+            return value in self.atoms
+        if not isinstance(value, PartialRecord):
+            return False
+        for signature in self.groups:
+            if value.label_set <= signature and any(
+                value.leq(candidate)
+                for candidate in self._candidates_above(value, signature)
+            ):
+                return True
+        return False
+
+    def members_above(self, value: Value) -> List[Value]:
+        """All members ``m`` with ``value ⊑ m`` (dominators of ``value``)."""
+        if self._naive is not None:
+            return [m for m in self._naive if leq(value, m)]
+        if isinstance(value, Atom):
+            return [value] if value in self.atoms else []
+        if not isinstance(value, PartialRecord):
+            return []
+        found: List[Value] = []
+        for signature in self.groups:
+            if value.label_set <= signature:
+                found.extend(
+                    candidate
+                    for candidate in self._candidates_above(value, signature)
+                    if value.leq(candidate)
+                )
+        return found
+
+    def any_below(self, value: Value) -> bool:
+        """Is some member ``m`` with ``m ⊑ value`` present?"""
+        if self._naive is not None:
+            return any(leq(member, value) for member in self._naive)
+        if isinstance(value, Atom):
+            return value in self.atoms
+        if not isinstance(value, PartialRecord):
+            return False
+        for signature in self.groups:
+            if signature <= value.label_set and any(
+                candidate.leq(value)
+                for candidate in self._candidates_below(value, signature)
+            ):
+                return True
+        return False
+
+    def members_below(self, value: Value) -> List[Value]:
+        """All members ``m`` with ``m ⊑ value`` (dominated by ``value``)."""
+        if self._naive is not None:
+            return [m for m in self._naive if leq(m, value)]
+        if isinstance(value, Atom):
+            return [value] if value in self.atoms else []
+        if not isinstance(value, PartialRecord):
+            return []
+        found: List[Value] = []
+        for signature in self.groups:
+            if signature <= value.label_set:
+                found.extend(
+                    candidate
+                    for candidate in self._candidates_below(value, signature)
+                    if candidate.leq(value)
+                )
+        return found
+
+
+# ---------------------------------------------------------------------------
+# Cochain reduction
+# ---------------------------------------------------------------------------
+
+
+def reduce_to_maximal(values: Iterable[Value]) -> List[Value]:
+    """The maximal elements of ``values`` — the partitioned reduction.
+
+    Agrees exactly (as a set) with
+    ``cpo.maximal_elements(values, leq)``; the all-pairs oracle remains
+    in :mod:`repro.core.cpo` and is what the property suite checks this
+    against.  Atoms survive deduplication untouched (they are never
+    comparable to records or to distinct atoms); each record partition is
+    reduced internally, then survivors are checked only against the
+    partitions whose signature strictly contains theirs, probing hash
+    buckets keyed by the ground atoms shared with the candidate
+    dominator partition.
+    """
+    values = list(values)
+    atoms, groups, others = _partition(values)
+    if others:
+        return cpo.maximal_elements(values, leq)
+
+    registry = _metrics.REGISTRY
+    registry.counter("relation.reduce").inc()
+    registry.counter("relation.reduce.groups").inc(len(groups))
+
+    index = SignatureIndex(())
+    index.atoms = atoms
+    index.groups = {}
+    reduced_groups: Dict[Signature, List[PartialRecord]] = {}
+    for signature, members in groups.items():
+        atomic = _atomic_labels(signature, members)
+        index._atomic[signature] = atomic
+        survivors = _intra_group_maximal(signature, members, atomic)
+        reduced_groups[signature] = survivors
+        index.groups[signature] = set(survivors)
+
+    out: List[Value] = list(atoms)
+    for signature, survivors in reduced_groups.items():
+        dominators = [
+            other for other in reduced_groups if signature < other
+        ]
+        if not dominators:
+            out.extend(survivors)
+            continue
+        for record in survivors:
+            if not any(
+                any(
+                    record.leq(candidate)
+                    for candidate in index._candidates_above(record, other)
+                )
+                for other in dominators
+            ):
+                out.append(record)
+    return out
+
+
+def reduce_to_minimal(values: Iterable[Value]) -> List[Value]:
+    """The minimal elements of ``values`` — the dual partitioned reduction.
+
+    Agrees exactly (as a set) with ``cpo.minimal_elements(values, leq)``.
+    A record is eliminated when some *distinct* record below it exists,
+    so partitions are checked against the partitions whose signature is
+    strictly contained in theirs (plus bucket-mates within their own
+    partition when nesting makes same-signature comparisons possible).
+    """
+    values = list(values)
+    atoms, groups, others = _partition(values)
+    if others:
+        return cpo.minimal_elements(values, leq)
+
+    index = SignatureIndex(())
+    index.atoms = atoms
+    index.groups = {}
+    reduced_groups: Dict[Signature, List[PartialRecord]] = {}
+    for signature, members in groups.items():
+        atomic = _atomic_labels(signature, members)
+        index._atomic[signature] = atomic
+        if len(members) <= 1 or atomic == signature:
+            survivors = list(members)
+        else:
+            survivors = []
+            for bucket in _bucket(members, tuple(sorted(atomic))).values():
+                if len(bucket) == 1:
+                    survivors.extend(bucket)
+                else:
+                    survivors.extend(cpo.minimal_elements(bucket, leq))
+        reduced_groups[signature] = survivors
+        index.groups[signature] = set(survivors)
+
+    out: List[Value] = list(atoms)
+    for signature, survivors in reduced_groups.items():
+        dominated = [other for other in reduced_groups if other < signature]
+        if not dominated:
+            out.extend(survivors)
+            continue
+        for record in survivors:
+            if not any(
+                any(
+                    candidate.leq(record)
+                    for candidate in index._candidates_below(record, other)
+                )
+                for other in dominated
+            ):
+                out.append(record)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The generalized join kernel
+# ---------------------------------------------------------------------------
+
+
+def join_pairs(
+    left_values: Sequence[Value], right_values: Sequence[Value]
+) -> Tuple[List[Value], int]:
+    """All consistent pairwise joins, with hash-bucket pruning.
+
+    Returns ``(joined, tried)`` where ``joined`` holds the object-level
+    join of every consistent (left, right) pair — *not yet reduced* to a
+    cochain — and ``tried`` counts the pairs actually materialized and
+    checked.  ``len(left) * len(right) - tried`` pairs were pruned: they
+    disagree on a shared ground atom (or cross the atom/record divide),
+    so no consistency check was ever run for them.
+
+    For each pair of signature partitions the probe key is the shared
+    labels on which *both* partitions are uniformly atomic; on flat 1NF
+    operands that key is the full set of common attributes and the
+    kernel is exactly the classical hash join.
+    """
+    atoms_l, groups_l, others_l = _partition(left_values)
+    atoms_r, groups_r, others_r = _partition(right_values)
+    if others_l or others_r:
+        joined_naive: List[Value] = []
+        tried = 0
+        for mine in left_values:
+            for theirs in right_values:
+                tried += 1
+                combined = try_join(mine, theirs)
+                if combined is not None:
+                    joined_naive.append(combined)
+        return joined_naive, tried
+
+    joined: List[Value] = list(atoms_l & atoms_r)
+    tried = len(joined)  # equal-atom pairs are the only atom pairs checked
+
+    atomic_l = {
+        signature: _atomic_labels(signature, members)
+        for signature, members in groups_l.items()
+    }
+    atomic_r = {
+        signature: _atomic_labels(signature, members)
+        for signature, members in groups_r.items()
+    }
+    bucket_cache: Dict[
+        Tuple[Signature, Tuple[str, ...]],
+        Dict[_BucketKey, List[PartialRecord]],
+    ] = {}
+
+    for sig_l, members_l in groups_l.items():
+        for sig_r, members_r in groups_r.items():
+            key_labels = tuple(
+                sorted(sig_l & sig_r & atomic_l[sig_l] & atomic_r[sig_r])
+            )
+            if not key_labels:
+                # No shared uniformly-ground label: nothing to hash on.
+                for mine in members_l:
+                    for theirs in members_r:
+                        tried += 1
+                        combined = try_join(mine, theirs)
+                        if combined is not None:
+                            joined.append(combined)
+                continue
+            cache_key = (sig_r, key_labels)
+            buckets = bucket_cache.get(cache_key)
+            if buckets is None:
+                buckets = bucket_cache[cache_key] = _bucket(
+                    members_r, key_labels
+                )
+            for mine in members_l:
+                key = tuple(mine.get(label) for label in key_labels)
+                for theirs in buckets.get(key, ()):
+                    tried += 1
+                    combined = try_join(mine, theirs)
+                    if combined is not None:
+                        joined.append(combined)
+    return joined, tried

@@ -32,7 +32,7 @@ as dictionary keys — which the relation layer relies on.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Optional, Tuple, Union
+from typing import FrozenSet, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.errors import InconsistentJoinError, NoMeetError, NotAValueError
 
@@ -138,9 +138,13 @@ class Atom(Value):
         return isinstance(other, Atom) and _atoms_equal(self._payload, other._payload)
 
     def __hash__(self) -> int:
-        # bool hashes like int in Python; fold in the exact class so that
+        # bool hashes like int in Python; fold in a bool flag so that
         # Atom(True) and Atom(1) — which we treat as distinct — differ.
-        return hash((Atom, type(self._payload).__name__, self._payload))
+        # Only the flag, not the type name: Atom(1) == Atom(1.0) (numeric
+        # comparison, matching the Float ≥ Int coercion), so their hashes
+        # must coincide too — hash(1) == hash(1.0) makes this free, and
+        # the relation kernel's hash buckets rely on it.
+        return hash((Atom, isinstance(self._payload, bool), self._payload))
 
     def __repr__(self) -> str:
         return "Atom(%r)" % (self._payload,)
@@ -167,9 +171,16 @@ class PartialRecord(Value):
 
     The fields mapping is copied and frozen at construction.  Iteration
     order is the sorted label order so that ``repr`` is deterministic.
+
+    Construction precomputes the structural facts the relation kernel
+    (:mod:`repro.core.kernel`) consults on every comparison: a frozen
+    label set (the record's *signature*), a by-label dict for O(1) field
+    lookup, the hash, and whether the record is *ground* (every field an
+    atom).  ``repr`` — the relation layer's deterministic sort key — is
+    computed once and cached.
     """
 
-    __slots__ = ("_fields", "_hash")
+    __slots__ = ("_fields", "_by_label", "_label_set", "_ground", "_hash", "_repr")
 
     def __init__(self, fields: Mapping[str, Value] = ()):
         items = dict(fields)
@@ -183,7 +194,13 @@ class PartialRecord(Value):
         self._fields: Tuple[Tuple[str, Value], ...] = tuple(
             sorted(items.items(), key=lambda kv: kv[0])
         )
+        self._by_label: dict = dict(self._fields)
+        self._label_set: FrozenSet[str] = frozenset(self._by_label)
+        self._ground: bool = all(
+            isinstance(value, Atom) for value in self._by_label.values()
+        )
         self._hash = hash((PartialRecord, self._fields))
+        self._repr: Optional[str] = None
 
     # -- mapping-like access ------------------------------------------------
 
@@ -192,6 +209,26 @@ class PartialRecord(Value):
         """The defined field labels, in sorted order."""
         return tuple(label for label, __ in self._fields)
 
+    @property
+    def label_set(self) -> FrozenSet[str]:
+        """The defined field labels as a frozen set (the *signature*).
+
+        ``r ⊑ s`` can only hold when ``r.label_set <= s.label_set``, which
+        is what lets the relation kernel partition cochains by signature
+        and skip comparisons across unrelated signatures entirely.
+        """
+        return self._label_set
+
+    @property
+    def is_ground(self) -> bool:
+        """``True`` when every field value is an :class:`Atom`.
+
+        Two distinct ground records with the same signature are always
+        incomparable (atoms form a flat order), so cochain reduction on
+        ground same-signature groups is pure deduplication.
+        """
+        return self._ground
+
     def __iter__(self) -> Iterator[str]:
         return (label for label, __ in self._fields)
 
@@ -199,20 +236,14 @@ class PartialRecord(Value):
         return len(self._fields)
 
     def __contains__(self, label: object) -> bool:
-        return any(label == name for name, __ in self._fields)
+        return label in self._by_label
 
     def __getitem__(self, label: str) -> Value:
-        for name, value in self._fields:
-            if name == label:
-                return value
-        raise KeyError(label)
+        return self._by_label[label]
 
     def get(self, label: str, default: Optional[Value] = None) -> Optional[Value]:
         """Return the value at ``label``, or ``default`` when undefined."""
-        for name, value in self._fields:
-            if name == label:
-                return value
-        return default
+        return self._by_label.get(label, default)
 
     def items(self) -> Tuple[Tuple[str, Value], ...]:
         """The (label, value) pairs in sorted label order."""
@@ -248,9 +279,11 @@ class PartialRecord(Value):
         """Every field present here must be present and ⊒ in ``other``."""
         if not isinstance(other, PartialRecord):
             return False
+        if not self._label_set <= other._label_set:
+            return False
+        other_by_label = other._by_label
         for label, value in self._fields:
-            other_value = other.get(label)
-            if other_value is None or not value.leq(other_value):
+            if not value.leq(other_by_label[label]):
                 return False
         return True
 
@@ -261,8 +294,12 @@ class PartialRecord(Value):
         return self._hash
 
     def __repr__(self) -> str:
-        inner = ", ".join("%s=%r" % (label, value) for label, value in self._fields)
-        return "{%s}" % inner
+        if self._repr is None:
+            inner = ", ".join(
+                "%s=%r" % (label, value) for label, value in self._fields
+            )
+            self._repr = "{%s}" % inner
+        return self._repr
 
 
 EMPTY_RECORD = PartialRecord()

@@ -455,13 +455,58 @@ def _predicate_selectivity(
 # ---------------------------------------------------------------------------
 
 
-def optimize(plan: Plan, catalog) -> Plan:
-    """Rewrite ``plan`` into an equivalent, usually cheaper plan."""
+def optimize(plan: Plan, catalog, refresh_stats: bool = True) -> Plan:
+    """Rewrite ``plan`` into an equivalent, usually cheaper plan.
+
+    Before costing anything, stale statistics on the plan's base
+    relations are refreshed (see :func:`_refresh_stale_stats`) so join
+    ordering and index choice never silently run on histograms describing
+    a value the name no longer holds.  ``refresh_stats=False`` restores
+    the historical use-what-is-there behavior.
+    """
+    if refresh_stats:
+        _refresh_stale_stats(plan, catalog)
     plan = _push_selections(plan, catalog)
     plan = _use_indexes(plan, catalog)
     plan = _order_joins(plan, catalog)
     plan = _push_projections(plan, catalog, needed=None)
     return plan
+
+
+def _base_names(plan: Plan, names: set) -> None:
+    """Collect every base-relation name the plan tree reads."""
+    if isinstance(plan, (Scan, IndexScan)):
+        names.add(plan.name)
+    for child in plan.children():
+        _base_names(child, names)
+
+
+def _refresh_stale_stats(plan: Plan, catalog) -> None:
+    """Re-analyze the plan's base relations whose statistics went stale.
+
+    Only catalogs that expose the statistics protocol participate
+    (``stats_drift``/``analyze``, i.e. :class:`repro.core.index.Catalog`);
+    plain-dict catalogs are untouched.  A name is refreshed when it *has*
+    statistics whose staleness (rebinds since collection — the catalog's
+    mutation counter for that name) meets the catalog's configurable
+    ``reanalyze_threshold``.  Never-analyzed names are skipped: absence
+    of statistics is a choice, staleness is drift.  Each refresh counts
+    into ``stats.auto_reanalyze``.
+    """
+    stats_drift = getattr(catalog, "stats_drift", None)
+    analyze = getattr(catalog, "analyze", None)
+    if stats_drift is None or analyze is None:
+        return
+    threshold = getattr(catalog, "reanalyze_threshold", None)
+    if threshold is None:
+        return
+    names: set = set()
+    _base_names(plan, names)
+    for name in sorted(names):
+        drift = stats_drift(name)
+        if drift is not None and drift >= threshold:
+            analyze(name)
+            _metrics.REGISTRY.counter("stats.auto_reanalyze").inc()
 
 
 _SARGABLE_OPS = ("==", "<", "<=", ">", ">=")

@@ -749,7 +749,11 @@ def _make_builtins(interp: Interpreter) -> Dict[str, Builtin]:
         return rel.insert(_record_to_domain(item))
 
     def rjoin(type_args, left, right):
-        return left.join(right)
+        # Route through the flat fast path: 1NF operands (and empty ones)
+        # take the hash join; everything else runs the partitioned kernel.
+        from repro.core.relation import join_with_fastpath
+
+        return join_with_fastpath(left, right)
 
     def rproject(type_args, rel, labels):
         return rel.project(labels)

@@ -19,6 +19,17 @@ Usage::
 ``snapshot()`` returns plain dicts (JSON-compatible), which is what the
 benchmark harness embeds in its ``BENCH_<area>.json`` result files so
 the repo's perf trajectory is diffable across PRs.
+
+The relation kernel publishes its pruning effectiveness here: next to
+the logical ``relation.join.pairs`` (|L|·|R| per join) live
+``relation.join.pairs_tried`` (pairs that actually reached a
+consistency check) and ``relation.join.pairs_pruned`` (pairs the
+signature/bucket partitioning discarded without one), plus
+``relation.reduce`` / ``relation.reduce.groups`` for the partitioned
+cochain reduction.  ``benchmarks/bench_relation.py`` fails its run when
+``relation.join.pairs_pruned`` stays at zero on the mixed-signature
+workload — the counter doubles as a regression guard on the partition
+logic.
 """
 
 from __future__ import annotations
@@ -188,6 +199,16 @@ class MetricsRegistry:
         if found is None:
             found = self._histograms[name] = Histogram(name)
         return found
+
+    def value(self, name: str) -> int:
+        """The current value of counter ``name`` — 0 when it never fired.
+
+        A pure read: unlike :meth:`counter` it does not create the
+        counter, so probing a name (e.g. the benchmark harness checking
+        ``relation.join.pairs_pruned``) leaves no trace in snapshots.
+        """
+        found = self._counters.get(name)
+        return found.value if found is not None else 0
 
     def counters(self) -> Dict[str, int]:
         """Counter values by name (a copy)."""

@@ -75,6 +75,79 @@ def random_partial_records(
     return records
 
 
+def mixed_signature_records(
+    count: int,
+    shared: Tuple[str, ...] = ("K",),
+    optional: Tuple[str, ...] = ("A", "B", "C"),
+    key_cardinality: int = 0,
+    null_fraction: float = 0.4,
+    value_cardinality: int = 1_000_000,
+    seed: int = 1986,
+) -> List[PartialRecord]:
+    """Ground partial records with guaranteed ``shared`` labels.
+
+    Every record defines every ``shared`` label (drawn from
+    ``key_cardinality`` distinct values when nonzero), and each
+    ``optional`` label independently with probability ``1 -
+    null_fraction`` — so the stream mixes ``2^len(optional)`` signatures
+    while keeping a ground join/bucket key on the shared labels.  This is
+    the shape the signature-partitioned kernel is built for: the E4/E5
+    sweeps in ``benchmarks/bench_relation.py`` feed it to both the naive
+    all-pairs oracle and the kernel.
+
+    Optional values are drawn from a large default cardinality so that
+    subsumption between same-signature records is rare and the relation
+    stays near ``count`` members (dial ``value_cardinality`` down to
+    raise the subsumption rate).
+    """
+    rng = random.Random(seed)
+    records: List[PartialRecord] = []
+    for __ in range(count):
+        fields: Dict[str, object] = {}
+        for label in shared:
+            if key_cardinality:
+                fields[label] = rng.randrange(key_cardinality)
+            else:
+                fields[label] = rng.randrange(value_cardinality)
+        for label in optional:
+            if rng.random() >= null_fraction:
+                fields[label] = rng.randrange(value_cardinality)
+        records.append(record(**fields))
+    return records
+
+
+def mixed_signature_pair(
+    count: int,
+    key_cardinality: int,
+    null_fraction: float = 0.4,
+    seed: int = 1986,
+) -> Tuple[List[PartialRecord], List[PartialRecord]]:
+    """Two mixed-signature streams sharing the ground label ``K``.
+
+    The join workload of ``benchmarks/bench_relation.py``: both sides
+    always define ``K`` (with ``key_cardinality`` distinct values, which
+    controls output size), and differ on their optional labels so the
+    pairwise join must cope with ``2^3 × 2^3`` signature combinations.
+    """
+    left = mixed_signature_records(
+        count,
+        shared=("K",),
+        optional=("A", "B", "C"),
+        key_cardinality=key_cardinality,
+        null_fraction=null_fraction,
+        seed=seed,
+    )
+    right = mixed_signature_records(
+        count,
+        shared=("K",),
+        optional=("D", "E", "F"),
+        key_cardinality=key_cardinality,
+        null_fraction=null_fraction,
+        seed=seed + 1,
+    )
+    return left, right
+
+
 def random_generalized_relation(
     count: int,
     labels: Tuple[str, ...] = ("K", "A", "B", "C"),

@@ -42,10 +42,19 @@ class TestFastpathEquivalence:
         right = GeneralizedRelation([{"K": 1, "B": 3}])
         assert join_with_fastpath(left, right) == left.join(right)
 
-    def test_falls_back_on_empty(self):
+    def test_empty_operand_short_circuits(self):
         empty = GeneralizedRelation()
         other = GeneralizedRelation([{"A": 1}])
         assert join_with_fastpath(empty, other) == other.join(empty)
+        assert join_with_fastpath(other, empty) == GeneralizedRelation()
+        assert join_with_fastpath(empty, empty) == GeneralizedRelation()
+
+    def test_empty_partial_operand_short_circuits(self):
+        # Even a non-flat operand joins with the empty relation to empty;
+        # the short-circuit must not require flat schemas.
+        nested = GeneralizedRelation([{"A": {"X": 1}}, {"B": 2}])
+        empty = GeneralizedRelation()
+        assert join_with_fastpath(nested, empty) == nested.join(empty)
 
     @given(
         st.integers(min_value=0, max_value=6),
@@ -94,6 +103,18 @@ class TestFastpathCounters:
         before = misses.value
         join_with_fastpath(left, right)
         assert misses.value == before + 1
+
+    def test_empty_operand_counts_as_hit(self):
+        # An empty operand used to fall through to the pairwise path and
+        # count as a miss; it is a short-circuit hit now.
+        nested = GeneralizedRelation([{"A": {"X": 1}}])
+        empty = GeneralizedRelation()
+        hits = REGISTRY.counter("relation.join_fastpath.hit")
+        misses = REGISTRY.counter("relation.join_fastpath.miss")
+        hits_before, misses_before = hits.value, misses.value
+        assert join_with_fastpath(nested, empty) == GeneralizedRelation()
+        assert hits.value == hits_before + 1
+        assert misses.value == misses_before
 
     def test_generic_join_counts_calls_and_pairs(self):
         left = GeneralizedRelation([{"K": 1, "A": 2}, {"K": 2, "A": 3}])

@@ -1,0 +1,87 @@
+"""Auto re-analyze: ``optimize()`` refreshes stale statistics itself.
+
+The ROADMAP follow-up from the statistics PR: rebinding a relation
+marks its statistics stale, and instead of silently costing plans from
+histograms describing a value the name no longer holds, ``optimize()``
+triggers ``analyze()`` for the affected base relations — governed by the
+catalog's configurable ``reanalyze_threshold``.
+"""
+
+from repro.core.flat import FlatRelation
+from repro.core.index import Catalog
+from repro.core.query import eq, optimize, scan
+from repro.obs.metrics import REGISTRY
+
+
+def _emp(rows):
+    return FlatRelation(
+        ("Name", "Dept"),
+        [("e%d" % i, "Sales" if i % 2 else "Manuf") for i in range(rows)],
+    )
+
+
+def _plan():
+    return scan("emp").where(eq("Dept", "Sales"))
+
+
+class TestAutoReanalyze:
+    def test_stale_stats_refreshed_by_optimize(self):
+        catalog = Catalog({"emp": _emp(4)})
+        catalog.analyze("emp")
+        catalog.bind("emp", _emp(40))  # stats now describe the old value
+        assert catalog.stats_stale("emp")
+        optimize(_plan(), catalog)
+        assert not catalog.stats_stale("emp")
+        assert catalog.stats_for("emp").row_count == 40
+
+    def test_never_analyzed_names_left_alone(self):
+        # Absence of statistics is a choice; only *stale* stats refresh.
+        catalog = Catalog({"emp": _emp(4)})
+        optimize(_plan(), catalog)
+        assert catalog.stats_for("emp") is None
+
+    def test_threshold_defers_refresh(self):
+        catalog = Catalog({"emp": _emp(4)}, reanalyze_threshold=3)
+        catalog.analyze("emp")
+        catalog.bind("emp", _emp(8))
+        catalog.bind("emp", _emp(12))
+        optimize(_plan(), catalog)  # drift 2 < threshold 3: stale kept
+        assert catalog.stats_stale("emp")
+        catalog.bind("emp", _emp(16))
+        optimize(_plan(), catalog)  # drift 3 hits the threshold
+        assert not catalog.stats_stale("emp")
+
+    def test_none_threshold_disables(self):
+        catalog = Catalog({"emp": _emp(4)}, reanalyze_threshold=None)
+        catalog.analyze("emp")
+        catalog.bind("emp", _emp(40))
+        optimize(_plan(), catalog)
+        assert catalog.stats_stale("emp")
+
+    def test_refresh_stats_false_restores_old_behavior(self):
+        catalog = Catalog({"emp": _emp(4)})
+        catalog.analyze("emp")
+        catalog.bind("emp", _emp(40))
+        optimize(_plan(), catalog, refresh_stats=False)
+        assert catalog.stats_stale("emp")
+
+    def test_plain_dict_catalogs_unaffected(self):
+        catalog = {"emp": _emp(4)}
+        optimize(_plan(), catalog)  # must not raise
+
+    def test_refresh_counted(self):
+        catalog = Catalog({"emp": _emp(4)})
+        catalog.analyze("emp")
+        catalog.bind("emp", _emp(8))
+        counter = REGISTRY.counter("stats.auto_reanalyze")
+        before = counter.value
+        optimize(_plan(), catalog)
+        assert counter.value == before + 1
+
+    def test_stats_drift_accessor(self):
+        catalog = Catalog({"emp": _emp(4)})
+        assert catalog.stats_drift("emp") is None
+        catalog.analyze("emp")
+        assert catalog.stats_drift("emp") == 0
+        catalog.bind("emp", _emp(8))
+        assert catalog.stats_drift("emp") == 1
