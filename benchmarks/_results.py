@@ -22,6 +22,12 @@ The embedded ``metrics`` snapshot comes from the process-global
 store appends travel with the timings — making the repo's perf
 trajectory diffable across PRs (CI uploads the files as artifacts).
 
+Constructing a :class:`ResultsWriter` also switches the flight
+recorder's event journal on, and :meth:`~ResultsWriter.write` emits a
+second artifact next to the JSON — ``BENCH_<area>.trace.json``, a
+Chrome ``chrome://tracing``/Perfetto trace of the run's spans and
+journal events — so every benchmark run can be replayed visually.
+
 ``--quick`` on any benchmark's command line shrinks its sizes so a CI
 smoke job finishes in seconds; :func:`quick_requested` reads the flag.
 """
@@ -36,6 +42,8 @@ import time
 from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
+from repro.obs import events as _events
+from repro.obs import export as _export
 from repro.obs.metrics import REGISTRY
 
 
@@ -71,6 +79,10 @@ class ResultsWriter:
         self.area = area
         self.quick = quick
         self.rows: List[Dict[str, object]] = []
+        self.trace_path: Optional[str] = None
+        # Benchmarks fly with the recorder on: anomalies and audit
+        # events from the run land in the exported trace artifact.
+        _events.enable()
 
     def record(self, op: str, n: int, seconds: float, **extra: object) -> None:
         """Add one measurement row."""
@@ -99,11 +111,12 @@ class ResultsWriter:
             "results": self.rows,
             "metrics": REGISTRY.snapshot(),
         }
-        path = os.path.join(
-            directory if directory is not None else os.getcwd(),
-            "BENCH_%s.json" % self.area,
-        )
+        base = directory if directory is not None else os.getcwd()
+        path = os.path.join(base, "BENCH_%s.json" % self.area)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        self.trace_path = _export.write_trace(
+            os.path.join(base, "BENCH_%s.trace.json" % self.area)
+        )
         return path

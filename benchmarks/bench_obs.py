@@ -1,0 +1,134 @@
+"""Flight-recorder overhead — the journal must stay near-free.
+
+The observability tentpole only earns its keep if leaving the event
+journal *on* costs almost nothing: every call site guards with a single
+``_events.CURRENT.enabled`` attribute check, and publishing is one lock
+plus a ring-slot write.  This harness measures the same mixed workload
+(optimize + execute a star query, a generalized fast-path join) with
+the journal off and on, takes the min over interleaved repeats, and
+**fails the run** when enabled/disabled exceeds :data:`OVERHEAD_BUDGET`
+(1.25x) — the regression guard CI runs with ``--quick``.
+
+It also measures raw publish throughput, and finishes by executing one
+optimized plan under tracing so the exported ``BENCH_obs.trace.json``
+carries a span tree matching the EXPLAIN ANALYZE operator tree — the
+artifact to drop into ``chrome://tracing`` / Perfetto.
+
+Run:  python benchmarks/bench_obs.py [--quick]
+"""
+
+import time
+
+try:
+    from benchmarks._results import ResultsWriter, quick_requested
+    from benchmarks.bench_query import make_catalog, star_query
+except ImportError:
+    from _results import ResultsWriter, quick_requested
+    from bench_query import make_catalog, star_query
+
+from repro.core.index import Catalog
+from repro.core.query import explain_analyze, optimize
+from repro.core.relation import join_with_fastpath
+from repro.obs import events as _events
+from repro.obs import trace as _trace
+from repro.obs.export import read_trace, span_tree
+
+OVERHEAD_BUDGET = 1.25
+
+
+def make_workload(size):
+    """A closed, journal-exercising workload: plan + fast-path joins."""
+    catalog = make_catalog(size)
+    plan = star_query()
+    left = catalog["emp"].to_generalized()
+    right = catalog["dept"].to_generalized()
+
+    def run():
+        optimize(plan, catalog).execute(catalog)
+        join_with_fastpath(left, right)
+
+    return run
+
+
+def measure(run, iterations):
+    """Wall seconds for ``iterations`` runs of the workload."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        run()
+    return time.perf_counter() - started
+
+
+def main():
+    quick = quick_requested()
+    writer = ResultsWriter("obs", quick=quick)
+    size = 300 if quick else 1000
+    iterations = 10 if quick else 30
+    repeats = 3 if quick else 5
+
+    run = make_workload(size)
+    run()  # warm caches and lazily-created metrics before timing
+
+    # Interleave off/on repeats so drift (thermal, page cache) hits both
+    # modes equally; min-of-repeats is the standard noise filter.
+    off_times, on_times = [], []
+    for _ in range(repeats):
+        _events.disable()
+        off_times.append(measure(run, iterations))
+        _events.enable()
+        on_times.append(measure(run, iterations))
+    best_off, best_on = min(off_times), min(on_times)
+    ratio = best_on / best_off if best_off else 1.0
+    writer.record("workload_journal_off", size, best_off,
+                  iterations=iterations)
+    writer.record("workload_journal_on", size, best_on,
+                  iterations=iterations, ratio=ratio)
+
+    print("flight-recorder overhead (star query + fastpath join, n=%d)"
+          % size)
+    print("%-24s %12s" % ("mode", "best(s)"))
+    print("%-24s %12.6f" % ("journal off", best_off))
+    print("%-24s %12.6f   (%.3fx)" % ("journal on", best_on, ratio))
+
+    # Raw publish throughput: how fast can events land in the ring?
+    journal = _events.enable()
+    publishes = 10_000 if quick else 100_000
+    started = time.perf_counter()
+    for i in range(publishes):
+        journal.publish("DEBUG", "bench", "tick", i=i)
+    publish_seconds = time.perf_counter() - started
+    writer.record("publish", publishes, publish_seconds,
+                  per_second=publishes / publish_seconds)
+    print("\n%d publishes in %.4fs (%.0f events/s)"
+          % (publishes, publish_seconds, publishes / publish_seconds))
+
+    # The exemplar: one traced, profiled execution whose exported span
+    # tree mirrors the EXPLAIN ANALYZE operator tree.
+    catalog = Catalog(make_catalog(size))
+    catalog.create_index("emp", "Salary")
+    exemplar = optimize(star_query(), catalog)
+    print("\nEXPLAIN ANALYZE of the exemplar plan:")
+    print(explain_analyze(exemplar, catalog))
+    _trace.enable()
+    try:
+        exemplar.execute(catalog)
+        print("results -> %s" % writer.write())
+        print("trace   -> %s" % writer.trace_path)
+    finally:
+        _trace.disable()
+
+    # Self-check the artifact: the trace must be loadable and carry the
+    # plan's span tree.
+    forest = span_tree(read_trace(writer.trace_path))
+    plan_spans = [n for n in forest if n["name"].startswith("plan.")]
+    assert plan_spans, "exported trace lost the plan span tree"
+
+    if ratio > OVERHEAD_BUDGET:
+        print("\nFAIL: journal overhead %.3fx exceeds the %.2fx budget"
+              % (ratio, OVERHEAD_BUDGET))
+        raise SystemExit(1)
+    print("\njournal overhead %.3fx within the %.2fx budget"
+          % (ratio, OVERHEAD_BUDGET))
+
+
+if __name__ == "__main__":
+    main()

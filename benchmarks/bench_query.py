@@ -142,8 +142,21 @@ def main():
     print("\nEXPLAIN ANALYZE of the optimized index-scan plan:")
     catalog = Catalog(make_catalog(500))
     catalog.create_index("emp", "Salary")
-    print(explain_analyze(optimize(star_query(), catalog), catalog))
-    print("results -> %s" % writer.write())
+    exemplar = optimize(star_query(), catalog)
+    print(explain_analyze(exemplar, catalog))
+
+    # Execute the same plan once under tracing so the exported trace
+    # file's span tree mirrors the EXPLAIN ANALYZE operator tree above
+    # (load BENCH_query.trace.json in Perfetto to see it).
+    from repro.obs import trace as _trace
+
+    _trace.enable()
+    try:
+        exemplar.execute(catalog)
+        print("results -> %s" % writer.write())
+        print("trace   -> %s" % writer.trace_path)
+    finally:
+        _trace.disable()
 
 
 if __name__ == "__main__":

@@ -10,20 +10,34 @@ own material:
    store appends — the always-on counters behind every benchmark's
    ``BENCH_<area>.json``;
 3. runs ``EXPLAIN ANALYZE`` on an optimized employee query, showing the
-   optimizer's cardinality estimates beside the measured rows and time;
+   optimizer's cardinality estimates beside the measured rows and time
+   and each join's kernel pruning ratio;
 4. collects column statistics with ``ANALYZE`` and replans: the cost
    model's measured selectivities close the estimate drift step 3
-   exposed.
+   exposed;
+5. turns on the event journal and profiler, replays the paper's update
+   anomaly through two replicating store fronts — the flight recorder
+   catches the divergent re-intern as a WARN event — and prints the
+   per-operator profile;
+6. exports the whole session (spans, journal, metrics) as a
+   Chrome/Perfetto trace file and re-reads it, proving the span tree
+   round-trips.
 
 Run:  python examples/observability.py
 """
+
+import os
+import tempfile
 
 from repro.core.flat import FlatRelation
 from repro.core.index import Catalog
 from repro.core.query import eq, explain_analyze, optimize, scan
 from repro.core.relation import join_with_fastpath
 from repro.lang import run_program
-from repro.obs import metrics, trace
+from repro.obs import events, export, metrics, profile, trace
+from repro.persistence.replicating import ReplicatingStore
+from repro.persistence.store import LogStore
+from repro.types.dynamic import dynamic
 
 from figure1_join import DBPL_VERSION, R1, R2
 
@@ -104,6 +118,60 @@ def main():
     )
     print("EXPLAIN ANALYZE after ANALYZE — the MCV answers exactly:\n")
     print(explain_analyze(replanned, analyzed))
+    print()
+
+    # -- 5. the flight recorder -------------------------------------------
+    events.enable()
+    profiler = profile.enable()
+    with tempfile.TemporaryDirectory() as tmp:
+        # The paper's update anomaly, caught live: two replicating store
+        # fronts share one log; a re-intern that finds the value changed
+        # behind its back is journaled as a WARN.
+        shared = LogStore(os.path.join(tmp, "shared.log"))
+        mine = ReplicatingStore(shared)
+        theirs = ReplicatingStore(shared)
+        mine.extern("doc", dynamic("original"))
+        mine.intern("doc")
+        theirs.extern("doc", dynamic("changed elsewhere"))
+        mine.intern("doc")  # divergent: WARN divergent_reintern
+        shared.close()
+
+        # Re-run the optimized query with the profiler attributing wall
+        # time and join-pair work to each operator.
+        replanned.execute(analyzed)
+
+        print("the event journal (note the WARN — the update anomaly):\n")
+        for event in events.CURRENT.events(subsystem="replicating"):
+            print(event.format())
+        print()
+        print("per-operator profile:\n")
+        print(profiler.report())
+        print()
+
+        # -- 6. export and re-read the whole session ----------------------
+        tracer = trace.enable()
+        replanned.execute(analyzed)  # traced this time: plan.* spans
+        path = export.write_trace(os.path.join(tmp, "session.trace.json"))
+        document = export.read_trace(path)
+        roots = export.span_tree(document)
+        trace.disable()
+
+        print("exported %d trace events to %s" % (
+            len(document["traceEvents"]), os.path.basename(path)))
+        print("journal totals in otherData:",
+              document["otherData"]["journal"])
+
+        def render(node, depth=0):
+            print("  " * depth + node["name"])
+            for child in node["children"]:
+                render(child, depth + 1)
+
+        print("span tree re-read from the file (== the operator tree):\n")
+        for root in roots:
+            if root["name"].startswith("plan."):
+                render(root)
+    events.disable()
+    profile.disable()
 
 
 if __name__ == "__main__":

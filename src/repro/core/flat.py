@@ -20,6 +20,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
 from repro.core.orders import AtomPayload, _ATOM_TYPES
 from repro.core.relation import GeneralizedRelation
 from repro.errors import SchemaMismatchError
+from repro.obs import metrics as _metrics
 
 Row = Tuple[AtomPayload, ...]
 RowMapping = Mapping[str, AtomPayload]
@@ -198,6 +199,13 @@ class FlatRelation:
 
         Uses a hash join on the common attributes.  With no common
         attribute this degenerates to the Cartesian product, as usual.
+
+        Pair work is observable like the generalized kernel's:
+        ``flat.join.pairs_tried`` counts the bucket-matched pairs the
+        join materialized, ``flat.join.pairs_pruned`` the rest of the
+        |L|·|R| logical pairs the hash partitioning never touched —
+        which is what EXPLAIN ANALYZE and the profiler attribute to
+        individual Join nodes.
         """
         common = [a for a in self._schema if a in other._schema]
         result_schema = self._schema + tuple(
@@ -215,10 +223,19 @@ class FlatRelation:
             )
         my_common_idx = [self._schema.index(a) for a in common]
         joined = set()
+        tried = 0
         for row in self._rows:
             key = tuple(row[i] for i in my_common_idx)
-            for rest in by_key.get(key, ()):
-                joined.add(row + rest)
+            matches = by_key.get(key)
+            if matches:
+                tried += len(matches)
+                for rest in matches:
+                    joined.add(row + rest)
+        registry = _metrics.REGISTRY
+        registry.counter("flat.join.pairs_tried").inc(tried)
+        registry.counter("flat.join.pairs_pruned").inc(
+            len(self._rows) * len(other._rows) - tried
+        )
         return FlatRelation(result_schema, joined)
 
     # -- bridges to the generalized world ------------------------------------------

@@ -49,7 +49,9 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 from repro.core.flat import FlatRelation
 from repro.core.orders import AtomPayload
 from repro.errors import RelationError
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.stats import feedback as _feedback
 from repro.stats.cost import CostModel
@@ -183,18 +185,35 @@ class Plan:
     def execute(self, catalog) -> FlatRelation:
         """Evaluate the plan bottom-up against ``catalog``.
 
-        With tracing off this is the children's results fed through
-        :meth:`_apply` — the only observability cost is one attribute
-        check per node.  With tracing on, every node records a nested
-        span carrying rows-in, rows-out, and elapsed wall time.
+        With tracing and profiling off this is the children's results
+        fed through :meth:`_apply` — the only observability cost is two
+        attribute checks per node.  With tracing on, every node records
+        a nested span carrying rows-in, rows-out, and elapsed wall
+        time; with the profiler on, each operator's own wall time,
+        rows, and join-pair counter deltas accumulate per label.
         """
         tracer = _trace.CURRENT
-        if not tracer.enabled:
+        profiler = _profile.CURRENT
+        if not tracer.enabled and not profiler.enabled:
             inputs = tuple(child.execute(catalog) for child in self.children())
             return self._apply(catalog, *inputs)
         with tracer.span("plan." + type(self).__name__.lower()) as span_obj:
             inputs = tuple(child.execute(catalog) for child in self.children())
-            result = self._apply(catalog, *inputs)
+            if profiler.enabled:
+                tried_before, pruned_before = _pairs_totals()
+                started = profiler.clock()
+                result = self._apply(catalog, *inputs)
+                elapsed = profiler.clock() - started
+                tried_after, pruned_after = _pairs_totals()
+                profiler.record(
+                    self.label(),
+                    elapsed,
+                    rows_out=len(result),
+                    pairs_tried=tried_after - tried_before,
+                    pairs_pruned=pruned_after - pruned_before,
+                )
+            else:
+                result = self._apply(catalog, *inputs)
             span_obj.annotate(
                 node=self.label(),
                 rows_in=sum(len(i) for i in inputs),
@@ -402,6 +421,23 @@ def _relation(catalog, name: str) -> FlatRelation:
         raise RelationError("catalog has no relation %r" % (name,)) from None
 
 
+def _pairs_totals() -> Tuple[int, int]:
+    """The current (tried, pruned) join-pair totals, both kernels.
+
+    Flat hash joins count under ``flat.join.*``, the generalized
+    cochain kernel under ``relation.join.*``; reading both before and
+    after one operator's ``_apply`` attributes its pair work per node
+    (EXPLAIN ANALYZE) or per label (the profiler).
+    """
+    registry = _metrics.REGISTRY
+    return (
+        registry.value("relation.join.pairs_tried")
+        + registry.value("flat.join.pairs_tried"),
+        registry.value("relation.join.pairs_pruned")
+        + registry.value("flat.join.pairs_pruned"),
+    )
+
+
 def _catalog_stats(catalog, name: str):
     """The catalog's :class:`~repro.stats.collect.TableStats` for ``name``.
 
@@ -466,10 +502,22 @@ def optimize(plan: Plan, catalog, refresh_stats: bool = True) -> Plan:
     """
     if refresh_stats:
         _refresh_stale_stats(plan, catalog)
+    original = plan
     plan = _push_selections(plan, catalog)
     plan = _use_indexes(plan, catalog)
     plan = _order_joins(plan, catalog)
     plan = _push_projections(plan, catalog, needed=None)
+    if _events.CURRENT.enabled:
+        names: set = set()
+        _base_names(plan, names)
+        _events.publish(
+            "INFO",
+            "query",
+            "optimize",
+            relations=",".join(sorted(names)),
+            estimate=plan.estimate(catalog),
+            rewritten=plan is not original,
+        )
     return plan
 
 
@@ -507,6 +555,15 @@ def _refresh_stale_stats(plan: Plan, catalog) -> None:
         if drift is not None and drift >= threshold:
             analyze(name)
             _metrics.REGISTRY.counter("stats.auto_reanalyze").inc()
+            if _events.CURRENT.enabled:
+                _events.publish(
+                    "INFO",
+                    "stats",
+                    "auto_reanalyze",
+                    relation=name,
+                    drift=drift,
+                    threshold=threshold,
+                )
 
 
 _SARGABLE_OPS = ("==", "<", "<=", ">", ">=")
@@ -738,6 +795,17 @@ class NodeStats:
     self_seconds: float
     total_seconds: float
     children: List["NodeStats"] = field(default_factory=list)
+    # Join-pair accounting for this operator alone (counter deltas
+    # around its ``_apply``): pairs the flat/cochain kernels actually
+    # checked vs. pairs the hash partitioning discarded unexamined.
+    pairs_tried: int = 0
+    pairs_pruned: int = 0
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Pruned pairs over logical pairs (0.0 when no pairs seen)."""
+        logical = self.pairs_tried + self.pairs_pruned
+        return self.pairs_pruned / logical if logical else 0.0
 
     @property
     def drift(self) -> float:
@@ -783,9 +851,11 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
         child_result, stats = analyze(child, catalog)
         child_results.append(child_result)
         child_stats.append(stats)
+    tried_before, pruned_before = _pairs_totals()
     started = time.perf_counter()
     result = plan._apply(catalog, *child_results)
     self_seconds = time.perf_counter() - started
+    tried_after, pruned_after = _pairs_totals()
     registry = _metrics.REGISTRY
     registry.counter("query.nodes").inc()
     registry.counter("query.rows_out").inc(len(result))
@@ -798,6 +868,8 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
         self_seconds=self_seconds,
         total_seconds=self_seconds + sum(s.total_seconds for s in child_stats),
         children=child_stats,
+        pairs_tried=tried_after - tried_before,
+        pairs_pruned=pruned_after - pruned_before,
     )
     # Estimate-error accounting: the drift histogram tracks how wrong
     # the optimizer is over the process lifetime; a "miss" is a node
@@ -805,6 +877,18 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
     registry.histogram("query.estimate.drift").observe(stats.drift_ratio)
     if stats.drift_ratio > 2.0:
         registry.counter("query.estimate.misses").inc()
+    # EXPLAIN ANALYZE is itself a measured run: with the profiler on,
+    # its per-node timings land in the same per-label accumulation as
+    # Plan.execute's, so a REPL `:explain` populates `:profile`.
+    profiler = _profile.CURRENT
+    if profiler.enabled:
+        profiler.record(
+            stats.label,
+            self_seconds,
+            rows_out=len(result),
+            pairs_tried=stats.pairs_tried,
+            pairs_pruned=stats.pairs_pruned,
+        )
     _record_feedback(plan, stats, catalog)
     return result, stats
 
@@ -847,9 +931,16 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
         if stats.rows_in
         else ""
     )
+    pairs_text = ""
+    if stats.pairs_tried or stats.pairs_pruned:
+        pairs_text = "  (pairs tried=%d pruned=%d %.0f%%)" % (
+            stats.pairs_tried,
+            stats.pairs_pruned,
+            100.0 * stats.pruning_ratio,
+        )
     lines = [
         "%s%s  (estimate=%.1f)  (actual %srows=%d self=%.3fms total=%.3fms"
-        " drift=%.2fx)"
+        " drift=%.2fx)%s"
         % (
             pad,
             stats.label,
@@ -859,6 +950,7 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
             stats.self_seconds * 1000.0,
             stats.total_seconds * 1000.0,
             stats.drift_ratio,
+            pairs_text,
         )
     ]
     for child in stats.children:
@@ -900,4 +992,18 @@ def explain_analyze(plan: Plan, catalog) -> str:
     __, stats = analyze(plan, catalog)
     worst = max(node.drift_ratio for node in stats.walk())
     _metrics.REGISTRY.gauge("query.estimate.max_drift").set(worst)
+    if _events.CURRENT.enabled:
+        nodes = list(stats.walk())
+        _events.publish(
+            "INFO",
+            "query",
+            "explain_analyze",
+            root=stats.label,
+            nodes=len(nodes),
+            rows_out=stats.rows_out,
+            total_ms=stats.total_seconds * 1000.0,
+            max_drift=worst,
+            pairs_tried=sum(n.pairs_tried for n in nodes),
+            pairs_pruned=sum(n.pairs_pruned for n in nodes),
+        )
     return "\n".join(_render_analyzed(stats, 0) + [drift_summary(stats)])

@@ -36,7 +36,9 @@ from repro.core import cpo
 from repro.core import kernel as _kernel
 from repro.core.orders import PartialRecord, Value, from_python, leq
 from repro.errors import RelationError
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 
 
 def _sort_key(value: Value) -> str:
@@ -226,7 +228,19 @@ class GeneralizedRelation:
         registry.counter("relation.join").inc()
         pairs = len(self._objects) * len(other._objects)
         registry.counter("relation.join.pairs").inc(pairs)
-        joined, tried = _kernel.join_pairs(self._objects, other._objects)
+        profiler = _profile.CURRENT
+        if profiler.enabled:
+            started = profiler.clock()
+            joined, tried = _kernel.join_pairs(self._objects, other._objects)
+            profiler.record(
+                "relation.join",
+                profiler.clock() - started,
+                rows_out=len(joined),
+                pairs_tried=tried,
+                pairs_pruned=pairs - tried,
+            )
+        else:
+            joined, tried = _kernel.join_pairs(self._objects, other._objects)
         registry.counter("relation.join.pairs_tried").inc(tried)
         registry.counter("relation.join.pairs_pruned").inc(pairs - tried)
         return _from_values(joined)
@@ -387,15 +401,56 @@ def join_with_fastpath(
 
     if not left or not right:
         _metrics.REGISTRY.counter("relation.join_fastpath.hit").inc()
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "DEBUG", "kernel", "fastpath_hit",
+                reason="empty_operand", left=len(left), right=len(right),
+            )
         return GeneralizedRelation()
     left_schema = flat_schema_of(left)
     right_schema = flat_schema_of(right)
     if left_schema is not None and right_schema is not None:
         _metrics.REGISTRY.counter("relation.join_fastpath.hit").inc()
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "DEBUG", "kernel", "fastpath_hit",
+                reason="flat_operands", left=len(left), right=len(right),
+            )
         flat_left = FlatRelation.from_generalized(left, left_schema)
         flat_right = FlatRelation.from_generalized(right, right_schema)
-        return flat_left.natural_join(flat_right).to_generalized()
+        profiler = _profile.CURRENT
+        if profiler.enabled:
+            # The hash join is still the generalized join semantically, so
+            # its work accumulates under the same "relation.join" label as
+            # the partitioned kernel's, with pair deltas read from the
+            # flat counters it advances.
+            registry = _metrics.REGISTRY
+            tried_before = registry.counter("flat.join.pairs_tried").value
+            pruned_before = registry.counter("flat.join.pairs_pruned").value
+            started = profiler.clock()
+            joined = flat_left.natural_join(flat_right)
+            profiler.record(
+                "relation.join",
+                profiler.clock() - started,
+                rows_out=len(joined),
+                pairs_tried=(
+                    registry.counter("flat.join.pairs_tried").value
+                    - tried_before
+                ),
+                pairs_pruned=(
+                    registry.counter("flat.join.pairs_pruned").value
+                    - pruned_before
+                ),
+            )
+        else:
+            joined = flat_left.natural_join(flat_right)
+        return joined.to_generalized()
     _metrics.REGISTRY.counter("relation.join_fastpath.miss").inc()
+    if _events.CURRENT.enabled:
+        _events.CURRENT.publish(
+            "DEBUG", "kernel", "fastpath_miss",
+            left=len(left), right=len(right),
+        )
     return left.join(right)
 
 

@@ -9,9 +9,17 @@ for ``extern``/``intern``).  Commands:
 * ``:trace on|off``  — toggle span tracing; while on, each evaluation
   prints its span tree (parse/check/eval, nested store and relation
   operations with rows and wall time);
+* ``:events [n]``    — show the last ``n`` flight-recorder journal
+  events (``:events on|off`` toggles the journal; ``main()`` turns it
+  on for interactive sessions);
+* ``:export <path>`` — write spans + journal + metrics as a Chrome
+  ``chrome://tracing`` / Perfetto trace file;
+* ``:profile on|off`` — toggle the execution profiler; ``:profile``
+  alone prints the per-operator top-N report;
 * ``:stats``         — dump the process-global metrics registry
   (``:stats reset`` zeroes it); ``:stats <name>`` prints the column
-  statistics collected by ``:analyze <name>``;
+  statistics collected by ``:analyze <name>``; ``:stats feedback``
+  prints the last observed-vs-estimated selectivity feedback rows;
 * ``:analyze <name>`` — collect column statistics (row/distinct counts,
   null fractions, most-common values, equi-depth histograms) for a
   session relation, feeding the cost-based optimizer;
@@ -41,16 +49,21 @@ from repro.lang.checker import CheckEnv, check_program
 from repro.lang.eval import Interpreter, format_value
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
+from repro.obs import events as _events
+from repro.obs import export as _export
 from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
 from repro.obs import trace as _trace
+from repro.stats import feedback as _feedback
 from repro.stats.collect import TableStats
 from repro.stats.collect import analyze as _analyze_stats
 
 PROMPT = "dbpl> "
 BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
-    "reproduction.  :type E, :ast E, :load FILE, :trace on|off, :stats,\n"
-    ":analyze R, :explain E, :quit\n"
+    "reproduction.  :type E, :ast E, :load FILE, :trace on|off,\n"
+    ":events [n], :export FILE, :profile on|off, :stats, :analyze R,\n"
+    ":explain E, :quit\n"
 )
 
 
@@ -95,6 +108,12 @@ class Repl:
             self._load(argument)
         elif command == ":trace":
             self._trace_command(argument)
+        elif command == ":events":
+            self._events_command(argument)
+        elif command == ":export":
+            self._export_command(argument)
+        elif command == ":profile":
+            self._profile_command(argument)
         elif command == ":stats":
             self._stats_command(argument)
         elif command == ":analyze":
@@ -120,11 +139,93 @@ class Repl:
         else:
             self._write("usage: :trace on|off")
 
+    def _events_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument == "on":
+            _events.enable()
+            self._write("journal on")
+            return
+        if argument == "off":
+            _events.disable()
+            self._write("journal off")
+            return
+        journal = _events.CURRENT
+        if not journal.enabled:
+            self._write("journal is off — :events on")
+            return
+        count = 20
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self._write("usage: :events [n] | :events on|off")
+                return
+        recent = journal.events(count)
+        if not recent:
+            self._write("(journal is empty)")
+            return
+        for event in recent:
+            self._write(event.format())
+
+    def _export_command(self, argument: str) -> None:
+        path = argument.strip()
+        if not path:
+            self._write("usage: :export <path>")
+            return
+        try:
+            _export.write_trace(path)
+        except OSError as exc:
+            self._write("error: %s" % exc)
+            return
+        self._write(
+            "exported %s (%d trace events)"
+            % (path, len(_export.trace_events()))
+        )
+
+    def _profile_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument == "on":
+            _profile.enable()
+            self._write("profiling on")
+        elif argument == "off":
+            _profile.disable()
+            self._write("profiling off")
+        elif not argument:
+            self._write(_profile.profile_report())
+        else:
+            self._write("usage: :profile on|off")
+
+    def _feedback_table(self, count: int = 10) -> str:
+        recent = _feedback.FEEDBACK.last(count)
+        if not recent:
+            return "(no feedback recorded — run :explain on a selection)"
+        lines = [
+            "%-28s %-10s %9s %8s %8s %6s %6s"
+            % ("predicate", "relation", "estimate", "rows_in",
+               "rows_out", "sel", "drift")
+        ]
+        for obs in recent:
+            lines.append(
+                "%-28s %-10s %9.1f %8d %8d %6.3f %6.2f"
+                % (
+                    obs.predicate[:28],
+                    (obs.relation or "-")[:10],
+                    obs.estimate,
+                    obs.rows_in,
+                    obs.rows_out,
+                    obs.observed_selectivity,
+                    obs.drift_ratio,
+                )
+            )
+        return "\n".join(lines)
+
     def _stats_command(self, argument: str) -> None:
         argument = argument.strip()
         if argument.lower() == "reset":
             _metrics.reset_metrics()
             self._write("metrics reset")
+        elif argument.lower() == "feedback":
+            self._write(self._feedback_table())
         elif not argument:
             self._write(_metrics.REGISTRY.format())
         elif argument in self._table_stats:
@@ -313,6 +414,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: ``python -m repro.lang.repl [store-path]``."""
     argv = argv if argv is not None else sys.argv[1:]
     store = argv[0] if argv else None
+    # Interactive sessions fly with the recorder on: anomalies (torn
+    # records, divergent re-interns) land in :events even when the user
+    # never asked for them in advance — so the journal must be live
+    # before the store replays its log.
+    _events.enable()
     repl = Repl(store)
     print(BANNER)
     while not repl.done:

@@ -1,12 +1,21 @@
-"""repro.obs — dependency-free tracing and metrics for the kernel.
+"""repro.obs — dependency-free observability for the kernel.
 
-Two complementary instruments:
+The flight recorder has four complementary instruments:
 
 * :mod:`repro.obs.trace` — nestable wall-clock spans behind a
   process-global tracer that defaults to a no-op singleton (one
   attribute check when disabled);
-* :mod:`repro.obs.metrics` — always-on named counters and latency
-  histograms with a JSON-able ``snapshot()``.
+* :mod:`repro.obs.metrics` — always-on, thread-safe named counters,
+  gauges, and latency histograms with a JSON-able ``snapshot()``;
+* :mod:`repro.obs.events` — a bounded, thread-safe structured event
+  journal (severity, subsystem, payload) the tracer, query layer,
+  kernel, and persistence layers publish into when enabled;
+* :mod:`repro.obs.profile` — a deterministic execution profiler
+  attributing wall time and kernel pair counts per plan operator.
+
+:mod:`repro.obs.export` serializes spans, journal, and metrics to
+JSONL and to Chrome ``chrome://tracing`` / Perfetto trace files, so any
+benchmark or REPL session can be replayed visually.
 
 The query layer (:func:`repro.core.query.explain_analyze`), the
 persistence substrate (:class:`repro.persistence.store.LogStore`, the
@@ -18,6 +27,7 @@ instead of asserted.
 
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     REGISTRY,
@@ -35,9 +45,22 @@ from repro.obs.trace import (
     set_tracer,
     span,
 )
+from repro.obs.events import (
+    Event,
+    EventJournal,
+    NoOpJournal,
+    publish,
+)
+from repro.obs.profile import (
+    NoOpProfiler,
+    OpProfile,
+    Profiler,
+    profile_report,
+)
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
@@ -52,4 +75,12 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "span",
+    "Event",
+    "EventJournal",
+    "NoOpJournal",
+    "publish",
+    "NoOpProfiler",
+    "OpProfile",
+    "Profiler",
+    "profile_report",
 ]

@@ -35,6 +35,7 @@ logic.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, List, Optional
 
 __all__ = [
@@ -49,21 +50,31 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically-increasing named integer."""
+    """A monotonically-increasing named integer.
 
-    __slots__ = ("name", "value")
+    Updates take the metric's own lock: ``value += delta`` is several
+    bytecodes, so unlocked concurrent increments can lose counts under
+    preemption (the journal writer and threaded workloads both
+    increment).  The lock is uncontended in single-threaded use and
+    costs well under a microsecond.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, delta: int = 1) -> None:
         """Add ``delta`` (default 1)."""
-        self.value += delta
+        with self._lock:
+            self.value += delta
 
     def reset(self) -> None:
         """Back to zero (the registry-wide reset calls this)."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return "Counter(%r, %d)" % (self.name, self.value)
@@ -78,19 +89,22 @@ class Gauge:
     should see as-is.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current level."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def reset(self) -> None:
         """Back to zero (the registry-wide reset calls this)."""
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def __repr__(self) -> str:
         return "Gauge(%r, %g)" % (self.name, self.value)
@@ -104,34 +118,37 @@ class Histogram:
     window) on long ones, without unbounded memory.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_cap")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_cap", "_lock")
 
     def __init__(self, name: str, sample_cap: int = 512):
         self.name = name
         self._cap = sample_cap
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
         """Discard all observations."""
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-        self._samples: List[float] = []
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min: Optional[float] = None
+            self.max: Optional[float] = None
+            self._samples: List[float] = []
 
     def observe(self, value: float) -> None:
         """Record one observation (e.g. seconds of one commit)."""
         value = float(value)
-        if len(self._samples) < self._cap:
-            self._samples.append(value)
-        else:
-            self._samples[self.count % self._cap] = value
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            if len(self._samples) < self._cap:
+                self._samples.append(value)
+            else:
+                self._samples[self.count % self._cap] = value
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -140,9 +157,10 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0–100) of the retained samples."""
-        if not self._samples:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         rank = max(0, min(len(ordered) - 1, int(q / 100.0 * len(ordered))))
         return ordered[rank]
 
@@ -175,29 +193,44 @@ class MetricsRegistry:
     """
 
     def __init__(self):
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
-        """The counter called ``name`` (created at zero on first use)."""
+        """The counter called ``name`` (created at zero on first use).
+
+        Get-or-create takes the registry lock so two racing threads
+        never mint two handles for one name (one handle's counts would
+        silently vanish from snapshots).
+        """
         found = self._counters.get(name)
         if found is None:
-            found = self._counters[name] = Counter(name)
+            with self._lock:
+                found = self._counters.get(name)
+                if found is None:
+                    found = self._counters[name] = Counter(name)
         return found
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name`` (created at zero on first use)."""
         found = self._gauges.get(name)
         if found is None:
-            found = self._gauges[name] = Gauge(name)
+            with self._lock:
+                found = self._gauges.get(name)
+                if found is None:
+                    found = self._gauges[name] = Gauge(name)
         return found
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name`` (created empty on first use)."""
         found = self._histograms.get(name)
         if found is None:
-            found = self._histograms[name] = Histogram(name)
+            with self._lock:
+                found = self._histograms.get(name)
+                if found is None:
+                    found = self._histograms[name] = Histogram(name)
         return found
 
     def value(self, name: str) -> int:
@@ -212,21 +245,24 @@ class MetricsRegistry:
 
     def counters(self) -> Dict[str, int]:
         """Counter values by name (a copy)."""
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        with self._lock:
+            items = sorted(self._counters.items())
+        return {name: c.value for name, c in items}
 
     def gauges(self) -> Dict[str, float]:
         """Gauge values by name (a copy)."""
-        return {name: g.value for name, g in sorted(self._gauges.items())}
+        with self._lock:
+            items = sorted(self._gauges.items())
+        return {name: g.value for name, g in items}
 
     def snapshot(self) -> Dict[str, object]:
         """Everything, as plain JSON-compatible dicts."""
+        with self._lock:
+            histograms = sorted(self._histograms.items())
         return {
             "counters": self.counters(),
             "gauges": self.gauges(),
-            "histograms": {
-                name: h.snapshot()
-                for name, h in sorted(self._histograms.items())
-            },
+            "histograms": {name: h.snapshot() for name, h in histograms},
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -239,27 +275,33 @@ class MetricsRegistry:
         Existing :class:`Counter`/:class:`Histogram` handles stay valid
         (instrumented modules may cache them), they just restart at zero.
         """
-        for counter in self._counters.values():
-            counter.reset()
-        for gauge in self._gauges.values():
-            gauge.reset()
-        for histogram in self._histograms.values():
-            histogram.reset()
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for metric in metrics:
+            metric.reset()
 
     def format(self) -> str:
         """A human-readable table (the REPL's ``:stats`` output)."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         lines: List[str] = []
-        if self._counters:
+        if counters:
             lines.append("counters:")
-            for name, counter in sorted(self._counters.items()):
+            for name, counter in counters:
                 lines.append("  %-40s %d" % (name, counter.value))
-        if self._gauges:
+        if gauges:
             lines.append("gauges:")
-            for name, gauge in sorted(self._gauges.items()):
+            for name, gauge in gauges:
                 lines.append("  %-40s %g" % (name, gauge.value))
-        if self._histograms:
+        if histograms:
             lines.append("histograms:")
-            for name, histogram in sorted(self._histograms.items()):
+            for name, histogram in histograms:
                 lines.append(
                     "  %-40s n=%d mean=%.6f max=%.6f"
                     % (

@@ -33,6 +33,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import events as _events
+
 __all__ = [
     "Span",
     "Tracer",
@@ -134,6 +136,17 @@ class _OpenSpan:
         stack = self._tracer._stack
         while stack and stack.pop() is not span_obj:
             pass
+        # Closed spans also chronicle into the flight recorder, so an
+        # exported journal shows spans and anomalies on one timeline.
+        journal = _events.CURRENT
+        if journal.enabled:
+            payload = {
+                key: value
+                for key, value in span_obj.tags.items()
+                if key not in ("severity", "subsystem", "name")
+            }
+            payload["elapsed_ms"] = span_obj.elapsed * 1000.0
+            journal.publish("DEBUG", "trace", span_obj.name, **payload)
         return False
 
 

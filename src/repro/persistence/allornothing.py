@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Mapping
 
 from repro.errors import PersistenceError
+from repro.obs import events as _events
 from repro.persistence.serialize import deserialize, serialize
 from repro.persistence.store import SnapshotFile
 
@@ -50,6 +51,11 @@ class ImagePersistence:
             )
         document = serialize(dict(environment))
         self._snapshot.save(document)
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "INFO", "image", "save",
+                path=self._snapshot.path, names=len(environment),
+            )
 
     def resume(self) -> Dict[str, object]:
         """Rebuild the saved environment (everything, or nothing)."""
@@ -57,6 +63,11 @@ class ImagePersistence:
         environment = deserialize(document)
         if not isinstance(environment, dict):
             raise PersistenceError("image does not contain an environment")
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "INFO", "image", "resume",
+                path=self._snapshot.path, names=len(environment),
+            )
         return environment
 
     def has_image(self) -> bool:

@@ -38,6 +38,7 @@ from typing import Dict, Iterator, List, Set, Union
 
 import json
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.errors import (
@@ -270,6 +271,18 @@ class PersistentHeap:
         registry.histogram("heap.commit.seconds").observe(
             time.perf_counter() - started
         )
+        # Audit trail: each commit records the size of its reachability
+        # sweep and what the sweep decided, so a journal export shows the
+        # heap's promotion/collection history over the whole run.
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "INFO", "heap", "commit",
+                roots=stats.roots_written,
+                reachable=stats.objects_reachable,
+                written=stats.objects_written,
+                unchanged=stats.objects_unchanged,
+                collected=stats.objects_collected,
+            )
         return stats
 
     def _commit_inner(self) -> CommitStats:

@@ -26,9 +26,12 @@ reachable from that value" — the serializer walks the full object graph.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.errors import PersistenceError, UnknownHandleError
@@ -38,6 +41,20 @@ from repro.types.dynamic import Dynamic
 from repro.types.kinds import Type
 
 _HANDLE_PREFIX = "extern:"
+
+
+def _fingerprint(document: object) -> str:
+    """A short content hash of a stored document, version excluded.
+
+    Two documents fingerprint equal iff their serialized value and type
+    agree, regardless of which extern (version) produced them — exactly
+    the identity the audit trail needs to tell "same value re-externed"
+    from "someone replaced the value underneath this handle".
+    """
+    if isinstance(document, dict):
+        document = {k: v for k, v in document.items() if k != "version"}
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 class StaleHandleError(PersistenceError):
@@ -78,11 +95,25 @@ class ReplicatingStore:
 
     def __init__(self, store: Union[LogStore, str]):
         self._store = store if isinstance(store, LogStore) else LogStore(store)
+        # Audit memory: the (version, fingerprint) this store front last
+        # saw per handle, updated on every extern and intern round-trip.
+        # An intern finding a different fingerprint than remembered means
+        # the stored value changed without passing through this front —
+        # the update anomaly replicating persistence permits.
+        self._fingerprints: Dict[str, Tuple[int, str]] = {}
 
     @property
     def store(self) -> LogStore:
         """The backing log store."""
         return self._store
+
+    def last_fingerprint(self, handle: str) -> Optional[Tuple[int, str]]:
+        """The (version, fingerprint) this front last saw for ``handle``.
+
+        ``None`` until the handle has made a round-trip through this
+        store front (an :meth:`extern` or :meth:`intern`).
+        """
+        return self._fingerprints.get(handle)
 
     def extern(self, handle: str, dyn: Dynamic) -> int:
         """Replicate ``dyn`` (and everything reachable) under ``handle``.
@@ -103,10 +134,17 @@ class ReplicatingStore:
             version = (
                 1 if previous is None else int(previous.get("version", 0)) + 1
             )
+            fingerprint = _fingerprint(document)
             document["version"] = version
             self._store.put(_HANDLE_PREFIX + handle, document)
             self._store.sync()
+        self._fingerprints[handle] = (version, fingerprint)
         _metrics.REGISTRY.counter("replicating.externs").inc()
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "INFO", "replicating", "extern",
+                handle=handle, version=version, fingerprint=fingerprint,
+            )
         return version
 
     def version_of(self, handle: str) -> Optional[int]:
@@ -155,6 +193,29 @@ class ReplicatingStore:
         with _trace.CURRENT.span("replicating.intern", handle=handle):
             value = deserialize(document)
         _metrics.REGISTRY.counter("replicating.interns").inc()
+        version = int(document.get("version", 1))
+        fingerprint = _fingerprint(document)
+        remembered = self._fingerprints.get(handle)
+        if remembered is not None and remembered[1] != fingerprint:
+            # The stored copy is not the one this front last round-tripped:
+            # some other program (or store front) replaced it.  This is
+            # the paper's update anomaly surfacing — flag it loudly.
+            _metrics.REGISTRY.counter("replicating.divergent_reinterns").inc()
+            if _events.CURRENT.enabled:
+                _events.CURRENT.publish(
+                    "WARN", "replicating", "divergent_reintern",
+                    handle=handle,
+                    remembered_version=remembered[0],
+                    remembered_fingerprint=remembered[1],
+                    stored_version=version,
+                    stored_fingerprint=fingerprint,
+                )
+        elif _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "INFO", "replicating", "intern",
+                handle=handle, version=version, fingerprint=fingerprint,
+            )
+        self._fingerprints[handle] = (version, fingerprint)
         return Dynamic(value, carried)
 
     def stored_type_of(self, handle: str) -> Optional[Type]:

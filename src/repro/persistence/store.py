@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import StoreCorruptError
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
@@ -133,7 +134,17 @@ class LogStore:
             with open(self._path, "r+b") as handle:
                 handle.truncate(valid_end)
             registry.counter("store.truncated_tails").inc()
+            if _events.CURRENT.enabled:
+                _events.CURRENT.publish(
+                    "WARN", "store", "truncated_tail",
+                    path=self._path, discarded_bytes=len(data) - valid_end,
+                )
         registry.counter("store.replayed_records").inc(self._total)
+        if _events.CURRENT.enabled:
+            _events.CURRENT.publish(
+                "INFO", "store", "replay",
+                path=self._path, records=self._total, live_keys=self._live,
+            )
         return self._total
 
     def _parse(
@@ -151,10 +162,20 @@ class LogStore:
             crc = int(crc_text)
         except ValueError:
             registry.counter("store.torn_records").inc()
+            if _events.CURRENT.enabled:
+                _events.CURRENT.publish(
+                    "WARN", "store", "torn_record",
+                    path=self._path, line=line_number,
+                )
             return None
         data = payload_text.encode("utf-8")
         if len(data) != length or _checksum(data) != crc:
             registry.counter("store.checksum_failures").inc()
+            if _events.CURRENT.enabled:
+                _events.CURRENT.publish(
+                    "WARN", "store", "checksum_failure",
+                    path=self._path, line=line_number,
+                )
             return None
         registry.counter("store.checksum_checks").inc()
         try:

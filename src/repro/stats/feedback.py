@@ -58,13 +58,29 @@ class FeedbackLog:
         self._next = 0
 
     def record(self, observation: Observation) -> None:
-        """Add one observation (evicting the oldest once full)."""
+        """Add one observation (evicting the oldest once full).
+
+        Each record also publishes the observed-vs-estimated levels to
+        the metrics registry as gauges, so a metrics snapshot (and every
+        exported trace's ``otherData``) carries the *latest* planner
+        accuracy reading without scanning the ring.
+        """
         if len(self._observations) < self._capacity:
             self._observations.append(observation)
         else:
             self._observations[self._next % self._capacity] = observation
         self._next += 1
-        _metrics.REGISTRY.counter("stats.feedback.observations").inc()
+        registry = _metrics.REGISTRY
+        registry.counter("stats.feedback.observations").inc()
+        registry.gauge("stats.feedback.observed_selectivity").set(
+            observation.observed_selectivity
+        )
+        registry.gauge("stats.feedback.estimated_rows").set(
+            observation.estimate
+        )
+        registry.gauge("stats.feedback.drift_ratio").set(
+            observation.drift_ratio
+        )
 
     def observations(
         self, predicate: Optional[str] = None
@@ -75,6 +91,20 @@ class FeedbackLog:
         return tuple(
             o for o in self._observations if o.predicate == predicate
         )
+
+    def last(self, n: int = 10) -> Tuple[Observation, ...]:
+        """The most recent ``n`` observations, oldest first.
+
+        Reconstructs arrival order from the ring (the backing list is
+        positional once eviction wraps) — what the REPL's
+        ``:stats feedback`` table renders.
+        """
+        if self._next <= len(self._observations):
+            ordered = list(self._observations)
+        else:
+            pivot = self._next % self._capacity
+            ordered = self._observations[pivot:] + self._observations[:pivot]
+        return tuple(ordered[-n:]) if n > 0 else ()
 
     def observed_selectivity(self, predicate: str) -> Optional[float]:
         """The mean observed selectivity of ``predicate`` (``None`` if

@@ -54,10 +54,12 @@ PARTS_CATALOG = {"part": PART, "supplier": SUPPLIER}
 
 # One line per node: label, the optimizer's estimate, then the measured
 # rows, wall-clock (operator-only and subtree-total), and estimate drift.
+# Nodes that enumerated join pairs append the kernel's pruning ratio.
 LINE = re.compile(
     r"^\s*\S.*\(estimate=\d+(\.\d+)?\)"
     r"\s+\(actual (rows_in=\d+(\+\d+)*\s+)?rows=\d+"
-    r" self=\d+\.\d{3}ms total=\d+\.\d{3}ms drift=\d+\.\d{2}x\)$"
+    r" self=\d+\.\d{3}ms total=\d+\.\d{3}ms drift=\d+\.\d{2}x\)"
+    r"(\s+\(pairs tried=\d+ pruned=\d+ \d+%\))?$"
 )
 # The trailing summary: worst offender, mean, node count.
 SUMMARY = re.compile(
@@ -168,6 +170,46 @@ def test_index_scan_plan_reports_actuals():
     )
     assert "rows=2" in index_line  # Smith and Brown earn 40
     assert LINE.match(index_line)
+
+
+def test_join_nodes_report_pairs_tried_and_pruned():
+    catalog = EMPLOYEES_CATALOG
+    plan = optimize(employees_query(), catalog)
+    __, stats = analyze(plan, catalog)
+    join = next(n for n in stats.walk() if n.label.startswith("Join"))
+    # The hash join partitions 2 matching emps against 3 depts: it only
+    # materializes bucket-matched pairs; the rest count as pruned.
+    assert join.pairs_tried >= 1
+    assert join.pairs_tried + join.pairs_pruned > 0
+    assert 0.0 <= join.pruning_ratio <= 1.0
+    # Non-join nodes enumerate no pairs and render no pairs suffix.
+    for node in stats.walk():
+        if not node.label.startswith("Join"):
+            assert node.pairs_tried == 0
+            assert node.pairs_pruned == 0
+
+
+def test_pairs_render_only_on_joining_lines():
+    catalog = EMPLOYEES_CATALOG
+    plan = optimize(employees_query(), catalog)
+    text = explain_analyze(plan, catalog)
+    join_lines = [l for l in text.splitlines() if l.lstrip().startswith("Join")]
+    assert join_lines
+    for line in join_lines:
+        assert re.search(r"\(pairs tried=\d+ pruned=\d+ \d+%\)", line)
+    for line in text.splitlines():
+        if "Scan" in line and "Join" not in line:
+            assert "pairs" not in line
+
+
+def test_pruning_ratio_definition():
+    catalog = PARTS_CATALOG
+    __, stats = analyze(optimize(parts_query(), catalog), catalog)
+    join = next(n for n in stats.walk() if n.label.startswith("Join"))
+    logical = join.pairs_tried + join.pairs_pruned
+    assert join.pruning_ratio == pytest.approx(
+        join.pairs_pruned / logical if logical else 0.0
+    )
 
 
 def test_analyze_records_node_metrics():

@@ -1,10 +1,17 @@
-"""REPL observability commands: ``:stats`` and ``:trace on|off``."""
+"""REPL observability commands: ``:stats``, ``:trace``, ``:events``,
+``:export``, and ``:profile``."""
+
+import json
+import os
+import subprocess
+import sys
 
 import pytest
 
 from repro.lang.repl import Repl
-from repro.obs import trace
+from repro.obs import events, profile, trace
 from repro.obs.metrics import REGISTRY
+from repro.stats import feedback as _feedback
 
 
 @pytest.fixture
@@ -19,6 +26,15 @@ def restore_global_tracer():
     previous = trace.CURRENT
     yield
     trace.set_tracer(previous)
+
+
+@pytest.fixture(autouse=True)
+def restore_global_journal_and_profiler():
+    previous_journal = events.CURRENT
+    previous_profiler = profile.CURRENT
+    yield
+    events.set_journal(previous_journal)
+    profile.set_profiler(previous_profiler)
 
 
 class TestStatsCommand:
@@ -103,3 +119,164 @@ class TestTraceCommand:
         repl, lines = repl_session
         repl.handle("6 * 7")
         assert lines == ["42"]
+
+
+class TestEventsCommand:
+    def test_events_off_points_at_the_switch(self, repl_session):
+        events.disable()
+        repl, lines = repl_session
+        repl.handle(":events")
+        assert lines[-1] == "journal is off — :events on"
+
+    def test_events_on_off_round_trip(self, repl_session):
+        events.disable()
+        repl, lines = repl_session
+        repl.handle(":events on")
+        assert lines[-1] == "journal on"
+        assert events.CURRENT.enabled
+        repl.handle(":events off")
+        assert lines[-1] == "journal off"
+        assert not events.CURRENT.enabled
+
+    def test_events_prints_recent_journal_lines(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":events on")
+        events.publish("WARN", "store", "torn_record", line=7)
+        repl.handle(":events")
+        assert any("torn_record" in line and "WARN" in line
+                   for line in lines)
+
+    def test_events_n_limits_output(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":events on")
+        for i in range(5):
+            events.publish("INFO", "test", "tick%d" % i)
+        before = len(lines)
+        repl.handle(":events 2")
+        printed = lines[before:]
+        assert len(printed) == 2
+        assert "tick4" in printed[-1]
+
+    def test_events_junk_argument_prints_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":events on")
+        repl.handle(":events sideways")
+        assert lines[-1] == "usage: :events [n] | :events on|off"
+
+    def test_events_empty_journal(self, repl_session):
+        events.disable()
+        repl, lines = repl_session
+        repl.handle(":events on")
+        repl.handle(":events")
+        assert lines[-1] == "(journal is empty)"
+
+
+class TestExportCommand:
+    def test_export_without_path_prints_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":export")
+        assert lines[-1] == "usage: :export <path>"
+
+    def test_export_writes_a_loadable_trace_file(
+        self, repl_session, tmp_path
+    ):
+        repl, lines = repl_session
+        repl.handle(":events on")
+        events.publish("INFO", "test", "from_repl")
+        path = str(tmp_path / "session.trace.json")
+        repl.handle(":export %s" % path)
+        assert lines[-1].startswith("exported %s" % path)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert any(
+            e["name"] == "test.from_repl" for e in document["traceEvents"]
+        )
+
+    def test_export_to_bad_path_reports_the_error(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":export /nonexistent-dir/x.json")
+        assert lines[-1].startswith("error:")
+
+
+class TestProfileCommand:
+    def test_profile_on_off_round_trip(self, repl_session):
+        profile.disable()
+        repl, lines = repl_session
+        repl.handle(":profile on")
+        assert lines[-1] == "profiling on"
+        assert profile.CURRENT.enabled
+        repl.handle(":profile off")
+        assert lines[-1] == "profiling off"
+        assert not profile.CURRENT.enabled
+
+    def test_profile_prints_report(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":profile on")
+        profile.CURRENT.record("plan.join", 0.001, rows_out=3)
+        repl.handle(":profile")
+        assert any("plan.join" in line for line in lines)
+
+    def test_profile_off_report_points_at_the_switch(self, repl_session):
+        profile.disable()
+        repl, lines = repl_session
+        repl.handle(":profile")
+        assert lines[-1] == "(profiler is off — :profile on)"
+
+    def test_profile_junk_argument_prints_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":profile sideways")
+        assert lines[-1] == "usage: :profile on|off"
+
+
+class TestJournalOnFromStartup:
+    def test_replay_anomalies_of_the_session_store_are_journaled(
+        self, tmp_path
+    ):
+        """``main()`` must enable the journal *before* opening the
+        session store, so a corrupt log's replay WARNs land in
+        ``:events`` — the flight recorder's whole point."""
+        from repro.persistence.store import LogStore
+
+        path = str(tmp_path / "session.log")
+        with LogStore(path) as store:
+            store.put("k", {"v": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("9999:123:{\"k\"")  # torn final record
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "src"
+        )
+        env["PYTHONPATH"] = os.path.abspath(src)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.lang.repl", path],
+            input=":events 10\n:quit\n",
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert completed.returncode == 0
+        assert "truncated_tail" in completed.stdout
+        assert "WARN" in completed.stdout
+
+
+class TestStatsFeedback:
+    def test_stats_feedback_lists_recent_observations(self, repl_session):
+        _feedback.clear()
+        _feedback.record("Salary == 42", estimate=30.0, rows_in=500,
+                         rows_out=4, relation="emp")
+        repl, lines = repl_session
+        repl.handle(":stats feedback")
+        text = "\n".join(lines)
+        assert "predicate" in text  # the header row
+        assert "Salary == 42" in text
+        assert "emp" in text
+        _feedback.clear()
+
+    def test_stats_feedback_when_empty(self, repl_session):
+        _feedback.clear()
+        repl, lines = repl_session
+        repl.handle(":stats feedback")
+        assert lines[-1] == (
+            "(no feedback recorded — run :explain on a selection)"
+        )

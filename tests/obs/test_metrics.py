@@ -1,10 +1,12 @@
 """Counter/histogram behavior and the registry's JSON-able snapshot."""
 
 import json
+import threading
 
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
@@ -132,3 +134,47 @@ class TestMetricsRegistry:
         before = REGISTRY.counter("test.metrics.shared").value
         REGISTRY.counter("test.metrics.shared").inc()
         assert REGISTRY.counter("test.metrics.shared").value == before + 1
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_no_counts(self):
+        """`value += delta` is several bytecodes; the lock must make
+        racing increments exact, not approximate."""
+        registry = MetricsRegistry()
+        per_thread = 10_000
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.counter("racy").inc()
+                registry.histogram("racy.lat").observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("racy").value == 8 * per_thread
+        assert registry.histogram("racy.lat").count == 8 * per_thread
+
+    def test_concurrent_get_or_create_mints_one_handle(self):
+        registry = MetricsRegistry()
+        handles = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            handles.append(registry.counter("minted.once"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(h is handles[0] for h in handles)
+
+    def test_gauge_set_and_reset(self):
+        gauge = Gauge("level")
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+        gauge.reset()
+        assert gauge.value == 0.0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.query import analyze, optimize
+from repro.obs.metrics import REGISTRY
 from repro.stats import feedback
 from repro.stats.feedback import FeedbackLog, Observation
 from repro.workloads.queries import employees_catalog, employees_query
@@ -42,6 +43,47 @@ class TestFeedbackLog:
         log.record(Observation("q", None, 1.0, 10, 9))
         assert log.observed_selectivity("p") == pytest.approx(0.3)
         assert log.observed_selectivity("missing") is None
+
+    def test_last_returns_arrival_order_across_ring_wrap(self):
+        log = FeedbackLog(capacity=3)
+        for i in range(5):  # p0..p4; ring keeps p2, p3, p4
+            log.record(Observation("p%d" % i, None, 1.0, 10, i))
+        assert [o.predicate for o in log.last()] == ["p2", "p3", "p4"]
+        assert [o.predicate for o in log.last(2)] == ["p3", "p4"]
+        assert log.last(0) == ()
+
+    def test_last_before_wrap_preserves_insertion_order(self):
+        log = FeedbackLog(capacity=10)
+        for i in range(4):
+            log.record(Observation("p%d" % i, None, 1.0, 10, i))
+        assert [o.predicate for o in log.last(3)] == ["p1", "p2", "p3"]
+
+    def test_record_publishes_planner_accuracy_gauges(self):
+        log = FeedbackLog()
+        obs = Observation("Dept == 'Manuf'", "emp", 4.0, 10, 2)
+        log.record(obs)
+        gauges = {
+            name: REGISTRY.gauge(name).value
+            for name in (
+                "stats.feedback.observed_selectivity",
+                "stats.feedback.estimated_rows",
+                "stats.feedback.drift_ratio",
+            )
+        }
+        assert gauges["stats.feedback.observed_selectivity"] == (
+            pytest.approx(obs.observed_selectivity)
+        )
+        assert gauges["stats.feedback.estimated_rows"] == pytest.approx(4.0)
+        assert gauges["stats.feedback.drift_ratio"] == pytest.approx(
+            obs.drift_ratio
+        )
+
+    def test_gauges_track_the_latest_observation(self):
+        log = FeedbackLog()
+        log.record(Observation("p", None, 8.0, 10, 1))
+        log.record(Observation("q", None, 2.0, 10, 5))
+        gauge = REGISTRY.gauge("stats.feedback.observed_selectivity")
+        assert gauge.value == pytest.approx(0.5)  # the q reading, not p's
 
     def test_summary(self):
         log = FeedbackLog()
