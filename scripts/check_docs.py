@@ -1,0 +1,89 @@
+"""Check that relative links in the repository's markdown files resolve.
+
+Scans every ``*.md`` file (the repo root plus any tracked
+subdirectories, skipping hidden directories) for inline markdown links
+``[text](target)`` and verifies each *relative* target exists on disk.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are not checked; a relative target's
+``#fragment`` suffix is ignored — the file just has to exist.
+
+Exit status is the number of broken links, so CI can run this directly:
+
+    python scripts/check_docs.py
+
+Also exercised by ``tests/test_docs.py`` so the tier-1 suite keeps the
+documentation graph intact between CI runs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+# Inline links only; reference-style definitions are rare enough here
+# that inline coverage keeps the checker honest without a parser.
+# Skips images' leading "!" implicitly (the "(" capture is the same).
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCED_CODE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced blocks and inline spans — DBPL snippets like
+    ``get[Employee](db)`` would otherwise read as links."""
+    return INLINE_CODE.sub("", FENCED_CODE.sub("", text))
+
+
+def markdown_files(root: str) -> Iterator[str]:
+    """Every ``*.md`` under ``root``, hidden directories excluded."""
+    for directory, subdirs, files in os.walk(root):
+        subdirs[:] = sorted(
+            d for d in subdirs
+            if not d.startswith(".") and d != "__pycache__"
+        )
+        for name in sorted(files):
+            if name.endswith(".md"):
+                yield os.path.join(directory, name)
+
+
+def broken_links(root: str) -> List[Tuple[str, str]]:
+    """All (markdown file, unresolvable relative target) pairs."""
+    missing = []
+    for path in markdown_files(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = strip_code(handle.read())
+        base = os.path.dirname(path)
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = os.path.normpath(os.path.join(base, relative))
+            if not os.path.exists(resolved):
+                missing.append((os.path.relpath(path, root), target))
+    return missing
+
+
+def main(argv: List[str]) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    missing = broken_links(root)
+    for path, target in missing:
+        print("%s: broken relative link -> %s" % (path, target))
+    checked = len(list(markdown_files(root)))
+    print(
+        "checked %d markdown files: %s"
+        % (checked, "%d broken links" % len(missing) if missing else "ok")
+    )
+    return len(missing)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

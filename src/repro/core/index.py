@@ -138,6 +138,13 @@ class Catalog:
     ``None`` disables the behavior (historical: stale stats are used
     as-is).  Names never analyzed are left alone either way — a catalog
     that opted out of statistics keeps the fixed-constant estimates.
+
+    ``adaptive`` is the per-catalog escape hatch for adaptive
+    selectivity estimation (:mod:`repro.stats.adaptive`): with the
+    process-global store enabled, a catalog built with
+    ``adaptive=False`` keeps purely static estimates — execution
+    feedback is still *recorded*, just never applied to this catalog's
+    plans.
     """
 
     def __init__(
@@ -145,6 +152,7 @@ class Catalog:
         relations: Optional[Mapping[str, FlatRelation]] = None,
         auto_analyze: bool = False,
         reanalyze_threshold: Optional[int] = 1,
+        adaptive: bool = True,
     ):
         self._relations: Dict[str, FlatRelation] = {}
         self._indexes: Dict[Tuple[str, str], SortedIndex] = {}
@@ -152,6 +160,7 @@ class Catalog:
         self._epochs: Dict[str, int] = {}
         self._auto_analyze = auto_analyze
         self.reanalyze_threshold = reanalyze_threshold
+        self.adaptive = adaptive
         for name, relation in (relations or {}).items():
             self.bind(name, relation)
 

@@ -53,6 +53,7 @@ from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
+from repro.stats import adaptive as _adaptive
 from repro.stats import feedback as _feedback
 from repro.stats.cost import CostModel
 
@@ -401,6 +402,9 @@ class IndexScan(Plan):
         selectivity = COST_MODEL.selectivity(
             self.predicate.op, self.predicate.operand, column
         )
+        selectivity = _adapted_selectivity(
+            selectivity, self.predicate, self.name, catalog
+        )
         return COST_MODEL.clamp_rows(
             len(_relation(catalog, self.name)) * selectivity
         )
@@ -474,15 +478,60 @@ def _base_column_stats(plan: Plan, catalog, attribute: str):
 def _predicate_selectivity(
     predicate: Predicate, child: Plan, catalog
 ) -> float:
-    """Statistics-backed selectivity of ``predicate`` over ``child``'s rows."""
+    """Statistics-backed selectivity of ``predicate`` over ``child``'s rows.
+
+    When adaptive estimation is live (global store enabled, catalog not
+    opted out) and the predicate's subtree reads one unambiguous base
+    relation, the static estimate is blended with the observed
+    posterior for ``(relation, attribute, op, operand)``.
+    """
     column = _base_column_stats(child, catalog, predicate.attribute)
     other = (
         _base_column_stats(child, catalog, str(predicate.operand))
         if predicate.op == "attr=="
         else None
     )
-    return COST_MODEL.selectivity(
+    static = COST_MODEL.selectivity(
         predicate.op, predicate.operand, column, other
+    )
+    return _adapted_selectivity(
+        static, predicate, _base_relation_name(child), catalog
+    )
+
+
+def _catalog_epoch(catalog, name: Optional[str]) -> int:
+    """The bind epoch of ``name`` (0 for plain-dict catalogs)."""
+    if name is None:
+        return 0
+    bind_epoch = getattr(catalog, "bind_epoch", None)
+    return bind_epoch(name) if bind_epoch is not None else 0
+
+
+def _adaptive_live(catalog) -> bool:
+    """Is adaptive estimation applicable to this catalog right now?
+
+    Two gates: the process-global switch
+    (:data:`repro.stats.adaptive.ADAPTIVE`) and the catalog's own
+    ``adaptive`` flag (absent on plain dicts — treated as opted in, so
+    the global switch alone governs them).
+    """
+    return _adaptive.ADAPTIVE.enabled and getattr(catalog, "adaptive", True)
+
+
+def _adapted_selectivity(
+    static: float, predicate: Predicate, relation: Optional[str], catalog
+) -> float:
+    """Blend ``static`` with the adaptive posterior, when live and keyed."""
+    if relation is None or not _adaptive_live(catalog):
+        return static
+    return _adaptive.ADAPTIVE.correct(
+        static,
+        relation,
+        predicate.attribute,
+        predicate.op,
+        predicate.operand,
+        epoch=_catalog_epoch(catalog, relation),
+        cost_model=COST_MODEL,
     )
 
 
@@ -800,6 +849,18 @@ class NodeStats:
     # checked vs. pairs the hash partitioning discarded unexamined.
     pairs_tried: int = 0
     pairs_pruned: int = 0
+    # The statistics-only estimate this node would have carried with
+    # adaptive feedback suppressed; ``None`` when adaptivity was not
+    # live for the node (so no second estimate was computed).
+    static_estimate: Optional[float] = None
+
+    @property
+    def corrected(self) -> bool:
+        """Did execution feedback change this node's estimate?"""
+        return (
+            self.static_estimate is not None
+            and abs(self.static_estimate - self.estimate) > 1e-9
+        )
 
     @property
     def pruning_ratio(self) -> float:
@@ -860,9 +921,16 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
     registry.counter("query.nodes").inc()
     registry.counter("query.rows_out").inc(len(result))
     registry.histogram("query.node.seconds").observe(self_seconds)
+    estimate = plan.estimate(catalog)
+    static_estimate = None
+    if isinstance(plan, (Select, IndexScan)) and _adaptive_live(catalog):
+        # Re-estimate with feedback suppressed so "corrected by
+        # feedback" is attributable per node.
+        with _adaptive.ADAPTIVE.suppressed():
+            static_estimate = plan.estimate(catalog)
     stats = NodeStats(
         label=plan.label(),
-        estimate=plan.estimate(catalog),
+        estimate=estimate,
         rows_in=tuple(len(r) for r in child_results),
         rows_out=len(result),
         self_seconds=self_seconds,
@@ -870,7 +938,20 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
         children=child_stats,
         pairs_tried=tried_after - tried_before,
         pairs_pruned=pruned_after - pruned_before,
+        static_estimate=static_estimate,
     )
+    if stats.corrected:
+        registry.counter("stats.adaptive.corrections").inc()
+        if _events.CURRENT.enabled:
+            _events.publish(
+                "INFO",
+                "stats",
+                "adaptive_correction",
+                node=stats.label,
+                static=static_estimate,
+                blended=estimate,
+                rows_out=stats.rows_out,
+            )
     # Estimate-error accounting: the drift histogram tracks how wrong
     # the optimizer is over the process lifetime; a "miss" is a node
     # whose estimate is off by more than 2x in either direction.
@@ -905,14 +986,24 @@ def _base_relation_name(plan: Plan) -> Optional[str]:
 
 
 def _record_feedback(plan: Plan, stats: NodeStats, catalog) -> None:
-    """Log the observed selectivity of selection nodes (the feedback hook)."""
+    """Log the observed selectivity of selection nodes (the feedback hook).
+
+    The structured key parts (relation, attribute, operator, operand,
+    bind epoch) ride along, so the observation also trains the adaptive
+    store — the estimate the *next* run of this predicate sees.
+    """
     if isinstance(plan, Select):
+        relation = _base_relation_name(plan.child)
         _feedback.record(
             predicate=str(plan.predicate),
             estimate=stats.estimate,
             rows_in=stats.rows_in[0] if stats.rows_in else 0,
             rows_out=stats.rows_out,
-            relation=_base_relation_name(plan.child),
+            relation=relation,
+            attribute=plan.predicate.attribute,
+            op=plan.predicate.op,
+            operand=plan.predicate.operand,
+            epoch=_catalog_epoch(catalog, relation),
         )
     elif isinstance(plan, IndexScan):
         _feedback.record(
@@ -921,6 +1012,10 @@ def _record_feedback(plan: Plan, stats: NodeStats, catalog) -> None:
             rows_in=len(_relation(catalog, plan.name)),
             rows_out=stats.rows_out,
             relation=plan.name,
+            attribute=plan.predicate.attribute,
+            op=plan.predicate.op,
+            operand=plan.predicate.operand,
+            epoch=_catalog_epoch(catalog, plan.name),
         )
 
 
@@ -938,9 +1033,14 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
             stats.pairs_pruned,
             100.0 * stats.pruning_ratio,
         )
+    corrected_text = ""
+    if stats.corrected:
+        corrected_text = "  (corrected by feedback: static=%.1f)" % (
+            stats.static_estimate,
+        )
     lines = [
         "%s%s  (estimate=%.1f)  (actual %srows=%d self=%.3fms total=%.3fms"
-        " drift=%.2fx)%s"
+        " drift=%.2fx)%s%s"
         % (
             pad,
             stats.label,
@@ -951,6 +1051,7 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
             stats.total_seconds * 1000.0,
             stats.drift_ratio,
             pairs_text,
+            corrected_text,
         )
     ]
     for child in stats.children:
@@ -963,11 +1064,16 @@ def drift_summary(stats: NodeStats) -> str:
     nodes = list(stats.walk())
     worst = max(nodes, key=lambda n: n.drift_ratio)
     mean = sum(n.drift_ratio for n in nodes) / len(nodes)
-    return "drift: max=%.2fx (%s) mean=%.2fx over %d nodes" % (
+    corrected = sum(1 for n in nodes if n.corrected)
+    corrected_text = (
+        ", %d corrected by feedback" % corrected if corrected else ""
+    )
+    return "drift: max=%.2fx (%s) mean=%.2fx over %d nodes%s" % (
         worst.drift_ratio,
         worst.label,
         mean,
         len(nodes),
+        corrected_text,
     )
 
 
@@ -1005,5 +1111,6 @@ def explain_analyze(plan: Plan, catalog) -> str:
             max_drift=worst,
             pairs_tried=sum(n.pairs_tried for n in nodes),
             pairs_pruned=sum(n.pairs_pruned for n in nodes),
+            corrected=sum(1 for n in nodes if n.corrected),
         )
     return "\n".join(_render_analyzed(stats, 0) + [drift_summary(stats)])

@@ -19,7 +19,12 @@ for ``extern``/``intern``).  Commands:
 * ``:stats``         — dump the process-global metrics registry
   (``:stats reset`` zeroes it); ``:stats <name>`` prints the column
   statistics collected by ``:analyze <name>``; ``:stats feedback``
-  prints the last observed-vs-estimated selectivity feedback rows;
+  prints the last observed-vs-estimated selectivity feedback rows with
+  the adaptive store's current posterior per predicate;
+* ``:adaptive on|off`` — toggle adaptive selectivity estimation (the
+  planner blends observed selectivities from past ``:explain`` runs
+  into its estimates; ``main()`` turns it on for interactive
+  sessions);
 * ``:analyze <name>`` — collect column statistics (row/distinct counts,
   null fractions, most-common values, equi-depth histograms) for a
   session relation, feeding the cost-based optimizer;
@@ -54,6 +59,7 @@ from repro.obs import export as _export
 from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
+from repro.stats import adaptive as _adaptive
 from repro.stats import feedback as _feedback
 from repro.stats.collect import TableStats
 from repro.stats.collect import analyze as _analyze_stats
@@ -63,7 +69,7 @@ BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
     "reproduction.  :type E, :ast E, :load FILE, :trace on|off,\n"
     ":events [n], :export FILE, :profile on|off, :stats, :analyze R,\n"
-    ":explain E, :quit\n"
+    ":explain E, :adaptive on|off, :quit\n"
 )
 
 
@@ -120,6 +126,8 @@ class Repl:
             self._analyze_command(argument)
         elif command == ":explain":
             self._explain_command(argument)
+        elif command == ":adaptive":
+            self._adaptive_command(argument)
         else:
             self._write("unknown command %s" % command)
 
@@ -200,13 +208,22 @@ class Repl:
         if not recent:
             return "(no feedback recorded — run :explain on a selection)"
         lines = [
-            "%-28s %-10s %9s %8s %8s %6s %6s"
+            "%-28s %-10s %9s %8s %8s %6s %6s %12s"
             % ("predicate", "relation", "estimate", "rows_in",
-               "rows_out", "sel", "drift")
+               "rows_out", "sel", "drift", "blend")
         ]
         for obs in recent:
+            posterior = _adaptive.ADAPTIVE.posterior(
+                obs.relation, obs.attribute, obs.op, obs.operand,
+                epoch=obs.epoch,
+            )
+            blend_text = (
+                "%.3f (w=%.1f)" % (posterior.mean, posterior.weight)
+                if posterior is not None
+                else "-"
+            )
             lines.append(
-                "%-28s %-10s %9.1f %8d %8d %6.3f %6.2f"
+                "%-28s %-10s %9.1f %8d %8d %6.3f %6.2f %12s"
                 % (
                     obs.predicate[:28],
                     (obs.relation or "-")[:10],
@@ -215,9 +232,27 @@ class Repl:
                     obs.rows_out,
                     obs.observed_selectivity,
                     obs.drift_ratio,
+                    blend_text,
                 )
             )
         return "\n".join(lines)
+
+    def _adaptive_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument == "on":
+            _adaptive.enable()
+            self._write("adaptive estimation on")
+        elif argument == "off":
+            _adaptive.disable()
+            self._write("adaptive estimation off")
+        elif not argument:
+            store = _adaptive.ADAPTIVE
+            self._write(
+                "adaptive estimation is %s (%d keys)"
+                % ("on" if store.enabled else "off", len(store))
+            )
+        else:
+            self._write("usage: :adaptive on|off")
 
     def _stats_command(self, argument: str) -> None:
         argument = argument.strip()
@@ -417,8 +452,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Interactive sessions fly with the recorder on: anomalies (torn
     # records, divergent re-interns) land in :events even when the user
     # never asked for them in advance — so the journal must be live
-    # before the store replays its log.
+    # before the store replays its log.  Adaptive estimation is on for
+    # the same reason: repeated :explain runs should self-correct
+    # (:adaptive off restores purely static estimates).
     _events.enable()
+    _adaptive.enable()
     repl = Repl(store)
     print(BANNER)
     while not repl.done:

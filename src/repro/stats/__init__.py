@@ -16,7 +16,14 @@ services belong:
   joins, and the index-vs-scan access-path decision, all clamped to a
   one-row floor;
 * :mod:`repro.stats.feedback` — observed selectivities recorded by
-  ``EXPLAIN ANALYZE`` runs, closing the estimate-vs-actual loop.
+  ``EXPLAIN ANALYZE`` runs, closing the estimate-vs-actual loop;
+* :mod:`repro.stats.adaptive` — the :class:`AdaptiveStore` that keys
+  those observations by (relation, attribute, operator, value-bucket)
+  with exponential decay over bind epochs, and blends them back into
+  the cost model's estimates — self-correcting selectivities, off by
+  default (``repro.stats.adaptive.enable()`` / the REPL's
+  ``:adaptive on``), with ``Catalog(adaptive=False)`` as the
+  per-catalog escape hatch.
 
 Statistics live in the catalog (:class:`repro.core.index.Catalog`),
 which stamps them with a bind epoch so staleness is detectable; the
@@ -24,6 +31,7 @@ REPL exposes collection and display as ``:analyze <name>`` and
 ``:stats <name>``.
 """
 
+from repro.stats.adaptive import ADAPTIVE, AdaptiveStore, Posterior
 from repro.stats.collect import (
     ColumnStats,
     TableStats,
@@ -40,6 +48,9 @@ from repro.stats.feedback import FEEDBACK, FeedbackLog, Observation
 from repro.stats.histogram import EquiDepthHistogram, order_key
 
 __all__ = [
+    "ADAPTIVE",
+    "AdaptiveStore",
+    "Posterior",
     "ColumnStats",
     "TableStats",
     "analyze",

@@ -17,6 +17,11 @@ Three estimate families:
   ``|L|·|R| / max(d_L, d_R)`` per shared attribute, with each side's
   distinct count capped by its estimated cardinality.
 
+When the adaptive store (:mod:`repro.stats.adaptive`) holds observed
+evidence for a predicate, :meth:`CostModel.blended_selectivity` folds
+it into the static estimate, confidence-weighted — the feedback loop
+``explain_analyze`` trains.
+
 Every cardinality is clamped to a floor of :data:`MIN_ROWS` (one row),
 so drift ratios and join-order comparisons stay finite.
 """
@@ -100,6 +105,30 @@ class CostModel:
             return self.range_default
         # Unknown operator: the conservative "keeps half" guess.
         return self.range_default
+
+    def blended_selectivity(
+        self,
+        static: float,
+        observed: float,
+        evidence_weight: float,
+        prior_strength: float = 1.0,
+    ) -> float:
+        """Confidence-weighted blend of a static estimate with feedback.
+
+        ``observed`` is the posterior mean selectivity from the adaptive
+        store and ``evidence_weight`` its (decayed) evidence mass;
+        ``prior_strength`` is how many observations the static estimate
+        counts for.  With no evidence the static estimate survives
+        untouched; as evidence accumulates the blend approaches the
+        observed value asymptotically — it never fully discards the
+        prior, so one anomalous run cannot pin the estimate.
+        """
+        if evidence_weight <= 0.0:
+            return _clamp_fraction(static)
+        blended = (
+            evidence_weight * observed + prior_strength * static
+        ) / (evidence_weight + prior_strength)
+        return _clamp_fraction(blended)
 
     def join_selectivity(
         self,

@@ -8,9 +8,11 @@ between planning and execution —
 * regression tests assert that statistics-backed estimates beat the old
   fixed constants on the standard workloads;
 * ``observed_selectivity`` answers "what fraction of rows did this
-  predicate actually keep, averaged over runs", which a later PR can
-  feed back into planning (PostgreSQL's ``pg_stat_statements``-style
-  loop).
+  predicate actually keep, averaged over runs";
+* every structured observation (one carrying its relation, attribute,
+  operator, and operand) also trains the adaptive store
+  (:mod:`repro.stats.adaptive`), which feeds the measurement back into
+  planning — PostgreSQL's ``pg_stat_statements``-style loop, closed.
 
 The log is bounded (a ring of the most recent observations) and
 process-global, like the metrics registry it complements.
@@ -22,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs import metrics as _metrics
+from repro.stats import adaptive as _adaptive
 
 __all__ = ["Observation", "FeedbackLog", "FEEDBACK", "record", "clear"]
 
@@ -35,6 +38,12 @@ class Observation:
     estimate: float  # the optimizer's cardinality guess
     rows_in: int  # rows entering the node
     rows_out: int  # rows the predicate kept
+    # Structured key parts (None for free-form observations): what the
+    # adaptive store keys the observed selectivity under.
+    attribute: Optional[str] = None
+    op: Optional[str] = None
+    operand: object = None
+    epoch: int = 0  # the relation's bind epoch at measurement time
 
     @property
     def observed_selectivity(self) -> float:
@@ -63,13 +72,30 @@ class FeedbackLog:
         Each record also publishes the observed-vs-estimated levels to
         the metrics registry as gauges, so a metrics snapshot (and every
         exported trace's ``otherData``) carries the *latest* planner
-        accuracy reading without scanning the ring.
+        accuracy reading without scanning the ring.  Structured
+        observations (relation + attribute + operator known) train the
+        adaptive store too, whether or not adaptive estimation is
+        switched on — history is free, applying it is the gated part.
         """
         if len(self._observations) < self._capacity:
             self._observations.append(observation)
         else:
             self._observations[self._next % self._capacity] = observation
         self._next += 1
+        if (
+            observation.relation is not None
+            and observation.attribute is not None
+            and observation.op is not None
+            and observation.rows_in > 0
+        ):
+            _adaptive.ADAPTIVE.observe(
+                observation.relation,
+                observation.attribute,
+                observation.op,
+                observation.operand,
+                observation.observed_selectivity,
+                epoch=observation.epoch,
+            )
         registry = _metrics.REGISTRY
         registry.counter("stats.feedback.observations").inc()
         registry.gauge("stats.feedback.observed_selectivity").set(
@@ -144,6 +170,10 @@ def record(
     rows_in: int,
     rows_out: int,
     relation: Optional[str] = None,
+    attribute: Optional[str] = None,
+    op: Optional[str] = None,
+    operand: object = None,
+    epoch: int = 0,
 ) -> Observation:
     """Record one observation in the global log and return it."""
     observation = Observation(
@@ -152,6 +182,10 @@ def record(
         estimate=estimate,
         rows_in=rows_in,
         rows_out=rows_out,
+        attribute=attribute,
+        op=op,
+        operand=operand,
+        epoch=epoch,
     )
     FEEDBACK.record(observation)
     return observation

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.query import analyze, optimize
 from repro.obs.metrics import REGISTRY
-from repro.stats import feedback
+from repro.stats import adaptive, feedback
 from repro.stats.feedback import FeedbackLog, Observation
 from repro.workloads.queries import employees_catalog, employees_query
 
@@ -92,6 +92,63 @@ class TestFeedbackLog:
         summary = log.summary()
         assert summary["observations"] == 1
         assert summary["max_drift"] == pytest.approx(2.0)
+
+    def test_eviction_keeps_newest_after_many_wraps(self):
+        # Sustained load cycles the ring many times over; the window
+        # must always hold exactly the newest `capacity` observations.
+        log = FeedbackLog(capacity=4)
+        for i in range(25):
+            log.record(Observation("p%d" % i, None, 1.0, 10, 1))
+        assert len(log) == 4
+        assert [o.predicate for o in log.last(4)] == [
+            "p21", "p22", "p23", "p24",
+        ]
+
+    def test_structured_observation_trains_adaptive_store(self):
+        adaptive.ADAPTIVE.clear()
+        try:
+            log = FeedbackLog()
+            log.record(
+                Observation(
+                    "Status == 'failed'", "orders", 40.0, 400, 8,
+                    attribute="Status", op="==", operand="failed",
+                )
+            )
+            posterior = adaptive.ADAPTIVE.posterior(
+                "orders", "Status", "==", "failed"
+            )
+            assert posterior is not None
+            assert posterior.mean == pytest.approx(0.02)
+        finally:
+            adaptive.ADAPTIVE.clear()
+
+    def test_free_form_observation_does_not_train(self):
+        adaptive.ADAPTIVE.clear()
+        try:
+            log = FeedbackLog()
+            log.record(Observation("Dept == 'Manuf'", "emp", 1.0, 5, 2))
+            assert len(adaptive.ADAPTIVE) == 0
+        finally:
+            adaptive.ADAPTIVE.clear()
+
+    def test_bind_epoch_reset_decays_stale_evidence(self):
+        # A long-lived log can outlast the catalog that produced its
+        # observations: after a reset the epoch counter restarts at 0,
+        # and evidence from high epochs must fade, not dominate.
+        adaptive.ADAPTIVE.clear()
+        try:
+            log = FeedbackLog()
+            log.record(
+                Observation(
+                    "A == 'x'", "r", 10.0, 100, 90,
+                    attribute="A", op="==", operand="x", epoch=6,
+                )
+            )
+            fresh = adaptive.ADAPTIVE.posterior("r", "A", "==", "x", epoch=0)
+            assert fresh.weight == pytest.approx(0.5 ** 6)
+            assert fresh.weight < adaptive.ADAPTIVE.min_weight
+        finally:
+            adaptive.ADAPTIVE.clear()
 
 
 class TestExecutorIntegration:

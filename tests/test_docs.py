@@ -1,0 +1,54 @@
+"""The documentation link graph stays intact.
+
+``scripts/check_docs.py`` is what CI runs; importing it here keeps the
+same guarantee in the tier-1 suite — a doc rename that orphans a
+relative link fails the tests, not just the CI docs step.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_checker():
+    path = os.path.join(REPO_ROOT, "scripts", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_files_are_discovered():
+    checker = load_checker()
+    names = {os.path.basename(p) for p in checker.markdown_files(REPO_ROOT)}
+    assert {"README.md", "ARCHITECTURE.md", "LANGUAGE.md"} <= names
+
+
+def test_relative_links_resolve():
+    checker = load_checker()
+    missing = checker.broken_links(REPO_ROOT)
+    assert missing == [], "broken relative markdown links: %r" % missing
+
+
+def test_checker_flags_a_broken_link(tmp_path):
+    checker = load_checker()
+    (tmp_path / "doc.md").write_text(
+        "see [the design](DESIGN.md) and [upstream](https://example.com) "
+        "and [a section](#anchor)\n",
+        encoding="utf-8",
+    )
+    missing = checker.broken_links(str(tmp_path))
+    assert missing == [("doc.md", "DESIGN.md")]
+    (tmp_path / "DESIGN.md").write_text("# design\n", encoding="utf-8")
+    assert checker.broken_links(str(tmp_path)) == []
+
+
+def test_code_blocks_are_not_links(tmp_path):
+    checker = load_checker()
+    (tmp_path / "doc.md").write_text(
+        "```\nmap(f, get[Employee](db));\n```\n"
+        "and inline `get[Person](db)` too\n",
+        encoding="utf-8",
+    )
+    assert checker.broken_links(str(tmp_path)) == []

@@ -66,6 +66,7 @@ SURFACE = {
         "ColumnStats", "TableStats", "analyze", "analyze_extent",
         "EquiDepthHistogram", "order_key", "CostModel",
         "FeedbackLog", "Observation", "FEEDBACK",
+        "AdaptiveStore", "Posterior", "ADAPTIVE",
     ],
 }
 
