@@ -52,6 +52,7 @@ from repro.errors import RelationError
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
+from repro.obs import slowlog as _slowlog
 from repro.obs import trace as _trace
 from repro.stats import adaptive as _adaptive
 from repro.stats import feedback as _feedback
@@ -186,13 +187,28 @@ class Plan:
     def execute(self, catalog) -> FlatRelation:
         """Evaluate the plan bottom-up against ``catalog``.
 
-        With tracing and profiling off this is the children's results
-        fed through :meth:`_apply` — the only observability cost is two
-        attribute checks per node.  With tracing on, every node records
-        a nested span carrying rows-in, rows-out, and elapsed wall
-        time; with the profiler on, each operator's own wall time,
-        rows, and join-pair counter deltas accumulate per label.
+        With tracing, profiling, and the slow-query log off this is the
+        children's results fed through :meth:`_apply` — the only
+        observability cost is three attribute checks per node.  With
+        tracing on, every node records a nested span carrying rows-in,
+        rows-out, and elapsed wall time; with the profiler on, each
+        operator's own wall time, rows, and join-pair counter deltas
+        accumulate per label; with the slow-query log on, the
+        *outermost* execute is wall-clocked and captured when it
+        crosses the threshold (the plan text is only rendered on the
+        slow path).
         """
+        slowlog = _slowlog.CURRENT
+        if slowlog.enabled and slowlog.outermost():
+            with slowlog.measure(
+                "plan",
+                self.label,
+                lambda: _condensed_plan(self),
+            ):
+                return self._executed(catalog)
+        return self._executed(catalog)
+
+    def _executed(self, catalog) -> FlatRelation:
         tracer = _trace.CURRENT
         profiler = _profile.CURRENT
         if not tracer.enabled and not profiler.enabled:
@@ -439,6 +455,14 @@ def _pairs_totals() -> Tuple[int, int]:
         + registry.value("flat.join.pairs_tried"),
         registry.value("relation.join.pairs_pruned")
         + registry.value("flat.join.pairs_pruned"),
+    )
+
+
+def _condensed_plan(plan: Plan) -> str:
+    """The :func:`explain` tree flattened to one ``|``-separated line —
+    what a slow-query entry stores as its plan summary."""
+    return " | ".join(
+        line.strip() for line in explain(plan).splitlines()
     )
 
 
@@ -1098,6 +1122,18 @@ def explain_analyze(plan: Plan, catalog) -> str:
     __, stats = analyze(plan, catalog)
     worst = max(node.drift_ratio for node in stats.walk())
     _metrics.REGISTRY.gauge("query.estimate.max_drift").set(worst)
+    slowlog = _slowlog.CURRENT
+    if slowlog.enabled and slowlog.would_record(stats.total_seconds):
+        nodes = list(stats.walk())
+        slowlog.record(
+            "explain",
+            stats.label,
+            stats.total_seconds,
+            plan=_condensed_plan(plan),
+            drift=worst,
+            pairs_tried=sum(n.pairs_tried for n in nodes),
+            pairs_pruned=sum(n.pairs_pruned for n in nodes),
+        )
     if _events.CURRENT.enabled:
         nodes = list(stats.walk())
         _events.publish(

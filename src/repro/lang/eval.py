@@ -29,6 +29,7 @@ from repro.lang import ast
 from repro.lang.checker import CheckEnv, check_program, resolve_type
 from repro.lang.parser import parse_program
 from repro.obs import metrics as _metrics
+from repro.obs import slowlog as _slowlog
 from repro.obs import trace as _trace
 from repro.persistence.serialize import deserialize, serialize, stored_type
 from repro.persistence.store import LogStore
@@ -411,8 +412,18 @@ class Interpreter:
         ill-typed program.  With tracing on, each run records a
         ``lang.run`` span with nested ``lang.parse``/``lang.check``/
         ``lang.eval`` phases (persistence and relation spans hang off
-        the eval phase).
+        the eval phase).  With the slow-query log on, the outermost run
+        is wall-clocked and captured (kind ``"lang"``, a condensed
+        source snippet as the query text) when it crosses the
+        threshold.
         """
+        slowlog = _slowlog.CURRENT
+        if slowlog.enabled and slowlog.outermost():
+            with slowlog.measure("lang", lambda: source):
+                return self._run(source)
+        return self._run(source)
+
+    def _run(self, source: str) -> RunResult:
         _metrics.REGISTRY.counter("lang.runs").inc()
         tracer = _trace.CURRENT
         if not tracer.enabled:

@@ -28,6 +28,15 @@ for ``extern``/``intern``).  Commands:
 * ``:analyze <name>`` — collect column statistics (row/distinct counts,
   null fractions, most-common values, equi-depth histograms) for a
   session relation, feeding the cost-based optimizer;
+* ``:health``        — run the built-in health probes (store replay
+  integrity, heap commit lag, journal drop rate, adaptive hit rate,
+  statistics staleness) and print their ok/degraded/failing verdicts;
+* ``:slow [n]``      — show the slow-query log (``:slow on|off``
+  toggles it, ``:slow threshold <ms>`` sets the capture threshold);
+* ``:watch <seconds>`` — enable the monitor and refresh a rates/
+  latency/gauges view once a second for ``seconds`` seconds;
+* ``:metrics [path]`` — dump the registry as OpenMetrics v1 text (to
+  ``path`` when given, for scrapers and CI artifacts);
 * ``:explain <expr>`` — compile a relational expression (a relation
   variable, ``rjoin``, ``rproject``, ``rmatch``) to a query plan,
   optimize it with whatever statistics have been collected, run it,
@@ -42,6 +51,7 @@ interactive tradition.
 from __future__ import annotations
 
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.core.flat import FlatRelation
@@ -57,7 +67,9 @@ from repro.lang.pretty import pretty_program
 from repro.obs import events as _events
 from repro.obs import export as _export
 from repro.obs import metrics as _metrics
+from repro.obs import monitor as _monitor
 from repro.obs import profile as _profile
+from repro.obs import slowlog as _slowlog
 from repro.obs import trace as _trace
 from repro.stats import adaptive as _adaptive
 from repro.stats import feedback as _feedback
@@ -69,7 +81,8 @@ BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
     "reproduction.  :type E, :ast E, :load FILE, :trace on|off,\n"
     ":events [n], :export FILE, :profile on|off, :stats, :analyze R,\n"
-    ":explain E, :adaptive on|off, :quit\n"
+    ":explain E, :adaptive on|off, :health, :slow [n], :watch S,\n"
+    ":metrics [PATH], :quit\n"
 )
 
 
@@ -88,6 +101,8 @@ class Repl:
         self._interp = Interpreter(store)
         self._write = writer if writer is not None else print
         self._table_stats: Dict[str, TableStats] = {}
+        # Injectable so tests can drive :watch without real seconds.
+        self._sleep = time.sleep
         self.done = False
 
     def handle(self, line: str) -> None:
@@ -128,6 +143,14 @@ class Repl:
             self._explain_command(argument)
         elif command == ":adaptive":
             self._adaptive_command(argument)
+        elif command == ":health":
+            self._health_command(argument)
+        elif command == ":slow":
+            self._slow_command(argument)
+        elif command == ":watch":
+            self._watch_command(argument)
+        elif command == ":metrics":
+            self._metrics_command(argument)
         else:
             self._write("unknown command %s" % command)
 
@@ -253,6 +276,76 @@ class Repl:
             )
         else:
             self._write("usage: :adaptive on|off")
+
+    def _health_command(self, argument: str) -> None:
+        if argument.strip():
+            self._write("usage: :health")
+            return
+        self._write(_monitor.format_health(_monitor.health_report()))
+
+    def _slow_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument == "on":
+            log = _slowlog.enable()
+            self._write(
+                "slow-query log on (threshold %.1fms)" % log.threshold_ms
+            )
+            return
+        if argument == "off":
+            _slowlog.disable()
+            self._write("slow-query log off")
+            return
+        if argument.startswith("threshold"):
+            try:
+                threshold = float(argument.split(None, 1)[1])
+            except (IndexError, ValueError):
+                self._write("usage: :slow threshold <ms>")
+                return
+            _slowlog.set_threshold(threshold)
+            self._write("slow threshold %.1fms" % threshold)
+            return
+        count = 10
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self._write(
+                    "usage: :slow [n] | :slow on|off | :slow threshold <ms>"
+                )
+                return
+        self._write(_slowlog.slowlog_report(count))
+
+    def _watch_command(self, argument: str) -> None:
+        argument = argument.strip()
+        try:
+            seconds = int(argument) if argument else 5
+        except ValueError:
+            self._write("usage: :watch <seconds>")
+            return
+        if seconds <= 0:
+            self._write("usage: :watch <seconds>")
+            return
+        monitor = _monitor.enable()
+        self._write("watching for %ds (Ctrl-C stops early)" % seconds)
+        try:
+            for __ in range(seconds):
+                self._sleep(1.0)
+                monitor.tick()
+                self._write(monitor.format(horizon=float(seconds)))
+        except KeyboardInterrupt:
+            self._write("(watch interrupted)")
+
+    def _metrics_command(self, argument: str) -> None:
+        path = argument.strip()
+        if not path:
+            self._write(_monitor.render_openmetrics().rstrip("\n"))
+            return
+        try:
+            _monitor.write_metrics_snapshot(path)
+        except OSError as exc:
+            self._write("error: %s" % exc)
+            return
+        self._write("wrote %s" % path)
 
     def _stats_command(self, argument: str) -> None:
         argument = argument.strip()

@@ -13,6 +13,16 @@ The flight recorder has four complementary instruments:
 * :mod:`repro.obs.profile` — a deterministic execution profiler
   attributing wall time and kernel pair counts per plan operator.
 
+Above the recorder sits the *monitoring* layer:
+
+* :mod:`repro.obs.monitor` — windowed time-series rollups over the
+  metrics registry (counter rates, gauge levels, latency quantiles per
+  horizon), health probes with ok/degraded/failing verdicts, and
+  OpenMetrics v1 text exposition for external scrapers;
+* :mod:`repro.obs.slowlog` — a bounded ring capturing every query that
+  exceeded a wall-time threshold, with plan summary, estimate drift,
+  pair counts, and trace-span correlation.
+
 :mod:`repro.obs.export` serializes spans, journal, and metrics to
 JSONL and to Chrome ``chrome://tracing`` / Perfetto trace files, so any
 benchmark or REPL session can be replayed visually.
@@ -57,6 +67,26 @@ from repro.obs.profile import (
     Profiler,
     profile_report,
 )
+from repro.obs.monitor import (
+    HealthProbe,
+    NoOpMonitor,
+    ProbeResult,
+    TimeSeriesRegistry,
+    Window,
+    default_probes,
+    format_health,
+    health_report,
+    overall_verdict,
+    parse_openmetrics,
+    render_openmetrics,
+    write_metrics_snapshot,
+)
+from repro.obs.slowlog import (
+    NoOpSlowLog,
+    SlowLog,
+    SlowQueryEntry,
+    slowlog_report,
+)
 
 __all__ = [
     "Counter",
@@ -83,4 +113,20 @@ __all__ = [
     "OpProfile",
     "Profiler",
     "profile_report",
+    "HealthProbe",
+    "NoOpMonitor",
+    "ProbeResult",
+    "TimeSeriesRegistry",
+    "Window",
+    "default_probes",
+    "format_health",
+    "health_report",
+    "overall_verdict",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "write_metrics_snapshot",
+    "NoOpSlowLog",
+    "SlowLog",
+    "SlowQueryEntry",
+    "slowlog_report",
 ]

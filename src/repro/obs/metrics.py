@@ -164,6 +164,30 @@ class Histogram:
         rank = max(0, min(len(ordered) - 1, int(q / 100.0 * len(ordered))))
         return ordered[rank]
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0.0–1.0) of the retained samples.
+
+        Linear interpolation between closest ranks — ``q=0.0`` is the
+        smallest retained sample, ``q=1.0`` the largest, and an empty
+        histogram answers ``0.0`` (a scrape of a quiet metric should
+        expose a number, not raise).  This is the accessor the monitor's
+        per-window digests (p50/p95/p99) and the OpenMetrics summary
+        exposition read.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-compatible summary of this histogram."""
         return {
@@ -254,6 +278,18 @@ class MetricsRegistry:
         with self._lock:
             items = sorted(self._gauges.items())
         return {name: g.value for name, g in items}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Histogram *handles* by name (a copied mapping).
+
+        Unlike :meth:`counters`/:meth:`gauges` this hands out the live
+        objects: the monitor's sampler needs count/sum deltas *and*
+        quantiles per tick, and a value copy would force two snapshot
+        passes.  Callers must treat the handles as read-only.
+        """
+        with self._lock:
+            items = sorted(self._histograms.items())
+        return dict(items)
 
     def snapshot(self) -> Dict[str, object]:
         """Everything, as plain JSON-compatible dicts."""

@@ -1,0 +1,470 @@
+"""The slow-query log: a bounded ring of queries that blew a budget.
+
+Production monitoring needs more than aggregates: when the p95 drifts
+up, the operator's next question is *which queries* — and by then the
+offending runs are gone unless something captured them as they
+happened.  The :class:`SlowLog` is that capture: every outermost
+``Plan.execute`` / EXPLAIN ANALYZE / DBPL evaluation is wall-clocked,
+and any run exceeding a configurable threshold lands in a bounded ring
+as a :class:`SlowQueryEntry` carrying the query repr, a condensed plan
+summary, the estimate drift (when EXPLAIN ANALYZE measured one), the
+join pairs tried/pruned during the run, and the trace-span ``seq`` so
+the entry can be matched to its span in an exported trace file.
+
+Like the tracer, journal, and profiler, the log is process-global and
+**off by default**: instrumented sites pay one attribute check
+(``slowlog.CURRENT.enabled``) until :func:`enable` flips the switch
+(the REPL's ``:slow on``).  Recording is *outermost-only* — a plan
+node's recursive ``execute`` calls share one entry — tracked with a
+per-thread depth counter so threaded workloads don't cross-talk.
+
+Every recorded entry also publishes a ``WARN slowlog.slow_query``
+event into the flight recorder, so slow queries appear on the same
+timeline as store anomalies and heap commits, survive
+``write_journal``/``read_journal`` round-trips, and show up in
+``:events``.
+
+Usage::
+
+    from repro.obs import slowlog
+
+    slowlog.enable(threshold_ms=50.0)
+    ...run queries...
+    print(slowlog.slowlog_report())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = [
+    "SlowQueryEntry",
+    "SlowLog",
+    "NoOpSlowLog",
+    "NOOP",
+    "CURRENT",
+    "DEFAULT_THRESHOLD_MS",
+    "DEFAULT_CAPACITY",
+    "get_slowlog",
+    "set_slowlog",
+    "enable",
+    "disable",
+    "set_threshold",
+    "slowlog_report",
+]
+
+DEFAULT_THRESHOLD_MS = 100.0
+DEFAULT_CAPACITY = 256
+
+# Query/plan text is stored truncated: the log is a ring resident for
+# the process lifetime, and a pathological generated query should not
+# pin megabytes of source.
+_TEXT_CAP = 200
+
+Lazy = Union[str, Callable[[], str], None]
+
+
+def _resolve(text: Lazy) -> Optional[str]:
+    """Force a lazy string (callables are only evaluated on the slow
+    path, so fast queries never pay for plan rendering)."""
+    if text is None:
+        return None
+    if callable(text):
+        text = text()
+    text = " ".join(str(text).split())
+    if len(text) > _TEXT_CAP:
+        text = text[: _TEXT_CAP - 1] + "…"
+    return text
+
+
+class SlowQueryEntry:
+    """One captured slow run.
+
+    ``kind`` says which instrumented surface recorded it: ``"plan"``
+    (``Plan.execute``), ``"explain"`` (EXPLAIN ANALYZE, the only kind
+    that carries a measured ``drift``), or ``"lang"`` (a DBPL
+    ``Interpreter.run``).  ``span`` is the ``Span.seq`` of the most
+    recently opened trace span when tracing was live, else ``None``.
+    """
+
+    __slots__ = (
+        "seq",
+        "wall",
+        "kind",
+        "query",
+        "plan",
+        "elapsed_ms",
+        "threshold_ms",
+        "drift",
+        "pairs_tried",
+        "pairs_pruned",
+        "span",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        query: Optional[str],
+        elapsed_ms: float,
+        threshold_ms: float,
+        plan: Optional[str] = None,
+        drift: Optional[float] = None,
+        pairs_tried: int = 0,
+        pairs_pruned: int = 0,
+        span: Optional[int] = None,
+        wall: Optional[float] = None,
+    ):
+        self.seq = seq
+        self.wall = wall if wall is not None else time.time()
+        self.kind = kind
+        self.query = query
+        self.plan = plan
+        self.elapsed_ms = elapsed_ms
+        self.threshold_ms = threshold_ms
+        self.drift = drift
+        self.pairs_tried = pairs_tried
+        self.pairs_pruned = pairs_pruned
+        self.span = span
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-compatible rendering (JSONL exports, tests)."""
+        return {
+            "seq": self.seq,
+            "wall": self.wall,
+            "kind": self.kind,
+            "query": self.query,
+            "plan": self.plan,
+            "elapsed_ms": self.elapsed_ms,
+            "threshold_ms": self.threshold_ms,
+            "drift": self.drift,
+            "pairs_tried": self.pairs_tried,
+            "pairs_pruned": self.pairs_pruned,
+            "span": self.span,
+        }
+
+    def format(self) -> str:
+        """One table row (the ``:slow`` rendering)."""
+        drift_text = "%.2f" % self.drift if self.drift is not None else "-"
+        span_text = "#%d" % self.span if self.span is not None else "-"
+        return "%-5d %-7s %10.3f %6s %7d/%-7d %-6s %s" % (
+            self.seq,
+            self.kind,
+            self.elapsed_ms,
+            drift_text,
+            self.pairs_tried,
+            self.pairs_pruned,
+            span_text,
+            self.query if self.query is not None else "-",
+        )
+
+    def __repr__(self) -> str:
+        return "SlowQueryEntry(seq=%d, kind=%r, elapsed_ms=%.3f)" % (
+            self.seq,
+            self.kind,
+            self.elapsed_ms,
+        )
+
+
+_REPORT_HEADER = "%-5s %-7s %10s %6s %7s/%-7s %-6s %s" % (
+    "seq", "kind", "ms", "drift", "tried", "pruned", "span", "query"
+)
+
+
+class _Measure:
+    """Context manager timing one outermost run (see
+    :meth:`SlowLog.measure`)."""
+
+    __slots__ = ("_log", "_kind", "_query", "_plan", "_started", "_pairs")
+
+    def __init__(self, log: "SlowLog", kind: str, query: Lazy, plan: Lazy):
+        self._log = log
+        self._kind = kind
+        self._query = query
+        self._plan = plan
+
+    def __enter__(self) -> "_Measure":
+        local = self._log._local
+        local.depth = getattr(local, "depth", 0) + 1
+        self._pairs = self._log._pairs_snapshot()
+        self._started = self._log._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        elapsed = self._log._clock() - self._started
+        local = self._log._local
+        local.depth = getattr(local, "depth", 1) - 1
+        if self._log.would_record(elapsed):
+            before_tried, before_pruned = self._pairs
+            after_tried, after_pruned = self._log._pairs_snapshot()
+            self._log.record(
+                self._kind,
+                _resolve(self._query),
+                elapsed,
+                plan=_resolve(self._plan),
+                pairs_tried=after_tried - before_tried,
+                pairs_pruned=after_pruned - before_pruned,
+            )
+        return False
+
+
+class _NoOpMeasure:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoOpMeasure":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP_MEASURE = _NoOpMeasure()
+
+
+class SlowLog:
+    """A bounded ring of :class:`SlowQueryEntry`, newest last.
+
+    ``total`` counts every entry ever recorded, so ``total -
+    len(log)`` is the number evicted — the same accounting the event
+    journal uses for its drop rate.  ``clock`` is injectable so tests
+    can force a "slow" query deterministically.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_THRESHOLD_MS,
+        capacity: int = DEFAULT_CAPACITY,
+        clock=time.perf_counter,
+    ):
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = capacity
+        self.total = 0
+        self._clock = clock
+        self._ring: List[SlowQueryEntry] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- instrumentation hooks ----------------------------------------------
+
+    def outermost(self) -> bool:
+        """Whether no :meth:`measure` block is open on this thread."""
+        return getattr(self._local, "depth", 0) == 0
+
+    def measure(self, kind: str, query: Lazy, plan: Lazy = None) -> _Measure:
+        """Time one run; record it if it exceeds the threshold.
+
+        ``query`` and ``plan`` may be zero-argument callables — they are
+        only evaluated when the run actually was slow, so the fast path
+        never renders plan text.
+        """
+        return _Measure(self, kind, query, plan)
+
+    def would_record(self, seconds: float) -> bool:
+        """Whether a run of ``seconds`` wall time crosses the threshold."""
+        return seconds * 1000.0 >= self.threshold_ms
+
+    def record(
+        self,
+        kind: str,
+        query: Optional[str],
+        elapsed_seconds: float,
+        plan: Optional[str] = None,
+        drift: Optional[float] = None,
+        pairs_tried: int = 0,
+        pairs_pruned: int = 0,
+        span: Optional[int] = None,
+    ) -> SlowQueryEntry:
+        """Append one entry (callers have already checked the threshold).
+
+        When ``span`` is not given and tracing is live, the most
+        recently opened span's ``seq`` is captured as the correlation
+        id.  Publishes ``WARN slowlog.slow_query`` into the journal and
+        bumps the ``slowlog.recorded`` counter.
+        """
+        if span is None:
+            tracer = _trace.CURRENT
+            if tracer.enabled and tracer.last_span is not None:
+                span = tracer.last_span.seq
+        with self._lock:
+            entry = SlowQueryEntry(
+                seq=self.total,
+                kind=kind,
+                query=_resolve(query),
+                elapsed_ms=elapsed_seconds * 1000.0,
+                threshold_ms=self.threshold_ms,
+                plan=_resolve(plan),
+                drift=drift,
+                pairs_tried=pairs_tried,
+                pairs_pruned=pairs_pruned,
+                span=span,
+            )
+            self._ring.append(entry)
+            if len(self._ring) > self.capacity:
+                del self._ring[0]
+            self.total += 1
+        _metrics.REGISTRY.counter("slowlog.recorded").inc()
+        journal = _events.CURRENT
+        if journal.enabled:
+            journal.publish(
+                "WARN",
+                "slowlog",
+                "slow_query",
+                kind=entry.kind,
+                query=entry.query,
+                plan=entry.plan,
+                elapsed_ms=entry.elapsed_ms,
+                threshold_ms=entry.threshold_ms,
+                drift=entry.drift,
+                pairs_tried=entry.pairs_tried,
+                pairs_pruned=entry.pairs_pruned,
+                span=entry.span,
+            )
+        return entry
+
+    @staticmethod
+    def _pairs_snapshot():
+        """Join pairs (tried, pruned) across both kernels — deltas over
+        a measured run say how much work the slow query actually did."""
+        registry = _metrics.REGISTRY
+        tried = registry.value("relation.join.pairs_tried") + registry.value(
+            "flat.join.pairs_tried"
+        )
+        pruned = registry.value(
+            "relation.join.pairs_pruned"
+        ) + registry.value("flat.join.pairs_pruned")
+        return tried, pruned
+
+    # -- reads --------------------------------------------------------------
+
+    def entries(self, limit: Optional[int] = None) -> List[SlowQueryEntry]:
+        """The retained entries, oldest first (the last ``limit`` when
+        given)."""
+        with self._lock:
+            retained = list(self._ring)
+        if limit is not None and limit >= 0:
+            retained = retained[-limit:] if limit else []
+        return retained
+
+    def clear(self) -> None:
+        """Drop retained entries (``total`` keeps counting)."""
+        with self._lock:
+            self._ring = []
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def report(self, limit: int = 10) -> str:
+        """The ``:slow`` table: newest entries of the ring."""
+        retained = self.entries(limit)
+        if not retained:
+            return "(no slow queries over %.1fms)" % self.threshold_ms
+        lines = [
+            "slow queries (threshold %.1fms, showing %d of %d recorded):"
+            % (self.threshold_ms, len(retained), self.total),
+            _REPORT_HEADER,
+        ]
+        lines.extend(entry.format() for entry in retained)
+        return "\n".join(lines)
+
+
+class NoOpSlowLog:
+    """The disabled log: one shared instance, zero recording."""
+
+    enabled = False
+    threshold_ms = DEFAULT_THRESHOLD_MS
+    capacity = 0
+    total = 0
+
+    def outermost(self) -> bool:
+        return False
+
+    def measure(self, kind: str, query: Lazy, plan: Lazy = None):
+        return _NOOP_MEASURE
+
+    def would_record(self, seconds: float) -> bool:
+        return False
+
+    def record(self, *args, **kwargs) -> None:
+        return None
+
+    def entries(self, limit: Optional[int] = None) -> List[SlowQueryEntry]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def report(self, limit: int = 10) -> str:
+        return "(slow-query log is off — :slow on)"
+
+
+NOOP = NoOpSlowLog()
+
+# The process-global slow-query log; instrumented sites read this
+# attribute freshly per operation so enable/disable is immediate.
+CURRENT = NOOP  # type: object
+
+
+def get_slowlog():
+    """The process-global slow-query log (a :class:`SlowLog` or NOOP)."""
+    return CURRENT
+
+
+def set_slowlog(log) -> None:
+    """Install ``log`` as the process-global slow log (``None`` → NOOP)."""
+    global CURRENT
+    CURRENT = log if log is not None else NOOP
+
+
+def enable(
+    threshold_ms: Optional[float] = None,
+    capacity: Optional[int] = None,
+    clock=None,
+) -> SlowLog:
+    """Turn the slow-query log on; returns the active log.
+
+    Installs a fresh :class:`SlowLog` when the log was off; keeps the
+    current one (and its entries) when already on, applying a new
+    ``threshold_ms`` if one is given.
+    """
+    global CURRENT
+    if not isinstance(CURRENT, SlowLog):
+        CURRENT = SlowLog(
+            threshold_ms=(
+                threshold_ms
+                if threshold_ms is not None
+                else DEFAULT_THRESHOLD_MS
+            ),
+            capacity=capacity if capacity is not None else DEFAULT_CAPACITY,
+            clock=clock if clock is not None else time.perf_counter,
+        )
+        return CURRENT
+    if threshold_ms is not None:
+        CURRENT.threshold_ms = float(threshold_ms)
+    return CURRENT
+
+
+def disable() -> None:
+    """Turn the slow-query log off (entries are dropped with it)."""
+    global CURRENT
+    CURRENT = NOOP
+
+
+def set_threshold(threshold_ms: float) -> None:
+    """Set the slow threshold, enabling the log if it was off."""
+    enable(threshold_ms=threshold_ms)
+
+
+def slowlog_report(limit: int = 10) -> str:
+    """The process-global log's ``:slow`` table."""
+    return CURRENT.report(limit)

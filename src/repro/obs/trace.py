@@ -30,6 +30,7 @@ observe a whole program, and the REPL's ``:trace on`` flips one switch.
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -58,10 +59,15 @@ class Span:
     nodes attach ``rows_out`` once the result cardinality is known.
     """
 
-    __slots__ = ("name", "tags", "elapsed", "children", "_started")
+    __slots__ = ("name", "seq", "tags", "elapsed", "children", "_started")
+
+    _SEQ = itertools.count(1)
 
     def __init__(self, name: str, tags: Optional[Dict[str, object]] = None):
         self.name = name
+        # A process-wide monotone id; the slow-query log records it so a
+        # slowlog entry can be matched to its span in an exported trace.
+        self.seq = next(Span._SEQ)
         self.tags: Dict[str, object] = dict(tags) if tags else {}
         self.elapsed: Optional[float] = None
         self.children: List["Span"] = []
@@ -125,6 +131,7 @@ class _OpenSpan:
         else:
             tracer.roots.append(span_obj)
         tracer._stack.append(span_obj)
+        tracer.last_span = span_obj
         span_obj._started = tracer._clock()
         return span_obj
 
@@ -163,6 +170,10 @@ class Tracer:
         self._clock = clock
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        # The most recently *opened* span (even after it closes) — the
+        # slow-query log reads its ``seq`` as a best-effort correlation
+        # id between a slowlog entry and the trace it belongs to.
+        self.last_span: Optional[Span] = None
 
     def span(self, name: str, **tags: object) -> _OpenSpan:
         """Open a span; use as ``with tracer.span("name", k=v) as sp:``."""
@@ -171,6 +182,7 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded spans (open spans keep recording)."""
         self.roots = []
+        self.last_span = None
 
     def spans(self) -> List[Span]:
         """Every recorded span, depth-first across all roots."""
@@ -209,6 +221,7 @@ class NoOpTracer:
 
     enabled = False
     roots: Tuple[Span, ...] = ()
+    last_span: Optional[Span] = None
 
     def span(self, name: str, **tags: object) -> _NoOpSpan:
         return _NOOP_SPAN

@@ -73,6 +73,59 @@ class TestHistogram:
         assert snap["sum"] == 2.5
 
 
+class TestHistogramQuantile:
+    """``quantile(q)`` on the 0..1 scale (the monitor digests' accessor)."""
+
+    def test_empty_histogram_answers_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_single_sample_answers_that_sample(self):
+        histogram = Histogram("h")
+        histogram.observe(7.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 7.25
+
+    def test_q0_and_q1_are_the_retained_extremes(self):
+        histogram = Histogram("h")
+        for value in (5.0, 1.0, 3.0, 9.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 9.0
+
+    def test_interpolates_between_ranks(self):
+        histogram = Histogram("h")
+        for value in (0.0, 10.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 5.0
+        assert histogram.quantile(0.25) == 2.5
+
+    def test_known_quantiles_on_uniform_data(self):
+        histogram = Histogram("h")
+        for value in range(101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.5) == 50.0
+        assert histogram.quantile(0.95) == 95.0
+        assert histogram.quantile(0.99) == 99.0
+
+    def test_out_of_range_q_raises(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        for q in (-0.1, 1.1, 100.0):
+            try:
+                histogram.quantile(q)
+            except ValueError:
+                continue
+            raise AssertionError("quantile(%r) should raise" % q)
+
+    def test_quantile_reads_the_bounded_ring(self):
+        histogram = Histogram("h", sample_cap=8)
+        for value in range(100):
+            histogram.observe(float(value))
+        # Only the most recent 8 samples (92..99) are retained.
+        assert histogram.quantile(0.0) == 92.0
+        assert histogram.quantile(1.0) == 99.0
+
+
 class TestMetricsRegistry:
     def test_counter_get_or_create_returns_same_handle(self):
         registry = MetricsRegistry()
