@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The database as a server: two clients, one store, isolated sessions.
+
+Buneman & Atkinson's language binds a *session* to a *database*: the
+bindings you ``let`` are yours, the extents you ``extern`` are the
+database's.  ``repro.server`` turns that split into a deployment shape
+— an asyncio TCP server multiplexing many sessions over one shared
+log store, with the REPL (or this script's :class:`Client`) as a thin
+wire-protocol client.  This example:
+
+1. starts a server on an ephemeral port over a temporary log store
+   (:class:`ServerThread` — the embedding a test or notebook uses);
+2. connects two clients and shows **binding isolation**: ``alice``'s
+   ``let`` is invisible to ``bob``;
+3. shows **shared persistence**: ``alice``'s ``extern`` is ``bob``'s
+   ``intern``, through the one store both sessions share;
+4. round-trips the observability surface remotely: ``stat("sessions")``,
+   ``stat("stats")``, and ``stat("health")`` — including the
+   ``server.sessions`` probe watching connection pressure;
+5. stops the server gracefully and proves the store outlived it: a
+   *new* server over the same path still serves the externed value.
+
+Run:  python examples/server.py
+"""
+
+import os
+import tempfile
+
+from repro.errors import RemoteError
+from repro.server import Client, ServerThread
+
+
+def main():
+    store_path = os.path.join(tempfile.mkdtemp(), "shared.log")
+
+    # -- 1. a server over one shared store --------------------------------
+    with ServerThread(store=store_path, limit=8) as server:
+        print("server listening on %s (store: %s)"
+              % (server.address, store_path))
+
+        # -- 2. two sessions, private bindings ----------------------------
+        alice = Client(server.host, server.port)
+        bob = Client(server.host, server.port)
+        print("alice is session %s, bob is session %s"
+              % (alice.session_id, bob.session_id))
+
+        alice.run("let salary = 41")
+        try:
+            bob.run("salary")
+            raise AssertionError("bob saw alice's binding!")
+        except RemoteError as exc:
+            print("bob cannot see alice's let:  error: %s" % exc)
+
+        # -- 3. one database: extern here, intern there -------------------
+        alice.run('extern("payroll", dynamic salary);')
+        reply = bob.run('coerce intern("payroll") to Int + 1')
+        print("bob interns alice's extern:   %s" % reply["value"])
+
+        # -- 4. observability over the wire -------------------------------
+        print("\nremote :sessions")
+        print(bob.stat("sessions")["text"])
+
+        stats = alice.stat("stats")["text"]
+        server_lines = [line for line in stats.splitlines()
+                        if "server." in line]
+        print("\nremote :stats (server counters)")
+        for line in server_lines:
+            print(line)
+
+        health = bob.stat("health")["text"]
+        probe_line = next(line for line in health.splitlines()
+                          if "server.sessions" in line)
+        print("\nremote :health (session probe)")
+        print(probe_line)
+
+        alice.close()
+        bob.close()
+
+    # -- 5. the store outlives the server ---------------------------------
+    with ServerThread(store=store_path) as reborn:
+        with Client(reborn.host, reborn.port) as carol:
+            value = carol.run('coerce intern("payroll") to Int')["value"]
+            print("\nafter a restart, a new session still interns"
+                  " payroll = %s" % value)
+            assert value == "41"
+
+    print("\nok: isolated bindings, shared persistent extents, graceful"
+          " shutdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -176,6 +176,56 @@ class ClassConstructError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Server errors (repro.server)
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for errors from the session server and its clients."""
+
+
+class ProtocolError(ServerError):
+    """Raised when a wire frame violates the protocol."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """Raised when a frame's declared length exceeds the agreed limit."""
+
+    def __init__(self, declared, limit):
+        self.declared = declared
+        self.limit = limit
+        super().__init__(
+            "frame of %d bytes exceeds the %d byte limit" % (declared, limit)
+        )
+
+
+class TruncatedFrameError(ProtocolError):
+    """Raised when the stream ends in the middle of a frame."""
+
+
+class RemoteError(ServerError):
+    """An error frame received from the server, re-raised client-side.
+
+    ``kind`` carries the server-side exception class name (or
+    ``"protocol"``/``"internal"``), so callers can distinguish a bad
+    query from a broken server.
+    """
+
+    def __init__(self, message, kind=None):
+        self.kind = kind
+        super().__init__(message)
+
+
+class SessionClosedError(ServerError):
+    """Raised on use of a session the server has already closed."""
+
+
+class BrokerBusyError(ServerError):
+    """Raised when the broker's connection limit and accept queue are
+    both full."""
+
+
+# ---------------------------------------------------------------------------
 # Language errors (repro.lang)
 # ---------------------------------------------------------------------------
 

@@ -389,16 +389,29 @@ class Interpreter:
     ``store`` (a path or :class:`LogStore`) backs ``extern``/``intern``;
     without one, an in-memory store is used — still with full replication
     semantics, since values round-trip through the serializer either way.
+    Passing a shared ``memory_store`` dict (or a shared :class:`LogStore`)
+    lets several interpreters — the server's per-connection sessions —
+    see one persistent extent while keeping their bindings private.
+    ``session_id`` labels this interpreter in multi-session observability
+    (per-session journal tags, the server's ``stat`` frames).
     """
 
-    def __init__(self, store: Union[None, str, LogStore] = None):
+    def __init__(
+        self,
+        store: Union[None, str, LogStore] = None,
+        session_id: Optional[str] = None,
+        memory_store: Optional[Dict[str, object]] = None,
+    ):
         self.output: List[str] = []
+        self.session_id = session_id
         self._check_env = CheckEnv.initial()
         self._globals = Env()
         self._store: Optional[LogStore] = (
             store if isinstance(store, (LogStore, type(None))) else LogStore(store)
         )
-        self._memory_store: Dict[str, object] = {}
+        self._memory_store: Dict[str, object] = (
+            memory_store if memory_store is not None else {}
+        )
         for name, builtin in _make_builtins(self).items():
             self._globals.define(name, builtin)
 

@@ -6,6 +6,10 @@ for ``extern``/``intern``).  Commands:
 * ``:type <expr>``   — show the static type without evaluating;
 * ``:ast <expr>``    — show the parsed syntax tree (pretty-printed);
 * ``:load <path>``   — run a DBPL source file in the session;
+* ``:connect host:port`` — become a thin client of a running
+  ``python -m repro.server``: evaluation and every session-routed
+  command below execute in the *remote* session, over the wire
+  protocol; ``:disconnect`` returns to the local session;
 * ``:trace on|off``  — toggle span tracing; while on, each evaluation
   prints its span tree (parse/check/eval, nested store and relation
   operations with rows and wall time);
@@ -16,11 +20,11 @@ for ``extern``/``intern``).  Commands:
   ``chrome://tracing`` / Perfetto trace file;
 * ``:profile on|off`` — toggle the execution profiler; ``:profile``
   alone prints the per-operator top-N report;
-* ``:stats``         — dump the process-global metrics registry
-  (``:stats reset`` zeroes it); ``:stats <name>`` prints the column
-  statistics collected by ``:analyze <name>``; ``:stats feedback``
-  prints the last observed-vs-estimated selectivity feedback rows with
-  the adaptive store's current posterior per predicate;
+* ``:stats``         — dump the metrics registry (``:stats reset``
+  zeroes it); ``:stats <name>`` prints the column statistics collected
+  by ``:analyze <name>``; ``:stats feedback`` prints the last
+  observed-vs-estimated selectivity feedback rows with the adaptive
+  store's current posterior per predicate;
 * ``:adaptive on|off`` — toggle adaptive selectivity estimation (the
   planner blends observed selectivities from past ``:explain`` runs
   into its estimates; ``main()`` turns it on for interactive
@@ -30,7 +34,8 @@ for ``extern``/``intern``).  Commands:
   session relation, feeding the cost-based optimizer;
 * ``:health``        — run the built-in health probes (store replay
   integrity, heap commit lag, journal drop rate, adaptive hit rate,
-  statistics staleness) and print their ok/degraded/failing verdicts;
+  statistics staleness, server session pressure) and print their
+  ok/degraded/failing verdicts;
 * ``:slow [n]``      — show the slow-query log (``:slow on|off``
   toggles it, ``:slow threshold <ms>`` sets the capture threshold);
 * ``:watch <seconds>`` — enable the monitor and refresh a rates/
@@ -41,53 +46,56 @@ for ``extern``/``intern``).  Commands:
   variable, ``rjoin``, ``rproject``, ``rmatch``) to a query plan,
   optimize it with whatever statistics have been collected, run it,
   and print the EXPLAIN ANALYZE tree with per-node estimate drift;
+* ``:sessions``      — list the server's open sessions (connected
+  mode; locally it names the single local session);
 * ``:quit``          — leave.
 
 Everything else is checked and evaluated in the running session, so
 ``let``/``fun``/``type`` declarations accumulate, as in PS-algol's
 interactive tradition.
+
+The REPL is a *thin client* of :class:`repro.server.session.Session`:
+in local mode it holds a Session in-process, in connected mode a
+:class:`repro.server.client.Client` with the same surface — which is
+why ``:stats``/``:health``/``:watch``/``:metrics`` behave identically
+on both sides of the wire.  ``:trace``/``:profile``/``:export`` remain
+local-process tools (they inspect *this* process's tracer) and say so
+in connected mode.
 """
 
 from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
-from repro.core.flat import FlatRelation
-from repro.core.index import Catalog
-from repro.core.query import Plan, eq, explain_analyze, optimize, scan
-from repro.core.relation import GeneralizedRelation, flat_schema_of
-from repro.errors import EvalError, LanguageError, ReproError, TypeSystemError
-from repro.lang import ast as _ast
-from repro.lang.checker import CheckEnv, check_program
-from repro.lang.eval import Interpreter, format_value
-from repro.lang.parser import parse_program
-from repro.lang.pretty import pretty_program
+from repro.errors import ReproError, ServerError
+from repro.lang.eval import Interpreter
 from repro.obs import events as _events
 from repro.obs import export as _export
-from repro.obs import metrics as _metrics
-from repro.obs import monitor as _monitor
 from repro.obs import profile as _profile
-from repro.obs import slowlog as _slowlog
 from repro.obs import trace as _trace
+from repro.server.client import Client, parse_address
+from repro.server.session import Session
 from repro.stats import adaptive as _adaptive
-from repro.stats import feedback as _feedback
-from repro.stats.collect import TableStats
-from repro.stats.collect import analyze as _analyze_stats
 
 PROMPT = "dbpl> "
 BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
-    "reproduction.  :type E, :ast E, :load FILE, :trace on|off,\n"
-    ":events [n], :export FILE, :profile on|off, :stats, :analyze R,\n"
-    ":explain E, :adaptive on|off, :health, :slow [n], :watch S,\n"
-    ":metrics [PATH], :quit\n"
+    "reproduction.  :type E, :ast E, :load FILE, :connect HOST:PORT,\n"
+    ":trace on|off, :events [n], :export FILE, :profile on|off, :stats,\n"
+    ":analyze R, :explain E, :adaptive on|off, :health, :slow [n],\n"
+    ":watch S, :metrics [PATH], :sessions, :quit\n"
 )
+
+# Commands that only make sense against this process's observability
+# globals; in connected mode they refuse rather than silently inspect
+# the wrong process.
+LOCAL_ONLY = {":trace", ":profile", ":export"}
 
 
 class Repl:
-    """A REPL session wrapping an :class:`Interpreter`.
+    """A REPL session: presentation over a local or remote session.
 
     ``writer`` receives output lines (defaults to ``print``); injecting
     it keeps the class testable without capturing stdout.
@@ -98,12 +106,27 @@ class Repl:
         store: Optional[str] = None,
         writer: Optional[Callable[[str], None]] = None,
     ):
-        self._interp = Interpreter(store)
+        self._session = Session(store=store, session_id="local")
+        self._remote: Optional[Client] = None
         self._write = writer if writer is not None else print
-        self._table_stats: Dict[str, TableStats] = {}
         # Injectable so tests can drive :watch without real seconds.
         self._sleep = time.sleep
         self.done = False
+
+    @property
+    def _interp(self) -> Interpreter:
+        """The local interpreter (tests and tooling reach through)."""
+        return self._session.interpreter
+
+    @property
+    def connected(self) -> bool:
+        """Is the REPL currently a client of a remote server?"""
+        return self._remote is not None
+
+    def _backend(self):
+        """Whoever answers run/stat right now: remote client or local
+        session."""
+        return self._remote if self._remote is not None else self._session
 
     def handle(self, line: str) -> None:
         """Process one input line (a command or DBPL source)."""
@@ -119,14 +142,27 @@ class Repl:
         parts = line.split(None, 1)
         command = parts[0]
         argument = parts[1] if len(parts) > 1 else ""
+        if command in LOCAL_ONLY and self.connected:
+            self._write(
+                "%s is local-only; :disconnect first (it inspects this"
+                " process, not the server)" % command
+            )
+            return
         if command in (":quit", ":q"):
+            if self._remote is not None:
+                self._remote.close()
+                self._remote = None
             self.done = True
         elif command == ":type":
-            self._show_type(argument)
+            self._run_mode_command(argument, "type", "usage: :type <expression>")
         elif command == ":ast":
-            self._show_ast(argument)
+            self._run_mode_command(argument, "ast", "usage: :ast <source>")
         elif command == ":load":
             self._load(argument)
+        elif command == ":connect":
+            self._connect_command(argument)
+        elif command == ":disconnect":
+            self._disconnect_command(argument)
         elif command == ":trace":
             self._trace_command(argument)
         elif command == ":events":
@@ -151,8 +187,89 @@ class Repl:
             self._watch_command(argument)
         elif command == ":metrics":
             self._metrics_command(argument)
+        elif command == ":sessions":
+            self._stat(lambda b: b.stat("sessions"))
         else:
             self._write("unknown command %s" % command)
+
+    # -- backend plumbing ---------------------------------------------------
+
+    def _stat(self, request, per_line: bool = False) -> Optional[str]:
+        """Run ``request(backend)``, print its text, return it (``None``
+        after printing ``error: ...``).
+
+        Reports print as one multi-line write (historical behavior);
+        ``per_line`` splits instead (``:events`` prints one write per
+        journal event).
+        """
+        try:
+            reply = request(self._backend())
+        except ServerError as exc:
+            self._write("error: %s" % exc)
+            self._check_connection()
+            return None
+        except ReproError as exc:
+            self._write("error: %s" % exc)
+            return None
+        text = str(reply.get("text", ""))
+        if per_line:
+            for out_line in text.splitlines() or [""]:
+                self._write(out_line)
+        else:
+            self._write(text)
+        return text
+
+    def _check_connection(self) -> None:
+        """Drop a remote whose connection died, so the next command is
+        local instead of a repeated failure."""
+        if self._remote is not None and self._remote._closed:
+            self._write("(connection lost — back to the local session)")
+            self._remote = None
+
+    # -- connect / disconnect -----------------------------------------------
+
+    def _connect_command(self, argument: str) -> None:
+        argument = argument.strip()
+        if not argument:
+            if self.connected:
+                self._write("connected to %s" % self._remote.describe())
+            else:
+                self._write("usage: :connect host:port")
+            return
+        if self.connected:
+            self._write(
+                "already connected to %s — :disconnect first"
+                % self._remote.describe()
+            )
+            return
+        try:
+            host, port = parse_address(argument)
+        except ValueError as exc:
+            self._write("error: %s" % exc)
+            return
+        try:
+            self._remote = Client(host, port)
+        except (ReproError, OSError) as exc:
+            self._write("error: cannot connect to %s: %s" % (argument, exc))
+            return
+        self._write(
+            "connected to %s — session %s on %s"
+            % (argument, self._remote.session_id, self._remote.server)
+        )
+
+    def _disconnect_command(self, argument: str) -> None:
+        if argument.strip():
+            self._write("usage: :disconnect")
+            return
+        if not self.connected:
+            self._write("not connected (local session)")
+            return
+        address = self._remote.describe()
+        self._remote.close()
+        self._remote = None
+        self._write("disconnected from %s (local session)" % address)
+
+    # -- local-only observability toggles -----------------------------------
 
     def _trace_command(self, argument: str) -> None:
         argument = argument.strip().lower()
@@ -169,34 +286,6 @@ class Repl:
             )
         else:
             self._write("usage: :trace on|off")
-
-    def _events_command(self, argument: str) -> None:
-        argument = argument.strip().lower()
-        if argument == "on":
-            _events.enable()
-            self._write("journal on")
-            return
-        if argument == "off":
-            _events.disable()
-            self._write("journal off")
-            return
-        journal = _events.CURRENT
-        if not journal.enabled:
-            self._write("journal is off — :events on")
-            return
-        count = 20
-        if argument:
-            try:
-                count = int(argument)
-            except ValueError:
-                self._write("usage: :events [n] | :events on|off")
-                return
-        recent = journal.events(count)
-        if not recent:
-            self._write("(journal is empty)")
-            return
-        for event in recent:
-            self._write(event.format())
 
     def _export_command(self, argument: str) -> None:
         path = argument.strip()
@@ -226,54 +315,31 @@ class Repl:
         else:
             self._write("usage: :profile on|off")
 
-    def _feedback_table(self, count: int = 10) -> str:
-        recent = _feedback.FEEDBACK.last(count)
-        if not recent:
-            return "(no feedback recorded — run :explain on a selection)"
-        lines = [
-            "%-28s %-10s %9s %8s %8s %6s %6s %12s"
-            % ("predicate", "relation", "estimate", "rows_in",
-               "rows_out", "sel", "drift", "blend")
-        ]
-        for obs in recent:
-            posterior = _adaptive.ADAPTIVE.posterior(
-                obs.relation, obs.attribute, obs.op, obs.operand,
-                epoch=obs.epoch,
-            )
-            blend_text = (
-                "%.3f (w=%.1f)" % (posterior.mean, posterior.weight)
-                if posterior is not None
-                else "-"
-            )
-            lines.append(
-                "%-28s %-10s %9.1f %8d %8d %6.3f %6.2f %12s"
-                % (
-                    obs.predicate[:28],
-                    (obs.relation or "-")[:10],
-                    obs.estimate,
-                    obs.rows_in,
-                    obs.rows_out,
-                    obs.observed_selectivity,
-                    obs.drift_ratio,
-                    blend_text,
-                )
-            )
-        return "\n".join(lines)
+    # -- session-routed commands --------------------------------------------
+
+    def _events_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument in ("on", "off"):
+            self._stat(lambda b: b.stat("events", action=argument))
+            return
+        count = 20
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self._write("usage: :events [n] | :events on|off")
+                return
+        self._stat(
+            lambda b: b.stat("events", action="show", count=count),
+            per_line=True,
+        )
 
     def _adaptive_command(self, argument: str) -> None:
         argument = argument.strip().lower()
-        if argument == "on":
-            _adaptive.enable()
-            self._write("adaptive estimation on")
-        elif argument == "off":
-            _adaptive.disable()
-            self._write("adaptive estimation off")
+        if argument in ("on", "off"):
+            self._stat(lambda b: b.stat("adaptive", action=argument))
         elif not argument:
-            store = _adaptive.ADAPTIVE
-            self._write(
-                "adaptive estimation is %s (%d keys)"
-                % ("on" if store.enabled else "off", len(store))
-            )
+            self._stat(lambda b: b.stat("adaptive", action="status"))
         else:
             self._write("usage: :adaptive on|off")
 
@@ -281,19 +347,12 @@ class Repl:
         if argument.strip():
             self._write("usage: :health")
             return
-        self._write(_monitor.format_health(_monitor.health_report()))
+        self._stat(lambda b: b.stat("health"))
 
     def _slow_command(self, argument: str) -> None:
         argument = argument.strip().lower()
-        if argument == "on":
-            log = _slowlog.enable()
-            self._write(
-                "slow-query log on (threshold %.1fms)" % log.threshold_ms
-            )
-            return
-        if argument == "off":
-            _slowlog.disable()
-            self._write("slow-query log off")
+        if argument in ("on", "off"):
+            self._stat(lambda b: b.stat("slow", action=argument))
             return
         if argument.startswith("threshold"):
             try:
@@ -301,8 +360,9 @@ class Repl:
             except (IndexError, ValueError):
                 self._write("usage: :slow threshold <ms>")
                 return
-            _slowlog.set_threshold(threshold)
-            self._write("slow threshold %.1fms" % threshold)
+            self._stat(
+                lambda b: b.stat("slow", action="threshold", threshold=threshold)
+            )
             return
         count = 10
         if argument:
@@ -313,7 +373,7 @@ class Repl:
                     "usage: :slow [n] | :slow on|off | :slow threshold <ms>"
                 )
                 return
-        self._write(_slowlog.slowlog_report(count))
+        self._stat(lambda b: b.stat("slow", action="report", count=count))
 
     def _watch_command(self, argument: str) -> None:
         argument = argument.strip()
@@ -325,186 +385,76 @@ class Repl:
         if seconds <= 0:
             self._write("usage: :watch <seconds>")
             return
-        monitor = _monitor.enable()
         self._write("watching for %ds (Ctrl-C stops early)" % seconds)
         try:
             for __ in range(seconds):
                 self._sleep(1.0)
-                monitor.tick()
-                self._write(monitor.format(horizon=float(seconds)))
+                try:
+                    reply = self._backend().stat(
+                        "watch", horizon=float(seconds)
+                    )
+                except ReproError as exc:
+                    self._write("error: %s" % exc)
+                    self._check_connection()
+                    return
+                self._write(str(reply.get("text", "")))
         except KeyboardInterrupt:
             self._write("(watch interrupted)")
 
     def _metrics_command(self, argument: str) -> None:
         path = argument.strip()
+        try:
+            reply = self._backend().stat("metrics")
+        except ReproError as exc:
+            self._write("error: %s" % exc)
+            self._check_connection()
+            return
+        text = str(reply.get("text", ""))
         if not path:
-            self._write(_monitor.render_openmetrics().rstrip("\n"))
+            self._write(text.rstrip("\n"))
             return
         try:
-            _monitor.write_metrics_snapshot(path)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
         except OSError as exc:
             self._write("error: %s" % exc)
             return
         self._write("wrote %s" % path)
 
     def _stats_command(self, argument: str) -> None:
-        argument = argument.strip()
-        if argument.lower() == "reset":
-            _metrics.reset_metrics()
-            self._write("metrics reset")
-        elif argument.lower() == "feedback":
-            self._write(self._feedback_table())
-        elif not argument:
-            self._write(_metrics.REGISTRY.format())
-        elif argument in self._table_stats:
-            self._write(self._table_stats[argument].format())
-        else:
-            self._write(
-                "no statistics for %r — run :analyze %s first"
-                % (argument, argument)
-            )
+        self._stat(lambda b: b.stat("stats", target=argument.strip()))
 
     def _analyze_command(self, argument: str) -> None:
         name = argument.strip()
         if not name:
             self._write("usage: :analyze <relation>")
             return
-        try:
-            value = self._interp._globals.lookup(name)
-        except EvalError as exc:
-            self._write("error: %s" % exc)
-            return
-        if not isinstance(value, GeneralizedRelation):
-            self._write(
-                "error: %s is not a relation (use relation([...]))" % name
-            )
-            return
-        stats = _analyze_stats(value, name=name)
-        self._table_stats[name] = stats
-        self._write(
-            "analyzed %s: %d rows, %d columns"
-            % (name, stats.row_count, len(stats.columns))
-        )
+        self._stat(lambda b: b.stat("analyze", name=name))
 
     def _explain_command(self, argument: str) -> None:
         source = argument.strip()
         if not source:
             self._write("usage: :explain <relational expression>")
             return
-        try:
-            program = parse_program(source)
-            declarations = program.declarations
-            if len(declarations) != 1 or not isinstance(
-                declarations[0], _ast.ExprStmt
-            ):
-                raise EvalError(
-                    ":explain takes a single relational expression"
-                )
-            catalog = Catalog()
-            plan = self._compile_plan(declarations[0].expr, catalog)
-            plan = optimize(plan, catalog)
-            self._write(explain_analyze(plan, catalog))
-        except (LanguageError, TypeSystemError, ReproError) as exc:
-            self._write("error: %s" % exc)
+        self._stat(lambda b: b.stat("explain", source=source))
 
-    def _compile_plan(self, expr: "_ast.Expr", catalog: Catalog) -> Plan:
-        """Translate a relational DBPL expression into a query plan.
+    # -- evaluation ---------------------------------------------------------
 
-        Supported shapes: a variable bound to a flat relation (becomes a
-        ``Scan``, registered in ``catalog`` — with fresh statistics when
-        the name was ``:analyze``d), ``rjoin(a, b)``, ``rproject(a,
-        [labels])``, and ``rmatch(a, {field = literal, ...})`` (one
-        equality selection per field).
-        """
-        if isinstance(expr, _ast.Var):
-            value = self._interp._globals.lookup(expr.name)
-            if not isinstance(value, GeneralizedRelation):
-                raise EvalError("%s is not a relation" % expr.name)
-            schema = flat_schema_of(value)
-            if schema is None:
-                raise EvalError(
-                    "%s is not flat (partial or nested members); :explain"
-                    " plans over flat relations only" % expr.name
-                )
-            catalog.bind(expr.name, FlatRelation.from_generalized(value, schema))
-            if expr.name in self._table_stats:
-                catalog.analyze(expr.name)
-            return scan(expr.name)
-        if isinstance(expr, _ast.Apply) and isinstance(
-            expr.function, _ast.Var
-        ):
-            function = expr.function.name
-            arguments = expr.arguments
-            if function == "rjoin" and len(arguments) == 2:
-                return self._compile_plan(arguments[0], catalog).join(
-                    self._compile_plan(arguments[1], catalog)
-                )
-            if function == "rproject" and len(arguments) == 2:
-                labels_expr = arguments[1]
-                if not isinstance(labels_expr, _ast.ListLit) or not all(
-                    isinstance(e, _ast.StringLit)
-                    for e in labels_expr.elements
-                ):
-                    raise EvalError(
-                        ":explain needs a literal label list in rproject"
-                    )
-                return self._compile_plan(arguments[0], catalog).project(
-                    [e.value for e in labels_expr.elements]
-                )
-            if function == "rmatch" and len(arguments) == 2:
-                pattern = arguments[1]
-                if not isinstance(pattern, _ast.RecordLit):
-                    raise EvalError(
-                        ":explain needs a literal record pattern in rmatch"
-                    )
-                plan = self._compile_plan(arguments[0], catalog)
-                for label, field in pattern.fields:
-                    if not isinstance(
-                        field,
-                        (
-                            _ast.IntLit,
-                            _ast.FloatLit,
-                            _ast.StringLit,
-                            _ast.BoolLit,
-                        ),
-                    ):
-                        raise EvalError(
-                            ":explain needs scalar literals in the rmatch"
-                            " pattern; %s is not one" % label
-                        )
-                    plan = plan.where(eq(label, field.value))
-                return plan
-        raise EvalError(
-            ":explain supports relation variables, rjoin, rproject and"
-            " rmatch only"
-        )
-
-    def _show_type(self, source: str) -> None:
+    def _run_mode_command(self, source: str, mode: str, usage: str) -> None:
         if not source:
-            self._write("usage: :type <expression>")
+            self._write(usage)
             return
         try:
-            program = parse_program(source)
-            # Check against a *copy* of the session env: :type must not
-            # commit declarations.
-            env = CheckEnv(
-                self._interp._check_env.values,
-                self._interp._check_env.type_names,
-                self._interp._check_env.bounds,
-            )
-            inferred, __ = check_program(program, env)
-            self._write(str(inferred) if inferred is not None else "<declaration>")
-        except (LanguageError, TypeSystemError, ReproError) as exc:
+            reply = self._backend().run(source, mode=mode)
+        except ServerError as exc:
             self._write("error: %s" % exc)
-
-    def _show_ast(self, source: str) -> None:
-        if not source:
-            self._write("usage: :ast <source>")
+            self._check_connection()
             return
-        try:
-            self._write(pretty_program(parse_program(source)))
-        except (LanguageError, ReproError) as exc:
+        except ReproError as exc:
             self._write("error: %s" % exc)
+            return
+        if reply.get("value") is not None:
+            self._write(str(reply["value"]))
 
     def _load(self, path: str) -> None:
         if not path:
@@ -522,13 +472,15 @@ class Repl:
         tracer = _trace.CURRENT
         spans_before = len(tracer.roots) if tracer.enabled else 0
         try:
-            before = len(self._interp.output)
-            result = self._interp.run(source)
-            for line in self._interp.output[before:]:
-                self._write(line)
-            if result.value is not None:
-                self._write(format_value(result.value))
-        except (LanguageError, TypeSystemError, ReproError) as exc:
+            reply = self._backend().run(source)
+            for out_line in reply.get("output", []):
+                self._write(str(out_line))
+            if reply.get("value") is not None:
+                self._write(str(reply["value"]))
+        except ServerError as exc:
+            self._write("error: %s" % exc)
+            self._check_connection()
+        except ReproError as exc:
             self._write("error: %s" % exc)
         finally:
             if tracer.enabled:

@@ -51,6 +51,7 @@ __all__ = [
     "Event",
     "EventJournal",
     "NoOpJournal",
+    "ScopedJournal",
     "NOOP",
     "CURRENT",
     "get_journal",
@@ -58,6 +59,7 @@ __all__ = [
     "enable",
     "disable",
     "publish",
+    "scoped",
 ]
 
 DEBUG = "DEBUG"
@@ -252,6 +254,71 @@ class NoOpJournal:
 
     def __len__(self) -> int:
         return 0
+
+
+class ScopedJournal:
+    """A tagging view over a journal: fixed payload fields on publish,
+    and reads filtered back down to them.
+
+    The database server hands each connection
+    ``scoped(session="s03")`` so every event that session publishes is
+    tagged with its id, and ``events()`` answers only that session's
+    slice of the shared ring — per-session journals without per-session
+    rings.  With ``journal=None`` (the default) the view follows the
+    process-global :data:`CURRENT` at call time, so ``enable()`` /
+    ``disable()`` keep working mid-session.
+    """
+
+    __slots__ = ("tags", "_journal")
+
+    def __init__(self, tags: Dict[str, object], journal=None):
+        if not tags:
+            raise ValueError("a scoped journal needs at least one tag")
+        self.tags = dict(tags)
+        self._journal = journal
+
+    def _target(self):
+        return self._journal if self._journal is not None else CURRENT
+
+    @property
+    def enabled(self) -> bool:
+        return self._target().enabled
+
+    def publish(self, severity: str, subsystem: str, name: str, **payload: object):
+        """Publish with the scope's tags merged in (tags win on clash)."""
+        merged = dict(payload)
+        merged.update(self.tags)
+        return self._target().publish(severity, subsystem, name, **merged)
+
+    def events(
+        self,
+        n: Optional[int] = None,
+        severity: Optional[str] = None,
+        subsystem: Optional[str] = None,
+    ) -> List[Event]:
+        """The underlying journal's events whose payload carries every
+        one of this scope's tags, filtered like
+        :meth:`EventJournal.events`."""
+        matching = [
+            event
+            for event in self._target().events(
+                severity=severity, subsystem=subsystem
+            )
+            if all(event.payload.get(k) == v for k, v in self.tags.items())
+        ]
+        return matching[-n:] if n is not None else matching
+
+    def __len__(self) -> int:
+        return len(self.events())
+
+    def __repr__(self) -> str:
+        return "ScopedJournal(%r)" % (self.tags,)
+
+
+def scoped(journal=None, **tags: object) -> ScopedJournal:
+    """A :class:`ScopedJournal` over ``journal`` (default: whatever
+    :data:`CURRENT` is at each call)."""
+    return ScopedJournal(tags, journal=journal)
 
 
 NOOP = NoOpJournal()

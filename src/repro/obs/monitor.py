@@ -72,6 +72,7 @@ __all__ = [
     "JournalDropProbe",
     "AdaptiveHitRateProbe",
     "StatsStalenessProbe",
+    "ServerSessionsProbe",
     "default_probes",
     "health_report",
     "overall_verdict",
@@ -657,6 +658,47 @@ class StatsStalenessProbe(HealthProbe):
         return self._result(OK, detail, drift)
 
 
+class ServerSessionsProbe(HealthProbe):
+    """Session pressure on the database server's broker.
+
+    Reads the gauges and counters :mod:`repro.server.broker` publishes:
+    ``server.sessions.active`` / ``server.sessions.limit`` and the
+    accepted/rejected connection totals.  A rejected-connection fraction
+    past ``degraded_fraction`` means clients are being turned away (the
+    accept queue overflowed); sitting at the connection limit degrades
+    too, since the *next* connection will queue or bounce.  With no
+    server in the process the probe reports ok.
+    """
+
+    name = "server.sessions"
+
+    def __init__(self, degraded_fraction: float = 0.05):
+        self.degraded_fraction = degraded_fraction
+
+    def check(self, registry, journal) -> ProbeResult:
+        gauges = registry.gauges()
+        limit = int(gauges.get("server.sessions.limit", 0.0))
+        active = int(gauges.get("server.sessions.active", 0.0))
+        accepted = registry.value("server.connections.accepted")
+        rejected = registry.value("server.connections.rejected")
+        attempts = accepted + rejected
+        if not limit and not attempts:
+            return self._result(OK, "no server running")
+        fraction = rejected / attempts if attempts else 0.0
+        detail = (
+            "%d of %d session(s) active; %d of %d connection(s)"
+            " rejected (%.0f%%)"
+            % (active, limit, rejected, attempts, fraction * 100.0)
+        )
+        if rejected and fraction >= self.degraded_fraction:
+            return self._result(DEGRADED, detail, fraction)
+        if limit and active >= limit:
+            return self._result(
+                DEGRADED, "at connection limit: %s" % detail, float(active)
+            )
+        return self._result(OK, detail, float(active))
+
+
 def default_probes(catalog=None) -> List[HealthProbe]:
     """The built-in probe set (``catalog`` sharpens the staleness
     probe when given)."""
@@ -666,6 +708,7 @@ def default_probes(catalog=None) -> List[HealthProbe]:
         JournalDropProbe(),
         AdaptiveHitRateProbe(),
         StatsStalenessProbe(catalog=catalog),
+        ServerSessionsProbe(),
     ]
 
 

@@ -1,0 +1,6 @@
+"""``python -m repro.server`` — run a DBPL session server."""
+
+from repro.server.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""The blocking client: what the REPL's ``:connect`` mode speaks.
+
+A :class:`Client` is a synchronous peer of
+:class:`~repro.server.server.DBPLServer` with the *same surface* as a
+local :class:`~repro.server.session.Session` — ``run(source, mode)``
+and ``stat(kind, **args)`` with identical return shapes — so the REPL
+swaps one for the other without caring which it holds.  Errors come
+back typed: an ``error`` frame re-raises as
+:class:`~repro.errors.RemoteError` (carrying the server-side exception
+kind), an unsolicited ``bye`` as
+:class:`~repro.errors.SessionClosedError`, and framing violations as
+:class:`~repro.errors.ProtocolError`.
+
+Requests are strictly sequential (one outstanding ``id`` at a time) —
+the client is a terminal's, not a connection pool's.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import (
+    ProtocolError,
+    RemoteError,
+    SessionClosedError,
+    TruncatedFrameError,
+)
+from repro.server import protocol
+
+__all__ = ["Client", "parse_address"]
+
+CLIENT_NAME = "repro-client/1"
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; bare ``"port"`` means
+    localhost."""
+    text = text.strip()
+    if not text:
+        raise ValueError("empty address")
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", text
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError("bad port in address %r" % text) from None
+    if not 0 < port < 65536:
+        raise ValueError("port out of range in address %r" % text)
+    return host, port
+
+
+class Client:
+    """A blocking connection to a DBPL server.
+
+    Connecting performs the handshake; afterwards ``session_id``,
+    ``server`` and ``limits`` describe the granted session.  Usable as
+    a context manager (``close()`` says ``bye``).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_frame: int = protocol.MAX_FRAME,
+    ):
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.session_id: Optional[str] = None
+        self.server: Optional[str] = None
+        self.limits: Dict[str, object] = {}
+        self._next_id = 0
+        self._closed = False
+        self._decoder = protocol.FrameDecoder(max_frame)
+        self._pending: Deque[Dict[str, object]] = deque()
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._handshake()
+        except BaseException:
+            self._sock.close()
+            raise
+
+    def _handshake(self) -> None:
+        self._send(
+            {
+                "type": "hello",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "client": CLIENT_NAME,
+            }
+        )
+        reply = self._read()
+        if reply is None:
+            raise SessionClosedError("server closed during handshake")
+        if reply.get("type") == "error":
+            raise RemoteError(
+                str(reply.get("error")), kind=str(reply.get("kind"))
+            )
+        if reply.get("type") != "hello":
+            raise ProtocolError(
+                "expected hello reply, got %r" % reply.get("type")
+            )
+        if reply.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                "server speaks protocol %r, client speaks %d"
+                % (reply.get("protocol"), protocol.PROTOCOL_VERSION)
+            )
+        self.session_id = reply.get("session")
+        self.server = reply.get("server")
+        limits = reply.get("limits")
+        self.limits = limits if isinstance(limits, dict) else {}
+
+    # -- the Session-shaped surface -----------------------------------------
+
+    def run(self, source: str, mode: str = "eval") -> Dict[str, object]:
+        """Evaluate ``source`` remotely; same reply shape as
+        :meth:`Session.run <repro.server.session.Session.run>`."""
+        return self._request(
+            {"type": "run", "source": source, "mode": mode}, expect="result"
+        )
+
+    def stat(self, kind: str, **args: object) -> Dict[str, object]:
+        """One observability round-trip; same reply shape as
+        :meth:`Session.stat <repro.server.session.Session.stat>`."""
+        return self._request(
+            {"type": "stat", "kind": kind, "args": args}, expect="stat"
+        )
+
+    def describe(self) -> str:
+        return "%s:%d (session %s)" % (self.host, self.port, self.session_id)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(
+        self, frame: Dict[str, object], expect: str
+    ) -> Dict[str, object]:
+        if self._closed:
+            raise SessionClosedError("client is closed")
+        self._next_id += 1
+        frame["id"] = self._next_id
+        self._send(frame)
+        reply = self._read()
+        if reply is None:
+            self._closed = True
+            raise SessionClosedError("server closed the connection")
+        reply_type = reply.get("type")
+        if reply_type == "bye":
+            self._closed = True
+            self._sock.close()
+            raise SessionClosedError(
+                "server said bye (%s)" % reply.get("reason")
+            )
+        if reply.get("id") != self._next_id:
+            raise ProtocolError(
+                "reply id %r does not match request id %d"
+                % (reply.get("id"), self._next_id)
+            )
+        if reply_type == "error":
+            raise RemoteError(
+                str(reply.get("error")), kind=str(reply.get("kind"))
+            )
+        if reply_type != expect:
+            raise ProtocolError(
+                "expected a %s frame, got %r" % (expect, reply_type)
+            )
+        return reply
+
+    def _send(self, message: Dict[str, object]) -> None:
+        try:
+            self._sock.sendall(protocol.encode_frame(message, self.max_frame))
+        except OSError as exc:
+            self._closed = True
+            raise SessionClosedError("send failed: %s" % exc) from None
+
+    def _read(self) -> Optional[Dict[str, object]]:
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise ProtocolError(
+                    "timed out waiting for a server frame"
+                ) from None
+            except OSError as exc:
+                self._closed = True
+                raise SessionClosedError("receive failed: %s" % exc) from None
+            try:
+                # One chunk may complete several frames (a result and
+                # the shutdown bye can share a packet); queue the rest.
+                self._pending.extend(self._decoder.feed(chunk))
+            except TruncatedFrameError:
+                self._closed = True
+                raise
+            if not self._pending and chunk == b"":
+                return None
+
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.sendall(
+                protocol.encode_frame({"type": "bye", "reason": "client"})
+            )
+            self._sock.settimeout(1.0)
+            self._sock.recv(65536)  # the server's bye, if it gets there
+        except OSError:
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "Client(%s)" % self.describe()

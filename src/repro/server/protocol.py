@@ -1,0 +1,197 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON — an object with a string ``"type"`` drawn from
+:data:`FRAME_TYPES`:
+
+=========  =========  ====================================================
+type       direction  meaning
+=========  =========  ====================================================
+``hello``  both       handshake; carries ``protocol`` (version), and from
+                      the server the assigned ``session`` id and limits
+``run``    c → s      evaluate DBPL ``source`` in the session
+                      (``mode``: ``eval`` | ``type`` | ``ast``)
+``result`` s → c      a ``run``'s answer: formatted ``value``, ``output``
+                      lines, ``elapsed`` seconds
+``error``  s → c      a failed request: ``error`` message + ``kind``
+``stat``   both       observability round-trip: request carries ``kind``
+                      (``stats``/``health``/``watch``/``metrics``/...)
+                      and ``args``; reply carries the rendered ``text``
+``bye``    both       orderly close; ``reason`` is ``client`` / ``idle``
+                      / ``shutdown``
+=========  =========  ====================================================
+
+Requests carry a client-assigned ``id`` echoed in the reply, so a
+client can detect desynchronization.  Frames larger than the agreed
+limit raise :class:`~repro.errors.FrameTooLargeError` *before* any
+payload is buffered — on the read side the length header alone
+condemns the frame, so a hostile or broken peer cannot balloon server
+memory.
+
+The module is transport-agnostic: :func:`encode_frame` /
+:class:`FrameDecoder` work on bytes (the blocking client feeds raw
+``recv`` data), while :func:`read_frame` / :func:`write_frame` adapt
+the same format to asyncio streams for the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    TruncatedFrameError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "FRAME_TYPES",
+    "HEADER",
+    "encode_frame",
+    "decode_payload",
+    "FrameDecoder",
+    "read_frame",
+    "write_frame",
+    "error_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+# 4 MiB: generous for DBPL source and rendered stat tables, small
+# enough that a malicious length header cannot exhaust server memory.
+MAX_FRAME = 4 * 1024 * 1024
+
+FRAME_TYPES = frozenset({"hello", "run", "result", "error", "stat", "bye"})
+
+HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: Dict[str, object], max_frame: int = MAX_FRAME) -> bytes:
+    """``message`` as one wire frame (header + JSON payload)."""
+    if not isinstance(message, dict):
+        raise ProtocolError("a frame must be a dict, got %r" % type(message))
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise FrameTooLargeError(len(payload), max_frame)
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """One frame's payload bytes back into a message dict.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything that is not
+    a JSON object with a string ``"type"`` in :data:`FRAME_TYPES`.
+    """
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("frame payload is not valid JSON: %s" % exc) from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "frame payload must be a JSON object, got %s"
+            % type(message).__name__
+        )
+    frame_type = message.get("type")
+    if not isinstance(frame_type, str):
+        raise ProtocolError("frame has no string 'type' field")
+    return message
+
+
+def error_frame(
+    message: str, kind: str = "protocol", request_id: Optional[object] = None
+) -> Dict[str, object]:
+    """A server-side ``error`` frame (echoing ``request_id`` when known)."""
+    frame: Dict[str, object] = {"type": "error", "error": message, "kind": kind}
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
+
+
+class FrameDecoder:
+    """An incremental frame parser for blocking transports.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames and
+    yields every complete message::
+
+        decoder = FrameDecoder()
+        for message in decoder.feed(chunk):
+            ...
+
+    ``feed(b"")`` signals EOF: clean at a frame boundary, otherwise
+    :class:`~repro.errors.TruncatedFrameError`.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, object]]:
+        """Buffer ``data``; returns the messages completed by it."""
+        if data == b"":
+            if self._buffer:
+                raise TruncatedFrameError(
+                    "stream ended with %d buffered byte(s) of a partial frame"
+                    % len(self._buffer)
+                )
+            return []
+        self._buffer.extend(data)
+        messages: List[Dict[str, object]] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                break
+            (length,) = HEADER.unpack_from(self._buffer)
+            if length > self.max_frame:
+                raise FrameTooLargeError(length, self.max_frame)
+            if len(self._buffer) < HEADER.size + length:
+                break
+            payload = bytes(self._buffer[HEADER.size : HEADER.size + length])
+            del self._buffer[: HEADER.size + length]
+            messages.append(decode_payload(payload))
+        return messages
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME) -> Optional[Dict[str, object]]:
+    """Read one frame from an asyncio stream reader.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer went
+    away between frames); raises
+    :class:`~repro.errors.TruncatedFrameError` on EOF mid-frame and
+    :class:`~repro.errors.FrameTooLargeError` as soon as the header
+    declares an oversized payload.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise TruncatedFrameError(
+                "stream ended inside a frame header"
+            ) from None
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameTooLargeError(length, max_frame)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise TruncatedFrameError(
+            "stream ended inside a %d byte frame payload" % length
+        ) from None
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer, message: Dict[str, object], max_frame: int = MAX_FRAME
+) -> None:
+    """Write one frame to an asyncio stream writer and drain."""
+    writer.write(encode_frame(message, max_frame))
+    await writer.drain()

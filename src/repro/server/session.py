@@ -1,0 +1,435 @@
+"""Per-connection DBPL sessions, and the backend the REPL drives.
+
+A :class:`Session` owns what the paper's interactive tradition calls a
+*binding environment*: an :class:`~repro.lang.eval.Interpreter` whose
+``let``/``fun``/``type`` declarations accumulate privately, plus the
+table statistics ``analyze`` collects — all against a **shared** store,
+so persistent extents (``extern``/``intern``) are visible across
+sessions while bindings stay isolated.
+
+The class is deliberately transport-free.  Its two entry points mirror
+the wire protocol:
+
+* :meth:`Session.run` — evaluate DBPL source (``mode`` ``eval`` /
+  ``type`` / ``ast``), returning the formatted value and output lines;
+* :meth:`Session.stat` — the observability surface behind ``:stats``,
+  ``:health``, ``:watch``, ``:metrics``, ``:slow``, ``:events``,
+  ``:adaptive``, ``:analyze``, ``:explain``, and ``:sessions``,
+  returning rendered text.
+
+The REPL in local mode calls these directly; the server calls the same
+methods from its dispatch loop; the REPL in ``:connect`` mode sends
+them as ``run``/``stat`` frames which the server routes right back
+here.  One implementation, three transports — which is what makes
+``:watch`` and ``:metrics`` behave identically locally and remotely.
+
+Each session publishes its journal events through a
+:class:`~repro.obs.events.ScopedJournal` tagged ``session=<id>``, so a
+shared flight-recorder ring still yields per-session journals.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.core.flat import FlatRelation
+from repro.core.index import Catalog
+from repro.core.query import Plan, eq, explain_analyze, optimize, scan
+from repro.core.relation import GeneralizedRelation, flat_schema_of
+from repro.errors import EvalError, SessionClosedError
+from repro.lang import ast as _ast
+from repro.lang.checker import CheckEnv, check_program
+from repro.lang.eval import Interpreter, format_value
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs import monitor as _monitor
+from repro.obs import slowlog as _slowlog
+from repro.stats import adaptive as _adaptive
+from repro.stats import feedback as _feedback
+from repro.stats.collect import TableStats
+from repro.stats.collect import analyze as _analyze_stats
+
+__all__ = ["Session", "STAT_KINDS"]
+
+STAT_KINDS = frozenset(
+    {
+        "stats",
+        "analyze",
+        "explain",
+        "health",
+        "slow",
+        "watch",
+        "metrics",
+        "events",
+        "adaptive",
+        "sessions",
+    }
+)
+
+
+class Session:
+    """One client's DBPL state against the shared store.
+
+    ``store`` is a shared :class:`~repro.persistence.store.LogStore`
+    (or a path, or ``None``); ``memory_store`` is the broker's shared
+    in-memory extent dict for path-less servers.  ``publish_runs``
+    turns on per-request journal events (the server sets it; the local
+    REPL keeps it off so interactive journals match the pre-server
+    behaviour).
+    """
+
+    def __init__(
+        self,
+        store=None,
+        session_id: str = "local",
+        memory_store: Optional[Dict[str, object]] = None,
+        broker=None,
+        publish_runs: bool = False,
+    ):
+        self.session_id = session_id
+        self.broker = broker
+        self.publish_runs = publish_runs
+        self.requests = 0
+        self.opened = time.time()
+        self.closed = False
+        self.journal = _events.scoped(session=session_id)
+        self._interp = Interpreter(
+            store, session_id=session_id, memory_store=memory_store
+        )
+        self._table_stats: Dict[str, TableStats] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def interpreter(self) -> Interpreter:
+        """The session's interpreter (the REPL's ``:explain`` compiler
+        and tests reach through this)."""
+        return self._interp
+
+    def close(self) -> None:
+        """Mark the session closed; later requests raise."""
+        self.closed = True
+
+    def describe(self) -> str:
+        """One line for ``stat("sessions")`` tables and logs."""
+        return "%-8s %4d request(s)  %5.1fs old" % (
+            self.session_id,
+            self.requests,
+            time.time() - self.opened,
+        )
+
+    def _touch(self) -> None:
+        if self.closed:
+            raise SessionClosedError(
+                "session %s is closed" % self.session_id
+            )
+        self.requests += 1
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self, source: str, mode: str = "eval") -> Dict[str, object]:
+        """Evaluate ``source``; returns ``{"value", "output", "elapsed"}``.
+
+        ``value`` is the formatted result (``None`` for declarations),
+        ``output`` the lines ``print`` produced during this run.  Modes
+        ``type`` and ``ast`` answer without evaluating — the static
+        type against the session's environment, or the pretty-printed
+        syntax tree.  Language and type errors propagate to the caller
+        (the server turns them into ``error`` frames; the REPL prints
+        ``error: ...``).
+        """
+        self._touch()
+        started = time.perf_counter()
+        try:
+            if mode == "eval":
+                reply = self._run_eval(source)
+            elif mode == "type":
+                reply = {"value": self._run_type(source), "output": []}
+            elif mode == "ast":
+                reply = {
+                    "value": pretty_program(parse_program(source)),
+                    "output": [],
+                }
+            else:
+                raise EvalError("unknown run mode %r" % (mode,))
+        except BaseException:
+            self._publish_run(mode, started, ok=False)
+            raise
+        reply["elapsed"] = time.perf_counter() - started
+        self._publish_run(mode, started, ok=True)
+        return reply
+
+    def _publish_run(self, mode: str, started: float, ok: bool) -> None:
+        if self.publish_runs and self.journal.enabled:
+            self.journal.publish(
+                "INFO" if ok else "WARN",
+                "server",
+                "run",
+                mode=mode,
+                ok=ok,
+                ms=round((time.perf_counter() - started) * 1000.0, 3),
+            )
+
+    def _run_eval(self, source: str) -> Dict[str, object]:
+        before = len(self._interp.output)
+        result = self._interp.run(source)
+        output = list(self._interp.output[before:])
+        value = (
+            format_value(result.value) if result.value is not None else None
+        )
+        return {"value": value, "output": output}
+
+    def _run_type(self, source: str) -> str:
+        program = parse_program(source)
+        # Check against a *copy* of the session env: a type query must
+        # not commit declarations.
+        env = CheckEnv(
+            self._interp._check_env.values,
+            self._interp._check_env.type_names,
+            self._interp._check_env.bounds,
+        )
+        inferred, __ = check_program(program, env)
+        return str(inferred) if inferred is not None else "<declaration>"
+
+    # -- stat ---------------------------------------------------------------
+
+    def stat(self, kind: str, **args: object) -> Dict[str, object]:
+        """Answer one observability request; returns ``{"text": ...}``.
+
+        Unknown kinds raise :class:`~repro.errors.EvalError` so remote
+        callers get an ``error`` frame, not a dead connection.
+        """
+        self._touch()
+        handler = getattr(self, "_stat_%s" % kind, None)
+        if kind not in STAT_KINDS or handler is None:
+            raise EvalError("unknown stat kind %r" % (kind,))
+        return handler(**args)
+
+    def _stat_stats(self, target: str = "", **__) -> Dict[str, object]:
+        target = str(target).strip()
+        if target.lower() == "reset":
+            _metrics.reset_metrics()
+            return {"text": "metrics reset"}
+        if target.lower() == "feedback":
+            return {"text": self._feedback_table()}
+        if not target:
+            return {"text": _metrics.REGISTRY.format()}
+        if target in self._table_stats:
+            return {"text": self._table_stats[target].format()}
+        return {
+            "text": "no statistics for %r — run :analyze %s first"
+            % (target, target)
+        }
+
+    def _stat_analyze(self, name: str = "", **__) -> Dict[str, object]:
+        name = str(name).strip()
+        if not name:
+            raise EvalError("analyze needs a relation name")
+        value = self._interp._globals.lookup(name)
+        if not isinstance(value, GeneralizedRelation):
+            raise EvalError(
+                "%s is not a relation (use relation([...]))" % name
+            )
+        stats = _analyze_stats(value, name=name)
+        self._table_stats[name] = stats
+        return {
+            "text": "analyzed %s: %d rows, %d columns"
+            % (name, stats.row_count, len(stats.columns))
+        }
+
+    def _stat_explain(self, source: str = "", **__) -> Dict[str, object]:
+        program = parse_program(str(source))
+        declarations = program.declarations
+        if len(declarations) != 1 or not isinstance(
+            declarations[0], _ast.ExprStmt
+        ):
+            raise EvalError(":explain takes a single relational expression")
+        catalog = Catalog()
+        plan = self._compile_plan(declarations[0].expr, catalog)
+        plan = optimize(plan, catalog)
+        return {"text": explain_analyze(plan, catalog)}
+
+    def _stat_health(self, **__) -> Dict[str, object]:
+        return {"text": _monitor.format_health(_monitor.health_report())}
+
+    def _stat_slow(
+        self, action: str = "report", count: int = 10, threshold: float = 0.0, **__
+    ) -> Dict[str, object]:
+        if action == "on":
+            log = _slowlog.enable()
+            return {
+                "text": "slow-query log on (threshold %.1fms)"
+                % log.threshold_ms
+            }
+        if action == "off":
+            _slowlog.disable()
+            return {"text": "slow-query log off"}
+        if action == "threshold":
+            _slowlog.set_threshold(float(threshold))
+            return {"text": "slow threshold %.1fms" % float(threshold)}
+        return {"text": _slowlog.slowlog_report(int(count))}
+
+    def _stat_watch(self, horizon: Optional[float] = None, **__) -> Dict[str, object]:
+        monitor = _monitor.enable()
+        monitor.tick()
+        return {
+            "text": monitor.format(
+                horizon=float(horizon) if horizon is not None else None
+            )
+        }
+
+    def _stat_metrics(self, **__) -> Dict[str, object]:
+        return {"text": _monitor.render_openmetrics()}
+
+    def _stat_events(
+        self, action: str = "show", count: int = 20, mine: bool = False, **__
+    ) -> Dict[str, object]:
+        if action == "on":
+            _events.enable()
+            return {"text": "journal on"}
+        if action == "off":
+            _events.disable()
+            return {"text": "journal off"}
+        journal = _events.CURRENT
+        if not journal.enabled:
+            return {"text": "journal is off — :events on"}
+        source = self.journal if mine else journal
+        recent = source.events(int(count))
+        if not recent:
+            return {"text": "(journal is empty)"}
+        return {"text": "\n".join(event.format() for event in recent)}
+
+    def _stat_adaptive(self, action: str = "status", **__) -> Dict[str, object]:
+        if action == "on":
+            _adaptive.enable()
+            return {"text": "adaptive estimation on"}
+        if action == "off":
+            _adaptive.disable()
+            return {"text": "adaptive estimation off"}
+        store = _adaptive.ADAPTIVE
+        return {
+            "text": "adaptive estimation is %s (%d keys)"
+            % ("on" if store.enabled else "off", len(store))
+        }
+
+    def _stat_sessions(self, **__) -> Dict[str, object]:
+        if self.broker is None:
+            return {
+                "text": "(no broker — single local session)\n%s"
+                % self.describe()
+            }
+        return {"text": self.broker.format_sessions()}
+
+    # -- feedback / explain internals (moved out of the REPL) ---------------
+
+    def _feedback_table(self, count: int = 10) -> str:
+        recent = _feedback.FEEDBACK.last(count)
+        if not recent:
+            return "(no feedback recorded — run :explain on a selection)"
+        lines = [
+            "%-28s %-10s %9s %8s %8s %6s %6s %12s"
+            % ("predicate", "relation", "estimate", "rows_in",
+               "rows_out", "sel", "drift", "blend")
+        ]
+        for obs in recent:
+            posterior = _adaptive.ADAPTIVE.posterior(
+                obs.relation, obs.attribute, obs.op, obs.operand,
+                epoch=obs.epoch,
+            )
+            blend_text = (
+                "%.3f (w=%.1f)" % (posterior.mean, posterior.weight)
+                if posterior is not None
+                else "-"
+            )
+            lines.append(
+                "%-28s %-10s %9.1f %8d %8d %6.3f %6.2f %12s"
+                % (
+                    obs.predicate[:28],
+                    (obs.relation or "-")[:10],
+                    obs.estimate,
+                    obs.rows_in,
+                    obs.rows_out,
+                    obs.observed_selectivity,
+                    obs.drift_ratio,
+                    blend_text,
+                )
+            )
+        return "\n".join(lines)
+
+    def _compile_plan(self, expr: "_ast.Expr", catalog: Catalog) -> Plan:
+        """Translate a relational DBPL expression into a query plan.
+
+        Supported shapes: a variable bound to a flat relation (becomes a
+        ``Scan``, registered in ``catalog`` — with fresh statistics when
+        the name was ``analyze``d), ``rjoin(a, b)``, ``rproject(a,
+        [labels])``, and ``rmatch(a, {field = literal, ...})`` (one
+        equality selection per field).
+        """
+        if isinstance(expr, _ast.Var):
+            value = self._interp._globals.lookup(expr.name)
+            if not isinstance(value, GeneralizedRelation):
+                raise EvalError("%s is not a relation" % expr.name)
+            schema = flat_schema_of(value)
+            if schema is None:
+                raise EvalError(
+                    "%s is not flat (partial or nested members); :explain"
+                    " plans over flat relations only" % expr.name
+                )
+            catalog.bind(expr.name, FlatRelation.from_generalized(value, schema))
+            if expr.name in self._table_stats:
+                catalog.analyze(expr.name)
+            return scan(expr.name)
+        if isinstance(expr, _ast.Apply) and isinstance(
+            expr.function, _ast.Var
+        ):
+            function = expr.function.name
+            arguments = expr.arguments
+            if function == "rjoin" and len(arguments) == 2:
+                return self._compile_plan(arguments[0], catalog).join(
+                    self._compile_plan(arguments[1], catalog)
+                )
+            if function == "rproject" and len(arguments) == 2:
+                labels_expr = arguments[1]
+                if not isinstance(labels_expr, _ast.ListLit) or not all(
+                    isinstance(e, _ast.StringLit)
+                    for e in labels_expr.elements
+                ):
+                    raise EvalError(
+                        ":explain needs a literal label list in rproject"
+                    )
+                return self._compile_plan(arguments[0], catalog).project(
+                    [e.value for e in labels_expr.elements]
+                )
+            if function == "rmatch" and len(arguments) == 2:
+                pattern = arguments[1]
+                if not isinstance(pattern, _ast.RecordLit):
+                    raise EvalError(
+                        ":explain needs a literal record pattern in rmatch"
+                    )
+                plan = self._compile_plan(arguments[0], catalog)
+                for label, field in pattern.fields:
+                    if not isinstance(
+                        field,
+                        (
+                            _ast.IntLit,
+                            _ast.FloatLit,
+                            _ast.StringLit,
+                            _ast.BoolLit,
+                        ),
+                    ):
+                        raise EvalError(
+                            ":explain needs scalar literals in the rmatch"
+                            " pattern; %s is not one" % label
+                        )
+                    plan = plan.where(eq(label, field.value))
+                return plan
+        raise EvalError(
+            ":explain supports relation variables, rjoin, rproject and"
+            " rmatch only"
+        )
+
+    def __repr__(self) -> str:
+        return "Session(%r, requests=%d)" % (self.session_id, self.requests)

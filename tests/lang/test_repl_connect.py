@@ -1,0 +1,196 @@
+"""The REPL as a thin client: ``:connect`` / ``:disconnect``."""
+
+import pytest
+
+from repro.lang.repl import Repl
+from repro.obs import events, monitor, slowlog
+from repro.obs.metrics import reset_metrics
+from repro.server import ServerThread
+
+
+@pytest.fixture(autouse=True)
+def clean_globals():
+    reset_metrics()
+    previous_journal = events.CURRENT
+    previous_monitor = monitor.CURRENT
+    previous_slowlog = slowlog.CURRENT
+    yield
+    events.set_journal(previous_journal)
+    monitor.set_monitor(previous_monitor)
+    slowlog.set_slowlog(previous_slowlog)
+    reset_metrics()
+
+
+@pytest.fixture
+def server():
+    with ServerThread(limit=4) as running:
+        yield running
+
+
+@pytest.fixture
+def repl(server):
+    lines = []
+    instance = Repl(writer=lines.append)
+    yield instance, lines, server
+    if instance.connected:
+        instance._remote.close()
+
+
+def connect(repl_fixture):
+    instance, lines, server = repl_fixture
+    instance.handle(":connect %s" % server.address)
+    assert instance.connected, lines[-1]
+    return instance, lines
+
+
+class TestConnect:
+    def test_connect_reports_session(self, repl):
+        instance, lines = connect(repl)
+        assert lines[-1].startswith("connected to")
+        assert "session s01" in lines[-1]
+
+    def test_remote_evaluation(self, repl):
+        instance, lines = connect(repl)
+        instance.handle("let x = 6 * 7")
+        instance.handle("x")
+        assert lines[-1] == "42"
+
+    def test_remote_errors_print_like_local_ones(self, repl):
+        instance, lines = connect(repl)
+        instance.handle("1 + true")
+        assert lines[-1].startswith("error: ")
+
+    def test_type_and_ast_route_remotely(self, repl):
+        instance, lines = connect(repl)
+        instance.handle("let n = 3")
+        instance.handle(":type n + 1")
+        assert lines[-1] == "Int"
+        instance.handle(":ast 1 + 2")
+        assert "1" in lines[-1]
+
+    def test_bad_address(self, repl):
+        instance, lines, __ = repl
+        instance.handle(":connect nowhere:eleventy")
+        assert lines[-1].startswith("error: bad port")
+        assert not instance.connected
+
+    def test_connection_refused(self, repl):
+        instance, lines, __ = repl
+        instance.handle(":connect 127.0.0.1:1")
+        assert lines[-1].startswith("error: cannot connect")
+        assert not instance.connected
+
+    def test_double_connect_refused(self, repl):
+        instance, lines = connect(repl)
+        instance.handle(":connect 127.0.0.1:9999")
+        assert "already connected" in lines[-1]
+
+
+class TestDisconnect:
+    def test_disconnect_returns_to_local_session(self, repl):
+        instance, lines = connect(repl)
+        instance.handle("let remote_only = 1")
+        instance.handle(":disconnect")
+        assert lines[-1].startswith("disconnected from")
+        assert not instance.connected
+        # Back on the local session: the remote binding is invisible.
+        instance.handle("remote_only")
+        assert lines[-1].startswith("error: ")
+
+    def test_disconnect_when_local(self, repl):
+        instance, lines, __ = repl
+        instance.handle(":disconnect")
+        assert lines[-1] == "not connected (local session)"
+
+    def test_local_bindings_survive_a_remote_excursion(self, repl):
+        instance, lines, server = repl
+        instance.handle("let keep = 5")
+        instance.handle(":connect %s" % server.address)
+        instance.handle(":disconnect")
+        instance.handle("keep")
+        assert lines[-1] == "5"
+
+
+class TestRemoteObservability:
+    def test_stats_round_trip(self, repl):
+        instance, lines = connect(repl)
+        instance.handle("1 + 1")
+        instance.handle(":stats")
+        assert "server.requests" in lines[-1]
+
+    def test_sessions_lists_remote_peers(self, repl):
+        instance, lines = connect(repl)
+        instance.handle(":sessions")
+        assert "1 active / 4 limit" in lines[-1]
+
+    def test_health_includes_server_probe(self, repl):
+        instance, lines = connect(repl)
+        instance.handle(":health")
+        assert "server.sessions" in lines[-1]
+
+    def test_watch_uses_injected_sleep(self, repl):
+        instance, lines = connect(repl)
+        naps = []
+        instance._sleep = naps.append
+        instance.handle(":watch 2")
+        assert naps == [1.0, 1.0]
+        assert lines[-3] == "watching for 2s (Ctrl-C stops early)"
+        assert lines[-1].startswith("monitor:")
+
+    def test_metrics_to_file(self, repl, tmp_path):
+        instance, lines = connect(repl)
+        instance.handle("1 + 1")
+        path = tmp_path / "remote.om"
+        instance.handle(":metrics %s" % path)
+        assert lines[-1] == "wrote %s" % path
+        assert "# EOF" in path.read_text()
+
+    def test_analyze_and_explain_remotely(self, repl):
+        instance, lines = connect(repl)
+        instance.handle(
+            'let emp = relation([{Name = "A", Salary = 10},'
+            ' {Name = "B", Salary = 20}])'
+        )
+        instance.handle(":analyze emp")
+        assert lines[-1] == "analyzed emp: 2 rows, 2 columns"
+        instance.handle(':explain rmatch(emp, {Name = "A"})')
+        assert "Scan" in lines[-1]
+
+    def test_local_only_commands_refuse(self, repl):
+        instance, lines = connect(repl)
+        for command in (":trace on", ":profile on", ":export /tmp/x.json"):
+            instance.handle(command)
+            assert "local-only" in lines[-1], command
+
+
+class TestTwoRepls:
+    def test_isolated_bindings_shared_extents(self, server):
+        first_lines, second_lines = [], []
+        first = Repl(writer=first_lines.append)
+        second = Repl(writer=second_lines.append)
+        first.handle(":connect %s" % server.address)
+        second.handle(":connect %s" % server.address)
+        try:
+            first.handle("let secret = 41")
+            first.handle('extern("vault", dynamic secret);')
+            second.handle("secret")
+            assert second_lines[-1].startswith("error: unbound variable")
+            second.handle('coerce intern("vault") to Int + 1')
+            assert second_lines[-1] == "42"
+        finally:
+            first.handle(":disconnect")
+            second.handle(":disconnect")
+
+    def test_lost_connection_falls_back_to_local(self):
+        lines = []
+        instance = Repl(writer=lines.append)
+        server = ServerThread().start()
+        instance.handle(":connect %s" % server.address)
+        assert instance.connected
+        server.stop()
+        instance.handle("1 + 1")
+        assert lines[-2].startswith("error: ")
+        assert lines[-1] == "(connection lost — back to the local session)"
+        assert not instance.connected
+        instance.handle("1 + 1")
+        assert lines[-1] == "2"

@@ -276,6 +276,48 @@ class TestHealthProbes:
         assert result.verdict == DEGRADED
         assert "r" in result.detail
 
+    def test_server_sessions_silent_without_a_server(self, registry):
+        from repro.obs.monitor import ServerSessionsProbe
+
+        probe = ServerSessionsProbe()
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == OK
+        assert result.detail == "no server running"
+
+    def test_server_sessions_reports_pressure(self, registry):
+        from repro.obs.monitor import ServerSessionsProbe
+
+        probe = ServerSessionsProbe(degraded_fraction=0.05)
+        journal = events.NoOpJournal()
+        registry.gauge("server.sessions.limit").set(4.0)
+        registry.gauge("server.sessions.active").set(2.0)
+        registry.counter("server.connections.accepted").inc(20)
+        result = probe.check(registry, journal)
+        assert result.verdict == OK
+        assert "2 of 4 session(s) active" in result.detail
+        # Two rejections in twenty-two attempts (9%) flips it.
+        registry.counter("server.connections.rejected").inc(2)
+        result = probe.check(registry, journal)
+        assert result.verdict == DEGRADED
+        assert "2 of 22 connection(s) rejected" in result.detail
+
+    def test_server_sessions_degrades_at_the_limit(self, registry):
+        from repro.obs.monitor import ServerSessionsProbe
+
+        probe = ServerSessionsProbe()
+        registry.gauge("server.sessions.limit").set(2.0)
+        registry.gauge("server.sessions.active").set(2.0)
+        registry.counter("server.connections.accepted").inc(2)
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == DEGRADED
+        assert result.detail.startswith("at connection limit")
+
+    def test_server_sessions_in_default_probe_set(self):
+        from repro.obs.monitor import ServerSessionsProbe, default_probes
+
+        probes = default_probes()
+        assert any(isinstance(p, ServerSessionsProbe) for p in probes)
+
     def test_health_report_publishes_warns_for_non_ok(self, registry):
         journal = events.EventJournal(capacity=64)
         registry.counter("store.checksum_failures").inc()

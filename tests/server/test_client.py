@@ -1,0 +1,83 @@
+"""The blocking client: addresses, typed errors, lifecycle."""
+
+import pytest
+
+from repro.errors import RemoteError, SessionClosedError
+from repro.obs.metrics import reset_metrics
+from repro.server import Client, ServerThread, parse_address
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("db.example.org:7474") == ("db.example.org", 7474)
+
+    def test_bare_port_means_localhost(self):
+        assert parse_address("7474") == ("127.0.0.1", 7474)
+
+    def test_empty_host_means_localhost(self):
+        assert parse_address(":7474") == ("127.0.0.1", 7474)
+
+    def test_empty_address(self):
+        with pytest.raises(ValueError, match="empty address"):
+            parse_address("   ")
+
+    def test_bad_port(self):
+        with pytest.raises(ValueError, match="bad port"):
+            parse_address("host:seventy")
+
+    def test_port_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            parse_address("host:70000")
+
+
+class TestClient:
+    def test_context_manager_says_bye(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                assert client.run("1 + 1")["value"] == "2"
+            # Closed: further use raises, locally, without a socket.
+            with pytest.raises(SessionClosedError, match="closed"):
+                client.run("1")
+
+    def test_remote_error_carries_kind(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.stat("flamegraph")
+                assert excinfo.value.kind == "EvalError"
+                assert "unknown stat kind" in str(excinfo.value)
+
+    def test_server_stop_surfaces_as_session_closed(self):
+        server = ServerThread().start()
+        client = Client(server.host, server.port)
+        assert client.run("2")["value"] == "2"
+        server.stop()
+        with pytest.raises(SessionClosedError):
+            client.run("3")
+
+    def test_connect_to_dead_port_raises_os_error(self):
+        with ServerThread() as server:
+            port = server.port
+        # The server (and its port) are gone now.
+        with pytest.raises(OSError):
+            Client("127.0.0.1", port, timeout=2.0)
+
+    def test_describe_names_the_session(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                assert "session s01" in client.describe()
+                assert repr(client).startswith("Client(")
+
+    def test_request_ids_are_sequential(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.run("1")
+                client.stat("health")
+                assert client._next_id == 2

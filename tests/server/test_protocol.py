@@ -1,0 +1,175 @@
+"""The wire format: framing, limits, and every way a frame can go bad."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import FrameTooLargeError, ProtocolError, TruncatedFrameError
+from repro.server import protocol
+from repro.server.protocol import (
+    HEADER,
+    MAX_FRAME,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+    error_frame,
+    read_frame,
+)
+
+
+class TestEncodeFrame:
+    def test_round_trip(self):
+        frame = encode_frame({"type": "run", "source": "1 + 1", "id": 7})
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size :]) == {
+            "type": "run",
+            "source": "1 + 1",
+            "id": 7,
+        }
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(["type", "run"])
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            encode_frame({"type": "run", "source": "x" * 100}, max_frame=64)
+        assert "exceeds the 64 byte limit" in str(excinfo.value)
+
+    def test_unicode_source_measured_in_bytes(self):
+        message = {"type": "run", "source": "é" * 40}
+        frame = encode_frame(message)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size :]) == message
+
+
+class TestDecodePayload:
+    def test_bad_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_payload(b"{nope")
+
+    def test_bad_utf8(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_payload(b"\xff\xfe")
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            decode_payload(json.dumps([1, 2]).encode())
+
+    def test_missing_type(self):
+        with pytest.raises(ProtocolError, match="no string 'type'"):
+            decode_payload(json.dumps({"source": "1"}).encode())
+
+    def test_non_string_type(self):
+        with pytest.raises(ProtocolError, match="no string 'type'"):
+            decode_payload(json.dumps({"type": 3}).encode())
+
+
+class TestErrorFrame:
+    def test_shape(self):
+        assert error_frame("boom") == {
+            "type": "error",
+            "error": "boom",
+            "kind": "protocol",
+        }
+
+    def test_echoes_request_id(self):
+        assert error_frame("boom", kind="busy", request_id=9)["id"] == 9
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        messages = decoder.feed(encode_frame({"type": "bye"}))
+        assert messages == [{"type": "bye"}]
+        assert decoder.pending == 0
+
+    def test_several_frames_in_one_chunk(self):
+        chunk = encode_frame({"type": "result", "id": 1}) + encode_frame(
+            {"type": "bye", "reason": "shutdown"}
+        )
+        decoder = FrameDecoder()
+        messages = decoder.feed(chunk)
+        assert [m["type"] for m in messages] == ["result", "bye"]
+
+    def test_byte_at_a_time(self):
+        frame = encode_frame({"type": "hello", "protocol": 1})
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(len(frame)):
+            collected.extend(decoder.feed(frame[i : i + 1]))
+        assert collected == [{"type": "hello", "protocol": 1}]
+
+    def test_split_across_header_boundary(self):
+        frame = encode_frame({"type": "bye"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:2]) == []
+        assert decoder.pending == 2
+        assert decoder.feed(frame[2:]) == [{"type": "bye"}]
+
+    def test_clean_eof(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame({"type": "bye"}))
+        assert decoder.feed(b"") == []
+
+    def test_truncated_eof(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame({"type": "bye"})[:5])
+        with pytest.raises(TruncatedFrameError, match="partial frame"):
+            decoder.feed(b"")
+
+    def test_oversized_header_condemns_without_buffering(self):
+        decoder = FrameDecoder(max_frame=128)
+        # Only the header arrives — the decoder must refuse from the
+        # declared length alone, before any payload exists.
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(struct.pack(">I", 1 << 20))
+
+    def test_default_limit_is_four_mebibytes(self):
+        assert MAX_FRAME == 4 * 1024 * 1024
+
+
+class _StubReader:
+    """An asyncio-reader stand-in driven by a byte script."""
+
+    def __init__(self, data):
+        self._data = data
+        self._pos = 0
+
+    async def readexactly(self, n):
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        if len(chunk) < n:
+            raise asyncio.IncompleteReadError(chunk, n)
+        return chunk
+
+
+class TestReadFrame:
+    def test_reads_one_frame(self):
+        reader = _StubReader(encode_frame({"type": "stat", "kind": "health"}))
+        message = asyncio.run(read_frame(reader))
+        assert message == {"type": "stat", "kind": "health"}
+
+    def test_clean_eof_returns_none(self):
+        assert asyncio.run(read_frame(_StubReader(b""))) is None
+
+    def test_eof_inside_header(self):
+        with pytest.raises(TruncatedFrameError, match="frame header"):
+            asyncio.run(read_frame(_StubReader(b"\x00\x00")))
+
+    def test_eof_inside_payload(self):
+        frame = encode_frame({"type": "bye"})
+        with pytest.raises(TruncatedFrameError, match="payload"):
+            asyncio.run(read_frame(_StubReader(frame[:-3])))
+
+    def test_oversized_rejected_from_header(self):
+        data = struct.pack(">I", 4096) + b"x" * 4096
+        with pytest.raises(FrameTooLargeError):
+            asyncio.run(read_frame(_StubReader(data), max_frame=1024))
+
+    def test_protocol_version_is_one(self):
+        assert protocol.PROTOCOL_VERSION == 1

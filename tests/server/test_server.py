@@ -1,0 +1,330 @@
+"""The server end to end: handshake, dispatch, limits, drain, hostility.
+
+Integration tests run a real :class:`ServerThread` on an ephemeral port
+and talk to it with the blocking :class:`Client` or a raw socket (for
+the deliberately malformed traffic a Client refuses to send).
+"""
+
+import socket
+import struct
+import threading
+import time
+from collections import deque
+
+import pytest
+
+from repro.errors import RemoteError, SessionClosedError
+from repro.obs import events, monitor, slowlog
+from repro.obs.metrics import REGISTRY, reset_metrics
+from repro.server import Client, ServerThread, protocol
+from repro.server.session import Session
+
+
+@pytest.fixture(autouse=True)
+def clean_globals():
+    reset_metrics()
+    previous_journal = events.CURRENT
+    previous_monitor = monitor.CURRENT
+    previous_slowlog = slowlog.CURRENT
+    yield
+    events.set_journal(previous_journal)
+    monitor.set_monitor(previous_monitor)
+    slowlog.set_slowlog(previous_slowlog)
+    reset_metrics()
+
+
+class RawConn:
+    """A hand-cranked connection for protocol-abuse tests."""
+
+    def __init__(self, port, handshake=True):
+        self.sock = socket.create_connection(
+            ("127.0.0.1", port), timeout=5.0
+        )
+        self.decoder = protocol.FrameDecoder()
+        self.pending = deque()
+        if handshake:
+            reply = self.hello()
+            assert reply["type"] == "hello", reply
+
+    def hello(self, version=protocol.PROTOCOL_VERSION):
+        self.send({"type": "hello", "protocol": version, "client": "raw"})
+        return self.read()
+
+    def send(self, message):
+        self.sock.sendall(protocol.encode_frame(message))
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def read(self):
+        while True:
+            if self.pending:
+                return self.pending.popleft()
+            chunk = self.sock.recv(65536)
+            self.pending.extend(self.decoder.feed(chunk))
+            if not self.pending and chunk == b"":
+                return None
+
+    def close(self):
+        self.sock.close()
+
+
+class SlowSession(Session):
+    """A session whose queries dawdle — for drain and disconnect tests."""
+
+    delay = 0.4
+
+    def run(self, source, mode="eval"):
+        time.sleep(self.delay)
+        return super().run(source, mode)
+
+
+class TestHandshake:
+    def test_grants_session_and_limits(self):
+        with ServerThread(limit=3) as server:
+            with Client(server.host, server.port) as client:
+                assert client.session_id == "s01"
+                assert client.server == "repro-server/1"
+                assert client.limits["max_frame"] == protocol.MAX_FRAME
+
+    def test_version_mismatch_rejected(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port, handshake=False)
+            reply = conn.hello(version=99)
+            assert reply["type"] == "error"
+            assert reply["kind"] == "version"
+            assert "server speaks 1" in reply["error"]
+            conn.close()
+
+    def test_first_frame_must_be_hello(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port, handshake=False)
+            conn.send({"type": "run", "source": "1"})
+            reply = conn.read()
+            assert reply["type"] == "error"
+            assert "expected a hello frame" in reply["error"]
+            conn.close()
+
+
+class TestDispatch:
+    def test_run_and_stat_round_trip(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.run("let x = 6 * 7")
+                assert client.run("x")["value"] == "42"
+                text = client.stat("sessions")["text"]
+                assert "1 active" in text
+
+    def test_language_errors_come_back_typed(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                with pytest.raises(RemoteError) as excinfo:
+                    client.run("1 + true")
+                assert excinfo.value.kind == "TypeCheckError"
+                # The connection survives a failed request.
+                assert client.run("2")["value"] == "2"
+
+    def test_bad_run_frame_is_an_error_not_a_hangup(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port)
+            conn.send({"type": "run", "source": 42, "id": 1})
+            reply = conn.read()
+            assert reply["type"] == "error"
+            assert reply["id"] == 1
+            conn.send({"type": "run", "source": "1", "id": 2})
+            assert conn.read()["type"] == "result"
+            conn.close()
+
+    def test_unknown_frame_type_keeps_connection_open(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port)
+            conn.send({"type": "hello", "protocol": 1, "id": 5})
+            reply = conn.read()
+            assert reply["type"] == "error"
+            assert "unknown message type" in reply["error"]
+            assert reply["id"] == 5
+            conn.send({"type": "run", "source": "3 * 3", "id": 6})
+            assert conn.read()["value"] == "9"
+            conn.close()
+
+    def test_request_metrics_recorded(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.run("1")
+                client.stat("health")
+        assert REGISTRY.counter("server.requests").value >= 2
+        histogram = REGISTRY.histogram("server.request.seconds")
+        assert histogram.count >= 2
+
+
+class TestProtocolAbuse:
+    def test_oversized_frame_refused_and_hung_up(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port)
+            conn.send_raw(struct.pack(">I", protocol.MAX_FRAME + 1))
+            reply = conn.read()
+            assert reply["type"] == "error"
+            assert "exceeds" in reply["error"]
+            assert conn.read() is None  # server hung up
+            conn.close()
+
+    def test_truncated_frame_leaves_server_alive(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port)
+            conn.send_raw(struct.pack(">I", 100) + b'{"type":')
+            conn.close()  # vanish mid-frame
+            # The server shrugs it off and keeps serving.
+            with Client(server.host, server.port) as client:
+                assert client.run("1 + 1")["value"] == "2"
+
+    def test_garbage_payload_answered_with_error(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port)
+            conn.send_raw(struct.pack(">I", 4) + b"{{{{")
+            reply = conn.read()
+            assert reply["type"] == "error"
+            assert "JSON" in reply["error"]
+            conn.close()
+
+    def test_client_disconnect_mid_query_leaves_others_working(self):
+        with ServerThread(session_factory=SlowSession) as server:
+            victim = RawConn(server.port)
+            victim.send({"type": "run", "source": "1 + 1", "id": 1})
+            victim.close()  # gone before the reply exists
+            with Client(server.host, server.port) as client:
+                assert client.run("20 + 1")["value"] == "21"
+        assert REGISTRY.counter("server.connections.lost").value >= 0
+
+
+class TestIsolationOverTheWire:
+    def test_private_bindings_shared_extents(self, tmp_path):
+        store = str(tmp_path / "shared.log")
+        with ServerThread(store=store) as server:
+            with Client(server.host, server.port) as first, Client(
+                server.host, server.port
+            ) as second:
+                assert first.session_id != second.session_id
+                first.run("let secret = 41")
+                first.run('extern("vault", dynamic secret);')
+                with pytest.raises(RemoteError) as excinfo:
+                    second.run("secret")
+                assert "unbound variable" in str(excinfo.value)
+                reply = second.run('coerce intern("vault") to Int + 1')
+                assert reply["value"] == "42"
+
+    def test_memory_extents_shared_without_a_store(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as first, Client(
+                server.host, server.port
+            ) as second:
+                first.run('extern("m", dynamic [1, 2, 3]);')
+                reply = second.run(
+                    'sum(coerce intern("m") to List[Int])'
+                )
+                assert reply["value"] == "6"
+
+
+class TestAdmission:
+    def test_connection_limit_bounces_with_busy(self):
+        with ServerThread(limit=1, queue_limit=0) as server:
+            first = Client(server.host, server.port)
+            with pytest.raises(RemoteError) as excinfo:
+                Client(server.host, server.port)
+            assert excinfo.value.kind == "busy"
+            assert "connection limit" in str(excinfo.value)
+            first.close()
+        assert REGISTRY.counter("server.connections.rejected").value == 1
+
+    def test_queued_connection_gets_the_freed_slot(self):
+        with ServerThread(limit=1, queue_limit=1) as server:
+            first = Client(server.host, server.port)
+            admitted = {}
+
+            def wait_for_slot():
+                with Client(server.host, server.port) as second:
+                    admitted["session"] = second.session_id
+                    admitted["value"] = second.run("5 * 5")["value"]
+
+            waiter = threading.Thread(target=wait_for_slot)
+            waiter.start()
+            time.sleep(0.2)  # let the waiter reach the queue
+            assert not admitted  # still parked, not rejected
+            first.close()
+            waiter.join(timeout=5.0)
+            assert admitted["value"] == "25"
+        assert REGISTRY.counter("server.connections.queued").value == 1
+
+    def test_sessions_stat_counts_peers(self):
+        with ServerThread(limit=4) as server:
+            with Client(server.host, server.port) as first, Client(
+                server.host, server.port
+            ) as second:
+                text = first.stat("sessions")["text"]
+                assert "2 active / 4 limit" in text
+                assert second.session_id in text
+
+
+class TestIdleTimeout:
+    def test_idle_session_gets_bye(self):
+        with ServerThread(idle_timeout=0.2) as server:
+            conn = RawConn(server.port)
+            reply = conn.read()  # blocks until the server times us out
+            assert reply == {"type": "bye", "reason": "idle"}
+            conn.close()
+        assert REGISTRY.counter("server.sessions.idle_closed").value == 1
+
+
+class TestGracefulDrain:
+    def test_in_flight_query_finishes_before_shutdown(self):
+        server = ServerThread(session_factory=SlowSession).start()
+        client = Client(server.host, server.port)
+        finished = {}
+
+        def slow_query():
+            finished["reply"] = client.run("6 * 7")
+
+        query = threading.Thread(target=slow_query)
+        query.start()
+        time.sleep(0.1)  # the run frame is in flight
+        server.stop()  # drain: must deliver the result, then bye
+        query.join(timeout=5.0)
+        assert finished["reply"]["value"] == "42"
+        # The connection was then closed by the shutdown bye.
+        with pytest.raises(SessionClosedError, match="bye"):
+            client.run("1")
+        assert REGISTRY.counter("server.shutdown.drained").value >= 1
+
+    def test_idle_connections_get_shutdown_bye(self):
+        server = ServerThread().start()
+        conn = RawConn(server.port)
+        server.stop()
+        assert conn.read() == {"type": "bye", "reason": "shutdown"}
+        conn.close()
+
+    def test_new_connections_refused_while_draining(self):
+        server = ServerThread().start()
+        server.stop()
+        with pytest.raises((ConnectionError, OSError)):
+            Client(server.host, server.port)
+
+
+class TestHealthOverTheWire:
+    def test_health_stat_includes_session_probe(self):
+        with ServerThread(limit=2) as server:
+            with Client(server.host, server.port) as client:
+                text = client.stat("health")["text"]
+                assert "server.sessions" in text
+                assert "1 of 2 session(s) active" in text
+
+    def test_metrics_stat_parses_as_openmetrics(self):
+        from repro.obs.monitor import parse_openmetrics
+
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.run("1")
+                parsed = parse_openmetrics(client.stat("metrics")["text"])
+                assert parsed["eof"]
+                assert any(
+                    name.startswith("server_requests")
+                    for name in parsed["counters"]
+                )

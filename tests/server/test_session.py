@@ -1,0 +1,216 @@
+"""Sessions: run modes, the stat surface, and isolation over shared state."""
+
+import pytest
+
+from repro.errors import EvalError, SessionClosedError, TypeCheckError
+from repro.obs import events, monitor, slowlog
+from repro.obs.metrics import reset_metrics
+from repro.persistence.store import LogStore
+from repro.server.session import STAT_KINDS, Session
+
+
+@pytest.fixture(autouse=True)
+def clean_globals():
+    reset_metrics()
+    previous_journal = events.CURRENT
+    previous_monitor = monitor.CURRENT
+    previous_slowlog = slowlog.CURRENT
+    yield
+    events.set_journal(previous_journal)
+    monitor.set_monitor(previous_monitor)
+    slowlog.set_slowlog(previous_slowlog)
+    reset_metrics()
+
+
+class TestRun:
+    def test_eval_returns_formatted_value(self):
+        session = Session()
+        reply = session.run("2 + 3")
+        assert reply["value"] == "5"
+        assert reply["output"] == []
+        assert reply["elapsed"] >= 0.0
+
+    def test_declaration_has_no_value(self):
+        session = Session()
+        assert session.run("let x = 1")["value"] is None
+        assert session.run("x")["value"] == "1"
+
+    def test_output_lines_are_per_run(self):
+        session = Session()
+        first = session.run('print("a"); print("b"); 1')
+        second = session.run('print("c"); 2')
+        assert first["output"] == ['"a"', '"b"']
+        assert second["output"] == ['"c"']
+
+    def test_type_mode_does_not_commit(self):
+        session = Session()
+        assert session.run("let y = 1", mode="type")["value"] == "<declaration>"
+        with pytest.raises(TypeCheckError):
+            session.run("y")
+
+    def test_type_mode_sees_session_bindings(self):
+        session = Session()
+        session.run("let n = 4")
+        assert session.run("n * n", mode="type")["value"] == "Int"
+
+    def test_ast_mode(self):
+        session = Session()
+        assert "1" in session.run("1 + 2", mode="ast")["value"]
+
+    def test_unknown_mode(self):
+        with pytest.raises(EvalError, match="unknown run mode"):
+            Session().run("1", mode="compile")
+
+    def test_errors_propagate(self):
+        with pytest.raises(TypeCheckError):
+            Session().run("1 + true")
+
+
+class TestIsolation:
+    def test_bindings_are_private_extents_are_shared_in_memory(self):
+        shared = {}
+        first = Session(session_id="a", memory_store=shared)
+        second = Session(session_id="b", memory_store=shared)
+        first.run("let secret = 41")
+        first.run('extern("x", dynamic secret);')
+        with pytest.raises(TypeCheckError):
+            second.run("secret")
+        reply = second.run('coerce intern("x") to Int + 1')
+        assert reply["value"] == "42"
+
+    def test_extents_are_shared_through_a_log_store(self, tmp_path):
+        store = LogStore(str(tmp_path / "shared.log"))
+        try:
+            first = Session(store=store, session_id="a")
+            second = Session(store=store, session_id="b")
+            first.run('extern("n", dynamic 7);')
+            assert second.run('coerce intern("n") to Int')["value"] == "7"
+        finally:
+            store.close()
+
+
+class TestLifecycle:
+    def test_closed_session_refuses(self):
+        session = Session(session_id="s01")
+        session.close()
+        with pytest.raises(SessionClosedError, match="s01"):
+            session.run("1")
+        with pytest.raises(SessionClosedError):
+            session.stat("health")
+
+    def test_requests_counted(self):
+        session = Session()
+        session.run("1")
+        session.stat("health")
+        assert session.requests == 2
+        assert "2 request(s)" in session.describe()
+
+    def test_scoped_journal_tags_session(self):
+        events.enable()
+        session = Session(session_id="s42", publish_runs=True)
+        session.run("1 + 1")
+        mine = session.journal.events(10)
+        assert mine, "publish_runs should journal each request"
+        assert all(e.payload.get("session") == "s42" for e in mine)
+
+    def test_local_repl_sessions_do_not_journal_runs(self):
+        events.enable()
+        before = len(events.CURRENT.events(100))
+        Session().run("1 + 1")
+        assert len(events.CURRENT.events(100)) == before
+
+
+class TestStat:
+    def test_unknown_kind(self):
+        with pytest.raises(EvalError, match="unknown stat kind"):
+            Session().stat("flamegraph")
+
+    def test_every_declared_kind_has_a_handler(self):
+        session = Session()
+        for kind in STAT_KINDS:
+            assert hasattr(session, "_stat_%s" % kind)
+
+    def test_stats_reports_registry(self):
+        session = Session()
+        session.run("1 + 1")
+        assert "lang.runs" in session.stat("stats", target="")["text"]
+
+    def test_stats_reset(self):
+        session = Session()
+        assert session.stat("stats", target="reset")["text"] == "metrics reset"
+
+    def test_analyze_then_stats(self):
+        session = Session()
+        session.run(
+            "let emp = relation(["
+            '{Name = "A", Salary = 10}, {Name = "B", Salary = 20}])'
+        )
+        reply = session.stat("analyze", name="emp")
+        assert reply["text"] == "analyzed emp: 2 rows, 2 columns"
+        assert session.stat("stats", target="emp")["text"].startswith(
+            "emp: 2 rows"
+        )
+
+    def test_analyze_non_relation(self):
+        session = Session()
+        session.run("let n = 3")
+        with pytest.raises(EvalError, match="not a relation"):
+            session.stat("analyze", name="n")
+
+    def test_explain_runs_a_plan(self):
+        session = Session()
+        session.run(
+            "let emp = relation(["
+            '{Name = "A", Salary = 10}, {Name = "B", Salary = 20}])'
+        )
+        text = session.stat(
+            "explain", source='rmatch(emp, {Name = "A"})'
+        )["text"]
+        assert "Scan" in text
+
+    def test_health_text(self):
+        text = Session().stat("health")["text"]
+        assert "store.integrity" in text
+        assert "server.sessions" in text
+
+    def test_metrics_round_trips_openmetrics(self):
+        from repro.obs.monitor import parse_openmetrics
+
+        session = Session()
+        session.run("1")
+        parsed = parse_openmetrics(session.stat("metrics")["text"])
+        assert parsed["eof"]
+        assert any(
+            name.startswith("lang_runs") for name in parsed["counters"]
+        )
+
+    def test_watch_renders(self):
+        text = Session().stat("watch", horizon=5.0)["text"]
+        assert text.startswith("monitor:")
+
+    def test_events_toggle_and_show(self):
+        session = Session()
+        assert session.stat("events", action="on")["text"] == "journal on"
+        session.run("1")
+        events.publish("INFO", "test", "ping")
+        shown = session.stat("events", action="show", count=5)["text"]
+        assert "ping" in shown
+        assert session.stat("events", action="off")["text"] == "journal off"
+        assert (
+            session.stat("events", action="show")["text"]
+            == "journal is off — :events on"
+        )
+
+    def test_adaptive_status(self):
+        text = Session().stat("adaptive", action="status")["text"]
+        assert text.startswith("adaptive estimation is")
+
+    def test_sessions_without_broker(self):
+        text = Session(session_id="solo").stat("sessions")["text"]
+        assert "single local session" in text
+        assert "solo" in text
+
+    def test_slow_toggle(self):
+        session = Session()
+        assert "slow-query log on" in session.stat("slow", action="on")["text"]
+        assert session.stat("slow", action="off")["text"] == "slow-query log off"
