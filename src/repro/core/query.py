@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+from repro.core import columnar as _columnar
 from repro.core.flat import FlatRelation
 from repro.core.orders import AtomPayload
 from repro.errors import RelationError
@@ -429,6 +430,44 @@ class IndexScan(Plan):
         return "IndexScan(%s)[%s]" % (self.name, self.predicate)
 
 
+@dataclass(frozen=True)
+class ColumnarExec(Plan):
+    """Vectorized execution of an eligible flat subtree.
+
+    Planted by :func:`optimize` (see :func:`_lower_columnar`) around a
+    Scan/Select/Project/Join subtree whose inputs are flat relations —
+    all-ground, single-signature, exactly the shape the kernel's
+    fastpath already proves safe.  Executes the *whole* subtree on the
+    array kernels of :mod:`repro.core.columnar` — per-attribute value
+    arrays, selection vectors, batch hash joins — and hands back a
+    lazily materialized :class:`~repro.core.flat.FlatRelation`, so
+    everything above (row operators, ``EXPLAIN``, result equality) is
+    oblivious to the representation change.
+
+    ``children()`` is empty — the inner plan is an implementation
+    detail the node evaluates itself — but ``explain`` renders the
+    inner tree beneath it with the columnar operator names (``CScan``,
+    ``CFilter``, ``CProject``, ``CHashJoin``), and ``explain_analyze``
+    times every inner operator, reporting batch counts and rows/sec.
+    """
+
+    inner: Plan
+
+    def schema(self, catalog) -> Tuple[str, ...]:
+        return self.inner.schema(catalog)
+
+    def estimate(self, catalog) -> float:
+        return self.inner.estimate(catalog)
+
+    def _apply(self, catalog) -> FlatRelation:
+        (rel, sel), __ = _ceval(self.inner, catalog, timed=False)
+        _metrics.REGISTRY.counter("columnar.exec").inc()
+        return _columnar.to_flat(rel, sel)
+
+    def label(self) -> str:
+        return "ColumnarExec"
+
+
 def scan(name: str) -> Scan:
     """A catalog scan (entry point of the fluent plan builders)."""
     return Scan(name)
@@ -580,6 +619,8 @@ def optimize(plan: Plan, catalog, refresh_stats: bool = True) -> Plan:
     plan = _use_indexes(plan, catalog)
     plan = _order_joins(plan, catalog)
     plan = _push_projections(plan, catalog, needed=None)
+    if _columnar_live(catalog):
+        plan = _lower_columnar(plan, catalog)
     if _events.CURRENT.enabled:
         names: set = set()
         _base_names(plan, names)
@@ -590,6 +631,7 @@ def optimize(plan: Plan, catalog, refresh_stats: bool = True) -> Plan:
             relations=",".join(sorted(names)),
             estimate=plan.estimate(catalog),
             rewritten=plan is not original,
+            columnar=isinstance(plan, ColumnarExec),
         )
     return plan
 
@@ -598,6 +640,8 @@ def _base_names(plan: Plan, names: set) -> None:
     """Collect every base-relation name the plan tree reads."""
     if isinstance(plan, (Scan, IndexScan)):
         names.add(plan.name)
+    elif isinstance(plan, ColumnarExec):
+        _base_names(plan.inner, names)
     for child in plan.children():
         _base_names(child, names)
 
@@ -838,16 +882,201 @@ def _maybe_project(plan: Plan, needed, schema) -> Plan:
 
 
 # ---------------------------------------------------------------------------
+# Columnar lowering and evaluation
+# ---------------------------------------------------------------------------
+
+# Predicate operators the vectorized filter kernel implements; a Select
+# using anything else keeps its subtree row-at-a-time.
+_COLUMNAR_OPS = frozenset(("==", "!=", "<", "<=", ">", ">=", "attr=="))
+
+
+def _columnar_live(catalog) -> bool:
+    """Is columnar lowering applicable to this catalog right now?
+
+    The same two gates as adaptive estimation: the process-global
+    switch (:data:`repro.core.columnar.COLUMNAR`) and the catalog's own
+    ``columnar`` flag (absent on plain dicts — treated as opted in, so
+    the global switch alone governs them).
+    """
+    return _columnar.COLUMNAR.enabled and getattr(catalog, "columnar", True)
+
+
+def _columnar_eligible(plan: Plan) -> bool:
+    """Can the array kernels evaluate this whole subtree?
+
+    Scans of flat relations qualify by construction (a FlatRelation is
+    all-ground over a single signature — the same property the
+    generalized kernel's fastpath detects); selections need a kernel
+    operator, projections distinct attributes.  ``IndexScan`` stays
+    row-wise: its probe is already sub-linear, so there is nothing to
+    vectorize.
+    """
+    if isinstance(plan, Scan):
+        return True
+    if isinstance(plan, Select):
+        return plan.predicate.op in _COLUMNAR_OPS and _columnar_eligible(
+            plan.child
+        )
+    if isinstance(plan, Project):
+        return len(set(plan.attributes)) == len(
+            plan.attributes
+        ) and _columnar_eligible(plan.child)
+    if isinstance(plan, Join):
+        return _columnar_eligible(plan.left) and _columnar_eligible(
+            plan.right
+        )
+    return False
+
+
+def _scan_input_rows(plan: Plan, catalog) -> float:
+    """Total base-table rows the subtree's scans will read."""
+    if isinstance(plan, Scan):
+        return float(len(_relation(catalog, plan.name)))
+    return sum(_scan_input_rows(child, catalog) for child in plan.children())
+
+
+def _lower_columnar(plan: Plan, catalog) -> Plan:
+    """Wrap maximal eligible subtrees in :class:`ColumnarExec`.
+
+    Top-down: the largest eligible subtree whose input volume clears
+    the cost model's :meth:`~repro.stats.cost.CostModel.prefer_columnar`
+    decision is lowered whole; otherwise the pass recurses, so an
+    eligible branch below an ineligible operator (an IndexScan sibling,
+    say) still runs vectorized.
+    """
+    if _columnar_eligible(plan) and COST_MODEL.prefer_columnar(
+        _scan_input_rows(plan, catalog)
+    ):
+        _metrics.REGISTRY.counter("columnar.lowered").inc()
+        return ColumnarExec(plan)
+    if isinstance(plan, Select):
+        return Select(plan.predicate, _lower_columnar(plan.child, catalog))
+    if isinstance(plan, Project):
+        return Project(plan.attributes, _lower_columnar(plan.child, catalog))
+    if isinstance(plan, Join):
+        return Join(
+            _lower_columnar(plan.left, catalog),
+            _lower_columnar(plan.right, catalog),
+        )
+    return plan
+
+
+def _columnar_label(plan: Plan) -> str:
+    """The columnar operator name of one lowered plan node."""
+    if isinstance(plan, Scan):
+        return "CScan(%s)" % plan.name
+    if isinstance(plan, Select):
+        return "CFilter[%s]" % plan.predicate
+    if isinstance(plan, Project):
+        return "CProject[%s]" % ", ".join(plan.attributes)
+    if isinstance(plan, Join):
+        return "CHashJoin"
+    return plan.label()
+
+
+def _ceval(plan: Plan, catalog, timed: bool):
+    """Evaluate an eligible subtree on the columnar kernels.
+
+    Returns ``((relation, selection), stats)`` — the columnar state
+    flowing between operators, plus a :class:`NodeStats` tree when
+    ``timed`` (the EXPLAIN ANALYZE path; ``None`` otherwise).  Batch
+    and row counts always land in ``columnar.batches``/
+    ``columnar.rows``; with the profiler on, each operator records
+    under its columnar label.
+    """
+    profiler = _profile.CURRENT
+    measure = timed or profiler.enabled
+    child_outs = []
+    child_stats: List[NodeStats] = []
+    child_rows: List[int] = []
+    for child in plan.children():
+        out, stats = _ceval(child, catalog, timed)
+        child_outs.append(out)
+        child_stats.append(stats)
+        rel, sel = out
+        child_rows.append(rel.nrows if sel is None else len(sel))
+    started = time.perf_counter() if measure else 0.0
+    if isinstance(plan, Scan):
+        rel = _columnar.scan(_relation(catalog, plan.name))
+        sel = None
+        batches = _columnar.batch_count(rel.nrows)
+    elif isinstance(plan, Select):
+        rel, child_sel = child_outs[0]
+        predicate = plan.predicate
+        sel, batches = _columnar.filter_sel(
+            rel,
+            child_sel,
+            predicate.op,
+            predicate.attribute,
+            predicate.operand,
+        )
+    elif isinstance(plan, Project):
+        rel, batches = _columnar.project(*child_outs[0], plan.attributes)
+        sel = None
+    elif isinstance(plan, Join):
+        rel, batches = _columnar.hash_join(*child_outs[0], *child_outs[1])
+        sel = None
+    else:
+        raise RelationError(
+            "plan node %s is not columnar-eligible" % plan.label()
+        )
+    rows_out = rel.nrows if sel is None else len(sel)
+    registry = _metrics.REGISTRY
+    registry.counter("columnar.batches").inc(batches)
+    registry.counter("columnar.rows").inc(rows_out)
+    node_stats: Optional[NodeStats] = None
+    if measure:
+        elapsed = time.perf_counter() - started
+        label = _columnar_label(plan)
+        if profiler.enabled:
+            profiler.record(label, elapsed, rows_out=rows_out)
+        if timed:
+            estimate = plan.estimate(catalog)
+            static_estimate = None
+            if isinstance(plan, Select) and _adaptive_live(catalog):
+                with _adaptive.ADAPTIVE.suppressed():
+                    static_estimate = plan.estimate(catalog)
+            node_stats = NodeStats(
+                label=label,
+                estimate=estimate,
+                rows_in=tuple(child_rows),
+                rows_out=rows_out,
+                self_seconds=elapsed,
+                total_seconds=elapsed
+                + sum(s.total_seconds for s in child_stats),
+                children=child_stats,
+                batches=batches,
+                static_estimate=static_estimate,
+            )
+    return (rel, sel), node_stats
+
+
+# ---------------------------------------------------------------------------
 # Introspection
 # ---------------------------------------------------------------------------
 
 
 def explain(plan: Plan, indent: int = 0) -> str:
-    """An indented rendering of the plan tree."""
+    """An indented rendering of the plan tree.
+
+    A :class:`ColumnarExec` executes its inner plan itself (it has no
+    children), but the rendering still shows the lowered tree beneath
+    it under the columnar operator names.
+    """
     pad = "  " * indent
     lines = [pad + plan.label()]
+    if isinstance(plan, ColumnarExec):
+        lines.append(_explain_columnar(plan.inner, indent + 1))
     for child in plan.children():
         lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _explain_columnar(plan: Plan, indent: int) -> str:
+    pad = "  " * indent
+    lines = [pad + _columnar_label(plan)]
+    for child in plan.children():
+        lines.append(_explain_columnar(child, indent + 1))
     return "\n".join(lines)
 
 
@@ -873,6 +1102,10 @@ class NodeStats:
     # checked vs. pairs the hash partitioning discarded unexamined.
     pairs_tried: int = 0
     pairs_pruned: int = 0
+    # Array chunks a columnar operator swept (0 for row operators);
+    # rendered with the operator's rows/sec so the vectorized path is
+    # visible per node in EXPLAIN ANALYZE.
+    batches: int = 0
     # The statistics-only estimate this node would have carried with
     # adaptive feedback suppressed; ``None`` when adaptivity was not
     # live for the node (so no second estimate was computed).
@@ -921,6 +1154,53 @@ class NodeStats:
                 yield descendant
 
 
+def _analyze_columnar(
+    plan: ColumnarExec, catalog
+) -> Tuple[FlatRelation, NodeStats]:
+    """The :func:`analyze` arm for a lowered subtree.
+
+    The inner operators run through :func:`_ceval` with timing on, so
+    the stats tree carries one node per columnar operator — batch
+    counts included — under the ``ColumnarExec`` root; selection nodes
+    still feed the adaptive store, exactly like their row twins.
+    """
+    registry = _metrics.REGISTRY
+    started = time.perf_counter()
+    (rel, sel), inner_stats = _ceval(plan.inner, catalog, timed=True)
+    result = _columnar.to_flat(rel, sel)
+    total_seconds = time.perf_counter() - started
+    registry.counter("columnar.exec").inc()
+    registry.counter("query.nodes").inc()
+    registry.counter("query.rows_out").inc(len(result))
+    self_seconds = max(total_seconds - inner_stats.total_seconds, 0.0)
+    registry.histogram("query.node.seconds").observe(self_seconds)
+    stats = NodeStats(
+        label=plan.label(),
+        estimate=plan.estimate(catalog),
+        rows_in=(inner_stats.rows_out,),
+        rows_out=len(result),
+        self_seconds=self_seconds,
+        total_seconds=total_seconds,
+        children=[inner_stats],
+        batches=sum(node.batches for node in inner_stats.walk()),
+    )
+    registry.histogram("query.estimate.drift").observe(stats.drift_ratio)
+    if stats.drift_ratio > 2.0:
+        registry.counter("query.estimate.misses").inc()
+    profiler = _profile.CURRENT
+    if profiler.enabled:
+        profiler.record(stats.label, self_seconds, rows_out=len(result))
+    _columnar_feedback(plan.inner, inner_stats, catalog)
+    return result, stats
+
+
+def _columnar_feedback(plan: Plan, stats: NodeStats, catalog) -> None:
+    """Feed every lowered selection's observation to the adaptive store."""
+    _record_feedback(plan, stats, catalog)
+    for child, child_stats in zip(plan.children(), stats.children):
+        _columnar_feedback(child, child_stats, catalog)
+
+
 def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
     """Execute ``plan`` measuring each node; returns (result, stats tree).
 
@@ -929,7 +1209,11 @@ def analyze(plan: Plan, catalog) -> Tuple[FlatRelation, NodeStats]:
     around ``execute``, which would fold the subtree in.  Per-node
     cardinalities and timings also land in the global metrics registry
     (``query.nodes``, ``query.rows_out``, ``query.node.seconds``).
+    A :class:`ColumnarExec` node is measured operator-by-operator on
+    the columnar side instead (see :func:`_analyze_columnar`).
     """
+    if isinstance(plan, ColumnarExec):
+        return _analyze_columnar(plan, catalog)
     child_results: List[FlatRelation] = []
     child_stats: List[NodeStats] = []
     for child in plan.children():
@@ -1003,6 +1287,9 @@ def _base_relation_name(plan: Plan) -> Optional[str]:
     while True:
         if isinstance(plan, (Scan, IndexScan)):
             return plan.name
+        if isinstance(plan, ColumnarExec):
+            plan = plan.inner
+            continue
         children = plan.children()
         if len(children) != 1:
             return None
@@ -1062,9 +1349,15 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
         corrected_text = "  (corrected by feedback: static=%.1f)" % (
             stats.static_estimate,
         )
+    batches_text = ""
+    if stats.batches:
+        batches_text = "  (columnar batches=%d rows/s=%.3g)" % (
+            stats.batches,
+            stats.rows_out / max(stats.self_seconds, 1e-9),
+        )
     lines = [
         "%s%s  (estimate=%.1f)  (actual %srows=%d self=%.3fms total=%.3fms"
-        " drift=%.2fx)%s%s"
+        " drift=%.2fx)%s%s%s"
         % (
             pad,
             stats.label,
@@ -1075,6 +1368,7 @@ def _render_analyzed(stats: NodeStats, indent: int) -> List[str]:
             stats.total_seconds * 1000.0,
             stats.drift_ratio,
             pairs_text,
+            batches_text,
             corrected_text,
         )
     ]

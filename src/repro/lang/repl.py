@@ -29,6 +29,11 @@ for ``extern``/``intern``).  Commands:
   planner blends observed selectivities from past ``:explain`` runs
   into its estimates; ``main()`` turns it on for interactive
   sessions);
+* ``:columnar on|off`` — toggle vectorized columnar execution (the
+  optimizer lowers eligible flat plan subtrees onto array kernels
+  behind a ``ColumnarExec`` node — ``:explain`` then shows ``CScan``/
+  ``CFilter``/``CProject``/``CHashJoin`` operators with batch counts;
+  ``main()`` turns it on for interactive sessions);
 * ``:analyze <name>`` — collect column statistics (row/distinct counts,
   null fractions, most-common values, equi-depth histograms) for a
   session relation, feeding the cost-based optimizer;
@@ -69,6 +74,7 @@ import sys
 import time
 from typing import Callable, List, Optional
 
+from repro.core import columnar as _columnar
 from repro.errors import ReproError, ServerError
 from repro.lang.eval import Interpreter
 from repro.obs import events as _events
@@ -84,8 +90,8 @@ BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
     "reproduction.  :type E, :ast E, :load FILE, :connect HOST:PORT,\n"
     ":trace on|off, :events [n], :export FILE, :profile on|off, :stats,\n"
-    ":analyze R, :explain E, :adaptive on|off, :health, :slow [n],\n"
-    ":watch S, :metrics [PATH], :sessions, :quit\n"
+    ":analyze R, :explain E, :adaptive on|off, :columnar on|off,\n"
+    ":health, :slow [n], :watch S, :metrics [PATH], :sessions, :quit\n"
 )
 
 # Commands that only make sense against this process's observability
@@ -179,6 +185,8 @@ class Repl:
             self._explain_command(argument)
         elif command == ":adaptive":
             self._adaptive_command(argument)
+        elif command == ":columnar":
+            self._columnar_command(argument)
         elif command == ":health":
             self._health_command(argument)
         elif command == ":slow":
@@ -343,6 +351,15 @@ class Repl:
         else:
             self._write("usage: :adaptive on|off")
 
+    def _columnar_command(self, argument: str) -> None:
+        argument = argument.strip().lower()
+        if argument in ("on", "off"):
+            self._stat(lambda b: b.stat("columnar", action=argument))
+        elif not argument:
+            self._stat(lambda b: b.stat("columnar", action="status"))
+        else:
+            self._write("usage: :columnar on|off")
+
     def _health_command(self, argument: str) -> None:
         if argument.strip():
             self._write("usage: :health")
@@ -499,9 +516,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     # never asked for them in advance — so the journal must be live
     # before the store replays its log.  Adaptive estimation is on for
     # the same reason: repeated :explain runs should self-correct
-    # (:adaptive off restores purely static estimates).
+    # (:adaptive off restores purely static estimates).  Columnar
+    # execution is on because interactive queries should run at the
+    # vectorized speed by default (:columnar off restores row-at-a-time
+    # plans).
     _events.enable()
     _adaptive.enable()
+    _columnar.enable()
     repl = Repl(store)
     print(BANNER)
     while not repl.done:

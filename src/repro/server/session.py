@@ -14,8 +14,8 @@ the wire protocol:
   ``type`` / ``ast``), returning the formatted value and output lines;
 * :meth:`Session.stat` — the observability surface behind ``:stats``,
   ``:health``, ``:watch``, ``:metrics``, ``:slow``, ``:events``,
-  ``:adaptive``, ``:analyze``, ``:explain``, and ``:sessions``,
-  returning rendered text.
+  ``:adaptive``, ``:columnar``, ``:analyze``, ``:explain``, and
+  ``:sessions``, returning rendered text.
 
 The REPL in local mode calls these directly; the server calls the same
 methods from its dispatch loop; the REPL in ``:connect`` mode sends
@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from repro.core import columnar as _columnar
 from repro.core.flat import FlatRelation
 from repro.core.index import Catalog
 from repro.core.query import Plan, eq, explain_analyze, optimize, scan
@@ -65,6 +66,7 @@ STAT_KINDS = frozenset(
         "metrics",
         "events",
         "adaptive",
+        "columnar",
         "sessions",
     }
 )
@@ -313,6 +315,25 @@ class Session:
         return {
             "text": "adaptive estimation is %s (%d keys)"
             % ("on" if store.enabled else "off", len(store))
+        }
+
+    def _stat_columnar(self, action: str = "status", **__) -> Dict[str, object]:
+        if action == "on":
+            _columnar.enable()
+            return {"text": "columnar execution on"}
+        if action == "off":
+            _columnar.disable()
+            return {"text": "columnar execution off"}
+        registry = _metrics.REGISTRY
+        return {
+            "text": "columnar execution is %s (%d plans lowered, %d batches,"
+            " %d rows)"
+            % (
+                "on" if _columnar.COLUMNAR.enabled else "off",
+                registry.value("columnar.lowered"),
+                registry.value("columnar.batches"),
+                registry.value("columnar.rows"),
+            )
         }
 
     def _stat_sessions(self, **__) -> Dict[str, object]:

@@ -35,6 +35,8 @@ from repro.stats.collect import ColumnStats
 
 __all__ = [
     "CostModel",
+    "COLUMNAR_ROW_COST",
+    "COLUMNAR_SETUP_ROWS",
     "DEFAULT_EQ_SELECTIVITY",
     "DEFAULT_RANGE_SELECTIVITY",
     "MIN_ROWS",
@@ -43,6 +45,17 @@ __all__ = [
 DEFAULT_EQ_SELECTIVITY = 0.1
 DEFAULT_RANGE_SELECTIVITY = 0.5
 MIN_ROWS = 1.0
+
+# Columnar execution (repro.core.columnar) touches each row inside a
+# C-speed array sweep instead of building a per-row dict, so its
+# per-row unit cost is a fraction of the row operators' 1.0 — measured
+# at roughly 10-40x on bench_columnar, 0.25 is deliberately
+# conservative.  The setup charge covers plan lowering and the (cached)
+# row→column transpose; at the break-even it keeps relations smaller
+# than ~16 rows on the row path, where vectorization cannot pay for
+# its fixed overhead.
+COLUMNAR_ROW_COST = 0.25
+COLUMNAR_SETUP_ROWS = 12.0
 
 _RANGE_OPS = ("<", "<=", ">", ">=")
 
@@ -59,9 +72,13 @@ class CostModel:
         self,
         eq_default: float = DEFAULT_EQ_SELECTIVITY,
         range_default: float = DEFAULT_RANGE_SELECTIVITY,
+        columnar_row_cost: float = COLUMNAR_ROW_COST,
+        columnar_setup_rows: float = COLUMNAR_SETUP_ROWS,
     ):
         self.eq_default = eq_default
         self.range_default = range_default
+        self.columnar_row_cost = columnar_row_cost
+        self.columnar_setup_rows = columnar_setup_rows
 
     # -- selectivities ------------------------------------------------------
 
@@ -187,6 +204,24 @@ class CostModel:
         return self.index_scan_cost(table_rows, selectivity) <= self.scan_cost(
             table_rows
         )
+
+    def columnar_cost(self, input_rows: float) -> float:
+        """Row-equivalents charged to a vectorized subtree: the fixed
+        lowering/transpose setup plus the discounted per-row sweep."""
+        return self.columnar_setup_rows + self.columnar_row_cost * max(
+            float(input_rows), MIN_ROWS
+        )
+
+    def prefer_columnar(self, input_rows: float) -> bool:
+        """Should an eligible flat subtree run on the columnar kernels?
+
+        ``input_rows`` is the total base-table rows its scans read.
+        Like :meth:`prefer_index`, lowering is a cost decision, not a
+        rewrite rule: tiny inputs stay row-at-a-time because the setup
+        charge outweighs the per-row discount (break-even ≈ 16 rows at
+        the default constants).
+        """
+        return self.columnar_cost(input_rows) <= self.scan_cost(input_rows)
 
 
 def _clamp_fraction(fraction: float) -> float:

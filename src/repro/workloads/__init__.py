@@ -43,6 +43,7 @@ from repro.workloads.relations import (
     random_flat_relation,
     random_generalized_relation,
     random_partial_records,
+    star_catalog,
 )
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "random_flat_relation",
     "random_generalized_relation",
     "random_partial_records",
+    "star_catalog",
     "employees_catalog",
     "employees_query",
     "orders_catalog",

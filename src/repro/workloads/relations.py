@@ -38,7 +38,11 @@ def random_flat_relation(
             else:
                 row.append(rng.randrange(1_000_000))
         rows.add(tuple(row))
-    return FlatRelation(schema, rows)
+    # The rows are tuples of atoms in schema order by construction, so
+    # the trusted bulk path applies — per-row normalization is what made
+    # large-n benchmark setup dominate wall time (the insert_stream row
+    # of BENCH_relation.json).
+    return FlatRelation.bulk_build(schema, rows)
 
 
 def flat_join_pair(
@@ -48,6 +52,34 @@ def flat_join_pair(
     left = random_flat_relation(size, ("K", "A"), key_cardinality, seed)
     right = random_flat_relation(size, ("K", "B"), key_cardinality, seed + 1)
     return left, right
+
+
+def star_catalog(
+    n_emps: int, n_depts: int = 20, seed: int = 1986
+) -> Dict[str, FlatRelation]:
+    """The employees-star catalog at scale: ``emp ⋈ dept`` workloads.
+
+    The fact side is ``emp(Emp, Dept, Salary)``, the dimension
+    ``dept(Dept, City, Budget)``; department names and cities are
+    interned strings with ``n_depts``/7 distinct values, so the columnar
+    engine's dictionary encoding has something to bite on.  Rows are
+    built as tuples in schema order and handed to the trusted
+    ``bulk_build`` path — at 10⁵ rows the per-row validating constructor
+    would take longer than the queries being measured.
+    """
+    rng = random.Random(seed)
+    emp_rows = [
+        (i, "dept%d" % rng.randrange(n_depts), rng.randrange(100))
+        for i in range(n_emps)
+    ]
+    dept_rows = [
+        ("dept%d" % d, "city%d" % (d % 7), rng.randrange(10_000))
+        for d in range(n_depts)
+    ]
+    return {
+        "emp": FlatRelation.bulk_build(("Emp", "Dept", "Salary"), emp_rows),
+        "dept": FlatRelation.bulk_build(("Dept", "City", "Budget"), dept_rows),
+    }
 
 
 def random_partial_records(

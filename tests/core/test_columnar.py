@@ -1,0 +1,416 @@
+"""The vectorized columnar engine agrees with the row-at-a-time oracle.
+
+Two layers of pinning:
+
+* kernel level — ``scan``/``filter_sel``/``project``/``hash_join``
+  against hand-rolled row semantics (and ``natural_join``), under
+  Hypothesis, including empty relations, all-rows-selected identity
+  vectors, and dictionary-encoded string columns;
+* plan level — ``optimize`` with the columnar switch on produces a
+  ``ColumnarExec`` whose result equals the row plan's, with the cost
+  threshold, the per-Catalog escape hatch, and the default-off switch
+  each checked separately.
+"""
+
+import contextlib
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import columnar as col
+from repro.core import query
+from repro.core.columnar import (
+    BATCH_ROWS,
+    ColumnarResult,
+    batch_count,
+    filter_sel,
+    from_flat,
+    hash_join,
+    project,
+    to_flat,
+)
+from repro.core.flat import FlatRelation
+from repro.core.index import Catalog
+from repro.core.query import (
+    ColumnarExec,
+    attr_eq,
+    eq,
+    explain,
+    explain_analyze,
+    ne,
+    optimize,
+    scan,
+)
+from repro.errors import RelationError, SchemaMismatchError
+from repro.stats.cost import CostModel
+from repro.workloads.relations import star_catalog
+
+# Tiny alphabets so collisions (matches, joins, dedup) are common.
+ATOMS = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.sampled_from(["x", "y", "z"]),
+    st.booleans(),
+)
+INTS = st.integers(min_value=-3, max_value=3)
+
+
+def relations(schema, elements=ATOMS, max_rows=30):
+    row = st.tuples(*(elements for _ in schema))
+    return st.lists(row, max_size=max_rows).map(
+        lambda rows: FlatRelation(schema, rows)
+    )
+
+
+def rows_of(rel, sel):
+    """The row tuples selected by ``(rel, sel)`` — the oracle's view."""
+    values = [column.values() for column in rel.columns]
+    all_rows = list(zip(*values))
+    if sel is None:
+        return all_rows
+    return [all_rows[i] for i in sel]
+
+
+@contextlib.contextmanager
+def forced_columnar(setup_rows=0.0):
+    """Columnar on, with the cost threshold floored so tiny Hypothesis
+    relations still lower."""
+    saved = query.COST_MODEL
+    query.COST_MODEL = CostModel(columnar_setup_rows=setup_rows)
+    col.enable()
+    try:
+        yield
+    finally:
+        col.disable()
+        query.COST_MODEL = saved
+
+
+# ---------------------------------------------------------------- kernels
+
+
+@given(relations(("K", "A", "B")))
+def test_scan_roundtrip(flat):
+    assert to_flat(from_flat(flat), None) == flat
+
+
+@given(relations(("K", "A")), st.sampled_from(["==", "!="]), ATOMS)
+def test_filter_eq_matches_oracle(flat, op, operand):
+    rel = from_flat(flat)
+    sel, batches = filter_sel(rel, None, op, "A", operand)
+    want = [
+        row for row in rows_of(rel, None)
+        if (row[1] == operand) == (op == "==")
+    ]
+    got = rows_of(rel, sel)
+    assert len(got) == len(want)
+    assert FlatRelation.bulk_build(rel.schema, got) == FlatRelation.bulk_build(
+        rel.schema, want
+    )
+    assert batches == batch_count(rel.nrows)
+
+
+@given(
+    relations(("K", "A"), elements=INTS),
+    st.sampled_from(["<", "<=", ">", ">="]),
+    INTS,
+)
+def test_filter_order_matches_oracle(flat, op, operand):
+    fn = {"<": operator.lt, "<=": operator.le,
+          ">": operator.gt, ">=": operator.ge}[op]
+    rel = from_flat(flat)
+    sel, __ = filter_sel(rel, None, op, "K", operand)
+    want = [row for row in rows_of(rel, None) if fn(row[0], operand)]
+    assert sorted(rows_of(rel, sel)) == sorted(want)
+
+
+@given(relations(("K", "A", "B")))
+def test_filter_attr_eq_matches_oracle(flat):
+    rel = from_flat(flat)
+    sel, __ = filter_sel(rel, None, "attr==", "A", "B")
+    want = [row for row in rows_of(rel, None) if row[1] == row[2]]
+    got = rows_of(rel, sel)
+    assert len(got) == len(want)
+    assert set(got) == set(want)
+
+
+@given(relations(("K", "A"), elements=INTS), INTS, INTS)
+def test_filter_composes_selections(flat, first, second):
+    """Filtering an already-filtered selection intersects predicates."""
+    rel = from_flat(flat)
+    sel, __ = filter_sel(rel, None, ">=", "K", first)
+    sel, __ = filter_sel(rel, sel, "<=", "A", second)
+    want = [
+        row for row in rows_of(rel, None)
+        if row[0] >= first and row[1] <= second
+    ]
+    assert sorted(rows_of(rel, sel)) == sorted(want)
+
+
+@given(relations(("K", "A"), elements=INTS))
+def test_all_rows_selected_stays_identity(flat):
+    """A predicate every row passes returns the identity vector ``None``
+    — the engine never materializes ``range(nrows)``."""
+    rel = from_flat(flat)
+    sel, __ = filter_sel(rel, None, "!=", "A", 99)
+    assert sel is None
+    sel, __ = filter_sel(rel, None, "<=", "K", 3)
+    assert sel is None
+
+
+@given(
+    relations(("K", "A", "B")),
+    st.lists(st.sampled_from(["K", "A", "B"]), unique=True),
+)
+def test_project_matches_oracle(flat, attributes):
+    rel = from_flat(flat)
+    out, __ = project(rel, None, attributes)
+    positions = [flat.schema.index(a) for a in attributes]
+    want = {tuple(row[p] for p in positions) for row in rows_of(rel, None)}
+    assert out.schema == tuple(attributes)
+    assert to_flat(out, None) == FlatRelation.bulk_build(
+        tuple(attributes), want
+    )
+
+
+@given(relations(("K", "A")), relations(("K", "B")))
+def test_hash_join_matches_natural_join(left, right):
+    out, __ = hash_join(from_flat(left), None, from_flat(right), None)
+    assert to_flat(out, None) == left.natural_join(right)
+
+
+@given(relations(("A",), max_rows=8), relations(("B",), max_rows=8))
+def test_join_without_common_attribute_is_cross_product(left, right):
+    out, __ = hash_join(from_flat(left), None, from_flat(right), None)
+    assert to_flat(out, None) == left.natural_join(right)
+    assert out.nrows == len(left) * len(right)
+
+
+@given(
+    relations(("K", "A"), elements=INTS),
+    relations(("K", "B"), elements=INTS),
+    INTS,
+)
+def test_join_respects_input_selections(left, right, threshold):
+    """Selections feeding the join prune exactly the filtered rows."""
+    c_left, c_right = from_flat(left), from_flat(right)
+    left_sel, __ = filter_sel(c_left, None, ">=", "K", threshold)
+    out, __ = hash_join(c_left, left_sel, c_right, None)
+    filtered = FlatRelation(left.schema, rows_of(c_left, left_sel))
+    assert to_flat(out, None) == filtered.natural_join(right)
+
+
+def test_empty_relations_flow_through():
+    empty = FlatRelation(("K", "A"), [])
+    rel = from_flat(empty)
+    assert rel.nrows == 0
+    sel, batches = filter_sel(rel, None, "==", "K", 1)
+    assert rows_of(rel, sel) == [] and batches == 1
+    out, __ = project(rel, sel, ["A"])
+    assert to_flat(out, None) == FlatRelation(("A",), [])
+    joined, __ = hash_join(rel, None, from_flat(empty), None)
+    assert joined.nrows == 0
+
+
+def test_project_to_no_attributes_keeps_set_semantics():
+    rel = from_flat(FlatRelation(("K",), [(1,), (2,)]))
+    out, __ = project(rel, None, [])
+    assert to_flat(out, None) == FlatRelation((), [()])
+    empty, __ = project(from_flat(FlatRelation(("K",), [])), None, [])
+    assert to_flat(empty, None) == FlatRelation((), [])
+
+
+def test_unknown_attribute_raises():
+    rel = from_flat(FlatRelation(("K",), [(1,)]))
+    with pytest.raises(RelationError):
+        rel.column("missing")
+
+
+# ------------------------------------------------- dictionary encoding
+
+
+def test_low_cardinality_strings_get_encoded():
+    values = ["dept%d" % (i % 5) for i in range(200)]
+    column = col._build_column(list(values))
+    assert column.codes is not None and len(column.domain) == 5
+    assert column.values() == values
+    assert column.code_for("dept3") == column.codes[3]
+    assert column.code_for("absent") is None
+
+
+def test_high_cardinality_stays_plain():
+    column = col._build_column(list(range(200)))
+    assert column.codes is None
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=80, max_size=120),
+       st.sampled_from(["x", "y", "z", "w"]))
+def test_encoded_filter_matches_oracle(values, operand):
+    flat = FlatRelation(("K", "S"), list(enumerate(values)))
+    rel = from_flat(flat)
+    assert rel.column("S").codes is not None, "expected dictionary encoding"
+    for op in ("==", "!="):
+        sel, __ = filter_sel(rel, None, op, "S", operand)
+        want = [
+            row for row in rows_of(rel, None)
+            if (row[1] == operand) == (op == "==")
+        ]
+        assert sorted(rows_of(rel, sel)) == sorted(want)
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=80, max_size=120))
+def test_encoded_join_and_project_match_oracle(values):
+    left = FlatRelation(("K", "S"), list(enumerate(values)))
+    right = FlatRelation(("S", "B"), [("x", 1), ("y", 2), ("w", 3)])
+    c_left = from_flat(left)
+    assert c_left.column("S").codes is not None
+    out, __ = hash_join(c_left, None, from_flat(right), None)
+    assert to_flat(out, None) == left.natural_join(right)
+    projected, __ = project(c_left, None, ["S"])
+    assert to_flat(projected, None) == FlatRelation(("S",), set(values))
+
+
+# ------------------------------------------------------------ plan level
+
+
+def star_plan():
+    return (
+        scan("emp")
+        .join(scan("dept"))
+        .where(eq("Salary", 42))
+        .project(["Emp", "City"])
+    )
+
+
+def test_lowering_fires_and_results_agree():
+    catalog = Catalog(star_catalog(300))
+    row_result = optimize(star_plan(), catalog).execute(catalog)
+    with forced_columnar():
+        plan = optimize(star_plan(), catalog)
+        assert isinstance(plan, ColumnarExec)
+        rendered = explain(plan)
+        for label in ("ColumnarExec", "CScan", "CFilter", "CHashJoin",
+                      "CProject"):
+            assert label in rendered, rendered
+        assert plan.execute(catalog) == row_result
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    relations(("K", "A")),
+    relations(("K", "B")),
+    st.sampled_from([eq, ne]),
+    ATOMS,
+)
+def test_lowered_plans_equal_row_plans(left, right, pred, constant):
+    """End-to-end property: whatever the optimizer lowers computes the
+    same relation the row pipeline does."""
+    catalog = Catalog({"L": left, "R": right})
+    plan = scan("L").where(pred("A", constant)).join(scan("R")).project(
+        ["K", "B"]
+    )
+    row_result = optimize(plan, catalog).execute(catalog)
+    with forced_columnar():
+        lowered = optimize(plan, catalog)
+        assert lowered.execute(catalog) == row_result
+
+
+def test_cost_threshold_keeps_tiny_inputs_row_wise():
+    tiny = Catalog(star_catalog(4, n_depts=2))
+    with forced_columnar(setup_rows=12.0):
+        assert not isinstance(optimize(star_plan(), tiny), ColumnarExec)
+    big = Catalog(star_catalog(300))
+    with forced_columnar(setup_rows=12.0):
+        assert isinstance(optimize(star_plan(), big), ColumnarExec)
+
+
+def test_switch_defaults_off():
+    catalog = Catalog(star_catalog(300))
+    assert not col.COLUMNAR.enabled
+    assert not isinstance(optimize(star_plan(), catalog), ColumnarExec)
+
+
+def test_catalog_escape_hatch():
+    catalog = Catalog(star_catalog(300), columnar=False)
+    with forced_columnar():
+        assert not isinstance(optimize(star_plan(), catalog), ColumnarExec)
+
+
+def test_index_scan_is_not_lowered():
+    """An eligible sibling still lowers, but IndexScan stays row-wise."""
+    catalog = Catalog(star_catalog(300))
+    catalog.create_index("emp", "Salary")
+    with forced_columnar():
+        plan = optimize(star_plan(), catalog)
+        rendered = explain(plan)
+    assert "IndexScan" in rendered
+    assert "CScan(dept)" in rendered, rendered
+    assert plan.execute(catalog) == optimize(
+        star_plan(), catalog
+    ).execute(catalog)
+
+
+def test_explain_analyze_reports_batches():
+    catalog = Catalog(star_catalog(300))
+    with forced_columnar():
+        plan = optimize(star_plan(), catalog)
+        report = explain_analyze(plan, catalog)
+    assert "ColumnarExec" in report
+    assert "columnar batches=" in report and "rows/s=" in report
+
+
+def test_columnar_result_is_lazy_then_equal():
+    catalog = Catalog(star_catalog(300))
+    with forced_columnar():
+        result = optimize(star_plan(), catalog).execute(catalog)
+    assert isinstance(result, ColumnarResult)
+    assert result._columns is not None  # not yet materialized
+    n = len(result)  # O(1), still unmaterialized
+    assert result._columns is not None
+    row_result = optimize(star_plan(), catalog).execute(catalog)
+    assert result == row_result  # forces materialization
+    assert result._columns is None
+    assert len(result) == n == len(row_result)
+
+
+def test_attr_eq_lowered_plan_agrees():
+    catalog = Catalog(
+        {"r": FlatRelation(("A", "B"), [(i, i % 3) for i in range(50)])}
+    )
+    plan = scan("r").where(attr_eq("A", "B"))
+    row_result = optimize(plan, catalog).execute(catalog)
+    with forced_columnar():
+        assert optimize(plan, catalog).execute(catalog) == row_result
+
+
+# ---------------------------------------------------------- plumbing
+
+
+def test_batch_count():
+    assert batch_count(0) == 1
+    assert batch_count(1) == 1
+    assert batch_count(BATCH_ROWS) == 1
+    assert batch_count(BATCH_ROWS + 1) == 2
+
+
+def test_bulk_build_matches_validating_constructor():
+    rows = [(1, "x"), (2, "y")]
+    assert FlatRelation.bulk_build(("K", "A"), rows) == FlatRelation(
+        ("K", "A"), rows
+    )
+    with pytest.raises(SchemaMismatchError):
+        FlatRelation.bulk_build(("K", "K"), rows)
+
+
+def test_scan_cache_hits_by_identity():
+    flat = FlatRelation(("K",), [(1,)])
+    assert col.scan(flat) is col.scan(flat)
+    assert col.scan(FlatRelation(("K",), [(1,)])) is not col.scan(flat)
+
+
+def test_prefer_columnar_break_even():
+    model = CostModel()
+    assert not model.prefer_columnar(8)
+    assert model.prefer_columnar(16)
+    assert model.prefer_columnar(100_000)
+    assert model.columnar_cost(1000) < model.scan_cost(1000)

@@ -38,6 +38,29 @@ EMP_SOURCE = (
 )
 
 
+class TestColumnarCommand:
+    def test_toggle_and_status(self, repl_session):
+        from repro.core import columnar as _columnar
+
+        repl, lines = repl_session
+        try:
+            repl.handle(":columnar on")
+            assert lines[-1] == "columnar execution on"
+            assert _columnar.COLUMNAR.enabled
+            repl.handle(":columnar")
+            assert lines[-1].startswith("columnar execution is on")
+            repl.handle(":columnar off")
+            assert lines[-1] == "columnar execution off"
+            assert not _columnar.COLUMNAR.enabled
+        finally:
+            _columnar.disable()
+
+    def test_rejects_garbage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":columnar sideways")
+        assert lines[-1] == "usage: :columnar on|off"
+
+
 class TestHealthCommand:
     def test_health_prints_verdict_and_probe_rows(self, repl_session):
         repl, lines = repl_session

@@ -205,6 +205,27 @@ class TestStat:
         text = Session().stat("adaptive", action="status")["text"]
         assert text.startswith("adaptive estimation is")
 
+    def test_columnar_toggle_and_status(self):
+        from repro.core import columnar as _columnar
+
+        session = Session()
+        try:
+            assert (
+                session.stat("columnar", action="on")["text"]
+                == "columnar execution on"
+            )
+            assert _columnar.COLUMNAR.enabled
+            status = session.stat("columnar", action="status")["text"]
+            assert status.startswith("columnar execution is on")
+            assert "plans lowered" in status and "batches" in status
+            assert (
+                session.stat("columnar", action="off")["text"]
+                == "columnar execution off"
+            )
+            assert not _columnar.COLUMNAR.enabled
+        finally:
+            _columnar.disable()
+
     def test_sessions_without_broker(self):
         text = Session(session_id="solo").stat("sessions")["text"]
         assert "single local session" in text

@@ -1,0 +1,67 @@
+"""The benchmark-trajectory aggregator keeps reading what CI commits.
+
+``scripts/bench_trend.py`` folds every committed ``BENCH_*.json`` into
+one table; loading it here (the ``test_docs.py`` pattern) means a
+schema drift in ``benchmarks/_results.ResultsWriter`` output breaks the
+tier-1 suite, not a reviewer's terminal."""
+
+import importlib.util
+import json
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_trend():
+    path = os.path.join(REPO_ROOT, "scripts", "bench_trend.py")
+    spec = importlib.util.spec_from_file_location("bench_trend", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_results_aggregate():
+    trend = load_trend()
+    rows = trend.trend_rows(REPO_ROOT)
+    areas = {row["area"] for row in rows}
+    assert {"join", "query", "columnar", "relation"} <= areas
+    for row in rows:
+        assert row["headline"]
+        assert row["git_sha"]
+
+
+def test_traces_are_excluded():
+    trend = load_trend()
+    for path in trend.bench_files(REPO_ROOT):
+        assert not path.endswith(".trace.json")
+
+
+def test_headline_prefers_speedup(tmp_path):
+    trend = load_trend()
+    results = [
+        {"op": "slow", "n": 100, "seconds": 9.0},
+        {"op": "fast", "n": 100, "seconds": 0.5, "speedup": 18.0},
+        {"op": "small", "n": 10, "seconds": 99.0},
+    ]
+    top = trend.headline(results)
+    assert top["op"] == "fast" and top["speedup"] == 18.0
+    assert trend.headline([]) is None
+
+
+def test_render_on_synthetic_file(tmp_path):
+    trend = load_trend()
+    payload = {
+        "area": "demo",
+        "git_sha": "abcdef0123456789",
+        "timestamp": "2026-08-08T12:00:00",
+        "quick": True,
+        "results": [{"op": "scan", "n": 1000, "seconds": 0.25}],
+    }
+    (tmp_path / "BENCH_demo.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+    (tmp_path / "BENCH_demo.trace.json").write_text("{}", encoding="utf-8")
+    rows = trend.trend_rows(str(tmp_path))
+    assert len(rows) == 1
+    table = trend.render(rows)
+    assert "demo" in table and "abcdef012" in table and "scan" in table
