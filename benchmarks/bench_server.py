@@ -17,12 +17,24 @@ acceptance bar is zero at 16 clients, not "low".  A final drain check
 shuts the server down mid-query and requires the in-flight reply to
 arrive intact.
 
+A **tracing overhead** phase then prices distributed tracing: a
+checked join batch (real planner/kernel work, not arithmetic) runs
+once with tracing off and once with the server's tracer on
+(``stat("trace")`` over the wire) plus the local ``client.run`` spans
+recording, and the on/off ratio is printed.  In
+``--quick`` mode the ratio is a gate: above 1.25× fails the run.  The
+traced batch also leaves ``BENCH_server.merged.trace.json`` — the
+client's spans and the server's per-request span trees merged onto one
+clock-aligned Perfetto timeline.
+
 Artifacts: ``BENCH_server.json`` (qps per concurrency level plus the
-server-side request histogram) and ``BENCH_server.trace.json``.
+server-side request histogram), ``BENCH_server.trace.json``, and
+``BENCH_server.merged.trace.json``.
 
 Run:  python benchmarks/bench_server.py [--quick]
 """
 
+import os
 import threading
 import time
 
@@ -31,6 +43,8 @@ try:
 except ImportError:
     from _results import ResultsWriter, quick_requested
 
+from repro.obs import export as _export
+from repro.obs import trace as _trace
 from repro.obs.metrics import REGISTRY
 from repro.server import Client, ServerThread
 
@@ -90,9 +104,9 @@ def drain_check(host, port):
     import repro.server.session as _session
 
     class SlowSession(_session.Session):
-        def run(self, source, mode="eval"):
+        def run(self, source, mode="eval", **kwargs):
             time.sleep(0.3)
-            return super().run(source, mode)
+            return super().run(source, mode, **kwargs)
 
     server = ServerThread(session_factory=SlowSession).start()
     client = Client(server.host, server.port)
@@ -109,6 +123,85 @@ def drain_check(host, port):
     ok = result.get("reply", {}).get("value") == "42"
     client.close()
     return ok
+
+
+def tracing_overhead(host, port, queries, writer, quick, failures):
+    """Price tracing end to end: the same checked batch, off then on.
+
+    Returns the on/off wall-time ratio; leaves the merged client+server
+    trace artifact behind.  Single client — one connection keeps the
+    measurement serial (stable) and keeps the traced session alive so
+    its harvested span trees can be pulled over ``obs`` frames.
+
+    The measured query is a join, not arithmetic: tracing's cost is a
+    fixed per-request tax (span harvest, tree render), so the honest
+    ratio prices it against a query that does real planner/kernel
+    work, the way production requests do.
+    """
+    with Client(host, port) as client:
+        rows = ", ".join(
+            "{Emp = %d, Dept = %d}" % (i, i % 8) for i in range(48)
+        )
+        depts = ", ".join(
+            "{Dept = %d, City = %d}" % (d, d * 10) for d in range(8)
+        )
+        client.run("let temp = relation([%s])" % rows)
+        client.run("let tdept = relation([%s])" % depts)
+        query = "rjoin(temp, tdept)"
+        expected = client.run(query)["value"]  # also warms the path
+
+        def batch():
+            started = time.perf_counter()
+            for sequence in range(queries):
+                reply = client.run(query)
+                if reply["value"] != expected:
+                    failures.append(
+                        "tracing batch query %d: reply diverged"
+                        % sequence
+                    )
+            return time.perf_counter() - started
+
+        off_seconds = batch()
+        client.stat("trace", action="on")
+        tracer = _trace.enable()  # client-side round-trip spans
+        on_seconds = batch()
+        remote = client.obs("spans")
+        offset = client.clock_offset or 0.0
+        client.stat("trace", action="off")
+        _trace.disable()
+
+        merged_path = os.path.join(
+            os.getcwd(), "BENCH_server.merged.trace.json"
+        )
+        document = _export.write_merged_trace(
+            merged_path, tracer=tracer, remote=remote, clock_offset=offset
+        )
+        ratio = on_seconds / off_seconds if off_seconds else 1.0
+        writer.record(
+            "tracing_off", queries, off_seconds,
+            qps=round(queries / off_seconds, 1) if off_seconds else 0.0,
+        )
+        writer.record(
+            "tracing_on", queries, on_seconds,
+            qps=round(queries / on_seconds, 1) if on_seconds else 0.0,
+            overhead=round(ratio, 3),
+        )
+        print("\ntracing overhead (%d queries, one client)" % queries)
+        print("%-10s %12s %12s %10s" % ("tracing", "seconds", "qps", "ratio"))
+        print("%-10s %12.4f %12.0f %10s" % (
+            "off", off_seconds,
+            queries / off_seconds if off_seconds else 0.0, "-"))
+        print("%-10s %12.4f %12.0f %9.2fx" % (
+            "on", on_seconds,
+            queries / on_seconds if on_seconds else 0.0, ratio))
+        print("merged trace -> %s (%d events)"
+              % (merged_path, len(document["traceEvents"])))
+        if quick and ratio > 1.25:
+            failures.append(
+                "tracing overhead %.2fx exceeds the 1.25x quick-mode gate"
+                % ratio
+            )
+        return ratio
 
 
 def main():
@@ -150,6 +243,10 @@ def main():
                     "%d clients: %d of %d queries completed"
                     % (clients, completed, expected)
                 )
+
+        tracing_overhead(
+            server.host, server.port, queries, writer, quick, failures
+        )
 
         histogram = REGISTRY.histogram("server.request.seconds")
         if histogram.count:

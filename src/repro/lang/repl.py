@@ -10,16 +10,27 @@ for ``extern``/``intern``).  Commands:
   ``python -m repro.server``: evaluation and every session-routed
   command below execute in the *remote* session, over the wire
   protocol; ``:disconnect`` returns to the local session;
-* ``:trace on|off``  — toggle span tracing; while on, each evaluation
-  prints its span tree (parse/check/eval, nested store and relation
-  operations with rows and wall time);
+* ``:trace on|off``  — toggle span tracing *in the session's process*
+  (the server's, when connected); while on, each evaluation prints
+  its span tree (parse/check/eval, nested store and relation
+  operations with rows and wall time) — in connected mode the tree
+  crossed the wire in the ``result`` frame;
 * ``:events [n]``    — show the last ``n`` flight-recorder journal
   events (``:events on|off`` toggles the journal; ``main()`` turns it
   on for interactive sessions);
 * ``:export <path>`` — write spans + journal + metrics as a Chrome
-  ``chrome://tracing`` / Perfetto trace file;
-* ``:profile on|off`` — toggle the execution profiler; ``:profile``
-  alone prints the per-operator top-N report;
+  ``chrome://tracing`` / Perfetto trace file; in connected mode the
+  file *merges* this process's spans (the ``client.run`` round-trips)
+  with the server's per-request span trees — pulled over ``obs``
+  frames, shifted onto the local clock by the handshake's offset
+  estimate — so one timeline shows both sides of every request;
+* ``:profile on|off`` — toggle the execution profiler in the
+  session's process; ``:profile`` alone prints the per-operator top-N
+  report (the server's, when connected);
+* ``:requests [n]``  — show the last ``n`` wide events: one line per
+  completed request with its id, mode, wall time, estimated vs actual
+  rows, columnar batches, join pairs tried/pruned, and a SLOW flag
+  when the slow-query log captured it;
 * ``:stats``         — dump the metrics registry (``:stats reset``
   zeroes it); ``:stats <name>`` prints the column statistics collected
   by ``:analyze <name>``; ``:stats feedback`` prints the last
@@ -62,10 +73,8 @@ interactive tradition.
 The REPL is a *thin client* of :class:`repro.server.session.Session`:
 in local mode it holds a Session in-process, in connected mode a
 :class:`repro.server.client.Client` with the same surface — which is
-why ``:stats``/``:health``/``:watch``/``:metrics`` behave identically
-on both sides of the wire.  ``:trace``/``:profile``/``:export`` remain
-local-process tools (they inspect *this* process's tracer) and say so
-in connected mode.
+why every command above, ``:trace``/``:profile``/``:export``
+included, behaves identically on both sides of the wire.
 """
 
 from __future__ import annotations
@@ -79,7 +88,6 @@ from repro.errors import ReproError, ServerError
 from repro.lang.eval import Interpreter
 from repro.obs import events as _events
 from repro.obs import export as _export
-from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 from repro.server.client import Client, parse_address
 from repro.server.session import Session
@@ -89,15 +97,11 @@ PROMPT = "dbpl> "
 BANNER = (
     "DBPL — the database programming language of the Buneman–Atkinson\n"
     "reproduction.  :type E, :ast E, :load FILE, :connect HOST:PORT,\n"
-    ":trace on|off, :events [n], :export FILE, :profile on|off, :stats,\n"
-    ":analyze R, :explain E, :adaptive on|off, :columnar on|off,\n"
-    ":health, :slow [n], :watch S, :metrics [PATH], :sessions, :quit\n"
+    ":disconnect, :trace on|off, :events [n], :export FILE,\n"
+    ":profile on|off, :requests [n], :stats, :analyze R, :explain E,\n"
+    ":adaptive on|off, :columnar on|off, :health, :slow [n], :watch S,\n"
+    ":metrics [PATH], :sessions, :quit\n"
 )
-
-# Commands that only make sense against this process's observability
-# globals; in connected mode they refuse rather than silently inspect
-# the wrong process.
-LOCAL_ONLY = {":trace", ":profile", ":export"}
 
 
 class Repl:
@@ -148,12 +152,6 @@ class Repl:
         parts = line.split(None, 1)
         command = parts[0]
         argument = parts[1] if len(parts) > 1 else ""
-        if command in LOCAL_ONLY and self.connected:
-            self._write(
-                "%s is local-only; :disconnect first (it inspects this"
-                " process, not the server)" % command
-            )
-            return
         if command in (":quit", ":q"):
             if self._remote is not None:
                 self._remote.close()
@@ -177,6 +175,8 @@ class Repl:
             self._export_command(argument)
         elif command == ":profile":
             self._profile_command(argument)
+        elif command == ":requests":
+            self._requests_command(argument)
         elif command == ":stats":
             self._stats_command(argument)
         elif command == ":analyze":
@@ -277,21 +277,23 @@ class Repl:
         self._remote = None
         self._write("disconnected from %s (local session)" % address)
 
-    # -- local-only observability toggles -----------------------------------
+    # -- observability toggles (session-routed: they flip the *session
+    # process's* tracer/profiler, which is the server's when connected) -------
 
     def _trace_command(self, argument: str) -> None:
         argument = argument.strip().lower()
-        if argument == "on":
-            _trace.enable()
-            self._write("tracing on")
-        elif argument == "off":
-            _trace.disable()
-            self._write("tracing off")
+        if argument in ("on", "off"):
+            text = self._stat(lambda b: b.stat("trace", action=argument))
+            if text is not None and self.connected:
+                # Mirror the toggle locally so the client-side round-trip
+                # spans (client.run) record too — that's the client lane
+                # of a merged :export.  Locally the stat already did it.
+                if argument == "on":
+                    _trace.enable()
+                else:
+                    _trace.disable()
         elif not argument:
-            self._write(
-                "tracing is %s"
-                % ("on" if _trace.CURRENT.enabled else "off")
-            )
+            self._stat(lambda b: b.stat("trace", action="status"))
         else:
             self._write("usage: :trace on|off")
 
@@ -300,28 +302,51 @@ class Repl:
         if not path:
             self._write("usage: :export <path>")
             return
+        # The backend's harvested span trees (over the wire in connected
+        # mode); merged with this process's spans and journal below.
         try:
-            _export.write_trace(path)
+            remote = self._backend().obs("spans")
+        except ServerError as exc:
+            self._write("error: %s" % exc)
+            self._check_connection()
+            return
+        except ReproError as exc:
+            self._write("error: %s" % exc)
+            return
+        offset = 0.0
+        if self.connected and self._remote.clock_offset is not None:
+            offset = self._remote.clock_offset
+        try:
+            document = _export.write_merged_trace(
+                path, remote=remote, clock_offset=offset
+            )
         except OSError as exc:
             self._write("error: %s" % exc)
             return
         self._write(
             "exported %s (%d trace events)"
-            % (path, len(_export.trace_events()))
+            % (path, len(document["traceEvents"]))
         )
 
     def _profile_command(self, argument: str) -> None:
         argument = argument.strip().lower()
-        if argument == "on":
-            _profile.enable()
-            self._write("profiling on")
-        elif argument == "off":
-            _profile.disable()
-            self._write("profiling off")
+        if argument in ("on", "off"):
+            self._stat(lambda b: b.stat("profile", action=argument))
         elif not argument:
-            self._write(_profile.profile_report())
+            self._stat(lambda b: b.stat("profile", action="report"))
         else:
             self._write("usage: :profile on|off")
+
+    def _requests_command(self, argument: str) -> None:
+        argument = argument.strip()
+        count = 10
+        if argument:
+            try:
+                count = int(argument)
+            except ValueError:
+                self._write("usage: :requests [n]")
+                return
+        self._stat(lambda b: b.stat("requests", count=count))
 
     # -- session-routed commands --------------------------------------------
 
@@ -486,25 +511,22 @@ class Repl:
         self._evaluate(source)
 
     def _evaluate(self, source: str) -> None:
-        tracer = _trace.CURRENT
-        spans_before = len(tracer.roots) if tracer.enabled else 0
         try:
             reply = self._backend().run(source)
             for out_line in reply.get("output", []):
                 self._write(str(out_line))
             if reply.get("value") is not None:
                 self._write(str(reply["value"]))
+            # The session renders its harvested span tree into the
+            # reply (crossing the wire in connected mode), so printing
+            # it is backend-agnostic.
+            if reply.get("trace"):
+                self._write(str(reply["trace"]))
         except ServerError as exc:
             self._write("error: %s" % exc)
             self._check_connection()
         except ReproError as exc:
             self._write("error: %s" % exc)
-        finally:
-            if tracer.enabled:
-                for root in tracer.roots[spans_before:]:
-                    self._write(root.format())
-                # Keep the tracer bounded: a REPL session is long-lived.
-                tracer.clear()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

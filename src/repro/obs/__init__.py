@@ -21,7 +21,11 @@ Above the recorder sits the *monitoring* layer:
   OpenMetrics v1 text exposition for external scrapers;
 * :mod:`repro.obs.slowlog` — a bounded ring capturing every query that
   exceeded a wall-time threshold, with plan summary, estimate drift,
-  pair counts, and trace-span correlation.
+  pair counts, and exact request-id correlation;
+* :mod:`repro.obs.wide` — one wide event per completed session
+  request (query, outcome, wall time, watched-counter deltas, the
+  harvested span trees), kept in a bounded per-session ring — the
+  canonical record distributed tracing and ``:requests`` read.
 
 :mod:`repro.obs.export` serializes spans, journal, and metrics to
 JSONL and to Chrome ``chrome://tracing`` / Perfetto trace files, so any
@@ -49,9 +53,11 @@ from repro.obs.trace import (
     NoOpTracer,
     Span,
     Tracer,
+    current_request_id,
     disable,
     enable,
     get_tracer,
+    set_request_id,
     set_tracer,
     span,
 )
@@ -87,6 +93,10 @@ from repro.obs.slowlog import (
     SlowQueryEntry,
     slowlog_report,
 )
+from repro.obs.wide import (
+    RequestLog,
+    WideEvent,
+)
 
 __all__ = [
     "Counter",
@@ -100,9 +110,11 @@ __all__ = [
     "NoOpTracer",
     "Span",
     "Tracer",
+    "current_request_id",
     "disable",
     "enable",
     "get_tracer",
+    "set_request_id",
     "set_tracer",
     "span",
     "Event",
@@ -129,4 +141,6 @@ __all__ = [
     "SlowLog",
     "SlowQueryEntry",
     "slowlog_report",
+    "RequestLog",
+    "WideEvent",
 ]

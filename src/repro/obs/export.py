@@ -12,6 +12,12 @@ run or a REPL session leaves evidence behind:
   whose nesting the viewer reconstructs from timestamps, journal
   entries become instant (``"ph": "i"``) marks on the same timeline,
   and the metrics snapshot rides along under ``otherData``;
+* :func:`write_merged_trace` — the distributed version: local spans
+  and journal (pid 1, "client") merged with per-request span trees a
+  session harvested — possibly pulled over the wire via ``obs``
+  frames — on pid 2 ("server", one tid per session), remote
+  timestamps shifted onto the local timeline by the clock offset the
+  handshake estimated;
 * :func:`read_trace` / :func:`read_journal` — load either file back;
 * :func:`span_tree` — rebuild the span nesting from a trace file's
   flat event list (timestamp containment), so tests and tools can
@@ -34,7 +40,9 @@ from repro.obs.trace import Span
 
 __all__ = [
     "trace_events",
+    "merged_trace_events",
     "write_trace",
+    "write_merged_trace",
     "write_journal",
     "read_trace",
     "read_journal",
@@ -42,6 +50,12 @@ __all__ = [
 ]
 
 _MICRO = 1e6
+
+# Merged-trace process ids: the viewer groups rows by pid, so the
+# client process and the backend (server or local session) each get a
+# lane of their own, with one tid per backend session.
+CLIENT_PID = 1
+BACKEND_PID = 2
 
 
 def _span_events(span: Span, out: List[Dict[str, object]]) -> None:
@@ -95,6 +109,96 @@ def trace_events(tracer=None, journal=None) -> List[Dict[str, object]]:
     return out
 
 
+def _span_dict_events(
+    span: Dict[str, object],
+    out: List[Dict[str, object]],
+    pid: int,
+    tid: int,
+    offset: float,
+) -> None:
+    """Flatten one serialized span tree (``Span.to_dict``) into Chrome
+    complete events, shifting its timestamps by ``offset`` seconds
+    (the estimated remote-to-local monotonic clock offset)."""
+    started = float(span.get("started") or 0.0)
+    elapsed = span.get("elapsed")
+    out.append(
+        {
+            "name": span.get("name", "?"),
+            "cat": "span",
+            "ph": "X",
+            "ts": (started - offset) * _MICRO,
+            "dur": (float(elapsed) if elapsed is not None else 0.0) * _MICRO,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(span.get("tags") or {}),
+        }
+    )
+    for child in span.get("children") or []:
+        _span_dict_events(child, out, pid, tid, offset)
+
+
+def merged_trace_events(
+    tracer=None,
+    journal=None,
+    remote=None,
+    clock_offset: float = 0.0,
+) -> List[Dict[str, object]]:
+    """One timeline across the wire: local spans + backend span trees.
+
+    ``remote`` is an ``obs("spans")`` reply (or a list of them) — the
+    per-request span trees a :class:`~repro.server.session.Session`
+    harvested, local or pulled over the protocol's ``obs`` frames.
+    Local tracer spans and journal instants render under
+    :data:`CLIENT_PID`; each backend session gets its own ``tid``
+    under :data:`BACKEND_PID`, its timestamps shifted onto the local
+    ``perf_counter`` timeline by ``clock_offset`` (the handshake
+    estimate; 0 for a local session, which already shares the clock).
+    Process/thread-name metadata events lead the list so the viewer
+    labels the lanes.
+    """
+    out = trace_events(tracer=tracer, journal=journal)
+    documents = []
+    if remote:
+        documents = remote if isinstance(remote, list) else [remote]
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": CLIENT_PID,
+            "tid": 1,
+            "args": {"name": "client"},
+        }
+    ]
+    if documents:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": BACKEND_PID,
+                "tid": 1,
+                "args": {"name": "server"},
+            }
+        )
+    for tid, document in enumerate(documents, start=1):
+        session = document.get("session") or ("s%02d" % tid)
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": BACKEND_PID,
+                "tid": tid,
+                "args": {"name": "session %s" % session},
+            }
+        )
+        for request in document.get("requests") or []:
+            for span in request.get("spans") or []:
+                _span_dict_events(
+                    span, out, BACKEND_PID, tid, clock_offset
+                )
+    out.sort(key=lambda e: e.get("ts", 0))
+    return metadata + out
+
+
 def write_trace(
     path: str,
     tracer=None,
@@ -124,6 +228,47 @@ def write_trace(
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def write_merged_trace(
+    path: str,
+    tracer=None,
+    journal=None,
+    remote=None,
+    clock_offset: float = 0.0,
+    metrics: Optional[_metrics.MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Write a merged client+backend trace file; returns the document.
+
+    The same Chrome/Perfetto object format as :func:`write_trace`,
+    with ``traceEvents`` from :func:`merged_trace_events` and the
+    estimated ``clock_offset`` recorded under ``otherData`` so a
+    reader can undo the shift.  Returning the document (rather than
+    the path) lets callers report event counts without re-rendering.
+    """
+    journal = journal if journal is not None else _events.CURRENT
+    registry = metrics if metrics is not None else _metrics.REGISTRY
+    document = {
+        "traceEvents": merged_trace_events(
+            tracer=tracer,
+            journal=journal,
+            remote=remote,
+            clock_offset=clock_offset,
+        ),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "metrics": registry.snapshot(),
+            "journal": {
+                "retained": len(journal),
+                "published": getattr(journal, "total", 0),
+            },
+            "clock_offset_seconds": clock_offset,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
 
 
 def write_journal(path: str, journal=None) -> str:

@@ -699,6 +699,44 @@ class ServerSessionsProbe(HealthProbe):
         return self._result(OK, detail, float(active))
 
 
+class RequestTracingProbe(HealthProbe):
+    """Tracing overhead pressure on session requests.
+
+    Sessions count every completed request (``session.requests``) and
+    every request that carried harvested span trees
+    (``session.requests.traced``).  Tracing is a debugging instrument,
+    not a steady state: when nearly every request over a meaningful
+    volume is paying for span recording, someone left ``:trace on``
+    against production traffic — degraded, with the fraction as
+    evidence.  No requests (or no tracing) reports ok.
+    """
+
+    name = "obs.tracing"
+
+    def __init__(self, min_requests: int = 100, degraded_fraction: float = 0.9):
+        self.min_requests = min_requests
+        self.degraded_fraction = degraded_fraction
+
+    def check(self, registry, journal) -> ProbeResult:
+        requests = registry.value("session.requests")
+        traced = registry.value("session.requests.traced")
+        if not traced:
+            return self._result(
+                OK, "no traced requests (%d request(s))" % requests
+            )
+        fraction = traced / requests if requests else 0.0
+        detail = "%d of %d request(s) traced (%.0f%%)" % (
+            traced,
+            requests,
+            fraction * 100.0,
+        )
+        if requests >= self.min_requests and fraction >= self.degraded_fraction:
+            return self._result(
+                DEGRADED, "tracing left on: %s" % detail, fraction
+            )
+        return self._result(OK, detail, fraction)
+
+
 def default_probes(catalog=None) -> List[HealthProbe]:
     """The built-in probe set (``catalog`` sharpens the staleness
     probe when given)."""
@@ -709,6 +747,7 @@ def default_probes(catalog=None) -> List[HealthProbe]:
         AdaptiveHitRateProbe(),
         StatsStalenessProbe(catalog=catalog),
         ServerSessionsProbe(),
+        RequestTracingProbe(),
     ]
 
 

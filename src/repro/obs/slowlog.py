@@ -8,8 +8,11 @@ happened.  The :class:`SlowLog` is that capture: every outermost
 and any run exceeding a configurable threshold lands in a bounded ring
 as a :class:`SlowQueryEntry` carrying the query repr, a condensed plan
 summary, the estimate drift (when EXPLAIN ANALYZE measured one), the
-join pairs tried/pruned during the run, and the trace-span ``seq`` so
-the entry can be matched to its span in an exported trace file.
+join pairs tried/pruned during the run, the trace-span ``seq`` so the
+entry can be matched to its span in an exported trace file, and — when
+the run happened inside a session request — the exact ``request_id``
+from the per-thread request context, the same key wide events
+(:mod:`repro.obs.wide`) and merged trace exports carry.
 
 Like the tracer, journal, and profiler, the log is process-global and
 **off by default**: instrumented sites pay one attribute check
@@ -91,6 +94,10 @@ class SlowQueryEntry:
     that carries a measured ``drift``), or ``"lang"`` (a DBPL
     ``Interpreter.run``).  ``span`` is the ``Span.seq`` of the most
     recently opened trace span when tracing was live, else ``None``.
+    ``request`` is the exact request id from the per-thread request
+    context (:func:`repro.obs.trace.current_request_id`) when the run
+    happened inside a session request — the precise correlation key
+    wide events and exported traces share.
     """
 
     __slots__ = (
@@ -105,6 +112,7 @@ class SlowQueryEntry:
         "pairs_tried",
         "pairs_pruned",
         "span",
+        "request",
     )
 
     def __init__(
@@ -119,6 +127,7 @@ class SlowQueryEntry:
         pairs_tried: int = 0,
         pairs_pruned: int = 0,
         span: Optional[int] = None,
+        request: Optional[str] = None,
         wall: Optional[float] = None,
     ):
         self.seq = seq
@@ -132,6 +141,7 @@ class SlowQueryEntry:
         self.pairs_tried = pairs_tried
         self.pairs_pruned = pairs_pruned
         self.span = span
+        self.request = request
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-compatible rendering (JSONL exports, tests)."""
@@ -147,13 +157,14 @@ class SlowQueryEntry:
             "pairs_tried": self.pairs_tried,
             "pairs_pruned": self.pairs_pruned,
             "span": self.span,
+            "request": self.request,
         }
 
     def format(self) -> str:
         """One table row (the ``:slow`` rendering)."""
         drift_text = "%.2f" % self.drift if self.drift is not None else "-"
         span_text = "#%d" % self.span if self.span is not None else "-"
-        return "%-5d %-7s %10.3f %6s %7d/%-7d %-6s %s" % (
+        return "%-5d %-7s %10.3f %6s %7d/%-7d %-6s %-12s %s" % (
             self.seq,
             self.kind,
             self.elapsed_ms,
@@ -161,6 +172,7 @@ class SlowQueryEntry:
             self.pairs_tried,
             self.pairs_pruned,
             span_text,
+            self.request if self.request is not None else "-",
             self.query if self.query is not None else "-",
         )
 
@@ -172,8 +184,9 @@ class SlowQueryEntry:
         )
 
 
-_REPORT_HEADER = "%-5s %-7s %10s %6s %7s/%-7s %-6s %s" % (
-    "seq", "kind", "ms", "drift", "tried", "pruned", "span", "query"
+_REPORT_HEADER = "%-5s %-7s %10s %6s %7s/%-7s %-6s %-12s %s" % (
+    "seq", "kind", "ms", "drift", "tried", "pruned", "span", "request",
+    "query",
 )
 
 
@@ -281,14 +294,21 @@ class SlowLog:
         pairs_tried: int = 0,
         pairs_pruned: int = 0,
         span: Optional[int] = None,
+        request: Optional[str] = None,
     ) -> SlowQueryEntry:
         """Append one entry (callers have already checked the threshold).
 
-        When ``span`` is not given and tracing is live, the most
-        recently opened span's ``seq`` is captured as the correlation
-        id.  Publishes ``WARN slowlog.slow_query`` into the journal and
-        bumps the ``slowlog.recorded`` counter.
+        ``request`` defaults to the recording thread's request context
+        (:func:`repro.obs.trace.current_request_id`) — an *exact*
+        correlation key: the session stamped it before dispatching the
+        query, so the entry matches its wide event and exported spans
+        precisely.  ``span`` (the best-effort most-recently-opened
+        span ``seq``) is kept alongside for trace-file lookups when
+        tracing was live.  Publishes ``WARN slowlog.slow_query`` into
+        the journal and bumps the ``slowlog.recorded`` counter.
         """
+        if request is None:
+            request = _trace.current_request_id()
         if span is None:
             tracer = _trace.CURRENT
             if tracer.enabled and tracer.last_span is not None:
@@ -305,6 +325,7 @@ class SlowLog:
                 pairs_tried=pairs_tried,
                 pairs_pruned=pairs_pruned,
                 span=span,
+                request=request,
             )
             self._ring.append(entry)
             if len(self._ring) > self.capacity:
@@ -326,6 +347,7 @@ class SlowLog:
                 pairs_tried=entry.pairs_tried,
                 pairs_pruned=entry.pairs_pruned,
                 span=entry.span,
+                request=entry.request,
             )
         return entry
 
@@ -352,6 +374,12 @@ class SlowLog:
         if limit is not None and limit >= 0:
             retained = retained[-limit:] if limit else []
         return retained
+
+    def for_request(self, request_id: str) -> List[SlowQueryEntry]:
+        """Every retained entry recorded under this exact request id."""
+        with self._lock:
+            retained = list(self._ring)
+        return [entry for entry in retained if entry.request == request_id]
 
     def clear(self) -> None:
         """Drop retained entries (``total`` keeps counting)."""
@@ -396,6 +424,9 @@ class NoOpSlowLog:
         return None
 
     def entries(self, limit: Optional[int] = None) -> List[SlowQueryEntry]:
+        return []
+
+    def for_request(self, request_id: str) -> List[SlowQueryEntry]:
         return []
 
     def clear(self) -> None:

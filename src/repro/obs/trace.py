@@ -31,6 +31,7 @@ observe a whole program, and the REPL's ``:trace on`` flips one switch.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -47,7 +48,33 @@ __all__ = [
     "enable",
     "disable",
     "span",
+    "current_request_id",
+    "set_request_id",
 ]
+
+
+# The per-thread request context: while a session executes a request,
+# its ``request_id`` is visible here, so downstream recorders (the
+# slow-query log, journal publishers) can stamp whatever they capture
+# with the exact request it belongs to — no racy "most recent span"
+# guessing across threads.
+_REQUEST = threading.local()
+
+
+def current_request_id() -> Optional[str]:
+    """The request id the current thread is executing under (or None)."""
+    return getattr(_REQUEST, "request_id", None)
+
+
+def set_request_id(request_id: Optional[str]) -> Optional[str]:
+    """Install ``request_id`` as this thread's request context.
+
+    Returns the previous value so callers can restore it on the way
+    out (requests nest during ``:load`` and re-entrant evaluation).
+    """
+    previous = getattr(_REQUEST, "request_id", None)
+    _REQUEST.request_id = request_id
+    return previous
 
 
 class Span:
@@ -84,6 +111,25 @@ class Span:
         for child in self.children:
             for descendant in child.walk():
                 yield descendant
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe nested dict of the subtree (for wire transport).
+
+        ``started`` is the opening ``perf_counter()`` reading — meaningful
+        only relative to other spans from the same process, which is why
+        merged exports carry a clock offset estimated at handshake.
+        """
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "started": self._started,
+            "elapsed": self.elapsed,
+            "tags": {
+                key: _events._json_safe(value)
+                for key, value in self.tags.items()
+            },
+            "children": [child.to_dict() for child in self.children],
+        }
 
     def format(self, indent: int = 0) -> str:
         """An indented one-line-per-span rendering of the subtree."""
@@ -162,6 +208,14 @@ class Tracer:
 
     ``roots`` holds completed-and-open top-level spans in order; nested
     spans hang off their parents.  ``clock`` is injectable for tests.
+
+    The open-span *stack* is per-thread: nesting follows each thread's
+    own call stack, so a client thread's ``client.run`` span and the
+    server worker thread's ``lang.run`` span (the in-process
+    :class:`~repro.server.server.ServerThread` embedding shares one
+    global tracer) become separate roots instead of racing into one
+    interleaved tree.  ``roots`` itself is shared; list append/slice
+    operations are atomic under the GIL.
     """
 
     enabled = True
@@ -169,11 +223,18 @@ class Tracer:
     def __init__(self, clock=time.perf_counter):
         self._clock = clock
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
         # The most recently *opened* span (even after it closes) — the
         # slow-query log reads its ``seq`` as a best-effort correlation
         # id between a slowlog entry and the trace it belongs to.
         self.last_span: Optional[Span] = None
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **tags: object) -> _OpenSpan:
         """Open a span; use as ``with tracer.span("name", k=v) as sp:``."""

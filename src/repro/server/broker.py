@@ -53,6 +53,7 @@ class SessionBroker:
         limit: int = 16,
         queue_limit: int = 8,
         session_factory=None,
+        requests_capacity: int = 64,
     ):
         if limit <= 0:
             raise ValueError("connection limit must be positive")
@@ -60,6 +61,7 @@ class SessionBroker:
             raise ValueError("queue limit cannot be negative")
         self.limit = limit
         self.queue_limit = queue_limit
+        self.requests_capacity = requests_capacity
         self._session_factory = session_factory or Session
         self._owns_store = isinstance(store, str)
         self._store: Optional[LogStore] = (
@@ -143,6 +145,7 @@ class SessionBroker:
             memory_store=self._memory_store,
             broker=self,
             publish_runs=True,
+            requests_capacity=self.requests_capacity,
         )
         with self._lock:
             self._active[session_id] = session

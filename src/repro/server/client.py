@@ -13,11 +13,26 @@ kind), an unsolicited ``bye`` as
 
 Requests are strictly sequential (one outstanding ``id`` at a time) —
 the client is a terminal's, not a connection pool's.
+
+Two additions make remote observability first-class:
+
+* every ``run`` frame carries a **trace context** — a client-minted
+  ``request_id`` the server adopts for its span trees, wide events and
+  slow-query entries, so both sides of the wire agree on which work
+  belongs to which keystroke.  With tracing enabled locally, the
+  round-trip itself is timed under a ``client.run`` span tagged with
+  the same id;
+* the handshake estimates the **clock offset** between the server's
+  ``perf_counter`` timeline and ours (the hello reply carries the
+  server's reading; we bracket the exchange and assume symmetric
+  latency), so merged trace exports can put both processes' spans on
+  one timeline.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
@@ -27,11 +42,12 @@ from repro.errors import (
     SessionClosedError,
     TruncatedFrameError,
 )
+from repro.obs import trace as _trace
 from repro.server import protocol
 
 __all__ = ["Client", "parse_address"]
 
-CLIENT_NAME = "repro-client/1"
+CLIENT_NAME = "repro-client/2"
 
 
 def parse_address(text: str) -> Tuple[str, int]:
@@ -75,6 +91,11 @@ class Client:
         self.session_id: Optional[str] = None
         self.server: Optional[str] = None
         self.limits: Dict[str, object] = {}
+        # Estimated server_perf_counter - client_perf_counter, from the
+        # handshake round-trip; None when the server predates protocol 2
+        # and sent no clock reading.
+        self.clock_offset: Optional[float] = None
+        self.last_request_id: Optional[str] = None
         self._next_id = 0
         self._closed = False
         self._decoder = protocol.FrameDecoder(max_frame)
@@ -87,6 +108,7 @@ class Client:
             raise
 
     def _handshake(self) -> None:
+        t0 = time.perf_counter()
         self._send(
             {
                 "type": "hello",
@@ -95,6 +117,7 @@ class Client:
             }
         )
         reply = self._read()
+        t1 = time.perf_counter()
         if reply is None:
             raise SessionClosedError("server closed during handshake")
         if reply.get("type") == "error":
@@ -105,7 +128,7 @@ class Client:
             raise ProtocolError(
                 "expected hello reply, got %r" % reply.get("type")
             )
-        if reply.get("protocol") != protocol.PROTOCOL_VERSION:
+        if reply.get("protocol") not in protocol.SUPPORTED_PROTOCOLS:
             raise ProtocolError(
                 "server speaks protocol %r, client speaks %d"
                 % (reply.get("protocol"), protocol.PROTOCOL_VERSION)
@@ -114,21 +137,57 @@ class Client:
         self.server = reply.get("server")
         limits = reply.get("limits")
         self.limits = limits if isinstance(limits, dict) else {}
+        # NTP-style one-sample offset estimate: the server read its
+        # clock somewhere inside [t0, t1]; assume the midpoint.  Good to
+        # half the round-trip, which is far below span durations.
+        clock = reply.get("clock")
+        if isinstance(clock, dict) and isinstance(
+            clock.get("mono"), (int, float)
+        ):
+            self.clock_offset = float(clock["mono"]) - (t0 + t1) / 2.0
 
     # -- the Session-shaped surface -----------------------------------------
 
     def run(self, source: str, mode: str = "eval") -> Dict[str, object]:
         """Evaluate ``source`` remotely; same reply shape as
-        :meth:`Session.run <repro.server.session.Session.run>`."""
-        return self._request(
-            {"type": "run", "source": source, "mode": mode}, expect="result"
-        )
+        :meth:`Session.run <repro.server.session.Session.run>`.
+
+        Stamps the frame with a client-minted ``request_id`` (the trace
+        context) and, when tracing is on, wraps the round-trip in a
+        ``client.run`` span carrying the same id — the hook a merged
+        export uses to line both processes up.
+        """
+        request_id = "%s-c%d" % (self.session_id, self._next_id + 1)
+        self.last_request_id = request_id
+        frame = {
+            "type": "run",
+            "source": source,
+            "mode": mode,
+            "trace": {"request_id": request_id},
+        }
+        tracer = _trace.CURRENT
+        if tracer.enabled:
+            with tracer.span(
+                "client.run", request_id=request_id, mode=mode
+            ) as span_obj:
+                reply = self._request(frame, expect="result")
+                if "elapsed" in reply:
+                    span_obj.annotate(server_ms=reply["elapsed"])
+                return reply
+        return self._request(frame, expect="result")
 
     def stat(self, kind: str, **args: object) -> Dict[str, object]:
         """One observability round-trip; same reply shape as
         :meth:`Session.stat <repro.server.session.Session.stat>`."""
         return self._request(
             {"type": "stat", "kind": kind, "args": args}, expect="stat"
+        )
+
+    def obs(self, what: str, **args: object) -> Dict[str, object]:
+        """Pull structured observability state; same reply shape as
+        :meth:`Session.obs <repro.server.session.Session.obs>`."""
+        return self._request(
+            {"type": "obs", "what": what, "args": args}, expect="obs"
         )
 
     def describe(self) -> str:

@@ -10,13 +10,22 @@ type       direction  meaning
 ``hello``  both       handshake; carries ``protocol`` (version), and from
                       the server the assigned ``session`` id and limits
 ``run``    c → s      evaluate DBPL ``source`` in the session
-                      (``mode``: ``eval`` | ``type`` | ``ast``)
+                      (``mode``: ``eval`` | ``type`` | ``ast``); since
+                      protocol 2 may carry a ``trace`` object whose
+                      ``request_id`` names the request end to end
 ``result`` s → c      a ``run``'s answer: formatted ``value``, ``output``
-                      lines, ``elapsed`` seconds
+                      lines, ``elapsed`` seconds, and (protocol 2) the
+                      ``request_id`` plus a rendered ``trace`` span tree
+                      when server-side tracing is on
 ``error``  s → c      a failed request: ``error`` message + ``kind``
 ``stat``   both       observability round-trip: request carries ``kind``
                       (``stats``/``health``/``watch``/``metrics``/...)
                       and ``args``; reply carries the rendered ``text``
+``obs``    both       structured observability pull (protocol 2): request
+                      carries ``what`` (``spans``/``profile``/``journal``
+                      /``requests``) and ``args``; reply carries plain
+                      data — span trees, profiler rows, journal slices,
+                      wide events — for ``:export`` and tooling
 ``bye``    both       orderly close; ``reason`` is ``client`` / ``idle``
                       / ``shutdown``
 =========  =========  ====================================================
@@ -27,6 +36,18 @@ limit raise :class:`~repro.errors.FrameTooLargeError` *before* any
 payload is buffered — on the read side the length header alone
 condemns the frame, so a hostile or broken peer cannot balloon server
 memory.
+
+**Versioning.**  The current version is :data:`PROTOCOL_VERSION`; the
+server accepts every version in :data:`SUPPORTED_PROTOCOLS` (down to
+:data:`MIN_PROTOCOL_VERSION`) and echoes the *client's* version in its
+``hello`` reply, so a version-1 client — no trace context, no ``obs``
+frames — still connects to a version-2 server and simply never sends
+the newer frames.  The version-2 ``hello`` reply also carries a
+``clock`` object (``mono`` = the server's ``time.perf_counter()``,
+``wall`` = ``time.time()``) sampled while answering, which the client
+combines with its own send/receive timestamps to estimate the
+monotonic-clock offset between the two processes — what lets
+``:export`` place client and server spans on one merged timeline.
 
 The module is transport-agnostic: :func:`encode_frame` /
 :class:`FrameDecoder` work on bytes (the blocking client feeds raw
@@ -49,6 +70,8 @@ from repro.errors import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
     "MAX_FRAME",
     "FRAME_TYPES",
     "HEADER",
@@ -60,13 +83,26 @@ __all__ = [
     "error_frame",
 ]
 
-PROTOCOL_VERSION = 1
+# Version 2 added end-to-end request tracing: the ``obs`` frame type,
+# the ``trace`` context on ``run`` frames, and the handshake ``clock``.
+PROTOCOL_VERSION = 2
+
+# The oldest version the server still serves.  Version-1 peers lack
+# the tracing extensions but every frame they *do* send means the same
+# thing, so they stay first-class citizens.
+MIN_PROTOCOL_VERSION = 1
+
+SUPPORTED_PROTOCOLS = frozenset(
+    range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1)
+)
 
 # 4 MiB: generous for DBPL source and rendered stat tables, small
 # enough that a malicious length header cannot exhaust server memory.
 MAX_FRAME = 4 * 1024 * 1024
 
-FRAME_TYPES = frozenset({"hello", "run", "result", "error", "stat", "bye"})
+FRAME_TYPES = frozenset(
+    {"hello", "run", "result", "error", "stat", "obs", "bye"}
+)
 
 HEADER = struct.Struct(">I")
 

@@ -8,9 +8,10 @@
    reply names the server, the assigned session id, and the limits;
 2. **admission** — :class:`~repro.server.broker.SessionBroker` grants a
    slot, queues the connection, or bounces it with a ``busy`` error;
-3. **request loop** — ``run`` and ``stat`` frames execute on the
-   broker's single worker thread (the event loop never blocks on a
-   query) and are answered with ``result``/``stat``/``error`` frames;
+3. **request loop** — ``run``, ``stat``, and ``obs`` frames execute on
+   the broker's single worker thread (the event loop never blocks on a
+   query) and are answered with ``result``/``stat``/``obs``/``error``
+   frames;
    protocol violations get an ``error`` frame where the stream is
    still trustworthy, and the connection is dropped where it is not
    (oversized or truncated frames);
@@ -30,6 +31,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import threading
+import time
 from functools import partial
 from typing import Dict, Optional, Set
 
@@ -48,7 +50,7 @@ from repro.server.session import Session
 
 __all__ = ["DBPLServer", "ServerThread", "main"]
 
-SERVER_NAME = "repro-server/1"
+SERVER_NAME = "repro-server/2"
 
 
 class _Connection:
@@ -77,6 +79,7 @@ class DBPLServer:
         drain_timeout: float = 5.0,
         max_frame: int = protocol.MAX_FRAME,
         session_factory=None,
+        requests_capacity: int = 64,
     ):
         self.host = host
         self.port = port  # rebound to the real port after start()
@@ -89,6 +92,7 @@ class DBPLServer:
             limit=limit,
             queue_limit=queue_limit,
             session_factory=session_factory,
+            requests_capacity=requests_capacity,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: Set[asyncio.Task] = set()
@@ -204,11 +208,17 @@ class DBPLServer:
             )
             return None
         version = hello.get("protocol")
-        if version != protocol.PROTOCOL_VERSION:
+        if version not in protocol.SUPPORTED_PROTOCOLS:
             await self._send_error(
                 writer,
-                "protocol version mismatch: server speaks %d, client sent %r"
-                % (protocol.PROTOCOL_VERSION, version),
+                "protocol version mismatch: server speaks %d (accepts"
+                " %d through %d), client sent %r"
+                % (
+                    protocol.PROTOCOL_VERSION,
+                    protocol.MIN_PROTOCOL_VERSION,
+                    protocol.PROTOCOL_VERSION,
+                    version,
+                ),
                 kind="version",
             )
             return None
@@ -225,13 +235,23 @@ class DBPLServer:
         await protocol.write_frame(
             writer,
             {
+                # Echo the *client's* (accepted) version: an old client
+                # checks for its own number, a new one reads the
+                # negotiated level from here.
                 "type": "hello",
-                "protocol": protocol.PROTOCOL_VERSION,
+                "protocol": version,
                 "server": SERVER_NAME,
                 "session": session.session_id,
                 "limits": {
                     "max_frame": self.max_frame,
                     "idle_timeout": self.idle_timeout,
+                },
+                # A clock sample for trace merging: the client brackets
+                # this reply between two perf_counter readings of its
+                # own and estimates the inter-process monotonic offset.
+                "clock": {
+                    "mono": time.perf_counter(),
+                    "wall": time.time(),
                 },
             },
             self.max_frame,
@@ -270,7 +290,7 @@ class DBPLServer:
             if frame_type == "bye":
                 await self._say_bye(writer, "bye")
                 return
-            if frame_type not in ("run", "stat"):
+            if frame_type not in ("run", "stat", "obs"):
                 # A well-framed but unknown request: answer and carry on.
                 _metrics.REGISTRY.counter("server.protocol_errors").inc()
                 await self._send_frame(
@@ -299,7 +319,7 @@ class DBPLServer:
         self, session: Session, message: Dict[str, object]
     ) -> Dict[str, object]:
         """Execute one request on the broker's worker thread."""
-        request_id = message.get("id")
+        frame_id = message.get("id")
         _metrics.REGISTRY.counter("server.requests").inc()
         with _metrics.REGISTRY.histogram("server.request.seconds").time():
             try:
@@ -310,8 +330,35 @@ class DBPLServer:
                     mode = message.get("mode", "eval")
                     if not isinstance(mode, str):
                         raise ProtocolError("run mode must be a string")
-                    result = session.run(source, mode=mode)
+                    # Protocol 2 clients propagate their trace context;
+                    # a missing/old-style frame leaves request_id None
+                    # and the session mints its own.
+                    context = message.get("trace")
+                    request_id = (
+                        context.get("request_id")
+                        if isinstance(context, dict)
+                        else None
+                    )
+                    if request_id is not None and not isinstance(
+                        request_id, str
+                    ):
+                        raise ProtocolError(
+                            "trace request_id must be a string"
+                        )
+                    result = session.run(
+                        source, mode=mode, request_id=request_id
+                    )
                     reply: Dict[str, object] = {"type": "result"}
+                    reply.update(result)
+                elif message["type"] == "obs":
+                    what = message.get("what")
+                    if not isinstance(what, str):
+                        raise ProtocolError("obs frame needs a string what")
+                    args = message.get("args") or {}
+                    if not isinstance(args, dict):
+                        raise ProtocolError("obs args must be an object")
+                    result = session.obs(what, **args)
+                    reply = {"type": "obs", "what": what}
                     reply.update(result)
                 else:
                     kind = message.get("kind")
@@ -333,8 +380,8 @@ class DBPLServer:
                 reply = protocol.error_frame(
                     "internal error: %s" % exc, kind="internal"
                 )
-        if request_id is not None:
-            reply["id"] = request_id
+        if frame_id is not None:
+            reply["id"] = frame_id
         return reply
 
     # -- small senders (best-effort: the peer may already be gone) ----------

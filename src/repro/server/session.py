@@ -7,15 +7,25 @@ table statistics ``analyze`` collects — all against a **shared** store,
 so persistent extents (``extern``/``intern``) are visible across
 sessions while bindings stay isolated.
 
-The class is deliberately transport-free.  Its two entry points mirror
-the wire protocol:
+The class is deliberately transport-free.  Its entry points mirror the
+wire protocol:
 
 * :meth:`Session.run` — evaluate DBPL source (``mode`` ``eval`` /
-  ``type`` / ``ast``), returning the formatted value and output lines;
+  ``type`` / ``ast``), returning the formatted value and output lines.
+  Every run executes under a ``request_id`` (the client's trace
+  context, or a minted ``<session>-r<n>``): span trees grown on the
+  global tracer are harvested out under that id, slowlog entries
+  recorded during the run carry it exactly, and the completed request
+  lands as one *wide event* in the session's bounded
+  :class:`~repro.obs.wide.RequestLog`;
 * :meth:`Session.stat` — the observability surface behind ``:stats``,
   ``:health``, ``:watch``, ``:metrics``, ``:slow``, ``:events``,
-  ``:adaptive``, ``:columnar``, ``:analyze``, ``:explain``, and
-  ``:sessions``, returning rendered text.
+  ``:adaptive``, ``:columnar``, ``:analyze``, ``:explain``,
+  ``:trace``, ``:profile``, ``:requests``, and ``:sessions``,
+  returning rendered text;
+* :meth:`Session.obs` — the same observability state as plain data
+  (span trees, profiler rows, journal slices, wide events), which is
+  what a remote ``:export`` merges onto one timeline.
 
 The REPL in local mode calls these directly; the server calls the same
 methods from its dispatch loop; the REPL in ``:connect`` mode sends
@@ -47,13 +57,16 @@ from repro.lang.pretty import pretty_program
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import monitor as _monitor
+from repro.obs import profile as _profile
 from repro.obs import slowlog as _slowlog
+from repro.obs import trace as _trace
+from repro.obs import wide as _wide
 from repro.stats import adaptive as _adaptive
 from repro.stats import feedback as _feedback
 from repro.stats.collect import TableStats
 from repro.stats.collect import analyze as _analyze_stats
 
-__all__ = ["Session", "STAT_KINDS"]
+__all__ = ["Session", "STAT_KINDS", "OBS_KINDS"]
 
 STAT_KINDS = frozenset(
     {
@@ -68,8 +81,17 @@ STAT_KINDS = frozenset(
         "adaptive",
         "columnar",
         "sessions",
+        "trace",
+        "profile",
+        "requests",
     }
 )
+
+# The structured observability surface: unlike ``stat`` (rendered
+# text), ``obs`` answers with plain data — span trees, profiler rows,
+# journal slices, wide events — so a remote ``:export`` can merge them
+# into one trace file instead of scraping tables.
+OBS_KINDS = frozenset({"spans", "profile", "journal", "requests"})
 
 
 class Session:
@@ -90,6 +112,7 @@ class Session:
         memory_store: Optional[Dict[str, object]] = None,
         broker=None,
         publish_runs: bool = False,
+        requests_capacity: int = 64,
     ):
         self.session_id = session_id
         self.broker = broker
@@ -98,6 +121,9 @@ class Session:
         self.opened = time.time()
         self.closed = False
         self.journal = _events.scoped(session=session_id)
+        # One wide event per completed run() — the session's bounded
+        # request history behind :requests and the obs surface.
+        self.request_log = _wide.RequestLog(capacity=requests_capacity)
         self._interp = Interpreter(
             store, session_id=session_id, memory_store=memory_store
         )
@@ -132,8 +158,14 @@ class Session:
 
     # -- run ----------------------------------------------------------------
 
-    def run(self, source: str, mode: str = "eval") -> Dict[str, object]:
-        """Evaluate ``source``; returns ``{"value", "output", "elapsed"}``.
+    def run(
+        self,
+        source: str,
+        mode: str = "eval",
+        request_id: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Evaluate ``source``; returns ``{"value", "output", "elapsed",
+        "request_id"}`` (plus ``"trace"`` while tracing is on).
 
         ``value`` is the formatted result (``None`` for declarations),
         ``output`` the lines ``print`` produced during this run.  Modes
@@ -142,8 +174,26 @@ class Session:
         syntax tree.  Language and type errors propagate to the caller
         (the server turns them into ``error`` frames; the REPL prints
         ``error: ...``).
+
+        ``request_id`` is the caller's trace context (a remote client
+        stamps its ``run`` frames); absent one the session mints
+        ``<session>-r<n>``.  The id is installed as the thread's
+        request context for the duration (exact slowlog correlation),
+        any span trees the run grew on the global tracer are harvested
+        out under it, and the whole request lands in the session's
+        :class:`~repro.obs.wide.RequestLog` as one wide event.
         """
         self._touch()
+        if request_id is None:
+            request_id = "%s-r%d" % (self.session_id, self.requests)
+        tracer = _trace.CURRENT
+        # Everything the tracer records past this index belongs to this
+        # request: queries serialize (the broker's single worker thread
+        # remotely, one thread locally), so the slice is attributable.
+        harvest_from = len(tracer.roots) if tracer.enabled else 0
+        counters_before = _wide.counters_snapshot()
+        slow_before = getattr(_slowlog.CURRENT, "total", 0)
+        previous_request = _trace.set_request_id(request_id)
         started = time.perf_counter()
         try:
             if mode == "eval":
@@ -157,22 +207,106 @@ class Session:
                 }
             else:
                 raise EvalError("unknown run mode %r" % (mode,))
-        except BaseException:
-            self._publish_run(mode, started, ok=False)
+        except BaseException as exc:
+            elapsed = time.perf_counter() - started
+            _trace.set_request_id(previous_request)
+            roots = self._harvest_spans(tracer, harvest_from, request_id)
+            self._record_request(
+                request_id, mode, source, False, str(exc), elapsed,
+                roots, counters_before, slow_before,
+            )
             raise
-        reply["elapsed"] = time.perf_counter() - started
-        self._publish_run(mode, started, ok=True)
+        elapsed = time.perf_counter() - started
+        _trace.set_request_id(previous_request)
+        roots = self._harvest_spans(tracer, harvest_from, request_id)
+        self._record_request(
+            request_id, mode, source, True, None, elapsed,
+            roots, counters_before, slow_before,
+        )
+        reply["elapsed"] = elapsed
+        reply["request_id"] = request_id
+        if roots:
+            reply["trace"] = "\n".join(root.format() for root in roots)
         return reply
 
-    def _publish_run(self, mode: str, started: float, ok: bool) -> None:
+    def _harvest_spans(self, tracer, harvest_from: int, request_id: str):
+        """Claim the root spans this request grew on the global tracer.
+
+        The roots are *removed* from the tracer (so a long session does
+        not accumulate trees) and annotated with the request id and
+        session — they live on in the wide event.  Returns the claimed
+        :class:`~repro.obs.trace.Span` roots.
+        """
+        if not tracer.enabled:
+            return []
+        roots = list(tracer.roots[harvest_from:])
+        del tracer.roots[harvest_from:]
+        for root in roots:
+            root.annotate(request_id=request_id, session=self.session_id)
+        return roots
+
+    def _record_request(
+        self,
+        request_id: str,
+        mode: str,
+        source: str,
+        ok: bool,
+        error: Optional[str],
+        elapsed: float,
+        roots,
+        counters_before: Dict[str, int],
+        slow_before: int,
+    ) -> None:
+        """Fold one completed run into the wide-event request log."""
+        counters_after = _wide.counters_snapshot()
+        deltas = {
+            field: counters_after[field] - counters_before.get(field, 0)
+            for field in counters_after
+        }
+        # The optimizer's last feedback observation, when this request
+        # produced one, supplies estimated-vs-actual row counts.
+        est_rows = act_rows = None
+        if deltas.get("feedback"):
+            recent = _feedback.FEEDBACK.last(1)
+            if recent:
+                est_rows = recent[0].estimate
+                act_rows = recent[0].rows_out
+        # Exact slowlog correlation: entries recorded during this run
+        # carry our request id (via the thread's request context).
+        slow_ms = None
+        log = _slowlog.CURRENT
+        if log.enabled and log.total > slow_before:
+            tripped = log.for_request(request_id)
+            if tripped:
+                slow_ms = max(entry.elapsed_ms for entry in tripped)
+        event = _wide.WideEvent(
+            request_id=request_id,
+            session=self.session_id,
+            mode=mode,
+            query=source,
+            ok=ok,
+            error=error,
+            elapsed_ms=elapsed * 1000.0,
+            spans=[root.to_dict() for root in roots],
+            counters=deltas,
+            est_rows=est_rows,
+            act_rows=act_rows,
+            slow_ms=slow_ms,
+        )
+        self.request_log.append(event)
+        _metrics.REGISTRY.counter("session.requests").inc()
+        if roots:
+            _metrics.REGISTRY.counter("session.requests.traced").inc()
         if self.publish_runs and self.journal.enabled:
             self.journal.publish(
                 "INFO" if ok else "WARN",
                 "server",
-                "run",
+                "request",
+                request=request_id,
                 mode=mode,
                 ok=ok,
-                ms=round((time.perf_counter() - started) * 1000.0, 3),
+                ms=round(elapsed * 1000.0, 3),
+                slow=slow_ms is not None,
             )
 
     def _run_eval(self, source: str) -> Dict[str, object]:
@@ -336,6 +470,32 @@ class Session:
             )
         }
 
+    def _stat_trace(self, action: str = "status", **__) -> Dict[str, object]:
+        if action == "on":
+            _trace.enable()
+            return {"text": "tracing on"}
+        if action == "off":
+            _trace.disable()
+            return {"text": "tracing off"}
+        return {
+            "text": "tracing is %s"
+            % ("on" if _trace.CURRENT.enabled else "off")
+        }
+
+    def _stat_profile(
+        self, action: str = "report", top: int = 10, **__
+    ) -> Dict[str, object]:
+        if action == "on":
+            _profile.enable()
+            return {"text": "profiling on"}
+        if action == "off":
+            _profile.disable()
+            return {"text": "profiling off"}
+        return {"text": _profile.profile_report(int(top))}
+
+    def _stat_requests(self, count: int = 10, **__) -> Dict[str, object]:
+        return {"text": self.request_log.format(int(count))}
+
     def _stat_sessions(self, **__) -> Dict[str, object]:
         if self.broker is None:
             return {
@@ -343,6 +503,73 @@ class Session:
                 % self.describe()
             }
         return {"text": self.broker.format_sessions()}
+
+    # -- obs: structured observability pulls ---------------------------------
+
+    def obs(self, what: str, **args: object) -> Dict[str, object]:
+        """Answer one structured observability request with plain data.
+
+        The ``stat`` surface renders text for humans; this one hands
+        back the underlying records — what a remote ``:export`` merges
+        into a trace file and tooling consumes.  Unknown kinds raise
+        :class:`~repro.errors.EvalError` (an ``error`` frame remotely).
+        """
+        self._touch()
+        handler = getattr(self, "_obs_%s" % what, None)
+        if what not in OBS_KINDS or handler is None:
+            raise EvalError("unknown obs kind %r" % (what,))
+        return handler(**args)
+
+    def _obs_spans(self, count: int = 32, **__) -> Dict[str, object]:
+        """Per-request span trees of the most recent traced requests.
+
+        ``mono`` is the session process's ``perf_counter()`` at answer
+        time — alongside the handshake clock sample it lets a client
+        sanity-check its offset estimate.
+        """
+        requests = []
+        for event in self.request_log.last(int(count)):
+            if event.spans:
+                requests.append(
+                    {
+                        "request_id": event.request_id,
+                        "spans": event.spans,
+                    }
+                )
+        return {
+            "session": self.session_id,
+            "mono": time.perf_counter(),
+            "requests": requests,
+        }
+
+    def _obs_profile(self, top: int = 0, **__) -> Dict[str, object]:
+        ops = _profile.CURRENT.snapshot()
+        if top:
+            ops = ops[: int(top)]
+        return {
+            "session": self.session_id,
+            "enabled": bool(_profile.CURRENT.enabled),
+            "ops": ops,
+        }
+
+    def _obs_journal(self, count: int = 100, **__) -> Dict[str, object]:
+        return {
+            "session": self.session_id,
+            "events": [
+                event.to_dict() for event in self.journal.events(int(count))
+            ],
+        }
+
+    def _obs_requests(
+        self, count: int = 20, spans: bool = False, **__
+    ) -> Dict[str, object]:
+        return {
+            "session": self.session_id,
+            "requests": [
+                event.to_dict(spans=bool(spans))
+                for event in self.request_log.last(int(count))
+            ],
+        }
 
     # -- feedback / explain internals (moved out of the REPL) ---------------
 

@@ -1,9 +1,11 @@
 """The REPL as a thin client: ``:connect`` / ``:disconnect``."""
 
+import json
+
 import pytest
 
 from repro.lang.repl import Repl
-from repro.obs import events, monitor, slowlog
+from repro.obs import events, export, monitor, profile, slowlog, trace
 from repro.obs.metrics import reset_metrics
 from repro.server import ServerThread
 
@@ -14,10 +16,14 @@ def clean_globals():
     previous_journal = events.CURRENT
     previous_monitor = monitor.CURRENT
     previous_slowlog = slowlog.CURRENT
+    previous_tracer = trace.CURRENT
+    previous_profiler = profile.CURRENT
     yield
     events.set_journal(previous_journal)
     monitor.set_monitor(previous_monitor)
     slowlog.set_slowlog(previous_slowlog)
+    trace.set_tracer(previous_tracer)
+    profile.set_profiler(previous_profiler)
     reset_metrics()
 
 
@@ -156,11 +162,129 @@ class TestRemoteObservability:
         instance.handle(':explain rmatch(emp, {Name = "A"})')
         assert "Scan" in lines[-1]
 
-    def test_local_only_commands_refuse(self, repl):
+    def test_remote_trace_prints_server_span_tree(self, repl):
         instance, lines = connect(repl)
-        for command in (":trace on", ":profile on", ":export /tmp/x.json"):
-            instance.handle(command)
-            assert "local-only" in lines[-1], command
+        instance.handle(":trace on")
+        assert lines[-1] == "tracing on"
+        instance.handle("6 * 7")
+        instance.handle(":trace off")
+        assert lines[-1] == "tracing off"
+        text = "\n".join(lines)
+        assert "42" in lines
+        assert "lang.run" in text
+        assert any(
+            line.startswith("  lang.parse") for line in text.splitlines()
+        )
+
+    def test_remote_trace_toggle_mirrors_the_local_tracer(self, repl):
+        # In a real deployment the server is another *process*: its
+        # stat("trace") cannot flip this process's tracer, and without
+        # the client lane a merged :export has no client.run spans.
+        # A fake backend (whose stat touches no globals, unlike the
+        # in-process ServerThread) proves the REPL mirrors the toggle.
+        instance, lines, __ = repl
+
+        class FakeRemote:
+            _closed = False
+
+            def stat(self, kind, **args):
+                return {"text": "tracing %s" % args["action"]}
+
+        trace.disable()
+        instance._remote = FakeRemote()
+        try:
+            instance.handle(":trace on")
+            assert trace.CURRENT.enabled
+            instance.handle(":trace off")
+            assert not trace.CURRENT.enabled
+        finally:
+            instance._remote = None
+
+    def test_remote_profile_renders_server_rows(self, repl):
+        instance, lines = connect(repl)
+        instance.handle(":profile on")
+        assert lines[-1] == "profiling on"
+        instance.handle(
+            'rjoin(relation([{Dept = "Sales", N = 1}]),'
+            ' relation([{Dept = "Sales", M = 2}]))'
+        )
+        instance.handle(":profile")
+        assert "relation.join" in lines[-1]
+        instance.handle(":profile off")
+        assert lines[-1] == "profiling off"
+
+    def test_requests_lists_remote_wide_events(self, repl):
+        instance, lines = connect(repl)
+        instance.handle("40 + 2")
+        request_id = instance._remote.last_request_id
+        instance.handle(":requests")
+        assert request_id in lines[-1]
+        assert "40 + 2" in lines[-1]
+
+    def test_export_merges_client_and_server_onto_one_timeline(
+        self, repl, tmp_path
+    ):
+        # The acceptance scenario: :trace on, two queries, :export —
+        # the file must hold the client-side round-trip span AND the
+        # server-side span tree for the same request id, on lanes the
+        # viewer labels as separate processes.
+        instance, lines = connect(repl)
+        instance.handle(":trace on")
+        instance.handle("let x = 6 * 7")
+        instance.handle("x")
+        request_id = instance._remote.last_request_id
+        path = str(tmp_path / "merged.trace.json")
+        instance.handle(":export %s" % path)
+        instance.handle(":trace off")
+        assert "exported %s" % path in "\n".join(lines)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        frames = document["traceEvents"]
+        process_names = {
+            e["args"]["name"]: e["pid"]
+            for e in frames
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        assert process_names == {
+            "client": export.CLIENT_PID,
+            "server": export.BACKEND_PID,
+        }
+        client_spans = [
+            e for e in frames
+            if e.get("ph") == "X" and e["pid"] == export.CLIENT_PID
+            and e["name"] == "client.run"
+        ]
+        server_spans = [
+            e for e in frames
+            if e.get("ph") == "X" and e["pid"] == export.BACKEND_PID
+        ]
+        client_ids = {e["args"].get("request_id") for e in client_spans}
+        server_ids = {
+            e["args"]["request_id"]
+            for e in server_spans
+            if "request_id" in e.get("args", {})
+        }
+        assert request_id in client_ids
+        assert request_id in server_ids
+        # One timeline: the server's work for the request sits inside
+        # the client's round-trip span (the in-process server shares
+        # the clock, so the offset estimate error is sub-millisecond).
+        client_span = next(
+            e for e in client_spans if e["args"].get("request_id") == request_id
+        )
+        server_root = next(
+            e for e in server_spans
+            if e.get("args", {}).get("request_id") == request_id
+        )
+        tolerance_us = 5000.0
+        assert server_root["ts"] >= client_span["ts"] - tolerance_us
+        assert (
+            server_root["ts"] + server_root["dur"]
+            <= client_span["ts"] + client_span["dur"] + tolerance_us
+        )
+        assert document["otherData"]["clock_offset_seconds"] == (
+            instance._remote.clock_offset
+        )
 
 
 class TestTwoRepls:

@@ -228,6 +228,75 @@ class TestProfileCommand:
         assert lines[-1] == "usage: :profile on|off"
 
 
+class TestRequestsCommand:
+    def test_requests_lists_wide_events(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("20 + 22")
+        repl.handle(":requests")
+        text = lines[-1]
+        assert "request" in text  # the header row
+        assert "local-r" in text  # locally-minted request ids
+        assert "20 + 22" in text
+
+    def test_requests_empty_session(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":requests")
+        assert lines[-1] == "(no requests recorded)"
+
+    def test_requests_n_limits_output(self, repl_session):
+        repl, lines = repl_session
+        for i in range(4):
+            repl.handle("%d + 1" % i)
+        repl.handle(":requests 2")
+        body = [
+            line for line in lines[-1].splitlines()[1:] if line.strip()
+        ]
+        assert len(body) == 2
+        assert "3 + 1" in body[-1]
+
+    def test_requests_junk_argument_prints_usage(self, repl_session):
+        repl, lines = repl_session
+        repl.handle(":requests sideways")
+        assert lines[-1] == "usage: :requests [n]"
+
+    def test_failed_evaluation_still_recorded(self, repl_session):
+        repl, lines = repl_session
+        repl.handle("1 + true")
+        assert lines[-1].startswith("error:")
+        repl.handle(":requests")
+        assert "ERR" in lines[-1]
+
+
+class TestLocalExportParity:
+    def test_local_export_carries_harvested_request_spans(
+        self, repl_session, tmp_path
+    ):
+        # Local mode mirrors connected mode: the session harvests its
+        # span trees per request, and :export renders them on the
+        # backend lane of the merged timeline.
+        from repro.obs import export as _export
+
+        repl, lines = repl_session
+        repl.handle(":trace on")
+        repl.handle("6 * 7")
+        path = str(tmp_path / "local.trace.json")
+        repl.handle(":export %s" % path)
+        repl.handle(":trace off")
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        backend_spans = [
+            e for e in document["traceEvents"]
+            if e.get("ph") == "X" and e.get("pid") == _export.BACKEND_PID
+        ]
+        assert any(e["name"] == "lang.run" for e in backend_spans)
+        roots = [
+            e for e in backend_spans if "request_id" in e.get("args", {})
+        ]
+        assert roots and all(
+            r["args"]["request_id"].startswith("local-r") for r in roots
+        )
+
+
 class TestJournalOnFromStartup:
     def test_replay_anomalies_of_the_session_store_are_journaled(
         self, tmp_path

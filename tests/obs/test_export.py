@@ -10,11 +10,15 @@ from repro.core.query import eq, explain, optimize, scan
 from repro.obs import events, trace
 from repro.obs.events import EventJournal
 from repro.obs.export import (
+    BACKEND_PID,
+    CLIENT_PID,
+    merged_trace_events,
     read_journal,
     read_trace,
     span_tree,
     trace_events,
     write_journal,
+    write_merged_trace,
     write_trace,
 )
 from repro.obs.trace import Tracer
@@ -101,6 +105,112 @@ class TestWriteTrace:
         assert forest[0]["name"] == "outer"
         assert [c["name"] for c in forest[0]["children"]] == ["inner"]
         assert forest[0]["args"] == {"n": 2}
+
+
+def make_remote_document(started=100.0):
+    """An ``obs("spans")`` reply shaped like Session._obs_spans."""
+    return {
+        "session": "s01",
+        "mono": started + 1.0,
+        "requests": [
+            {
+                "request_id": "s01-c1",
+                "spans": [
+                    {
+                        "name": "lang.run",
+                        "seq": 9,
+                        "started": started,
+                        "elapsed": 0.004,
+                        "tags": {"request_id": "s01-c1", "session": "s01"},
+                        "children": [
+                            {
+                                "name": "lang.parse",
+                                "seq": 10,
+                                "started": started + 0.001,
+                                "elapsed": 0.001,
+                                "tags": {},
+                                "children": [],
+                            }
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+
+
+class TestMergedTraceEvents:
+    def test_lanes_are_labelled_processes(self):
+        tracer, journal = make_session()
+        merged = merged_trace_events(
+            tracer, journal, remote=make_remote_document()
+        )
+        names = {
+            e["args"]["name"]: (e["pid"], e["tid"])
+            for e in merged
+            if e["ph"] == "M"
+        }
+        assert names["client"][0] == CLIENT_PID
+        assert names["server"][0] == BACKEND_PID
+        assert names["session s01"] == (BACKEND_PID, 1)
+
+    def test_remote_span_trees_flatten_onto_the_backend_lane(self):
+        tracer, journal = make_session()
+        merged = merged_trace_events(
+            tracer, journal, remote=make_remote_document()
+        )
+        backend = [
+            e for e in merged if e["ph"] == "X" and e["pid"] == BACKEND_PID
+        ]
+        assert [e["name"] for e in backend] == ["lang.run", "lang.parse"]
+        assert backend[0]["args"]["request_id"] == "s01-c1"
+        local = [
+            e for e in merged if e["ph"] == "X" and e["pid"] == CLIENT_PID
+        ]
+        assert [e["name"] for e in local] == ["outer", "inner"]
+
+    def test_clock_offset_shifts_remote_timestamps(self):
+        tracer, journal = make_session()
+        shifted = merged_trace_events(
+            tracer, journal,
+            remote=make_remote_document(started=100.0),
+            clock_offset=40.0,
+        )
+        root = next(
+            e for e in shifted
+            if e.get("pid") == BACKEND_PID and e.get("name") == "lang.run"
+        )
+        assert root["ts"] == pytest.approx((100.0 - 40.0) * 1e6)
+
+    def test_open_remote_span_exports_zero_duration(self):
+        document = make_remote_document()
+        document["requests"][0]["spans"][0]["elapsed"] = None
+        merged = merged_trace_events(
+            Tracer(), EventJournal(), remote=document
+        )
+        root = next(e for e in merged if e.get("name") == "lang.run")
+        assert root["dur"] == 0.0
+
+    def test_no_remote_document_means_client_lane_only(self):
+        tracer, journal = make_session()
+        merged = merged_trace_events(tracer, journal, remote=None)
+        assert all(
+            e["pid"] == CLIENT_PID for e in merged if e["ph"] != "M"
+        )
+        metadata = [e for e in merged if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in metadata] == ["client"]
+
+
+class TestWriteMergedTrace:
+    def test_returns_the_document_it_wrote(self, tmp_path):
+        tracer, journal = make_session()
+        path = str(tmp_path / "merged.trace.json")
+        document = write_merged_trace(
+            path, tracer, journal,
+            remote=make_remote_document(), clock_offset=2.5,
+        )
+        assert document["otherData"]["clock_offset_seconds"] == 2.5
+        assert read_trace(path)["traceEvents"] == document["traceEvents"]
 
 
 class TestJournalRoundTrip:

@@ -420,3 +420,51 @@ class TestOpenMetrics:
         for name, value in REGISTRY.counters().items():
             sanitized = name.replace(".", "_").replace("-", "_")
             assert parsed["counters"][sanitized] == value
+
+
+class TestRequestTracingProbe:
+    def test_quiet_process_is_ok(self, registry):
+        from repro.obs.monitor import RequestTracingProbe
+
+        probe = RequestTracingProbe()
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == OK
+        assert "no traced requests" in result.detail
+
+    def test_partial_tracing_is_ok(self, registry):
+        from repro.obs.monitor import RequestTracingProbe
+
+        probe = RequestTracingProbe(min_requests=10)
+        registry.counter("session.requests").inc(100)
+        registry.counter("session.requests.traced").inc(5)
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == OK
+        assert "5 of 100" in result.detail
+
+    def test_tracing_left_on_degrades(self, registry):
+        from repro.obs.monitor import RequestTracingProbe
+
+        probe = RequestTracingProbe(
+            min_requests=10, degraded_fraction=0.9
+        )
+        registry.counter("session.requests").inc(50)
+        registry.counter("session.requests.traced").inc(50)
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == DEGRADED
+        assert "tracing left on" in result.detail
+
+    def test_warmup_volume_does_not_degrade(self, registry):
+        from repro.obs.monitor import RequestTracingProbe
+
+        probe = RequestTracingProbe(min_requests=100)
+        registry.counter("session.requests").inc(3)
+        registry.counter("session.requests.traced").inc(3)
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == OK
+
+    def test_in_default_probe_set(self):
+        from repro.obs.monitor import RequestTracingProbe, default_probes
+
+        assert any(
+            isinstance(p, RequestTracingProbe) for p in default_probes()
+        )

@@ -199,6 +199,48 @@ class TestExecuteHook:
         assert entry.pairs_tried > 0
 
 
+class TestRequestCorrelation:
+    def test_entry_adopts_the_thread_request_context(self):
+        catalog = make_catalog()
+        log = slowlog.enable(threshold_ms=0.0)
+        log.clear()
+        previous = trace.set_request_id("s03-c7")
+        try:
+            optimize(scan("emp"), catalog).execute(catalog)
+        finally:
+            trace.set_request_id(previous)
+        entry = log.entries()[-1]
+        assert entry.request == "s03-c7"
+        assert entry.to_dict()["request"] == "s03-c7"
+
+    def test_no_context_leaves_request_none(self):
+        catalog = make_catalog()
+        log = slowlog.enable(threshold_ms=0.0)
+        log.clear()
+        optimize(scan("emp"), catalog).execute(catalog)
+        assert log.entries()[-1].request is None
+
+    def test_for_request_filters_retained_entries(self):
+        log = SlowLog(threshold_ms=0.0)
+        previous = trace.set_request_id("r1")
+        log.record("plan", "q1", 0.001)
+        trace.set_request_id("r2")
+        log.record("plan", "q2", 0.001)
+        trace.set_request_id(previous)
+        assert [e.query for e in log.for_request("r1")] == ["q1"]
+        assert [e.query for e in log.for_request("r2")] == ["q2"]
+        assert log.for_request("r3") == []
+
+    def test_report_renders_the_request_column(self):
+        log = SlowLog(threshold_ms=0.0)
+        previous = trace.set_request_id("s01-c4")
+        log.record("plan", "scan emp", 5.0)
+        trace.set_request_id(previous)
+        report = log.report()
+        assert "request" in report.splitlines()[1]  # header row
+        assert "s01-c4" in report
+
+
 class TestJournalRoundTrip:
     def test_slow_entries_publish_warn_events(self):
         journal = events.enable(capacity=64)

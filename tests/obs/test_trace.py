@@ -161,3 +161,82 @@ class TestGlobalSwitch:
         with trace.span("global.op"):
             pass
         assert len(tracer.find("global.op")) == 1  # unchanged
+
+
+class TestSpanToDict:
+    def test_serializes_the_subtree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", rows=3) as outer:
+            with tracer.span("inner"):
+                pass
+        document = outer.to_dict()
+        assert document["name"] == "outer"
+        assert document["seq"] == outer.seq
+        assert document["started"] == 1.0
+        assert document["elapsed"] == outer.elapsed
+        assert document["tags"] == {"rows": 3}
+        assert [c["name"] for c in document["children"]] == ["inner"]
+
+    def test_non_scalar_tags_become_strings(self):
+        span_obj = Span("s", {"shape": (3, 4)})
+        assert span_obj.to_dict()["tags"]["shape"] == "(3, 4)"
+
+    def test_open_span_has_null_elapsed(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            assert outer.to_dict()["elapsed"] is None
+
+
+class TestPerThreadStacks:
+    def test_threads_build_separate_roots(self):
+        # A client thread's span and a worker thread's span must not
+        # nest into each other even though they share one tracer (the
+        # in-process ServerThread embedding).
+        import threading
+
+        tracer = Tracer()
+        ready = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with tracer.span("worker.op"):
+                ready.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=worker)
+        with tracer.span("main.op"):
+            thread.start()
+            ready.wait(timeout=5.0)
+            release.set()
+            thread.join(timeout=5.0)
+        names = {root.name for root in tracer.roots}
+        assert names == {"main.op", "worker.op"}
+        for root in tracer.roots:
+            assert root.children == []
+
+
+class TestRequestContext:
+    def test_default_is_none(self):
+        assert trace.current_request_id() is None
+
+    def test_set_returns_previous_for_restore(self):
+        assert trace.set_request_id("r1") is None
+        assert trace.current_request_id() == "r1"
+        assert trace.set_request_id("r2") == "r1"
+        trace.set_request_id(None)
+        assert trace.current_request_id() is None
+
+    def test_context_is_per_thread(self):
+        import threading
+
+        trace.set_request_id("outer")
+        seen = {}
+
+        def probe():
+            seen["inner"] = trace.current_request_id()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join(timeout=5.0)
+        trace.set_request_id(None)
+        assert seen["inner"] is None

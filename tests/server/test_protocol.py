@@ -129,6 +129,35 @@ class TestFrameDecoder:
         with pytest.raises(FrameTooLargeError):
             decoder.feed(struct.pack(">I", 1 << 20))
 
+    def test_truncated_header_then_completion(self):
+        # A header split one byte short of complete must buffer cleanly
+        # and resolve once the missing byte (and payload) arrive.
+        frame = encode_frame({"type": "obs", "what": "spans"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[: HEADER.size - 1]) == []
+        assert decoder.pending == HEADER.size - 1
+        messages = decoder.feed(frame[HEADER.size - 1 :])
+        assert messages == [{"type": "obs", "what": "spans"}]
+        assert decoder.pending == 0
+
+    def test_interleaved_partial_frames(self):
+        # Two frames arriving as three chunks whose boundaries fall
+        # mid-frame: [frame1 head][frame1 tail + frame2 head][tail].
+        first = encode_frame({"type": "result", "id": 1, "value": "a"})
+        second = encode_frame({"type": "stat", "id": 2, "kind": "health"})
+        stream = first + second
+        cuts = (len(first) - 3, len(first) + 5)
+        decoder = FrameDecoder()
+        collected = []
+        collected.extend(decoder.feed(stream[: cuts[0]]))
+        assert collected == []  # first frame still short three bytes
+        collected.extend(decoder.feed(stream[cuts[0] : cuts[1]]))
+        assert [m["type"] for m in collected] == ["result"]
+        assert decoder.pending == 5  # second frame's head is buffered
+        collected.extend(decoder.feed(stream[cuts[1] :]))
+        assert [m["type"] for m in collected] == ["result", "stat"]
+        assert [m["id"] for m in collected] == [1, 2]
+
     def test_default_limit_is_four_mebibytes(self):
         assert MAX_FRAME == 4 * 1024 * 1024
 
@@ -171,5 +200,14 @@ class TestReadFrame:
         with pytest.raises(FrameTooLargeError):
             asyncio.run(read_frame(_StubReader(data), max_frame=1024))
 
-    def test_protocol_version_is_one(self):
-        assert protocol.PROTOCOL_VERSION == 1
+    def test_protocol_version_is_two(self):
+        assert protocol.PROTOCOL_VERSION == 2
+
+    def test_version_one_still_supported(self):
+        # v1 clients keep connecting: the supported set reaches back to
+        # the first wire version.
+        assert protocol.MIN_PROTOCOL_VERSION == 1
+        assert protocol.SUPPORTED_PROTOCOLS == frozenset({1, 2})
+
+    def test_obs_is_a_frame_type(self):
+        assert "obs" in protocol.FRAME_TYPES

@@ -14,7 +14,7 @@ from collections import deque
 import pytest
 
 from repro.errors import RemoteError, SessionClosedError
-from repro.obs import events, monitor, slowlog
+from repro.obs import events, monitor, profile, slowlog, trace
 from repro.obs.metrics import REGISTRY, reset_metrics
 from repro.server import Client, ServerThread, protocol
 from repro.server.session import Session
@@ -26,10 +26,14 @@ def clean_globals():
     previous_journal = events.CURRENT
     previous_monitor = monitor.CURRENT
     previous_slowlog = slowlog.CURRENT
+    previous_tracer = trace.CURRENT
+    previous_profiler = profile.CURRENT
     yield
     events.set_journal(previous_journal)
     monitor.set_monitor(previous_monitor)
     slowlog.set_slowlog(previous_slowlog)
+    trace.set_tracer(previous_tracer)
+    profile.set_profiler(previous_profiler)
     reset_metrics()
 
 
@@ -74,9 +78,9 @@ class SlowSession(Session):
 
     delay = 0.4
 
-    def run(self, source, mode="eval"):
+    def run(self, source, mode="eval", **kwargs):
         time.sleep(self.delay)
-        return super().run(source, mode)
+        return super().run(source, mode, **kwargs)
 
 
 class TestHandshake:
@@ -84,7 +88,7 @@ class TestHandshake:
         with ServerThread(limit=3) as server:
             with Client(server.host, server.port) as client:
                 assert client.session_id == "s01"
-                assert client.server == "repro-server/1"
+                assert client.server == "repro-server/2"
                 assert client.limits["max_frame"] == protocol.MAX_FRAME
 
     def test_version_mismatch_rejected(self):
@@ -93,8 +97,38 @@ class TestHandshake:
             reply = conn.hello(version=99)
             assert reply["type"] == "error"
             assert reply["kind"] == "version"
-            assert "server speaks 1" in reply["error"]
+            assert "server speaks 2" in reply["error"]
             conn.close()
+
+    def test_old_v1_client_still_connects(self):
+        # Protocol 2 added obs frames and trace contexts, but a v1
+        # client's frames are a strict subset — the server must accept
+        # it and echo the *client's* version back.
+        with ServerThread() as server:
+            conn = RawConn(server.port, handshake=False)
+            reply = conn.hello(version=1)
+            assert reply["type"] == "hello"
+            assert reply["protocol"] == 1
+            conn.send({"type": "run", "source": "6 * 7", "id": 1})
+            assert conn.read()["value"] == "42"
+            conn.close()
+
+    def test_hello_reply_carries_clock_reading(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port, handshake=False)
+            reply = conn.hello()
+            clock = reply["clock"]
+            assert isinstance(clock["mono"], float)
+            assert isinstance(clock["wall"], float)
+            conn.close()
+
+    def test_client_estimates_clock_offset(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                # Same process, same perf_counter: the estimate must be
+                # within the handshake round-trip of zero.
+                assert client.clock_offset is not None
+                assert abs(client.clock_offset) < 1.0
 
     def test_first_frame_must_be_hello(self):
         with ServerThread() as server:
@@ -155,6 +189,74 @@ class TestDispatch:
         assert REGISTRY.counter("server.requests").value >= 2
         histogram = REGISTRY.histogram("server.request.seconds")
         assert histogram.count >= 2
+
+
+class TestTracingOverTheWire:
+    def test_client_request_id_adopted_by_server(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                reply = client.run("1 + 1")
+                assert reply["request_id"] == client.last_request_id
+                assert reply["request_id"].startswith(client.session_id)
+
+    def test_v1_run_frame_without_context_gets_minted_id(self):
+        with ServerThread() as server:
+            conn = RawConn(server.port, handshake=False)
+            conn.hello(version=1)
+            conn.send({"type": "run", "source": "1", "id": 1})
+            reply = conn.read()
+            assert reply["request_id"]  # server minted one
+            conn.close()
+
+    def test_obs_frame_round_trip(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.stat("trace", action="on")
+                client.run("2 + 3")
+                reply = client.obs("spans")
+                client.stat("trace", action="off")
+                assert reply["type"] == "obs"
+                assert reply["what"] == "spans"
+                request = reply["requests"][-1]
+                assert request["request_id"] == client.last_request_id
+                names = [s["name"] for s in request["spans"]]
+                assert "lang.run" in names
+
+    def test_traced_reply_carries_rendered_span_tree(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.stat("trace", action="on")
+                reply = client.run("6 * 7")
+                client.stat("trace", action="off")
+                assert "lang.run" in reply["trace"]
+                assert "  lang.parse" in reply["trace"]
+
+    def test_remote_profile_report(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.stat("profile", action="on")
+                client.run(
+                    'rjoin(relation([{Dept = "Sales", N = 1}]),'
+                    ' relation([{Dept = "Sales", M = 2}]))'
+                )
+                text = client.stat("profile", action="report")["text"]
+                client.stat("profile", action="off")
+                assert "relation.join" in text
+
+    def test_remote_requests_wide_events(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                client.run("40 + 2")
+                text = client.stat("requests")["text"]
+                assert client.last_request_id in text
+                assert "40 + 2" in text
+
+    def test_bad_obs_kind_is_an_error_not_a_hangup(self):
+        with ServerThread() as server:
+            with Client(server.host, server.port) as client:
+                with pytest.raises(RemoteError):
+                    client.obs("nonsense")
+                assert client.run("1")["value"] == "1"
 
 
 class TestProtocolAbuse:

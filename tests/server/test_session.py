@@ -3,10 +3,10 @@
 import pytest
 
 from repro.errors import EvalError, SessionClosedError, TypeCheckError
-from repro.obs import events, monitor, slowlog
+from repro.obs import events, monitor, slowlog, trace
 from repro.obs.metrics import reset_metrics
 from repro.persistence.store import LogStore
-from repro.server.session import STAT_KINDS, Session
+from repro.server.session import OBS_KINDS, STAT_KINDS, Session
 
 
 @pytest.fixture(autouse=True)
@@ -15,10 +15,12 @@ def clean_globals():
     previous_journal = events.CURRENT
     previous_monitor = monitor.CURRENT
     previous_slowlog = slowlog.CURRENT
+    previous_tracer = trace.CURRENT
     yield
     events.set_journal(previous_journal)
     monitor.set_monitor(previous_monitor)
     slowlog.set_slowlog(previous_slowlog)
+    trace.set_tracer(previous_tracer)
     reset_metrics()
 
 
@@ -235,3 +237,148 @@ class TestStat:
         session = Session()
         assert "slow-query log on" in session.stat("slow", action="on")["text"]
         assert session.stat("slow", action="off")["text"] == "slow-query log off"
+
+
+class TestRequestTracking:
+    def test_every_reply_carries_a_request_id(self):
+        session = Session(session_id="s07")
+        assert session.run("1")["request_id"] == "s07-r1"
+        assert session.run("2")["request_id"] == "s07-r2"
+
+    def test_caller_supplied_request_id_is_adopted(self):
+        session = Session()
+        reply = session.run("1 + 1", request_id="s01-c9")
+        assert reply["request_id"] == "s01-c9"
+        assert session.request_log.find("s01-c9") is not None
+
+    def test_traced_run_harvests_spans_off_the_global_tracer(self):
+        session = Session(session_id="t")
+        trace.enable()
+        reply = session.run("6 * 7")
+        trace.disable()
+        assert trace.NOOP.roots == ()
+        assert "lang.run" in reply["trace"]
+        event = session.request_log.find(reply["request_id"])
+        assert event.spans
+        root = event.spans[0]
+        assert root["tags"]["request_id"] == reply["request_id"]
+        assert root["tags"]["session"] == "t"
+
+    def test_untraced_run_has_no_trace_key(self):
+        session = Session()
+        assert "trace" not in session.run("1")
+
+    def test_failed_run_is_recorded_with_its_error(self):
+        session = Session()
+        with pytest.raises(TypeCheckError):
+            session.run("1 + true")
+        events_ = session.request_log.last()
+        assert len(events_) == 1
+        assert not events_[0].ok
+        assert events_[0].error
+
+    def test_wide_event_counts_join_work(self):
+        session = Session()
+        session.run(
+            'let a = relation([{Dept = "Sales", N = 1}]);'
+            'let b = relation([{Dept = "Sales", M = 2}]);'
+        )
+        reply = session.run("rjoin(a, b)")
+        event = session.request_log.find(reply["request_id"])
+        assert event.counters["pairs_tried"] >= 1
+
+    def test_request_log_is_bounded(self):
+        session = Session(requests_capacity=3)
+        for i in range(5):
+            session.run("%d" % i)
+        retained = session.request_log.last(10)
+        assert len(retained) == 3
+        assert retained[-1].query == "4"
+        assert session.request_log.total == 5
+
+
+class TestObsSurface:
+    def test_every_declared_kind_has_a_handler(self):
+        session = Session()
+        for kind in OBS_KINDS:
+            assert hasattr(session, "_obs_%s" % kind), kind
+
+    def test_unknown_obs_kind(self):
+        with pytest.raises(EvalError, match="unknown obs kind"):
+            Session().obs("flamegraph")
+
+    def test_obs_spans_returns_harvested_trees(self):
+        session = Session(session_id="t")
+        trace.enable()
+        reply = session.run("1 + 1")
+        trace.disable()
+        document = session.obs("spans")
+        assert document["session"] == "t"
+        request = document["requests"][-1]
+        assert request["request_id"] == reply["request_id"]
+        assert request["spans"][0]["name"] == "lang.run"
+        assert isinstance(document["mono"], float)
+
+    def test_obs_requests_returns_wide_event_dicts(self):
+        session = Session()
+        session.run("40 + 2")
+        document = session.obs("requests")
+        record = document["requests"][-1]
+        assert record["query"] == "40 + 2"
+        assert record["ok"] is True
+        assert "spans" not in record  # flat by default
+
+    def test_obs_profile_snapshot(self):
+        from repro.obs import profile
+
+        session = Session()
+        profile.enable()
+        session.run(
+            'rjoin(relation([{D = 1, N = 2}]), relation([{D = 1, M = 3}]))'
+        )
+        document = session.obs("profile")
+        profile.disable()
+        assert document["enabled"] is True
+        assert any(op["label"] == "relation.join" for op in document["ops"])
+
+    def test_obs_journal_returns_session_events(self):
+        journal = events.enable()
+        journal.clear()
+        session = Session(session_id="j", publish_runs=True)
+        session.run("1")
+        document = session.obs("journal")
+        assert any(
+            event["payload"].get("session") == "j"
+            for event in document["events"]
+        )
+
+
+class TestStatTraceProfileRequests:
+    def test_trace_toggle_flips_the_global_tracer(self):
+        session = Session()
+        assert session.stat("trace", action="on")["text"] == "tracing on"
+        assert trace.CURRENT.enabled
+        assert session.stat("trace", action="status")["text"] == "tracing is on"
+        assert session.stat("trace", action="off")["text"] == "tracing off"
+        assert not trace.CURRENT.enabled
+
+    def test_requests_stat_renders_the_wide_event_table(self):
+        session = Session(session_id="w")
+        session.run("20 + 22")
+        text = session.stat("requests")["text"]
+        assert "w-r1" in text
+        assert "20 + 22" in text
+
+    def test_slowlog_entry_carries_the_exact_request_id(self):
+        log = slowlog.enable(threshold_ms=0.0)
+        log.clear()
+        session = Session(session_id="sl")
+        reply = session.run(
+            "let r = relation([{N = 1}, {N = 2}]); rmatch(r, {N = 1})"
+        )
+        entries = log.for_request(reply["request_id"])
+        assert entries, [e.request for e in log.entries()]
+        assert entries[0].request == reply["request_id"]
+        event = session.request_log.find(reply["request_id"])
+        assert event.slow
+        assert event.slow_ms is not None
