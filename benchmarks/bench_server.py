@@ -2,7 +2,9 @@
 
 The server tentpole (``repro.server``) multiplexes many sessions over
 one shared store: the asyncio loop handles framing and admission while
-a single worker thread runs queries (the store is single-writer).  This
+a pool of worker threads runs queries (MVCC snapshot isolation keeps
+the shared store consistent — ``benchmarks/bench_txn.py`` prices the
+pool against the old single-worker stance).  This
 harness prices that stance end to end — real TCP sockets, real frames —
 at 1, 4, and 16 concurrent clients, each firing a fixed batch of
 queries at its own private session and **checking every reply**:

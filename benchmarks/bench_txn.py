@@ -1,0 +1,300 @@
+"""Transaction throughput — MVCC reads vs the serialized-worker world.
+
+Before MVCC, the server ran every session's queries through **one**
+worker thread: correctness by serialization, with a committing writer's
+``fsync`` stalling every reader behind it.  The MVCC layer
+(``repro.persistence.mvcc``) made concurrency safe — snapshot-isolated
+reads, first-committer-wins commits — so the broker now runs a real
+worker pool.  This harness prices exactly that trade, end to end over
+real TCP frames:
+
+* **reads under a writer** — 16 reader clients hammer ``intern`` on a
+  seeded handle while one background writer commits ``extern`` after
+  ``extern`` (each autocommit is an atomic batch + fsync on the log).
+  The same workload runs twice: against a server pinned to ``workers=1``
+  (the pre-MVCC stance) and against the pooled default.  Every reply is
+  checked.  The pooled run must beat the serialized run — that is the
+  point of the PR — and in ``--quick`` mode that comparison is a hard
+  gate (exit 1 when pooled <= serialized);
+* **pure reads** — the same 16 clients with no writer, both modes, for
+  reference (CPython's interpreter lock bounds the gap here; the win
+  comes from overlapping reads with the writer's I/O stalls);
+* **conflict discipline** — racing increment transactions over one
+  handle: every attempt either commits or raises the retryable
+  ``TransactionConflictError``, and the final counter must equal the
+  number of successful commits exactly (no lost updates, no double
+  counts — checked, and a mismatch fails the run).
+
+Artifacts: ``BENCH_txn.json`` (qps per mode, conflict tallies, the
+``txn.*`` metric snapshot) and ``BENCH_txn.trace.json``.
+
+Run:  python benchmarks/bench_txn.py [--quick]
+"""
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+try:
+    from benchmarks._results import ResultsWriter, quick_requested
+except ImportError:
+    from _results import ResultsWriter, quick_requested
+
+from repro.errors import TransactionConflictError
+from repro.obs.metrics import REGISTRY
+from repro.server import Client, ServerThread
+
+READERS = 16
+WRITE_VALUE = 41
+
+
+class ReaderWorker(threading.Thread):
+    """One reader client: ``queries`` checked interns of a pinned handle."""
+
+    def __init__(self, host, port, index, queries):
+        super().__init__(name="txn-reader-%d" % index)
+        self.host = host
+        self.port = port
+        self.index = index
+        self.queries = queries
+        self.completed = 0
+        self.errors = []
+
+    def run(self):
+        try:
+            with Client(self.host, self.port) as client:
+                for sequence in range(self.queries):
+                    reply = client.run('coerce intern("doc") to Int')
+                    if str(WRITE_VALUE) not in str(reply["value"]):
+                        self.errors.append(
+                            "reader %d query %d: expected %d, got %r"
+                            % (self.index, sequence, WRITE_VALUE,
+                               reply["value"])
+                        )
+                        return
+                    self.completed += 1
+        except Exception as exc:  # noqa: BLE001 — a failed run is the result
+            self.errors.append(
+                "reader %d: %s: %s" % (self.index, type(exc).__name__, exc)
+            )
+
+
+class BackgroundWriter(threading.Thread):
+    """Commits externs in a loop until stopped — each autocommit is an
+    atomic batch + fsync, the stall a serialized worker inflicts on
+    every queued reader."""
+
+    def __init__(self, host, port):
+        super().__init__(name="txn-writer")
+        self.host = host
+        self.port = port
+        self.stop = threading.Event()
+        self.commits = 0
+        self.errors = []
+
+    def run(self):
+        try:
+            with Client(self.host, self.port) as client:
+                sequence = 0
+                while not self.stop.is_set():
+                    client.run('extern("scratch", dynamic %d);' % sequence)
+                    self.commits += 1
+                    sequence += 1
+        except Exception as exc:  # noqa: BLE001
+            self.errors.append("writer: %s: %s" % (type(exc).__name__, exc))
+
+
+def read_phase(server, queries, with_writer):
+    """16 readers (plus an optional background writer); returns
+    (seconds, completed, writer_commits, errors)."""
+    with Client(server.host, server.port) as seed:
+        seed.run('extern("doc", dynamic %d);' % WRITE_VALUE)
+        seed.run('coerce intern("doc") to Int')  # warm the path
+
+    writer = BackgroundWriter(server.host, server.port) if with_writer else None
+    if writer is not None:
+        writer.start()
+    readers = [
+        ReaderWorker(server.host, server.port, index, queries)
+        for index in range(READERS)
+    ]
+    started = time.perf_counter()
+    for reader in readers:
+        reader.start()
+    for reader in readers:
+        reader.join()
+    elapsed = time.perf_counter() - started
+    commits = 0
+    errors = [error for r in readers for error in r.errors]
+    if writer is not None:
+        writer.stop.set()
+        writer.join(timeout=30.0)
+        commits = writer.commits
+        errors.extend(writer.errors)
+    completed = sum(r.completed for r in readers)
+    return elapsed, completed, commits, errors
+
+
+def measure_mode(label, workers, queries, store_dir, writer, failures):
+    """Both read phases against one server configuration; returns the
+    reads-under-writer qps (the headline number)."""
+    store = os.path.join(store_dir, "bench-%s.log" % label)
+    results = {}
+    with ServerThread(store=store, limit=READERS + 2, workers=workers) as server:
+        for phase, with_writer in (("pure", False), ("under_writer", True)):
+            elapsed, completed, commits, errors = read_phase(
+                server, queries, with_writer
+            )
+            expected = READERS * queries
+            qps = completed / elapsed if elapsed else 0.0
+            results[phase] = qps
+            writer.record(
+                "reads_%s_%s" % (phase, label),
+                completed,
+                elapsed,
+                clients=READERS,
+                workers=server.server.broker.workers,
+                qps=round(qps, 1),
+                writer_commits=commits,
+                errors=len(errors),
+            )
+            if errors:
+                failures.extend(errors)
+            if completed != expected:
+                failures.append(
+                    "%s/%s: %d of %d reads completed"
+                    % (label, phase, completed, expected)
+                )
+            print("%-12s %-14s %10d %12.4f %10.0f %9d %8d" % (
+                label, phase, completed, elapsed, qps, commits, len(errors)))
+    return results["under_writer"]
+
+
+def conflict_phase(writer, attempts, failures):
+    """Racing increments: counter == successful commits, exactly."""
+    commits = []
+    conflicts = []
+    lock = threading.Lock()
+    with ServerThread(limit=6) as server:
+        with Client(server.host, server.port) as seed:
+            seed.run('extern("counter", dynamic 0);')
+
+        def contender(index):
+            try:
+                with Client(server.host, server.port) as client:
+                    for __ in range(attempts):
+                        client.begin()
+                        reply = client.run('coerce intern("counter") to Int')
+                        value = int(str(reply["value"]).split(":")[0])
+                        client.run(
+                            'extern("counter", dynamic %d);' % (value + 1)
+                        )
+                        try:
+                            client.commit()
+                        except TransactionConflictError:
+                            with lock:
+                                conflicts.append(index)
+                        else:
+                            with lock:
+                                commits.append(index)
+            except Exception as exc:  # noqa: BLE001
+                failures.append(
+                    "contender %d: %s: %s" % (index, type(exc).__name__, exc)
+                )
+
+        threads = [
+            threading.Thread(target=contender, args=(index,))
+            for index in range(4)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        with Client(server.host, server.port) as check:
+            reply = check.run('coerce intern("counter") to Int')
+            final = int(str(reply["value"]).split(":")[0])
+
+    total = len(commits) + len(conflicts)
+    writer.record(
+        "conflict_race",
+        total,
+        elapsed,
+        committed=len(commits),
+        conflicted=len(conflicts),
+        final_counter=final,
+    )
+    print("\nconflict race: %d attempts -> %d committed, %d retryable "
+          "conflicts in %.3fs" % (total, len(commits), len(conflicts),
+                                  elapsed))
+    if final != len(commits):
+        failures.append(
+            "lost update: counter %d != %d successful commits"
+            % (final, len(commits))
+        )
+    else:
+        print("no lost updates: counter %d == %d successful commits"
+              % (final, len(commits)))
+
+
+def main():
+    quick = quick_requested()
+    writer = ResultsWriter("txn", quick=quick)
+    queries = 30 if quick else 120
+    attempts = 5 if quick else 25
+
+    failures = []
+    store_dir = tempfile.mkdtemp(prefix="bench-txn-")
+    try:
+        print("read throughput, %d clients x %d checked reads"
+              % (READERS, queries))
+        print("%-12s %-14s %10s %12s %10s %9s %8s" % (
+            "mode", "phase", "reads", "seconds", "qps", "commits", "errors"))
+        serialized = measure_mode(
+            "serialized", 1, queries, store_dir, writer, failures
+        )
+        pooled = measure_mode(
+            "pooled", None, queries, store_dir, writer, failures
+        )
+        speedup = pooled / serialized if serialized else 0.0
+        writer.record(
+            "pooled_vs_serialized",
+            READERS * queries,
+            0.0,
+            speedup=round(speedup, 3),
+            serialized_qps=round(serialized, 1),
+            pooled_qps=round(pooled, 1),
+        )
+        print("\nreads under a committing writer: pooled %.0f qps vs "
+              "serialized %.0f qps (%.2fx)" % (pooled, serialized, speedup))
+        if pooled <= serialized:
+            failures.append(
+                "pooled read throughput (%.0f qps) did not beat the"
+                " serialized worker (%.0f qps)" % (pooled, serialized)
+            )
+
+        conflict_phase(writer, attempts, failures)
+
+        for name in ("txn.begin", "txn.commit", "txn.conflict", "txn.abort"):
+            print("%-14s %d" % (name, REGISTRY.value(name)))
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    print("\nresults -> %s" % writer.write())
+    print("trace   -> %s" % writer.trace_path)
+
+    if failures:
+        print("\nFAIL: %d problem(s):" % len(failures))
+        for failure in failures:
+            print("  " + failure)
+        raise SystemExit(1)
+    print("\npooled beats serialized under write load; zero conflicts "
+          "escaped their transactions")
+
+
+if __name__ == "__main__":
+    main()

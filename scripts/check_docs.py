@@ -1,11 +1,19 @@
-"""Check that relative links in the repository's markdown files resolve.
+"""Check that relative links and anchors in the markdown files resolve.
 
 Scans every ``*.md`` file (the repo root plus any tracked
 subdirectories, skipping hidden directories) for inline markdown links
-``[text](target)`` and verifies each *relative* target exists on disk.
-External links (``http://``, ``https://``, ``mailto:``) and pure
-in-page anchors (``#section``) are not checked; a relative target's
-``#fragment`` suffix is ignored — the file just has to exist.
+``[text](target)`` and verifies:
+
+* each *relative* target exists on disk;
+* each ``#fragment`` — whether a pure in-page anchor (``#section``) or
+  a suffix on a relative target (``file.md#section``) — names a real
+  heading in the target document, under GitHub's slugification (
+  lowercase, punctuation stripped, spaces to hyphens, ``-1``/``-2``
+  suffixes for duplicate headings).
+
+External links (``http://``, ``https://``, ``mailto:``) are not
+checked; fragments on non-markdown targets are ignored (the file just
+has to exist).
 
 Exit status is the number of broken links, so CI can run this directly:
 
@@ -20,7 +28,7 @@ from __future__ import annotations
 import os
 import re
 import sys
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 # Inline links only; reference-style definitions are rare enough here
 # that inline coverage keeps the checker honest without a parser.
@@ -28,14 +36,47 @@ from typing import Iterator, List, Tuple
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCED_CODE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
 INLINE_CODE = re.compile(r"`[^`\n]*`")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def strip_code(text: str) -> str:
     """Remove fenced blocks and inline spans — DBPL snippets like
     ``get[Employee](db)`` would otherwise read as links."""
     return INLINE_CODE.sub("", FENCED_CODE.sub("", text))
+
+
+def slugify(heading: str) -> str:
+    """One heading as GitHub's anchor slug (sans duplicate suffix).
+
+    The algorithm GitHub applies: drop markdown decorations (inline
+    code ticks, link targets, emphasis), lowercase, remove everything
+    but word characters, hyphens and spaces, then turn spaces into
+    hyphens.
+    """
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links → text
+    text = text.replace("`", "")
+    text = re.sub(r"[*_]", "", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors(text: str) -> Set[str]:
+    """Every heading anchor a markdown document exposes.
+
+    Duplicate headings get ``-1``, ``-2``, ... suffixes, exactly as
+    GitHub disambiguates them.
+    """
+    seen: Dict[str, int] = {}
+    result: Set[str] = set()
+    for match in HEADING.finditer(FENCED_CODE.sub("", text)):
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        result.add(slug if count == 0 else "%s-%d" % (slug, count))
+    return result
 
 
 def markdown_files(root: str) -> Iterator[str]:
@@ -51,8 +92,17 @@ def markdown_files(root: str) -> Iterator[str]:
 
 
 def broken_links(root: str) -> List[Tuple[str, str]]:
-    """All (markdown file, unresolvable relative target) pairs."""
+    """All (markdown file, unresolvable target-or-anchor) pairs."""
     missing = []
+    anchor_cache: Dict[str, Set[str]] = {}
+
+    def anchors_of(path: str) -> Set[str]:
+        resolved = os.path.normpath(path)
+        if resolved not in anchor_cache:
+            with open(resolved, "r", encoding="utf-8") as handle:
+                anchor_cache[resolved] = anchors(handle.read())
+        return anchor_cache[resolved]
+
     for path in markdown_files(root):
         with open(path, "r", encoding="utf-8") as handle:
             text = strip_code(handle.read())
@@ -61,12 +111,17 @@ def broken_links(root: str) -> List[Tuple[str, str]]:
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
-                continue
-            resolved = os.path.normpath(os.path.join(base, relative))
-            if not os.path.exists(resolved):
-                missing.append((os.path.relpath(path, root), target))
+            relative, __, fragment = target.partition("#")
+            if relative:
+                resolved = os.path.normpath(os.path.join(base, relative))
+                if not os.path.exists(resolved):
+                    missing.append((os.path.relpath(path, root), target))
+                    continue
+            else:
+                resolved = path  # a pure in-page anchor
+            if fragment and resolved.endswith(".md"):
+                if fragment.lower() not in anchors_of(resolved):
+                    missing.append((os.path.relpath(path, root), target))
     return missing
 
 

@@ -166,6 +166,26 @@ class TransactionError(PersistenceError):
     """Raised on misuse of commit/abort in intrinsic persistence."""
 
 
+class TransactionConflictError(TransactionError):
+    """Raised when first-committer-wins conflict detection aborts a commit.
+
+    Another transaction committed an overlapping sweep between this
+    transaction's snapshot and its commit attempt; the transaction has
+    been aborted.  ``retryable`` is always ``True``: begin a fresh
+    transaction (pinning a new snapshot) and redo the work.  ``keys``
+    names what overlapped — object ids for heap transactions, extern
+    handles for session transactions — and ``winner_epoch`` is the
+    epoch of the commit that won.
+    """
+
+    retryable = True
+
+    def __init__(self, message, keys=(), winner_epoch=None):
+        self.keys = tuple(keys)
+        self.winner_epoch = winner_epoch
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Derived class-construct errors (repro.classes)
 # ---------------------------------------------------------------------------

@@ -50,8 +50,8 @@ for ``extern``/``intern``).  Commands:
   session relation, feeding the cost-based optimizer;
 * ``:health``        — run the built-in health probes (store replay
   integrity, heap commit lag, journal drop rate, adaptive hit rate,
-  statistics staleness, server session pressure) and print their
-  ok/degraded/failing verdicts;
+  statistics staleness, server session pressure, transaction conflict
+  rate) and print their ok/degraded/failing verdicts;
 * ``:slow [n]``      — show the slow-query log (``:slow on|off``
   toggles it, ``:slow threshold <ms>`` sets the capture threshold);
 * ``:watch <seconds>`` — enable the monitor and refresh a rates/
@@ -64,6 +64,15 @@ for ``extern``/``intern``).  Commands:
   and print the EXPLAIN ANALYZE tree with per-node estimate drift;
 * ``:sessions``      — list the server's open sessions (connected
   mode; locally it names the single local session);
+* ``:begin`` / ``:commit`` / ``:abort`` — delimit a snapshot-isolated
+  transaction in the session: after ``:begin``, ``intern`` reads see
+  the database as of the begin (other sessions' commits stay
+  invisible) and ``extern`` writes stay private until ``:commit``,
+  which publishes them atomically — unless another session committed
+  an overlapping handle first, in which case the commit *aborts* with
+  a retryable ``TransactionConflictError`` (first committer wins; see
+  TRANSACTIONS.md).  In connected mode the three commands travel as
+  the protocol-3 ``begin``/``commit``/``abort`` frames;
 * ``:quit``          — leave.
 
 Everything else is checked and evaluated in the running session, so
@@ -100,7 +109,7 @@ BANNER = (
     ":disconnect, :trace on|off, :events [n], :export FILE,\n"
     ":profile on|off, :requests [n], :stats, :analyze R, :explain E,\n"
     ":adaptive on|off, :columnar on|off, :health, :slow [n], :watch S,\n"
-    ":metrics [PATH], :sessions, :quit\n"
+    ":metrics [PATH], :sessions, :begin, :commit, :abort, :quit\n"
 )
 
 
@@ -197,6 +206,12 @@ class Repl:
             self._metrics_command(argument)
         elif command == ":sessions":
             self._stat(lambda b: b.stat("sessions"))
+        elif command == ":begin":
+            self._txn_command("begin", argument)
+        elif command == ":commit":
+            self._txn_command("commit", argument)
+        elif command == ":abort":
+            self._txn_command("abort", argument)
         else:
             self._write("unknown command %s" % command)
 
@@ -349,6 +364,18 @@ class Repl:
         self._stat(lambda b: b.stat("requests", count=count))
 
     # -- session-routed commands --------------------------------------------
+
+    def _txn_command(self, action: str, argument: str) -> None:
+        """``:begin`` / ``:commit`` / ``:abort`` — transaction
+        boundaries in the session (over the wire when connected).  A
+        lost first-committer-wins race surfaces through ``_stat``'s
+        normal error path as ``error: transaction conflict ...`` — the
+        transaction is already aborted, so retrying is just ``:begin``
+        again."""
+        if argument.strip():
+            self._write("usage: :%s" % action)
+            return
+        self._stat(lambda b: getattr(b, action)())
 
     def _events_command(self, argument: str) -> None:
         argument = argument.strip().lower()

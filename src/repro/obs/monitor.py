@@ -23,7 +23,8 @@ monitoring layer that can:
   :class:`HealthProbe` objects over the registry and journal, each
   returning ok/degraded/failing with a human detail line.  Built-in
   probes cover store replay integrity, heap commit lag, journal drop
-  rate, adaptive-store hit rate, and statistics staleness.  Non-ok
+  rate, adaptive-store hit rate, statistics staleness, server session
+  pressure, and transaction conflict rate.  Non-ok
   verdicts publish ``WARN`` events into the flight recorder, so a
   degraded probe is journaled evidence, not just a console line.
 
@@ -73,6 +74,7 @@ __all__ = [
     "AdaptiveHitRateProbe",
     "StatsStalenessProbe",
     "ServerSessionsProbe",
+    "TxnConflictProbe",
     "default_probes",
     "health_report",
     "overall_verdict",
@@ -699,6 +701,41 @@ class ServerSessionsProbe(HealthProbe):
         return self._result(OK, detail, float(active))
 
 
+class TxnConflictProbe(HealthProbe):
+    """Contention in the MVCC transaction layer.
+
+    Counts commit attempts (``txn.commit`` + ``txn.conflict``) and the
+    fraction lost to first-committer-wins conflicts.  Occasional
+    conflicts are the optimistic protocol working as designed; a rate
+    past ``degraded_rate`` over a meaningful number of attempts means
+    sessions keep writing the same handles and their retry loops are
+    burning work — the workload wants partitioning (or shorter
+    transactions), not more retries.  See TRANSACTIONS.md.
+    """
+
+    name = "txn.conflict_rate"
+
+    def __init__(self, min_attempts: int = 20, degraded_rate: float = 0.25):
+        self.min_attempts = min_attempts
+        self.degraded_rate = degraded_rate
+
+    def check(self, registry, journal) -> ProbeResult:
+        commits = registry.value("txn.commit")
+        conflicts = registry.value("txn.conflict")
+        attempts = commits + conflicts
+        if not attempts:
+            return self._result(OK, "no transactions committed")
+        rate = conflicts / attempts
+        detail = "%d conflict(s) in %d commit attempt(s) (%.0f%%)" % (
+            conflicts,
+            attempts,
+            rate * 100.0,
+        )
+        if attempts >= self.min_attempts and rate >= self.degraded_rate:
+            return self._result(DEGRADED, detail, rate)
+        return self._result(OK, detail, rate)
+
+
 class RequestTracingProbe(HealthProbe):
     """Tracing overhead pressure on session requests.
 
@@ -747,6 +784,7 @@ def default_probes(catalog=None) -> List[HealthProbe]:
         AdaptiveHitRateProbe(),
         StatsStalenessProbe(catalog=catalog),
         ServerSessionsProbe(),
+        TxnConflictProbe(),
         RequestTracingProbe(),
     ]
 

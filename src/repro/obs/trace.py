@@ -175,7 +175,14 @@ class _OpenSpan:
         if tracer._stack:
             tracer._stack[-1].children.append(span_obj)
         else:
-            tracer.roots.append(span_obj)
+            # A new root: stamp it with the thread's request context so a
+            # pooled server can harvest each request's trees by id even
+            # when several worker threads grow roots concurrently.
+            request_id = current_request_id()
+            if request_id is not None and "request_id" not in span_obj.tags:
+                span_obj.tags["request_id"] = request_id
+            with tracer._roots_lock:
+                tracer.roots.append(span_obj)
         tracer._stack.append(span_obj)
         tracer.last_span = span_obj
         span_obj._started = tracer._clock()
@@ -214,8 +221,10 @@ class Tracer:
     server worker thread's ``lang.run`` span (the in-process
     :class:`~repro.server.server.ServerThread` embedding shares one
     global tracer) become separate roots instead of racing into one
-    interleaved tree.  ``roots`` itself is shared; list append/slice
-    operations are atomic under the GIL.
+    interleaved tree.  ``roots`` itself is shared and guarded by a lock;
+    new roots are stamped with the thread's request id so
+    :meth:`harvest_request` can claim exactly one request's trees even
+    when a pooled server grows several requests' roots concurrently.
     """
 
     enabled = True
@@ -223,6 +232,7 @@ class Tracer:
     def __init__(self, clock=time.perf_counter):
         self._clock = clock
         self.roots: List[Span] = []
+        self._roots_lock = threading.Lock()
         self._local = threading.local()
         # The most recently *opened* span (even after it closes) — the
         # slow-query log reads its ``seq`` as a best-effort correlation
@@ -242,8 +252,38 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all recorded spans (open spans keep recording)."""
-        self.roots = []
+        with self._roots_lock:
+            self.roots = []
         self.last_span = None
+
+    def harvest_request(self, request_id: str) -> List[Span]:
+        """Claim (remove and return) the closed root spans of one
+        request.
+
+        Root spans are stamped with the thread-local request id as they
+        open, so when several pooled worker threads grow roots on the
+        shared tracer concurrently, each request can still pull exactly
+        its own trees out.  Unstamped roots (spans opened outside any
+        request) are left alone, and so are roots still *open*: with an
+        in-process :class:`~repro.server.server.ServerThread` the
+        client's ``client.run`` round-trip span shares both the tracer
+        and the request id, and it is still running when the server
+        harvests — claiming it would strip the client's own lane from a
+        merged export.  The removal is atomic under the roots lock.
+        """
+        def mine(root: Span) -> bool:
+            return (
+                root.elapsed is not None
+                and root.tags.get("request_id") == request_id
+            )
+
+        with self._roots_lock:
+            harvested = [root for root in self.roots if mine(root)]
+            if harvested:
+                self.roots = [
+                    root for root in self.roots if not mine(root)
+                ]
+        return harvested
 
     def spans(self) -> List[Span]:
         """Every recorded span, depth-first across all roots."""
@@ -289,6 +329,9 @@ class NoOpTracer:
 
     def clear(self) -> None:
         pass
+
+    def harvest_request(self, request_id: str) -> List[Span]:
+        return []
 
     def spans(self) -> List[Span]:
         return []

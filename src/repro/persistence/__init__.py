@@ -27,7 +27,12 @@ Substrate modules:
 * :mod:`repro.persistence.store` — an append-only, crash-safe log store
   plus an atomic snapshot file, our file-system substrate;
 * :mod:`repro.persistence.schema` — schema evolution: rebinding a
-  handle at a supertype (a view) or a consistent type (an enrichment).
+  handle at a supertype (a view) or a consistent type (an enrichment);
+* :mod:`repro.persistence.mvcc` — snapshot-isolated concurrent
+  transactions (MVCC) over both the intrinsic heap
+  (:class:`~repro.persistence.mvcc.MVCCHeap`) and the extern namespace
+  (:class:`~repro.persistence.mvcc.TransactionManager`), with
+  first-committer-wins conflict detection; see TRANSACTIONS.md.
 """
 
 from repro.persistence.heap import PObject, reachable
@@ -36,6 +41,12 @@ from repro.persistence.store import LogStore, SnapshotFile
 from repro.persistence.allornothing import ImagePersistence
 from repro.persistence.replicating import ReplicatingStore
 from repro.persistence.intrinsic import PersistentHeap
+from repro.persistence.mvcc import (
+    HeapTransaction,
+    MVCCHeap,
+    SessionTransaction,
+    TransactionManager,
+)
 from repro.persistence.schema import SchemaRegistry
 
 __all__ = [
@@ -48,5 +59,9 @@ __all__ = [
     "ImagePersistence",
     "ReplicatingStore",
     "PersistentHeap",
+    "MVCCHeap",
+    "HeapTransaction",
+    "TransactionManager",
+    "SessionTransaction",
     "SchemaRegistry",
 ]

@@ -28,6 +28,11 @@ And the practical caveats, all implemented here:
 Unlike replicating persistence, sharing survives: two roots reaching the
 same object get the *same* object back after reopen, and an update
 through one is visible through the other.
+
+This heap is single-program: one in-memory graph, one commit stream.
+For several programs sharing one store concurrently, use the MVCC layer
+(:mod:`repro.persistence.mvcc`), which extends this module's commit into
+per-epoch version chains with snapshot-isolated transactions.
 """
 
 from __future__ import annotations

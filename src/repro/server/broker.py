@@ -11,20 +11,29 @@ done natively.  The broker owns three shared things:
   a bounded FIFO accept queue of ``queue_limit`` waiters — one past
   that is rejected immediately (``server.connections.rejected``), so a
   stampede degrades into fast bounces instead of unbounded queueing;
-* the **executor**: a single worker thread through which the server
-  funnels every ``run``/``stat``.  The store is single-writer until
-  MVCC lands (see ROADMAP), so queries serialize *here*, off the event
-  loop — the loop stays free to accept, time out idle sessions, and
-  answer handshakes while a long query runs.
+* the **executor**: a pool of ``workers`` threads through which the
+  server funnels every ``run``/``stat`` — off the event loop, so the
+  loop stays free to accept, time out idle sessions, and answer
+  handshakes while long queries run.  Sessions genuinely run
+  concurrently; store consistency comes from the broker's shared
+  :class:`~repro.persistence.mvcc.TransactionManager`, which gives
+  every session snapshot-isolated ``extern``/``intern`` (MVCC with
+  first-committer-wins commits — see TRANSACTIONS.md) and serializes
+  the actual store writes;
+* the **transaction manager** itself: one per broker, handed to every
+  session's interpreter, so their snapshots and conflict checks see
+  each other.
 
-Gauges ``server.sessions.active`` / ``server.sessions.limit`` and the
-accepted/rejected counters feed the ``server.sessions`` health probe.
+Gauges ``server.sessions.active`` / ``server.sessions.limit`` /
+``server.workers`` and the accepted/rejected counters feed the
+``server.sessions`` health probe.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -33,8 +42,15 @@ from typing import Deque, Dict, List, Optional
 from repro.errors import BrokerBusyError, SessionClosedError
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.persistence.mvcc import TransactionManager
 from repro.persistence.store import LogStore
 from repro.server.session import Session
+
+def default_workers() -> int:
+    """The default worker-pool size: enough threads that read-only
+    sessions overlap (and nobody stalls behind a committing writer's
+    fsync), without oversubscribing small machines."""
+    return min(8, max(2, os.cpu_count() or 2))
 
 __all__ = ["SessionBroker"]
 
@@ -54,14 +70,18 @@ class SessionBroker:
         queue_limit: int = 8,
         session_factory=None,
         requests_capacity: int = 64,
+        workers: Optional[int] = None,
     ):
         if limit <= 0:
             raise ValueError("connection limit must be positive")
         if queue_limit < 0:
             raise ValueError("queue limit cannot be negative")
+        if workers is not None and workers <= 0:
+            raise ValueError("worker count must be positive")
         self.limit = limit
         self.queue_limit = queue_limit
         self.requests_capacity = requests_capacity
+        self.workers = workers if workers is not None else default_workers()
         self._session_factory = session_factory or Session
         self._owns_store = isinstance(store, str)
         self._store: Optional[LogStore] = (
@@ -70,20 +90,30 @@ class SessionBroker:
         self._memory_store: Optional[Dict[str, object]] = (
             {} if self._store is None else None
         )
+        # One transaction manager for the whole server: every session's
+        # extern/intern goes through it, giving snapshot isolation with
+        # first-committer-wins commits across sessions — and funnelling
+        # all store writes through one lock (the LogStore itself is not
+        # thread-safe).
+        self.txns = TransactionManager(
+            store=self._store, memory=self._memory_store
+        )
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._active: Dict[str, Session] = {}
         self._in_use = 0
         self._waiters: Deque[asyncio.Future] = deque()
         self._closed = False
-        # One worker: the store is single-writer, so queries serialize
-        # here rather than under an ad-hoc lock.  The thread also gives
-        # the asyncio loop back its latency — evaluation never blocks it.
+        # A pool: read-only sessions genuinely run concurrently, and a
+        # committing writer's fsync no longer stalls every reader.  The
+        # threads also give the asyncio loop back its latency —
+        # evaluation never blocks it.
         self.executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="dbpl-session"
+            max_workers=self.workers, thread_name_prefix="dbpl-session"
         )
         _metrics.REGISTRY.gauge("server.sessions.limit").set(float(limit))
         _metrics.REGISTRY.gauge("server.sessions.active").set(0.0)
+        _metrics.REGISTRY.gauge("server.workers").set(float(self.workers))
 
     @property
     def store(self) -> Optional[LogStore]:
@@ -146,6 +176,7 @@ class SessionBroker:
             broker=self,
             publish_runs=True,
             requests_capacity=self.requests_capacity,
+            txn_manager=self.txns,
         )
         with self._lock:
             self._active[session_id] = session

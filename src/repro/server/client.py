@@ -7,7 +7,9 @@ and ``stat(kind, **args)`` with identical return shapes — so the REPL
 swaps one for the other without caring which it holds.  Errors come
 back typed: an ``error`` frame re-raises as
 :class:`~repro.errors.RemoteError` (carrying the server-side exception
-kind), an unsolicited ``bye`` as
+kind) — except a commit lost to first-committer-wins, which re-raises
+as the real :class:`~repro.errors.TransactionConflictError` so callers
+can catch-and-retry — an unsolicited ``bye`` as
 :class:`~repro.errors.SessionClosedError`, and framing violations as
 :class:`~repro.errors.ProtocolError`.
 
@@ -40,6 +42,7 @@ from repro.errors import (
     ProtocolError,
     RemoteError,
     SessionClosedError,
+    TransactionConflictError,
     TruncatedFrameError,
 )
 from repro.obs import trace as _trace
@@ -47,7 +50,7 @@ from repro.server import protocol
 
 __all__ = ["Client", "parse_address"]
 
-CLIENT_NAME = "repro-client/2"
+CLIENT_NAME = "repro-client/3"
 
 
 def parse_address(text: str) -> Tuple[str, int]:
@@ -190,6 +193,24 @@ class Client:
             {"type": "obs", "what": what, "args": args}, expect="obs"
         )
 
+    def begin(self) -> Dict[str, object]:
+        """Open a snapshot-isolated transaction in the remote session;
+        same reply shape as :meth:`Session.begin
+        <repro.server.session.Session.begin>`."""
+        return self._request({"type": "begin"}, expect="txn")
+
+    def commit(self) -> Dict[str, object]:
+        """Commit the open transaction.  A first-committer-wins loss
+        raises :class:`~repro.errors.TransactionConflictError` (the
+        server's ``error`` frame carries that kind), so callers can
+        retry the whole transaction."""
+        return self._request({"type": "commit"}, expect="txn")
+
+    def abort(self) -> Dict[str, object]:
+        """Abort the open transaction, discarding its buffered
+        writes."""
+        return self._request({"type": "abort"}, expect="txn")
+
     def describe(self) -> str:
         return "%s:%d (session %s)" % (self.host, self.port, self.session_id)
 
@@ -220,9 +241,12 @@ class Client:
                 % (reply.get("id"), self._next_id)
             )
         if reply_type == "error":
-            raise RemoteError(
-                str(reply.get("error")), kind=str(reply.get("kind"))
-            )
+            kind = str(reply.get("kind"))
+            if kind == "TransactionConflictError":
+                # Re-raise with its real type so retryable semantics
+                # (and except-clauses) survive the wire.
+                raise TransactionConflictError(str(reply.get("error")))
+            raise RemoteError(str(reply.get("error")), kind=kind)
         if reply_type != expect:
             raise ProtocolError(
                 "expected a %s frame, got %r" % (expect, reply_type)

@@ -26,6 +26,19 @@ type       direction  meaning
                       /``requests``) and ``args``; reply carries plain
                       data — span trees, profiler rows, journal slices,
                       wide events — for ``:export`` and tooling
+``begin``  c → s      open a snapshot-isolated transaction (protocol 3);
+                      the session's ``intern``/``extern`` pin to the
+                      snapshot until commit
+``commit`` c → s      commit the open transaction (protocol 3); a
+                      first-committer-wins conflict answers with an
+                      ``error`` frame of kind
+                      ``TransactionConflictError`` (retryable)
+``abort``  c → s      abort the open transaction, discarding its
+                      buffered writes (protocol 3)
+``txn``    s → c      a ``begin``/``commit``/``abort``'s answer: the
+                      ``action`` echoed, human-readable ``text``, and
+                      for begin/commit the snapshot/commit ``epoch``
+                      (plus ``written`` handle count on commit)
 ``bye``    both       orderly close; ``reason`` is ``client`` / ``idle``
                       / ``shutdown``
 =========  =========  ====================================================
@@ -85,11 +98,13 @@ __all__ = [
 
 # Version 2 added end-to-end request tracing: the ``obs`` frame type,
 # the ``trace`` context on ``run`` frames, and the handshake ``clock``.
-PROTOCOL_VERSION = 2
+# Version 3 added snapshot-isolated transactions: the ``begin`` /
+# ``commit`` / ``abort`` request frames and the ``txn`` reply.
+PROTOCOL_VERSION = 3
 
 # The oldest version the server still serves.  Version-1 peers lack
-# the tracing extensions but every frame they *do* send means the same
-# thing, so they stay first-class citizens.
+# the tracing and transaction extensions but every frame they *do*
+# send means the same thing, so they stay first-class citizens.
 MIN_PROTOCOL_VERSION = 1
 
 SUPPORTED_PROTOCOLS = frozenset(
@@ -101,7 +116,10 @@ SUPPORTED_PROTOCOLS = frozenset(
 MAX_FRAME = 4 * 1024 * 1024
 
 FRAME_TYPES = frozenset(
-    {"hello", "run", "result", "error", "stat", "obs", "bye"}
+    {
+        "hello", "run", "result", "error", "stat", "obs",
+        "begin", "commit", "abort", "txn", "bye",
+    }
 )
 
 HEADER = struct.Struct(">I")

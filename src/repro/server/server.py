@@ -8,9 +8,11 @@
    reply names the server, the assigned session id, and the limits;
 2. **admission** — :class:`~repro.server.broker.SessionBroker` grants a
    slot, queues the connection, or bounces it with a ``busy`` error;
-3. **request loop** — ``run``, ``stat``, and ``obs`` frames execute on
-   the broker's single worker thread (the event loop never blocks on a
-   query) and are answered with ``result``/``stat``/``obs``/``error``
+3. **request loop** — ``run``, ``stat``, ``obs``, and the transaction
+   frames ``begin``/``commit``/``abort`` execute on the broker's
+   worker pool (the event loop never blocks on a query; sessions run
+   concurrently under MVCC snapshot isolation — see TRANSACTIONS.md)
+   and are answered with ``result``/``stat``/``obs``/``txn``/``error``
    frames;
    protocol violations get an ``error`` frame where the stream is
    still trustworthy, and the connection is dropped where it is not
@@ -50,7 +52,7 @@ from repro.server.session import Session
 
 __all__ = ["DBPLServer", "ServerThread", "main"]
 
-SERVER_NAME = "repro-server/2"
+SERVER_NAME = "repro-server/3"
 
 
 class _Connection:
@@ -80,6 +82,7 @@ class DBPLServer:
         max_frame: int = protocol.MAX_FRAME,
         session_factory=None,
         requests_capacity: int = 64,
+        workers: Optional[int] = None,
     ):
         self.host = host
         self.port = port  # rebound to the real port after start()
@@ -93,6 +96,7 @@ class DBPLServer:
             queue_limit=queue_limit,
             session_factory=session_factory,
             requests_capacity=requests_capacity,
+            workers=workers,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: Set[asyncio.Task] = set()
@@ -290,7 +294,7 @@ class DBPLServer:
             if frame_type == "bye":
                 await self._say_bye(writer, "bye")
                 return
-            if frame_type not in ("run", "stat", "obs"):
+            if frame_type not in ("run", "stat", "obs", "begin", "commit", "abort"):
                 # A well-framed but unknown request: answer and carry on.
                 _metrics.REGISTRY.counter("server.protocol_errors").inc()
                 await self._send_frame(
@@ -349,6 +353,11 @@ class DBPLServer:
                         source, mode=mode, request_id=request_id
                     )
                     reply: Dict[str, object] = {"type": "result"}
+                    reply.update(result)
+                elif message["type"] in ("begin", "commit", "abort"):
+                    action = message["type"]
+                    result = getattr(session, action)()
+                    reply = {"type": "txn", "action": action}
                     reply.update(result)
                 elif message["type"] == "obs":
                     what = message.get("what")
@@ -497,6 +506,8 @@ def main(argv=None) -> int:
                         help="maximum concurrent sessions")
     parser.add_argument("--queue-limit", type=int, default=8)
     parser.add_argument("--idle-timeout", type=float, default=300.0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker threads (default: min(8, cpu count))")
     args = parser.parse_args(argv)
 
     # The serving stance matches the interactive REPL's: journal on
@@ -513,6 +524,7 @@ def main(argv=None) -> int:
             limit=args.limit,
             queue_limit=args.queue_limit,
             idle_timeout=args.idle_timeout,
+            workers=args.workers,
         )
         await server.start()
         print("dbpl server listening on %s (store: %s)"

@@ -113,6 +113,7 @@ class Session:
         broker=None,
         publish_runs: bool = False,
         requests_capacity: int = 64,
+        txn_manager=None,
     ):
         self.session_id = session_id
         self.broker = broker
@@ -125,7 +126,10 @@ class Session:
         # request history behind :requests and the obs surface.
         self.request_log = _wide.RequestLog(capacity=requests_capacity)
         self._interp = Interpreter(
-            store, session_id=session_id, memory_store=memory_store
+            store,
+            session_id=session_id,
+            memory_store=memory_store,
+            txn_manager=txn_manager,
         )
         self._table_stats: Dict[str, TableStats] = {}
 
@@ -138,7 +142,14 @@ class Session:
         return self._interp
 
     def close(self) -> None:
-        """Mark the session closed; later requests raise."""
+        """Mark the session closed; later requests raise.
+
+        An open transaction is aborted: a dropped connection must not
+        pin its snapshot (which would hold version history alive) or
+        leak buffered writes.
+        """
+        if not self.closed and self._interp.transaction is not None:
+            self._interp.abort_transaction()
         self.closed = True
 
     def describe(self) -> str:
@@ -187,10 +198,6 @@ class Session:
         if request_id is None:
             request_id = "%s-r%d" % (self.session_id, self.requests)
         tracer = _trace.CURRENT
-        # Everything the tracer records past this index belongs to this
-        # request: queries serialize (the broker's single worker thread
-        # remotely, one thread locally), so the slice is attributable.
-        harvest_from = len(tracer.roots) if tracer.enabled else 0
         counters_before = _wide.counters_snapshot()
         slow_before = getattr(_slowlog.CURRENT, "total", 0)
         previous_request = _trace.set_request_id(request_id)
@@ -210,7 +217,7 @@ class Session:
         except BaseException as exc:
             elapsed = time.perf_counter() - started
             _trace.set_request_id(previous_request)
-            roots = self._harvest_spans(tracer, harvest_from, request_id)
+            roots = self._harvest_spans(tracer, request_id)
             self._record_request(
                 request_id, mode, source, False, str(exc), elapsed,
                 roots, counters_before, slow_before,
@@ -218,7 +225,7 @@ class Session:
             raise
         elapsed = time.perf_counter() - started
         _trace.set_request_id(previous_request)
-        roots = self._harvest_spans(tracer, harvest_from, request_id)
+        roots = self._harvest_spans(tracer, request_id)
         self._record_request(
             request_id, mode, source, True, None, elapsed,
             roots, counters_before, slow_before,
@@ -229,18 +236,20 @@ class Session:
             reply["trace"] = "\n".join(root.format() for root in roots)
         return reply
 
-    def _harvest_spans(self, tracer, harvest_from: int, request_id: str):
+    def _harvest_spans(self, tracer, request_id: str):
         """Claim the root spans this request grew on the global tracer.
 
-        The roots are *removed* from the tracer (so a long session does
-        not accumulate trees) and annotated with the request id and
-        session — they live on in the wide event.  Returns the claimed
-        :class:`~repro.obs.trace.Span` roots.
+        Root spans are stamped with the thread's request id as they
+        open, so :meth:`~repro.obs.trace.Tracer.harvest_request` pulls
+        exactly this request's trees even when the broker's worker pool
+        runs several requests concurrently.  The roots are *removed*
+        from the tracer (so a long session does not accumulate trees)
+        and annotated with the session — they live on in the wide
+        event.  Returns the claimed :class:`~repro.obs.trace.Span` roots.
         """
         if not tracer.enabled:
             return []
-        roots = list(tracer.roots[harvest_from:])
-        del tracer.roots[harvest_from:]
+        roots = tracer.harvest_request(request_id)
         for root in roots:
             root.annotate(request_id=request_id, session=self.session_id)
         return roots
@@ -329,6 +338,57 @@ class Session:
         )
         inferred, __ = check_program(program, env)
         return str(inferred) if inferred is not None else "<declaration>"
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Dict[str, object]:
+        """Open a snapshot-isolated transaction (the ``begin`` frame).
+
+        Until commit, every ``intern`` in this session resolves at the
+        pinned snapshot and every ``extern`` buffers privately.
+        Raises :class:`~repro.errors.TransactionError` when one is
+        already open.
+        """
+        self._touch()
+        epoch = self._interp.begin_transaction()
+        if self.publish_runs and self.journal.enabled:
+            self.journal.publish(
+                "INFO", "server", "txn_begin", snapshot=epoch
+            )
+        return {
+            "text": "transaction open (snapshot epoch %d)" % epoch,
+            "epoch": epoch,
+        }
+
+    def commit(self) -> Dict[str, object]:
+        """Commit the open transaction (the ``commit`` frame).
+
+        Raises a retryable
+        :class:`~repro.errors.TransactionConflictError` when a
+        concurrent commit won (first-committer-wins); the transaction is
+        then already aborted — ``:begin`` again and retry.
+        """
+        self._touch()
+        epoch, written = self._interp.commit_transaction()
+        if self.publish_runs and self.journal.enabled:
+            self.journal.publish(
+                "INFO", "server", "txn_commit", epoch=epoch, written=written
+            )
+        if written:
+            text = "committed epoch %d (%d handle(s) written)" % (
+                epoch, written,
+            )
+        else:
+            text = "committed (read-only, snapshot epoch %d)" % epoch
+        return {"text": text, "epoch": epoch, "written": written}
+
+    def abort(self) -> Dict[str, object]:
+        """Abort the open transaction (the ``abort`` frame)."""
+        self._touch()
+        self._interp.abort_transaction()
+        if self.publish_runs and self.journal.enabled:
+            self.journal.publish("INFO", "server", "txn_abort")
+        return {"text": "transaction aborted", "written": 0}
 
     # -- stat ---------------------------------------------------------------
 

@@ -318,6 +318,39 @@ class TestHealthProbes:
         probes = default_probes()
         assert any(isinstance(p, ServerSessionsProbe) for p in probes)
 
+    def test_txn_conflict_probe_silent_without_transactions(self, registry):
+        from repro.obs.monitor import TxnConflictProbe
+
+        probe = TxnConflictProbe()
+        result = probe.check(registry, events.NoOpJournal())
+        assert result.verdict == OK
+        assert result.detail == "no transactions committed"
+
+    def test_txn_conflict_probe_rates(self, registry):
+        from repro.obs.monitor import TxnConflictProbe
+
+        probe = TxnConflictProbe(min_attempts=10, degraded_rate=0.25)
+        journal = events.NoOpJournal()
+        # Under min_attempts, even an ugly rate stays ok (warming up).
+        registry.counter("txn.commit").inc(1)
+        registry.counter("txn.conflict").inc(1)
+        assert probe.check(registry, journal).verdict == OK
+        # 6 conflicts in 20 attempts (30%) degrades.
+        registry.counter("txn.commit").inc(13)
+        registry.counter("txn.conflict").inc(5)
+        result = probe.check(registry, journal)
+        assert result.verdict == DEGRADED
+        assert "6 conflict(s) in 20 commit attempt(s)" in result.detail
+        # A healthy commit stream pulls the rate back under the bar.
+        registry.counter("txn.commit").inc(80)
+        assert probe.check(registry, journal).verdict == OK
+
+    def test_txn_conflict_probe_in_default_probe_set(self):
+        from repro.obs.monitor import TxnConflictProbe, default_probes
+
+        probes = default_probes()
+        assert any(isinstance(p, TxnConflictProbe) for p in probes)
+
     def test_health_report_publishes_warns_for_non_ok(self, registry):
         journal = events.EventJournal(capacity=64)
         registry.counter("store.checksum_failures").inc()

@@ -11,8 +11,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import TransactionConflictError
 from repro.persistence.heap import PObject
 from repro.persistence.intrinsic import PersistentHeap
+from repro.persistence.mvcc import MVCCHeap, TransactionManager
 from repro.persistence.store import LogStore
 
 
@@ -163,6 +165,150 @@ class TestHeapCrashes:
             if "obj" in recovered.namespace():
                 assert recovered.get_root("obj")["n"] == 0
             recovered.close()
+
+
+def mvcc_state(path):
+    """All roots of an MVCC heap log as plain ``{name: fields}``."""
+    with MVCCHeap(path) as heap:
+        txn = heap.begin()
+        state = {}
+        for ns_name in txn.namespaces():
+            namespace = txn.namespace(ns_name)
+            for root_name in namespace.names():
+                value = namespace[root_name]
+                state[(ns_name, root_name)] = (
+                    value.fields() if isinstance(value, PObject) else value
+                )
+        txn.abort()
+        return state
+
+
+class TestConcurrentWriterCrashes:
+    """Crash points inside the commit window of *interleaved*
+    transactions.
+
+    With MVCC, every successful commit is one atomic ``batch`` on the
+    log, and commit order *is* a serial order (first committer wins —
+    the loser never writes).  So whatever byte the crash cuts at, replay
+    must land on the state after some prefix of the successful commits —
+    a state some serial execution could have produced — and never on a
+    torn half-commit.
+    """
+
+    def test_interleaved_heap_commits_replay_to_a_serial_prefix(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "mvcc.log")
+        committed = []
+        with MVCCHeap(path) as heap:
+            seed = heap.begin()
+            seed.root("left", PObject("Cell", {"n": 0}))
+            seed.root("right", PObject("Cell", {"n": 0}))
+            seed.commit()
+            seed.abort()
+            committed.append(mvcc_state(path))
+            # Two disjoint writers interleave commit-by-commit; both
+            # always succeed (no overlap), so every commit is serial.
+            a, b = heap.begin(), heap.begin()
+            for i in range(1, 4):
+                a.get_root("left")["n"] = i
+                a.commit()
+                committed.append(mvcc_state(path))
+                b.get_root("right")["n"] = i * 10
+                b.commit()
+                committed.append(mvcc_state(path))
+            a.abort()
+            b.abort()
+
+        with open(path, "rb") as handle:
+            data = handle.read()
+        # Cut at a spread of offsets, covering every commit window.
+        for cut in range(0, len(data) + 1, max(1, len(data) // 97)):
+            cut_path = str(tmp_path / ("cut%d.log" % cut))
+            with open(cut_path, "wb") as handle:
+                handle.write(data[:cut])
+            recovered = mvcc_state(cut_path)
+            assert recovered in committed + [{}], (
+                "cut at byte %d is not a serial-prefix state" % cut
+            )
+
+    def test_conflict_loser_leaves_no_bytes_behind(self, tmp_path):
+        """The losing transaction of a first-committer-wins race writes
+        *nothing*: the log after the conflict replays to exactly the
+        winner's state, at every cut past the winner's commit."""
+        path = str(tmp_path / "race.log")
+        with MVCCHeap(path) as heap:
+            seed = heap.begin()
+            seed.root("n", PObject("Cell", {"v": 0}))
+            seed.commit()
+            seed.abort()
+            a, b = heap.begin(), heap.begin()
+            a.get_root("n")["v"] = 1
+            b.get_root("n")["v"] = 2
+            a.commit()
+            boundary = os.path.getsize(path)
+            with pytest.raises(TransactionConflictError):
+                b.commit()
+        assert os.path.getsize(path) == boundary
+        assert mvcc_state(path)[("user", "n")]["v"] == 1
+
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # which transaction
+                st.sampled_from("xyz"),  # which handle
+                st.integers(min_value=0, max_value=99),  # value
+            ),
+            min_size=2,
+            max_size=12,
+        ),
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_interleavings_random_cuts(
+        self, tmp_path_factory, schedule, cut_fraction
+    ):
+        """2–4 extern transactions, a random interleaving of writes, a
+        commit apiece, a crash at a random byte: recovery is a prefix
+        of the *successful-commit* sequence."""
+        tmp = tmp_path_factory.mktemp("txnfuzz")
+        path = str(tmp / "log")
+
+        def externs(store):
+            return {
+                key[len("extern:"):]: store.get(key)
+                for key in store.keys()
+                if key.startswith("extern:")
+            }
+
+        committed = [{}]
+        with LogStore(path) as store:
+            txns = TransactionManager(store=store)
+            sessions = {}
+            for tid, handle, value in schedule:
+                session = sessions.setdefault(tid, txns.begin())
+                if session.active:
+                    session.write(handle, value)
+            for tid in sorted(sessions):
+                session = sessions[tid]
+                if not session.active:
+                    continue
+                try:
+                    session.commit()
+                except TransactionConflictError:
+                    continue
+                committed.append(externs(store))
+
+        with open(path, "rb") as handle:
+            data = handle.read()
+        cut = int(len(data) * cut_fraction)
+        with open(path, "wb") as handle:
+            handle.write(data[:cut])
+        with LogStore(path) as store:
+            recovered = externs(store)
+        assert recovered in committed, (
+            "cut at byte %d of %d is not a committed prefix" % (cut, len(data))
+        )
 
 
 @pytest.mark.parametrize("compact_first", [False, True])

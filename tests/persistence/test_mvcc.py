@@ -1,0 +1,404 @@
+"""MVCC snapshot isolation over the intrinsic heap.
+
+The contracts under test (TRANSACTIONS.md is the prose version):
+
+* a transaction reads the database *as of its begin* — concurrent
+  commits stay invisible until it re-pins (heap) or ends (extern);
+* commits are first-committer-wins: of two transactions whose sweeps
+  overlap, the second to commit aborts with a retryable
+  :class:`~repro.errors.TransactionConflictError`;
+* disjoint writers — different roots, different handles — both commit;
+* everything is durable: versions survive close/reopen, vacuum prunes
+  only below the oldest active snapshot, and commits are atomic on
+  the log (the crash tests live in ``test_crash_fuzz.py``).
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    StoreCorruptError,
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.persistence.heap import PObject
+from repro.persistence.mvcc import (
+    HeapTransaction,
+    MVCCHeap,
+    SessionTransaction,
+    TransactionManager,
+)
+from repro.persistence.store import LogStore
+
+
+@pytest.fixture
+def heap(tmp_path):
+    with MVCCHeap(str(tmp_path / "mvcc.log")) as h:
+        yield h
+
+
+class TestHeapBasics:
+    def test_commit_and_reopen(self, tmp_path):
+        path = str(tmp_path / "h.log")
+        with MVCCHeap(path) as heap:
+            txn = heap.begin()
+            txn.root("who", PObject("Person", {"name": "ada"}))
+            stats = txn.commit()
+            assert stats.objects_written == 1
+            assert stats.roots_written == 1
+            txn.abort()
+        with MVCCHeap(path) as heap:
+            txn = heap.begin()
+            assert txn.get_root("who")["name"] == "ada"
+            txn.abort()
+
+    def test_read_only_commit_publishes_nothing(self, heap):
+        txn = heap.begin()
+        txn.root("x", PObject("X", {"n": 1}))
+        txn.commit()
+        before = heap.current_epoch
+        reader = heap.begin()
+        assert reader.get_root("x")["n"] == 1
+        stats = reader.commit()
+        assert stats.objects_written == 0
+        assert heap.current_epoch == before
+        reader.abort()
+        txn.abort()
+
+    def test_commit_repins_the_transaction(self, heap):
+        txn = heap.begin()
+        obj = txn.root("x", PObject("X", {"n": 0}))
+        txn.commit()
+        obj["n"] = 1
+        txn.commit()  # same transaction, next epoch
+        assert txn.snapshot == heap.current_epoch
+        fresh = heap.begin()
+        assert fresh.get_root("x")["n"] == 1
+        fresh.abort()
+        txn.abort()
+
+    def test_unchanged_objects_are_not_rewritten(self, heap):
+        txn = heap.begin()
+        txn.root("a", PObject("X", {"n": 1}))
+        txn.root("b", PObject("X", {"n": 2}))
+        txn.commit()
+        txn.get_root("a")["n"] = 10
+        stats = txn.commit()
+        assert stats.objects_written == 1
+        assert stats.objects_unchanged >= 1
+        txn.abort()
+
+    def test_shared_structure_and_cycles_survive(self, tmp_path):
+        path = str(tmp_path / "cyc.log")
+        with MVCCHeap(path) as heap:
+            with heap.begin() as txn:
+                one = PObject("Node", {"label": "one", "next": None})
+                two = PObject("Node", {"label": "two", "next": one})
+                one["next"] = two
+                txn.root("r1", one)
+                txn.root("r2", two)
+        with MVCCHeap(path) as heap:
+            txn = heap.begin()
+            r1, r2 = txn.get_root("r1"), txn.get_root("r2")
+            assert r1["next"] is r2
+            assert r2["next"] is r1
+            txn.abort()
+
+    def test_dropping_a_root_collects_its_subgraph(self, heap):
+        txn = heap.begin()
+        txn.root("keep", PObject("X", {"n": 1}))
+        txn.root("drop", PObject("X", {"child": PObject("Y", {})}))
+        txn.commit()
+        txn.root("drop", None)
+        stats = txn.commit()
+        assert stats.objects_collected == 2
+        fresh = heap.begin()
+        assert fresh.get_root("keep")["n"] == 1
+        assert fresh.get_root("drop") is None
+        fresh.abort()
+        txn.abort()
+
+
+class TestSnapshotIsolation:
+    def test_reader_is_pinned_to_its_snapshot(self, heap):
+        writer = heap.begin()
+        writer.root("color", PObject("Paint", {"hue": "red"}))
+        writer.commit()
+
+        reader = heap.begin()
+        assert reader.get_root("color")["hue"] == "red"
+
+        writer.get_root("color")["hue"] = "blue"
+        writer.commit()
+
+        # The reader's world has not moved.
+        assert reader.get_root("color")["hue"] == "red"
+        # A fresh transaction sees the commit.
+        fresh = heap.begin()
+        assert fresh.get_root("color")["hue"] == "blue"
+        fresh.abort()
+        reader.abort()
+        writer.abort()
+
+    def test_uncommitted_writes_are_private(self, heap):
+        writer = heap.begin()
+        writer.root("x", PObject("X", {"n": 1}))
+        writer.commit()
+        writer.get_root("x")["n"] = 99  # not committed
+
+        other = heap.begin()
+        assert other.get_root("x")["n"] == 1
+        other.abort()
+        writer.abort()
+
+    def test_abort_discards_everything(self, heap):
+        txn = heap.begin()
+        txn.root("x", PObject("X", {"n": 1}))
+        txn.commit()
+        txn.get_root("x")["n"] = 2
+        txn.abort()
+        assert not txn.active
+        fresh = heap.begin()
+        assert fresh.get_root("x")["n"] == 1
+        fresh.abort()
+
+    def test_operations_after_end_raise(self, heap):
+        txn = heap.begin()
+        txn.abort()
+        with pytest.raises(TransactionError):
+            txn.get_root("x")
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+
+class TestFirstCommitterWins:
+    def test_overlapping_writers_conflict(self, heap):
+        seed = heap.begin()
+        seed.root("n", PObject("Counter", {"value": 0}))
+        seed.commit()
+        seed.abort()
+
+        a = heap.begin()
+        b = heap.begin()
+        a.get_root("n")["value"] = 1
+        b.get_root("n")["value"] = 2
+        a.commit()
+        with pytest.raises(TransactionConflictError) as exc_info:
+            b.commit()
+        assert exc_info.value.retryable is True
+        assert exc_info.value.winner_epoch == heap.current_epoch
+        assert not b.active  # the loser is aborted, not limbo
+
+        # Retry from a fresh snapshot succeeds.
+        retry = heap.begin()
+        retry.get_root("n")["value"] = 2
+        retry.commit()
+        retry.abort()
+        a.abort()
+
+    def test_read_write_conflict(self, heap):
+        """Reading an object another transaction rewrote conflicts too:
+        the sweep covers the read set, not just the write set."""
+        seed = heap.begin()
+        seed.root("n", PObject("Counter", {"value": 0}))
+        seed.root("m", PObject("Counter", {"value": 0}))
+        seed.commit()
+        seed.abort()
+
+        a = heap.begin()
+        b = heap.begin()
+        a.get_root("n")["value"] = 1
+        # b *reads* n (decides from it), writes m.
+        b.get_root("m")["value"] = b.get_root("n")["value"] + 10
+        a.commit()
+        with pytest.raises(TransactionConflictError):
+            b.commit()
+        a.abort()
+
+    def test_disjoint_roots_do_not_conflict(self, heap):
+        seed = heap.begin()
+        seed.root("left", PObject("X", {"n": 0}))
+        seed.root("right", PObject("X", {"n": 0}))
+        seed.commit()
+        seed.abort()
+
+        a = heap.begin()
+        b = heap.begin()
+        a.get_root("left")["n"] = 1
+        b.get_root("right")["n"] = 2
+        a.commit()
+        b.commit()  # no overlap: both roots land
+        fresh = heap.begin()
+        assert fresh.get_root("left")["n"] == 1
+        assert fresh.get_root("right")["n"] == 2
+        fresh.abort()
+        a.abort()
+        b.abort()
+
+    def test_threaded_counter_increments_equal_commits(self, heap):
+        """The classic lost-update check: under racing increments the
+        final counter equals the number of *successful* commits."""
+        seed = heap.begin()
+        seed.root("n", PObject("Counter", {"value": 0}))
+        seed.commit()
+        seed.abort()
+        committed = []
+        lock = threading.Lock()
+
+        def worker():
+            for __ in range(8):
+                txn = heap.begin()
+                try:
+                    obj = txn.get_root("n")
+                    obj["value"] = obj["value"] + 1
+                    txn.commit()
+                except TransactionConflictError:
+                    continue
+                else:
+                    with lock:
+                        committed.append(1)
+                finally:
+                    if txn.active:
+                        txn.abort()
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = heap.begin()
+        assert final.get_root("n")["value"] == len(committed)
+        final.abort()
+
+
+class TestVacuum:
+    def test_vacuum_prunes_dead_versions(self, heap):
+        txn = heap.begin()
+        obj = txn.root("x", PObject("X", {"n": 0}))
+        txn.commit()
+        for i in range(1, 6):
+            obj["n"] = i
+            txn.commit()
+        txn.abort()
+        versions_before = sum(
+            1 for key in heap.store.keys() if key.startswith("ver:")
+        )
+        pruned = heap.vacuum()
+        assert pruned["versions"] > 0
+        versions_after = sum(
+            1 for key in heap.store.keys() if key.startswith("ver:")
+        )
+        assert versions_after < versions_before
+        # Reads after vacuum still work.
+        fresh = heap.begin()
+        assert fresh.get_root("x")["n"] == 5
+        fresh.abort()
+
+    def test_vacuum_respects_active_snapshots(self, heap):
+        writer = heap.begin()
+        writer.root("x", PObject("X", {"n": 0}))
+        writer.commit()
+        pinned = heap.begin()  # holds the old snapshot
+        writer.get_root("x")["n"] = 1
+        writer.commit()
+        heap.vacuum()
+        assert pinned.get_root("x")["n"] == 0  # still readable
+        pinned.abort()
+        writer.abort()
+
+
+class TestContextManager:
+    def test_clean_exit_commits(self, tmp_path):
+        path = str(tmp_path / "cm.log")
+        with MVCCHeap(path) as heap:
+            with heap.begin() as txn:
+                txn.root("x", PObject("X", {"n": 7}))
+        with MVCCHeap(path) as heap:
+            txn = heap.begin()
+            assert txn.get_root("x")["n"] == 7
+            txn.abort()
+
+    def test_exception_aborts(self, heap):
+        with pytest.raises(RuntimeError):
+            with heap.begin() as txn:
+                txn.root("x", PObject("X", {"n": 1}))
+                raise RuntimeError("boom")
+        fresh = heap.begin()
+        assert "x" not in fresh.namespace()
+        fresh.abort()
+
+
+class TestTransactionManager:
+    def test_autocommit_and_snapshot_reads(self):
+        txns = TransactionManager(memory={})
+        txns.put("greeting", {"text": "hi"})
+        session = txns.begin()
+        assert session.read("greeting") == {"text": "hi"}
+        txns.put("greeting", {"text": "bye"})
+        # The open transaction still reads its snapshot...
+        assert session.read("greeting") == {"text": "hi"}
+        session.abort()
+        # ...and autocommit reads see the latest.
+        assert txns.get("greeting") == {"text": "bye"}
+
+    def test_own_writes_read_back(self):
+        txns = TransactionManager(memory={})
+        session = txns.begin()
+        session.write("x", 1)
+        assert session.read("x") == 1
+        session.commit()
+        assert txns.get("x") == 1
+
+    def test_first_committer_wins_on_handles(self):
+        txns = TransactionManager(memory={})
+        txns.put("x", 0)
+        a, b = txns.begin(), txns.begin()
+        a.write("x", 1)
+        b.write("x", 2)
+        a.commit()
+        with pytest.raises(TransactionConflictError) as exc_info:
+            b.commit()
+        assert "x" in exc_info.value.keys
+        assert txns.get("x") == 1
+
+    def test_read_write_conflict_on_handles(self):
+        txns = TransactionManager(memory={})
+        txns.put("source", 1)
+        txns.put("sink", 0)
+        a, b = txns.begin(), txns.begin()
+        a.write("source", 2)
+        b.write("sink", b.read("source") + 10)  # read source at snapshot
+        a.commit()
+        with pytest.raises(TransactionConflictError):
+            b.commit()
+
+    def test_disjoint_handles_both_commit(self):
+        txns = TransactionManager(memory={})
+        a, b = txns.begin(), txns.begin()
+        a.write("left", 1)
+        b.write("right", 2)
+        a.commit()
+        b.commit()
+        assert txns.get("left") == 1
+        assert txns.get("right") == 2
+
+    def test_read_only_commit_never_conflicts(self):
+        txns = TransactionManager(memory={})
+        txns.put("x", 1)
+        reader = txns.begin()
+        reader.read("x")
+        txns.put("x", 2)  # overlaps the read — but reader wrote nothing
+        epoch, written = reader.commit()
+        assert written == 0
+
+    def test_durable_backing(self, tmp_path):
+        path = str(tmp_path / "tm.log")
+        store = LogStore(path)
+        txns = TransactionManager(store=store)
+        with txns.begin() as session:
+            session.write("x", {"n": 1})
+        store.close()
+        reopened = LogStore(path)
+        assert reopened.get("extern:x") == {"n": 1}
+        reopened.close()

@@ -200,14 +200,18 @@ class TestReadFrame:
         with pytest.raises(FrameTooLargeError):
             asyncio.run(read_frame(_StubReader(data), max_frame=1024))
 
-    def test_protocol_version_is_two(self):
-        assert protocol.PROTOCOL_VERSION == 2
+    def test_protocol_version_is_three(self):
+        assert protocol.PROTOCOL_VERSION == 3
 
-    def test_version_one_still_supported(self):
-        # v1 clients keep connecting: the supported set reaches back to
-        # the first wire version.
+    def test_old_versions_still_supported(self):
+        # v1/v2 clients keep connecting: the supported set reaches back
+        # to the first wire version.
         assert protocol.MIN_PROTOCOL_VERSION == 1
-        assert protocol.SUPPORTED_PROTOCOLS == frozenset({1, 2})
+        assert protocol.SUPPORTED_PROTOCOLS == frozenset({1, 2, 3})
 
     def test_obs_is_a_frame_type(self):
         assert "obs" in protocol.FRAME_TYPES
+
+    def test_transaction_frame_types(self):
+        for frame_type in ("begin", "commit", "abort", "txn"):
+            assert frame_type in protocol.FRAME_TYPES

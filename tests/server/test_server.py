@@ -88,7 +88,7 @@ class TestHandshake:
         with ServerThread(limit=3) as server:
             with Client(server.host, server.port) as client:
                 assert client.session_id == "s01"
-                assert client.server == "repro-server/2"
+                assert client.server == "repro-server/3"
                 assert client.limits["max_frame"] == protocol.MAX_FRAME
 
     def test_version_mismatch_rejected(self):
@@ -97,7 +97,7 @@ class TestHandshake:
             reply = conn.hello(version=99)
             assert reply["type"] == "error"
             assert reply["kind"] == "version"
-            assert "server speaks 2" in reply["error"]
+            assert "server speaks 3" in reply["error"]
             conn.close()
 
     def test_old_v1_client_still_connects(self):

@@ -34,6 +34,7 @@ def test_relative_links_resolve():
 def test_checker_flags_a_broken_link(tmp_path):
     checker = load_checker()
     (tmp_path / "doc.md").write_text(
+        "# Anchor\n\n"
         "see [the design](DESIGN.md) and [upstream](https://example.com) "
         "and [a section](#anchor)\n",
         encoding="utf-8",
@@ -42,6 +43,56 @@ def test_checker_flags_a_broken_link(tmp_path):
     assert missing == [("doc.md", "DESIGN.md")]
     (tmp_path / "DESIGN.md").write_text("# design\n", encoding="utf-8")
     assert checker.broken_links(str(tmp_path)) == []
+
+
+def test_checker_flags_a_missing_in_page_anchor(tmp_path):
+    checker = load_checker()
+    (tmp_path / "doc.md").write_text(
+        "# Overview\n\nsee [a section](#no-such-heading)\n",
+        encoding="utf-8",
+    )
+    assert checker.broken_links(str(tmp_path)) == [
+        ("doc.md", "#no-such-heading")
+    ]
+
+
+def test_checker_validates_cross_file_anchors(tmp_path):
+    checker = load_checker()
+    (tmp_path / "target.md").write_text(
+        "# Real Section\n\nbody\n", encoding="utf-8"
+    )
+    (tmp_path / "doc.md").write_text(
+        "good: [there](target.md#real-section)\n"
+        "bad: [nope](target.md#ghost-section)\n",
+        encoding="utf-8",
+    )
+    assert checker.broken_links(str(tmp_path)) == [
+        ("doc.md", "target.md#ghost-section")
+    ]
+
+
+def test_anchor_slugs_match_github(tmp_path):
+    checker = load_checker()
+    (tmp_path / "doc.md").write_text(
+        "# The `intern` / `extern` pair!\n\n"
+        "## Heading\n\n## Heading\n\n"
+        "[ticks+punctuation](#the-intern--extern-pair)\n"
+        "[first](#heading) [second](#heading-1)\n",
+        encoding="utf-8",
+    )
+    assert checker.broken_links(str(tmp_path)) == []
+
+
+def test_headings_inside_fences_are_not_anchors(tmp_path):
+    checker = load_checker()
+    (tmp_path / "doc.md").write_text(
+        "# Real\n\n```\n# not a heading\n```\n\n"
+        "[fake](#not-a-heading)\n",
+        encoding="utf-8",
+    )
+    assert checker.broken_links(str(tmp_path)) == [
+        ("doc.md", "#not-a-heading")
+    ]
 
 
 def test_code_blocks_are_not_links(tmp_path):
