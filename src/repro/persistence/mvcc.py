@@ -16,8 +16,12 @@ programs can run against one store at once:
 * a writer prepares its commit privately (its own identity maps, its own
   encoder) and publishes with **first-committer-wins** conflict
   detection: if any epoch committed after the snapshot wrote an object
-  in this transaction's reachability sweep, the commit aborts with a
-  retryable :class:`~repro.errors.TransactionConflictError`.
+  in this transaction's reachability sweep, rebound a root name this
+  transaction rebound, or kept alive an object this transaction would
+  garbage-collect, the commit aborts with a retryable
+  :class:`~repro.errors.TransactionConflictError`; otherwise the
+  changed root bindings are merged onto the newest committed root
+  table, so concurrent commits on disjoint roots all land.
 
 Two flavours share the epoch/conflict machinery:
 
@@ -84,9 +88,10 @@ class _LazyRoot:
 
     Holds the stored node verbatim; the transaction decodes it (and
     thereby materializes the subgraph, joining it to the read sweep) only
-    when the root is actually read.  An untouched lazy root re-commits
-    its stored node byte-for-byte, so transactions on disjoint roots
-    have disjoint sweeps and never conflict.
+    when the root is actually read.  An untouched lazy root is not a
+    root write — commit leaves whatever binding is newest on the
+    committed table — so transactions on disjoint roots have disjoint
+    sweeps and never conflict.
     """
 
     __slots__ = ("node",)
@@ -163,6 +168,12 @@ class MVCCHeap:
         self._versions: Dict[int, List[int]] = {}
         # epoch -> oids that commit wrote (for first-committer-wins checks)
         self._commit_writes: Dict[int, FrozenSet[int]] = {}
+        # epoch -> root keys ("ns:name") that commit rebound or deleted
+        self._root_writes: Dict[int, FrozenSet[str]] = {}
+        # epoch -> oids that commit kept alive without writing them (its
+        # published roots reference them); a later collector with an
+        # older snapshot must not tombstone these out from under it
+        self._commit_kept: Dict[int, FrozenSet[int]] = {}
         self._epochs: List[int] = []  # committed epochs, sorted
         self._epoch = 0
         self._next_oid = 0
@@ -187,6 +198,12 @@ class MVCCHeap:
                 self._epochs.append(epoch)
                 self._commit_writes[epoch] = frozenset(
                     record.get("written", [])
+                )
+                self._root_writes[epoch] = frozenset(
+                    record.get("root_writes", [])
+                )
+                self._commit_kept[epoch] = frozenset(
+                    record.get("kept", [])
                 )
         self._epochs.sort()
         for chain in self._versions.values():
@@ -305,6 +322,8 @@ class MVCCHeap:
                     for epoch in self._epochs[:anchor]:
                         self._store.delete(_COMMIT_PREFIX + str(epoch))
                         self._commit_writes.pop(epoch, None)
+                        self._root_writes.pop(epoch, None)
+                        self._commit_kept.pop(epoch, None)
                         commits_pruned += 1
                     self._epochs = self._epochs[anchor:]
         if versions_pruned or commits_pruned:
@@ -461,15 +480,20 @@ class HeapTransaction:
 
         Encodes every root and the reachable closure privately, then —
         under the heap lock — runs first-committer-wins conflict
-        detection: if any epoch committed after this snapshot wrote an
-        object in this transaction's sweep (everything it read, wrote,
-        or collected), the transaction aborts with a retryable
-        :class:`~repro.errors.TransactionConflictError`.  Otherwise the
-        new versions, tombstones, and commit record go down in one
-        atomic store batch (a crash mid-commit replays as if the commit
-        never happened) and the transaction continues, re-pinned to the
-        epoch it just created.  A commit that changed nothing publishes
-        nothing and keeps its snapshot.
+        detection: the transaction aborts with a retryable
+        :class:`~repro.errors.TransactionConflictError` if any epoch
+        committed after this snapshot (a) wrote an object in this
+        transaction's sweep (everything it read, wrote, or collected),
+        (b) rebound or deleted a root name this transaction rebound or
+        deleted, or (c) kept alive an object this transaction is about
+        to garbage-collect.  Otherwise the changed root bindings are
+        merged onto the newest committed root table (concurrent commits
+        on disjoint roots all land) and the new versions, tombstones,
+        and commit record go down in one atomic store batch (a crash
+        mid-commit replays as if the commit never happened); the
+        transaction continues, re-pinned to the epoch it just created.
+        A commit that changed nothing publishes nothing and keeps its
+        snapshot.
         """
         self._check_active()
         started = time.perf_counter()
@@ -544,12 +568,25 @@ class HeapTransaction:
             queue.extend(refs)
 
         collected = heap._live_at(self.snapshot) - set(entries) - retained
-        roots_changed = {
+
+        # Root changes are per-binding, not whole-table: commit merges
+        # them onto the *latest* committed root table, so concurrent
+        # transactions that add or rebind disjoint roots both land.  A
+        # binding whose re-encoded node matches what this transaction
+        # started from (untouched lazy roots included) is not a write.
+        current_root_canonical = {
             key: json.dumps(node, sort_keys=True)
             for key, node in root_nodes.items()
-        } != self._root_canonical
+        }
+        root_writes = {
+            key
+            for key, canonical in current_root_canonical.items()
+            if self._root_canonical.get(key) != canonical
+        }
+        root_deletes = set(self._root_canonical) - set(root_nodes)
+        root_changes = root_writes | root_deletes
 
-        if not changed and not collected and not roots_changed:
+        if not changed and not collected and not root_changes:
             # Read-only (or no-op) commit: nothing to publish, nothing
             # to conflict with; the snapshot stays pinned.
             span.annotate(epoch=self.snapshot, written=0, read_only=True)
@@ -570,26 +607,58 @@ class HeapTransaction:
         # our snapshot means our work was based on stale state.
         writes = set(changed) | collected
         sweep = set(self._base_canonical) | set(entries) | collected
+        # What this commit keeps alive without rewriting: its published
+        # roots still reference these oids, so a concurrent collector
+        # must conflict rather than tombstone them.
+        kept = (set(entries) - set(changed)) | retained
 
         with heap._lock:
             since = bisect_right(heap._epochs, self.snapshot)
             for epoch in heap._epochs[since:]:
                 overlap = heap._commit_writes.get(epoch, frozenset()) & sweep
-                if overlap:
+                # Two transactions rebinding (or deleting) the same root
+                # name conflict even when their object sweeps are
+                # disjoint (fresh roots allocate fresh oids).
+                root_overlap = (
+                    heap._root_writes.get(epoch, frozenset()) & root_changes
+                )
+                # Our GC decision was made at our snapshot; if a later
+                # commit still references an oid we are about to
+                # tombstone, collecting it would dangle that commit's
+                # published roots.
+                kept_overlap = collected & heap._commit_kept.get(
+                    epoch, frozenset()
+                )
+                if overlap or root_overlap or kept_overlap:
                     self._end()
                     _metrics.REGISTRY.counter("txn.conflict").inc()
                     _journal(
                         "WARN", "conflict", tid=self.tid,
                         snapshot=self.snapshot, winner_epoch=epoch,
-                        overlap=len(overlap), layer="heap",
+                        overlap=len(overlap) + len(kept_overlap),
+                        roots=sorted(root_overlap), layer="heap",
                     )
                     raise TransactionConflictError(
-                        "commit conflict: epoch %d already wrote %d object(s)"
-                        " in this transaction's sweep (snapshot %d)"
-                        % (epoch, len(overlap), self.snapshot),
-                        keys=sorted(overlap),
+                        "commit conflict: epoch %d already wrote %d"
+                        " object(s) and %d root(s) in this transaction's"
+                        " sweep (snapshot %d)"
+                        % (
+                            epoch, len(overlap | kept_overlap),
+                            len(root_overlap), self.snapshot,
+                        ),
+                        keys=sorted(overlap | kept_overlap)
+                        + sorted(root_overlap),
                         winner_epoch=epoch,
                     )
+
+            # Merge, don't replace: start from the newest committed root
+            # table (which may carry roots committed after our snapshot)
+            # and overlay only the bindings this transaction changed.
+            merged_roots = heap._roots_at(heap._epoch)
+            for key in root_deletes:
+                merged_roots.pop(key, None)
+            for key in root_writes:
+                merged_roots[key] = root_nodes[key]
 
             epoch = heap._epoch + 1
             with heap._store.batch():
@@ -600,8 +669,10 @@ class HeapTransaction:
                 heap._store.put(
                     _COMMIT_PREFIX + str(epoch),
                     {
-                        "roots": root_nodes,
+                        "roots": merged_roots,
                         "written": sorted(writes),
+                        "root_writes": sorted(root_changes),
+                        "kept": sorted(kept),
                         "sweep": len(sweep),
                     },
                 )
@@ -610,6 +681,8 @@ class HeapTransaction:
             for oid in writes:
                 heap._versions.setdefault(oid, []).append(epoch)
             heap._commit_writes[epoch] = frozenset(writes)
+            heap._root_writes[epoch] = frozenset(root_changes)
+            heap._commit_kept[epoch] = frozenset(kept)
             heap._epochs.append(epoch)
             heap._epoch = epoch
             # Re-pin: the transaction continues against what it just
@@ -623,13 +696,33 @@ class HeapTransaction:
             if obj is not None:
                 self._oid_by_id.pop(id(obj), None)
             self._base_canonical.pop(oid, None)
-        self._root_canonical = {
-            key: json.dumps(node, sort_keys=True)
-            for key, node in root_nodes.items()
-        }
+        self._root_canonical = current_root_canonical
+        # Fold the merged table into the continuing transaction: roots
+        # other commits added or rebound appear (lazily) at the new
+        # snapshot, roots they deleted disappear.  Roots this
+        # transaction has materialized keep their in-memory objects.
+        for key, node in merged_roots.items():
+            ns_name, root_name = key.split(":", 1)
+            roots = self._namespaces.setdefault(ns_name, {})
+            if root_name in roots and not isinstance(
+                roots[root_name], _LazyRoot
+            ):
+                continue
+            canonical = json.dumps(node, sort_keys=True)
+            if self._root_canonical.get(key) != canonical:
+                roots[root_name] = _LazyRoot(node)
+                self._root_canonical[key] = canonical
+        for ns_name, roots in self._namespaces.items():
+            for root_name in list(roots):
+                key = "%s:%s" % (ns_name, root_name)
+                if key not in merged_roots and isinstance(
+                    roots[root_name], _LazyRoot
+                ):
+                    del roots[root_name]
+                    self._root_canonical.pop(key, None)
 
         stats = CommitStats(
-            roots_written=len(root_nodes),
+            roots_written=len(merged_roots),
             objects_written=len(changed),
             objects_unchanged=len(entries) - len(changed),
             objects_collected=len(collected),
@@ -782,11 +875,16 @@ class TransactionManager:
     def put(self, handle: str, document: object) -> int:
         """Autocommit one write; returns the epoch it created."""
         with self._lock:
+            # Seed the chain (capturing the pre-write backing value as
+            # its epoch-0 base) and make the write durable *before*
+            # advertising the new epoch: a failed store write leaves no
+            # trace in memory.
+            chain = self._chain(handle)
+            self._backing_write({handle: document})
             self._epoch += 1
             epoch = self._epoch
-            self._chain(handle).append((epoch, document))
+            chain.append((epoch, document))
             self._commit_writes[epoch] = frozenset((handle,))
-            self._backing_write({handle: document})
             self._prune()
         return epoch
 
@@ -866,6 +964,9 @@ class SessionTransaction:
         with a retryable
         :class:`~repro.errors.TransactionConflictError`.  A read-only
         commit always succeeds (at its snapshot epoch, writing nothing).
+        A commit whose durable write fails raises the store's error and
+        ends the transaction with nothing published — the manager never
+        advertises an epoch the log did not accept.
         """
         self._check_active()
         manager = self._manager
@@ -900,12 +1001,30 @@ class SessionTransaction:
                         keys=sorted(overlap),
                         winner_epoch=epoch,
                     )
+            # Seed the chains first (their epoch-0 base must be the
+            # pre-write backing value), then make the batch durable
+            # *before* installing anything: if the store write fails
+            # (disk full, fsync error) no epoch is advertised that was
+            # never made durable, and the transaction ends rather than
+            # sitting in ``_active`` forever pinning the prune horizon.
+            chains = {
+                handle: manager._chain(handle) for handle in self.writes
+            }
+            try:
+                manager._backing_write(self.writes)
+            except BaseException:
+                self._end()
+                _metrics.REGISTRY.counter("txn.abort").inc()
+                _journal(
+                    "WARN", "abort", tid=self.tid, owner=self.owner,
+                    layer="extern", reason="backing write failed",
+                )
+                raise
             manager._epoch += 1
             epoch = manager._epoch
             for handle, document in self.writes.items():
-                manager._chain(handle).append((epoch, document))
+                chains[handle].append((epoch, document))
             manager._commit_writes[epoch] = frozenset(self.writes)
-            manager._backing_write(self.writes)
             written = len(self.writes)
             self._end()
             manager._prune()

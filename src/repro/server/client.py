@@ -244,8 +244,17 @@ class Client:
             kind = str(reply.get("kind"))
             if kind == "TransactionConflictError":
                 # Re-raise with its real type so retryable semantics
-                # (and except-clauses) survive the wire.
-                raise TransactionConflictError(str(reply.get("error")))
+                # (and except-clauses) survive the wire — including the
+                # contested keys and winning epoch from the frame's
+                # conflict detail.
+                conflict = reply.get("conflict")
+                if not isinstance(conflict, dict):
+                    conflict = {}
+                raise TransactionConflictError(
+                    str(reply.get("error")),
+                    keys=tuple(conflict.get("keys") or ()),
+                    winner_epoch=conflict.get("winner_epoch"),
+                )
             raise RemoteError(str(reply.get("error")), kind=kind)
         if reply_type != expect:
             raise ProtocolError(

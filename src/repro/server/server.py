@@ -42,6 +42,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     SessionClosedError,
+    TransactionConflictError,
 )
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
@@ -384,6 +385,13 @@ class DBPLServer:
                 reply = protocol.error_frame(
                     str(exc), kind=type(exc).__name__
                 )
+                if isinstance(exc, TransactionConflictError):
+                    # Carry the conflict detail so remote retry loops
+                    # can see which handles were contested and by whom.
+                    reply["conflict"] = {
+                        "keys": list(exc.keys),
+                        "winner_epoch": exc.winner_epoch,
+                    }
             except Exception as exc:  # noqa: BLE001 — a reply, not a crash
                 _metrics.REGISTRY.counter("server.request_errors").inc()
                 reply = protocol.error_frame(

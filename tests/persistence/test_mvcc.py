@@ -38,6 +38,33 @@ def heap(tmp_path):
         yield h
 
 
+class _FlakyStore:
+    """A LogStore stand-in whose writes fail while ``fail`` is set."""
+
+    def __init__(self):
+        self.data = {}
+        self.fail = False
+
+    def get(self, key):
+        return self.data.get(key)
+
+    def put(self, key, value):
+        if self.fail:
+            raise OSError("disk full")
+        self.data[key] = value
+
+    def batch(self):
+        return self
+
+    def __enter__(self):
+        if self.fail:
+            raise OSError("disk full")
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
 class TestHeapBasics:
     def test_commit_and_reopen(self, tmp_path):
         path = str(tmp_path / "h.log")
@@ -236,6 +263,91 @@ class TestFirstCommitterWins:
         a.abort()
         b.abort()
 
+    def test_concurrent_root_creation_preserves_both(self, tmp_path):
+        """Commit merges root changes onto the newest committed table:
+        a later committer with a stale snapshot must not bury roots a
+        concurrent commit added."""
+        path = str(tmp_path / "merge.log")
+        with MVCCHeap(path) as heap:
+            a = heap.begin()
+            b = heap.begin()  # same (empty) snapshot as a
+            a.root("a_root", PObject("X", {"n": 1}))
+            b.root("b_root", PObject("X", {"n": 2}))
+            a.commit()
+            b.commit()  # disjoint names: no conflict, and 'a_root' survives
+            a.abort()
+            b.abort()
+        with MVCCHeap(path) as heap:
+            fresh = heap.begin()
+            assert fresh.get_root("a_root")["n"] == 1
+            assert fresh.get_root("b_root")["n"] == 2
+            fresh.abort()
+
+    def test_same_new_root_name_conflicts(self, heap):
+        """Two transactions creating the same root name touch disjoint
+        oids — the conflict is on the root name itself."""
+        a = heap.begin()
+        b = heap.begin()
+        a.root("slot", PObject("X", {"who": "a"}))
+        b.root("slot", PObject("X", {"who": "b"}))
+        a.commit()
+        with pytest.raises(TransactionConflictError) as exc_info:
+            b.commit()
+        assert "user:slot" in exc_info.value.keys
+        fresh = heap.begin()
+        assert fresh.get_root("slot")["who"] == "a"
+        fresh.abort()
+        a.abort()
+
+    def test_lazy_root_does_not_resurrect_concurrent_rebind(self, heap):
+        """A committer holding a root it never read must not re-publish
+        that root's stale node over a concurrent rebind — the stale node
+        points at oids the rebind tombstoned."""
+        seed = heap.begin()
+        seed.root("shared", PObject("X", {"gen": 0}))
+        seed.root("mine", PObject("X", {"n": 0}))
+        seed.commit()
+        seed.abort()
+
+        holder = heap.begin()  # 'shared' stays an unread lazy root
+        rebinder = heap.begin()
+        rebinder.root("shared", PObject("X", {"gen": 1}))
+        rebinder.commit()  # tombstones gen-0's object
+        rebinder.abort()
+        holder.get_root("mine")["n"] = 5
+        holder.commit()  # wins — but must not restore the stale 'shared'
+
+        fresh = heap.begin()
+        assert fresh.get_root("shared")["gen"] == 1  # no StoreCorruptError
+        assert fresh.get_root("mine")["n"] == 5
+        fresh.abort()
+        holder.abort()
+
+    def test_collecting_what_a_concurrent_commit_kept_conflicts(self, heap):
+        """GC decisions are part of the conflict check: tombstoning an
+        object a later epoch's published roots still reference would
+        dangle that commit."""
+        seed = heap.begin()
+        seed.root("r", PObject("X", {"n": 7}))
+        seed.commit()
+        seed.abort()
+
+        keeper = heap.begin()
+        dropper = heap.begin()
+        # keeper makes the object reachable through a second root...
+        keeper.root("alias", keeper.get_root("r"))
+        keeper.commit()
+        keeper.abort()
+        # ...while dropper, at its older snapshot, sees it reachable
+        # only via 'r' and would collect it.
+        del dropper.namespace()["r"]
+        with pytest.raises(TransactionConflictError):
+            dropper.commit()
+
+        fresh = heap.begin()
+        assert fresh.get_root("alias")["n"] == 7
+        fresh.abort()
+
     def test_threaded_counter_increments_equal_commits(self, heap):
         """The classic lost-update check: under racing increments the
         final counter equals the number of *successful* commits."""
@@ -391,6 +503,52 @@ class TestTransactionManager:
         txns.put("x", 2)  # overlaps the read — but reader wrote nothing
         epoch, written = reader.commit()
         assert written == 0
+
+    def test_snapshot_reader_never_sees_a_later_first_write(self):
+        """A handle first versioned by a commit must seed its chain
+        with the pre-commit backing value, or an older snapshot would
+        read the new value as the baseline."""
+        txns = TransactionManager(memory={})
+        reader = txns.begin()
+        writer = txns.begin()
+        writer.write("fresh", 1)
+        writer.commit()
+        assert reader.read("fresh") is None
+        reader.abort()
+
+    def test_failed_backing_write_is_a_clean_abort(self):
+        """A commit the store rejects publishes nothing: no epoch is
+        advertised, the transaction ends (it must not pin the prune
+        horizon forever), and a retry works once the store recovers."""
+        store = _FlakyStore()
+        txns = TransactionManager(store=store)
+        txns.put("x", 1)
+        session = txns.begin()
+        session.write("x", 2)
+        store.fail = True
+        with pytest.raises(OSError):
+            session.commit()
+        assert not session.active
+        assert txns.active_transactions() == 0
+        assert txns.current_epoch == 1  # the failed epoch was never minted
+        assert txns.get("x") == 1
+        store.fail = False
+        retry = txns.begin()
+        retry.write("x", 3)
+        retry.commit()
+        assert txns.get("x") == 3
+
+    def test_failed_autocommit_put_leaves_no_trace(self):
+        store = _FlakyStore()
+        txns = TransactionManager(store=store)
+        store.fail = True
+        with pytest.raises(OSError):
+            txns.put("x", 1)
+        assert txns.current_epoch == 0
+        assert txns.get("x") is None
+        store.fail = False
+        assert txns.put("x", 1) == 1
+        assert txns.get("x") == 1
 
     def test_durable_backing(self, tmp_path):
         path = str(tmp_path / "tm.log")

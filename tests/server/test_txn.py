@@ -97,8 +97,13 @@ class TestWireTransactions:
                 a.run('extern("counter", dynamic 10);')
                 b.run('extern("counter", dynamic 20);')
                 a.commit()
-                with pytest.raises(TransactionConflictError):
+                with pytest.raises(TransactionConflictError) as exc_info:
                     b.commit()
+                # The conflict detail survives the wire: remote retry
+                # loops see the contested handles and the winning epoch.
+                assert "counter" in exc_info.value.keys
+                assert exc_info.value.winner_epoch is not None
+                assert exc_info.value.retryable is True
                 # Exactly one write survived: the first committer's.
                 assert read_counter(a) == 10
                 # The loser's transaction is over — a plain retry works.
